@@ -1,0 +1,17 @@
+//! # kf-attacks — the malicious-specification catalog and attack executor
+//!
+//! Implements the paper's catalog of 15 malicious Kubernetes specifications
+//! (Table II): 8 CVE exploits and 7 misconfigurations, each expressed as an
+//! *injection* into a legitimate operator manifest, plus the executor that
+//! replays the resulting malicious requests against an enforcement mechanism
+//! (RBAC-protected API server or KubeFence proxy) and scores the outcome
+//! (Table III).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod executor;
+
+pub use catalog::{catalog, InjectionAction, InjectionTarget, MaliciousSpec, SpecClass};
+pub use executor::{AttackExecutor, AttackOutcome, AttackSummary};

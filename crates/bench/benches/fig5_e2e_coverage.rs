@@ -1,0 +1,49 @@
+//! Figure 5: number of e2e tests per category that interact with the
+//! vulnerable files of each CVE, plus the headline ratios (29/6,580 overall,
+//! 21/960 outside storage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use k8s_model::cve::CveDatabase;
+use kf_workloads::e2e::{E2eCategory, E2eCorpus};
+
+fn print_figure5() {
+    let corpus = E2eCorpus::generate();
+    let database = CveDatabase::new();
+    println!("\n=== Figure 5: e2e tests covering vulnerable code, per CVE and category ===\n");
+    println!("{}", corpus.to_matrix_text());
+    let covering = corpus.tests_covering_vulnerable_code();
+    let outside_storage = covering
+        .iter()
+        .filter(|t| t.category != E2eCategory::Storage)
+        .count();
+    println!(
+        "tests covering vulnerable code: {} / {} ({:.2}%)",
+        covering.len(),
+        corpus.total_tests(),
+        100.0 * covering.len() as f64 / corpus.total_tests() as f64
+    );
+    println!(
+        "excluding the storage category: {} / {}",
+        outside_storage,
+        corpus.total_tests() - E2eCategory::Storage.test_count()
+    );
+    println!(
+        "CVEs never reached by any e2e test: {} / {}",
+        corpus.uncovered_cve_count(&database),
+        database.len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure5();
+    c.bench_function("fig5/generate_corpus_and_matrix", |b| {
+        b.iter(|| {
+            let corpus = E2eCorpus::generate();
+            criterion::black_box(corpus.coverage_matrix());
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

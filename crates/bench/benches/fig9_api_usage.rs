@@ -1,0 +1,28 @@
+//! Figure 9: percentage of configurable fields used by each workload for each
+//! API endpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kf_bench::validator_for;
+use kf_workloads::Operator;
+use kubefence::AttackSurfaceAnalyzer;
+
+fn print_figure9() {
+    let analyzer = AttackSurfaceAnalyzer::new();
+    let validators: Vec<_> = Operator::ALL.iter().map(|o| validator_for(*o)).collect();
+    let report = analyzer.analyze_all(&validators);
+    println!("\n=== Figure 9: percentage of API usage across workloads and endpoints ===\n");
+    println!("{}", report.to_heatmap());
+}
+
+fn bench(c: &mut Criterion) {
+    print_figure9();
+    let analyzer = AttackSurfaceAnalyzer::new();
+    let validator = validator_for(Operator::Sonarqube);
+    c.bench_function("fig9/analyze_sonarqube_surface", |b| {
+        b.iter(|| criterion::black_box(analyzer.analyze(&validator)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table I: restrictable fields and attack-surface reduction achievable by
+//! KubeFence vs RBAC, per workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kf_bench::validator_for;
+use kf_workloads::Operator;
+use kubefence::AttackSurfaceAnalyzer;
+
+fn print_table1() {
+    let analyzer = AttackSurfaceAnalyzer::new();
+    let validators: Vec<_> = Operator::ALL.iter().map(|o| validator_for(*o)).collect();
+    let report = analyzer.analyze_all(&validators);
+    println!("\n=== Table I: attack surface reduction achievable by KubeFence vs RBAC ===\n");
+    println!("{}", report.to_table());
+    println!(
+        "(paper: RBAC 20.73%–79.54%, KubeFence 96.44%–98.85%, average improvement ≈ 35 points)"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    c.bench_function("table1/full_policy_generation_nginx", |b| {
+        b.iter(|| criterion::black_box(validator_for(Operator::Nginx)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

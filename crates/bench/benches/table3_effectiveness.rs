@@ -1,0 +1,62 @@
+//! Tables II and III: the catalog of malicious specifications and the number
+//! of CVE exploits / misconfigurations mitigated by RBAC vs KubeFence for
+//! every workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use k8s_apiserver::ApiServer;
+use kf_attacks::AttackExecutor;
+use kf_bench::{learned_rbac_policy, validator_for};
+use kf_workloads::Operator;
+use kubefence::EnforcementProxy;
+
+fn executor_for(operator: Operator) -> AttackExecutor {
+    AttackExecutor::new(
+        &operator.user(),
+        operator.namespace(),
+        operator.workload().default_objects(),
+    )
+}
+
+fn print_tables() {
+    println!("\n=== Table II: catalog of K8s malicious specifications ===\n");
+    println!("{}", kf_attacks::catalog::to_table());
+
+    println!("\n=== Table III: mitigated CVEs and misconfigurations, RBAC vs KubeFence ===\n");
+    println!(
+        "{:<12} {:>12} {:>18} {:>16} {:>22}",
+        "Workload", "CVEs (RBAC)", "CVEs (KubeFence)", "Misconf (RBAC)", "Misconf (KubeFence)"
+    );
+    for operator in Operator::ALL {
+        let executor = executor_for(operator);
+
+        let rbac_server = ApiServer::new();
+        rbac_server.set_rbac_policy(Some(learned_rbac_policy(operator)));
+        let rbac = AttackExecutor::summarize(&executor.execute(&rbac_server));
+
+        let proxy = EnforcementProxy::new(ApiServer::new(), validator_for(operator));
+        let kubefence = AttackExecutor::summarize(&executor.execute(&proxy));
+
+        println!(
+            "{:<12} {:>12} {:>18} {:>16} {:>22}",
+            operator.name(),
+            format!("{}/{}", rbac.cve_mitigated, rbac.cve_attempted),
+            format!("{}/{}", kubefence.cve_mitigated, kubefence.cve_attempted),
+            format!("{}/{}", rbac.misconfig_mitigated, rbac.misconfig_attempted),
+            format!("{}/{}", kubefence.misconfig_mitigated, kubefence.misconfig_attempted),
+        );
+    }
+    println!("\n(paper: RBAC mitigates 0, KubeFence mitigates all 15, for every workload)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_tables();
+    let proxy = EnforcementProxy::new(ApiServer::new(), validator_for(Operator::Nginx));
+    let executor = executor_for(Operator::Nginx);
+    c.bench_function("table3/replay_catalog_through_proxy_nginx", |b| {
+        b.iter(|| criterion::black_box(executor.execute(&proxy)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Table IV: average deployment round-trip time, RBAC (no proxy) vs KubeFence
+//! (proxy interposed), over 10 repetitions per workload, plus the proxy's
+//! resource footprint (§VI-E).
+//!
+//! The processing time of every request is measured in-process; the network
+//! and API-server costs come from the calibrated latency model (see
+//! `k8s_apiserver::LatencyProfile` and DESIGN.md).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use k8s_apiserver::{ApiServer, LatencyModel, RequestHandler};
+use kf_bench::{mean_and_stddev, validator_for};
+use kf_workloads::{DeploymentDriver, Operator};
+use kubefence::EnforcementProxy;
+
+const REPETITIONS: usize = 10;
+
+fn deployment_rtt<H: RequestHandler>(
+    driver: &DeploymentDriver,
+    handler: &H,
+    latency: &mut LatencyModel,
+    with_proxy: bool,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for request in driver.requests() {
+        let started = std::time::Instant::now();
+        let response = handler.handle(&request);
+        total += started.elapsed() + latency.direct_request(request.payload_size());
+        if with_proxy {
+            total += latency.proxy_overhead(request.payload_size());
+        }
+        assert!(response.is_success(), "{}", response.message);
+    }
+    total
+}
+
+fn print_table4() {
+    println!("\n=== Table IV: RBAC vs KubeFence average request latency (10 repetitions) ===\n");
+    println!(
+        "{:<12} {:>18} {:>20} {:>18}",
+        "Operator", "RBAC RTT (ms)", "KubeFence RTT (ms)", "Increase"
+    );
+    for operator in Operator::ALL {
+        let driver = DeploymentDriver::new(operator);
+        let validator = validator_for(operator);
+        let mut baseline = Vec::new();
+        let mut kubefence = Vec::new();
+        for repetition in 0..REPETITIONS {
+            let mut latency = LatencyModel::new(Default::default(), 1 + repetition as u64);
+            let server = ApiServer::new().with_admin(&operator.user());
+            baseline.push(deployment_rtt(&driver, &server, &mut latency, false).as_secs_f64() * 1e3);
+
+            let mut latency = LatencyModel::new(Default::default(), 1 + repetition as u64);
+            let proxy = EnforcementProxy::new(
+                ApiServer::new().with_admin(&operator.user()),
+                validator.clone(),
+            );
+            kubefence.push(deployment_rtt(&driver, &proxy, &mut latency, true).as_secs_f64() * 1e3);
+        }
+        let (base_mean, base_std) = mean_and_stddev(&baseline);
+        let (kf_mean, kf_std) = mean_and_stddev(&kubefence);
+        println!(
+            "{:<12} {:>12.1}±{:<5.1} {:>14.1}±{:<5.1} {:>8.1} ms ({:.2}%)",
+            operator.name(),
+            base_mean,
+            base_std,
+            kf_mean,
+            kf_std,
+            kf_mean - base_mean,
+            100.0 * (kf_mean - base_mean) / base_mean
+        );
+    }
+    println!("\n(paper: +26.6 ms to +84.6 ms, i.e. 12.6%–26.6% over baselines of 168–386 ms)");
+
+    let validator = validator_for(Operator::Sonarqube);
+    println!(
+        "proxy footprint: SonarQube validator = {:.1} KiB across {} kinds",
+        validator.to_yaml().len() as f64 / 1024.0,
+        validator.kinds().len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_table4();
+    // The measured component of the overhead: proxy validation + forwarding
+    // of a full deployment, compared with the bare server.
+    let operator = Operator::Postgresql;
+    let driver = DeploymentDriver::new(operator);
+    let mut group = c.benchmark_group("table4");
+    group.bench_function("deploy_direct_postgresql", |b| {
+        b.iter(|| {
+            let server = ApiServer::new().with_admin(&operator.user());
+            criterion::black_box(driver.deploy(&server));
+        })
+    });
+    let validator = validator_for(operator);
+    group.bench_function("deploy_through_kubefence_postgresql", |b| {
+        b.iter(|| {
+            let proxy = EnforcementProxy::new(
+                ApiServer::new().with_admin(&operator.user()),
+                validator.clone(),
+            );
+            criterion::black_box(driver.deploy(&proxy));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmarks of the proxy's validation path: how long a single request
+//! takes to validate against a workload validator, for compliant and
+//! malicious manifests of different sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kf_attacks::catalog;
+use kf_bench::validator_for;
+use kf_workloads::Operator;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("validation");
+    for operator in [Operator::Nginx, Operator::Postgresql, Operator::Sonarqube] {
+        let validator = validator_for(operator);
+        let objects = operator.workload().default_objects();
+        // Compliant manifests of the workload.
+        group.bench_with_input(
+            BenchmarkId::new("legitimate_deployment", operator.name()),
+            &objects,
+            |b, objects| {
+                b.iter(|| {
+                    for object in objects {
+                        criterion::black_box(validator.validate(object));
+                    }
+                })
+            },
+        );
+        // The full malicious catalog injected into this workload.
+        let malicious: Vec<_> = catalog()
+            .into_iter()
+            .filter_map(|spec| {
+                objects
+                    .iter()
+                    .find(|o| spec.applies_to(o.kind()))
+                    .and_then(|base| spec.inject(base))
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("malicious_catalog", operator.name()),
+            &malicious,
+            |b, malicious| {
+                b.iter(|| {
+                    for object in malicious {
+                        criterion::black_box(validator.validate(object));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Error type for policy generation and enforcement.
+
+use std::fmt;
+
+/// Error produced by the KubeFence policy pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A chart could not be parsed or rendered.
+    Chart {
+        /// Underlying helm-lite error text.
+        message: String,
+    },
+    /// A rendered manifest could not be interpreted as a Kubernetes object.
+    Manifest {
+        /// Template that produced the manifest.
+        template: String,
+        /// Underlying model error text.
+        message: String,
+    },
+    /// The generated policy is structurally inconsistent (e.g. the same field
+    /// appears both as a mapping and as a scalar across variants).
+    PolicyConflict {
+        /// Field path at which the conflict was detected.
+        path: String,
+        /// Description of the conflict.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Chart { message } => write!(f, "chart processing failed: {message}"),
+            Error::Manifest { template, message } => {
+                write!(f, "manifest from `{template}` is invalid: {message}")
+            }
+            Error::PolicyConflict { path, message } => {
+                write!(f, "policy conflict at `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<helm_lite::Error> for Error {
+    fn from(err: helm_lite::Error) -> Self {
+        Error::Chart {
+            message: err.to_string(),
+        }
+    }
+}

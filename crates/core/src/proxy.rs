@@ -1,0 +1,259 @@
+//! Runtime enforcement: the KubeFence proxy.
+//!
+//! The paper deploys mitmproxy between clients and the API server, with a
+//! plugin that extracts the Kubernetes object from each intercepted request,
+//! validates it against the workload's validator and either forwards it
+//! unchanged or rejects it with an HTTP error and an audit entry. The
+//! [`EnforcementProxy`] reproduces that behaviour in front of any
+//! [`RequestHandler`] (normally the simulated [`k8s_apiserver::ApiServer`]),
+//! and implements [`RequestHandler`] itself so clients cannot tell the
+//! difference — complete mediation by construction.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use k8s_apiserver::{ApiRequest, ApiResponse, RequestHandler, ResponseStatus};
+use k8s_model::ResourceKind;
+
+use crate::validator::{Validator, ValidatorSet, Violation};
+
+/// One denied request, as logged by the proxy for auditing and forensics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenialRecord {
+    /// User whose request was denied.
+    pub user: String,
+    /// Resource kind of the request.
+    pub kind: ResourceKind,
+    /// Object name targeted by the request.
+    pub object_name: String,
+    /// The violations that caused the denial (offending field and reason).
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregate statistics kept by the proxy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProxyStats {
+    /// Requests forwarded to the API server.
+    pub forwarded: u64,
+    /// Requests rejected by validation.
+    pub denied: u64,
+    /// Requests forwarded without validation (no body to inspect).
+    pub passthrough: u64,
+    /// Total time spent inside request validation, in microseconds — the
+    /// measured component of the proxy's overhead (Table IV).
+    pub validation_time_us: u64,
+}
+
+impl ProxyStats {
+    /// Total requests seen by the proxy.
+    pub fn total(&self) -> u64 {
+        self.forwarded + self.denied + self.passthrough
+    }
+
+    /// The cumulative validation time.
+    pub fn validation_time(&self) -> Duration {
+        Duration::from_micros(self.validation_time_us)
+    }
+}
+
+/// The KubeFence enforcement proxy.
+#[derive(Debug)]
+pub struct EnforcementProxy<H> {
+    upstream: H,
+    validators: ValidatorSet,
+    denials: Mutex<Vec<DenialRecord>>,
+    stats: Mutex<ProxyStats>,
+}
+
+impl<H: RequestHandler> EnforcementProxy<H> {
+    /// A proxy protecting a single workload.
+    pub fn new(upstream: H, validator: Validator) -> Self {
+        Self::with_validators(upstream, ValidatorSet::single(validator))
+    }
+
+    /// A proxy protecting several workloads at once (their validators are
+    /// checked in turn; any match admits the request).
+    pub fn with_validators(upstream: H, validators: ValidatorSet) -> Self {
+        EnforcementProxy {
+            upstream,
+            validators,
+            denials: Mutex::new(Vec::new()),
+            stats: Mutex::new(ProxyStats::default()),
+        }
+    }
+
+    /// The upstream handler (the protected API server).
+    pub fn upstream(&self) -> &H {
+        &self.upstream
+    }
+
+    /// The validators enforced by the proxy.
+    pub fn validators(&self) -> &ValidatorSet {
+        &self.validators
+    }
+
+    /// The denials recorded so far.
+    pub fn denials(&self) -> Vec<DenialRecord> {
+        self.denials.lock().clone()
+    }
+
+    /// Clear recorded denials and statistics (between experiment phases).
+    pub fn reset(&self) {
+        self.denials.lock().clear();
+        *self.stats.lock() = ProxyStats::default();
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ProxyStats {
+        *self.stats.lock()
+    }
+}
+
+impl<H: RequestHandler> RequestHandler for EnforcementProxy<H> {
+    fn handle(&self, request: &ApiRequest) -> ApiResponse {
+        // Only mutating requests carry specifications to validate; reads are
+        // forwarded untouched (RBAC still applies upstream).
+        let Some(_) = &request.body else {
+            self.stats.lock().passthrough += 1;
+            return self.upstream.handle(request);
+        };
+        let started = Instant::now();
+        let object = match request.object() {
+            Some(object) => object,
+            None => {
+                // An unparsable or unknown-kind body can never match a
+                // validator; block it outright.
+                self.stats.lock().denied += 1;
+                return ApiResponse::error(
+                    ResponseStatus::Forbidden,
+                    "KubeFence: request body is not a recognizable Kubernetes object",
+                );
+            }
+        };
+        let verdict = self.validators.validate(&object);
+        let elapsed = started.elapsed();
+        {
+            let mut stats = self.stats.lock();
+            stats.validation_time_us += elapsed.as_micros() as u64;
+        }
+        match verdict {
+            Ok(()) => {
+                self.stats.lock().forwarded += 1;
+                self.upstream.handle(request)
+            }
+            Err(violations) => {
+                self.stats.lock().denied += 1;
+                let message = format!(
+                    "KubeFence: request denied by workload policy: {}",
+                    violations
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                );
+                self.denials.lock().push(DenialRecord {
+                    user: request.user.clone(),
+                    kind: request.kind,
+                    object_name: request.name.clone(),
+                    violations,
+                });
+                ApiResponse::error(ResponseStatus::Forbidden, message)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::Validator;
+    use k8s_apiserver::ApiServer;
+    use k8s_model::K8sObject;
+
+    fn allowed_manifest() -> String {
+        r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+spec:
+  replicas: int
+  template:
+    spec:
+      containers:
+        - name: nginx
+          image: docker.io/bitnami/nginx:1.25
+          securityContext:
+            runAsNonRoot: true
+"#
+        .to_owned()
+    }
+
+    fn proxy() -> EnforcementProxy<ApiServer> {
+        let manifests = vec![kf_yaml::parse(&allowed_manifest()).unwrap()];
+        let validator = Validator::from_manifests("demo", &manifests).unwrap();
+        EnforcementProxy::new(ApiServer::new(), validator)
+    }
+
+    #[test]
+    fn compliant_requests_are_forwarded_and_persisted() {
+        let proxy = proxy();
+        let object = K8sObject::from_yaml(&allowed_manifest().replace("replicas: int", "replicas: 3"))
+            .unwrap();
+        let response = proxy.handle(&ApiRequest::create("operator", &object));
+        assert!(response.is_success());
+        assert_eq!(proxy.upstream().store().len(), 1);
+        assert_eq!(proxy.stats().forwarded, 1);
+        assert!(proxy.denials().is_empty());
+    }
+
+    #[test]
+    fn non_compliant_requests_are_denied_and_logged() {
+        let proxy = proxy();
+        let evil_yaml = allowed_manifest()
+            .replace("replicas: int", "replicas: 3")
+            .replace("    spec:\n      containers:", "    spec:\n      hostNetwork: true\n      containers:");
+        let object = K8sObject::from_yaml(&evil_yaml).unwrap();
+        let response = proxy.handle(&ApiRequest::create("operator", &object));
+        assert!(response.is_denied());
+        assert!(response.message.contains("hostNetwork"));
+        // Nothing reaches the API server, so nothing is stored and no CVE is
+        // exercised.
+        assert_eq!(proxy.upstream().store().len(), 0);
+        assert!(proxy.upstream().exploits().is_empty());
+        let denials = proxy.denials();
+        assert_eq!(denials.len(), 1);
+        assert_eq!(denials[0].user, "operator");
+        assert_eq!(denials[0].violations.len(), 1);
+    }
+
+    #[test]
+    fn reads_pass_through_without_validation() {
+        let proxy = proxy();
+        let response = proxy.handle(&ApiRequest::list("operator", ResourceKind::Deployment, "default"));
+        assert!(response.is_success());
+        assert_eq!(proxy.stats().passthrough, 1);
+        assert_eq!(proxy.stats().validation_time_us, 0);
+    }
+
+    #[test]
+    fn requests_for_unknown_kinds_are_denied() {
+        let proxy = proxy();
+        let secret = K8sObject::minimal(ResourceKind::Secret, "stolen", "default");
+        let response = proxy.handle(&ApiRequest::create("operator", &secret));
+        assert!(response.is_denied());
+        assert_eq!(proxy.stats().denied, 1);
+    }
+
+    #[test]
+    fn reset_clears_denials_and_stats() {
+        let proxy = proxy();
+        let secret = K8sObject::minimal(ResourceKind::Secret, "stolen", "default");
+        proxy.handle(&ApiRequest::create("operator", &secret));
+        assert_eq!(proxy.denials().len(), 1);
+        proxy.reset();
+        assert!(proxy.denials().is_empty());
+        assert_eq!(proxy.stats().total(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for chart parsing and template rendering.
+
+use std::fmt;
+
+/// Error produced while parsing charts or rendering templates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The values file (or an override document) could not be parsed.
+    Values {
+        /// Underlying YAML error text.
+        message: String,
+    },
+    /// A template failed to lex or parse.
+    TemplateSyntax {
+        /// Template file name.
+        template: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A template failed while being evaluated.
+    Render {
+        /// Template file name.
+        template: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A rendered document is not valid YAML.
+    InvalidOutput {
+        /// Template file name.
+        template: String,
+        /// Underlying YAML error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Values { message } => write!(f, "invalid values file: {message}"),
+            Error::TemplateSyntax { template, message } => {
+                write!(f, "template `{template}` has invalid syntax: {message}")
+            }
+            Error::Render { template, message } => {
+                write!(f, "failed to render template `{template}`: {message}")
+            }
+            Error::InvalidOutput { template, message } => {
+                write!(f, "template `{template}` rendered invalid YAML: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

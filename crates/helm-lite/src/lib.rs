@@ -1,0 +1,54 @@
+//! # helm-lite — Helm chart model and template engine
+//!
+//! KubeFence derives its security policies from the Helm charts of Kubernetes
+//! Operators: the chart's default `values.yaml` defines the configuration
+//! space, and the chart's templates define how those values turn into
+//! Kubernetes manifests. The paper uses the stock `helm template` command for
+//! the rendering step; this crate provides the equivalent functionality for
+//! the charts shipped with this reproduction.
+//!
+//! The crate has three layers:
+//!
+//! * [`Chart`] / [`ValuesFile`] / [`TemplateFile`] — the chart model,
+//!   including the enumeration annotations that KubeFence extracts from the
+//!   values file (Figure 7 of the paper);
+//! * [`template`] — a Go-template-subset engine (actions, pipelines,
+//!   `if`/`else`, `range`, `define`/`include`, the common helper functions);
+//! * [`render_chart`] — the `helm template` equivalent: combine a chart with
+//!   a values document and return the rendered Kubernetes manifests.
+//!
+//! ```
+//! use helm_lite::{Chart, ChartMetadata, TemplateFile, ValuesFile, render_chart};
+//!
+//! # fn main() -> Result<(), helm_lite::Error> {
+//! let chart = Chart::new(
+//!     ChartMetadata::new("demo", "1.0.0"),
+//!     ValuesFile::parse("replicas: 2\n")?,
+//!     vec![TemplateFile::new(
+//!         "deployment.yaml",
+//!         "kind: Deployment\nmetadata:\n  name: {{ .Release.Name }}\nspec:\n  replicas: {{ .Values.replicas }}\n",
+//!     )],
+//! );
+//! let manifests = render_chart(&chart, None, "demo-release")?;
+//! assert_eq!(manifests.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+mod error;
+mod render;
+pub mod template;
+mod values;
+
+pub use chart::{Chart, ChartMetadata, TemplateFile};
+pub use error::Error;
+pub use render::{render_chart, render_chart_in_namespace, RenderedManifest};
+pub use template::{ReleaseInfo, TemplateEngine};
+pub use values::{EnumAnnotation, ValuesFile};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,210 @@
+//! Chart rendering: the `helm template` equivalent.
+
+use kf_yaml::Value;
+
+use crate::template::{build_context, ReleaseInfo, TemplateEngine};
+use crate::{Chart, Error, Result};
+
+/// One rendered manifest: the document plus its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedManifest {
+    /// Name of the template file that produced the document.
+    pub template: String,
+    /// The parsed manifest document.
+    pub document: Value,
+}
+
+impl RenderedManifest {
+    /// The manifest `kind`, if present.
+    pub fn kind(&self) -> Option<&str> {
+        self.document.get("kind").and_then(Value::as_str)
+    }
+}
+
+/// Render a chart with optional user-supplied value overrides, returning the
+/// parsed manifests in template order.
+///
+/// This mirrors `helm template <release> <chart> --values overrides.yaml`:
+/// defaults and overrides are merged, helper templates are registered, every
+/// manifest template is rendered, and empty documents (e.g. produced by
+/// `if` guards) are dropped.
+///
+/// # Errors
+///
+/// Propagates template syntax errors, evaluation errors, and YAML errors for
+/// templates that render to invalid documents.
+pub fn render_chart(
+    chart: &Chart,
+    overrides: Option<&Value>,
+    release_name: &str,
+) -> Result<Vec<RenderedManifest>> {
+    render_chart_in_namespace(chart, overrides, release_name, "default")
+}
+
+/// [`render_chart`] with an explicit target namespace.
+///
+/// # Errors
+///
+/// Same as [`render_chart`].
+pub fn render_chart_in_namespace(
+    chart: &Chart,
+    overrides: Option<&Value>,
+    release_name: &str,
+    namespace: &str,
+) -> Result<Vec<RenderedManifest>> {
+    let values = chart.values().merged_with(overrides);
+    let release = ReleaseInfo::new(release_name, namespace);
+    let context = build_context(&values, &release, chart.metadata());
+
+    let mut engine = TemplateEngine::new();
+    for helper in chart.helper_templates() {
+        engine.register_helpers(&helper.source, &helper.name)?;
+    }
+
+    let mut manifests = Vec::new();
+    for template in chart.manifest_templates() {
+        let rendered = engine.render(&template.source, &template.name, &context)?;
+        let documents =
+            kf_yaml::parse_documents(&rendered).map_err(|e| Error::InvalidOutput {
+                template: template.name.clone(),
+                message: format!("{e}\n--- rendered output ---\n{rendered}"),
+            })?;
+        for document in documents {
+            if document.is_null() {
+                continue;
+            }
+            manifests.push(RenderedManifest {
+                template: template.name.clone(),
+                document,
+            });
+        }
+    }
+    Ok(manifests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChartMetadata, TemplateFile, ValuesFile};
+    use kf_yaml::Path;
+
+    fn demo_chart() -> Chart {
+        let values = ValuesFile::parse(
+            r#"replicaCount: 2
+image:
+  repository: docker.io/bitnami/nginx
+  tag: 1.25.3
+service:
+  enabled: true
+  port: 8080
+metrics:
+  enabled: false
+"#,
+        )
+        .unwrap();
+        let helpers = TemplateFile::new(
+            "_helpers.tpl",
+            r#"{{- define "demo.fullname" -}}
+{{ .Release.Name }}-{{ .Chart.Name }}
+{{- end -}}"#,
+        );
+        let deployment = TemplateFile::new(
+            "deployment.yaml",
+            r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ include "demo.fullname" . }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  template:
+    spec:
+      containers:
+        - name: {{ .Chart.Name }}
+          image: "{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+"#,
+        );
+        let service = TemplateFile::new(
+            "service.yaml",
+            r#"{{- if .Values.service.enabled }}
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "demo.fullname" . }}
+spec:
+  ports:
+    - port: {{ .Values.service.port }}
+{{- end }}
+"#,
+        );
+        let metrics = TemplateFile::new(
+            "metrics.yaml",
+            r#"{{- if .Values.metrics.enabled }}
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "demo.fullname" . }}-metrics
+{{- end }}
+"#,
+        );
+        Chart::new(
+            ChartMetadata::new("demo", "1.0.0"),
+            values,
+            vec![helpers, deployment, service, metrics],
+        )
+    }
+
+    #[test]
+    fn renders_enabled_templates_and_skips_disabled_ones() {
+        let manifests = render_chart(&demo_chart(), None, "prod").unwrap();
+        let kinds: Vec<_> = manifests.iter().filter_map(RenderedManifest::kind).collect();
+        assert_eq!(kinds, vec!["Deployment", "Service"]);
+    }
+
+    #[test]
+    fn values_flow_into_rendered_documents() {
+        let manifests = render_chart(&demo_chart(), None, "prod").unwrap();
+        let deployment = &manifests[0].document;
+        assert_eq!(
+            deployment
+                .get_path(&Path::parse("metadata.name").unwrap())
+                .unwrap()
+                .as_str(),
+            Some("prod-demo")
+        );
+        assert_eq!(
+            deployment
+                .get_path(&Path::parse("spec.template.spec.containers[0].image").unwrap())
+                .unwrap()
+                .as_str(),
+            Some("docker.io/bitnami/nginx:1.25.3")
+        );
+    }
+
+    #[test]
+    fn overrides_toggle_conditional_templates() {
+        let overrides =
+            kf_yaml::parse("metrics:\n  enabled: true\nservice:\n  enabled: false\n").unwrap();
+        let manifests = render_chart(&demo_chart(), Some(&overrides), "prod").unwrap();
+        let kinds: Vec<_> = manifests.iter().filter_map(RenderedManifest::kind).collect();
+        assert_eq!(kinds, vec!["Deployment", "Service"]);
+        assert_eq!(
+            manifests[1]
+                .document
+                .get_path(&Path::parse("metadata.name").unwrap())
+                .unwrap()
+                .as_str(),
+            Some("prod-demo-metrics")
+        );
+    }
+
+    #[test]
+    fn invalid_rendered_yaml_is_reported_with_template_name() {
+        let chart = Chart::new(
+            ChartMetadata::new("bad", "0.1.0"),
+            ValuesFile::parse("{}").unwrap(),
+            vec![TemplateFile::new("broken.yaml", "a: 1\n   b: 2\n")],
+        );
+        let err = render_chart(&chart, None, "x").unwrap_err();
+        assert!(err.to_string().contains("broken.yaml"));
+    }
+}

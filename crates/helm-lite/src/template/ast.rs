@@ -1,0 +1,72 @@
+//! Parsed template representation.
+
+use kf_yaml::Value;
+
+/// An expression inside an action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal scalar (`"text"`, `42`, `true`).
+    Literal(Value),
+    /// A dotted context path (`.Values.image.tag`); the empty path is `.`.
+    ContextPath(Vec<String>),
+    /// The root context `$`, optionally followed by a path (`$.Values.x`).
+    RootPath(Vec<String>),
+    /// A variable reference (`$name`), optionally followed by a path
+    /// (`$item.name`).
+    Variable {
+        /// Variable name without the leading `$`.
+        name: String,
+        /// Path navigated from the variable's value.
+        path: Vec<String>,
+    },
+    /// A function call: `default 8080 .Values.port`, `quote .Values.host`.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments in source order (pipeline input is appended last).
+        args: Vec<Expr>,
+    },
+}
+
+/// A node of the parsed template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// Literal output text.
+    Text(String),
+    /// `{{ expr }}` — evaluate and write the result.
+    Output(Expr),
+    /// `{{ if }}` … `{{ else if }}` … `{{ else }}` … `{{ end }}`.
+    If {
+        /// Condition/body pairs, first match wins.
+        branches: Vec<(Expr, Vec<Node>)>,
+        /// The `else` body (empty if absent).
+        else_body: Vec<Node>,
+    },
+    /// `{{ range }}` … `{{ end }}`.
+    Range {
+        /// Optional loop variable names (`$key, $value :=` or `$item :=`).
+        key_var: Option<String>,
+        /// Optional value variable name.
+        value_var: Option<String>,
+        /// The collection expression.
+        expr: Expr,
+        /// Loop body.
+        body: Vec<Node>,
+    },
+    /// `{{ with }}` … `{{ end }}` — rebind `.` when the expression is truthy.
+    With {
+        /// The expression bound to `.` inside the body.
+        expr: Expr,
+        /// Body rendered when the expression is truthy.
+        body: Vec<Node>,
+        /// Body rendered otherwise.
+        else_body: Vec<Node>,
+    },
+    /// `{{ define "name" }}` … `{{ end }}` — register a named template.
+    Define {
+        /// Template name.
+        name: String,
+        /// Template body.
+        body: Vec<Node>,
+    },
+}

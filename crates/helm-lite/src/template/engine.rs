@@ -1,0 +1,302 @@
+//! Template evaluation: contexts, scopes and rendering.
+
+use std::collections::HashMap;
+
+use kf_yaml::{Mapping, Value};
+
+use super::ast::{Expr, Node};
+use super::functions::{call_function, is_truthy, value_to_output};
+use super::parser::parse;
+use crate::{ChartMetadata, Error, Result};
+
+/// Release information exposed to templates as `.Release`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReleaseInfo {
+    /// Release name (`.Release.Name`).
+    pub name: String,
+    /// Target namespace (`.Release.Namespace`).
+    pub namespace: String,
+    /// Rendering service (`.Release.Service`), always `Helm` for parity with
+    /// upstream output.
+    pub service: String,
+}
+
+impl ReleaseInfo {
+    /// Release info with the conventional `Helm` service marker.
+    pub fn new(name: impl Into<String>, namespace: impl Into<String>) -> Self {
+        ReleaseInfo {
+            name: name.into(),
+            namespace: namespace.into(),
+            service: "Helm".to_owned(),
+        }
+    }
+}
+
+/// Build the root template context (`.`) from values, release info and chart
+/// metadata — the same shape Helm exposes (`.Values`, `.Release`, `.Chart`).
+pub fn build_context(values: &Value, release: &ReleaseInfo, chart: &ChartMetadata) -> Value {
+    let mut release_map = Mapping::new();
+    release_map.insert("Name", Value::from(release.name.clone()));
+    release_map.insert("Namespace", Value::from(release.namespace.clone()));
+    release_map.insert("Service", Value::from(release.service.clone()));
+
+    let mut chart_map = Mapping::new();
+    chart_map.insert("Name", Value::from(chart.name.clone()));
+    chart_map.insert("Version", Value::from(chart.version.clone()));
+    chart_map.insert("AppVersion", Value::from(chart.app_version.clone()));
+
+    let mut root = Mapping::new();
+    root.insert("Values", values.clone());
+    root.insert("Release", Value::Map(release_map));
+    root.insert("Chart", Value::Map(chart_map));
+    Value::Map(root)
+}
+
+/// The template engine: named templates plus the rendering entry point.
+#[derive(Debug, Clone, Default)]
+pub struct TemplateEngine {
+    defines: HashMap<String, Vec<Node>>,
+}
+
+/// The evaluation scope threaded through rendering.
+pub(crate) struct Scope<'a> {
+    /// The current context (`.`).
+    pub dot: Value,
+    /// The root context (`$`).
+    pub root: &'a Value,
+    /// Template-local variables.
+    pub vars: HashMap<String, Value>,
+}
+
+impl TemplateEngine {
+    /// An engine with no named templates registered.
+    pub fn new() -> Self {
+        TemplateEngine {
+            defines: HashMap::new(),
+        }
+    }
+
+    /// Parse a helper file and register its `define` blocks so that other
+    /// templates can `include` them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TemplateSyntax`] when the helper cannot be parsed.
+    pub fn register_helpers(&mut self, source: &str, template: &str) -> Result<()> {
+        let nodes = parse(source, template)?;
+        self.collect_defines(&nodes);
+        Ok(())
+    }
+
+    fn collect_defines(&mut self, nodes: &[Node]) {
+        for node in nodes {
+            if let Node::Define { name, body } = node {
+                self.defines.insert(name.clone(), body.clone());
+            }
+        }
+    }
+
+    /// Number of registered named templates.
+    pub fn define_count(&self) -> usize {
+        self.defines.len()
+    }
+
+    /// Render a template with the given root context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TemplateSyntax`] for parse failures and
+    /// [`Error::Render`] for evaluation failures (unknown functions, missing
+    /// named templates, `required` violations, …).
+    pub fn render(&self, source: &str, template: &str, context: &Value) -> Result<String> {
+        let nodes = parse(source, template)?;
+        // Defines local to this template are available to it as well.
+        let mut engine = self.clone();
+        engine.collect_defines(&nodes);
+        let mut scope = Scope {
+            dot: context.clone(),
+            root: context,
+            vars: HashMap::new(),
+        };
+        let mut out = String::new();
+        engine.render_nodes(&nodes, &mut scope, template, &mut out)?;
+        Ok(out)
+    }
+
+    fn render_nodes(
+        &self,
+        nodes: &[Node],
+        scope: &mut Scope<'_>,
+        template: &str,
+        out: &mut String,
+    ) -> Result<()> {
+        for node in nodes {
+            match node {
+                Node::Text(text) => out.push_str(text),
+                Node::Output(expr) => {
+                    let value = self.eval(expr, scope, template)?;
+                    out.push_str(&value_to_output(&value));
+                }
+                Node::If {
+                    branches,
+                    else_body,
+                } => {
+                    let mut rendered = false;
+                    for (condition, body) in branches {
+                        if is_truthy(&self.eval(condition, scope, template)?) {
+                            self.render_nodes(body, scope, template, out)?;
+                            rendered = true;
+                            break;
+                        }
+                    }
+                    if !rendered {
+                        self.render_nodes(else_body, scope, template, out)?;
+                    }
+                }
+                Node::Range {
+                    key_var,
+                    value_var,
+                    expr,
+                    body,
+                } => {
+                    let collection = self.eval(expr, scope, template)?;
+                    self.render_range(
+                        key_var.as_deref(),
+                        value_var.as_deref(),
+                        &collection,
+                        body,
+                        scope,
+                        template,
+                        out,
+                    )?;
+                }
+                Node::With {
+                    expr,
+                    body,
+                    else_body,
+                } => {
+                    let value = self.eval(expr, scope, template)?;
+                    if is_truthy(&value) {
+                        let saved = std::mem::replace(&mut scope.dot, value);
+                        self.render_nodes(body, scope, template, out)?;
+                        scope.dot = saved;
+                    } else {
+                        self.render_nodes(else_body, scope, template, out)?;
+                    }
+                }
+                Node::Define { .. } => {
+                    // Definitions produce no output where they appear.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn render_range(
+        &self,
+        key_var: Option<&str>,
+        value_var: Option<&str>,
+        collection: &Value,
+        body: &[Node],
+        scope: &mut Scope<'_>,
+        template: &str,
+        out: &mut String,
+    ) -> Result<()> {
+        let entries: Vec<(Value, Value)> = match collection {
+            Value::Seq(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (Value::Int(i as i64), v.clone()))
+                .collect(),
+            Value::Map(map) => map
+                .iter()
+                .map(|(k, v)| (Value::from(k.to_owned()), v.clone()))
+                .collect(),
+            Value::Null => Vec::new(),
+            other => vec![(Value::Int(0), other.clone())],
+        };
+        for (key, value) in entries {
+            let saved_dot = scope.dot.clone();
+            let saved_vars = scope.vars.clone();
+            match (key_var, value_var) {
+                (Some(k), Some(v)) => {
+                    scope.vars.insert(k.to_owned(), key.clone());
+                    scope.vars.insert(v.to_owned(), value.clone());
+                }
+                (None, Some(v)) => {
+                    scope.vars.insert(v.to_owned(), value.clone());
+                }
+                _ => {}
+            }
+            scope.dot = value;
+            self.render_nodes(body, scope, template, out)?;
+            scope.dot = saved_dot;
+            scope.vars = saved_vars;
+        }
+        Ok(())
+    }
+
+    /// Evaluate an expression within a scope.
+    pub(crate) fn eval(&self, expr: &Expr, scope: &mut Scope<'_>, template: &str) -> Result<Value> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::ContextPath(path) => Ok(navigate(&scope.dot, path)),
+            Expr::RootPath(path) => Ok(navigate(scope.root, path)),
+            Expr::Variable { name, path } => {
+                let base = scope.vars.get(name).cloned().unwrap_or(Value::Null);
+                Ok(navigate(&base, path))
+            }
+            Expr::Call { name, args } => {
+                let mut evaluated = Vec::with_capacity(args.len());
+                for arg in args {
+                    evaluated.push(self.eval(arg, scope, template)?);
+                }
+                if name == "include" || name == "template" {
+                    return self.call_include(&evaluated, scope, template);
+                }
+                call_function(name, &evaluated, template)
+            }
+        }
+    }
+
+    fn call_include(
+        &self,
+        args: &[Value],
+        scope: &mut Scope<'_>,
+        template: &str,
+    ) -> Result<Value> {
+        let name = args
+            .first()
+            .and_then(Value::as_str)
+            .ok_or_else(|| Error::Render {
+                template: template.to_owned(),
+                message: "include requires a template name".to_owned(),
+            })?;
+        let body = self.defines.get(name).ok_or_else(|| Error::Render {
+            template: template.to_owned(),
+            message: format!("named template `{name}` is not defined"),
+        })?;
+        let dot = args.get(1).cloned().unwrap_or(Value::Null);
+        let mut inner = Scope {
+            dot,
+            root: scope.root,
+            vars: HashMap::new(),
+        };
+        let mut out = String::new();
+        self.render_nodes(body, &mut inner, template, &mut out)?;
+        Ok(Value::Str(out))
+    }
+}
+
+/// Navigate a dotted path from a value; missing segments yield `Null`.
+fn navigate(base: &Value, path: &[String]) -> Value {
+    let mut current = base;
+    for segment in path {
+        match current.get(segment) {
+            Some(next) => current = next,
+            None => return Value::Null,
+        }
+    }
+    current.clone()
+}

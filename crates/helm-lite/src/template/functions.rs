@@ -1,0 +1,419 @@
+//! The helper-function library available inside template expressions.
+
+use kf_yaml::Value;
+
+use crate::{Error, Result};
+
+/// Helm truthiness: `null`, `false`, `0`, `0.0`, `""`, empty sequences and
+/// empty mappings are falsy; everything else is truthy.
+pub fn is_truthy(value: &Value) -> bool {
+    match value {
+        Value::Null => false,
+        Value::Bool(b) => *b,
+        Value::Int(i) => *i != 0,
+        Value::Float(x) => *x != 0.0,
+        Value::Str(s) => !s.is_empty(),
+        Value::Seq(s) => !s.is_empty(),
+        Value::Map(m) => !m.is_empty(),
+    }
+}
+
+/// Convert a value to the text written into the rendered output.
+pub fn value_to_output(value: &Value) -> String {
+    match value {
+        Value::Null => String::new(),
+        Value::Str(s) => s.clone(),
+        Value::Seq(_) | Value::Map(_) => kf_yaml::to_yaml(value).trim_end().to_owned(),
+        other => other.to_string(),
+    }
+}
+
+fn render_err(template: &str, message: impl Into<String>) -> Error {
+    Error::Render {
+        template: template.to_owned(),
+        message: message.into(),
+    }
+}
+
+fn as_text(value: &Value) -> String {
+    value_to_output(value)
+}
+
+fn as_int(value: &Value, template: &str, function: &str) -> Result<i64> {
+    match value {
+        Value::Int(i) => Ok(*i),
+        Value::Float(x) => Ok(*x as i64),
+        Value::Str(s) => s
+            .parse()
+            .map_err(|_| render_err(template, format!("{function}: `{s}` is not an integer"))),
+        other => Err(render_err(
+            template,
+            format!("{function}: expected an integer, found {}", other.type_name()),
+        )),
+    }
+}
+
+/// Indent every line of `text` by `width` spaces.
+fn indent_text(text: &str, width: i64) -> String {
+    let pad = " ".repeat(width.max(0) as usize);
+    text.lines()
+        .map(|line| {
+            if line.is_empty() {
+                line.to_owned()
+            } else {
+                format!("{pad}{line}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// A minimal base64 encoder (standard alphabet, with padding); used by the
+/// `b64enc` helper so Secret templates can encode their data.
+fn base64_encode(input: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(input.len().div_ceil(3) * 4);
+    for chunk in input.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// printf with the `%s`, `%d` and `%%` directives (the ones charts use).
+fn printf(format: &str, args: &[Value]) -> String {
+    let mut out = String::new();
+    let mut arg_iter = args.iter();
+    let mut chars = format.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => out.push('%'),
+            Some('s') | Some('v') => {
+                out.push_str(&arg_iter.next().map(as_text).unwrap_or_default());
+            }
+            Some('d') => {
+                out.push_str(&arg_iter.next().map(as_text).unwrap_or_default());
+            }
+            Some(other) => {
+                out.push('%');
+                out.push(other);
+            }
+            None => out.push('%'),
+        }
+    }
+    out
+}
+
+/// Dispatch a helper function call.
+///
+/// # Errors
+///
+/// Returns [`Error::Render`] for unknown functions, wrong argument counts or
+/// type mismatches, and for `required` with a missing value.
+pub fn call_function(name: &str, args: &[Value], template: &str) -> Result<Value> {
+    let arity = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(render_err(
+                template,
+                format!("{name} expects {n} argument(s), got {}", args.len()),
+            ))
+        }
+    };
+    match name {
+        "default" => {
+            arity(2)?;
+            if is_truthy(&args[1]) {
+                Ok(args[1].clone())
+            } else {
+                Ok(args[0].clone())
+            }
+        }
+        "coalesce" => Ok(args.iter().find(|v| is_truthy(v)).cloned().unwrap_or(Value::Null)),
+        "quote" => Ok(Value::Str(format!("\"{}\"", as_text(args.first().unwrap_or(&Value::Null))))),
+        "squote" => Ok(Value::Str(format!("'{}'", as_text(args.first().unwrap_or(&Value::Null))))),
+        "upper" => {
+            arity(1)?;
+            Ok(Value::Str(as_text(&args[0]).to_uppercase()))
+        }
+        "lower" => {
+            arity(1)?;
+            Ok(Value::Str(as_text(&args[0]).to_lowercase()))
+        }
+        "trim" => {
+            arity(1)?;
+            Ok(Value::Str(as_text(&args[0]).trim().to_owned()))
+        }
+        "trunc" => {
+            arity(2)?;
+            let width = as_int(&args[0], template, name)? as usize;
+            let text = as_text(&args[1]);
+            Ok(Value::Str(text.chars().take(width).collect()))
+        }
+        "trimSuffix" => {
+            arity(2)?;
+            let suffix = as_text(&args[0]);
+            let text = as_text(&args[1]);
+            Ok(Value::Str(
+                text.strip_suffix(&suffix).unwrap_or(&text).to_owned(),
+            ))
+        }
+        "trimPrefix" => {
+            arity(2)?;
+            let prefix = as_text(&args[0]);
+            let text = as_text(&args[1]);
+            Ok(Value::Str(
+                text.strip_prefix(&prefix).unwrap_or(&text).to_owned(),
+            ))
+        }
+        "replace" => {
+            arity(3)?;
+            let from = as_text(&args[0]);
+            let to = as_text(&args[1]);
+            Ok(Value::Str(as_text(&args[2]).replace(&from, &to)))
+        }
+        "contains" => {
+            arity(2)?;
+            let needle = as_text(&args[0]);
+            Ok(Value::Bool(as_text(&args[1]).contains(&needle)))
+        }
+        "printf" => {
+            if args.is_empty() {
+                return Err(render_err(template, "printf requires a format string"));
+            }
+            Ok(Value::Str(printf(&as_text(&args[0]), &args[1..])))
+        }
+        "toYaml" => {
+            arity(1)?;
+            Ok(Value::Str(kf_yaml::to_yaml(&args[0]).trim_end().to_owned()))
+        }
+        "indent" => {
+            arity(2)?;
+            let width = as_int(&args[0], template, name)?;
+            Ok(Value::Str(indent_text(&as_text(&args[1]), width)))
+        }
+        "nindent" => {
+            arity(2)?;
+            let width = as_int(&args[0], template, name)?;
+            Ok(Value::Str(format!(
+                "\n{}",
+                indent_text(&as_text(&args[1]), width)
+            )))
+        }
+        "b64enc" => {
+            arity(1)?;
+            Ok(Value::Str(base64_encode(as_text(&args[0]).as_bytes())))
+        }
+        "eq" => {
+            arity(2)?;
+            Ok(Value::Bool(args[0].loosely_equals(&args[1])))
+        }
+        "ne" => {
+            arity(2)?;
+            Ok(Value::Bool(!args[0].loosely_equals(&args[1])))
+        }
+        "lt" => {
+            arity(2)?;
+            Ok(Value::Bool(
+                args[0].as_f64().unwrap_or(f64::NAN) < args[1].as_f64().unwrap_or(f64::NAN),
+            ))
+        }
+        "gt" => {
+            arity(2)?;
+            Ok(Value::Bool(
+                args[0].as_f64().unwrap_or(f64::NAN) > args[1].as_f64().unwrap_or(f64::NAN),
+            ))
+        }
+        "and" => Ok(args
+            .iter()
+            .find(|v| !is_truthy(v))
+            .cloned()
+            .unwrap_or_else(|| args.last().cloned().unwrap_or(Value::Null))),
+        "or" => Ok(args
+            .iter()
+            .find(|v| is_truthy(v))
+            .cloned()
+            .unwrap_or_else(|| args.last().cloned().unwrap_or(Value::Null))),
+        "not" => {
+            arity(1)?;
+            Ok(Value::Bool(!is_truthy(&args[0])))
+        }
+        "empty" => {
+            arity(1)?;
+            Ok(Value::Bool(!is_truthy(&args[0])))
+        }
+        "ternary" => {
+            arity(3)?;
+            if is_truthy(&args[2]) {
+                Ok(args[0].clone())
+            } else {
+                Ok(args[1].clone())
+            }
+        }
+        "len" => {
+            arity(1)?;
+            let len = match &args[0] {
+                Value::Seq(s) => s.len(),
+                Value::Map(m) => m.len(),
+                Value::Str(s) => s.len(),
+                Value::Null => 0,
+                _ => 1,
+            };
+            Ok(Value::Int(len as i64))
+        }
+        "toString" => {
+            arity(1)?;
+            Ok(Value::Str(as_text(&args[0])))
+        }
+        "int" => {
+            arity(1)?;
+            Ok(Value::Int(as_int(&args[0], template, name)?))
+        }
+        "required" => {
+            arity(2)?;
+            if is_truthy(&args[1]) {
+                Ok(args[1].clone())
+            } else {
+                Err(render_err(template, as_text(&args[0])))
+            }
+        }
+        other => Err(render_err(template, format!("unknown function `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: &[Value]) -> Value {
+        call_function(name, args, "test").unwrap()
+    }
+
+    #[test]
+    fn truthiness_follows_helm_rules() {
+        assert!(!is_truthy(&Value::Null));
+        assert!(!is_truthy(&Value::Bool(false)));
+        assert!(!is_truthy(&Value::Int(0)));
+        assert!(!is_truthy(&Value::from("")));
+        assert!(!is_truthy(&Value::empty_seq()));
+        assert!(!is_truthy(&Value::empty_map()));
+        assert!(is_truthy(&Value::from("no")));
+        assert!(is_truthy(&Value::Int(-1)));
+    }
+
+    #[test]
+    fn default_prefers_the_provided_value() {
+        assert_eq!(
+            call("default", &[Value::Int(8080), Value::Null]),
+            Value::Int(8080)
+        );
+        assert_eq!(
+            call("default", &[Value::Int(8080), Value::Int(9090)]),
+            Value::Int(9090)
+        );
+    }
+
+    #[test]
+    fn string_helpers() {
+        assert_eq!(call("upper", &[Value::from("abc")]), Value::from("ABC"));
+        assert_eq!(
+            call("trunc", &[Value::Int(3), Value::from("abcdef")]),
+            Value::from("abc")
+        );
+        assert_eq!(
+            call("trimSuffix", &[Value::from("-"), Value::from("name-")]),
+            Value::from("name")
+        );
+        assert_eq!(
+            call("replace", &[Value::from("."), Value::from("-"), Value::from("a.b.c")]),
+            Value::from("a-b-c")
+        );
+        assert_eq!(call("quote", &[Value::from("x")]), Value::from("\"x\""));
+    }
+
+    #[test]
+    fn printf_formats_strings_and_numbers() {
+        assert_eq!(
+            call(
+                "printf",
+                &[Value::from("%s-%d"), Value::from("web"), Value::Int(2)]
+            ),
+            Value::from("web-2")
+        );
+    }
+
+    #[test]
+    fn indent_and_nindent() {
+        assert_eq!(
+            call("indent", &[Value::Int(2), Value::from("a\nb")]),
+            Value::from("  a\n  b")
+        );
+        assert_eq!(
+            call("nindent", &[Value::Int(2), Value::from("a")]),
+            Value::from("\n  a")
+        );
+    }
+
+    #[test]
+    fn boolean_helpers_mirror_go_semantics() {
+        assert_eq!(
+            call("and", &[Value::Bool(true), Value::from("x")]),
+            Value::from("x")
+        );
+        assert_eq!(
+            call("and", &[Value::Bool(false), Value::from("x")]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            call("or", &[Value::Null, Value::from("x")]),
+            Value::from("x")
+        );
+        assert_eq!(call("not", &[Value::Null]), Value::Bool(true));
+        assert_eq!(
+            call("ternary", &[Value::from("a"), Value::from("b"), Value::Bool(false)]),
+            Value::from("b")
+        );
+    }
+
+    #[test]
+    fn b64enc_encodes_with_padding() {
+        assert_eq!(call("b64enc", &[Value::from("admin")]), Value::from("YWRtaW4="));
+        assert_eq!(call("b64enc", &[Value::from("ab")]), Value::from("YWI="));
+        assert_eq!(call("b64enc", &[Value::from("")]), Value::from(""));
+    }
+
+    #[test]
+    fn required_fails_on_missing_values() {
+        assert!(call_function(
+            "required",
+            &[Value::from("value is required"), Value::Null],
+            "t"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_function_is_reported() {
+        let err = call_function("nope", &[], "t").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

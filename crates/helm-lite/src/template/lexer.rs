@@ -1,0 +1,123 @@
+//! Splitting template source into literal text and `{{ … }}` actions.
+
+use crate::{Error, Result};
+
+/// A lexical segment of a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Literal text copied to the output.
+    Text(String),
+    /// An action (`{{ … }}`) with its trimmed content and whitespace-trim
+    /// markers.
+    Action {
+        /// The content between the delimiters, trimmed.
+        content: String,
+        /// `{{-` — trim whitespace (including the preceding newline) before.
+        trim_before: bool,
+        /// `-}}` — trim whitespace (including the following newline) after.
+        trim_after: bool,
+    },
+}
+
+/// Lex a template source into segments.
+///
+/// # Errors
+///
+/// Returns [`Error::TemplateSyntax`] on an unterminated action.
+pub fn lex(source: &str, template: &str) -> Result<Vec<Segment>> {
+    let mut segments = Vec::new();
+    let mut rest = source;
+    while let Some(start) = rest.find("{{") {
+        if start > 0 {
+            segments.push(Segment::Text(rest[..start].to_owned()));
+        }
+        let after_open = &rest[start + 2..];
+        let (trim_before, after_open) = match after_open.strip_prefix('-') {
+            Some(stripped) => (true, stripped),
+            None => (false, after_open),
+        };
+        let end = after_open.find("}}").ok_or_else(|| Error::TemplateSyntax {
+            template: template.to_owned(),
+            message: "unterminated `{{` action".to_owned(),
+        })?;
+        let raw_content = &after_open[..end];
+        let (trim_after, content) = match raw_content.strip_suffix('-') {
+            Some(stripped) => (true, stripped),
+            None => (false, raw_content),
+        };
+        segments.push(Segment::Action {
+            content: content.trim().to_owned(),
+            trim_before,
+            trim_after,
+        });
+        rest = &after_open[end + 2..];
+    }
+    if !rest.is_empty() {
+        segments.push(Segment::Text(rest.to_owned()));
+    }
+    apply_trim_markers(&mut segments);
+    Ok(segments)
+}
+
+/// Apply `{{-` / `-}}` whitespace trimming to the neighbouring text segments.
+fn apply_trim_markers(segments: &mut [Segment]) {
+    for i in 0..segments.len() {
+        let (trim_before, trim_after) = match &segments[i] {
+            Segment::Action {
+                trim_before,
+                trim_after,
+                ..
+            } => (*trim_before, *trim_after),
+            Segment::Text(_) => continue,
+        };
+        if trim_before && i > 0 {
+            if let Segment::Text(text) = &mut segments[i - 1] {
+                *text = text.trim_end().to_owned();
+            }
+        }
+        if trim_after && i + 1 < segments.len() {
+            if let Segment::Text(text) = &mut segments[i + 1] {
+                let trimmed = text.trim_start_matches([' ', '\t']);
+                let trimmed = trimmed.strip_prefix('\n').unwrap_or(trimmed);
+                *text = trimmed.to_owned();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_text_and_actions() {
+        let segments = lex("a {{ .Values.x }} b", "t").unwrap();
+        assert_eq!(segments.len(), 3);
+        assert_eq!(segments[0], Segment::Text("a ".into()));
+        assert!(matches!(&segments[1], Segment::Action { content, .. } if content == ".Values.x"));
+        assert_eq!(segments[2], Segment::Text(" b".into()));
+    }
+
+    #[test]
+    fn trim_markers_strip_adjacent_whitespace() {
+        let segments = lex("line:\n  {{- if .x }}\nbody\n{{- end }}", "t").unwrap();
+        // The text before `{{-` loses its trailing whitespace/newline.
+        assert_eq!(segments[0], Segment::Text("line:".into()));
+    }
+
+    #[test]
+    fn right_trim_strips_following_newline() {
+        let segments = lex("{{ .x -}}\n  next", "t").unwrap();
+        assert_eq!(segments[1], Segment::Text("  next".into()));
+    }
+
+    #[test]
+    fn unterminated_action_is_an_error() {
+        assert!(lex("{{ .Values.x ", "t").is_err());
+    }
+
+    #[test]
+    fn empty_source_yields_no_segments() {
+        assert!(lex("", "t").unwrap().is_empty());
+    }
+}

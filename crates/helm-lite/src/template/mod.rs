@@ -1,0 +1,148 @@
+//! The Go-template-subset engine used to render chart templates.
+//!
+//! The engine supports the template features that the operator charts in this
+//! repository (and the overwhelming majority of Artifact Hub charts) rely on:
+//!
+//! * output actions with pipelines: `{{ .Values.image.repository | quote }}`;
+//! * whitespace trim markers `{{-` and `-}}`;
+//! * `if` / `else if` / `else` / `end` with Helm truthiness rules;
+//! * `range` over sequences and mappings, with optional loop variables;
+//! * `define` / `include` / `template` named templates;
+//! * the common helper functions (`default`, `quote`, `toYaml`, `nindent`,
+//!   `indent`, `upper`, `lower`, `trunc`, `trimSuffix`, `replace`, `printf`,
+//!   `eq`, `ne`, `and`, `or`, `not`, `coalesce`, `ternary`, `contains`,
+//!   `b64enc`, `len`, `empty`, `required`).
+//!
+//! Anchoring the engine on [`kf_yaml::Value`] keeps rendered manifests, chart
+//! values and KubeFence validators in the same document model.
+
+mod ast;
+mod engine;
+mod functions;
+mod lexer;
+mod parser;
+
+pub use ast::{Expr, Node};
+pub use engine::{build_context, ReleaseInfo, TemplateEngine};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kf_yaml::Value;
+
+    fn render(source: &str, values_yaml: &str) -> String {
+        let values = kf_yaml::parse(values_yaml).unwrap();
+        let chart = crate::ChartMetadata::new("demo", "1.2.3");
+        let release = ReleaseInfo::new("my-release", "default");
+        let context = build_context(&values, &release, &chart);
+        let engine = TemplateEngine::new();
+        engine.render(source, "test.yaml", &context).unwrap()
+    }
+
+    #[test]
+    fn renders_value_interpolation() {
+        let out = render(
+            "name: {{ .Values.name }}\nreplicas: {{ .Values.replicas }}\n",
+            "name: web\nreplicas: 3\n",
+        );
+        assert_eq!(out, "name: web\nreplicas: 3\n");
+    }
+
+    #[test]
+    fn renders_release_and_chart_builtins() {
+        let out = render(
+            "release: {{ .Release.Name }}\nchart: {{ .Chart.Name }}-{{ .Chart.Version }}\n",
+            "{}",
+        );
+        assert_eq!(out, "release: my-release\nchart: demo-1.2.3\n");
+    }
+
+    #[test]
+    fn quote_and_default_functions() {
+        let out = render(
+            "host: {{ .Values.host | default \"0.0.0.0\" | quote }}\nport: {{ default 8080 .Values.port }}\n",
+            "{}",
+        );
+        assert_eq!(out, "host: \"0.0.0.0\"\nport: 8080\n");
+    }
+
+    #[test]
+    fn if_else_with_truthiness() {
+        let template = "{{- if .Values.enabled }}\nmode: on\n{{- else }}\nmode: off\n{{- end }}\n";
+        assert_eq!(render(template, "enabled: true"), "\nmode: on\n");
+        assert_eq!(render(template, "enabled: false"), "\nmode: off\n");
+        assert_eq!(render(template, "{}"), "\nmode: off\n");
+    }
+
+    #[test]
+    fn range_over_sequences_and_maps() {
+        let out = render(
+            "{{- range .Values.ports }}\n- port: {{ . }}\n{{- end }}\n",
+            "ports:\n  - 80\n  - 443\n",
+        );
+        assert_eq!(out, "\n- port: 80\n- port: 443\n");
+        let out = render(
+            "{{- range $key, $value := .Values.labels }}\n{{ $key }}: {{ $value }}\n{{- end }}\n",
+            "labels:\n  app: web\n  tier: front\n",
+        );
+        assert!(out.contains("app: web"));
+        assert!(out.contains("tier: front"));
+    }
+
+    #[test]
+    fn define_and_include() {
+        let source = r#"{{- define "demo.fullname" -}}
+{{ .Release.Name }}-{{ .Chart.Name }}
+{{- end -}}
+name: {{ include "demo.fullname" . }}
+"#;
+        let out = render(source, "{}");
+        assert_eq!(out, "name: my-release-demo\n");
+    }
+
+    #[test]
+    fn to_yaml_and_nindent() {
+        let out = render(
+            "resources:\n  {{- toYaml .Values.resources | nindent 2 }}\n",
+            "resources:\n  limits:\n    cpu: 100m\n    memory: 128Mi\n",
+        );
+        assert!(out.contains("resources:\n  limits:\n    cpu: 100m\n    memory: 128Mi"));
+    }
+
+    #[test]
+    fn eq_and_boolean_operators() {
+        let template =
+            "{{- if and .Values.enabled (eq .Values.kind \"web\") }}ok{{- else }}no{{- end }}";
+        assert_eq!(render(template, "enabled: true\nkind: web\n"), "ok");
+        assert_eq!(render(template, "enabled: true\nkind: db\n"), "no");
+        assert_eq!(render(template, "enabled: false\nkind: web\n"), "no");
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let values = Value::empty_map();
+        let chart = crate::ChartMetadata::new("demo", "1.0.0");
+        let release = ReleaseInfo::new("r", "default");
+        let context = build_context(&values, &release, &chart);
+        let engine = TemplateEngine::new();
+        let err = engine
+            .render("{{ mystery .Values }}", "bad.yaml", &context)
+            .unwrap_err();
+        assert!(err.to_string().contains("mystery"));
+    }
+
+    #[test]
+    fn missing_values_render_as_empty() {
+        let out = render("value: {{ .Values.not.there }}\n", "{}");
+        assert_eq!(out, "value: \n");
+    }
+
+    #[test]
+    fn printf_and_trunc() {
+        let out = render(
+            "name: {{ printf \"%s-%s\" .Release.Name .Chart.Name | trunc 10 }}\n",
+            "{}",
+        );
+        assert_eq!(out, "name: my-release\n");
+    }
+}

@@ -1,0 +1,562 @@
+//! Parsing lexed segments into the template AST, and action contents into
+//! expressions.
+
+use kf_yaml::Value;
+
+use super::ast::{Expr, Node};
+use super::lexer::{lex, Segment};
+use crate::{Error, Result};
+
+/// Parse a template source into its AST.
+///
+/// # Errors
+///
+/// Returns [`Error::TemplateSyntax`] for malformed actions, unbalanced
+/// `if`/`range`/`define`/`end` pairs or unparsable expressions.
+pub fn parse(source: &str, template: &str) -> Result<Vec<Node>> {
+    let segments = lex(source, template)?;
+    let mut parser = StructureParser {
+        segments,
+        pos: 0,
+        template: template.to_owned(),
+    };
+    let (nodes, terminator) = parser.parse_block(&[])?;
+    debug_assert!(terminator.is_none());
+    Ok(nodes)
+}
+
+struct StructureParser {
+    segments: Vec<Segment>,
+    pos: usize,
+    template: String,
+}
+
+impl StructureParser {
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::TemplateSyntax {
+            template: self.template.clone(),
+            message: message.into(),
+        }
+    }
+
+    /// Parse nodes until one of the `terminators` keywords (or end of input
+    /// when the terminator list is empty). Returns the nodes and the
+    /// terminator content that stopped the block, if any.
+    fn parse_block(&mut self, terminators: &[&str]) -> Result<(Vec<Node>, Option<String>)> {
+        let mut nodes = Vec::new();
+        while self.pos < self.segments.len() {
+            let segment = self.segments[self.pos].clone();
+            match segment {
+                Segment::Text(text) => {
+                    self.pos += 1;
+                    if !text.is_empty() {
+                        nodes.push(Node::Text(text));
+                    }
+                }
+                Segment::Action { content, .. } => {
+                    let keyword = content.split_whitespace().next().unwrap_or("");
+                    if terminators.contains(&keyword) {
+                        self.pos += 1;
+                        return Ok((nodes, Some(content)));
+                    }
+                    self.pos += 1;
+                    match keyword {
+                        "if" => nodes.push(self.parse_if(&content)?),
+                        "range" => nodes.push(self.parse_range(&content)?),
+                        "with" => nodes.push(self.parse_with(&content)?),
+                        "define" => nodes.push(self.parse_define(&content)?),
+                        "end" | "else" => {
+                            return Err(self.err(format!("unexpected `{keyword}`")));
+                        }
+                        "" => { /* empty action, e.g. a comment-only {{ }} */ }
+                        _ => nodes.push(Node::Output(parse_expr(&content, &self.template)?)),
+                    }
+                }
+            }
+        }
+        if terminators.is_empty() {
+            Ok((nodes, None))
+        } else {
+            Err(self.err(format!("missing closing action (expected one of {terminators:?})")))
+        }
+    }
+
+    fn parse_if(&mut self, content: &str) -> Result<Node> {
+        let condition = parse_expr(content.trim_start_matches("if").trim(), &self.template)?;
+        let mut branches = vec![];
+        let mut else_body = Vec::new();
+        let mut current_condition = condition;
+        loop {
+            let (body, terminator) = self.parse_block(&["else", "end"])?;
+            let terminator = terminator.expect("parse_block returns a terminator here");
+            branches.push((current_condition.clone(), body));
+            if terminator.starts_with("else") {
+                let rest = terminator.trim_start_matches("else").trim();
+                if let Some(next_cond) = rest.strip_prefix("if") {
+                    current_condition = parse_expr(next_cond.trim(), &self.template)?;
+                    continue;
+                }
+                let (body, terminator) = self.parse_block(&["end"])?;
+                debug_assert!(terminator.is_some());
+                else_body = body;
+                break;
+            }
+            break;
+        }
+        Ok(Node::If {
+            branches,
+            else_body,
+        })
+    }
+
+    fn parse_range(&mut self, content: &str) -> Result<Node> {
+        let spec = content.trim_start_matches("range").trim();
+        let (key_var, value_var, expr_text) = if let Some((vars, expr)) = spec.split_once(":=") {
+            let names: Vec<&str> = vars.split(',').map(str::trim).collect();
+            match names.as_slice() {
+                [value] => (None, Some(strip_dollar(value)?), expr.trim()),
+                [key, value] => (
+                    Some(strip_dollar(key)?),
+                    Some(strip_dollar(value)?),
+                    expr.trim(),
+                ),
+                _ => return Err(self.err("range accepts at most two loop variables")),
+            }
+        } else {
+            (None, None, spec)
+        };
+        let expr = parse_expr(expr_text, &self.template)?;
+        let (body, _terminator) = self.parse_block(&["end"])?;
+        Ok(Node::Range {
+            key_var,
+            value_var,
+            expr,
+            body,
+        })
+    }
+
+    fn parse_with(&mut self, content: &str) -> Result<Node> {
+        let expr = parse_expr(content.trim_start_matches("with").trim(), &self.template)?;
+        let (body, terminator) = self.parse_block(&["else", "end"])?;
+        let terminator = terminator.expect("parse_block returns a terminator here");
+        let else_body = if terminator.starts_with("else") {
+            let (body, _) = self.parse_block(&["end"])?;
+            body
+        } else {
+            Vec::new()
+        };
+        Ok(Node::With {
+            expr,
+            body,
+            else_body,
+        })
+    }
+
+    fn parse_define(&mut self, content: &str) -> Result<Node> {
+        let name_part = content.trim_start_matches("define").trim();
+        let name = name_part.trim_matches('"').to_owned();
+        if name.is_empty() {
+            return Err(self.err("define requires a quoted template name"));
+        }
+        let (body, _terminator) = self.parse_block(&["end"])?;
+        Ok(Node::Define { name, body })
+    }
+}
+
+fn strip_dollar(text: &str) -> Result<String> {
+    text.strip_prefix('$')
+        .map(str::to_owned)
+        .ok_or_else(|| Error::TemplateSyntax {
+            template: String::new(),
+            message: format!("loop variable `{text}` must start with `$`"),
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Expression parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    ContextPath(Vec<String>),
+    RootPath(Vec<String>),
+    Variable { name: String, path: Vec<String> },
+    Literal(Value),
+    Pipe,
+    LParen,
+    RParen,
+}
+
+/// Parse an action expression (possibly a pipeline) into an [`Expr`].
+pub fn parse_expr(text: &str, template: &str) -> Result<Expr> {
+    let tokens = tokenize(text, template)?;
+    let mut pos = 0;
+    let expr = parse_pipeline(&tokens, &mut pos, template)?;
+    if pos != tokens.len() {
+        return Err(Error::TemplateSyntax {
+            template: template.to_owned(),
+            message: format!("unexpected trailing tokens in `{text}`"),
+        });
+    }
+    Ok(expr)
+}
+
+fn parse_pipeline(tokens: &[Token], pos: &mut usize, template: &str) -> Result<Expr> {
+    let mut expr = parse_command(tokens, pos, template)?;
+    while matches!(tokens.get(*pos), Some(Token::Pipe)) {
+        *pos += 1;
+        let next = parse_command(tokens, pos, template)?;
+        // The pipeline input becomes the last argument of the next command.
+        expr = match next {
+            Expr::Call { name, mut args } => {
+                args.push(expr);
+                Expr::Call { name, args }
+            }
+            other => {
+                return Err(Error::TemplateSyntax {
+                    template: template.to_owned(),
+                    message: format!("cannot pipe into non-function `{other:?}`"),
+                })
+            }
+        };
+    }
+    Ok(expr)
+}
+
+/// A command is one or more terms; a leading identifier makes it a call.
+fn parse_command(tokens: &[Token], pos: &mut usize, template: &str) -> Result<Expr> {
+    let mut terms = Vec::new();
+    loop {
+        match tokens.get(*pos) {
+            Some(Token::Pipe) | Some(Token::RParen) | None => break,
+            Some(Token::LParen) => {
+                *pos += 1;
+                let inner = parse_pipeline(tokens, pos, template)?;
+                match tokens.get(*pos) {
+                    Some(Token::RParen) => *pos += 1,
+                    _ => {
+                        return Err(Error::TemplateSyntax {
+                            template: template.to_owned(),
+                            message: "missing closing `)`".to_owned(),
+                        })
+                    }
+                }
+                terms.push(inner);
+            }
+            Some(Token::Ident(name)) => {
+                let name = name.clone();
+                *pos += 1;
+                if terms.is_empty() {
+                    // Function call: consume the remaining terms as arguments.
+                    let mut args = Vec::new();
+                    loop {
+                        match tokens.get(*pos) {
+                            Some(Token::Pipe) | Some(Token::RParen) | None => break,
+                            _ => args.push(parse_term(tokens, pos, template)?),
+                        }
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                terms.push(Expr::Literal(Value::Str(name)));
+            }
+            _ => terms.push(parse_term(tokens, pos, template)?),
+        }
+    }
+    match terms.len() {
+        0 => Err(Error::TemplateSyntax {
+            template: template.to_owned(),
+            message: "empty expression".to_owned(),
+        }),
+        1 => Ok(terms.remove(0)),
+        _ => Err(Error::TemplateSyntax {
+            template: template.to_owned(),
+            message: "expected a single value or a function call".to_owned(),
+        }),
+    }
+}
+
+fn parse_term(tokens: &[Token], pos: &mut usize, template: &str) -> Result<Expr> {
+    let expr = match tokens.get(*pos) {
+        Some(Token::ContextPath(path)) => Expr::ContextPath(path.clone()),
+        Some(Token::RootPath(path)) => Expr::RootPath(path.clone()),
+        Some(Token::Variable { name, path }) => Expr::Variable {
+            name: name.clone(),
+            path: path.clone(),
+        },
+        Some(Token::Literal(v)) => Expr::Literal(v.clone()),
+        Some(Token::Ident(name)) => Expr::Literal(Value::Str(name.clone())),
+        Some(Token::LParen) => {
+            *pos += 1;
+            let inner = parse_pipeline(tokens, pos, template)?;
+            match tokens.get(*pos) {
+                Some(Token::RParen) => inner,
+                _ => {
+                    return Err(Error::TemplateSyntax {
+                        template: template.to_owned(),
+                        message: "missing closing `)`".to_owned(),
+                    })
+                }
+            }
+        }
+        other => {
+            return Err(Error::TemplateSyntax {
+                template: template.to_owned(),
+                message: format!("unexpected token {other:?}"),
+            })
+        }
+    };
+    *pos += 1;
+    Ok(expr)
+}
+
+fn tokenize(text: &str, template: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' => i += 1,
+            '|' => {
+                tokens.push(Token::Pipe);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '"' | '`' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                let mut out = String::new();
+                while j < chars.len() && chars[j] != quote {
+                    if chars[j] == '\\' && quote == '"' && j + 1 < chars.len() {
+                        out.push(chars[j + 1]);
+                        j += 2;
+                    } else {
+                        out.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                if j >= chars.len() {
+                    return Err(Error::TemplateSyntax {
+                        template: template.to_owned(),
+                        message: "unterminated string literal".to_owned(),
+                    });
+                }
+                tokens.push(Token::Literal(Value::Str(out)));
+                i = j + 1;
+            }
+            '.' => {
+                let (path, next) = read_path(&chars, i);
+                tokens.push(Token::ContextPath(path));
+                i = next;
+            }
+            '$' => {
+                let (mut path, next) = read_path(&chars, i + 1);
+                if path.is_empty() {
+                    tokens.push(Token::RootPath(Vec::new()));
+                } else if chars.get(i + 1) == Some(&'.') {
+                    tokens.push(Token::RootPath(path));
+                } else {
+                    let name = path.remove(0);
+                    tokens.push(Token::Variable { name, path });
+                }
+                i = next;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let raw: String = chars[start..i].iter().collect();
+                let literal = if raw.contains('.') {
+                    Value::Float(raw.parse().map_err(|_| Error::TemplateSyntax {
+                        template: template.to_owned(),
+                        message: format!("invalid number `{raw}`"),
+                    })?)
+                } else {
+                    Value::Int(raw.parse().map_err(|_| Error::TemplateSyntax {
+                        template: template.to_owned(),
+                        message: format!("invalid number `{raw}`"),
+                    })?)
+                };
+                tokens.push(Token::Literal(literal));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match word.as_str() {
+                    "true" => tokens.push(Token::Literal(Value::Bool(true))),
+                    "false" => tokens.push(Token::Literal(Value::Bool(false))),
+                    "nil" | "null" => tokens.push(Token::Literal(Value::Null)),
+                    _ => tokens.push(Token::Ident(word)),
+                }
+            }
+            other => {
+                return Err(Error::TemplateSyntax {
+                    template: template.to_owned(),
+                    message: format!("unexpected character `{other}` in expression"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Read a dotted path starting at `start` (which may point at a leading `.`).
+/// Returns the path components and the index just after the path.
+fn read_path(chars: &[char], start: usize) -> (Vec<String>, usize) {
+    let mut path = Vec::new();
+    let mut i = start;
+    loop {
+        if chars.get(i) == Some(&'.') {
+            i += 1;
+        } else if path.is_empty() && i == start {
+            // `$foo` style: first component has no leading dot.
+        } else {
+            break;
+        }
+        let seg_start = i;
+        while i < chars.len()
+            && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+        {
+            i += 1;
+        }
+        if i == seg_start {
+            break;
+        }
+        path.push(chars[seg_start..i].iter().collect());
+        if chars.get(i) != Some(&'.') {
+            break;
+        }
+    }
+    // Handle `$name` (no dots): read one identifier.
+    if path.is_empty() && start < chars.len() && chars[start] != '.' {
+        let mut i = start;
+        while i < chars.len()
+            && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '-')
+        {
+            i += 1;
+        }
+        if i > start {
+            return (vec![chars[start..i].iter().collect()], i);
+        }
+    }
+    (path, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_context_paths() {
+        let expr = parse_expr(".Values.image.tag", "t").unwrap();
+        assert_eq!(
+            expr,
+            Expr::ContextPath(vec!["Values".into(), "image".into(), "tag".into()])
+        );
+        assert_eq!(parse_expr(".", "t").unwrap(), Expr::ContextPath(vec![]));
+    }
+
+    #[test]
+    fn parses_function_calls_and_pipelines() {
+        let expr = parse_expr("default 8080 .Values.port | quote", "t").unwrap();
+        match expr {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "quote");
+                assert_eq!(args.len(), 1);
+                match &args[0] {
+                    Expr::Call { name, args } => {
+                        assert_eq!(name, "default");
+                        assert_eq!(args.len(), 2);
+                    }
+                    other => panic!("unexpected inner expr {other:?}"),
+                }
+            }
+            other => panic!("unexpected expr {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesised_subexpressions() {
+        let expr = parse_expr("and .Values.enabled (eq .Values.kind \"web\")", "t").unwrap();
+        match expr {
+            Expr::Call { name, args } => {
+                assert_eq!(name, "and");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("unexpected expr {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_structure() {
+        let nodes = parse("{{ if .Values.a }}A{{ else if .Values.b }}B{{ else }}C{{ end }}", "t")
+            .unwrap();
+        assert_eq!(nodes.len(), 1);
+        match &nodes[0] {
+            Node::If {
+                branches,
+                else_body,
+            } => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("unexpected node {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_range_with_variables() {
+        let nodes = parse("{{ range $k, $v := .Values.labels }}{{ $k }}{{ end }}", "t").unwrap();
+        match &nodes[0] {
+            Node::Range {
+                key_var,
+                value_var,
+                ..
+            } => {
+                assert_eq!(key_var.as_deref(), Some("k"));
+                assert_eq!(value_var.as_deref(), Some("v"));
+            }
+            other => panic!("unexpected node {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbalanced_blocks_are_rejected() {
+        assert!(parse("{{ if .Values.x }}no end", "t").is_err());
+        assert!(parse("{{ end }}", "t").is_err());
+        assert!(parse("{{ else }}", "t").is_err());
+    }
+
+    #[test]
+    fn variables_and_root_paths_tokenize() {
+        let expr = parse_expr("$item.name", "t").unwrap();
+        assert_eq!(
+            expr,
+            Expr::Variable {
+                name: "item".into(),
+                path: vec!["name".into()]
+            }
+        );
+        let expr = parse_expr("$.Values.global", "t").unwrap();
+        assert_eq!(
+            expr,
+            Expr::RootPath(vec!["Values".into(), "global".into()])
+        );
+    }
+}

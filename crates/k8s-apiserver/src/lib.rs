@@ -1,0 +1,50 @@
+//! # k8s-apiserver — the simulated Kubernetes API server
+//!
+//! The paper evaluates KubeFence against a real two-node cluster; this crate
+//! provides the substitute described in `DESIGN.md`: an in-process API server
+//! that exposes exactly the surface KubeFence interacts with — authenticated
+//! REST-style requests carrying YAML object specifications — and implements
+//! the behaviours the experiments depend on:
+//!
+//! * [`ApiRequest`] / [`ApiResponse`] — the request/response model (verb,
+//!   resource path, body, payload size);
+//! * [`ObjectStore`] — an etcd-like versioned in-memory store;
+//! * [`ApiServer`] — request handling: authorization through an optional
+//!   [`k8s_rbac::RbacPolicySet`], object validation, persistence, audit
+//!   logging, and **CVE-trigger simulation** (a request whose specification
+//!   exercises a vulnerable feature records an exploitation event);
+//! * [`LatencyModel`] — the calibrated request-latency model used to report
+//!   deployment round-trip times (Table IV);
+//! * [`RequestHandler`] — the trait shared by the API server and any
+//!   man-in-the-middle component (the KubeFence proxy) placed in front of it.
+//!
+//! ```
+//! use k8s_apiserver::{ApiRequest, ApiServer, RequestHandler};
+//! use k8s_model::K8sObject;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = ApiServer::new();
+//! let pod = K8sObject::from_yaml(
+//!     "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n    - name: web\n      image: nginx\n",
+//! )?;
+//! let response = server.handle(&ApiRequest::create("admin", &pod));
+//! assert!(response.is_success());
+//! assert_eq!(server.store().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod request;
+mod server;
+mod store;
+mod vuln;
+
+pub use latency::{LatencyModel, LatencyProfile};
+pub use request::{ApiRequest, ApiResponse, ResponseStatus};
+pub use server::{ApiServer, ExploitEvent, RequestHandler};
+pub use store::{ObjectStore, StoredObject};
+pub use vuln::VulnerabilityOracle;

@@ -1,0 +1,275 @@
+//! The API request/response model.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use kf_yaml::Value;
+use k8s_model::{K8sObject, ResourceKind, Verb};
+
+/// An authenticated request to the (simulated) API server.
+///
+/// This mirrors what the KubeFence proxy sees on the wire: the HTTP verb and
+/// resource path (user, verb, kind, namespace, name) and the YAML payload
+/// carrying the object specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiRequest {
+    /// Authenticated user issuing the request.
+    pub user: String,
+    /// Request verb.
+    pub verb: Verb,
+    /// Target resource kind (endpoint).
+    pub kind: ResourceKind,
+    /// Target namespace (empty for cluster-scoped kinds).
+    pub namespace: String,
+    /// Target object name (empty for collection operations such as `list`).
+    pub name: String,
+    /// The object specification carried by mutating requests.
+    pub body: Option<Value>,
+}
+
+impl ApiRequest {
+    /// A `create` request for an object.
+    pub fn create(user: &str, object: &K8sObject) -> Self {
+        Self::mutating(user, Verb::Create, object)
+    }
+
+    /// An `update` request for an object.
+    pub fn update(user: &str, object: &K8sObject) -> Self {
+        Self::mutating(user, Verb::Update, object)
+    }
+
+    fn mutating(user: &str, verb: Verb, object: &K8sObject) -> Self {
+        let namespace = if object.kind().is_namespaced() && object.namespace().is_empty() {
+            "default".to_owned()
+        } else {
+            object.namespace().to_owned()
+        };
+        ApiRequest {
+            user: user.to_owned(),
+            verb,
+            kind: object.kind(),
+            namespace,
+            name: object.name().to_owned(),
+            body: Some(object.body().clone()),
+        }
+    }
+
+    /// A `get` request for a named object.
+    pub fn get(user: &str, kind: ResourceKind, namespace: &str, name: &str) -> Self {
+        ApiRequest {
+            user: user.to_owned(),
+            verb: Verb::Get,
+            kind,
+            namespace: namespace.to_owned(),
+            name: name.to_owned(),
+            body: None,
+        }
+    }
+
+    /// A `list` request for a collection.
+    pub fn list(user: &str, kind: ResourceKind, namespace: &str) -> Self {
+        ApiRequest {
+            user: user.to_owned(),
+            verb: Verb::List,
+            kind,
+            namespace: namespace.to_owned(),
+            name: String::new(),
+            body: None,
+        }
+    }
+
+    /// A `delete` request for a named object.
+    pub fn delete(user: &str, kind: ResourceKind, namespace: &str, name: &str) -> Self {
+        ApiRequest {
+            user: user.to_owned(),
+            verb: Verb::Delete,
+            kind,
+            namespace: namespace.to_owned(),
+            name: name.to_owned(),
+            body: None,
+        }
+    }
+
+    /// The URL path targeted by the request.
+    pub fn path(&self) -> String {
+        let collection = self.kind.collection_path(&self.namespace);
+        if self.name.is_empty() {
+            collection
+        } else {
+            format!("{collection}/{}", self.name)
+        }
+    }
+
+    /// The HTTP method corresponding to the verb.
+    pub fn http_method(&self) -> &'static str {
+        self.verb.http_method()
+    }
+
+    /// The encoded request payload (empty for body-less requests); used by
+    /// the latency model to account for serialization and transfer cost.
+    pub fn payload(&self) -> Bytes {
+        match &self.body {
+            Some(body) => Bytes::from(kf_yaml::to_yaml(body)),
+            None => Bytes::new(),
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn payload_size(&self) -> usize {
+        self.payload().len()
+    }
+
+    /// Interpret the request body as a Kubernetes object, if present.
+    pub fn object(&self) -> Option<K8sObject> {
+        let body = self.body.clone()?;
+        K8sObject::from_value(body).ok()
+    }
+}
+
+/// Response status classes used by the simulated server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResponseStatus {
+    /// 200 — request served.
+    Ok,
+    /// 201 — object created.
+    Created,
+    /// 400 — malformed request body.
+    BadRequest,
+    /// 403 — denied by authorization or by the KubeFence proxy.
+    Forbidden,
+    /// 404 — object not found.
+    NotFound,
+    /// 409 — conflict (e.g. create over an existing object).
+    Conflict,
+}
+
+impl ResponseStatus {
+    /// The numeric HTTP status code.
+    pub fn code(&self) -> u16 {
+        match self {
+            ResponseStatus::Ok => 200,
+            ResponseStatus::Created => 201,
+            ResponseStatus::BadRequest => 400,
+            ResponseStatus::Forbidden => 403,
+            ResponseStatus::NotFound => 404,
+            ResponseStatus::Conflict => 409,
+        }
+    }
+}
+
+/// The response to an [`ApiRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApiResponse {
+    /// Status class.
+    pub status: ResponseStatus,
+    /// Human-readable message (for errors: the denial reason, logged by the
+    /// proxy for auditing and forensics).
+    pub message: String,
+    /// Response body, when the request returns objects.
+    pub body: Option<Value>,
+}
+
+impl ApiResponse {
+    /// A success response with a message.
+    pub fn ok(message: impl Into<String>) -> Self {
+        ApiResponse {
+            status: ResponseStatus::Ok,
+            message: message.into(),
+            body: None,
+        }
+    }
+
+    /// A `201 Created` response.
+    pub fn created(message: impl Into<String>) -> Self {
+        ApiResponse {
+            status: ResponseStatus::Created,
+            message: message.into(),
+            body: None,
+        }
+    }
+
+    /// An error response with the given status.
+    pub fn error(status: ResponseStatus, message: impl Into<String>) -> Self {
+        ApiResponse {
+            status,
+            message: message.into(),
+            body: None,
+        }
+    }
+
+    /// Attach a response body, builder style.
+    pub fn with_body(mut self, body: Value) -> Self {
+        self.body = Some(body);
+        self
+    }
+
+    /// Whether the response is a success (2xx).
+    pub fn is_success(&self) -> bool {
+        matches!(self.status, ResponseStatus::Ok | ResponseStatus::Created)
+    }
+
+    /// Whether the request was rejected by authorization or policy (403).
+    pub fn is_denied(&self) -> bool {
+        self.status == ResponseStatus::Forbidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pod() -> K8sObject {
+        K8sObject::from_yaml(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\nspec:\n  containers:\n    - name: c\n      image: nginx\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn create_requests_default_the_namespace() {
+        let req = ApiRequest::create("alice", &pod());
+        assert_eq!(req.namespace, "default");
+        assert_eq!(req.verb, Verb::Create);
+        assert_eq!(req.name, "web");
+        assert!(req.body.is_some());
+    }
+
+    #[test]
+    fn paths_follow_api_conventions() {
+        let req = ApiRequest::create("alice", &pod());
+        assert_eq!(req.path(), "/api/v1/namespaces/default/pods/web");
+        assert_eq!(req.http_method(), "POST");
+        let list = ApiRequest::list("alice", ResourceKind::Deployment, "prod");
+        assert_eq!(list.path(), "/apis/apps/v1/namespaces/prod/deployments");
+        assert_eq!(list.http_method(), "GET");
+    }
+
+    #[test]
+    fn payload_size_reflects_the_encoded_body() {
+        let req = ApiRequest::create("alice", &pod());
+        assert!(req.payload_size() > 50);
+        let get = ApiRequest::get("alice", ResourceKind::Pod, "default", "web");
+        assert_eq!(get.payload_size(), 0);
+    }
+
+    #[test]
+    fn object_parses_back_from_the_body() {
+        let req = ApiRequest::create("alice", &pod());
+        let object = req.object().unwrap();
+        assert_eq!(object.name(), "web");
+        assert!(ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
+            .object()
+            .is_none());
+    }
+
+    #[test]
+    fn response_status_classes() {
+        assert!(ApiResponse::ok("fine").is_success());
+        assert!(ApiResponse::created("made").is_success());
+        let denied = ApiResponse::error(ResponseStatus::Forbidden, "no");
+        assert!(denied.is_denied());
+        assert!(!denied.is_success());
+        assert_eq!(ResponseStatus::Forbidden.code(), 403);
+        assert_eq!(ResponseStatus::Created.code(), 201);
+    }
+}

@@ -1,0 +1,439 @@
+//! The API server: routing, authorization, persistence, audit and exploit
+//! accounting.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use k8s_model::{K8sObject, ResourceKind, Verb};
+use k8s_rbac::{AccessReview, AuditLog, RbacPolicySet};
+
+use crate::request::{ApiRequest, ApiResponse, ResponseStatus};
+use crate::store::ObjectStore;
+use crate::vuln::VulnerabilityOracle;
+
+/// Anything that can serve API requests. The KubeFence proxy implements this
+/// trait as well, so clients (operators, the attack executor, the benchmark
+/// drivers) are oblivious to whether a proxy sits in front of the server —
+/// exactly the complete-mediation deployment the paper describes.
+pub trait RequestHandler {
+    /// Handle one request and produce a response.
+    fn handle(&self, request: &ApiRequest) -> ApiResponse;
+}
+
+/// A successful exploitation: an accepted request exercised the vulnerable
+/// code of a CVE.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploitEvent {
+    /// CVE identifier.
+    pub cve_id: String,
+    /// User whose request triggered it.
+    pub user: String,
+    /// Resource kind of the triggering request.
+    pub kind: ResourceKind,
+    /// Name of the triggering object.
+    pub object_name: String,
+}
+
+/// The simulated Kubernetes API server.
+///
+/// Users named in [`ApiServer::with_admin`] (default: `admin`) bypass RBAC,
+/// mirroring cluster-admin credentials; everyone else is subject to the
+/// configured [`RbacPolicySet`]. When no policy set is configured at all the
+/// server behaves like the paper's baseline cluster before hardening: every
+/// authenticated request is authorized.
+#[derive(Debug)]
+pub struct ApiServer {
+    store: ObjectStore,
+    rbac: Mutex<Option<RbacPolicySet>>,
+    audit: Mutex<AuditLog>,
+    oracle: VulnerabilityOracle,
+    exploits: Mutex<Vec<ExploitEvent>>,
+    admins: Vec<String>,
+}
+
+impl Default for ApiServer {
+    fn default() -> Self {
+        ApiServer::new()
+    }
+}
+
+impl ApiServer {
+    /// A server with an empty store, no RBAC policy and the default `admin`
+    /// superuser.
+    pub fn new() -> Self {
+        ApiServer {
+            store: ObjectStore::new(),
+            rbac: Mutex::new(None),
+            audit: Mutex::new(AuditLog::new()),
+            oracle: VulnerabilityOracle::new(),
+            exploits: Mutex::new(Vec::new()),
+            admins: vec!["admin".to_owned()],
+        }
+    }
+
+    /// Add an additional superuser that bypasses RBAC.
+    pub fn with_admin(mut self, user: &str) -> Self {
+        self.admins.push(user.to_owned());
+        self
+    }
+
+    /// Install (or replace) the RBAC policy enforced for non-admin users.
+    pub fn set_rbac_policy(&self, policy: Option<RbacPolicySet>) {
+        *self.rbac.lock() = policy;
+    }
+
+    /// The object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Snapshot of the audit log.
+    pub fn audit_log(&self) -> AuditLog {
+        self.audit.lock().clone()
+    }
+
+    /// Clear the audit log (between experiment phases).
+    pub fn clear_audit_log(&self) {
+        self.audit.lock().clear();
+    }
+
+    /// The CVE oracle used by this server.
+    pub fn oracle(&self) -> &VulnerabilityOracle {
+        &self.oracle
+    }
+
+    /// The exploitation events recorded so far.
+    pub fn exploits(&self) -> Vec<ExploitEvent> {
+        self.exploits.lock().clone()
+    }
+
+    /// Clear recorded exploitation events.
+    pub fn clear_exploits(&self) {
+        self.exploits.lock().clear();
+    }
+
+    fn authorize(&self, request: &ApiRequest) -> Result<(), String> {
+        if self.admins.iter().any(|a| a == &request.user) {
+            return Ok(());
+        }
+        let rbac = self.rbac.lock();
+        match rbac.as_ref() {
+            None => Ok(()),
+            Some(policy) => {
+                let review = AccessReview::new(
+                    &request.user,
+                    request.verb,
+                    request.kind,
+                    &request.namespace,
+                    &request.name,
+                );
+                let decision = policy.authorize(&review);
+                if decision.is_allowed() {
+                    Ok(())
+                } else {
+                    Err(match decision {
+                        k8s_rbac::AccessDecision::Deny { reason } => reason,
+                        k8s_rbac::AccessDecision::Allow { .. } => unreachable!(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn record_audit(&self, request: &ApiRequest, allowed: bool) {
+        self.audit.lock().record(
+            &request.user,
+            request.verb,
+            request.kind,
+            &request.namespace,
+            &request.name,
+            allowed,
+            request.body.clone(),
+        );
+    }
+
+    fn admit_object(&self, request: &ApiRequest) -> Result<K8sObject, ApiResponse> {
+        let Some(body) = request.body.clone() else {
+            return Err(ApiResponse::error(
+                ResponseStatus::BadRequest,
+                "mutating request without a body",
+            ));
+        };
+        let mut object = K8sObject::from_value(body).map_err(|e| {
+            ApiResponse::error(ResponseStatus::BadRequest, format!("invalid object: {e}"))
+        })?;
+        if object.kind() != request.kind {
+            return Err(ApiResponse::error(
+                ResponseStatus::BadRequest,
+                format!(
+                    "object kind {} does not match endpoint {}",
+                    object.kind(),
+                    request.kind
+                ),
+            ));
+        }
+        // Namespace defaulting, as the admission chain would do.
+        if object.kind().is_namespaced() && object.namespace().is_empty() {
+            let namespace = if request.namespace.is_empty() {
+                "default"
+            } else {
+                &request.namespace
+            };
+            object
+                .set_field(
+                    &kf_yaml::Path::parse("metadata.namespace").expect("static path"),
+                    kf_yaml::Value::from(namespace),
+                )
+                .map_err(|e| {
+                    ApiResponse::error(ResponseStatus::BadRequest, format!("admission failure: {e}"))
+                })?;
+        }
+        Ok(object)
+    }
+
+    fn record_exploits(&self, request: &ApiRequest, object: &K8sObject) {
+        let triggered = self.oracle.triggered_by(object);
+        if triggered.is_empty() {
+            return;
+        }
+        let mut exploits = self.exploits.lock();
+        for record in triggered {
+            exploits.push(ExploitEvent {
+                cve_id: record.id.clone(),
+                user: request.user.clone(),
+                kind: object.kind(),
+                object_name: object.name().to_owned(),
+            });
+        }
+    }
+}
+
+impl RequestHandler for ApiServer {
+    fn handle(&self, request: &ApiRequest) -> ApiResponse {
+        // 1. Authorization (RBAC).
+        if let Err(reason) = self.authorize(request) {
+            self.record_audit(request, false);
+            return ApiResponse::error(ResponseStatus::Forbidden, reason);
+        }
+
+        // 2. Admission + persistence per verb.
+        let response = match request.verb {
+            Verb::Create | Verb::Update | Verb::Patch => match self.admit_object(request) {
+                Ok(object) => {
+                    // The vulnerable code runs while the API server (and
+                    // downstream components) process the accepted spec.
+                    self.record_exploits(request, &object);
+                    match request.verb {
+                        Verb::Create => match self.store.create(object) {
+                            Some(version) => {
+                                ApiResponse::created(format!("created (resourceVersion {version})"))
+                            }
+                            None => {
+                                // `kubectl apply` falls back to update on conflict.
+                                let version = self
+                                    .store
+                                    .update(self.admit_object(request).expect("validated above"))
+                                    .expect("object exists");
+                                ApiResponse::ok(format!("configured (resourceVersion {version})"))
+                            }
+                        },
+                        _ => match self.store.update(object) {
+                            Some(version) => {
+                                ApiResponse::ok(format!("configured (resourceVersion {version})"))
+                            }
+                            None => ApiResponse::error(
+                                ResponseStatus::NotFound,
+                                format!("{} \"{}\" not found", request.kind, request.name),
+                            ),
+                        },
+                    }
+                }
+                Err(response) => response,
+            },
+            Verb::Get => match self.store.get(request.kind, &request.namespace, &request.name) {
+                Some(stored) => {
+                    ApiResponse::ok("ok").with_body(stored.object.body().clone())
+                }
+                None => ApiResponse::error(
+                    ResponseStatus::NotFound,
+                    format!("{} \"{}\" not found", request.kind, request.name),
+                ),
+            },
+            Verb::List | Verb::Watch => {
+                let items: Vec<kf_yaml::Value> = self
+                    .store
+                    .list(request.kind, &request.namespace)
+                    .into_iter()
+                    .map(|stored| stored.object.into_body())
+                    .collect();
+                let mut body = kf_yaml::Mapping::new();
+                body.insert("kind", kf_yaml::Value::from(format!("{}List", request.kind)));
+                body.insert("items", kf_yaml::Value::Seq(items));
+                ApiResponse::ok("ok").with_body(kf_yaml::Value::Map(body))
+            }
+            Verb::Delete | Verb::DeleteCollection => {
+                match self.store.delete(request.kind, &request.namespace, &request.name) {
+                    Some(_) => ApiResponse::ok("deleted"),
+                    None => ApiResponse::error(
+                        ResponseStatus::NotFound,
+                        format!("{} \"{}\" not found", request.kind, request.name),
+                    ),
+                }
+            }
+        };
+
+        // 3. Audit.
+        self.record_audit(request, response.is_success());
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_rbac::{audit2rbac, Audit2RbacOptions};
+
+    fn pod_yaml(name: &str, extra: &str) -> String {
+        format!(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\nspec:\n  containers:\n    - name: c\n      image: nginx\n{extra}"
+        )
+    }
+
+    fn pod(name: &str) -> K8sObject {
+        K8sObject::from_yaml(&pod_yaml(name, "")).unwrap()
+    }
+
+    #[test]
+    fn admin_can_create_get_and_delete() {
+        let server = ApiServer::new();
+        assert!(server.handle(&ApiRequest::create("admin", &pod("a"))).is_success());
+        let get = server.handle(&ApiRequest::get("admin", ResourceKind::Pod, "default", "a"));
+        assert!(get.is_success());
+        assert!(get.body.is_some());
+        assert!(server
+            .handle(&ApiRequest::delete("admin", ResourceKind::Pod, "default", "a"))
+            .is_success());
+        assert_eq!(server.store().len(), 0);
+    }
+
+    #[test]
+    fn create_on_existing_object_behaves_like_apply() {
+        let server = ApiServer::new();
+        assert!(server.handle(&ApiRequest::create("admin", &pod("a"))).is_success());
+        let second = server.handle(&ApiRequest::create("admin", &pod("a")));
+        assert!(second.is_success());
+        assert_eq!(server.store().len(), 1);
+    }
+
+    #[test]
+    fn rbac_denies_users_without_grants() {
+        let server = ApiServer::new();
+        server.set_rbac_policy(Some(RbacPolicySet::new()));
+        let response = server.handle(&ApiRequest::create("mallory", &pod("x")));
+        assert!(response.is_denied());
+        assert_eq!(server.store().len(), 0);
+        // The denial shows up in the audit log.
+        assert_eq!(server.audit_log().denied().len(), 1);
+    }
+
+    #[test]
+    fn audit_driven_policy_admits_the_recorded_workload() {
+        let server = ApiServer::new().with_admin("operator-learning");
+        // Learning phase: the operator deploys with permissive access.
+        let deployment = K8sObject::from_yaml(
+            "apiVersion: apps/v1\nkind: Deployment\nmetadata:\n  name: web\nspec:\n  replicas: 1\n  template:\n    spec:\n      containers:\n        - name: c\n          image: nginx\n",
+        )
+        .unwrap();
+        server.handle(&ApiRequest::create("operator-learning", &deployment));
+        let log = server.audit_log();
+        let policy = audit2rbac(log.events(), "operator-learning", &Audit2RbacOptions::default());
+
+        // Enforcement phase: a fresh server with the inferred policy; the same
+        // user (now subject to RBAC) can repeat the workload.
+        let enforced = ApiServer::new();
+        enforced.set_rbac_policy(Some(policy));
+        let response = enforced.handle(&ApiRequest::create("operator-learning", &deployment));
+        assert!(response.is_success());
+        // …but cannot touch kinds it never used.
+        let secret = K8sObject::minimal(ResourceKind::Secret, "s", "default");
+        assert!(enforced
+            .handle(&ApiRequest::create("operator-learning", &secret))
+            .is_denied());
+    }
+
+    #[test]
+    fn accepted_malicious_specs_record_exploits() {
+        let server = ApiServer::new();
+        let evil = K8sObject::from_yaml(&pod_yaml("evil", "  hostNetwork: true\n")).unwrap();
+        assert!(server.handle(&ApiRequest::create("admin", &evil)).is_success());
+        let exploits = server.exploits();
+        assert!(exploits.iter().any(|e| e.cve_id == "CVE-2020-15257"));
+        assert_eq!(exploits[0].user, "admin");
+    }
+
+    #[test]
+    fn rejected_requests_do_not_record_exploits() {
+        let server = ApiServer::new();
+        server.set_rbac_policy(Some(RbacPolicySet::new()));
+        let evil = K8sObject::from_yaml(&pod_yaml("evil", "  hostNetwork: true\n")).unwrap();
+        assert!(server.handle(&ApiRequest::create("mallory", &evil)).is_denied());
+        assert!(server.exploits().is_empty());
+    }
+
+    #[test]
+    fn malformed_bodies_are_bad_requests() {
+        let server = ApiServer::new();
+        let request = ApiRequest {
+            user: "admin".into(),
+            verb: Verb::Create,
+            kind: ResourceKind::Pod,
+            namespace: "default".into(),
+            name: "x".into(),
+            body: Some(kf_yaml::parse("replicas: 3\n").unwrap()),
+        };
+        let response = server.handle(&request);
+        assert_eq!(response.status, ResponseStatus::BadRequest);
+    }
+
+    #[test]
+    fn kind_mismatch_between_body_and_endpoint_is_rejected() {
+        let server = ApiServer::new();
+        let request = ApiRequest {
+            user: "admin".into(),
+            verb: Verb::Create,
+            kind: ResourceKind::Service,
+            namespace: "default".into(),
+            name: "x".into(),
+            body: Some(pod("x").into_body()),
+        };
+        let response = server.handle(&request);
+        assert_eq!(response.status, ResponseStatus::BadRequest);
+    }
+
+    #[test]
+    fn namespace_is_defaulted_at_admission() {
+        let server = ApiServer::new();
+        let mut request = ApiRequest::create("admin", &pod("a"));
+        request.namespace = "prod".into();
+        // The body has no namespace; the endpoint namespace wins.
+        assert!(server.handle(&request).is_success());
+        assert!(server.store().get(ResourceKind::Pod, "prod", "a").is_some());
+    }
+
+    #[test]
+    fn list_returns_all_objects_of_the_kind() {
+        let server = ApiServer::new();
+        server.handle(&ApiRequest::create("admin", &pod("a")));
+        server.handle(&ApiRequest::create("admin", &pod("b")));
+        let response = server.handle(&ApiRequest::list("admin", ResourceKind::Pod, "default"));
+        let items = response.body.unwrap();
+        assert_eq!(items.get("items").unwrap().as_seq().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn update_of_missing_object_is_not_found() {
+        let server = ApiServer::new();
+        let response = server.handle(&ApiRequest::update("admin", &pod("ghost")));
+        assert_eq!(response.status, ResponseStatus::NotFound);
+    }
+}

@@ -1,0 +1,234 @@
+//! The etcd-like versioned object store backing the simulated API server.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use k8s_model::{K8sObject, ResourceKind};
+
+/// A stored object together with its resource version.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredObject {
+    /// The object as last written.
+    pub object: K8sObject,
+    /// Monotonic resource version assigned at the last write.
+    pub resource_version: u64,
+}
+
+/// Key identifying an object: kind + namespace + name.
+type Key = (ResourceKind, String, String);
+
+/// An in-memory, versioned object store with etcd-like semantics: every write
+/// bumps a global revision, `create` fails on existing keys, `update` and
+/// `delete` fail on missing keys.
+#[derive(Debug, Default)]
+pub struct ObjectStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    objects: BTreeMap<Key, StoredObject>,
+    revision: u64,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ObjectStore::default()
+    }
+
+    fn key(object: &K8sObject) -> Key {
+        (
+            object.kind(),
+            object.namespace().to_owned(),
+            object.name().to_owned(),
+        )
+    }
+
+    /// The current global revision (number of writes so far).
+    pub fn revision(&self) -> u64 {
+        self.inner.read().revision
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.inner.read().objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().objects.is_empty()
+    }
+
+    /// Create an object. Returns the assigned resource version, or `None` if
+    /// an object with the same kind/namespace/name already exists.
+    pub fn create(&self, object: K8sObject) -> Option<u64> {
+        let mut inner = self.inner.write();
+        let key = Self::key(&object);
+        if inner.objects.contains_key(&key) {
+            return None;
+        }
+        inner.revision += 1;
+        let version = inner.revision;
+        inner.objects.insert(
+            key,
+            StoredObject {
+                object,
+                resource_version: version,
+            },
+        );
+        Some(version)
+    }
+
+    /// Update an existing object. Returns the new resource version, or `None`
+    /// if the object does not exist.
+    pub fn update(&self, object: K8sObject) -> Option<u64> {
+        let mut inner = self.inner.write();
+        let key = Self::key(&object);
+        if !inner.objects.contains_key(&key) {
+            return None;
+        }
+        inner.revision += 1;
+        let version = inner.revision;
+        inner.objects.insert(
+            key,
+            StoredObject {
+                object,
+                resource_version: version,
+            },
+        );
+        Some(version)
+    }
+
+    /// Create the object if absent, update it otherwise (the `kubectl apply`
+    /// behaviour). Returns the new resource version.
+    pub fn apply(&self, object: K8sObject) -> u64 {
+        let mut inner = self.inner.write();
+        let key = Self::key(&object);
+        inner.revision += 1;
+        let version = inner.revision;
+        inner.objects.insert(
+            key,
+            StoredObject {
+                object,
+                resource_version: version,
+            },
+        );
+        version
+    }
+
+    /// Fetch an object by kind, namespace and name.
+    pub fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<StoredObject> {
+        self.inner
+            .read()
+            .objects
+            .get(&(kind, namespace.to_owned(), name.to_owned()))
+            .cloned()
+    }
+
+    /// Delete an object; returns it if it existed.
+    pub fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<StoredObject> {
+        let mut inner = self.inner.write();
+        let removed = inner
+            .objects
+            .remove(&(kind, namespace.to_owned(), name.to_owned()));
+        if removed.is_some() {
+            inner.revision += 1;
+        }
+        removed
+    }
+
+    /// List objects of a kind in a namespace (all namespaces when `namespace`
+    /// is empty).
+    pub fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<StoredObject> {
+        self.inner
+            .read()
+            .objects
+            .iter()
+            .filter(|((k, ns, _), _)| *k == kind && (namespace.is_empty() || ns == namespace))
+            .map(|(_, stored)| stored.clone())
+            .collect()
+    }
+
+    /// Count the stored objects per kind.
+    pub fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize> {
+        let mut out = BTreeMap::new();
+        for ((kind, _, _), _) in self.inner.read().objects.iter() {
+            *out.entry(*kind).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn object(kind: ResourceKind, name: &str, namespace: &str) -> K8sObject {
+        K8sObject::minimal(kind, name, namespace)
+    }
+
+    #[test]
+    fn create_then_get_roundtrips() {
+        let store = ObjectStore::new();
+        let version = store
+            .create(object(ResourceKind::Service, "svc", "prod"))
+            .unwrap();
+        assert_eq!(version, 1);
+        let stored = store.get(ResourceKind::Service, "prod", "svc").unwrap();
+        assert_eq!(stored.resource_version, 1);
+        assert_eq!(stored.object.name(), "svc");
+    }
+
+    #[test]
+    fn create_conflicts_on_existing_objects() {
+        let store = ObjectStore::new();
+        assert!(store.create(object(ResourceKind::Pod, "a", "ns")).is_some());
+        assert!(store.create(object(ResourceKind::Pod, "a", "ns")).is_none());
+        // Same name in a different namespace or kind is fine.
+        assert!(store.create(object(ResourceKind::Pod, "a", "other")).is_some());
+        assert!(store.create(object(ResourceKind::ConfigMap, "a", "ns")).is_some());
+    }
+
+    #[test]
+    fn update_requires_an_existing_object() {
+        let store = ObjectStore::new();
+        assert!(store.update(object(ResourceKind::Pod, "a", "ns")).is_none());
+        store.create(object(ResourceKind::Pod, "a", "ns")).unwrap();
+        let v2 = store.update(object(ResourceKind::Pod, "a", "ns")).unwrap();
+        assert_eq!(v2, 2);
+    }
+
+    #[test]
+    fn apply_upserts_and_bumps_revision() {
+        let store = ObjectStore::new();
+        assert_eq!(store.apply(object(ResourceKind::Secret, "s", "ns")), 1);
+        assert_eq!(store.apply(object(ResourceKind::Secret, "s", "ns")), 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.revision(), 2);
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let store = ObjectStore::new();
+        store.create(object(ResourceKind::Pod, "a", "ns")).unwrap();
+        assert!(store.delete(ResourceKind::Pod, "ns", "a").is_some());
+        assert!(store.delete(ResourceKind::Pod, "ns", "a").is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn list_filters_by_kind_and_namespace() {
+        let store = ObjectStore::new();
+        store.create(object(ResourceKind::Pod, "a", "ns1")).unwrap();
+        store.create(object(ResourceKind::Pod, "b", "ns1")).unwrap();
+        store.create(object(ResourceKind::Pod, "c", "ns2")).unwrap();
+        store.create(object(ResourceKind::Service, "s", "ns1")).unwrap();
+        assert_eq!(store.list(ResourceKind::Pod, "ns1").len(), 2);
+        assert_eq!(store.list(ResourceKind::Pod, "").len(), 3);
+        assert_eq!(store.list(ResourceKind::Service, "ns1").len(), 1);
+        let counts = store.count_by_kind();
+        assert_eq!(counts[&ResourceKind::Pod], 3);
+    }
+}

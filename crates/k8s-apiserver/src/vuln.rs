@@ -1,0 +1,113 @@
+//! CVE-trigger simulation.
+//!
+//! The real exploits in the paper's catalog are delivered purely as malicious
+//! YAML specifications through the API. The simulated cluster therefore does
+//! not need to reproduce the post-exploitation effects (host filesystem
+//! access, privilege escalation, …); it only needs to know *whether the
+//! vulnerable code path would have been exercised* by an accepted request.
+//! That is what this oracle decides, using the trigger conditions recorded in
+//! the CVE database.
+
+use k8s_model::cve::{CveDatabase, CveRecord};
+use k8s_model::K8sObject;
+
+/// Decides which CVEs an accepted object specification would exercise.
+#[derive(Debug, Clone, Default)]
+pub struct VulnerabilityOracle {
+    database: CveDatabase,
+}
+
+impl VulnerabilityOracle {
+    /// An oracle over the built-in CVE database.
+    pub fn new() -> Self {
+        VulnerabilityOracle {
+            database: CveDatabase::new(),
+        }
+    }
+
+    /// The underlying CVE database.
+    pub fn database(&self) -> &CveDatabase {
+        &self.database
+    }
+
+    /// The CVEs whose vulnerable code would be exercised by this object.
+    pub fn triggered_by(&self, object: &K8sObject) -> Vec<&CveRecord> {
+        self.database
+            .records()
+            .iter()
+            .filter(|record| record.is_triggered_by(object))
+            .collect()
+    }
+
+    /// Whether the object triggers any CVE at all.
+    pub fn is_dangerous(&self, object: &K8sObject) -> bool {
+        !self.triggered_by(object).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privileged_pod_triggers_multiple_cves() {
+        let oracle = VulnerabilityOracle::new();
+        let object = K8sObject::from_yaml(
+            r#"apiVersion: v1
+kind: Pod
+metadata:
+  name: attack
+spec:
+  hostNetwork: true
+  containers:
+    - name: c
+      image: nginx
+      securityContext:
+        privileged: true
+"#,
+        )
+        .unwrap();
+        let triggered: Vec<&str> = oracle
+            .triggered_by(&object)
+            .iter()
+            .map(|r| r.id.as_str())
+            .collect();
+        assert!(triggered.contains(&"CVE-2020-15257"));
+        assert!(triggered.contains(&"CVE-2021-21334"));
+    }
+
+    #[test]
+    fn hardened_pod_triggers_nothing() {
+        let oracle = VulnerabilityOracle::new();
+        let object = K8sObject::from_yaml(
+            r#"apiVersion: v1
+kind: Pod
+metadata:
+  name: safe
+spec:
+  containers:
+    - name: c
+      image: nginx
+      resources:
+        limits:
+          cpu: 100m
+          memory: 128Mi
+      securityContext:
+        runAsNonRoot: true
+        privileged: false
+"#,
+        )
+        .unwrap();
+        assert!(!oracle.is_dangerous(&object));
+    }
+
+    #[test]
+    fn configmaps_never_trigger_pod_cves() {
+        let oracle = VulnerabilityOracle::new();
+        let object = K8sObject::from_yaml(
+            "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: cfg\ndata:\n  subPath: tricky\n",
+        )
+        .unwrap();
+        assert!(!oracle.is_dangerous(&object));
+    }
+}

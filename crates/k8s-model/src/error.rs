@@ -1,0 +1,40 @@
+//! Error type for manifest interpretation.
+
+use std::fmt;
+
+/// Error produced while interpreting a manifest as a Kubernetes object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The manifest is missing a required top-level field (`kind`,
+    /// `apiVersion`, `metadata.name`, …).
+    MissingField {
+        /// Dotted path of the missing field.
+        field: String,
+    },
+    /// The manifest names a resource kind this model does not know about.
+    UnknownKind {
+        /// The offending `kind` value.
+        kind: String,
+    },
+    /// A field had an unexpected type.
+    InvalidField {
+        /// Dotted path of the field.
+        field: String,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::MissingField { field } => write!(f, "manifest is missing field `{field}`"),
+            Error::UnknownKind { kind } => write!(f, "unknown resource kind `{kind}`"),
+            Error::InvalidField { field, message } => {
+                write!(f, "invalid field `{field}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,270 @@
+//! Typed view over a Kubernetes manifest.
+
+use serde::{Deserialize, Serialize};
+
+use kf_yaml::{Path, Value};
+
+use crate::{Error, GroupVersionKind, ObjectMeta, ResourceKind, Result};
+
+/// A Kubernetes object: a manifest (`kind`, `apiVersion`, `metadata`, `spec`,
+/// …) plus typed accessors for the pieces the rest of the system needs.
+///
+/// The raw document is kept intact — KubeFence validation operates on the full
+/// request body, so nothing may be lost in translation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct K8sObject {
+    kind: ResourceKind,
+    metadata: ObjectMeta,
+    body: Value,
+}
+
+impl K8sObject {
+    /// Interpret a parsed manifest as a Kubernetes object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MissingField`] if `kind` or `metadata.name` is absent
+    /// and [`Error::UnknownKind`] if the kind is not one of the twenty
+    /// endpoints modelled by this reproduction.
+    pub fn from_value(body: Value) -> Result<Self> {
+        let kind_text = body
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or(Error::MissingField {
+                field: "kind".into(),
+            })?;
+        let kind = ResourceKind::parse(kind_text).ok_or_else(|| Error::UnknownKind {
+            kind: kind_text.to_owned(),
+        })?;
+        let metadata = ObjectMeta::from_value(body.get("metadata"));
+        if metadata.name.is_empty() {
+            return Err(Error::MissingField {
+                field: "metadata.name".into(),
+            });
+        }
+        Ok(K8sObject {
+            kind,
+            metadata,
+            body,
+        })
+    }
+
+    /// Parse YAML text directly into an object.
+    ///
+    /// # Errors
+    ///
+    /// Propagates YAML parse failures as [`Error::InvalidField`] on the
+    /// document root, and the same validation errors as
+    /// [`K8sObject::from_value`].
+    pub fn from_yaml(text: &str) -> Result<Self> {
+        let value = kf_yaml::parse(text).map_err(|e| Error::InvalidField {
+            field: "<document>".into(),
+            message: e.to_string(),
+        })?;
+        K8sObject::from_value(value)
+    }
+
+    /// Build a minimal object of the given kind and name with an empty spec.
+    pub fn minimal(kind: ResourceKind, name: &str, namespace: &str) -> Self {
+        let mut body = Value::empty_map();
+        let gvk = kind.gvk();
+        body.set_path(&Path::parse("apiVersion").unwrap(), Value::from(gvk.api_version()))
+            .expect("fresh map");
+        body.set_path(&Path::parse("kind").unwrap(), Value::from(kind.as_str()))
+            .expect("fresh map");
+        let meta = if kind.is_namespaced() {
+            ObjectMeta::namespaced(name, namespace)
+        } else {
+            ObjectMeta::named(name)
+        };
+        body.set_path(&Path::parse("metadata").unwrap(), meta.to_value())
+            .expect("fresh map");
+        K8sObject {
+            kind,
+            metadata: meta,
+            body,
+        }
+    }
+
+    /// The resource kind.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The group/version/kind derived from the manifest's `apiVersion`.
+    pub fn gvk(&self) -> GroupVersionKind {
+        match self.body.get("apiVersion").and_then(Value::as_str) {
+            Some(api_version) => {
+                GroupVersionKind::from_api_version(api_version, self.kind.as_str())
+            }
+            None => self.kind.gvk(),
+        }
+    }
+
+    /// The object metadata.
+    pub fn metadata(&self) -> &ObjectMeta {
+        &self.metadata
+    }
+
+    /// Object name.
+    pub fn name(&self) -> &str {
+        &self.metadata.name
+    }
+
+    /// Object namespace (empty for cluster-scoped objects; callers default it
+    /// to `default` at admission time).
+    pub fn namespace(&self) -> &str {
+        &self.metadata.namespace
+    }
+
+    /// The full manifest body.
+    pub fn body(&self) -> &Value {
+        &self.body
+    }
+
+    /// Mutable access to the manifest body. Metadata accessors are refreshed
+    /// lazily by [`K8sObject::sync_metadata`].
+    pub fn body_mut(&mut self) -> &mut Value {
+        &mut self.body
+    }
+
+    /// Re-read `metadata` from the body after direct mutation.
+    pub fn sync_metadata(&mut self) {
+        self.metadata = ObjectMeta::from_value(self.body.get("metadata"));
+    }
+
+    /// Consume the object and return the manifest body.
+    pub fn into_body(self) -> Value {
+        self.body
+    }
+
+    /// The `spec` subtree, if present.
+    pub fn spec(&self) -> Option<&Value> {
+        self.body.get("spec")
+    }
+
+    /// Look up an arbitrary field by path on the manifest body.
+    pub fn field(&self, path: &Path) -> Option<&Value> {
+        self.body.get_path(path)
+    }
+
+    /// Set an arbitrary field by path on the manifest body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidField`] if intermediate nodes have incompatible
+    /// types.
+    pub fn set_field(&mut self, path: &Path, value: Value) -> Result<()> {
+        self.body
+            .set_path(path, value)
+            .map_err(|e| Error::InvalidField {
+                field: path.to_string(),
+                message: e.to_string(),
+            })?;
+        self.sync_metadata();
+        Ok(())
+    }
+
+    /// The collapsed field paths (`spec.containers[].image` notation) present
+    /// in the manifest — the unit of attack-surface accounting.
+    pub fn field_paths(&self) -> Vec<String> {
+        self.body.field_paths()
+    }
+
+    /// Serialize back to YAML.
+    pub fn to_yaml(&self) -> String {
+        kf_yaml::to_yaml(&self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEPLOYMENT: &str = r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: nginx
+  namespace: web
+spec:
+  replicas: 2
+  template:
+    spec:
+      containers:
+        - name: nginx
+          image: nginx:1.25
+"#;
+
+    #[test]
+    fn parses_a_deployment_manifest() {
+        let obj = K8sObject::from_yaml(DEPLOYMENT).unwrap();
+        assert_eq!(obj.kind(), ResourceKind::Deployment);
+        assert_eq!(obj.name(), "nginx");
+        assert_eq!(obj.namespace(), "web");
+        assert_eq!(obj.gvk().api_version(), "apps/v1");
+        assert_eq!(
+            obj.field(&Path::parse("spec.replicas").unwrap())
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn missing_kind_is_an_error() {
+        let err = K8sObject::from_yaml("metadata:\n  name: x\n").unwrap_err();
+        assert!(matches!(err, Error::MissingField { .. }));
+    }
+
+    #[test]
+    fn unknown_kind_is_an_error() {
+        let err =
+            K8sObject::from_yaml("kind: Gateway\nmetadata:\n  name: x\n").unwrap_err();
+        assert!(matches!(err, Error::UnknownKind { .. }));
+    }
+
+    #[test]
+    fn missing_name_is_an_error() {
+        let err = K8sObject::from_yaml("kind: Pod\nmetadata: {}\n").unwrap_err();
+        assert!(matches!(err, Error::MissingField { .. }));
+    }
+
+    #[test]
+    fn minimal_objects_have_api_version_and_metadata() {
+        let obj = K8sObject::minimal(ResourceKind::Service, "svc", "default");
+        assert_eq!(obj.kind(), ResourceKind::Service);
+        assert_eq!(obj.body().get("apiVersion").unwrap().as_str(), Some("v1"));
+        assert_eq!(obj.namespace(), "default");
+        let cluster = K8sObject::minimal(ResourceKind::ClusterRole, "admin", "ignored");
+        assert_eq!(cluster.namespace(), "");
+    }
+
+    #[test]
+    fn set_field_updates_body_and_metadata() {
+        let mut obj = K8sObject::from_yaml(DEPLOYMENT).unwrap();
+        obj.set_field(
+            &Path::parse("metadata.labels.app").unwrap(),
+            Value::from("nginx"),
+        )
+        .unwrap();
+        assert_eq!(
+            obj.metadata().labels.get("app").map(String::as_str),
+            Some("nginx")
+        );
+        obj.set_field(
+            &Path::parse("spec.template.spec.hostNetwork").unwrap(),
+            Value::Bool(true),
+        )
+        .unwrap();
+        assert!(obj
+            .field_paths()
+            .contains(&"spec.template.spec.hostNetwork".to_string()));
+    }
+
+    #[test]
+    fn yaml_roundtrip_preserves_structure() {
+        let obj = K8sObject::from_yaml(DEPLOYMENT).unwrap();
+        let reparsed = K8sObject::from_yaml(&obj.to_yaml()).unwrap();
+        assert!(reparsed.body().loosely_equals(obj.body()));
+    }
+}

@@ -1,0 +1,549 @@
+//! Per-kind schemas and the catalog over all twenty endpoints.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use super::fields::{FieldNode, KindSchema, ScalarType};
+use super::podspec::{metadata_schema, pod_spec_schema, pod_template_schema};
+use crate::ResourceKind;
+
+fn s(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::String)
+}
+fn i(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Int)
+}
+fn b(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Bool)
+}
+fn q(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Quantity)
+}
+fn ip(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Ip)
+}
+fn port(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Port)
+}
+fn sarr(name: &str) -> FieldNode {
+    FieldNode::scalar_array(name, ScalarType::String)
+}
+fn smap(name: &str) -> FieldNode {
+    FieldNode::string_map(name)
+}
+fn obj(name: &str, children: Vec<FieldNode>) -> FieldNode {
+    FieldNode::object(name, children)
+}
+fn arr(name: &str, children: Vec<FieldNode>) -> FieldNode {
+    FieldNode::array(name, children)
+}
+
+fn label_selector(name: &str) -> FieldNode {
+    obj(
+        name,
+        vec![
+            smap("matchLabels"),
+            arr("matchExpressions", vec![s("key"), s("operator"), sarr("values")]),
+        ],
+    )
+}
+
+/// The catalog of field schemas for every endpoint.
+#[derive(Debug, Clone)]
+pub struct SchemaCatalog {
+    schemas: BTreeMap<ResourceKind, KindSchema>,
+}
+
+impl SchemaCatalog {
+    fn build() -> Self {
+        let mut schemas = BTreeMap::new();
+        for kind in ResourceKind::ALL {
+            schemas.insert(kind, build_kind_schema(kind));
+        }
+        SchemaCatalog { schemas }
+    }
+
+    /// The schema for a kind.
+    pub fn fields_for(&self, kind: ResourceKind) -> Option<&KindSchema> {
+        self.schemas.get(&kind)
+    }
+
+    /// Total configurable fields across every endpoint (the denominator of
+    /// Table I).
+    pub fn total_field_count(&self) -> usize {
+        self.schemas.values().map(KindSchema::field_count).sum()
+    }
+
+    /// Field counts per kind, in Figure 9 column order.
+    pub fn per_kind_counts(&self) -> Vec<(ResourceKind, usize)> {
+        ResourceKind::ALL
+            .iter()
+            .map(|k| (*k, self.schemas[k].field_count()))
+            .collect()
+    }
+
+    /// Iterate over all kind schemas.
+    pub fn iter(&self) -> impl Iterator<Item = (&ResourceKind, &KindSchema)> {
+        self.schemas.iter()
+    }
+}
+
+/// The lazily-built global catalog. Building the pod spec schema is cheap but
+/// not free, and the catalog is read-only, so it is shared.
+pub fn catalog() -> &'static SchemaCatalog {
+    static CATALOG: OnceLock<SchemaCatalog> = OnceLock::new();
+    CATALOG.get_or_init(SchemaCatalog::build)
+}
+
+fn build_kind_schema(kind: ResourceKind) -> KindSchema {
+    let fields = match kind {
+        ResourceKind::Pod => vec![metadata_schema(), obj("spec", pod_spec_schema())],
+        ResourceKind::Deployment => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    i("replicas"),
+                    label_selector("selector"),
+                    pod_template_schema(),
+                    obj(
+                        "strategy",
+                        vec![
+                            s("type"),
+                            obj("rollingUpdate", vec![q("maxUnavailable"), q("maxSurge")]),
+                        ],
+                    ),
+                    i("minReadySeconds"),
+                    i("revisionHistoryLimit"),
+                    b("paused"),
+                    i("progressDeadlineSeconds"),
+                ],
+            ),
+        ],
+        ResourceKind::StatefulSet => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    i("replicas"),
+                    label_selector("selector"),
+                    pod_template_schema(),
+                    arr(
+                        "volumeClaimTemplates",
+                        vec![
+                            metadata_schema(),
+                            obj(
+                                "spec",
+                                vec![
+                                    sarr("accessModes"),
+                                    label_selector("selector"),
+                                    obj(
+                                        "resources",
+                                        vec![obj("requests", vec![q("storage")]), obj("limits", vec![q("storage")])],
+                                    ),
+                                    s("volumeName"),
+                                    s("storageClassName"),
+                                    s("volumeMode"),
+                                ],
+                            ),
+                        ],
+                    ),
+                    s("serviceName"),
+                    s("podManagementPolicy"),
+                    obj(
+                        "updateStrategy",
+                        vec![s("type"), obj("rollingUpdate", vec![i("partition"), q("maxUnavailable")])],
+                    ),
+                    i("revisionHistoryLimit"),
+                    i("minReadySeconds"),
+                    obj(
+                        "persistentVolumeClaimRetentionPolicy",
+                        vec![s("whenDeleted"), s("whenScaled")],
+                    ),
+                    obj("ordinals", vec![i("start")]),
+                ],
+            ),
+        ],
+        ResourceKind::Job => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    i("parallelism"),
+                    i("completions"),
+                    i("activeDeadlineSeconds"),
+                    obj(
+                        "podFailurePolicy",
+                        vec![arr(
+                            "rules",
+                            vec![
+                                s("action"),
+                                obj("onExitCodes", vec![s("containerName"), s("operator"), FieldNode::scalar_array("values", ScalarType::Int)]),
+                                arr("onPodConditions", vec![s("type"), s("status")]),
+                            ],
+                        )],
+                    ),
+                    i("backoffLimit"),
+                    i("backoffLimitPerIndex"),
+                    i("maxFailedIndexes"),
+                    label_selector("selector"),
+                    b("manualSelector"),
+                    pod_template_schema(),
+                    i("ttlSecondsAfterFinished"),
+                    s("completionMode"),
+                    b("suspend"),
+                    s("podReplacementPolicy"),
+                ],
+            ),
+        ],
+        ResourceKind::CronJob => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    s("schedule"),
+                    s("timeZone"),
+                    i("startingDeadlineSeconds"),
+                    s("concurrencyPolicy"),
+                    b("suspend"),
+                    obj(
+                        "jobTemplate",
+                        vec![
+                            metadata_schema(),
+                            obj(
+                                "spec",
+                                vec![
+                                    i("parallelism"),
+                                    i("completions"),
+                                    i("activeDeadlineSeconds"),
+                                    i("backoffLimit"),
+                                    label_selector("selector"),
+                                    b("manualSelector"),
+                                    pod_template_schema(),
+                                    i("ttlSecondsAfterFinished"),
+                                    s("completionMode"),
+                                    b("suspend"),
+                                ],
+                            ),
+                        ],
+                    ),
+                    i("successfulJobsHistoryLimit"),
+                    i("failedJobsHistoryLimit"),
+                ],
+            ),
+        ],
+        ResourceKind::Service => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    arr(
+                        "ports",
+                        vec![s("name"), s("protocol"), s("appProtocol"), port("port"), port("targetPort"), port("nodePort")],
+                    ),
+                    smap("selector"),
+                    ip("clusterIP"),
+                    FieldNode::scalar_array("clusterIPs", ScalarType::Ip),
+                    s("type"),
+                    FieldNode::scalar_array("externalIPs", ScalarType::Ip).sensitive(),
+                    s("sessionAffinity"),
+                    ip("loadBalancerIP"),
+                    FieldNode::scalar_array("loadBalancerSourceRanges", ScalarType::Ip),
+                    s("externalName"),
+                    s("externalTrafficPolicy"),
+                    port("healthCheckNodePort"),
+                    b("publishNotReadyAddresses"),
+                    obj(
+                        "sessionAffinityConfig",
+                        vec![obj("clientIP", vec![i("timeoutSeconds")])],
+                    ),
+                    sarr("ipFamilies"),
+                    s("ipFamilyPolicy"),
+                    b("allocateLoadBalancerNodePorts"),
+                    s("loadBalancerClass"),
+                    s("internalTrafficPolicy"),
+                ],
+            ),
+        ],
+        ResourceKind::ConfigMap => vec![
+            metadata_schema(),
+            smap("data"),
+            smap("binaryData"),
+            b("immutable"),
+        ],
+        ResourceKind::NetworkPolicy => {
+            let peer = vec![
+                label_selector("podSelector"),
+                label_selector("namespaceSelector"),
+                obj("ipBlock", vec![ip("cidr"), FieldNode::scalar_array("except", ScalarType::Ip)]),
+            ];
+            let ports = arr("ports", vec![s("protocol"), port("port"), port("endPort")]);
+            vec![
+                metadata_schema(),
+                obj(
+                    "spec",
+                    vec![
+                        label_selector("podSelector"),
+                        arr("ingress", vec![ports.clone(), arr("from", peer.clone())]),
+                        arr("egress", vec![ports, arr("to", peer)]),
+                        sarr("policyTypes"),
+                    ],
+                ),
+            ]
+        }
+        ResourceKind::Ingress => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    s("ingressClassName"),
+                    obj(
+                        "defaultBackend",
+                        vec![
+                            obj("service", vec![s("name"), obj("port", vec![s("name"), port("number")])]),
+                            obj("resource", vec![s("apiGroup"), s("kind"), s("name")]),
+                        ],
+                    ),
+                    arr("tls", vec![sarr("hosts"), s("secretName")]),
+                    arr(
+                        "rules",
+                        vec![
+                            s("host"),
+                            obj(
+                                "http",
+                                vec![arr(
+                                    "paths",
+                                    vec![
+                                        s("path"),
+                                        s("pathType"),
+                                        obj(
+                                            "backend",
+                                            vec![
+                                                obj("service", vec![s("name"), obj("port", vec![s("name"), port("number")])]),
+                                                obj("resource", vec![s("apiGroup"), s("kind"), s("name")]),
+                                            ],
+                                        ),
+                                    ],
+                                )],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+        ],
+        ResourceKind::IngressClass => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    s("controller"),
+                    obj("parameters", vec![s("apiGroup"), s("kind"), s("name"), s("namespace"), s("scope")]),
+                ],
+            ),
+        ],
+        ResourceKind::ServiceAccount => vec![
+            metadata_schema(),
+            arr("secrets", vec![s("name"), s("namespace"), s("kind"), s("apiVersion"), s("uid"), s("fieldPath")]),
+            arr("imagePullSecrets", vec![s("name")]),
+            b("automountServiceAccountToken").sensitive(),
+        ],
+        ResourceKind::HorizontalPodAutoscaler => {
+            let metric_target = obj("target", vec![s("type"), q("value"), q("averageValue"), i("averageUtilization")]);
+            let metric_identifier = vec![s("name"), label_selector("selector")];
+            let mut resource_metric = vec![s("name")];
+            resource_metric.push(metric_target.clone());
+            let mut object_metric = vec![obj(
+                "describedObject",
+                vec![s("apiVersion"), s("kind"), s("name")],
+            )];
+            object_metric.push(metric_target.clone());
+            object_metric.push(obj("metric", metric_identifier.clone()));
+            let mut pods_metric = vec![obj("metric", metric_identifier.clone())];
+            pods_metric.push(metric_target.clone());
+            let mut external_metric = vec![obj("metric", metric_identifier)];
+            external_metric.push(metric_target);
+            let scaling_rules = |name: &str| {
+                obj(
+                    name,
+                    vec![
+                        i("stabilizationWindowSeconds"),
+                        s("selectPolicy"),
+                        arr("policies", vec![s("type"), i("value"), i("periodSeconds")]),
+                    ],
+                )
+            };
+            vec![
+                metadata_schema(),
+                obj(
+                    "spec",
+                    vec![
+                        obj("scaleTargetRef", vec![s("apiVersion"), s("kind"), s("name")]),
+                        i("minReplicas"),
+                        i("maxReplicas"),
+                        arr(
+                            "metrics",
+                            vec![
+                                s("type"),
+                                obj("resource", resource_metric),
+                                obj("object", object_metric),
+                                obj("pods", pods_metric),
+                                obj("external", external_metric),
+                                obj("containerResource", vec![s("name"), s("container"), obj("target", vec![s("type"), q("value"), q("averageValue"), i("averageUtilization")])]),
+                            ],
+                        ),
+                        obj("behavior", vec![scaling_rules("scaleUp"), scaling_rules("scaleDown")]),
+                    ],
+                ),
+            ]
+        }
+        ResourceKind::PodDisruptionBudget => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    q("minAvailable"),
+                    label_selector("selector"),
+                    q("maxUnavailable"),
+                    s("unhealthyPodEvictionPolicy"),
+                ],
+            ),
+        ],
+        ResourceKind::PersistentVolumeClaim => vec![
+            metadata_schema(),
+            obj(
+                "spec",
+                vec![
+                    sarr("accessModes"),
+                    label_selector("selector"),
+                    obj(
+                        "resources",
+                        vec![obj("requests", vec![q("storage")]), obj("limits", vec![q("storage")])],
+                    ),
+                    s("volumeName"),
+                    s("storageClassName"),
+                    s("volumeMode"),
+                    obj("dataSource", vec![s("apiGroup"), s("kind"), s("name")]),
+                    obj("dataSourceRef", vec![s("apiGroup"), s("kind"), s("name"), s("namespace")]),
+                    s("volumeAttributesClassName"),
+                ],
+            ),
+        ],
+        ResourceKind::ValidatingWebhookConfiguration => vec![
+            metadata_schema(),
+            arr(
+                "webhooks",
+                vec![
+                    s("name"),
+                    obj(
+                        "clientConfig",
+                        vec![
+                            s("url"),
+                            obj("service", vec![s("namespace"), s("name"), s("path"), port("port")]),
+                            s("caBundle"),
+                        ],
+                    ),
+                    arr(
+                        "rules",
+                        vec![sarr("apiGroups"), sarr("apiVersions"), sarr("resources"), sarr("operations"), s("scope")],
+                    ),
+                    s("failurePolicy"),
+                    s("matchPolicy"),
+                    label_selector("namespaceSelector"),
+                    label_selector("objectSelector"),
+                    s("sideEffects"),
+                    i("timeoutSeconds"),
+                    sarr("admissionReviewVersions"),
+                    arr("matchConditions", vec![s("name"), s("expression")]),
+                ],
+            ),
+        ],
+        ResourceKind::Secret => vec![
+            metadata_schema(),
+            smap("data"),
+            smap("stringData"),
+            s("type"),
+            b("immutable"),
+        ],
+        ResourceKind::Role | ResourceKind::ClusterRole => {
+            let mut fields = vec![
+                metadata_schema(),
+                arr(
+                    "rules",
+                    vec![
+                        sarr("apiGroups"),
+                        sarr("resources"),
+                        sarr("verbs").sensitive(),
+                        sarr("resourceNames"),
+                        sarr("nonResourceURLs"),
+                    ],
+                ),
+            ];
+            if kind == ResourceKind::ClusterRole {
+                fields.push(obj(
+                    "aggregationRule",
+                    vec![arr("clusterRoleSelectors", vec![smap("matchLabels"), arr("matchExpressions", vec![s("key"), s("operator"), sarr("values")])])],
+                ));
+            }
+            fields
+        }
+        ResourceKind::RoleBinding | ResourceKind::ClusterRoleBinding => vec![
+            metadata_schema(),
+            arr("subjects", vec![s("kind"), s("apiGroup"), s("name"), s("namespace")]),
+            obj("roleRef", vec![s("apiGroup"), s("kind"), s("name")]).sensitive(),
+        ],
+    };
+    KindSchema::new(kind, fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_kind_counts_are_positive_and_ordered_like_figure9() {
+        let cat = catalog();
+        let counts = cat.per_kind_counts();
+        assert_eq!(counts.len(), 20);
+        for (kind, count) in &counts {
+            assert!(*count > 5, "{kind} has only {count} fields");
+        }
+    }
+
+    #[test]
+    fn workload_controllers_share_the_pod_template_surface() {
+        let cat = catalog();
+        let deployment = cat.fields_for(ResourceKind::Deployment).unwrap().field_count();
+        let statefulset = cat.fields_for(ResourceKind::StatefulSet).unwrap().field_count();
+        let job = cat.fields_for(ResourceKind::Job).unwrap().field_count();
+        // They all embed the pod template, so their sizes are within ~15% of
+        // each other.
+        let max = deployment.max(statefulset).max(job) as f64;
+        let min = deployment.min(statefulset).min(job) as f64;
+        assert!(min / max > 0.85, "deployment={deployment} statefulset={statefulset} job={job}");
+    }
+
+    #[test]
+    fn service_schema_contains_external_ips_as_sensitive() {
+        let cat = catalog();
+        let svc = cat.fields_for(ResourceKind::Service).unwrap();
+        assert!(svc.sensitive_paths().contains(&"spec.externalIPs".to_string()));
+    }
+
+    #[test]
+    fn rbac_kinds_have_rule_fields() {
+        let cat = catalog();
+        for kind in [ResourceKind::Role, ResourceKind::ClusterRole] {
+            let schema = cat.fields_for(kind).unwrap();
+            assert!(schema.contains_field("rules[].verbs"));
+        }
+        let binding = cat.fields_for(ResourceKind::RoleBinding).unwrap();
+        assert!(binding.contains_field("roleRef.name"));
+    }
+
+    #[test]
+    fn catalog_is_shared_and_stable() {
+        let a = catalog().total_field_count();
+        let b = catalog().total_field_count();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,674 @@
+//! The pod specification schema shared by Pod, Deployment, StatefulSet, Job
+//! and CronJob.
+//!
+//! The pod specification is by far the largest part of the Kubernetes attack
+//! surface: containers, probes, lifecycle hooks, 25+ volume types, security
+//! contexts, affinity rules, … This module mirrors the upstream `core/v1`
+//! `PodSpec` structure field by field for everything relevant to the paper's
+//! analysis.
+
+use super::fields::{FieldNode, ScalarType};
+
+// Terse local constructors; the schema below is large and these keep it
+// readable.
+fn s(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::String)
+}
+fn i(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Int)
+}
+fn b(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Bool)
+}
+fn q(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Quantity)
+}
+fn ip(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Ip)
+}
+fn port(name: &str) -> FieldNode {
+    FieldNode::scalar(name, ScalarType::Port)
+}
+fn sarr(name: &str) -> FieldNode {
+    FieldNode::scalar_array(name, ScalarType::String)
+}
+fn smap(name: &str) -> FieldNode {
+    FieldNode::string_map(name)
+}
+fn obj(name: &str, children: Vec<FieldNode>) -> FieldNode {
+    FieldNode::object(name, children)
+}
+fn arr(name: &str, children: Vec<FieldNode>) -> FieldNode {
+    FieldNode::array(name, children)
+}
+
+/// Label selector (`matchLabels` + `matchExpressions`).
+fn label_selector(name: &str) -> FieldNode {
+    obj(
+        name,
+        vec![
+            smap("matchLabels"),
+            arr(
+                "matchExpressions",
+                vec![s("key"), s("operator"), sarr("values")],
+            ),
+        ],
+    )
+}
+
+/// A probe handler (exec / httpGet / tcpSocket / grpc).
+fn probe_handler_fields() -> Vec<FieldNode> {
+    vec![
+        obj("exec", vec![sarr("command")]),
+        obj(
+            "httpGet",
+            vec![
+                s("path"),
+                port("port"),
+                s("host"),
+                s("scheme"),
+                arr("httpHeaders", vec![s("name"), s("value")]),
+            ],
+        ),
+        obj("tcpSocket", vec![port("port"), s("host")]),
+        obj("grpc", vec![port("port"), s("service")]),
+    ]
+}
+
+fn probe(name: &str) -> FieldNode {
+    let mut children = probe_handler_fields();
+    children.extend(vec![
+        i("initialDelaySeconds"),
+        i("timeoutSeconds"),
+        i("periodSeconds"),
+        i("successThreshold"),
+        i("failureThreshold"),
+        i("terminationGracePeriodSeconds"),
+    ]);
+    obj(name, children)
+}
+
+fn lifecycle_handler(name: &str) -> FieldNode {
+    let mut children = probe_handler_fields();
+    children.push(obj("sleep", vec![i("seconds")]));
+    obj(name, children)
+}
+
+/// Container-level security context.
+fn container_security_context() -> FieldNode {
+    obj(
+        "securityContext",
+        vec![
+            obj(
+                "capabilities",
+                vec![sarr("add").sensitive(), sarr("drop")],
+            ),
+            b("privileged").sensitive(),
+            obj(
+                "seLinuxOptions",
+                vec![
+                    s("user").sensitive(),
+                    s("role").sensitive(),
+                    s("type"),
+                    s("level"),
+                ],
+            ),
+            obj(
+                "windowsOptions",
+                vec![
+                    s("gmsaCredentialSpecName"),
+                    s("gmsaCredentialSpec"),
+                    s("runAsUserName"),
+                    b("hostProcess").sensitive(),
+                ],
+            ),
+            i("runAsUser"),
+            i("runAsGroup"),
+            b("runAsNonRoot").sensitive(),
+            b("readOnlyRootFilesystem").sensitive(),
+            b("allowPrivilegeEscalation").sensitive(),
+            s("procMount"),
+            obj(
+                "seccompProfile",
+                vec![s("type"), s("localhostProfile").sensitive()],
+            ),
+        ],
+    )
+}
+
+/// The environment variable schema (`env` items).
+fn env_var() -> Vec<FieldNode> {
+    vec![
+        s("name"),
+        s("value"),
+        obj(
+            "valueFrom",
+            vec![
+                obj("fieldRef", vec![s("apiVersion"), s("fieldPath")]),
+                obj(
+                    "resourceFieldRef",
+                    vec![s("containerName"), s("resource"), q("divisor")],
+                ),
+                obj("configMapKeyRef", vec![s("name"), s("key"), b("optional")]),
+                obj("secretKeyRef", vec![s("name"), s("key"), b("optional")]),
+            ],
+        ),
+    ]
+}
+
+/// Resource requirements (`resources`).
+fn resources() -> FieldNode {
+    obj(
+        "resources",
+        vec![
+            obj(
+                "limits",
+                vec![q("cpu"), q("memory"), q("ephemeral-storage"), q("hugepages-2Mi")],
+            ),
+            obj(
+                "requests",
+                vec![q("cpu"), q("memory"), q("ephemeral-storage"), q("hugepages-2Mi")],
+            ),
+            arr("claims", vec![s("name")]),
+        ],
+    )
+}
+
+/// The schema of a single container (also used for init and ephemeral
+/// containers).
+pub fn container_schema() -> Vec<FieldNode> {
+    vec![
+        s("name"),
+        s("image").sensitive(),
+        sarr("command").sensitive(),
+        sarr("args"),
+        s("workingDir"),
+        arr(
+            "ports",
+            vec![
+                s("name"),
+                port("hostPort").sensitive(),
+                port("containerPort"),
+                s("protocol"),
+                ip("hostIP").sensitive(),
+            ],
+        ),
+        arr(
+            "envFrom",
+            vec![
+                s("prefix"),
+                obj("configMapRef", vec![s("name"), b("optional")]),
+                obj("secretRef", vec![s("name"), b("optional")]),
+            ],
+        ),
+        arr("env", env_var()),
+        resources(),
+        arr(
+            "volumeMounts",
+            vec![
+                s("name"),
+                b("readOnly"),
+                s("mountPath"),
+                s("subPath").sensitive(),
+                s("mountPropagation").sensitive(),
+                s("subPathExpr").sensitive(),
+            ],
+        ),
+        arr("volumeDevices", vec![s("name"), s("devicePath")]),
+        probe("livenessProbe"),
+        probe("readinessProbe"),
+        probe("startupProbe"),
+        obj(
+            "lifecycle",
+            vec![lifecycle_handler("postStart"), lifecycle_handler("preStop")],
+        ),
+        s("terminationMessagePath"),
+        s("terminationMessagePolicy"),
+        s("imagePullPolicy"),
+        container_security_context(),
+        b("stdin"),
+        b("stdinOnce"),
+        b("tty"),
+        s("restartPolicy"),
+        sarr("resizePolicy"),
+    ]
+}
+
+/// The schema of the `volumes` array (one entry per supported volume source).
+fn volumes() -> FieldNode {
+    let key_items = arr("items", vec![s("key"), s("path"), i("mode")]);
+    arr(
+        "volumes",
+        vec![
+            s("name"),
+            obj("hostPath", vec![s("path").sensitive(), s("type").sensitive()]),
+            obj("emptyDir", vec![s("medium"), q("sizeLimit")]),
+            obj(
+                "gcePersistentDisk",
+                vec![s("pdName"), s("fsType"), i("partition"), b("readOnly")],
+            ),
+            obj(
+                "awsElasticBlockStore",
+                vec![s("volumeID"), s("fsType"), i("partition"), b("readOnly")],
+            ),
+            obj(
+                "secret",
+                vec![
+                    s("secretName"),
+                    key_items.clone(),
+                    i("defaultMode"),
+                    b("optional"),
+                ],
+            ),
+            obj("nfs", vec![s("server"), s("path"), b("readOnly")]),
+            obj(
+                "iscsi",
+                vec![
+                    s("targetPortal"),
+                    s("iqn"),
+                    i("lun"),
+                    s("iscsiInterface"),
+                    s("fsType"),
+                    b("readOnly"),
+                    sarr("portals"),
+                    b("chapAuthDiscovery"),
+                    b("chapAuthSession"),
+                    obj("secretRef", vec![s("name")]),
+                    s("initiatorName"),
+                ],
+            ),
+            obj("glusterfs", vec![s("endpoints"), s("path"), b("readOnly")]),
+            obj(
+                "persistentVolumeClaim",
+                vec![s("claimName"), b("readOnly")],
+            ),
+            obj(
+                "rbd",
+                vec![
+                    sarr("monitors"),
+                    s("image"),
+                    s("fsType"),
+                    s("pool"),
+                    s("user"),
+                    s("keyring"),
+                    obj("secretRef", vec![s("name")]),
+                    b("readOnly"),
+                ],
+            ),
+            obj(
+                "flexVolume",
+                vec![
+                    s("driver"),
+                    s("fsType"),
+                    obj("secretRef", vec![s("name")]),
+                    b("readOnly"),
+                    smap("options"),
+                ],
+            ),
+            obj("cinder", vec![s("volumeID"), s("fsType"), b("readOnly"), obj("secretRef", vec![s("name")])]),
+            obj(
+                "cephfs",
+                vec![
+                    sarr("monitors"),
+                    s("path"),
+                    s("user"),
+                    s("secretFile"),
+                    obj("secretRef", vec![s("name")]),
+                    b("readOnly"),
+                ],
+            ),
+            obj("flocker", vec![s("datasetName"), s("datasetUUID")]),
+            obj(
+                "downwardAPI",
+                vec![
+                    arr(
+                        "items",
+                        vec![
+                            s("path"),
+                            obj("fieldRef", vec![s("apiVersion"), s("fieldPath")]),
+                            obj(
+                                "resourceFieldRef",
+                                vec![s("containerName"), s("resource"), q("divisor")],
+                            ),
+                            i("mode"),
+                        ],
+                    ),
+                    i("defaultMode"),
+                ],
+            ),
+            obj("fc", vec![sarr("targetWWNs"), i("lun"), s("fsType"), b("readOnly")]),
+            obj(
+                "azureFile",
+                vec![s("secretName"), s("shareName"), b("readOnly")],
+            ),
+            obj(
+                "configMap",
+                vec![s("name"), key_items, i("defaultMode"), b("optional")],
+            ),
+            obj(
+                "vsphereVolume",
+                vec![s("volumePath"), s("fsType"), s("storagePolicyName"), s("storagePolicyID")],
+            ),
+            obj(
+                "quobyte",
+                vec![s("registry"), s("volume"), b("readOnly"), s("user"), s("group"), s("tenant")],
+            ),
+            obj(
+                "azureDisk",
+                vec![s("diskName"), s("diskURI"), s("cachingMode"), s("fsType"), b("readOnly"), s("kind")],
+            ),
+            obj("photonPersistentDisk", vec![s("pdID"), s("fsType")]),
+            obj(
+                "projected",
+                vec![
+                    arr(
+                        "sources",
+                        vec![
+                            obj(
+                                "secret",
+                                vec![s("name"), arr("items", vec![s("key"), s("path"), i("mode")]), b("optional")],
+                            ),
+                            obj(
+                                "configMap",
+                                vec![s("name"), arr("items", vec![s("key"), s("path"), i("mode")]), b("optional")],
+                            ),
+                            obj(
+                                "downwardAPI",
+                                vec![arr("items", vec![s("path"), obj("fieldRef", vec![s("apiVersion"), s("fieldPath")]), i("mode")])],
+                            ),
+                            obj(
+                                "serviceAccountToken",
+                                vec![s("audience"), i("expirationSeconds"), s("path")],
+                            ),
+                            obj("clusterTrustBundle", vec![s("name"), s("signerName"), s("path"), b("optional")]),
+                        ],
+                    ),
+                    i("defaultMode"),
+                ],
+            ),
+            obj("portworxVolume", vec![s("volumeID"), s("fsType"), b("readOnly")]),
+            obj(
+                "scaleIO",
+                vec![
+                    s("gateway"),
+                    s("system"),
+                    obj("secretRef", vec![s("name")]),
+                    b("sslEnabled"),
+                    s("protectionDomain"),
+                    s("storagePool"),
+                    s("storageMode"),
+                    s("volumeName"),
+                    s("fsType"),
+                    b("readOnly"),
+                ],
+            ),
+            obj(
+                "storageos",
+                vec![s("volumeName"), s("volumeNamespace"), s("fsType"), b("readOnly"), obj("secretRef", vec![s("name")])],
+            ),
+            obj(
+                "csi",
+                vec![
+                    s("driver"),
+                    b("readOnly"),
+                    s("fsType"),
+                    smap("volumeAttributes"),
+                    obj("nodePublishSecretRef", vec![s("name")]),
+                ],
+            ),
+            obj(
+                "ephemeral",
+                vec![obj(
+                    "volumeClaimTemplate",
+                    vec![
+                        obj("metadata", vec![smap("labels"), smap("annotations")]),
+                        obj(
+                            "spec",
+                            vec![
+                                sarr("accessModes"),
+                                label_selector("selector"),
+                                obj(
+                                    "resources",
+                                    vec![obj("requests", vec![q("storage")]), obj("limits", vec![q("storage")])],
+                                ),
+                                s("volumeName"),
+                                s("storageClassName"),
+                                s("volumeMode"),
+                            ],
+                        ),
+                    ],
+                )],
+            ),
+        ],
+    )
+}
+
+/// Pod-level security context.
+fn pod_security_context() -> FieldNode {
+    obj(
+        "securityContext",
+        vec![
+            obj(
+                "seLinuxOptions",
+                vec![s("user").sensitive(), s("role").sensitive(), s("type"), s("level")],
+            ),
+            obj(
+                "windowsOptions",
+                vec![s("gmsaCredentialSpecName"), s("gmsaCredentialSpec"), s("runAsUserName"), b("hostProcess").sensitive()],
+            ),
+            i("runAsUser"),
+            i("runAsGroup"),
+            b("runAsNonRoot").sensitive(),
+            FieldNode::scalar_array("supplementalGroups", ScalarType::Int),
+            i("fsGroup"),
+            arr("sysctls", vec![s("name").sensitive(), s("value")]),
+            s("fsGroupChangePolicy"),
+            obj("seccompProfile", vec![s("type"), s("localhostProfile").sensitive()]),
+        ],
+    )
+}
+
+/// Affinity rules.
+fn affinity() -> FieldNode {
+    let node_selector_term = vec![
+        arr("matchExpressions", vec![s("key"), s("operator"), sarr("values")]),
+        arr("matchFields", vec![s("key"), s("operator"), sarr("values")]),
+    ];
+    let pod_affinity_term = vec![
+        label_selector("labelSelector"),
+        sarr("namespaces"),
+        s("topologyKey"),
+        label_selector("namespaceSelector"),
+        sarr("matchLabelKeys"),
+        sarr("mismatchLabelKeys"),
+    ];
+    obj(
+        "affinity",
+        vec![
+            obj(
+                "nodeAffinity",
+                vec![
+                    obj(
+                        "requiredDuringSchedulingIgnoredDuringExecution",
+                        vec![arr("nodeSelectorTerms", node_selector_term.clone())],
+                    ),
+                    arr(
+                        "preferredDuringSchedulingIgnoredDuringExecution",
+                        vec![i("weight"), obj("preference", node_selector_term)],
+                    ),
+                ],
+            ),
+            obj(
+                "podAffinity",
+                vec![
+                    arr(
+                        "requiredDuringSchedulingIgnoredDuringExecution",
+                        pod_affinity_term.clone(),
+                    ),
+                    arr(
+                        "preferredDuringSchedulingIgnoredDuringExecution",
+                        vec![i("weight"), obj("podAffinityTerm", pod_affinity_term.clone())],
+                    ),
+                ],
+            ),
+            obj(
+                "podAntiAffinity",
+                vec![
+                    arr(
+                        "requiredDuringSchedulingIgnoredDuringExecution",
+                        pod_affinity_term.clone(),
+                    ),
+                    arr(
+                        "preferredDuringSchedulingIgnoredDuringExecution",
+                        vec![i("weight"), obj("podAffinityTerm", pod_affinity_term)],
+                    ),
+                ],
+            ),
+        ],
+    )
+}
+
+/// The full pod specification schema (the children of `spec` for a Pod, or of
+/// `spec.template.spec` for a workload controller).
+pub fn pod_spec_schema() -> Vec<FieldNode> {
+    let mut ephemeral_container = container_schema();
+    ephemeral_container.push(s("targetContainerName"));
+    vec![
+        arr("initContainers", container_schema()),
+        arr("containers", container_schema()),
+        arr("ephemeralContainers", ephemeral_container),
+        volumes(),
+        s("restartPolicy"),
+        i("terminationGracePeriodSeconds"),
+        i("activeDeadlineSeconds"),
+        s("dnsPolicy"),
+        smap("nodeSelector"),
+        s("serviceAccountName"),
+        s("serviceAccount"),
+        b("automountServiceAccountToken").sensitive(),
+        s("nodeName"),
+        b("hostNetwork").sensitive(),
+        b("hostPID").sensitive(),
+        b("hostIPC").sensitive(),
+        b("shareProcessNamespace").sensitive(),
+        pod_security_context(),
+        arr("imagePullSecrets", vec![s("name")]),
+        s("hostname"),
+        s("subdomain"),
+        affinity(),
+        s("schedulerName"),
+        arr(
+            "tolerations",
+            vec![s("key"), s("operator"), s("value"), s("effect"), i("tolerationSeconds")],
+        ),
+        arr("hostAliases", vec![ip("ip"), sarr("hostnames")]),
+        s("priorityClassName"),
+        i("priority"),
+        obj(
+            "dnsConfig",
+            vec![
+                FieldNode::scalar_array("nameservers", ScalarType::Ip),
+                sarr("searches"),
+                arr("options", vec![s("name"), s("value")]),
+            ],
+        ),
+        arr("readinessGates", vec![s("conditionType")]),
+        s("runtimeClassName"),
+        b("enableServiceLinks"),
+        s("preemptionPolicy"),
+        smap("overhead"),
+        arr(
+            "topologySpreadConstraints",
+            vec![
+                i("maxSkew"),
+                s("topologyKey"),
+                s("whenUnsatisfiable"),
+                label_selector("labelSelector"),
+                i("minDomains"),
+                s("nodeAffinityPolicy"),
+                s("nodeTaintsPolicy"),
+                sarr("matchLabelKeys"),
+            ],
+        ),
+        b("setHostnameAsFQDN"),
+        obj("os", vec![s("name")]),
+        b("hostUsers").sensitive(),
+        arr("schedulingGates", vec![s("name")]),
+        arr(
+            "resourceClaims",
+            vec![s("name"), obj("source", vec![s("resourceClaimName"), s("resourceClaimTemplateName")])],
+        ),
+    ]
+}
+
+/// Object metadata fields as they appear inside templates and top-level
+/// manifests.
+pub fn metadata_schema() -> FieldNode {
+    obj(
+        "metadata",
+        vec![
+            s("name"),
+            s("generateName"),
+            s("namespace"),
+            smap("labels"),
+            smap("annotations"),
+            sarr("finalizers"),
+            arr(
+                "ownerReferences",
+                vec![s("apiVersion"), s("kind"), s("name"), s("uid"), b("controller"), b("blockOwnerDeletion")],
+            ),
+        ],
+    )
+}
+
+/// The `template` subtree embedded in workload controllers (pod template:
+/// metadata + pod spec).
+pub fn pod_template_schema() -> FieldNode {
+    obj(
+        "template",
+        vec![metadata_schema(), obj("spec", pod_spec_schema())],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_schema_is_rich() {
+        let count: usize = container_schema().iter().map(|f| f.field_count()).sum();
+        assert!(count > 120, "container schema has {count} fields");
+    }
+
+    #[test]
+    fn pod_spec_schema_is_the_dominant_surface() {
+        let count: usize = pod_spec_schema().iter().map(|f| f.field_count()).sum();
+        assert!(count > 600, "pod spec schema has {count} fields");
+    }
+
+    #[test]
+    fn security_sensitive_fields_are_marked() {
+        let spec = pod_spec_schema();
+        let host_network = spec.iter().find(|f| f.name() == "hostNetwork").unwrap();
+        assert!(host_network.is_security_sensitive());
+        let containers = spec.iter().find(|f| f.name() == "containers").unwrap();
+        let sec_ctx = containers
+            .children()
+            .iter()
+            .find(|f| f.name() == "securityContext")
+            .unwrap();
+        let privileged = sec_ctx
+            .children()
+            .iter()
+            .find(|f| f.name() == "privileged")
+            .unwrap();
+        assert!(privileged.is_security_sensitive());
+    }
+
+    #[test]
+    fn template_schema_nests_metadata_and_spec() {
+        let template = pod_template_schema();
+        let names: Vec<_> = template.children().iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["metadata", "spec"]);
+    }
+}

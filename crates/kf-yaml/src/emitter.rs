@@ -1,0 +1,326 @@
+//! Canonical YAML emitter for [`Value`] trees.
+//!
+//! The emitter produces the conventional 2-space-indented block style used by
+//! Kubernetes manifests; output is deterministic (mapping order is insertion
+//! order) so that rendered manifests and generated validators can be compared
+//! textually in tests and documentation.
+
+use crate::value::Value;
+
+/// Serialize a [`Value`] to YAML text.
+///
+/// Scalars at the document root are emitted on a single line; mappings and
+/// sequences use block style with 2-space indentation. Strings are quoted
+/// whenever a plain scalar would be re-interpreted as another type or break
+/// parsing (empty strings, strings that look like numbers or booleans,
+/// strings containing `: `, `#`, leading/trailing whitespace, …).
+pub fn to_yaml(value: &Value) -> String {
+    let mut out = String::new();
+    match value {
+        Value::Map(_) | Value::Seq(_) => emit_block(value, 0, &mut out),
+        scalar => {
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn indent_str(indent: usize) -> String {
+    " ".repeat(indent)
+}
+
+fn emit_block(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Map(map) => {
+            if map.is_empty() {
+                out.push_str(&indent_str(indent));
+                out.push_str("{}\n");
+                return;
+            }
+            for (k, v) in map.iter() {
+                out.push_str(&indent_str(indent));
+                out.push_str(&emit_key(k));
+                out.push(':');
+                emit_entry_value(v, indent, out);
+            }
+        }
+        Value::Seq(seq) => {
+            if seq.is_empty() {
+                out.push_str(&indent_str(indent));
+                out.push_str("[]\n");
+                return;
+            }
+            for item in seq {
+                out.push_str(&indent_str(indent));
+                out.push('-');
+                match item {
+                    Value::Map(m) if !m.is_empty() => {
+                        // Compact form: first key on the dash line, remaining
+                        // keys at the same column.
+                        let mut iter = m.iter();
+                        let (k0, v0) = iter.next().expect("non-empty");
+                        out.push(' ');
+                        out.push_str(&emit_key(k0));
+                        out.push(':');
+                        emit_entry_value_at(v0, indent + 2, out);
+                        for (k, v) in iter {
+                            out.push_str(&indent_str(indent + 2));
+                            out.push_str(&emit_key(k));
+                            out.push(':');
+                            emit_entry_value_at(v, indent + 2, out);
+                        }
+                    }
+                    Value::Seq(s) if !s.is_empty() => {
+                        out.push('\n');
+                        emit_block(item, indent + 2, out);
+                    }
+                    Value::Map(_) => out.push_str(" {}\n"),
+                    Value::Seq(_) => out.push_str(" []\n"),
+                    scalar => {
+                        out.push(' ');
+                        out.push_str(&emit_scalar(scalar));
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        scalar => {
+            out.push_str(&indent_str(indent));
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+/// Emit the value of a `key:` entry whose key was written at `indent`.
+fn emit_entry_value(value: &Value, indent: usize, out: &mut String) {
+    emit_entry_value_at(value, indent, out);
+}
+
+/// Emit the value of a mapping entry whose key sits at column `key_indent`.
+fn emit_entry_value_at(value: &Value, key_indent: usize, out: &mut String) {
+    match value {
+        Value::Map(m) if !m.is_empty() => {
+            out.push('\n');
+            emit_block(value, key_indent + 2, out);
+        }
+        Value::Seq(s) if !s.is_empty() => {
+            out.push('\n');
+            emit_block(value, key_indent + 2, out);
+        }
+        Value::Map(_) => out.push_str(" {}\n"),
+        Value::Seq(_) => out.push_str(" []\n"),
+        scalar => {
+            out.push(' ');
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+fn emit_key(key: &str) -> String {
+    if key_is_plain(key) {
+        key.to_owned()
+    } else {
+        quote(key)
+    }
+}
+
+fn key_is_plain(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '/'))
+        && !key.starts_with('-')
+}
+
+fn emit_scalar(value: &Value) -> String {
+    match value {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => {
+            if x.fract() == 0.0 && x.is_finite() {
+                // Keep a decimal point so the value round-trips as a float.
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        Value::Str(s) => {
+            if string_is_plain(s) {
+                s.clone()
+            } else {
+                quote(s)
+            }
+        }
+        Value::Seq(_) | Value::Map(_) => unreachable!("containers are emitted in block style"),
+    }
+}
+
+/// Whether a string can be emitted without quotes and still parse back as the
+/// same string.
+fn string_is_plain(s: &str) -> bool {
+    if s.is_empty()
+        || s != s.trim()
+        || s.contains('\n')
+        || s.contains('\t')
+        || s.contains(": ")
+        || s.ends_with(':')
+        || s.contains(" #")
+        || s.contains('\'')
+        || s.contains('"')
+    {
+        return false;
+    }
+    let first = s.chars().next().expect("non-empty");
+    if matches!(
+        first,
+        '-' | '?' | ':' | ',' | '[' | ']' | '{' | '}' | '#' | '&' | '*' | '!' | '|' | '>' | '%'
+            | '@' | '`'
+    ) {
+        return false;
+    }
+    // Values that would parse as a different scalar type must be quoted.
+    if matches!(
+        s,
+        "~" | "null" | "Null" | "NULL" | "true" | "True" | "TRUE" | "false" | "False" | "FALSE"
+            | "{}"
+            | "[]"
+    ) {
+        return false;
+    }
+    if s.parse::<i64>().is_ok() || s.parse::<f64>().is_ok() {
+        return false;
+    }
+    true
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, Mapping, Path, Value};
+
+    fn roundtrip(v: &Value) -> Value {
+        parse(&to_yaml(v)).expect("emitted YAML must re-parse")
+    }
+
+    #[test]
+    fn emits_scalars() {
+        assert_eq!(to_yaml(&Value::Null), "null\n");
+        assert_eq!(to_yaml(&Value::Bool(false)), "false\n");
+        assert_eq!(to_yaml(&Value::Int(42)), "42\n");
+        assert_eq!(to_yaml(&Value::Float(2.0)), "2.0\n");
+        assert_eq!(to_yaml(&Value::from("plain")), "plain\n");
+    }
+
+    #[test]
+    fn quotes_ambiguous_strings() {
+        assert_eq!(to_yaml(&Value::from("true")), "\"true\"\n");
+        assert_eq!(to_yaml(&Value::from("123")), "\"123\"\n");
+        assert_eq!(to_yaml(&Value::from("")), "\"\"\n");
+        assert_eq!(to_yaml(&Value::from("a: b")), "\"a: b\"\n");
+    }
+
+    #[test]
+    fn emits_nested_structures() {
+        let mut inner = Mapping::new();
+        inner.insert("name", Value::from("web"));
+        inner.insert("image", Value::from("nginx:latest"));
+        let mut spec = Mapping::new();
+        spec.insert("replicas", Value::from(2));
+        spec.insert("containers", Value::Seq(vec![Value::Map(inner)]));
+        let mut root = Mapping::new();
+        root.insert("spec", Value::Map(spec));
+        let doc = Value::Map(root);
+        let text = to_yaml(&doc);
+        assert!(text.contains("spec:\n  replicas: 2\n  containers:\n    - name: web\n"));
+        assert!(roundtrip(&doc).loosely_equals(&doc));
+    }
+
+    #[test]
+    fn empty_containers_use_flow_style() {
+        let mut root = Mapping::new();
+        root.insert("emptyDir", Value::empty_map());
+        root.insert("args", Value::empty_seq());
+        let doc = Value::Map(root);
+        let text = to_yaml(&doc);
+        assert!(text.contains("emptyDir: {}"));
+        assert!(text.contains("args: []"));
+        assert!(roundtrip(&doc).loosely_equals(&doc));
+    }
+
+    #[test]
+    fn sequences_of_scalars_and_maps_roundtrip() {
+        let doc = parse(
+            "spec:\n  ports:\n    - 80\n    - 443\n  containers:\n    - name: a\n      env:\n        - name: X\n          value: \"1\"\n    - name: b\n",
+        )
+        .unwrap();
+        let rt = roundtrip(&doc);
+        assert!(rt.loosely_equals(&doc));
+        assert_eq!(
+            rt.get_path(&Path::parse("spec.containers[0].env[0].value").unwrap())
+                .unwrap()
+                .as_str(),
+            Some("1")
+        );
+    }
+
+    #[test]
+    fn nested_sequences_roundtrip() {
+        let doc = Value::Seq(vec![
+            Value::Seq(vec![Value::from(1), Value::from(2)]),
+            Value::Seq(vec![Value::from(3)]),
+        ]);
+        assert!(roundtrip(&doc).loosely_equals(&doc));
+    }
+
+    #[test]
+    fn realistic_manifest_roundtrips_exactly() {
+        let text = r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: nginx
+  labels:
+    app.kubernetes.io/name: nginx
+spec:
+  replicas: 2
+  selector:
+    matchLabels:
+      app: nginx
+  template:
+    spec:
+      containers:
+        - name: nginx
+          image: docker.io/bitnami/nginx:1.25
+          ports:
+            - containerPort: 8080
+          securityContext:
+            runAsNonRoot: true
+            allowPrivilegeEscalation: false
+      volumes:
+        - name: tmp
+          emptyDir: {}
+"#;
+        let doc = parse(text).unwrap();
+        let rt = roundtrip(&doc);
+        assert!(rt.loosely_equals(&doc));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for parsing, path resolution and document manipulation.
+
+use std::fmt;
+
+/// Error produced while parsing YAML text, resolving a [`crate::Path`] or
+/// manipulating a [`crate::Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The YAML text could not be parsed.
+    Parse {
+        /// 1-based line number where the problem was detected.
+        line: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// A [`crate::Path`] string was malformed.
+    InvalidPath {
+        /// The offending path text.
+        path: String,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// A path did not resolve against the document it was applied to.
+    PathNotFound {
+        /// The path that failed to resolve.
+        path: String,
+    },
+    /// An operation expected a different node type (e.g. indexing a scalar).
+    TypeMismatch {
+        /// Description of what was expected.
+        expected: String,
+        /// Description of what was found.
+        found: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, message } => {
+                write!(f, "yaml parse error at line {line}: {message}")
+            }
+            Error::InvalidPath { path, message } => {
+                write!(f, "invalid path `{path}`: {message}")
+            }
+            Error::PathNotFound { path } => write!(f, "path `{path}` not found in document"),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build a parse error for the given (1-based) line.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        Error::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # kf-yaml — document tree and YAML subset used by the KubeFence reproduction
+//!
+//! Every artifact that KubeFence manipulates — Helm `values.yaml` files,
+//! rendered Kubernetes manifests, API request bodies, policy validators — is a
+//! hierarchical document. This crate provides the shared document tree
+//! ([`Value`]) together with:
+//!
+//! * a parser for the YAML subset used throughout the project
+//!   ([`parse`] / [`parse_documents`]),
+//! * an emitter producing canonical YAML text ([`to_yaml`]),
+//! * dotted-path addressing into documents ([`Path`]),
+//! * structural helpers: deep merge, leaf enumeration, diffing.
+//!
+//! The subset covers what Kubernetes manifests and Helm values files actually
+//! use in this repository: block mappings and sequences, quoted and plain
+//! scalars, flow sequences/mappings, comments and multi-document streams.
+//! Anchors, tags and block scalars are intentionally out of scope.
+//!
+//! ```
+//! use kf_yaml::{parse, Path};
+//!
+//! # fn main() -> Result<(), kf_yaml::Error> {
+//! let doc = parse("spec:\n  replicas: 3\n  containers:\n    - name: web\n")?;
+//! let replicas = doc.get_path(&Path::parse("spec.replicas")?).unwrap();
+//! assert_eq!(replicas.as_i64(), Some(3));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emitter;
+mod error;
+mod parser;
+mod path;
+mod value;
+
+pub use emitter::to_yaml;
+pub use error::Error;
+pub use parser::{parse, parse_documents};
+pub use path::{Path, PathSegment};
+pub use value::{Mapping, Value};
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,118 @@
+//! Property-based tests: every document the emitter can produce must re-parse
+//! to a structurally equivalent document, and path operations must be
+//! consistent with each other.
+
+use kf_yaml::{parse, to_yaml, Mapping, Path, Value};
+use proptest::prelude::*;
+
+/// Strategy producing mapping keys in the shape Kubernetes manifests use.
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_-]{0,12}"
+}
+
+/// Strategy producing string scalars (printable, no exotic whitespace).
+fn plain_string() -> impl Strategy<Value = String> {
+    "[ -~]{0,24}".prop_map(|s| s.trim().to_string())
+}
+
+fn scalar_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1000.0f64..1000.0).prop_map(|x| Value::Float((x * 100.0).round() / 100.0)),
+        plain_string().prop_map(Value::Str),
+    ]
+}
+
+/// Recursive strategy for arbitrary documents of bounded depth and width.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    scalar_strategy().prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Seq),
+            prop::collection::vec((key_strategy(), inner), 0..5).prop_map(|pairs| {
+                let mut m = Mapping::new();
+                for (k, v) in pairs {
+                    m.insert(k, v);
+                }
+                Value::Map(m)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Emit → parse is the identity (up to int/float looseness).
+    #[test]
+    fn emit_parse_roundtrip(doc in value_strategy()) {
+        let text = to_yaml(&doc);
+        let reparsed = parse(&text).expect("emitted YAML must parse");
+        prop_assert!(reparsed.loosely_equals(&doc), "roundtrip mismatch:\n{text}");
+    }
+
+    /// Every leaf reported by `leaves()` is reachable through `get_path`.
+    #[test]
+    fn leaves_are_addressable(doc in value_strategy()) {
+        for (path, leaf) in doc.leaves() {
+            let found = doc.get_path(&path);
+            prop_assert!(found.is_some(), "leaf path {path} did not resolve");
+            prop_assert!(found.unwrap().loosely_equals(leaf));
+        }
+    }
+
+    /// `set_path` followed by `get_path` returns the value just written.
+    #[test]
+    fn set_then_get_is_consistent(
+        doc in value_strategy(),
+        keys in prop::collection::vec(key_strategy(), 1..4),
+        scalar in scalar_strategy(),
+    ) {
+        let mut doc = doc;
+        // Only exercise paths whose prefixes are maps or absent, which is the
+        // contract under which set_path succeeds.
+        let path = Path::parse(&keys.join(".")).unwrap();
+        if doc.set_path(&path, scalar.clone()).is_ok() {
+            let read = doc.get_path(&path).expect("value just written must resolve");
+            prop_assert!(read.loosely_equals(&scalar));
+        }
+    }
+
+    /// Merging a document into itself is idempotent.
+    #[test]
+    fn merge_is_idempotent(doc in value_strategy()) {
+        let mut merged = doc.clone();
+        merged.merge_from(&doc);
+        prop_assert!(merged.loosely_equals(&doc));
+    }
+
+    /// Field-path notation never contains concrete indices: every `[` is part
+    /// of the collapsed `[]` marker.
+    #[test]
+    fn field_paths_have_no_indices(doc in value_strategy()) {
+        for field in doc.field_paths() {
+            for (i, c) in field.char_indices() {
+                if c == '[' {
+                    prop_assert_eq!(field.as_bytes().get(i + 1), Some(&b']'),
+                        "field path `{}` contains a concrete index", field);
+                }
+            }
+        }
+    }
+
+    /// Parsing never panics on emitted output concatenated as a stream.
+    #[test]
+    fn multi_document_stream_parses(docs in prop::collection::vec(value_strategy(), 1..4)) {
+        let mut text = String::new();
+        for d in &docs {
+            text.push_str("---\n");
+            text.push_str(&to_yaml(d));
+        }
+        let parsed = kf_yaml::parse_documents(&text).expect("stream must parse");
+        prop_assert_eq!(parsed.len(), docs.len());
+        for (original, reparsed) in docs.iter().zip(parsed.iter()) {
+            prop_assert!(reparsed.loosely_equals(original));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Shared helpers for the built-in charts.
+
+use helm_lite::TemplateFile;
+
+/// The `_helpers.tpl` file every chart ships: a `<name>.fullname` helper
+/// following the usual `<release>-<chart>` convention.
+pub fn helpers_tpl(chart_name: &str) -> TemplateFile {
+    TemplateFile::new(
+        "_helpers.tpl",
+        format!(
+            r#"{{{{- define "{chart_name}.fullname" -}}}}
+{{{{ .Release.Name }}}}-{{{{ .Chart.Name }}}}
+{{{{- end -}}}}
+{{{{- define "{chart_name}.serviceAccountName" -}}}}
+{{{{ .Release.Name }}}}-{{{{ .Chart.Name }}}}
+{{{{- end -}}}}"#
+        ),
+    )
+}
+
+/// The standard label block used by the charts (kept small and fixed so that
+/// validators treat the labels as constants).
+pub fn labels_block(chart_name: &str) -> String {
+    format!(
+        "    app.kubernetes.io/name: {chart_name}\n    app.kubernetes.io/instance: {{{{ .Release.Name }}}}\n    app.kubernetes.io/managed-by: {{{{ .Release.Service }}}}"
+    )
+}
+
+/// A ServiceAccount template shared by all charts.
+pub fn service_account_template(chart_name: &str) -> TemplateFile {
+    TemplateFile::new(
+        "serviceaccount.yaml",
+        format!(
+            r#"apiVersion: v1
+kind: ServiceAccount
+metadata:
+  name: {{{{ include "{chart_name}.serviceAccountName" . }}}}
+  labels:
+{labels}
+automountServiceAccountToken: {{{{ .Values.serviceAccount.automountToken }}}}
+"#,
+            labels = labels_block(chart_name)
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_templates_define_fullname_and_service_account_name() {
+        let tpl = helpers_tpl("nginx");
+        assert!(tpl.is_helper());
+        assert!(tpl.source.contains("nginx.fullname"));
+        assert!(tpl.source.contains("nginx.serviceAccountName"));
+    }
+
+    #[test]
+    fn labels_block_is_indented_for_metadata() {
+        let block = labels_block("demo");
+        for line in block.lines() {
+            assert!(line.starts_with("    "));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! The MLflow operator chart (modelled on `community-charts/mlflow`).
+//!
+//! Resource footprint (Figure 9): Deployment, Service, ConfigMap, Ingress,
+//! ServiceAccount and Secret.
+
+use helm_lite::{Chart, ChartMetadata, TemplateFile, ValuesFile};
+
+use super::common;
+
+/// Default values of the chart.
+pub const VALUES: &str = r#"replicaCount: 1
+image:
+  registry: docker.io
+  repository: bitnami/mlflow
+  tag: 2.10.2
+  # @options: IfNotPresent | Always
+  pullPolicy: IfNotPresent
+tracking:
+  enabled: true
+  host: "0.0.0.0"
+  port: 5000
+backendStore:
+  postgres:
+    enabled: true
+    host: mlflow-postgresql
+    port: 5432
+    database: mlflow
+    user: mlflow
+    password: changeme-mlflow
+artifactRoot:
+  path: /mlruns
+service:
+  # @options: ClusterIP | NodePort
+  type: ClusterIP
+  port: 5000
+ingress:
+  enabled: true
+  className: nginx
+  host: mlflow.example.com
+  path: /
+  tls:
+    enabled: false
+    secretName: mlflow-tls
+resources:
+  limits:
+    cpu: 1000m
+    memory: 1Gi
+  requests:
+    cpu: 500m
+    memory: 512Mi
+containerSecurityContext:
+  runAsNonRoot: true
+  runAsUser: 1001
+  allowPrivilegeEscalation: false
+serviceAccount:
+  automountToken: false
+extraEnvVars:
+  - name: MLFLOW_LOG_LEVEL
+    value: INFO
+"#;
+
+const DEPLOYMENT: &str = r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ include "mlflow.fullname" . }}
+  labels:
+    app.kubernetes.io/name: mlflow
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: mlflow
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: mlflow
+        app.kubernetes.io/instance: {{ .Release.Name }}
+    spec:
+      serviceAccountName: {{ include "mlflow.serviceAccountName" . }}
+      automountServiceAccountToken: {{ .Values.serviceAccount.automountToken }}
+      containers:
+        - name: mlflow
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          imagePullPolicy: {{ .Values.image.pullPolicy }}
+          args:
+            - server
+            - --host={{ .Values.tracking.host }}
+            - --port={{ .Values.tracking.port }}
+          ports:
+            - name: http
+              containerPort: {{ .Values.tracking.port }}
+              protocol: TCP
+          env:
+            - name: MLFLOW_ARTIFACT_ROOT
+              value: {{ .Values.artifactRoot.path }}
+            {{- if .Values.backendStore.postgres.enabled }}
+            - name: PGHOST
+              value: {{ .Values.backendStore.postgres.host }}
+            - name: PGPORT
+              value: "{{ .Values.backendStore.postgres.port }}"
+            - name: PGUSER
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "mlflow.fullname" . }}-env-secret
+                  key: PGUSER
+            - name: PGPASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "mlflow.fullname" . }}-env-secret
+                  key: PGPASSWORD
+            {{- end }}
+            {{- range .Values.extraEnvVars }}
+            - name: {{ .name }}
+              value: {{ .value }}
+            {{- end }}
+          envFrom:
+            - configMapRef:
+                name: {{ include "mlflow.fullname" . }}-config
+          securityContext:
+            runAsNonRoot: {{ .Values.containerSecurityContext.runAsNonRoot }}
+            runAsUser: {{ .Values.containerSecurityContext.runAsUser }}
+            allowPrivilegeEscalation: {{ .Values.containerSecurityContext.allowPrivilegeEscalation }}
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+          readinessProbe:
+            httpGet:
+              path: /health
+              port: http
+            initialDelaySeconds: 15
+            periodSeconds: 10
+          volumeMounts:
+            - name: artifacts
+              mountPath: {{ .Values.artifactRoot.path }}
+      volumes:
+        - name: artifacts
+          emptyDir: {}
+"#;
+
+const SERVICE: &str = r#"apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "mlflow.fullname" . }}
+  labels:
+    app.kubernetes.io/name: mlflow
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  type: {{ .Values.service.type }}
+  ports:
+    - name: http
+      port: {{ .Values.service.port }}
+      targetPort: http
+      protocol: TCP
+  selector:
+    app.kubernetes.io/name: mlflow
+    app.kubernetes.io/instance: {{ .Release.Name }}
+"#;
+
+const CONFIGMAP: &str = r#"apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ include "mlflow.fullname" . }}-config
+  labels:
+    app.kubernetes.io/name: mlflow
+    app.kubernetes.io/instance: {{ .Release.Name }}
+data:
+  MLFLOW_TRACKING_URI: "http://{{ include "mlflow.fullname" . }}:{{ .Values.service.port }}"
+  MLFLOW_SERVE_ARTIFACTS: "true"
+"#;
+
+const SECRET: &str = r#"{{- if .Values.backendStore.postgres.enabled }}
+apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "mlflow.fullname" . }}-env-secret
+  labels:
+    app.kubernetes.io/name: mlflow
+    app.kubernetes.io/instance: {{ .Release.Name }}
+type: Opaque
+data:
+  PGUSER: {{ .Values.backendStore.postgres.user | b64enc }}
+  PGPASSWORD: {{ .Values.backendStore.postgres.password | b64enc }}
+{{- end }}
+"#;
+
+const INGRESS: &str = r#"{{- if .Values.ingress.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {{ include "mlflow.fullname" . }}
+  labels:
+    app.kubernetes.io/name: mlflow
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  ingressClassName: {{ .Values.ingress.className }}
+  {{- if .Values.ingress.tls.enabled }}
+  tls:
+    - hosts:
+        - {{ .Values.ingress.host }}
+      secretName: {{ .Values.ingress.tls.secretName }}
+  {{- end }}
+  rules:
+    - host: {{ .Values.ingress.host }}
+      http:
+        paths:
+          - path: {{ .Values.ingress.path }}
+            pathType: Prefix
+            backend:
+              service:
+                name: {{ include "mlflow.fullname" . }}
+                port:
+                  name: http
+{{- end }}
+"#;
+
+/// Build the MLflow chart.
+pub fn chart() -> Chart {
+    Chart::new(
+        ChartMetadata::new("mlflow", "0.12.5").with_app_version("2.10.2"),
+        ValuesFile::parse(VALUES).expect("built-in values must parse"),
+        vec![
+            common::helpers_tpl("mlflow"),
+            common::service_account_template("mlflow"),
+            TemplateFile::new("deployment.yaml", DEPLOYMENT),
+            TemplateFile::new("service.yaml", SERVICE),
+            TemplateFile::new("configmap.yaml", CONFIGMAP),
+            TemplateFile::new("secret.yaml", SECRET),
+            TemplateFile::new("ingress.yaml", INGRESS),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helm_lite::render_chart;
+    use kf_yaml::Path;
+
+    #[test]
+    fn default_rendering_contains_the_expected_kinds() {
+        let manifests = render_chart(&chart(), None, "mlflow").unwrap();
+        let kinds: Vec<_> = manifests.iter().filter_map(|m| m.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "ServiceAccount",
+                "Deployment",
+                "Service",
+                "ConfigMap",
+                "Secret",
+                "Ingress"
+            ]
+        );
+    }
+
+    #[test]
+    fn postgres_credentials_flow_into_the_secret_when_enabled() {
+        let manifests = render_chart(&chart(), None, "mlflow").unwrap();
+        let secret = manifests.iter().find(|m| m.kind() == Some("Secret")).unwrap();
+        let user = secret
+            .document
+            .get_path(&Path::parse("data.PGUSER").unwrap())
+            .unwrap();
+        assert_eq!(user.as_str(), Some("bWxmbG93")); // base64("mlflow")
+        // Disabling the backend removes both the secret and its env wiring.
+        let overrides =
+            kf_yaml::parse("backendStore:\n  postgres:\n    enabled: false\n").unwrap();
+        let manifests = render_chart(&chart(), Some(&overrides), "mlflow").unwrap();
+        assert!(manifests.iter().all(|m| m.kind() != Some("Secret")));
+        let deployment = manifests
+            .iter()
+            .find(|m| m.kind() == Some("Deployment"))
+            .unwrap();
+        let env = deployment
+            .document
+            .get_path(&Path::parse("spec.template.spec.containers[0].env").unwrap())
+            .unwrap();
+        let names: Vec<_> = env
+            .as_seq()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("name").and_then(kf_yaml::Value::as_str))
+            .collect();
+        assert!(!names.contains(&"PGPASSWORD"));
+        assert!(names.contains(&"MLFLOW_LOG_LEVEL"));
+    }
+
+    #[test]
+    fn ingress_routes_to_the_tracking_service() {
+        let manifests = render_chart(&chart(), None, "mlflow").unwrap();
+        let ingress = manifests.iter().find(|m| m.kind() == Some("Ingress")).unwrap();
+        assert_eq!(
+            ingress
+                .document
+                .get_path(
+                    &Path::parse("spec.rules[0].http.paths[0].backend.service.name").unwrap()
+                )
+                .and_then(|v| v.as_str()),
+            Some("mlflow-mlflow")
+        );
+    }
+}

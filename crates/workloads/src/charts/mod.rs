@@ -1,0 +1,64 @@
+//! Built-in synthetic charts for the five evaluated operators.
+//!
+//! The charts follow the structure of their Artifact Hub counterparts
+//! (bitnami/nginx, community-charts/mlflow, bitnami/postgresql,
+//! bitnami/rabbitmq, openshift-bootstraps/sonarqube): the same resource kinds,
+//! the same kind of templating (value interpolation, conditional resources,
+//! helper templates), and the security-relevant fields in the same places.
+//! They are the inputs of the KubeFence policy pipeline in every experiment.
+
+pub mod common;
+pub mod mlflow;
+pub mod nginx;
+pub mod postgresql;
+pub mod rabbitmq;
+pub mod sonarqube;
+
+#[cfg(test)]
+mod tests {
+    use helm_lite::render_chart;
+
+    #[test]
+    fn every_chart_renders_with_default_values() {
+        for chart in [
+            super::nginx::chart(),
+            super::mlflow::chart(),
+            super::postgresql::chart(),
+            super::rabbitmq::chart(),
+            super::sonarqube::chart(),
+        ] {
+            let manifests = render_chart(&chart, None, "test").unwrap_or_else(|e| {
+                panic!("chart {} failed to render: {e}", chart.metadata().name)
+            });
+            assert!(
+                manifests.len() >= 4,
+                "chart {} rendered only {} manifests",
+                chart.metadata().name,
+                manifests.len()
+            );
+            for manifest in &manifests {
+                assert!(
+                    manifest.kind().is_some(),
+                    "chart {} rendered a document without kind from {}",
+                    chart.metadata().name,
+                    manifest.template
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn charts_have_annotated_enumerations_for_exploration() {
+        for chart in [
+            super::nginx::chart(),
+            super::postgresql::chart(),
+            super::rabbitmq::chart(),
+        ] {
+            assert!(
+                !chart.values().annotations().is_empty(),
+                "chart {} has no @options annotations",
+                chart.metadata().name
+            );
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The Nginx operator chart (modelled on `bitnami/nginx`).
+//!
+//! Resource footprint (Figure 9): Deployment, Service, NetworkPolicy,
+//! ServiceAccount, HorizontalPodAutoscaler and PodDisruptionBudget.
+
+use helm_lite::{Chart, ChartMetadata, TemplateFile, ValuesFile};
+
+use super::common;
+
+/// Default values of the chart.
+pub const VALUES: &str = r#"replicaCount: 2
+image:
+  registry: docker.io
+  repository: bitnami/nginx
+  tag: 1.25.3-debian-11-r2
+  # @options: IfNotPresent | Always
+  pullPolicy: IfNotPresent
+  pullSecrets:
+    - name: regcred
+containerPorts:
+  http: 8080
+  https: 8443
+service:
+  # @options: ClusterIP | LoadBalancer
+  type: LoadBalancer
+  ports:
+    http: 80
+    https: 443
+resources:
+  limits:
+    cpu: 500m
+    memory: 512Mi
+  requests:
+    cpu: 250m
+    memory: 256Mi
+podSecurityContext:
+  fsGroup: 1001
+containerSecurityContext:
+  runAsNonRoot: true
+  runAsUser: 1001
+  allowPrivilegeEscalation: false
+  readOnlyRootFilesystem: true
+serviceAccount:
+  automountToken: false
+networkPolicy:
+  enabled: true
+  allowExternal: true
+autoscaling:
+  enabled: true
+  minReplicas: 2
+  maxReplicas: 6
+  targetCPU: 75
+pdb:
+  create: true
+  minAvailable: 1
+"#;
+
+const DEPLOYMENT: &str = r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ include "nginx.fullname" . }}
+  labels:
+    app.kubernetes.io/name: nginx
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: nginx
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  strategy:
+    type: RollingUpdate
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: nginx
+        app.kubernetes.io/instance: {{ .Release.Name }}
+    spec:
+      serviceAccountName: {{ include "nginx.serviceAccountName" . }}
+      automountServiceAccountToken: {{ .Values.serviceAccount.automountToken }}
+      securityContext:
+        fsGroup: {{ .Values.podSecurityContext.fsGroup }}
+      {{- if .Values.image.pullSecrets }}
+      imagePullSecrets:
+        {{- toYaml .Values.image.pullSecrets | nindent 8 }}
+      {{- end }}
+      containers:
+        - name: nginx
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          imagePullPolicy: {{ .Values.image.pullPolicy }}
+          ports:
+            - name: http
+              containerPort: {{ .Values.containerPorts.http }}
+              protocol: TCP
+            - name: https
+              containerPort: {{ .Values.containerPorts.https }}
+              protocol: TCP
+          securityContext:
+            runAsNonRoot: {{ .Values.containerSecurityContext.runAsNonRoot }}
+            runAsUser: {{ .Values.containerSecurityContext.runAsUser }}
+            allowPrivilegeEscalation: {{ .Values.containerSecurityContext.allowPrivilegeEscalation }}
+            readOnlyRootFilesystem: {{ .Values.containerSecurityContext.readOnlyRootFilesystem }}
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+          livenessProbe:
+            httpGet:
+              path: /
+              port: http
+            initialDelaySeconds: 10
+            periodSeconds: 10
+          readinessProbe:
+            tcpSocket:
+              port: http
+            initialDelaySeconds: 5
+            periodSeconds: 5
+          volumeMounts:
+            - name: tmp
+              mountPath: /tmp
+      volumes:
+        - name: tmp
+          emptyDir: {}
+"#;
+
+const SERVICE: &str = r#"apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "nginx.fullname" . }}
+  labels:
+    app.kubernetes.io/name: nginx
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  type: {{ .Values.service.type }}
+  {{- if eq .Values.service.type "LoadBalancer" }}
+  externalTrafficPolicy: Local
+  {{- end }}
+  ports:
+    - name: http
+      port: {{ .Values.service.ports.http }}
+      targetPort: http
+      protocol: TCP
+    - name: https
+      port: {{ .Values.service.ports.https }}
+      targetPort: https
+      protocol: TCP
+  selector:
+    app.kubernetes.io/name: nginx
+    app.kubernetes.io/instance: {{ .Release.Name }}
+"#;
+
+const NETWORK_POLICY: &str = r#"{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {{ include "nginx.fullname" . }}
+  labels:
+    app.kubernetes.io/name: nginx
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  podSelector:
+    matchLabels:
+      app.kubernetes.io/name: nginx
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  policyTypes:
+    - Ingress
+  ingress:
+    - ports:
+        - port: {{ .Values.containerPorts.http }}
+        - port: {{ .Values.containerPorts.https }}
+      {{- if not .Values.networkPolicy.allowExternal }}
+      from:
+        - podSelector:
+            matchLabels:
+              app.kubernetes.io/instance: {{ .Release.Name }}
+      {{- end }}
+{{- end }}
+"#;
+
+const HPA: &str = r#"{{- if .Values.autoscaling.enabled }}
+apiVersion: autoscaling/v2
+kind: HorizontalPodAutoscaler
+metadata:
+  name: {{ include "nginx.fullname" . }}
+  labels:
+    app.kubernetes.io/name: nginx
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  scaleTargetRef:
+    apiVersion: apps/v1
+    kind: Deployment
+    name: {{ include "nginx.fullname" . }}
+  minReplicas: {{ .Values.autoscaling.minReplicas }}
+  maxReplicas: {{ .Values.autoscaling.maxReplicas }}
+  metrics:
+    - type: Resource
+      resource:
+        name: cpu
+        target:
+          type: Utilization
+          averageUtilization: {{ .Values.autoscaling.targetCPU }}
+{{- end }}
+"#;
+
+const PDB: &str = r#"{{- if .Values.pdb.create }}
+apiVersion: policy/v1
+kind: PodDisruptionBudget
+metadata:
+  name: {{ include "nginx.fullname" . }}
+  labels:
+    app.kubernetes.io/name: nginx
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  minAvailable: {{ .Values.pdb.minAvailable }}
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: nginx
+      app.kubernetes.io/instance: {{ .Release.Name }}
+{{- end }}
+"#;
+
+/// Build the Nginx chart.
+pub fn chart() -> Chart {
+    Chart::new(
+        ChartMetadata::new("nginx", "15.14.0").with_app_version("1.25.3"),
+        ValuesFile::parse(VALUES).expect("built-in values must parse"),
+        vec![
+            common::helpers_tpl("nginx"),
+            common::service_account_template("nginx"),
+            TemplateFile::new("deployment.yaml", DEPLOYMENT),
+            TemplateFile::new("service.yaml", SERVICE),
+            TemplateFile::new("networkpolicy.yaml", NETWORK_POLICY),
+            TemplateFile::new("hpa.yaml", HPA),
+            TemplateFile::new("pdb.yaml", PDB),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helm_lite::render_chart;
+    use kf_yaml::Path;
+
+    #[test]
+    fn default_rendering_contains_the_expected_kinds() {
+        let manifests = render_chart(&chart(), None, "web").unwrap();
+        let kinds: Vec<_> = manifests.iter().filter_map(|m| m.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "ServiceAccount",
+                "Deployment",
+                "Service",
+                "NetworkPolicy",
+                "HorizontalPodAutoscaler",
+                "PodDisruptionBudget"
+            ]
+        );
+    }
+
+    #[test]
+    fn deployment_pins_the_hardened_security_context() {
+        let manifests = render_chart(&chart(), None, "web").unwrap();
+        let deployment = manifests
+            .iter()
+            .find(|m| m.kind() == Some("Deployment"))
+            .unwrap();
+        let run_as_non_root = deployment
+            .document
+            .get_path(
+                &Path::parse(
+                    "spec.template.spec.containers[0].securityContext.runAsNonRoot",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(run_as_non_root.as_bool(), Some(true));
+        let image = deployment
+            .document
+            .get_path(&Path::parse("spec.template.spec.containers[0].image").unwrap())
+            .unwrap();
+        assert_eq!(
+            image.as_str(),
+            Some("docker.io/bitnami/nginx:1.25.3-debian-11-r2")
+        );
+    }
+
+    #[test]
+    fn load_balancer_condition_follows_the_service_type() {
+        let manifests = render_chart(&chart(), None, "web").unwrap();
+        let service = manifests.iter().find(|m| m.kind() == Some("Service")).unwrap();
+        assert_eq!(
+            service
+                .document
+                .get_path(&Path::parse("spec.externalTrafficPolicy").unwrap())
+                .and_then(|v| v.as_str()),
+            Some("Local")
+        );
+        let cluster_ip = kf_yaml::parse("service:\n  type: ClusterIP\n").unwrap();
+        let manifests = helm_lite::render_chart(&chart(), Some(&cluster_ip), "web").unwrap();
+        let service = manifests.iter().find(|m| m.kind() == Some("Service")).unwrap();
+        assert!(service
+            .document
+            .get_path(&Path::parse("spec.externalTrafficPolicy").unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn disabling_optional_features_removes_their_manifests() {
+        let overrides = kf_yaml::parse(
+            "networkPolicy:\n  enabled: false\nautoscaling:\n  enabled: false\npdb:\n  create: false\n",
+        )
+        .unwrap();
+        let manifests = helm_lite::render_chart(&chart(), Some(&overrides), "web").unwrap();
+        let kinds: Vec<_> = manifests.iter().filter_map(|m| m.kind()).collect();
+        assert_eq!(kinds, vec!["ServiceAccount", "Deployment", "Service"]);
+    }
+}

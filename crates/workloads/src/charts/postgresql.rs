@@ -1,0 +1,418 @@
+//! The PostgreSQL operator chart (modelled on `bitnami/postgresql`).
+//!
+//! Resource footprint (Figure 9): StatefulSet, CronJob (backups), Service,
+//! ConfigMap, NetworkPolicy, ServiceAccount, Secret, Role and RoleBinding.
+
+use helm_lite::{Chart, ChartMetadata, TemplateFile, ValuesFile};
+
+use super::common;
+
+/// Default values of the chart.
+pub const VALUES: &str = r#"image:
+  registry: docker.io
+  repository: bitnami/postgresql
+  tag: 16.2.0
+  # @options: IfNotPresent | Always
+  pullPolicy: IfNotPresent
+auth:
+  username: app
+  password: changeme-app
+  database: appdb
+architecture:
+  # @options: standalone | replication
+  mode: standalone
+  replicaCount: 1
+primary:
+  port: 5432
+  persistence:
+    size: 8Gi
+    storageClass: standard
+  resources:
+    limits:
+      cpu: 1000m
+      memory: 2Gi
+    requests:
+      cpu: 500m
+      memory: 1Gi
+  podSecurityContext:
+    fsGroup: 1001
+  containerSecurityContext:
+    runAsNonRoot: true
+    runAsUser: 1001
+    allowPrivilegeEscalation: false
+    readOnlyRootFilesystem: true
+backup:
+  enabled: true
+  schedule: "0 2 * * *"
+  retention: 7
+serviceAccount:
+  automountToken: false
+networkPolicy:
+  enabled: true
+rbac:
+  create: true
+"#;
+
+const STATEFULSET: &str = r#"apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  {{- if eq .Values.architecture.mode "replication" }}
+  replicas: {{ .Values.architecture.replicaCount }}
+  {{- else }}
+  replicas: 1
+  {{- end }}
+  serviceName: {{ include "postgresql.fullname" . }}-hl
+  podManagementPolicy: OrderedReady
+  updateStrategy:
+    type: RollingUpdate
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: postgresql
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: postgresql
+        app.kubernetes.io/instance: {{ .Release.Name }}
+    spec:
+      serviceAccountName: {{ include "postgresql.serviceAccountName" . }}
+      automountServiceAccountToken: {{ .Values.serviceAccount.automountToken }}
+      securityContext:
+        fsGroup: {{ .Values.primary.podSecurityContext.fsGroup }}
+      containers:
+        - name: postgresql
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          imagePullPolicy: {{ .Values.image.pullPolicy }}
+          ports:
+            - name: tcp-postgresql
+              containerPort: {{ .Values.primary.port }}
+              protocol: TCP
+          env:
+            - name: POSTGRES_USER
+              value: {{ .Values.auth.username }}
+            - name: POSTGRES_DB
+              value: {{ .Values.auth.database }}
+            - name: POSTGRES_PASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "postgresql.fullname" . }}
+                  key: postgres-password
+            {{- if eq .Values.architecture.mode "replication" }}
+            - name: POSTGRES_REPLICATION_MODE
+              value: master
+            {{- end }}
+          envFrom:
+            - configMapRef:
+                name: {{ include "postgresql.fullname" . }}-configuration
+          securityContext:
+            runAsNonRoot: {{ .Values.primary.containerSecurityContext.runAsNonRoot }}
+            runAsUser: {{ .Values.primary.containerSecurityContext.runAsUser }}
+            allowPrivilegeEscalation: {{ .Values.primary.containerSecurityContext.allowPrivilegeEscalation }}
+            readOnlyRootFilesystem: {{ .Values.primary.containerSecurityContext.readOnlyRootFilesystem }}
+          resources:
+            {{- toYaml .Values.primary.resources | nindent 12 }}
+          livenessProbe:
+            exec:
+              command:
+                - /bin/sh
+                - -c
+                - pg_isready -U {{ .Values.auth.username }}
+            initialDelaySeconds: 30
+            periodSeconds: 10
+          readinessProbe:
+            tcpSocket:
+              port: tcp-postgresql
+            initialDelaySeconds: 5
+            periodSeconds: 10
+          volumeMounts:
+            - name: data
+              mountPath: /bitnami/postgresql
+            - name: dshm
+              mountPath: /dev/shm
+      volumes:
+        - name: dshm
+          emptyDir:
+            medium: Memory
+  volumeClaimTemplates:
+    - metadata:
+        name: data
+      spec:
+        accessModes:
+          - ReadWriteOnce
+        storageClassName: {{ .Values.primary.persistence.storageClass }}
+        resources:
+          requests:
+            storage: {{ .Values.primary.persistence.size }}
+"#;
+
+const SERVICE: &str = r#"apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  type: ClusterIP
+  ports:
+    - name: tcp-postgresql
+      port: {{ .Values.primary.port }}
+      targetPort: tcp-postgresql
+      protocol: TCP
+  selector:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "postgresql.fullname" . }}-hl
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  type: ClusterIP
+  clusterIP: None
+  publishNotReadyAddresses: true
+  ports:
+    - name: tcp-postgresql
+      port: {{ .Values.primary.port }}
+      targetPort: tcp-postgresql
+      protocol: TCP
+  selector:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+"#;
+
+const CONFIGMAP: &str = r#"apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ include "postgresql.fullname" . }}-configuration
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+data:
+  POSTGRESQL_MAX_CONNECTIONS: "200"
+  POSTGRESQL_SHARED_BUFFERS: 256MB
+  POSTGRESQL_LOG_CONNECTIONS: "true"
+"#;
+
+const SECRET: &str = r#"apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+type: Opaque
+data:
+  postgres-password: {{ .Values.auth.password | b64enc }}
+  username: {{ .Values.auth.username | b64enc }}
+"#;
+
+const NETWORK_POLICY: &str = r#"{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  podSelector:
+    matchLabels:
+      app.kubernetes.io/name: postgresql
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  policyTypes:
+    - Ingress
+  ingress:
+    - ports:
+        - port: {{ .Values.primary.port }}
+{{- end }}
+"#;
+
+const CRONJOB: &str = r#"{{- if .Values.backup.enabled }}
+apiVersion: batch/v1
+kind: CronJob
+metadata:
+  name: {{ include "postgresql.fullname" . }}-backup
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  schedule: {{ .Values.backup.schedule | quote }}
+  concurrencyPolicy: Forbid
+  successfulJobsHistoryLimit: {{ .Values.backup.retention }}
+  jobTemplate:
+    spec:
+      backoffLimit: 2
+      template:
+        spec:
+          restartPolicy: OnFailure
+          serviceAccountName: {{ include "postgresql.serviceAccountName" . }}
+          containers:
+            - name: pg-dump
+              image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+              args:
+                - pg_dumpall
+                - --clean
+              env:
+                - name: PGPASSWORD
+                  valueFrom:
+                    secretKeyRef:
+                      name: {{ include "postgresql.fullname" . }}
+                      key: postgres-password
+              securityContext:
+                runAsNonRoot: true
+              resources:
+                limits:
+                  cpu: 250m
+                  memory: 256Mi
+{{- end }}
+"#;
+
+const RBAC: &str = r#"{{- if .Values.rbac.create }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: Role
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+rules:
+  - apiGroups:
+      - ""
+    resources:
+      - endpoints
+      - configmaps
+    verbs:
+      - get
+      - list
+      - watch
+---
+apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  labels:
+    app.kubernetes.io/name: postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+roleRef:
+  apiGroup: rbac.authorization.k8s.io
+  kind: Role
+  name: {{ include "postgresql.fullname" . }}
+subjects:
+  - kind: ServiceAccount
+    name: {{ include "postgresql.serviceAccountName" . }}
+    namespace: {{ .Release.Namespace }}
+{{- end }}
+"#;
+
+/// Build the PostgreSQL chart.
+pub fn chart() -> Chart {
+    Chart::new(
+        ChartMetadata::new("postgresql", "14.3.1").with_app_version("16.2.0"),
+        ValuesFile::parse(VALUES).expect("built-in values must parse"),
+        vec![
+            common::helpers_tpl("postgresql"),
+            common::service_account_template("postgresql"),
+            TemplateFile::new("secret.yaml", SECRET),
+            TemplateFile::new("configmap.yaml", CONFIGMAP),
+            TemplateFile::new("statefulset.yaml", STATEFULSET),
+            TemplateFile::new("service.yaml", SERVICE),
+            TemplateFile::new("networkpolicy.yaml", NETWORK_POLICY),
+            TemplateFile::new("cronjob-backup.yaml", CRONJOB),
+            TemplateFile::new("rbac.yaml", RBAC),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helm_lite::render_chart;
+    use kf_yaml::Path;
+
+    #[test]
+    fn default_rendering_contains_the_expected_kinds() {
+        let manifests = render_chart(&chart(), None, "pg").unwrap();
+        let kinds: Vec<_> = manifests.iter().filter_map(|m| m.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "ServiceAccount",
+                "Secret",
+                "ConfigMap",
+                "StatefulSet",
+                "Service",
+                "Service",
+                "NetworkPolicy",
+                "CronJob",
+                "Role",
+                "RoleBinding"
+            ]
+        );
+    }
+
+    #[test]
+    fn standalone_mode_pins_a_single_replica() {
+        let manifests = render_chart(&chart(), None, "pg").unwrap();
+        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        assert_eq!(
+            sts.document
+                .get_path(&Path::parse("spec.replicas").unwrap())
+                .and_then(|v| v.as_i64()),
+            Some(1)
+        );
+        let replication = kf_yaml::parse(
+            "architecture:\n  mode: replication\n  replicaCount: 3\n",
+        )
+        .unwrap();
+        let manifests = render_chart(&chart(), Some(&replication), "pg").unwrap();
+        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        assert_eq!(
+            sts.document
+                .get_path(&Path::parse("spec.replicas").unwrap())
+                .and_then(|v| v.as_i64()),
+            Some(3)
+        );
+        // The replication env var only appears in replication mode.
+        let env_names: Vec<String> = sts
+            .document
+            .get_path(&Path::parse("spec.template.spec.containers[0].env").unwrap())
+            .unwrap()
+            .as_seq()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("name").and_then(kf_yaml::Value::as_str).map(String::from))
+            .collect();
+        assert!(env_names.contains(&"POSTGRES_REPLICATION_MODE".to_string()));
+    }
+
+    #[test]
+    fn volume_claim_templates_request_the_configured_storage() {
+        let manifests = render_chart(&chart(), None, "pg").unwrap();
+        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        assert_eq!(
+            sts.document
+                .get_path(
+                    &Path::parse("spec.volumeClaimTemplates[0].spec.resources.requests.storage")
+                        .unwrap()
+                )
+                .and_then(|v| v.as_str()),
+            Some("8Gi")
+        );
+    }
+
+    #[test]
+    fn disabling_backup_removes_the_cronjob() {
+        let overrides = kf_yaml::parse("backup:\n  enabled: false\n").unwrap();
+        let manifests = render_chart(&chart(), Some(&overrides), "pg").unwrap();
+        assert!(manifests.iter().all(|m| m.kind() != Some("CronJob")));
+    }
+}

@@ -1,0 +1,404 @@
+//! The RabbitMQ operator chart (modelled on `bitnami/rabbitmq`).
+//!
+//! Resource footprint (Figure 9): StatefulSet, Service, NetworkPolicy,
+//! Ingress, ServiceAccount, PodDisruptionBudget, Secret, Role and RoleBinding.
+
+use helm_lite::{Chart, ChartMetadata, TemplateFile, ValuesFile};
+
+use super::common;
+
+/// Default values of the chart.
+pub const VALUES: &str = r#"image:
+  registry: docker.io
+  repository: bitnami/rabbitmq
+  tag: 3.12.13
+  # @options: IfNotPresent | Always
+  pullPolicy: IfNotPresent
+replicaCount: 3
+auth:
+  username: user
+  password: changeme-rabbit
+  erlangCookie: secretcookie
+clustering:
+  enabled: true
+  # @options: hostname | ip
+  addressType: hostname
+ports:
+  amqp: 5672
+  manager: 15672
+  epmd: 4369
+service:
+  # @options: ClusterIP | NodePort
+  type: ClusterIP
+ingress:
+  enabled: true
+  hostname: rabbitmq.example.com
+  path: /
+resources:
+  limits:
+    cpu: 1000m
+    memory: 2Gi
+  requests:
+    cpu: 500m
+    memory: 1Gi
+podSecurityContext:
+  fsGroup: 1001
+containerSecurityContext:
+  runAsNonRoot: true
+  runAsUser: 1001
+  allowPrivilegeEscalation: false
+  readOnlyRootFilesystem: true
+serviceAccount:
+  automountToken: true
+networkPolicy:
+  enabled: true
+pdb:
+  create: true
+  maxUnavailable: 1
+rbac:
+  create: true
+persistence:
+  size: 8Gi
+  storageClass: standard
+"#;
+
+const STATEFULSET: &str = r#"apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  serviceName: {{ include "rabbitmq.fullname" . }}-headless
+  podManagementPolicy: OrderedReady
+  updateStrategy:
+    type: RollingUpdate
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: rabbitmq
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: rabbitmq
+        app.kubernetes.io/instance: {{ .Release.Name }}
+    spec:
+      serviceAccountName: {{ include "rabbitmq.serviceAccountName" . }}
+      automountServiceAccountToken: {{ .Values.serviceAccount.automountToken }}
+      terminationGracePeriodSeconds: 120
+      securityContext:
+        fsGroup: {{ .Values.podSecurityContext.fsGroup }}
+      containers:
+        - name: rabbitmq
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          imagePullPolicy: {{ .Values.image.pullPolicy }}
+          ports:
+            - name: amqp
+              containerPort: {{ .Values.ports.amqp }}
+            - name: manager
+              containerPort: {{ .Values.ports.manager }}
+            - name: epmd
+              containerPort: {{ .Values.ports.epmd }}
+          env:
+            - name: RABBITMQ_USERNAME
+              value: {{ .Values.auth.username }}
+            - name: RABBITMQ_PASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "rabbitmq.fullname" . }}
+                  key: rabbitmq-password
+            - name: RABBITMQ_ERL_COOKIE
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "rabbitmq.fullname" . }}
+                  key: rabbitmq-erlang-cookie
+            {{- if .Values.clustering.enabled }}
+            - name: RABBITMQ_CLUSTER_ADDRESS_TYPE
+              value: {{ .Values.clustering.addressType }}
+            {{- end }}
+          securityContext:
+            runAsNonRoot: {{ .Values.containerSecurityContext.runAsNonRoot }}
+            runAsUser: {{ .Values.containerSecurityContext.runAsUser }}
+            allowPrivilegeEscalation: {{ .Values.containerSecurityContext.allowPrivilegeEscalation }}
+            readOnlyRootFilesystem: {{ .Values.containerSecurityContext.readOnlyRootFilesystem }}
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+          livenessProbe:
+            exec:
+              command:
+                - rabbitmq-diagnostics
+                - status
+            initialDelaySeconds: 120
+            periodSeconds: 30
+          readinessProbe:
+            exec:
+              command:
+                - rabbitmq-diagnostics
+                - ping
+            initialDelaySeconds: 10
+            periodSeconds: 30
+          volumeMounts:
+            - name: data
+              mountPath: /bitnami/rabbitmq/mnesia
+  volumeClaimTemplates:
+    - metadata:
+        name: data
+      spec:
+        accessModes:
+          - ReadWriteOnce
+        storageClassName: {{ .Values.persistence.storageClass }}
+        resources:
+          requests:
+            storage: {{ .Values.persistence.size }}
+"#;
+
+const SERVICE: &str = r#"apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  type: {{ .Values.service.type }}
+  ports:
+    - name: amqp
+      port: {{ .Values.ports.amqp }}
+      targetPort: amqp
+    - name: manager
+      port: {{ .Values.ports.manager }}
+      targetPort: manager
+  selector:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}-headless
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  type: ClusterIP
+  clusterIP: None
+  ports:
+    - name: epmd
+      port: {{ .Values.ports.epmd }}
+      targetPort: epmd
+    - name: amqp
+      port: {{ .Values.ports.amqp }}
+      targetPort: amqp
+  selector:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+"#;
+
+const SECRET: &str = r#"apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+type: Opaque
+data:
+  rabbitmq-password: {{ .Values.auth.password | b64enc }}
+  rabbitmq-erlang-cookie: {{ .Values.auth.erlangCookie | b64enc }}
+"#;
+
+const NETWORK_POLICY: &str = r#"{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  podSelector:
+    matchLabels:
+      app.kubernetes.io/name: rabbitmq
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  policyTypes:
+    - Ingress
+  ingress:
+    - ports:
+        - port: {{ .Values.ports.amqp }}
+        - port: {{ .Values.ports.manager }}
+        - port: {{ .Values.ports.epmd }}
+{{- end }}
+"#;
+
+const INGRESS: &str = r#"{{- if .Values.ingress.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  rules:
+    - host: {{ .Values.ingress.hostname }}
+      http:
+        paths:
+          - path: {{ .Values.ingress.path }}
+            pathType: ImplementationSpecific
+            backend:
+              service:
+                name: {{ include "rabbitmq.fullname" . }}
+                port:
+                  name: manager
+{{- end }}
+"#;
+
+const PDB: &str = r#"{{- if .Values.pdb.create }}
+apiVersion: policy/v1
+kind: PodDisruptionBudget
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  maxUnavailable: {{ .Values.pdb.maxUnavailable }}
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: rabbitmq
+      app.kubernetes.io/instance: {{ .Release.Name }}
+{{- end }}
+"#;
+
+const RBAC: &str = r#"{{- if .Values.rbac.create }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: Role
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}-endpoint-reader
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+rules:
+  - apiGroups:
+      - ""
+    resources:
+      - endpoints
+    verbs:
+      - get
+  - apiGroups:
+      - ""
+    resources:
+      - events
+    verbs:
+      - create
+---
+apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}-endpoint-reader
+  labels:
+    app.kubernetes.io/name: rabbitmq
+    app.kubernetes.io/instance: {{ .Release.Name }}
+roleRef:
+  apiGroup: rbac.authorization.k8s.io
+  kind: Role
+  name: {{ include "rabbitmq.fullname" . }}-endpoint-reader
+subjects:
+  - kind: ServiceAccount
+    name: {{ include "rabbitmq.serviceAccountName" . }}
+    namespace: {{ .Release.Namespace }}
+{{- end }}
+"#;
+
+/// Build the RabbitMQ chart.
+pub fn chart() -> Chart {
+    Chart::new(
+        ChartMetadata::new("rabbitmq", "12.15.0").with_app_version("3.12.13"),
+        ValuesFile::parse(VALUES).expect("built-in values must parse"),
+        vec![
+            common::helpers_tpl("rabbitmq"),
+            common::service_account_template("rabbitmq"),
+            TemplateFile::new("secret.yaml", SECRET),
+            TemplateFile::new("statefulset.yaml", STATEFULSET),
+            TemplateFile::new("service.yaml", SERVICE),
+            TemplateFile::new("networkpolicy.yaml", NETWORK_POLICY),
+            TemplateFile::new("ingress.yaml", INGRESS),
+            TemplateFile::new("pdb.yaml", PDB),
+            TemplateFile::new("rbac.yaml", RBAC),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helm_lite::render_chart;
+    use kf_yaml::Path;
+
+    #[test]
+    fn default_rendering_contains_the_expected_kinds() {
+        let manifests = render_chart(&chart(), None, "mq").unwrap();
+        let kinds: Vec<_> = manifests.iter().filter_map(|m| m.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "ServiceAccount",
+                "Secret",
+                "StatefulSet",
+                "Service",
+                "Service",
+                "NetworkPolicy",
+                "Ingress",
+                "PodDisruptionBudget",
+                "Role",
+                "RoleBinding"
+            ]
+        );
+    }
+
+    #[test]
+    fn statefulset_runs_three_hardened_replicas() {
+        let manifests = render_chart(&chart(), None, "mq").unwrap();
+        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        assert_eq!(
+            sts.document
+                .get_path(&Path::parse("spec.replicas").unwrap())
+                .and_then(|v| v.as_i64()),
+            Some(3)
+        );
+        assert_eq!(
+            sts.document
+                .get_path(
+                    &Path::parse(
+                        "spec.template.spec.containers[0].securityContext.readOnlyRootFilesystem"
+                    )
+                    .unwrap()
+                )
+                .and_then(|v| v.as_bool()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn cluster_address_type_follows_the_annotation_options() {
+        let values = chart();
+        let options = values.values().options_for("clustering.addressType").unwrap();
+        assert_eq!(options.len(), 2);
+        let overrides = kf_yaml::parse("clustering:\n  addressType: ip\n").unwrap();
+        let manifests = render_chart(&chart(), Some(&overrides), "mq").unwrap();
+        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        let env = sts
+            .document
+            .get_path(&Path::parse("spec.template.spec.containers[0].env").unwrap())
+            .unwrap();
+        let address = env
+            .as_seq()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(kf_yaml::Value::as_str) == Some("RABBITMQ_CLUSTER_ADDRESS_TYPE"))
+            .unwrap();
+        assert_eq!(address.get("value").unwrap().as_str(), Some("ip"));
+    }
+}

@@ -1,0 +1,596 @@
+//! The SonarQube operator chart (modelled on `openshift-bootstraps/sonarqube`).
+//!
+//! SonarQube is the widest workload of the evaluation: it touches nearly every
+//! endpoint of Figure 9 (Deployment, StatefulSet, Pod, Job, Service,
+//! ConfigMap, NetworkPolicy, Ingress, IngressClass, ServiceAccount,
+//! PersistentVolumeClaim, ValidatingWebhookConfiguration, Secret, Role,
+//! RoleBinding, ClusterRole, ClusterRoleBinding), which is why RBAC can
+//! restrict so little of its attack surface (Table I).
+
+use helm_lite::{Chart, ChartMetadata, TemplateFile, ValuesFile};
+
+use super::common;
+
+/// Default values of the chart.
+pub const VALUES: &str = r#"image:
+  registry: docker.io
+  repository: sonarqube
+  tag: 10.4.1-community
+  # @options: IfNotPresent | Always
+  pullPolicy: IfNotPresent
+replicaCount: 1
+service:
+  port: 9000
+ingress:
+  enabled: true
+  className: sonar-nginx
+  hostname: sonarqube.example.com
+  createClass: true
+persistence:
+  enabled: true
+  size: 10Gi
+  storageClass: standard
+postgresql:
+  enabled: true
+  image: bitnami/postgresql
+  imageTag: 16.2.0
+  database: sonarDB
+  username: sonarUser
+  password: changeme-sonar
+  port: 5432
+  persistence:
+    size: 8Gi
+monitoring:
+  passcode: monitor-me
+plugins:
+  install: true
+  urls:
+    - https://example.com/sonar-plugin.jar
+migration:
+  enabled: true
+webhook:
+  enabled: true
+  failurePolicy: Ignore
+tests:
+  enabled: true
+resources:
+  limits:
+    cpu: 2000m
+    memory: 4Gi
+  requests:
+    cpu: 1000m
+    memory: 2Gi
+containerSecurityContext:
+  runAsNonRoot: true
+  runAsUser: 1000
+  allowPrivilegeEscalation: false
+serviceAccount:
+  automountToken: true
+networkPolicy:
+  enabled: true
+rbac:
+  create: true
+  clusterWide: true
+"#;
+
+const SECRET: &str = r#"apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+type: Opaque
+data:
+  postgresql-password: {{ .Values.postgresql.password | b64enc }}
+  monitoring-passcode: {{ .Values.monitoring.passcode | b64enc }}
+"#;
+
+const CONFIGMAP: &str = r#"apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-config
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+data:
+  SONAR_JDBC_URL: "jdbc:postgresql://{{ include "sonarqube.fullname" . }}-postgresql:{{ .Values.postgresql.port }}/{{ .Values.postgresql.database }}"
+  SONAR_WEB_CONTEXT: /
+  SONAR_TELEMETRY_ENABLE: "false"
+"#;
+
+const DEPLOYMENT: &str = r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: sonarqube
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: sonarqube
+        app.kubernetes.io/instance: {{ .Release.Name }}
+    spec:
+      serviceAccountName: {{ include "sonarqube.serviceAccountName" . }}
+      automountServiceAccountToken: {{ .Values.serviceAccount.automountToken }}
+      initContainers:
+        - name: wait-for-db
+          image: "{{ .Values.image.registry }}/{{ .Values.postgresql.image }}:{{ .Values.postgresql.imageTag }}"
+          args:
+            - pg_isready
+            - --timeout=60
+          securityContext:
+            runAsNonRoot: true
+      containers:
+        - name: sonarqube
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          imagePullPolicy: {{ .Values.image.pullPolicy }}
+          ports:
+            - name: http
+              containerPort: {{ .Values.service.port }}
+          env:
+            - name: SONAR_JDBC_USERNAME
+              value: {{ .Values.postgresql.username }}
+            - name: SONAR_JDBC_PASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "sonarqube.fullname" . }}
+                  key: postgresql-password
+          envFrom:
+            - configMapRef:
+                name: {{ include "sonarqube.fullname" . }}-config
+          securityContext:
+            runAsNonRoot: {{ .Values.containerSecurityContext.runAsNonRoot }}
+            runAsUser: {{ .Values.containerSecurityContext.runAsUser }}
+            allowPrivilegeEscalation: {{ .Values.containerSecurityContext.allowPrivilegeEscalation }}
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+          readinessProbe:
+            httpGet:
+              path: /api/system/status
+              port: http
+            initialDelaySeconds: 60
+            periodSeconds: 30
+          volumeMounts:
+            - name: data
+              mountPath: /opt/sonarqube/data
+            - name: extensions
+              mountPath: /opt/sonarqube/extensions
+      volumes:
+        - name: data
+          persistentVolumeClaim:
+            claimName: {{ include "sonarqube.fullname" . }}-data
+        - name: extensions
+          emptyDir: {}
+"#;
+
+const POSTGRES_STATEFULSET: &str = r#"{{- if .Values.postgresql.enabled }}
+apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-postgresql
+  labels:
+    app.kubernetes.io/name: sonarqube-postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  replicas: 1
+  serviceName: {{ include "sonarqube.fullname" . }}-postgresql
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: sonarqube-postgresql
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  template:
+    metadata:
+      labels:
+        app.kubernetes.io/name: sonarqube-postgresql
+        app.kubernetes.io/instance: {{ .Release.Name }}
+    spec:
+      serviceAccountName: {{ include "sonarqube.serviceAccountName" . }}
+      containers:
+        - name: postgresql
+          image: "{{ .Values.image.registry }}/{{ .Values.postgresql.image }}:{{ .Values.postgresql.imageTag }}"
+          ports:
+            - name: tcp-postgresql
+              containerPort: {{ .Values.postgresql.port }}
+          env:
+            - name: POSTGRES_DB
+              value: {{ .Values.postgresql.database }}
+            - name: POSTGRES_USER
+              value: {{ .Values.postgresql.username }}
+            - name: POSTGRES_PASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "sonarqube.fullname" . }}
+                  key: postgresql-password
+          securityContext:
+            runAsNonRoot: true
+            allowPrivilegeEscalation: false
+          resources:
+            limits:
+              cpu: 500m
+              memory: 1Gi
+          volumeMounts:
+            - name: pgdata
+              mountPath: /var/lib/postgresql/data
+  volumeClaimTemplates:
+    - metadata:
+        name: pgdata
+      spec:
+        accessModes:
+          - ReadWriteOnce
+        resources:
+          requests:
+            storage: {{ .Values.postgresql.persistence.size }}
+{{- end }}
+"#;
+
+const INSTALL_PLUGINS_POD: &str = r#"{{- if .Values.plugins.install }}
+apiVersion: v1
+kind: Pod
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-install-plugins
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  restartPolicy: Never
+  serviceAccountName: {{ include "sonarqube.serviceAccountName" . }}
+  containers:
+    - name: install-plugins
+      image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+      args:
+        {{- range .Values.plugins.urls }}
+        - {{ . }}
+        {{- end }}
+      securityContext:
+        runAsNonRoot: true
+        allowPrivilegeEscalation: false
+      resources:
+        limits:
+          cpu: 250m
+          memory: 256Mi
+      volumeMounts:
+        - name: extensions
+          mountPath: /opt/sonarqube/extensions
+  volumes:
+    - name: extensions
+      emptyDir: {}
+{{- end }}
+"#;
+
+const MIGRATION_JOB: &str = r#"{{- if .Values.migration.enabled }}
+apiVersion: batch/v1
+kind: Job
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-migration
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  backoffLimit: 3
+  ttlSecondsAfterFinished: 3600
+  template:
+    spec:
+      restartPolicy: OnFailure
+      serviceAccountName: {{ include "sonarqube.serviceAccountName" . }}
+      containers:
+        - name: migrate
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          args:
+            - migrate-db
+          envFrom:
+            - configMapRef:
+                name: {{ include "sonarqube.fullname" . }}-config
+          securityContext:
+            runAsNonRoot: true
+          resources:
+            limits:
+              cpu: 500m
+              memory: 512Mi
+{{- end }}
+"#;
+
+const SERVICES: &str = r#"apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  type: ClusterIP
+  ports:
+    - name: http
+      port: {{ .Values.service.port }}
+      targetPort: http
+  selector:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+---
+{{- if .Values.postgresql.enabled }}
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-postgresql
+  labels:
+    app.kubernetes.io/name: sonarqube-postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  type: ClusterIP
+  ports:
+    - name: tcp-postgresql
+      port: {{ .Values.postgresql.port }}
+      targetPort: tcp-postgresql
+  selector:
+    app.kubernetes.io/name: sonarqube-postgresql
+    app.kubernetes.io/instance: {{ .Release.Name }}
+{{- end }}
+"#;
+
+const NETWORK_POLICY: &str = r#"{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  podSelector:
+    matchLabels:
+      app.kubernetes.io/name: sonarqube
+      app.kubernetes.io/instance: {{ .Release.Name }}
+  policyTypes:
+    - Ingress
+  ingress:
+    - ports:
+        - port: {{ .Values.service.port }}
+{{- end }}
+"#;
+
+const INGRESS: &str = r#"{{- if .Values.ingress.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  ingressClassName: {{ .Values.ingress.className }}
+  rules:
+    - host: {{ .Values.ingress.hostname }}
+      http:
+        paths:
+          - path: /
+            pathType: Prefix
+            backend:
+              service:
+                name: {{ include "sonarqube.fullname" . }}
+                port:
+                  name: http
+{{- end }}
+---
+{{- if .Values.ingress.createClass }}
+apiVersion: networking.k8s.io/v1
+kind: IngressClass
+metadata:
+  name: {{ .Values.ingress.className }}
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  controller: k8s.io/ingress-nginx
+{{- end }}
+"#;
+
+const PVC: &str = r#"{{- if .Values.persistence.enabled }}
+apiVersion: v1
+kind: PersistentVolumeClaim
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-data
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+spec:
+  accessModes:
+    - ReadWriteOnce
+  storageClassName: {{ .Values.persistence.storageClass }}
+  resources:
+    requests:
+      storage: {{ .Values.persistence.size }}
+{{- end }}
+"#;
+
+const WEBHOOK: &str = r#"{{- if .Values.webhook.enabled }}
+apiVersion: admissionregistration.k8s.io/v1
+kind: ValidatingWebhookConfiguration
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-quality-gate
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+webhooks:
+  - name: qualitygate.sonarqube.example.com
+    failurePolicy: {{ .Values.webhook.failurePolicy }}
+    sideEffects: None
+    admissionReviewVersions:
+      - v1
+    clientConfig:
+      service:
+        namespace: {{ .Release.Namespace }}
+        name: {{ include "sonarqube.fullname" . }}
+        path: /api/webhooks/admission
+        port: {{ .Values.service.port }}
+    rules:
+      - apiGroups:
+          - apps
+        apiVersions:
+          - v1
+        resources:
+          - deployments
+        operations:
+          - CREATE
+          - UPDATE
+        scope: Namespaced
+{{- end }}
+"#;
+
+const RBAC: &str = r#"{{- if .Values.rbac.create }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: Role
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+rules:
+  - apiGroups:
+      - ""
+    resources:
+      - configmaps
+      - secrets
+    verbs:
+      - get
+      - list
+---
+apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+roleRef:
+  apiGroup: rbac.authorization.k8s.io
+  kind: Role
+  name: {{ include "sonarqube.fullname" . }}
+subjects:
+  - kind: ServiceAccount
+    name: {{ include "sonarqube.serviceAccountName" . }}
+    namespace: {{ .Release.Namespace }}
+{{- end }}
+---
+{{- if .Values.rbac.clusterWide }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: ClusterRole
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-scanner
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+rules:
+  - apiGroups:
+      - ""
+    resources:
+      - namespaces
+      - pods
+    verbs:
+      - get
+      - list
+  - apiGroups:
+      - apps
+    resources:
+      - deployments
+    verbs:
+      - get
+      - list
+---
+apiVersion: rbac.authorization.k8s.io/v1
+kind: ClusterRoleBinding
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-scanner
+  labels:
+    app.kubernetes.io/name: sonarqube
+    app.kubernetes.io/instance: {{ .Release.Name }}
+roleRef:
+  apiGroup: rbac.authorization.k8s.io
+  kind: ClusterRole
+  name: {{ include "sonarqube.fullname" . }}-scanner
+subjects:
+  - kind: ServiceAccount
+    name: {{ include "sonarqube.serviceAccountName" . }}
+    namespace: {{ .Release.Namespace }}
+{{- end }}
+"#;
+
+/// Build the SonarQube chart.
+pub fn chart() -> Chart {
+    Chart::new(
+        ChartMetadata::new("sonarqube", "10.4.1").with_app_version("10.4.1-community"),
+        ValuesFile::parse(VALUES).expect("built-in values must parse"),
+        vec![
+            common::helpers_tpl("sonarqube"),
+            common::service_account_template("sonarqube"),
+            TemplateFile::new("secret.yaml", SECRET),
+            TemplateFile::new("configmap.yaml", CONFIGMAP),
+            TemplateFile::new("pvc.yaml", PVC),
+            TemplateFile::new("deployment.yaml", DEPLOYMENT),
+            TemplateFile::new("postgresql-statefulset.yaml", POSTGRES_STATEFULSET),
+            TemplateFile::new("install-plugins-pod.yaml", INSTALL_PLUGINS_POD),
+            TemplateFile::new("migration-job.yaml", MIGRATION_JOB),
+            TemplateFile::new("services.yaml", SERVICES),
+            TemplateFile::new("networkpolicy.yaml", NETWORK_POLICY),
+            TemplateFile::new("ingress.yaml", INGRESS),
+            TemplateFile::new("webhook.yaml", WEBHOOK),
+            TemplateFile::new("rbac.yaml", RBAC),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helm_lite::render_chart;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn sonarqube_touches_most_of_the_api_surface() {
+        let manifests = render_chart(&chart(), None, "sonar").unwrap();
+        let kinds: BTreeSet<_> = manifests.iter().filter_map(|m| m.kind()).collect();
+        for kind in [
+            "ServiceAccount",
+            "Secret",
+            "ConfigMap",
+            "PersistentVolumeClaim",
+            "Deployment",
+            "StatefulSet",
+            "Pod",
+            "Job",
+            "Service",
+            "NetworkPolicy",
+            "Ingress",
+            "IngressClass",
+            "ValidatingWebhookConfiguration",
+            "Role",
+            "RoleBinding",
+            "ClusterRole",
+            "ClusterRoleBinding",
+        ] {
+            assert!(kinds.contains(kind), "missing {kind}");
+        }
+        assert_eq!(kinds.len(), 17);
+    }
+
+    #[test]
+    fn optional_components_can_be_disabled() {
+        let overrides = kf_yaml::parse(
+            "postgresql:\n  enabled: false\nwebhook:\n  enabled: false\nplugins:\n  install: false\nmigration:\n  enabled: false\n",
+        )
+        .unwrap();
+        let manifests = render_chart(&chart(), Some(&overrides), "sonar").unwrap();
+        let kinds: BTreeSet<_> = manifests.iter().filter_map(|m| m.kind()).collect();
+        assert!(!kinds.contains("StatefulSet"));
+        assert!(!kinds.contains("Pod"));
+        assert!(!kinds.contains("Job"));
+        assert!(!kinds.contains("ValidatingWebhookConfiguration"));
+        assert!(kinds.contains("Deployment"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # kf-workloads — operator charts, deployment drivers and the e2e corpus
+//!
+//! The paper evaluates KubeFence on five Helm-based operators from Artifact
+//! Hub — **Nginx**, **MLflow**, **PostgreSQL**, **RabbitMQ** and
+//! **SonarQube** — chosen to cover databases, networking, AI/ML, data
+//! streaming and security workloads. This crate ships faithful synthetic
+//! charts for the same five operators (same resource kinds, realistic field
+//! footprints; see `DESIGN.md` for the substitution argument), plus:
+//!
+//! * [`OperatorWorkload`] / [`Operator`] — access to each operator's chart and
+//!   its rendered deployment manifests;
+//! * [`DeploymentDriver`] — the `kubectl apply` driver that issues the
+//!   operator's API requests against any [`k8s_apiserver::RequestHandler`]
+//!   (used by the RBAC learning phase, the effectiveness experiment and the
+//!   overhead benchmark);
+//! * [`e2e`] — the end-to-end test corpus model behind Figure 5 (6,580 tests
+//!   over 12 categories, of which only 29 reach CVE-affected code).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod charts;
+mod driver;
+pub mod e2e;
+mod operator;
+
+pub use driver::{DeploymentDriver, DeploymentOutcome};
+pub use operator::{Operator, OperatorWorkload};

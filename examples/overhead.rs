@@ -1,0 +1,99 @@
+//! Reproduce the runtime-overhead measurement (Table IV): the round-trip time
+//! of a full operator deployment with and without the KubeFence proxy, plus
+//! the proxy's resource footprint.
+//!
+//! ```bash
+//! cargo run --release --example overhead
+//! ```
+
+use std::time::Duration;
+
+use k8s_apiserver::{ApiServer, LatencyModel, RequestHandler};
+use kf_workloads::{DeploymentDriver, Operator};
+use kubefence::{EnforcementProxy, GeneratorConfig, PolicyGenerator};
+
+const REPETITIONS: usize = 10;
+
+fn deployment_rtt<H: RequestHandler>(
+    driver: &DeploymentDriver,
+    handler: &H,
+    latency: &mut LatencyModel,
+    with_proxy: bool,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    for request in driver.requests() {
+        let started = std::time::Instant::now();
+        let response = handler.handle(&request);
+        let processing = started.elapsed();
+        assert!(response.is_success(), "{}", response.message);
+        total += processing + latency.direct_request(request.payload_size());
+        if with_proxy {
+            total += latency.proxy_overhead(request.payload_size());
+        }
+    }
+    total
+}
+
+fn mean_and_stddev(samples: &[f64]) -> (f64, f64) {
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    (mean, var.sqrt())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== RBAC vs KubeFence average request latency (Table IV) ==\n");
+    println!(
+        "{:<12} {:>16} {:>18} {:>16}",
+        "Operator", "RBAC RTT (ms)", "KubeFence RTT (ms)", "Increase"
+    );
+
+    for operator in Operator::ALL {
+        let driver = DeploymentDriver::new(operator);
+        let validator =
+            PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+                .generate(&operator.chart())?;
+
+        let mut baseline_samples = Vec::new();
+        let mut kubefence_samples = Vec::new();
+        for repetition in 0..REPETITIONS {
+            let mut latency = LatencyModel::new(Default::default(), repetition as u64 + 1);
+            let server = ApiServer::new().with_admin(&operator.user());
+            baseline_samples
+                .push(deployment_rtt(&driver, &server, &mut latency, false).as_secs_f64() * 1e3);
+
+            let mut latency = LatencyModel::new(Default::default(), repetition as u64 + 1);
+            let proxy = EnforcementProxy::new(
+                ApiServer::new().with_admin(&operator.user()),
+                validator.clone(),
+            );
+            kubefence_samples
+                .push(deployment_rtt(&driver, &proxy, &mut latency, true).as_secs_f64() * 1e3);
+        }
+        let (base_mean, base_std) = mean_and_stddev(&baseline_samples);
+        let (kf_mean, kf_std) = mean_and_stddev(&kubefence_samples);
+        println!(
+            "{:<12} {:>10.1}±{:<5.1} {:>12.1}±{:<5.1} {:>7.1} ms ({:.2}%)",
+            operator.name(),
+            base_mean,
+            base_std,
+            kf_mean,
+            kf_std,
+            kf_mean - base_mean,
+            100.0 * (kf_mean - base_mean) / base_mean,
+        );
+    }
+
+    // Resource footprint of the proxy (§VI-E): validator size and validation
+    // throughput stand in for the paper's CPU/memory counters.
+    let operator = Operator::Sonarqube;
+    let validator = PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+        .generate(&operator.chart())?;
+    let serialized = validator.to_yaml();
+    println!(
+        "\nproxy footprint: the {} validator serializes to {:.1} KiB covering {} resource kinds",
+        operator.name(),
+        serialized.len() as f64 / 1024.0,
+        validator.kinds().len()
+    );
+    Ok(())
+}

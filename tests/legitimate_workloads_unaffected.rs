@@ -1,0 +1,82 @@
+//! "Legitimate workload actions were unaffected" (Section VI-D): every object
+//! of every operator's default deployment must pass its own validator, and a
+//! full deployment through the KubeFence proxy must succeed end to end.
+
+use k8s_apiserver::ApiServer;
+use kf_workloads::{DeploymentDriver, Operator};
+use kubefence::{EnforcementProxy, GeneratorConfig, PolicyGenerator};
+
+#[test]
+fn every_default_object_passes_its_own_validator() {
+    for operator in Operator::ALL {
+        let validator = PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+            .generate(&operator.chart())
+            .unwrap();
+        for object in operator.workload().default_objects() {
+            let violations = validator.validate(&object);
+            assert!(
+                violations.is_empty(),
+                "{operator}: legitimate object {}/{} rejected: {}",
+                object.kind(),
+                object.name(),
+                violations
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+        }
+    }
+}
+
+#[test]
+fn full_deployments_succeed_through_the_proxy() {
+    for operator in Operator::ALL {
+        let validator = PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+            .generate(&operator.chart())
+            .unwrap();
+        let server = ApiServer::new().with_admin(&operator.user());
+        let proxy = EnforcementProxy::new(server, validator);
+        let driver = DeploymentDriver::new(operator);
+        let outcomes = driver.deploy(&proxy);
+        let failures: Vec<_> = outcomes
+            .iter()
+            .filter(|o| !o.response.is_success())
+            .map(|o| format!("{} {}: {}", o.kind, o.object_name, o.response.message))
+            .collect();
+        assert!(failures.is_empty(), "{operator}: {failures:?}");
+        assert_eq!(proxy.stats().denied, 0, "{operator}");
+        assert_eq!(
+            proxy.upstream().store().len(),
+            driver.objects().len(),
+            "{operator}: not all objects were persisted"
+        );
+    }
+}
+
+#[test]
+fn user_value_overrides_within_the_chart_space_are_still_accepted() {
+    // A user changes replica counts and resource sizes (values the chart
+    // exposes): the resulting manifests stay inside the validator.
+    let operator = Operator::Nginx;
+    let validator = PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+        .generate(&operator.chart())
+        .unwrap();
+    let overrides = kf_yaml::parse(
+        "replicaCount: 5\nresources:\n  limits:\n    cpu: 2000m\n    memory: 1Gi\n  requests:\n    cpu: 1000m\n    memory: 512Mi\nservice:\n  type: ClusterIP\n",
+    )
+    .unwrap();
+    let manifests =
+        helm_lite::render_chart(&operator.chart(), Some(&overrides), operator.release_name())
+            .unwrap();
+    for manifest in manifests {
+        let object = k8s_model::K8sObject::from_value(manifest.document).unwrap();
+        let violations = validator.validate(&object);
+        assert!(
+            violations.is_empty(),
+            "override deployment rejected at {}: {:?}",
+            object.name(),
+            violations
+        );
+    }
+}

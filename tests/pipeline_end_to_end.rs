@@ -1,0 +1,102 @@
+//! End-to-end policy generation for all five operators: chart → values schema
+//! → variants → rendered manifests → validator.
+
+use kubefence::{GeneratorConfig, PolicyGenerator};
+use kf_workloads::Operator;
+use k8s_model::ResourceKind;
+use std::collections::BTreeSet;
+
+fn generator_for(operator: Operator) -> PolicyGenerator {
+    PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+}
+
+#[test]
+fn policies_generate_for_every_operator() {
+    for operator in Operator::ALL {
+        let validator = generator_for(operator)
+            .generate(&operator.chart())
+            .unwrap_or_else(|e| panic!("{operator}: policy generation failed: {e}"));
+        assert_eq!(validator.workload(), operator.chart().metadata().name);
+        assert!(
+            validator.kinds().len() >= 5,
+            "{operator}: validator covers only {} kinds",
+            validator.kinds().len()
+        );
+        let yaml = validator.to_yaml();
+        assert!(yaml.contains("kind:"), "{operator}: empty validator YAML");
+    }
+}
+
+#[test]
+fn validator_kinds_cover_the_default_deployment() {
+    for operator in Operator::ALL {
+        let validator = generator_for(operator).generate(&operator.chart()).unwrap();
+        let validator_kinds: BTreeSet<ResourceKind> = validator.kinds().into_iter().collect();
+        let deployed_kinds: BTreeSet<ResourceKind> = operator
+            .workload()
+            .default_objects()
+            .iter()
+            .map(|o| o.kind())
+            .collect();
+        assert!(
+            deployed_kinds.is_subset(&validator_kinds),
+            "{operator}: deployed kinds {deployed_kinds:?} not covered by validator kinds {validator_kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn exploration_covers_multiple_variants_per_chart() {
+    for operator in Operator::ALL {
+        let generator = generator_for(operator);
+        let variants = generator.variant_count(&operator.chart());
+        assert!(
+            variants >= 2,
+            "{operator}: expected at least two values variants, got {variants}"
+        );
+        let manifests = generator.rendered_manifests(&operator.chart()).unwrap();
+        assert!(
+            manifests.len() > operator.workload().default_objects().len(),
+            "{operator}: variant rendering should produce more manifests than a single deployment"
+        );
+    }
+}
+
+#[test]
+fn validators_restrict_unused_endpoints_entirely() {
+    // No operator chart creates ValidatingWebhookConfigurations except
+    // SonarQube; the other validators must reject that kind outright.
+    for operator in [
+        Operator::Nginx,
+        Operator::Mlflow,
+        Operator::Postgresql,
+        Operator::Rabbitmq,
+    ] {
+        let validator = generator_for(operator).generate(&operator.chart()).unwrap();
+        assert!(
+            !validator.kinds().contains(&ResourceKind::ValidatingWebhookConfiguration),
+            "{operator} should not allow admission webhooks"
+        );
+        assert!(!validator.kinds().contains(&ResourceKind::Pod));
+    }
+    let sonar = generator_for(Operator::Sonarqube)
+        .generate(&Operator::Sonarqube.chart())
+        .unwrap();
+    assert!(sonar
+        .kinds()
+        .contains(&ResourceKind::ValidatingWebhookConfiguration));
+    assert!(sonar.kinds().contains(&ResourceKind::Pod));
+}
+
+#[test]
+fn security_locks_are_embedded_in_generated_policies() {
+    let validator = generator_for(Operator::Nginx)
+        .generate(&Operator::Nginx.chart())
+        .unwrap();
+    let yaml = validator.to_yaml();
+    assert!(
+        yaml.contains("runAsNonRoot: true"),
+        "security lock missing from validator:\n{yaml}"
+    );
+    assert!(yaml.contains("allowPrivilegeEscalation: false"));
+}
