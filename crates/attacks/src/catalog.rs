@@ -8,8 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use kf_yaml::{Path, Value};
 use k8s_model::{FieldRef, K8sObject, ResourceKind};
+use kf_yaml::{Path, Value};
 
 /// Whether an entry models a CVE exploit or a misconfiguration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -130,7 +130,13 @@ fn pod_set(path: &str, value: impl Into<Value>) -> InjectionAction {
     }
 }
 
-fn exploit(id: &str, name: &str, cve: &str, fields: &[&str], actions: Vec<InjectionAction>) -> MaliciousSpec {
+fn exploit(
+    id: &str,
+    name: &str,
+    cve: &str,
+    fields: &[&str],
+    actions: Vec<InjectionAction>,
+) -> MaliciousSpec {
     MaliciousSpec {
         id: id.to_owned(),
         name: name.to_owned(),
@@ -143,7 +149,12 @@ fn exploit(id: &str, name: &str, cve: &str, fields: &[&str], actions: Vec<Inject
     }
 }
 
-fn misconfig(id: &str, name: &str, fields: &[&str], actions: Vec<InjectionAction>) -> MaliciousSpec {
+fn misconfig(
+    id: &str,
+    name: &str,
+    fields: &[&str],
+    actions: Vec<InjectionAction>,
+) -> MaliciousSpec {
     MaliciousSpec {
         id: id.to_owned(),
         name: name.to_owned(),
@@ -190,7 +201,10 @@ pub fn catalog() -> Vec<MaliciousSpec> {
             "E3",
             "Command injection via volume and volumeMounts",
             "CVE-2023-3676",
-            &["containers.volumeMounts.subPath", "containers.volumes.subPath"],
+            &[
+                "containers.volumeMounts.subPath",
+                "containers.volumes.subPath",
+            ],
             vec![
                 pod_set(
                     "containers[0].volumeMounts[0].subPath",
@@ -258,7 +272,10 @@ pub fn catalog() -> Vec<MaliciousSpec> {
             "CVE-2023-2431",
             &["containers.securityContext.seccompProfile.localhostProfile"],
             vec![
-                pod_set("containers[0].securityContext.seccompProfile.type", "Localhost"),
+                pod_set(
+                    "containers[0].securityContext.seccompProfile.type",
+                    "Localhost",
+                ),
                 pod_set(
                     "containers[0].securityContext.seccompProfile.localhostProfile",
                     "",
@@ -331,8 +348,14 @@ pub fn catalog() -> Vec<MaliciousSpec> {
                 "containers.securityContext.seLinuxOptions.role",
             ],
             vec![
-                pod_set("containers[0].securityContext.seLinuxOptions.user", "system_u"),
-                pod_set("containers[0].securityContext.seLinuxOptions.role", "sysadm_r"),
+                pod_set(
+                    "containers[0].securityContext.seLinuxOptions.user",
+                    "system_u",
+                ),
+                pod_set(
+                    "containers[0].securityContext.seLinuxOptions.role",
+                    "sysadm_r",
+                ),
             ],
         ),
     ]
@@ -341,13 +364,19 @@ pub fn catalog() -> Vec<MaliciousSpec> {
 /// Render Table II as fixed-width text.
 pub fn to_table() -> String {
     let mut out = String::new();
-    out.push_str(&format!("{:<4} {:<55} {:<18}\n", "ID", "Exploit/Misconfiguration", "Reference"));
+    out.push_str(&format!(
+        "{:<4} {:<55} {:<18}\n",
+        "ID", "Exploit/Misconfiguration", "Reference"
+    ));
     for spec in catalog() {
         let reference = match &spec.class {
             SpecClass::CveExploit { cve_id } => cve_id.clone(),
             SpecClass::Misconfiguration => "NSA/CISA hardening guide".to_owned(),
         };
-        out.push_str(&format!("{:<4} {:<55} {:<18}\n", spec.id, spec.name, reference));
+        out.push_str(&format!(
+            "{:<4} {:<55} {:<18}\n",
+            spec.id, spec.name, reference
+        ));
         for field in &spec.targeted_fields {
             out.push_str(&format!("     targeted field: {field}\n"));
         }
@@ -418,7 +447,10 @@ spec:
         let base = K8sObject::from_yaml(DEPLOYMENT).unwrap();
         let malicious = by_id("E1").inject(&base).unwrap();
         let db = k8s_model::cve::CveDatabase::new();
-        assert!(db.by_id("CVE-2020-15257").unwrap().is_triggered_by(&malicious));
+        assert!(db
+            .by_id("CVE-2020-15257")
+            .unwrap()
+            .is_triggered_by(&malicious));
         assert!(!db.by_id("CVE-2020-15257").unwrap().is_triggered_by(&base));
     }
 
@@ -451,10 +483,8 @@ spec:
         let m4 = by_id("M4").inject(&base).unwrap();
         assert_eq!(
             m4.field(
-                &Path::parse(
-                    "spec.template.spec.containers[0].securityContext.runAsNonRoot"
-                )
-                .unwrap()
+                &Path::parse("spec.template.spec.containers[0].securityContext.runAsNonRoot")
+                    .unwrap()
             )
             .and_then(Value::as_bool),
             Some(false)
@@ -462,10 +492,8 @@ spec:
         let m5 = by_id("M5").inject(&base).unwrap();
         let caps = m5
             .field(
-                &Path::parse(
-                    "spec.template.spec.containers[0].securityContext.capabilities.add"
-                )
-                .unwrap(),
+                &Path::parse("spec.template.spec.containers[0].securityContext.capabilities.add")
+                    .unwrap(),
             )
             .unwrap();
         assert_eq!(caps.as_seq().unwrap().len(), 2);

@@ -64,7 +64,11 @@ fn ablation_flat_vs_tree() {
         // Flat check: every *leaf field name* in the request must be a known
         // field name somewhere in the policy (no structure, no values).
         let flat_blocks = malicious.field_paths().iter().any(|path| {
-            let leaf = path.rsplit('.').next().unwrap_or(path).trim_end_matches("[]");
+            let leaf = path
+                .rsplit('.')
+                .next()
+                .unwrap_or(path)
+                .trim_end_matches("[]");
             !leaf.is_empty() && !allowed_names.contains(leaf)
         });
         if tree_blocks {
@@ -115,8 +119,14 @@ fn ablation_security_locks() {
         println!(
             "{:<12} {:>22} {:>22}",
             operator.name(),
-            format!("{}/{}", locked.misconfig_mitigated, locked.misconfig_attempted),
-            format!("{}/{}", unlocked.misconfig_mitigated, unlocked.misconfig_attempted),
+            format!(
+                "{}/{}",
+                locked.misconfig_mitigated, locked.misconfig_attempted
+            ),
+            format!(
+                "{}/{}",
+                unlocked.misconfig_mitigated, unlocked.misconfig_attempted
+            ),
         );
     }
 }

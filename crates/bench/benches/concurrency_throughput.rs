@@ -1,0 +1,120 @@
+//! Concurrency scaling of the enforcement plane (Table IV, heavy-traffic
+//! extension): mixed legitimate/attack traffic replayed from 1, 4 and 8
+//! threads against
+//!
+//! * the **compiled** proxy — flat-arena validators, kind-indexed routing,
+//!   atomic statistics, sharded denial ring ([`EnforcementProxy`]); and
+//! * the **tree** baseline — the pre-refactor implementation with
+//!   tree-walking validation and mutex-guarded bookkeeping
+//!   ([`BaselineProxy`]),
+//!
+//! both in front of the sharded in-memory API server. For every cell the
+//! sustained requests/sec and the p99 per-request validation latency are
+//! reported; the acceptance criterion is that the compiled plane sustains
+//! strictly more requests/sec than the baseline at 8 threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use k8s_apiserver::ApiServer;
+use kf_bench::validator_for;
+use kf_workloads::{Operator, ThroughputDriver, ThroughputReport};
+use kubefence::{BaselineProxy, EnforcementProxy, ValidatorSet};
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+const REQUESTS_PER_THREAD: usize = 2_000;
+
+fn validators() -> ValidatorSet {
+    let mut set = ValidatorSet::new();
+    for operator in Operator::ALL {
+        set.push(validator_for(operator));
+    }
+    set
+}
+
+fn server() -> ApiServer {
+    let mut server = ApiServer::new();
+    for operator in Operator::ALL {
+        server = server.with_admin(&operator.user());
+    }
+    server
+}
+
+fn row(label: &str, report: &ThroughputReport) {
+    println!(
+        "{label:<28} {:>2} threads  {:>12.0} req/s   p50 {:>9.1} µs   p99 {:>9.1} µs   ({} admitted / {} denied)",
+        report.threads,
+        report.requests_per_sec(),
+        report.p50.as_nanos() as f64 / 1e3,
+        report.p99.as_nanos() as f64 / 1e3,
+        report.admitted,
+        report.denied,
+    );
+}
+
+fn print_scaling_table() {
+    println!("\n=== Concurrency scaling: compiled admission plane vs tree + mutex baseline ===");
+    println!(
+        "(mixed traffic from all {} operators: {} requests/pool, {} per thread)\n",
+        Operator::ALL.len(),
+        ThroughputDriver::for_operators(&Operator::ALL)
+            .requests()
+            .len(),
+        REQUESTS_PER_THREAD
+    );
+    let driver = ThroughputDriver::for_operators(&Operator::ALL);
+    let mut compiled_at_8 = 0.0f64;
+    let mut tree_at_8 = 0.0f64;
+    for threads in THREAD_COUNTS {
+        let compiled = EnforcementProxy::with_validators(server(), validators());
+        let report = driver.run(&compiled, threads, REQUESTS_PER_THREAD);
+        row("compiled + atomic proxy", &report);
+        if threads == 8 {
+            compiled_at_8 = report.requests_per_sec();
+        }
+
+        let baseline = BaselineProxy::with_validators(server(), validators());
+        let report = driver.run(&baseline, threads, REQUESTS_PER_THREAD);
+        row("tree + mutex baseline", &report);
+        if threads == 8 {
+            tree_at_8 = report.requests_per_sec();
+        }
+        println!();
+    }
+    let speedup = compiled_at_8 / tree_at_8.max(1e-9);
+    println!(
+        "8-thread verdict: compiled {compiled_at_8:.0} req/s vs tree {tree_at_8:.0} req/s  ({speedup:.2}x)  {}",
+        if compiled_at_8 > tree_at_8 { "PASS" } else { "FAIL" }
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_scaling_table();
+    // Criterion-tracked single-request latency of both validation planes, so
+    // regressions show up in the per-iteration numbers as well.
+    let driver = ThroughputDriver::for_operator(Operator::Sonarqube);
+    let validators = ValidatorSet::single(validator_for(Operator::Sonarqube));
+    let objects: Vec<_> = driver
+        .requests()
+        .iter()
+        .filter_map(|request| request.object())
+        .collect();
+    let mut group = c.benchmark_group("concurrency");
+    group.bench_function("validate_pool_compiled", |b| {
+        b.iter(|| {
+            for object in &objects {
+                criterion::black_box(validators.validate(object).is_ok());
+            }
+        })
+    });
+    group.bench_function("validate_pool_tree_scan", |b| {
+        b.iter(|| {
+            for object in &objects {
+                criterion::black_box(validators.validate_tree_scan(object).is_ok());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

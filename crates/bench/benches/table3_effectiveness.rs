@@ -43,7 +43,10 @@ fn print_tables() {
             format!("{}/{}", rbac.cve_mitigated, rbac.cve_attempted),
             format!("{}/{}", kubefence.cve_mitigated, kubefence.cve_attempted),
             format!("{}/{}", rbac.misconfig_mitigated, rbac.misconfig_attempted),
-            format!("{}/{}", kubefence.misconfig_mitigated, kubefence.misconfig_attempted),
+            format!(
+                "{}/{}",
+                kubefence.misconfig_mitigated, kubefence.misconfig_attempted
+            ),
         );
     }
     println!("\n(paper: RBAC mitigates 0, KubeFence mitigates all 15, for every workload)");

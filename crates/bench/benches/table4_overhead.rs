@@ -50,7 +50,8 @@ fn print_table4() {
         for repetition in 0..REPETITIONS {
             let mut latency = LatencyModel::new(Default::default(), 1 + repetition as u64);
             let server = ApiServer::new().with_admin(&operator.user());
-            baseline.push(deployment_rtt(&driver, &server, &mut latency, false).as_secs_f64() * 1e3);
+            baseline
+                .push(deployment_rtt(&driver, &server, &mut latency, false).as_secs_f64() * 1e3);
 
             let mut latency = LatencyModel::new(Default::default(), 1 + repetition as u64);
             let proxy = EnforcementProxy::new(

@@ -54,7 +54,10 @@ impl ConfigurationExplorer {
         if enums.is_empty() {
             return vec![schema.tree().clone()];
         }
-        let total: usize = enums.iter().map(|(_, options)| options.len().max(1)).product();
+        let total: usize = enums
+            .iter()
+            .map(|(_, options)| options.len().max(1))
+            .product();
         let mut variants = Vec::with_capacity(total);
         for mut index in 0..total {
             let mut tree = schema.tree().clone();
@@ -100,7 +103,9 @@ mod tests {
         assert_eq!(variants.len(), 3);
         // Shorter lists reuse their last option once exhausted.
         assert_eq!(
-            variants[2].get_path(&Path::parse("service.type").unwrap()).unwrap(),
+            variants[2]
+                .get_path(&Path::parse("service.type").unwrap())
+                .unwrap(),
             &Value::from("NodePort")
         );
         assert_eq!(variants[2].get("mode").unwrap(), &Value::from("c"));
@@ -108,9 +113,7 @@ mod tests {
 
     #[test]
     fn every_option_appears_in_at_least_one_variant() {
-        let schema = schema_from(
-            "# @options: a | b | c\nmode: a\nfeature:\n  enabled: true\n",
-        );
+        let schema = schema_from("# @options: a | b | c\nmode: a\nfeature:\n  enabled: true\n");
         let variants = ConfigurationExplorer::new().variants(&schema);
         for option in ["a", "b", "c"] {
             assert!(
@@ -122,7 +125,8 @@ mod tests {
         }
         for flag in [true, false] {
             assert!(variants.iter().any(|v| {
-                v.get_path(&Path::parse("feature.enabled").unwrap()).unwrap()
+                v.get_path(&Path::parse("feature.enabled").unwrap())
+                    .unwrap()
                     == &Value::Bool(flag)
             }));
         }
@@ -130,9 +134,7 @@ mod tests {
 
     #[test]
     fn exhaustive_exploration_is_the_cross_product() {
-        let schema = schema_from(
-            "# @options: a | b | c\nmode: a\nfeature:\n  enabled: true\n",
-        );
+        let schema = schema_from("# @options: a | b | c\nmode: a\nfeature:\n  enabled: true\n");
         let explorer = ConfigurationExplorer::new();
         assert_eq!(explorer.variants(&schema).len(), 3);
         assert_eq!(explorer.exhaustive_variants(&schema).len(), 6);

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 mod error;
 pub mod explore;
 mod pipeline;
@@ -61,10 +62,11 @@ pub mod security;
 pub mod surface;
 pub mod validator;
 
+pub use compile::{CompiledNode, CompiledValidator};
 pub use error::Error;
 pub use explore::ConfigurationExplorer;
 pub use pipeline::{GeneratorConfig, PolicyGenerator};
-pub use proxy::{DenialRecord, EnforcementProxy};
+pub use proxy::{BaselineProxy, DenialRecord, EnforcementProxy, ProxyStats};
 pub use schema_gen::{ValuesSchema, ValuesSchemaGenerator};
 pub use security::{SecurityLock, SecurityLocks};
 pub use surface::{AttackSurfaceAnalyzer, SurfaceReport, WorkloadSurface};

@@ -124,7 +124,8 @@ impl PolicyGenerator {
     ///
     /// Propagates chart rendering failures.
     pub fn rendered_manifests(&self, chart: &Chart) -> Result<Vec<Value>> {
-        let schema = ValuesSchemaGenerator::new(self.config.schema.clone()).generate(chart.values());
+        let schema =
+            ValuesSchemaGenerator::new(self.config.schema.clone()).generate(chart.values());
         let variants = ConfigurationExplorer::new().variants(&schema);
         let mut manifests = Vec::new();
         for variant in &variants {

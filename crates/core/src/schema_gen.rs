@@ -140,7 +140,10 @@ impl ValuesSchemaGenerator {
                     } else {
                         format!("{path}.{key}")
                     };
-                    out.insert(key.to_owned(), self.generalize(child, values, &child_path, enums));
+                    out.insert(
+                        key.to_owned(),
+                        self.generalize(child, values, &child_path, enums),
+                    );
                 }
                 Value::Map(out)
             }
@@ -176,7 +179,10 @@ impl ValuesSchemaGenerator {
         match scalar {
             Value::Bool(current) => {
                 if self.config.explore_booleans {
-                    enums.insert(path.to_owned(), vec![Value::Bool(*current), Value::Bool(!current)]);
+                    enums.insert(
+                        path.to_owned(),
+                        vec![Value::Bool(*current), Value::Bool(!current)],
+                    );
                 }
                 Value::Bool(*current)
             }
@@ -203,7 +209,9 @@ pub fn looks_like_ip(text: &str) -> bool {
         && octets
             .iter()
             .all(|o| !o.is_empty() && o.len() <= 3 && o.chars().all(|c| c.is_ascii_digit()))
-        && octets.iter().all(|o| o.parse::<u16>().map(|v| v <= 255).unwrap_or(false))
+        && octets
+            .iter()
+            .all(|o| o.parse::<u16>().map(|v| v <= 255).unwrap_or(false))
 }
 
 #[cfg(test)]
@@ -256,14 +264,20 @@ postgreSQL:
     fn trusted_registry_and_repository_stay_locked() {
         let schema = schema();
         assert_eq!(at(&schema, "image.registry"), Value::from("docker.io"));
-        assert_eq!(at(&schema, "image.repository"), Value::from("bitnami/mlflow"));
+        assert_eq!(
+            at(&schema, "image.repository"),
+            Value::from("bitnami/mlflow")
+        );
     }
 
     #[test]
     fn annotations_become_enumerations() {
         let schema = schema();
         let options = schema.enums().get("postgreSQL.arch").unwrap();
-        assert_eq!(options, &vec![Value::from("standalone"), Value::from("repl")]);
+        assert_eq!(
+            options,
+            &vec![Value::from("standalone"), Value::from("repl")]
+        );
         // The tree keeps the first option for rendering.
         assert_eq!(at(&schema, "postgreSQL.arch"), Value::from("standalone"));
     }

@@ -196,10 +196,12 @@ mod tests {
     #[test]
     fn run_as_non_root_is_added_even_when_absent_from_the_chart() {
         let locks = SecurityLocks::best_practices();
-        assert!(locks
-            .lock_for("containers[].securityContext.runAsNonRoot")
-            .unwrap()
-            .add_if_missing);
+        assert!(
+            locks
+                .lock_for("containers[].securityContext.runAsNonRoot")
+                .unwrap()
+                .add_if_missing
+        );
     }
 
     #[test]

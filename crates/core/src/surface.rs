@@ -137,7 +137,10 @@ impl SurfaceReport {
         for w in &self.workloads {
             out.push_str(&format!("{:<12}", w.workload));
             for kind in ResourceKind::ALL {
-                let pct = w.usage_for(kind).map(EndpointUsage::usage_percent).unwrap_or(0.0);
+                let pct = w
+                    .usage_for(kind)
+                    .map(EndpointUsage::usage_percent)
+                    .unwrap_or(0.0);
                 out.push_str(&format!(" {pct:>6.2}%"));
             }
             out.push('\n');
@@ -161,9 +164,7 @@ impl Default for AttackSurfaceAnalyzer {
 impl AttackSurfaceAnalyzer {
     /// An analyzer over the built-in field-schema catalog.
     pub fn new() -> Self {
-        AttackSurfaceAnalyzer {
-            catalog: catalog(),
-        }
+        AttackSurfaceAnalyzer { catalog: catalog() }
     }
 
     /// Total configurable fields across all endpoints (Table I denominator).
@@ -226,7 +227,10 @@ mod tests {
     use crate::validator::Validator;
 
     fn validator_with(manifests: &[&str]) -> Validator {
-        let parsed: Vec<_> = manifests.iter().map(|m| kf_yaml::parse(m).unwrap()).collect();
+        let parsed: Vec<_> = manifests
+            .iter()
+            .map(|m| kf_yaml::parse(m).unwrap())
+            .collect();
         Validator::from_manifests("demo", &parsed).unwrap()
     }
 

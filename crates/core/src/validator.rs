@@ -3,12 +3,14 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
-use kf_yaml::{Mapping, Value};
 use k8s_model::{K8sObject, ResourceKind};
+use kf_yaml::{Mapping, Value};
 
+use crate::compile::{compile, CompiledValidator};
 use crate::schema_gen::{looks_like_ip, placeholder};
 use crate::security::SecurityLocks;
 use crate::{Error, Result};
@@ -63,11 +65,17 @@ impl TypeTag {
             TypeTag::String => value.as_str().is_some(),
             TypeTag::Int => {
                 value.as_i64().is_some()
-                    || value.as_str().map(|s| s.parse::<i64>().is_ok()).unwrap_or(false)
+                    || value
+                        .as_str()
+                        .map(|s| s.parse::<i64>().is_ok())
+                        .unwrap_or(false)
             }
             TypeTag::Float => {
                 value.as_f64().is_some()
-                    || value.as_str().map(|s| s.parse::<f64>().is_ok()).unwrap_or(false)
+                    || value
+                        .as_str()
+                        .map(|s| s.parse::<f64>().is_ok())
+                        .unwrap_or(false)
             }
             TypeTag::Bool => value.as_bool().is_some(),
             TypeTag::Ip => value.as_str().map(looks_like_ip).unwrap_or(false),
@@ -322,7 +330,9 @@ pub struct Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.reason {
-            ViolationReason::UnknownKind => write!(f, "resource kind `{}` is not allowed", self.path),
+            ViolationReason::UnknownKind => {
+                write!(f, "resource kind `{}` is not allowed", self.path)
+            }
             ViolationReason::UnknownField => write!(f, "field `{}` is not allowed", self.path),
             ViolationReason::TypeMismatch { expected, found } => write!(
                 f,
@@ -345,10 +355,27 @@ impl fmt::Display for Violation {
 
 /// A workload's policy validator: one policy tree per resource kind the
 /// workload is allowed to manage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The tree ([`PolicyNode`]) is the authoring representation: manifests merge
+/// into it and security locks rewrite it. Enforcement runs on the compiled
+/// form (see [`crate::compile`]), built lazily on first use and invalidated
+/// whenever the tree is mutated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Validator {
     workload: String,
     kinds: BTreeMap<ResourceKind, PolicyNode>,
+    /// Lazily compiled enforcement form of `kinds`. Never serialized or
+    /// compared; rebuilt on demand after mutation.
+    #[serde(skip)]
+    compiled: OnceLock<CompiledValidator>,
+}
+
+impl PartialEq for Validator {
+    fn eq(&self, other: &Self) -> bool {
+        // The compiled arena is a cache of `kinds`; equality is defined on
+        // the authoring representation alone.
+        self.workload == other.workload && self.kinds == other.kinds
+    }
 }
 
 impl Validator {
@@ -357,6 +384,7 @@ impl Validator {
         Validator {
             workload: workload.to_owned(),
             kinds: BTreeMap::new(),
+            compiled: OnceLock::new(),
         }
     }
 
@@ -384,6 +412,7 @@ impl Validator {
         Ok(Validator {
             workload: workload.to_owned(),
             kinds,
+            compiled: OnceLock::new(),
         })
     }
 
@@ -417,11 +446,28 @@ impl Validator {
                 apply_lock(node, &segments, &lock.locked_value, lock.add_if_missing);
             }
         }
+        // The policy trees changed; drop the compiled cache so enforcement
+        // recompiles against the locked trees.
+        self.compiled = OnceLock::new();
+    }
+
+    /// The compiled (flat-arena) form of this validator, built on first use.
+    /// This is what the enforcement hot path evaluates.
+    pub fn compiled(&self) -> &CompiledValidator {
+        self.compiled
+            .get_or_init(|| compile(self.kinds.iter().map(|(kind, node)| (*kind, node))))
     }
 
     /// Validate an object against the policy; an empty vector means the
-    /// request complies.
+    /// request complies. Runs on the compiled form.
     pub fn validate(&self, object: &K8sObject) -> Vec<Violation> {
+        self.compiled().validate(object)
+    }
+
+    /// Validate by walking the authoring tree directly. Kept as the reference
+    /// implementation: differential and fuzz tests assert the compiled plane
+    /// produces identical verdicts, and ablation benchmarks measure the gap.
+    pub fn validate_tree(&self, object: &K8sObject) -> Vec<Violation> {
         let Some(policy) = self.kinds.get(&object.kind()) else {
             return vec![Violation {
                 path: object.kind().as_str().to_owned(),
@@ -433,9 +479,10 @@ impl Validator {
         violations
     }
 
-    /// Whether the object complies with the policy.
+    /// Whether the object complies with the policy. Short-circuits on the
+    /// compiled form without allocating.
     pub fn allows(&self, object: &K8sObject) -> bool {
-        self.validate(object).is_empty()
+        self.compiled().allows(object)
     }
 
     /// The collapsed field paths allowed for a kind (used by the
@@ -466,9 +513,25 @@ impl Validator {
 
 /// A set of validators (one per protected workload); a request is allowed if
 /// any member validator allows it.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Dispatch is kind-indexed: a precomputed routing table maps every
+/// [`ResourceKind`] to the member validators that cover it, so a request only
+/// ever consults validators that could possibly admit it instead of scanning
+/// the whole set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ValidatorSet {
     validators: Vec<Validator>,
+    /// `routes[kind.index()]` lists the indices of validators covering that
+    /// kind, in insertion order. Built lazily; invalidated by `push`.
+    #[serde(skip)]
+    routes: OnceLock<Vec<Vec<u32>>>,
+}
+
+impl PartialEq for ValidatorSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The routing table is a cache; equality is membership equality.
+        self.validators == other.validators
+    }
 }
 
 impl ValidatorSet {
@@ -481,12 +544,15 @@ impl ValidatorSet {
     pub fn single(validator: Validator) -> Self {
         ValidatorSet {
             validators: vec![validator],
+            routes: OnceLock::new(),
         }
     }
 
     /// Add a validator.
     pub fn push(&mut self, validator: Validator) {
         self.validators.push(validator);
+        // Membership changed; the routing table is rebuilt on next use.
+        self.routes = OnceLock::new();
     }
 
     /// The member validators.
@@ -494,13 +560,88 @@ impl ValidatorSet {
         &self.validators
     }
 
+    /// The kind-routing table: for each kind index, the member validators
+    /// (by index, in insertion order) whose policies cover that kind.
+    fn routes(&self) -> &Vec<Vec<u32>> {
+        self.routes.get_or_init(|| {
+            let mut routes = vec![Vec::new(); ResourceKind::COUNT];
+            for (index, validator) in self.validators.iter().enumerate() {
+                for kind in validator.kinds() {
+                    routes[kind.index()].push(index as u32);
+                }
+            }
+            routes
+        })
+    }
+
+    /// The member validators (by index) that cover a kind.
+    pub fn validators_for(&self, kind: ResourceKind) -> &[u32] {
+        &self.routes()[kind.index()]
+    }
+
     /// Validate an object: returns `Ok(())` when some member validator allows
-    /// it, otherwise the violations reported by the closest match (fewest
-    /// violations), which is what the proxy logs.
+    /// it, otherwise the violations reported by the closest matching
+    /// *covering* validator (fewest violations), which is what the proxy
+    /// logs.
+    ///
+    /// Dispatch is two-tier: the kind-routing table narrows the candidate
+    /// validators to those covering the object's kind (an O(1) indexed
+    /// lookup), and the admit decision runs each candidate's compiled
+    /// fast path, which neither allocates nor builds violation reports.
+    /// Violations are collected only after all candidates denied — the
+    /// denial path is the rare one.
     pub fn validate(&self, object: &K8sObject) -> std::result::Result<(), Vec<Violation>> {
+        self.validate_kind_body(object.kind(), object.body())
+    }
+
+    /// [`ValidatorSet::validate`] over a borrowed body — the proxy's
+    /// zero-copy entry point.
+    pub fn validate_kind_body(
+        &self,
+        kind: ResourceKind,
+        body: &Value,
+    ) -> std::result::Result<(), Vec<Violation>> {
+        let route = self.validators_for(kind);
+        // Fast path: any covering validator that admits ends the request.
+        for &index in route {
+            if self.validators[index as usize]
+                .compiled()
+                .allows_kind_body(kind, body)
+            {
+                return Ok(());
+            }
+        }
+        if route.is_empty() {
+            return Err(vec![Violation {
+                path: kind.as_str().to_owned(),
+                reason: ViolationReason::UnknownKind,
+            }]);
+        }
+        // Denial path: collect per-validator violations and report the
+        // closest match among the validators that actually cover the kind.
+        let mut best: Option<Vec<Violation>> = None;
+        for &index in route {
+            let violations = self.validators[index as usize]
+                .compiled()
+                .validate_kind_body(kind, body);
+            match &best {
+                Some(existing) if existing.len() <= violations.len() => {}
+                _ => best = Some(violations),
+            }
+        }
+        Err(best.expect("route is non-empty"))
+    }
+
+    /// The pre-compilation reference semantics: try every member validator in
+    /// turn with the tree-walking validator. Differential tests assert the
+    /// kind-indexed [`ValidatorSet::validate`] admits and denies identically.
+    pub fn validate_tree_scan(
+        &self,
+        object: &K8sObject,
+    ) -> std::result::Result<(), Vec<Violation>> {
         let mut best: Option<Vec<Violation>> = None;
         for validator in &self.validators {
-            let violations = validator.validate(object);
+            let violations = validator.validate_tree(object);
             if violations.is_empty() {
                 return Ok(());
             }
@@ -568,9 +709,10 @@ fn descend_lock(node: &mut PolicyNode, rest: &[&str], value: &Value, add_if_miss
 /// helper has processed it inside a Secret template.
 const BASE64_PLACEHOLDERS: [&str; 5] = ["c3RyaW5n", "aW50", "ZmxvYXQ=", "Ym9vbA==", "SVA="];
 
-/// One piece of a string pattern with embedded placeholders.
+/// One piece of a string pattern with embedded placeholders. Shared with the
+/// compiled plane, which pre-splits patterns at compile time.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum PatternPiece {
+pub(crate) enum PatternPiece {
     /// Literal text that must appear verbatim.
     Literal(String),
     /// A placeholder wildcard (at least one character).
@@ -581,7 +723,7 @@ enum PatternPiece {
 /// tokens (`string`, `int`, `float`, `IP`, `bool`) delimited by
 /// non-alphanumeric characters. Returns `None` when the string contains no
 /// embedded placeholder and should be treated as a constant.
-fn pattern_pieces(text: &str) -> Option<Vec<PatternPiece>> {
+pub(crate) fn pattern_pieces(text: &str) -> Option<Vec<PatternPiece>> {
     const TOKENS: [&str; 5] = ["string", "int", "float", "bool", "IP"];
     let bytes = text.as_bytes();
     let mut pieces = Vec::new();
@@ -630,10 +772,17 @@ fn pattern_pieces(text: &str) -> Option<Vec<PatternPiece>> {
 }
 
 /// Whether a concrete string matches a pattern with embedded placeholders.
+/// Splits the pattern on every call; the compiled plane avoids the re-split
+/// by caching the pieces (see [`crate::compile::CompiledPattern`]).
 fn pattern_matches(pattern: &str, text: &str) -> bool {
     let Some(pieces) = pattern_pieces(pattern) else {
         return pattern == text;
     };
+    pieces_match(&pieces, text)
+}
+
+/// Whether a concrete string matches an already-split piece list.
+pub(crate) fn pieces_match(pieces: &[PatternPiece], text: &str) -> bool {
     let mut pos = 0usize;
     let mut pending_wildcard = false;
     for (index, piece) in pieces.iter().enumerate() {
@@ -882,7 +1031,10 @@ spec:
         let violations = v.validate(&object);
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].path, "spec.template.spec.hostNetwork");
-        assert!(matches!(violations[0].reason, ViolationReason::UnknownField));
+        assert!(matches!(
+            violations[0].reason,
+            ViolationReason::UnknownField
+        ));
     }
 
     #[test]
@@ -897,8 +1049,11 @@ spec:
     fn type_placeholders_validate_by_type() {
         let v = validator();
         let mut body = request_manifest("Always");
-        body.set_path(&kf_yaml::Path::parse("spec.replicas").unwrap(), Value::from(7))
-            .unwrap();
+        body.set_path(
+            &kf_yaml::Path::parse("spec.replicas").unwrap(),
+            Value::from(7),
+        )
+        .unwrap();
         assert!(v.allows(&K8sObject::from_value(body.clone()).unwrap()));
         body.set_path(
             &kf_yaml::Path::parse("spec.replicas").unwrap(),
@@ -942,10 +1097,8 @@ spec:
         // runAsNonRoot was `true` in the manifests and stays locked to true.
         let mut body = request_manifest("Always");
         body.set_path(
-            &kf_yaml::Path::parse(
-                "spec.template.spec.containers[0].securityContext.runAsNonRoot",
-            )
-            .unwrap(),
+            &kf_yaml::Path::parse("spec.template.spec.containers[0].securityContext.runAsNonRoot")
+                .unwrap(),
             Value::Bool(false),
         )
         .unwrap();

@@ -1,0 +1,175 @@
+//! Fuzz test: the compiled admission plane must reach exactly the same
+//! verdicts — and report exactly the same violations — as the tree-walking
+//! reference validator, on randomly mutated manifests.
+//!
+//! The build environment has no crates-registry access, so instead of
+//! `proptest` this uses a hand-rolled, seeded mutator: starting from every
+//! operator's legitimate objects, each case applies a random sequence of
+//! field overwrites, insertions and deletions (the shapes real attacks take:
+//! unknown fields, wrong types, out-of-enumeration values, structural
+//! damage), then checks tree/compiled parity. Failures print the case seed
+//! and the mutated document.
+
+use k8s_model::K8sObject;
+use kf_yaml::{Path, Value};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use kf_workloads::Operator;
+use kubefence::{GeneratorConfig, PolicyGenerator, Validator};
+
+const CASES_PER_OPERATOR: usize = 400;
+const MUTATIONS_PER_CASE: usize = 4;
+
+fn validator_for(operator: Operator) -> Validator {
+    PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+        .generate(&operator.chart())
+        .expect("built-in charts generate valid policies")
+}
+
+/// A scalar drawn from the kinds of values attackers substitute.
+fn random_scalar(rng: &mut SmallRng) -> Value {
+    match rng.gen_range(0usize..6) {
+        0 => Value::Bool(true),
+        1 => Value::Bool(false),
+        2 => Value::Int(rng.gen_range(-4096i64..4096)),
+        3 => Value::Str("attacker-controlled".to_owned()),
+        4 => Value::Str(format!("evil.example/pwn:{}", rng.gen_range(0u64..100))),
+        _ => Value::Null,
+    }
+}
+
+/// A field name that is plausibly hostile (hostNetwork, privileged, …) or
+/// plain noise.
+fn random_key(rng: &mut SmallRng) -> String {
+    const KEYS: [&str; 8] = [
+        "hostNetwork",
+        "hostPID",
+        "privileged",
+        "runAsUser",
+        "extraEnv",
+        "sidecar",
+        "x-injected",
+        "debug",
+    ];
+    KEYS[rng.gen_range(0usize..KEYS.len())].to_owned()
+}
+
+/// Apply one random mutation to the document, using its own leaves as
+/// anchor points.
+fn mutate(rng: &mut SmallRng, body: &mut Value) {
+    let leaves: Vec<Path> = body.leaves().into_iter().map(|(path, _)| path).collect();
+    if leaves.is_empty() {
+        return;
+    }
+    let anchor = &leaves[rng.gen_range(0usize..leaves.len())];
+    match rng.gen_range(0usize..4) {
+        // Overwrite a leaf with a random scalar (wrong type / wrong value).
+        0 => {
+            let scalar = random_scalar(rng);
+            let _ = body.set_path(anchor, scalar);
+        }
+        // Graft an unknown field next to an existing leaf.
+        1 => {
+            let mut dotted = anchor.to_string();
+            if let Some(cut) = dotted.rfind('.') {
+                dotted.truncate(cut);
+                let grafted = format!("{dotted}.{}", random_key(rng));
+                if let Ok(path) = Path::parse(&grafted) {
+                    let scalar = random_scalar(rng);
+                    let _ = body.set_path(&path, scalar);
+                }
+            }
+        }
+        // Delete a leaf (shrinking is as important as growing).
+        2 => {
+            let _ = body.remove_path(anchor);
+        }
+        // Structural damage: replace a leaf with a container.
+        _ => {
+            let replacement = if rng.gen_range(0usize..2) == 0 {
+                Value::Seq(vec![random_scalar(rng)])
+            } else {
+                Value::empty_map()
+            };
+            let _ = body.set_path(anchor, replacement);
+        }
+    }
+}
+
+#[test]
+fn compiled_and_tree_validators_agree_on_mutated_manifests() {
+    for operator in Operator::ALL {
+        let validator = validator_for(operator);
+        let bases = operator.workload().default_objects();
+        let mut rng = SmallRng::seed_from_u64(0xF0CCAC1A ^ operator.name().len() as u64);
+        let mut admitted = 0usize;
+        let mut denied = 0usize;
+        for case in 0..CASES_PER_OPERATOR {
+            let base = &bases[rng.gen_range(0usize..bases.len())];
+            let mut body = base.body().clone();
+            for _ in 0..rng.gen_range(1usize..MUTATIONS_PER_CASE + 1) {
+                mutate(&mut rng, &mut body);
+            }
+            // Mutations can destroy the object envelope (kind/name); those
+            // documents never reach a validator, the proxy rejects them
+            // earlier.
+            let Ok(object) = K8sObject::from_value(body.clone()) else {
+                continue;
+            };
+            let tree = validator.validate_tree(&object);
+            let compiled = validator.compiled().validate(&object);
+            assert_eq!(
+                tree,
+                compiled,
+                "violations diverged: {} case {case}\n--- document ---\n{}",
+                operator.name(),
+                kf_yaml::to_yaml(&body)
+            );
+            assert_eq!(
+                tree.is_empty(),
+                validator.compiled().allows(&object),
+                "fast-path verdict diverged: {} case {case}",
+                operator.name()
+            );
+            if tree.is_empty() {
+                admitted += 1;
+            } else {
+                denied += 1;
+            }
+        }
+        // The mutator must exercise both sides of the verdict for the
+        // parity claim to mean anything.
+        assert!(
+            denied > 0,
+            "{}: no mutated manifest was denied",
+            operator.name()
+        );
+        assert!(
+            admitted + denied > CASES_PER_OPERATOR / 2,
+            "{}: too many cases discarded ({admitted} admitted, {denied} denied)",
+            operator.name()
+        );
+    }
+}
+
+#[test]
+fn unmutated_manifests_are_admitted_by_both_planes() {
+    for operator in Operator::ALL {
+        let validator = validator_for(operator);
+        for object in operator.workload().default_objects() {
+            assert!(
+                validator.validate_tree(&object).is_empty(),
+                "{}: tree plane rejects the legitimate {}",
+                operator.name(),
+                object.name()
+            );
+            assert!(
+                validator.compiled().allows(&object),
+                "{}: compiled plane rejects the legitimate {}",
+                operator.name(),
+                object.name()
+            );
+        }
+    }
+}

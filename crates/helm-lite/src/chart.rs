@@ -133,7 +133,10 @@ mod tests {
             ChartMetadata::new("demo", "1.0.0"),
             ValuesFile::from_value(kf_yaml::Value::empty_map()),
             vec![
-                TemplateFile::new("_helpers.tpl", "{{- define \"demo.name\" -}}demo{{- end -}}"),
+                TemplateFile::new(
+                    "_helpers.tpl",
+                    "{{- define \"demo.name\" -}}demo{{- end -}}",
+                ),
                 TemplateFile::new("service.yaml", "kind: Service"),
                 TemplateFile::new("deployment.yaml", "kind: Deployment"),
             ],

@@ -64,11 +64,10 @@ pub fn render_chart_in_namespace(
     let mut manifests = Vec::new();
     for template in chart.manifest_templates() {
         let rendered = engine.render(&template.source, &template.name, &context)?;
-        let documents =
-            kf_yaml::parse_documents(&rendered).map_err(|e| Error::InvalidOutput {
-                template: template.name.clone(),
-                message: format!("{e}\n--- rendered output ---\n{rendered}"),
-            })?;
+        let documents = kf_yaml::parse_documents(&rendered).map_err(|e| Error::InvalidOutput {
+            template: template.name.clone(),
+            message: format!("{e}\n--- rendered output ---\n{rendered}"),
+        })?;
         for document in documents {
             if document.is_null() {
                 continue;
@@ -156,7 +155,10 @@ metadata:
     #[test]
     fn renders_enabled_templates_and_skips_disabled_ones() {
         let manifests = render_chart(&demo_chart(), None, "prod").unwrap();
-        let kinds: Vec<_> = manifests.iter().filter_map(RenderedManifest::kind).collect();
+        let kinds: Vec<_> = manifests
+            .iter()
+            .filter_map(RenderedManifest::kind)
+            .collect();
         assert_eq!(kinds, vec!["Deployment", "Service"]);
     }
 
@@ -185,7 +187,10 @@ metadata:
         let overrides =
             kf_yaml::parse("metrics:\n  enabled: true\nservice:\n  enabled: false\n").unwrap();
         let manifests = render_chart(&demo_chart(), Some(&overrides), "prod").unwrap();
-        let kinds: Vec<_> = manifests.iter().filter_map(RenderedManifest::kind).collect();
+        let kinds: Vec<_> = manifests
+            .iter()
+            .filter_map(RenderedManifest::kind)
+            .collect();
         assert_eq!(kinds, vec!["Deployment", "Service"]);
         assert_eq!(
             manifests[1]

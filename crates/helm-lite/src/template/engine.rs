@@ -260,12 +260,7 @@ impl TemplateEngine {
         }
     }
 
-    fn call_include(
-        &self,
-        args: &[Value],
-        scope: &mut Scope<'_>,
-        template: &str,
-    ) -> Result<Value> {
+    fn call_include(&self, args: &[Value], scope: &mut Scope<'_>, template: &str) -> Result<Value> {
         let name = args
             .first()
             .and_then(Value::as_str)

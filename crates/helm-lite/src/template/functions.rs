@@ -48,7 +48,10 @@ fn as_int(value: &Value, template: &str, function: &str) -> Result<i64> {
             .map_err(|_| render_err(template, format!("{function}: `{s}` is not an integer"))),
         other => Err(render_err(
             template,
-            format!("{function}: expected an integer, found {}", other.type_name()),
+            format!(
+                "{function}: expected an integer, found {}",
+                other.type_name()
+            ),
         )),
     }
 }
@@ -148,9 +151,19 @@ pub fn call_function(name: &str, args: &[Value], template: &str) -> Result<Value
                 Ok(args[0].clone())
             }
         }
-        "coalesce" => Ok(args.iter().find(|v| is_truthy(v)).cloned().unwrap_or(Value::Null)),
-        "quote" => Ok(Value::Str(format!("\"{}\"", as_text(args.first().unwrap_or(&Value::Null))))),
-        "squote" => Ok(Value::Str(format!("'{}'", as_text(args.first().unwrap_or(&Value::Null))))),
+        "coalesce" => Ok(args
+            .iter()
+            .find(|v| is_truthy(v))
+            .cloned()
+            .unwrap_or(Value::Null)),
+        "quote" => Ok(Value::Str(format!(
+            "\"{}\"",
+            as_text(args.first().unwrap_or(&Value::Null))
+        ))),
+        "squote" => Ok(Value::Str(format!(
+            "'{}'",
+            as_text(args.first().unwrap_or(&Value::Null))
+        ))),
         "upper" => {
             arity(1)?;
             Ok(Value::Str(as_text(&args[0]).to_uppercase()))
@@ -344,7 +357,10 @@ mod tests {
             Value::from("name")
         );
         assert_eq!(
-            call("replace", &[Value::from("."), Value::from("-"), Value::from("a.b.c")]),
+            call(
+                "replace",
+                &[Value::from("."), Value::from("-"), Value::from("a.b.c")]
+            ),
             Value::from("a-b-c")
         );
         assert_eq!(call("quote", &[Value::from("x")]), Value::from("\"x\""));
@@ -389,14 +405,20 @@ mod tests {
         );
         assert_eq!(call("not", &[Value::Null]), Value::Bool(true));
         assert_eq!(
-            call("ternary", &[Value::from("a"), Value::from("b"), Value::Bool(false)]),
+            call(
+                "ternary",
+                &[Value::from("a"), Value::from("b"), Value::Bool(false)]
+            ),
             Value::from("b")
         );
     }
 
     #[test]
     fn b64enc_encodes_with_padding() {
-        assert_eq!(call("b64enc", &[Value::from("admin")]), Value::from("YWRtaW4="));
+        assert_eq!(
+            call("b64enc", &[Value::from("admin")]),
+            Value::from("YWRtaW4=")
+        );
         assert_eq!(call("b64enc", &[Value::from("ab")]), Value::from("YWI="));
         assert_eq!(call("b64enc", &[Value::from("")]), Value::from(""));
     }

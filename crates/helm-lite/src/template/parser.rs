@@ -77,7 +77,9 @@ impl StructureParser {
         if terminators.is_empty() {
             Ok((nodes, None))
         } else {
-            Err(self.err(format!("missing closing action (expected one of {terminators:?})")))
+            Err(self.err(format!(
+                "missing closing action (expected one of {terminators:?})"
+            )))
         }
     }
 
@@ -505,8 +507,11 @@ mod tests {
 
     #[test]
     fn parses_if_else_structure() {
-        let nodes = parse("{{ if .Values.a }}A{{ else if .Values.b }}B{{ else }}C{{ end }}", "t")
-            .unwrap();
+        let nodes = parse(
+            "{{ if .Values.a }}A{{ else if .Values.b }}B{{ else }}C{{ end }}",
+            "t",
+        )
+        .unwrap();
         assert_eq!(nodes.len(), 1);
         match &nodes[0] {
             Node::If {
@@ -525,9 +530,7 @@ mod tests {
         let nodes = parse("{{ range $k, $v := .Values.labels }}{{ $k }}{{ end }}", "t").unwrap();
         match &nodes[0] {
             Node::Range {
-                key_var,
-                value_var,
-                ..
+                key_var, value_var, ..
             } => {
                 assert_eq!(key_var.as_deref(), Some("k"));
                 assert_eq!(value_var.as_deref(), Some("v"));
@@ -554,9 +557,6 @@ mod tests {
             }
         );
         let expr = parse_expr("$.Values.global", "t").unwrap();
-        assert_eq!(
-            expr,
-            Expr::RootPath(vec!["Values".into(), "global".into()])
-        );
+        assert_eq!(expr, Expr::RootPath(vec!["Values".into(), "global".into()]));
     }
 }

@@ -223,7 +223,8 @@ service:
 
     #[test]
     fn annotations_track_nested_paths() {
-        let text = "a:\n  b:\n    # @options: x | y\n    mode: x\n  # @options: 1 | 2\n  level: 1\n";
+        let text =
+            "a:\n  b:\n    # @options: x | y\n    mode: x\n  # @options: 1 | 2\n  level: 1\n";
         let values = ValuesFile::parse(text).unwrap();
         assert!(values.options_for("a.b.mode").is_some());
         assert_eq!(

@@ -3,8 +3,8 @@
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
-use kf_yaml::Value;
 use k8s_model::{K8sObject, ResourceKind, Verb};
+use kf_yaml::Value;
 
 /// An authenticated request to the (simulated) API server.
 ///
@@ -257,9 +257,11 @@ mod tests {
         let req = ApiRequest::create("alice", &pod());
         let object = req.object().unwrap();
         assert_eq!(object.name(), "web");
-        assert!(ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
-            .object()
-            .is_none());
+        assert!(
+            ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
+                .object()
+                .is_none()
+        );
     }
 
     #[test]

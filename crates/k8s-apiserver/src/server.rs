@@ -1,11 +1,13 @@
 //! The API server: routing, authorization, persistence, audit and exploit
 //! accounting.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use k8s_model::{K8sObject, ResourceKind, Verb};
-use k8s_rbac::{AccessReview, AuditLog, RbacPolicySet};
+use k8s_rbac::{AccessReview, AuditEvent, AuditLog, RbacPolicySet};
 
 use crate::request::{ApiRequest, ApiResponse, ResponseStatus};
 use crate::store::ObjectStore;
@@ -44,12 +46,22 @@ pub struct ExploitEvent {
 #[derive(Debug)]
 pub struct ApiServer {
     store: ObjectStore,
-    rbac: Mutex<Option<RbacPolicySet>>,
-    audit: Mutex<AuditLog>,
+    /// Read-mostly: every request takes a read lock, policy installation a
+    /// write lock.
+    rbac: RwLock<Option<RbacPolicySet>>,
+    /// Sharded audit buffers: events are stamped by `audit_seq` and spread
+    /// over independently locked shards so concurrent requests do not
+    /// serialize on one audit mutex; `audit_log()` merges them back into
+    /// chronological order.
+    audit: Vec<Mutex<Vec<AuditEvent>>>,
+    audit_seq: AtomicU64,
     oracle: VulnerabilityOracle,
     exploits: Mutex<Vec<ExploitEvent>>,
     admins: Vec<String>,
 }
+
+/// Number of audit shards (matches the store's write-parallelism scale).
+const AUDIT_SHARDS: usize = 8;
 
 impl Default for ApiServer {
     fn default() -> Self {
@@ -63,8 +75,9 @@ impl ApiServer {
     pub fn new() -> Self {
         ApiServer {
             store: ObjectStore::new(),
-            rbac: Mutex::new(None),
-            audit: Mutex::new(AuditLog::new()),
+            rbac: RwLock::new(None),
+            audit: (0..AUDIT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+            audit_seq: AtomicU64::new(0),
             oracle: VulnerabilityOracle::new(),
             exploits: Mutex::new(Vec::new()),
             admins: vec!["admin".to_owned()],
@@ -79,7 +92,7 @@ impl ApiServer {
 
     /// Install (or replace) the RBAC policy enforced for non-admin users.
     pub fn set_rbac_policy(&self, policy: Option<RbacPolicySet>) {
-        *self.rbac.lock() = policy;
+        *self.rbac.write() = policy;
     }
 
     /// The object store.
@@ -87,14 +100,22 @@ impl ApiServer {
         &self.store
     }
 
-    /// Snapshot of the audit log.
+    /// Snapshot of the audit log, merged across shards in admission order.
     pub fn audit_log(&self) -> AuditLog {
-        self.audit.lock().clone()
+        let mut events: Vec<AuditEvent> = self
+            .audit
+            .iter()
+            .flat_map(|shard| shard.lock().clone())
+            .collect();
+        events.sort_unstable_by_key(|event| event.sequence);
+        AuditLog::from_events(events)
     }
 
     /// Clear the audit log (between experiment phases).
     pub fn clear_audit_log(&self) {
-        self.audit.lock().clear();
+        for shard in &self.audit {
+            shard.lock().clear();
+        }
     }
 
     /// The CVE oracle used by this server.
@@ -116,7 +137,7 @@ impl ApiServer {
         if self.admins.iter().any(|a| a == &request.user) {
             return Ok(());
         }
-        let rbac = self.rbac.lock();
+        let rbac = self.rbac.read();
         match rbac.as_ref() {
             None => Ok(()),
             Some(policy) => {
@@ -141,15 +162,22 @@ impl ApiServer {
     }
 
     fn record_audit(&self, request: &ApiRequest, allowed: bool) {
-        self.audit.lock().record(
-            &request.user,
-            request.verb,
-            request.kind,
-            &request.namespace,
-            &request.name,
+        // Build the event — including the deep body clone — before taking
+        // any lock, then push it into one of the shards.
+        let sequence = self.audit_seq.fetch_add(1, Ordering::Relaxed);
+        let event = AuditEvent {
+            sequence,
+            user: request.user.clone(),
+            verb: request.verb,
+            kind: request.kind,
+            namespace: request.namespace.clone(),
+            name: request.name.clone(),
             allowed,
-            request.body.clone(),
-        );
+            request_body: request.body.clone(),
+        };
+        self.audit[(sequence as usize) % AUDIT_SHARDS]
+            .lock()
+            .push(event);
     }
 
     fn admit_object(&self, request: &ApiRequest) -> Result<K8sObject, ApiResponse> {
@@ -185,7 +213,10 @@ impl ApiServer {
                     kf_yaml::Value::from(namespace),
                 )
                 .map_err(|e| {
-                    ApiResponse::error(ResponseStatus::BadRequest, format!("admission failure: {e}"))
+                    ApiResponse::error(
+                        ResponseStatus::BadRequest,
+                        format!("admission failure: {e}"),
+                    )
                 })?;
         }
         Ok(object)
@@ -224,16 +255,14 @@ impl RequestHandler for ApiServer {
                     // downstream components) process the accepted spec.
                     self.record_exploits(request, &object);
                     match request.verb {
-                        Verb::Create => match self.store.create(object) {
-                            Some(version) => {
+                        // `kubectl apply` semantics: create, falling back to
+                        // update on conflict — one upsert, no second
+                        // admission round trip.
+                        Verb::Create => match self.store.upsert(object) {
+                            (version, true) => {
                                 ApiResponse::created(format!("created (resourceVersion {version})"))
                             }
-                            None => {
-                                // `kubectl apply` falls back to update on conflict.
-                                let version = self
-                                    .store
-                                    .update(self.admit_object(request).expect("validated above"))
-                                    .expect("object exists");
+                            (version, false) => {
                                 ApiResponse::ok(format!("configured (resourceVersion {version})"))
                             }
                         },
@@ -250,10 +279,11 @@ impl RequestHandler for ApiServer {
                 }
                 Err(response) => response,
             },
-            Verb::Get => match self.store.get(request.kind, &request.namespace, &request.name) {
-                Some(stored) => {
-                    ApiResponse::ok("ok").with_body(stored.object.body().clone())
-                }
+            Verb::Get => match self
+                .store
+                .get(request.kind, &request.namespace, &request.name)
+            {
+                Some(stored) => ApiResponse::ok("ok").with_body(stored.object.body().clone()),
                 None => ApiResponse::error(
                     ResponseStatus::NotFound,
                     format!("{} \"{}\" not found", request.kind, request.name),
@@ -267,12 +297,18 @@ impl RequestHandler for ApiServer {
                     .map(|stored| stored.object.into_body())
                     .collect();
                 let mut body = kf_yaml::Mapping::new();
-                body.insert("kind", kf_yaml::Value::from(format!("{}List", request.kind)));
+                body.insert(
+                    "kind",
+                    kf_yaml::Value::from(format!("{}List", request.kind)),
+                );
                 body.insert("items", kf_yaml::Value::Seq(items));
                 ApiResponse::ok("ok").with_body(kf_yaml::Value::Map(body))
             }
             Verb::Delete | Verb::DeleteCollection => {
-                match self.store.delete(request.kind, &request.namespace, &request.name) {
+                match self
+                    .store
+                    .delete(request.kind, &request.namespace, &request.name)
+                {
                     Some(_) => ApiResponse::ok("deleted"),
                     None => ApiResponse::error(
                         ResponseStatus::NotFound,
@@ -306,12 +342,19 @@ mod tests {
     #[test]
     fn admin_can_create_get_and_delete() {
         let server = ApiServer::new();
-        assert!(server.handle(&ApiRequest::create("admin", &pod("a"))).is_success());
+        assert!(server
+            .handle(&ApiRequest::create("admin", &pod("a")))
+            .is_success());
         let get = server.handle(&ApiRequest::get("admin", ResourceKind::Pod, "default", "a"));
         assert!(get.is_success());
         assert!(get.body.is_some());
         assert!(server
-            .handle(&ApiRequest::delete("admin", ResourceKind::Pod, "default", "a"))
+            .handle(&ApiRequest::delete(
+                "admin",
+                ResourceKind::Pod,
+                "default",
+                "a"
+            ))
             .is_success());
         assert_eq!(server.store().len(), 0);
     }
@@ -319,7 +362,9 @@ mod tests {
     #[test]
     fn create_on_existing_object_behaves_like_apply() {
         let server = ApiServer::new();
-        assert!(server.handle(&ApiRequest::create("admin", &pod("a"))).is_success());
+        assert!(server
+            .handle(&ApiRequest::create("admin", &pod("a")))
+            .is_success());
         let second = server.handle(&ApiRequest::create("admin", &pod("a")));
         assert!(second.is_success());
         assert_eq!(server.store().len(), 1);
@@ -346,7 +391,11 @@ mod tests {
         .unwrap();
         server.handle(&ApiRequest::create("operator-learning", &deployment));
         let log = server.audit_log();
-        let policy = audit2rbac(log.events(), "operator-learning", &Audit2RbacOptions::default());
+        let policy = audit2rbac(
+            log.events(),
+            "operator-learning",
+            &Audit2RbacOptions::default(),
+        );
 
         // Enforcement phase: a fresh server with the inferred policy; the same
         // user (now subject to RBAC) can repeat the workload.
@@ -365,7 +414,9 @@ mod tests {
     fn accepted_malicious_specs_record_exploits() {
         let server = ApiServer::new();
         let evil = K8sObject::from_yaml(&pod_yaml("evil", "  hostNetwork: true\n")).unwrap();
-        assert!(server.handle(&ApiRequest::create("admin", &evil)).is_success());
+        assert!(server
+            .handle(&ApiRequest::create("admin", &evil))
+            .is_success());
         let exploits = server.exploits();
         assert!(exploits.iter().any(|e| e.cve_id == "CVE-2020-15257"));
         assert_eq!(exploits[0].user, "admin");
@@ -376,7 +427,9 @@ mod tests {
         let server = ApiServer::new();
         server.set_rbac_policy(Some(RbacPolicySet::new()));
         let evil = K8sObject::from_yaml(&pod_yaml("evil", "  hostNetwork: true\n")).unwrap();
-        assert!(server.handle(&ApiRequest::create("mallory", &evil)).is_denied());
+        assert!(server
+            .handle(&ApiRequest::create("mallory", &evil))
+            .is_denied());
         assert!(server.exploits().is_empty());
     }
 

@@ -1,6 +1,15 @@
 //! The etcd-like versioned object store backing the simulated API server.
+//!
+//! The store is sharded by key hash: objects are spread over [`SHARDS`]
+//! independently locked maps so concurrent writers to different objects do
+//! not serialize on one global lock, while the resource-version counter is a
+//! single atomic — still globally monotonic, never a lock. Reads take one
+//! shard's read lock; whole-store scans (`list`, `count_by_kind`) visit the
+//! shards in order.
 
 use std::collections::BTreeMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
@@ -18,18 +27,29 @@ pub struct StoredObject {
 /// Key identifying an object: kind + namespace + name.
 type Key = (ResourceKind, String, String);
 
+/// Number of hash shards. A small power of two: enough to spread the five
+/// operator workloads' writes, cheap to scan for list operations.
+const SHARDS: usize = 16;
+
 /// An in-memory, versioned object store with etcd-like semantics: every write
 /// bumps a global revision, `create` fails on existing keys, `update` and
 /// `delete` fail on missing keys.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ObjectStore {
-    inner: RwLock<Inner>,
+    shards: Vec<RwLock<BTreeMap<Key, StoredObject>>>,
+    /// Global revision counter (number of writes so far). Incremented while
+    /// holding the affected shard's write lock, so versions of one object
+    /// are strictly increasing and globally unique.
+    revision: AtomicU64,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    objects: BTreeMap<Key, StoredObject>,
-    revision: u64,
+impl Default for ObjectStore {
+    fn default() -> Self {
+        ObjectStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            revision: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ObjectStore {
@@ -46,32 +66,47 @@ impl ObjectStore {
         )
     }
 
+    fn shard_index(key: &Key) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.0.index().hash(&mut hasher);
+        key.1.hash(&mut hasher);
+        key.2.hash(&mut hasher);
+        (hasher.finish() as usize) % SHARDS
+    }
+
+    fn shard(&self, key: &Key) -> &RwLock<BTreeMap<Key, StoredObject>> {
+        &self.shards[Self::shard_index(key)]
+    }
+
+    fn next_revision(&self) -> u64 {
+        self.revision.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// The current global revision (number of writes so far).
     pub fn revision(&self) -> u64 {
-        self.inner.read().revision
+        self.revision.load(Ordering::Relaxed)
     }
 
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        self.inner.read().objects.len()
+        self.shards.iter().map(|shard| shard.read().len()).sum()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().objects.is_empty()
+        self.shards.iter().all(|shard| shard.read().is_empty())
     }
 
     /// Create an object. Returns the assigned resource version, or `None` if
     /// an object with the same kind/namespace/name already exists.
     pub fn create(&self, object: K8sObject) -> Option<u64> {
-        let mut inner = self.inner.write();
         let key = Self::key(&object);
-        if inner.objects.contains_key(&key) {
+        let mut shard = self.shard(&key).write();
+        if shard.contains_key(&key) {
             return None;
         }
-        inner.revision += 1;
-        let version = inner.revision;
-        inner.objects.insert(
+        let version = self.next_revision();
+        shard.insert(
             key,
             StoredObject {
                 object,
@@ -84,14 +119,13 @@ impl ObjectStore {
     /// Update an existing object. Returns the new resource version, or `None`
     /// if the object does not exist.
     pub fn update(&self, object: K8sObject) -> Option<u64> {
-        let mut inner = self.inner.write();
         let key = Self::key(&object);
-        if !inner.objects.contains_key(&key) {
+        let mut shard = self.shard(&key).write();
+        if !shard.contains_key(&key) {
             return None;
         }
-        inner.revision += 1;
-        let version = inner.revision;
-        inner.objects.insert(
+        let version = self.next_revision();
+        shard.insert(
             key,
             StoredObject {
                 object,
@@ -104,58 +138,70 @@ impl ObjectStore {
     /// Create the object if absent, update it otherwise (the `kubectl apply`
     /// behaviour). Returns the new resource version.
     pub fn apply(&self, object: K8sObject) -> u64 {
-        let mut inner = self.inner.write();
+        self.upsert(object).0
+    }
+
+    /// [`ObjectStore::apply`], additionally reporting whether the object was
+    /// created (`true`) or replaced (`false`) — one shard lock, no
+    /// re-admission round trip for the create-on-conflict path.
+    pub fn upsert(&self, object: K8sObject) -> (u64, bool) {
         let key = Self::key(&object);
-        inner.revision += 1;
-        let version = inner.revision;
-        inner.objects.insert(
+        let mut shard = self.shard(&key).write();
+        let version = self.next_revision();
+        let replaced = shard.insert(
             key,
             StoredObject {
                 object,
                 resource_version: version,
             },
         );
-        version
+        (version, replaced.is_none())
     }
 
     /// Fetch an object by kind, namespace and name.
     pub fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<StoredObject> {
-        self.inner
-            .read()
-            .objects
-            .get(&(kind, namespace.to_owned(), name.to_owned()))
-            .cloned()
+        let key = (kind, namespace.to_owned(), name.to_owned());
+        self.shard(&key).read().get(&key).cloned()
     }
 
     /// Delete an object; returns it if it existed.
     pub fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<StoredObject> {
-        let mut inner = self.inner.write();
-        let removed = inner
-            .objects
-            .remove(&(kind, namespace.to_owned(), name.to_owned()));
+        let key = (kind, namespace.to_owned(), name.to_owned());
+        let mut shard = self.shard(&key).write();
+        let removed = shard.remove(&key);
         if removed.is_some() {
-            inner.revision += 1;
+            self.next_revision();
         }
         removed
     }
 
     /// List objects of a kind in a namespace (all namespaces when `namespace`
-    /// is empty).
+    /// is empty). Objects come back in key order, as the unsharded store
+    /// returned them.
     pub fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<StoredObject> {
-        self.inner
-            .read()
-            .objects
-            .iter()
-            .filter(|((k, ns, _), _)| *k == kind && (namespace.is_empty() || ns == namespace))
-            .map(|(_, stored)| stored.clone())
-            .collect()
+        let mut out: Vec<(Key, StoredObject)> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            out.extend(
+                guard
+                    .iter()
+                    .filter(|((k, ns, _), _)| {
+                        *k == kind && (namespace.is_empty() || ns == namespace)
+                    })
+                    .map(|(key, stored)| (key.clone(), stored.clone())),
+            );
+        }
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out.into_iter().map(|(_, stored)| stored).collect()
     }
 
     /// Count the stored objects per kind.
     pub fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize> {
         let mut out = BTreeMap::new();
-        for ((kind, _, _), _) in self.inner.read().objects.iter() {
-            *out.entry(*kind).or_insert(0) += 1;
+        for shard in &self.shards {
+            for ((kind, _, _), _) in shard.read().iter() {
+                *out.entry(*kind).or_insert(0) += 1;
+            }
         }
         out
     }
@@ -187,8 +233,12 @@ mod tests {
         assert!(store.create(object(ResourceKind::Pod, "a", "ns")).is_some());
         assert!(store.create(object(ResourceKind::Pod, "a", "ns")).is_none());
         // Same name in a different namespace or kind is fine.
-        assert!(store.create(object(ResourceKind::Pod, "a", "other")).is_some());
-        assert!(store.create(object(ResourceKind::ConfigMap, "a", "ns")).is_some());
+        assert!(store
+            .create(object(ResourceKind::Pod, "a", "other"))
+            .is_some());
+        assert!(store
+            .create(object(ResourceKind::ConfigMap, "a", "ns"))
+            .is_some());
     }
 
     #[test]
@@ -224,11 +274,65 @@ mod tests {
         store.create(object(ResourceKind::Pod, "a", "ns1")).unwrap();
         store.create(object(ResourceKind::Pod, "b", "ns1")).unwrap();
         store.create(object(ResourceKind::Pod, "c", "ns2")).unwrap();
-        store.create(object(ResourceKind::Service, "s", "ns1")).unwrap();
+        store
+            .create(object(ResourceKind::Service, "s", "ns1"))
+            .unwrap();
         assert_eq!(store.list(ResourceKind::Pod, "ns1").len(), 2);
         assert_eq!(store.list(ResourceKind::Pod, "").len(), 3);
         assert_eq!(store.list(ResourceKind::Service, "ns1").len(), 1);
         let counts = store.count_by_kind();
         assert_eq!(counts[&ResourceKind::Pod], 3);
+    }
+
+    #[test]
+    fn list_returns_objects_in_key_order_across_shards() {
+        let store = ObjectStore::new();
+        // Enough names to land in several different shards.
+        for name in ["zeta", "alpha", "mike", "kilo", "echo", "yankee", "bravo"] {
+            store.create(object(ResourceKind::Pod, name, "ns")).unwrap();
+        }
+        let names: Vec<String> = store
+            .list(ResourceKind::Pod, "ns")
+            .into_iter()
+            .map(|stored| stored.object.name().to_owned())
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_unique_monotonic_versions() {
+        let store = ObjectStore::new();
+        let versions: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let store = &store;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in 0..50 {
+                            let name = format!("obj-{t}-{i}");
+                            mine.push(
+                                store
+                                    .create(object(ResourceKind::Pod, &name, "ns"))
+                                    .unwrap(),
+                            );
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(versions.len(), 400);
+        assert_eq!(store.len(), 400);
+        assert_eq!(store.revision(), 400);
+        let mut sorted = versions.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 400, "versions must be globally unique");
     }
 }

@@ -89,8 +89,9 @@ impl FieldRef {
     pub fn absolute_path(&self, kind: ResourceKind) -> Option<String> {
         match self.scope {
             FieldScope::Resource => Some(self.path.clone()),
-            FieldScope::PodSpec => Self::pod_spec_prefix(kind)
-                .map(|prefix| format!("{prefix}.{}", self.path).replace(".template.spec.", ".template.spec.")),
+            FieldScope::PodSpec => Self::pod_spec_prefix(kind).map(|prefix| {
+                format!("{prefix}.{}", self.path).replace(".template.spec.", ".template.spec.")
+            }),
         }
     }
 }
@@ -117,7 +118,11 @@ pub fn lookup_collapsed<'a>(root: &'a Value, notation: &str) -> Vec<&'a Value> {
             for _ in 0..fanouts {
                 candidates = candidates
                     .into_iter()
-                    .flat_map(|v| v.as_seq().map(|s| s.iter().collect::<Vec<_>>()).unwrap_or_default())
+                    .flat_map(|v| {
+                        v.as_seq()
+                            .map(|s| s.iter().collect::<Vec<_>>())
+                            .unwrap_or_default()
+                    })
                     .collect();
             }
             next.extend(candidates);
@@ -222,9 +227,7 @@ impl FieldCondition {
                 };
                 anchored && matches.is_empty()
             }
-            FieldCheck::Equals(expected) => {
-                matches.iter().any(|v| v.loosely_equals(expected))
-            }
+            FieldCheck::Equals(expected) => matches.iter().any(|v| v.loosely_equals(expected)),
             FieldCheck::OneOf(options) => matches
                 .iter()
                 .any(|v| options.iter().any(|o| v.loosely_equals(o))),
@@ -233,9 +236,7 @@ impl FieldCondition {
                     .map(|s| s.iter().any(|item| item.loosely_equals(needle)))
                     .unwrap_or(false)
             }),
-            FieldCheck::DeeperThan(depth) => {
-                matches.iter().any(|v| nesting_depth(v) > *depth)
-            }
+            FieldCheck::DeeperThan(depth) => matches.iter().any(|v| nesting_depth(v) > *depth),
         }
     }
 }

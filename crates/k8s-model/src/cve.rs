@@ -79,8 +79,7 @@ impl CveRecord {
     /// Whether a manifest of this object would exercise the vulnerable code.
     pub fn is_triggered_by(&self, object: &crate::K8sObject) -> bool {
         self.is_api_triggerable()
-            && (self.applicable_kinds.is_empty()
-                || self.applicable_kinds.contains(&object.kind()))
+            && (self.applicable_kinds.is_empty() || self.applicable_kinds.contains(&object.kind()))
             && self.triggers.iter().any(|c| c.evaluate(object))
     }
 }
@@ -128,7 +127,10 @@ impl CveDatabase {
     /// The CVEs that can be exploited purely through API specifications — the
     /// ones eligible for the attack catalog.
     pub fn api_triggerable(&self) -> Vec<&CveRecord> {
-        self.records.iter().filter(|r| r.is_api_triggerable()).collect()
+        self.records
+            .iter()
+            .filter(|r| r.is_api_triggerable())
+            .collect()
     }
 
     /// Records affecting a given component.
@@ -158,13 +160,7 @@ fn pod_kinds() -> Vec<ResourceKind> {
     ]
 }
 
-fn record(
-    id: &str,
-    year: u16,
-    cvss: f64,
-    component: Component,
-    summary: &str,
-) -> CveRecord {
+fn record(id: &str, year: u16, cvss: f64, component: Component, summary: &str) -> CveRecord {
     CveRecord {
         id: id.to_owned(),
         year,
@@ -291,47 +287,293 @@ fn build_records() -> Vec<CveRecord> {
     // these are not reachable purely through specification fields in our
     // threat model, or require environments outside the testbed. ----------
     let rest: [(&str, u16, f64, Component, &str); 41] = [
-        ("CVE-2016-7075", 2016, 8.5, Component::ApiServer, "API server does not validate client certificates in proxy TLS connections"),
-        ("CVE-2017-1000056", 2017, 6.5, Component::AdmissionControllers, "PodSecurityPolicy admission admits pods that should be rejected"),
-        ("CVE-2017-1002100", 2017, 4.0, Component::CloudProvider, "Azure PV permissions allow read by other tenants"),
-        ("CVE-2017-1002102", 2017, 5.5, Component::Storage, "containers using secret/configMap/projected volumes can delete host files"),
-        ("CVE-2018-1002100", 2018, 5.5, Component::Kubectl, "kubectl cp path traversal writes outside destination"),
-        ("CVE-2018-1002101", 2018, 7.5, Component::Storage, "mount command injection on Windows vSphere volumes"),
-        ("CVE-2018-1002105", 2018, 9.8, Component::ApiServer, "proxy request handling allows privilege escalation through upgraded connections"),
-        ("CVE-2019-1002100", 2019, 6.5, Component::ApiServer, "json-patch requests cause excessive API server resource usage"),
-        ("CVE-2019-1002101", 2019, 5.5, Component::Kubectl, "kubectl cp symlink handling writes arbitrary local files"),
-        ("CVE-2019-9946", 2019, 7.5, Component::Networking, "CNI portmap plugin inserts rules before KUBE-SERVICES bypassing policy"),
-        ("CVE-2019-11243", 2019, 5.3, Component::Kubectl, "rest.AnonymousClientConfig does not remove credentials"),
-        ("CVE-2019-11244", 2019, 3.3, Component::Kubectl, "kubectl creates world-writable cached schema files"),
-        ("CVE-2019-11245", 2019, 4.9, Component::Kubelet, "containers run as root despite runAsUser in non-root images on restart"),
-        ("CVE-2019-11246", 2019, 6.5, Component::Kubectl, "kubectl cp symlink directory traversal"),
-        ("CVE-2019-11247", 2019, 8.1, Component::ApiServer, "cluster-scoped CRD access through namespaced API routes"),
-        ("CVE-2019-11248", 2019, 8.2, Component::Kubelet, "debug/pprof exposed on healthz port"),
-        ("CVE-2019-11249", 2019, 6.5, Component::Kubectl, "kubectl cp incomplete fix allows file writes outside destination"),
-        ("CVE-2019-11250", 2019, 6.5, Component::ApiServer, "bearer tokens written to verbose logs"),
-        ("CVE-2019-11251", 2019, 5.7, Component::Kubectl, "kubectl cp symlink allows writing outside target directory"),
-        ("CVE-2019-11254", 2019, 6.5, Component::ApiServer, "YAML parsing CPU DoS in API server"),
-        ("CVE-2020-8551", 2020, 6.5, Component::Kubelet, "kubelet DoS via crafted node resource requests"),
-        ("CVE-2020-8552", 2020, 5.3, Component::ApiServer, "API server memory exhaustion via unauthenticated requests"),
-        ("CVE-2020-8555", 2020, 6.3, Component::CloudProvider, "SSRF via storage classes and cloud provider volume code"),
-        ("CVE-2020-8557", 2020, 5.5, Component::Kubelet, "pod /etc/hosts file not tracked against ephemeral storage quota"),
-        ("CVE-2020-8558", 2020, 8.8, Component::Networking, "kube-proxy exposes localhost-bound services to adjacent hosts"),
-        ("CVE-2020-8559", 2020, 6.4, Component::ApiServer, "privilege escalation from compromised node via upgraded redirects"),
-        ("CVE-2020-8561", 2020, 4.1, Component::AdmissionControllers, "webhook redirects leak API server logs content"),
-        ("CVE-2020-8562", 2020, 3.1, Component::ApiServer, "TOCTOU bypass of proxy IP restrictions"),
-        ("CVE-2020-8563", 2020, 5.5, Component::CloudProvider, "vSphere cloud provider logs secrets at high verbosity"),
-        ("CVE-2020-8564", 2020, 5.5, Component::Kubelet, "docker config secrets leaked in logs"),
-        ("CVE-2020-8565", 2020, 5.5, Component::ApiServer, "authorization tokens logged at verbosity >= 9"),
-        ("CVE-2020-8566", 2020, 5.5, Component::CloudProvider, "Ceph RBD admin secrets logged"),
-        ("CVE-2021-25735", 2021, 6.5, Component::AdmissionControllers, "node update validation bypass in admission"),
-        ("CVE-2021-25737", 2021, 2.7, Component::Networking, "EndpointSlice validation allows forwarding to localhost/link-local"),
-        ("CVE-2021-25740", 2021, 3.1, Component::Networking, "Endpoint restriction bypass forwards traffic across namespaces"),
-        ("CVE-2021-25742", 2021, 7.1, Component::Networking, "ingress-nginx custom snippets allow secret exfiltration"),
-        ("CVE-2022-3162", 2022, 6.5, Component::ApiServer, "path traversal for cluster-scoped custom resources"),
-        ("CVE-2022-3294", 2022, 8.8, Component::ApiServer, "node address validation bypass enables API server MITM"),
-        ("CVE-2023-2727", 2023, 6.5, Component::AdmissionControllers, "ImagePolicyWebhook bypass via ephemeral containers"),
-        ("CVE-2023-2728", 2023, 6.5, Component::AdmissionControllers, "ServiceAccount admission plugin bypass via ephemeral containers"),
-        ("CVE-2023-5528", 2023, 8.8, Component::Storage, "command injection through in-tree Windows storage plugin"),
+        (
+            "CVE-2016-7075",
+            2016,
+            8.5,
+            Component::ApiServer,
+            "API server does not validate client certificates in proxy TLS connections",
+        ),
+        (
+            "CVE-2017-1000056",
+            2017,
+            6.5,
+            Component::AdmissionControllers,
+            "PodSecurityPolicy admission admits pods that should be rejected",
+        ),
+        (
+            "CVE-2017-1002100",
+            2017,
+            4.0,
+            Component::CloudProvider,
+            "Azure PV permissions allow read by other tenants",
+        ),
+        (
+            "CVE-2017-1002102",
+            2017,
+            5.5,
+            Component::Storage,
+            "containers using secret/configMap/projected volumes can delete host files",
+        ),
+        (
+            "CVE-2018-1002100",
+            2018,
+            5.5,
+            Component::Kubectl,
+            "kubectl cp path traversal writes outside destination",
+        ),
+        (
+            "CVE-2018-1002101",
+            2018,
+            7.5,
+            Component::Storage,
+            "mount command injection on Windows vSphere volumes",
+        ),
+        (
+            "CVE-2018-1002105",
+            2018,
+            9.8,
+            Component::ApiServer,
+            "proxy request handling allows privilege escalation through upgraded connections",
+        ),
+        (
+            "CVE-2019-1002100",
+            2019,
+            6.5,
+            Component::ApiServer,
+            "json-patch requests cause excessive API server resource usage",
+        ),
+        (
+            "CVE-2019-1002101",
+            2019,
+            5.5,
+            Component::Kubectl,
+            "kubectl cp symlink handling writes arbitrary local files",
+        ),
+        (
+            "CVE-2019-9946",
+            2019,
+            7.5,
+            Component::Networking,
+            "CNI portmap plugin inserts rules before KUBE-SERVICES bypassing policy",
+        ),
+        (
+            "CVE-2019-11243",
+            2019,
+            5.3,
+            Component::Kubectl,
+            "rest.AnonymousClientConfig does not remove credentials",
+        ),
+        (
+            "CVE-2019-11244",
+            2019,
+            3.3,
+            Component::Kubectl,
+            "kubectl creates world-writable cached schema files",
+        ),
+        (
+            "CVE-2019-11245",
+            2019,
+            4.9,
+            Component::Kubelet,
+            "containers run as root despite runAsUser in non-root images on restart",
+        ),
+        (
+            "CVE-2019-11246",
+            2019,
+            6.5,
+            Component::Kubectl,
+            "kubectl cp symlink directory traversal",
+        ),
+        (
+            "CVE-2019-11247",
+            2019,
+            8.1,
+            Component::ApiServer,
+            "cluster-scoped CRD access through namespaced API routes",
+        ),
+        (
+            "CVE-2019-11248",
+            2019,
+            8.2,
+            Component::Kubelet,
+            "debug/pprof exposed on healthz port",
+        ),
+        (
+            "CVE-2019-11249",
+            2019,
+            6.5,
+            Component::Kubectl,
+            "kubectl cp incomplete fix allows file writes outside destination",
+        ),
+        (
+            "CVE-2019-11250",
+            2019,
+            6.5,
+            Component::ApiServer,
+            "bearer tokens written to verbose logs",
+        ),
+        (
+            "CVE-2019-11251",
+            2019,
+            5.7,
+            Component::Kubectl,
+            "kubectl cp symlink allows writing outside target directory",
+        ),
+        (
+            "CVE-2019-11254",
+            2019,
+            6.5,
+            Component::ApiServer,
+            "YAML parsing CPU DoS in API server",
+        ),
+        (
+            "CVE-2020-8551",
+            2020,
+            6.5,
+            Component::Kubelet,
+            "kubelet DoS via crafted node resource requests",
+        ),
+        (
+            "CVE-2020-8552",
+            2020,
+            5.3,
+            Component::ApiServer,
+            "API server memory exhaustion via unauthenticated requests",
+        ),
+        (
+            "CVE-2020-8555",
+            2020,
+            6.3,
+            Component::CloudProvider,
+            "SSRF via storage classes and cloud provider volume code",
+        ),
+        (
+            "CVE-2020-8557",
+            2020,
+            5.5,
+            Component::Kubelet,
+            "pod /etc/hosts file not tracked against ephemeral storage quota",
+        ),
+        (
+            "CVE-2020-8558",
+            2020,
+            8.8,
+            Component::Networking,
+            "kube-proxy exposes localhost-bound services to adjacent hosts",
+        ),
+        (
+            "CVE-2020-8559",
+            2020,
+            6.4,
+            Component::ApiServer,
+            "privilege escalation from compromised node via upgraded redirects",
+        ),
+        (
+            "CVE-2020-8561",
+            2020,
+            4.1,
+            Component::AdmissionControllers,
+            "webhook redirects leak API server logs content",
+        ),
+        (
+            "CVE-2020-8562",
+            2020,
+            3.1,
+            Component::ApiServer,
+            "TOCTOU bypass of proxy IP restrictions",
+        ),
+        (
+            "CVE-2020-8563",
+            2020,
+            5.5,
+            Component::CloudProvider,
+            "vSphere cloud provider logs secrets at high verbosity",
+        ),
+        (
+            "CVE-2020-8564",
+            2020,
+            5.5,
+            Component::Kubelet,
+            "docker config secrets leaked in logs",
+        ),
+        (
+            "CVE-2020-8565",
+            2020,
+            5.5,
+            Component::ApiServer,
+            "authorization tokens logged at verbosity >= 9",
+        ),
+        (
+            "CVE-2020-8566",
+            2020,
+            5.5,
+            Component::CloudProvider,
+            "Ceph RBD admin secrets logged",
+        ),
+        (
+            "CVE-2021-25735",
+            2021,
+            6.5,
+            Component::AdmissionControllers,
+            "node update validation bypass in admission",
+        ),
+        (
+            "CVE-2021-25737",
+            2021,
+            2.7,
+            Component::Networking,
+            "EndpointSlice validation allows forwarding to localhost/link-local",
+        ),
+        (
+            "CVE-2021-25740",
+            2021,
+            3.1,
+            Component::Networking,
+            "Endpoint restriction bypass forwards traffic across namespaces",
+        ),
+        (
+            "CVE-2021-25742",
+            2021,
+            7.1,
+            Component::Networking,
+            "ingress-nginx custom snippets allow secret exfiltration",
+        ),
+        (
+            "CVE-2022-3162",
+            2022,
+            6.5,
+            Component::ApiServer,
+            "path traversal for cluster-scoped custom resources",
+        ),
+        (
+            "CVE-2022-3294",
+            2022,
+            8.8,
+            Component::ApiServer,
+            "node address validation bypass enables API server MITM",
+        ),
+        (
+            "CVE-2023-2727",
+            2023,
+            6.5,
+            Component::AdmissionControllers,
+            "ImagePolicyWebhook bypass via ephemeral containers",
+        ),
+        (
+            "CVE-2023-2728",
+            2023,
+            6.5,
+            Component::AdmissionControllers,
+            "ServiceAccount admission plugin bypass via ephemeral containers",
+        ),
+        (
+            "CVE-2023-5528",
+            2023,
+            8.8,
+            Component::Storage,
+            "command injection through in-tree Windows storage plugin",
+        ),
     ];
     for (id, year, cvss, component, summary) in rest {
         records.push(record(id, year, cvss, component, summary));
@@ -375,7 +617,10 @@ mod tests {
         let db = CveDatabase::new();
         for id in CATALOG_CVE_IDS {
             let rec = db.by_id(id).unwrap_or_else(|| panic!("missing {id}"));
-            assert!(rec.is_api_triggerable(), "{id} must have trigger conditions");
+            assert!(
+                rec.is_api_triggerable(),
+                "{id} must have trigger conditions"
+            );
         }
         assert_eq!(db.api_triggerable().len(), 8);
     }
@@ -396,7 +641,10 @@ mod tests {
         assert_eq!(Severity::from_cvss(5.0), Severity::Medium);
         assert_eq!(Severity::from_cvss(2.6), Severity::Low);
         let db = CveDatabase::new();
-        assert_eq!(db.by_id("CVE-2018-1002105").unwrap().severity(), Severity::Critical);
+        assert_eq!(
+            db.by_id("CVE-2018-1002105").unwrap().severity(),
+            Severity::Critical
+        );
     }
 
     #[test]
@@ -425,7 +673,10 @@ spec:
             "apiVersion: v1\nkind: Pod\nmetadata:\n  name: ok\nspec:\n  containers:\n    - name: c\n      image: nginx\n",
         )
         .unwrap();
-        assert!(!db.by_id("CVE-2017-1002101").unwrap().is_triggered_by(&benign));
+        assert!(!db
+            .by_id("CVE-2017-1002101")
+            .unwrap()
+            .is_triggered_by(&benign));
     }
 
     #[test]

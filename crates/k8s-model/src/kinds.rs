@@ -61,6 +61,16 @@ impl ResourceKind {
         ResourceKind::ClusterRoleBinding,
     ];
 
+    /// Number of resource kinds (the length of [`ResourceKind::ALL`]).
+    pub const COUNT: usize = ResourceKind::ALL.len();
+
+    /// A dense index in `0..ResourceKind::COUNT`, usable for O(1) dispatch
+    /// tables (the compiled admission plane indexes per-kind policy roots by
+    /// this value).
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+
     /// The manifest `kind` string.
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -131,9 +141,9 @@ impl ResourceKind {
             | ResourceKind::PersistentVolumeClaim
             | ResourceKind::Secret => ("", "v1"),
             ResourceKind::Job | ResourceKind::CronJob => ("batch", "v1"),
-            ResourceKind::NetworkPolicy
-            | ResourceKind::Ingress
-            | ResourceKind::IngressClass => ("networking.k8s.io", "v1"),
+            ResourceKind::NetworkPolicy | ResourceKind::Ingress | ResourceKind::IngressClass => {
+                ("networking.k8s.io", "v1")
+            }
             ResourceKind::HorizontalPodAutoscaler => ("autoscaling", "v2"),
             ResourceKind::PodDisruptionBudget => ("policy", "v1"),
             ResourceKind::ValidatingWebhookConfiguration => ("admissionregistration.k8s.io", "v1"),
@@ -209,6 +219,19 @@ mod tests {
     #[test]
     fn there_are_twenty_endpoints() {
         assert_eq!(ResourceKind::ALL.len(), 20);
+        assert_eq!(ResourceKind::COUNT, 20);
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; ResourceKind::COUNT];
+        for kind in ResourceKind::ALL {
+            let index = kind.index();
+            assert!(index < ResourceKind::COUNT);
+            assert!(!seen[index], "duplicate index {index}");
+            seen[index] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

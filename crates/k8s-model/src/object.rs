@@ -49,6 +49,33 @@ impl K8sObject {
         })
     }
 
+    /// The checks of [`K8sObject::from_value`] without taking ownership of
+    /// the body: returns the resource kind if the manifest is a recognizable
+    /// Kubernetes object. This is the enforcement hot path's validity probe —
+    /// it never deep-clones the document.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`K8sObject::from_value`].
+    pub fn peek_kind(body: &Value) -> Result<ResourceKind> {
+        let kind_text = body
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or(Error::MissingField {
+                field: "kind".into(),
+            })?;
+        let kind = ResourceKind::parse(kind_text).ok_or_else(|| Error::UnknownKind {
+            kind: kind_text.to_owned(),
+        })?;
+        let metadata = ObjectMeta::from_value(body.get("metadata"));
+        if metadata.name.is_empty() {
+            return Err(Error::MissingField {
+                field: "metadata.name".into(),
+            });
+        }
+        Ok(kind)
+    }
+
     /// Parse YAML text directly into an object.
     ///
     /// # Errors
@@ -68,8 +95,11 @@ impl K8sObject {
     pub fn minimal(kind: ResourceKind, name: &str, namespace: &str) -> Self {
         let mut body = Value::empty_map();
         let gvk = kind.gvk();
-        body.set_path(&Path::parse("apiVersion").unwrap(), Value::from(gvk.api_version()))
-            .expect("fresh map");
+        body.set_path(
+            &Path::parse("apiVersion").unwrap(),
+            Value::from(gvk.api_version()),
+        )
+        .expect("fresh map");
         body.set_path(&Path::parse("kind").unwrap(), Value::from(kind.as_str()))
             .expect("fresh map");
         let meta = if kind.is_namespaced() {
@@ -218,8 +248,7 @@ spec:
 
     #[test]
     fn unknown_kind_is_an_error() {
-        let err =
-            K8sObject::from_yaml("kind: Gateway\nmetadata:\n  name: x\n").unwrap_err();
+        let err = K8sObject::from_yaml("kind: Gateway\nmetadata:\n  name: x\n").unwrap_err();
         assert!(matches!(err, Error::UnknownKind { .. }));
     }
 

@@ -43,7 +43,10 @@ fn label_selector(name: &str) -> FieldNode {
         name,
         vec![
             smap("matchLabels"),
-            arr("matchExpressions", vec![s("key"), s("operator"), sarr("values")]),
+            arr(
+                "matchExpressions",
+                vec![s("key"), s("operator"), sarr("values")],
+            ),
         ],
     )
 }
@@ -139,7 +142,10 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                                     label_selector("selector"),
                                     obj(
                                         "resources",
-                                        vec![obj("requests", vec![q("storage")]), obj("limits", vec![q("storage")])],
+                                        vec![
+                                            obj("requests", vec![q("storage")]),
+                                            obj("limits", vec![q("storage")]),
+                                        ],
                                     ),
                                     s("volumeName"),
                                     s("storageClassName"),
@@ -152,7 +158,10 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                     s("podManagementPolicy"),
                     obj(
                         "updateStrategy",
-                        vec![s("type"), obj("rollingUpdate", vec![i("partition"), q("maxUnavailable")])],
+                        vec![
+                            s("type"),
+                            obj("rollingUpdate", vec![i("partition"), q("maxUnavailable")]),
+                        ],
                     ),
                     i("revisionHistoryLimit"),
                     i("minReadySeconds"),
@@ -178,7 +187,14 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                             "rules",
                             vec![
                                 s("action"),
-                                obj("onExitCodes", vec![s("containerName"), s("operator"), FieldNode::scalar_array("values", ScalarType::Int)]),
+                                obj(
+                                    "onExitCodes",
+                                    vec![
+                                        s("containerName"),
+                                        s("operator"),
+                                        FieldNode::scalar_array("values", ScalarType::Int),
+                                    ],
+                                ),
                                 arr("onPodConditions", vec![s("type"), s("status")]),
                             ],
                         )],
@@ -239,7 +255,14 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                 vec![
                     arr(
                         "ports",
-                        vec![s("name"), s("protocol"), s("appProtocol"), port("port"), port("targetPort"), port("nodePort")],
+                        vec![
+                            s("name"),
+                            s("protocol"),
+                            s("appProtocol"),
+                            port("port"),
+                            port("targetPort"),
+                            port("nodePort"),
+                        ],
                     ),
                     smap("selector"),
                     ip("clusterIP"),
@@ -275,7 +298,13 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
             let peer = vec![
                 label_selector("podSelector"),
                 label_selector("namespaceSelector"),
-                obj("ipBlock", vec![ip("cidr"), FieldNode::scalar_array("except", ScalarType::Ip)]),
+                obj(
+                    "ipBlock",
+                    vec![
+                        ip("cidr"),
+                        FieldNode::scalar_array("except", ScalarType::Ip),
+                    ],
+                ),
             ];
             let ports = arr("ports", vec![s("protocol"), port("port"), port("endPort")]);
             vec![
@@ -300,7 +329,10 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                     obj(
                         "defaultBackend",
                         vec![
-                            obj("service", vec![s("name"), obj("port", vec![s("name"), port("number")])]),
+                            obj(
+                                "service",
+                                vec![s("name"), obj("port", vec![s("name"), port("number")])],
+                            ),
                             obj("resource", vec![s("apiGroup"), s("kind"), s("name")]),
                         ],
                     ),
@@ -319,8 +351,20 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                                         obj(
                                             "backend",
                                             vec![
-                                                obj("service", vec![s("name"), obj("port", vec![s("name"), port("number")])]),
-                                                obj("resource", vec![s("apiGroup"), s("kind"), s("name")]),
+                                                obj(
+                                                    "service",
+                                                    vec![
+                                                        s("name"),
+                                                        obj(
+                                                            "port",
+                                                            vec![s("name"), port("number")],
+                                                        ),
+                                                    ],
+                                                ),
+                                                obj(
+                                                    "resource",
+                                                    vec![s("apiGroup"), s("kind"), s("name")],
+                                                ),
                                             ],
                                         ),
                                     ],
@@ -337,18 +381,45 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                 "spec",
                 vec![
                     s("controller"),
-                    obj("parameters", vec![s("apiGroup"), s("kind"), s("name"), s("namespace"), s("scope")]),
+                    obj(
+                        "parameters",
+                        vec![
+                            s("apiGroup"),
+                            s("kind"),
+                            s("name"),
+                            s("namespace"),
+                            s("scope"),
+                        ],
+                    ),
                 ],
             ),
         ],
         ResourceKind::ServiceAccount => vec![
             metadata_schema(),
-            arr("secrets", vec![s("name"), s("namespace"), s("kind"), s("apiVersion"), s("uid"), s("fieldPath")]),
+            arr(
+                "secrets",
+                vec![
+                    s("name"),
+                    s("namespace"),
+                    s("kind"),
+                    s("apiVersion"),
+                    s("uid"),
+                    s("fieldPath"),
+                ],
+            ),
             arr("imagePullSecrets", vec![s("name")]),
             b("automountServiceAccountToken").sensitive(),
         ],
         ResourceKind::HorizontalPodAutoscaler => {
-            let metric_target = obj("target", vec![s("type"), q("value"), q("averageValue"), i("averageUtilization")]);
+            let metric_target = obj(
+                "target",
+                vec![
+                    s("type"),
+                    q("value"),
+                    q("averageValue"),
+                    i("averageUtilization"),
+                ],
+            );
             let metric_identifier = vec![s("name"), label_selector("selector")];
             let mut resource_metric = vec![s("name")];
             resource_metric.push(metric_target.clone());
@@ -377,7 +448,10 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                 obj(
                     "spec",
                     vec![
-                        obj("scaleTargetRef", vec![s("apiVersion"), s("kind"), s("name")]),
+                        obj(
+                            "scaleTargetRef",
+                            vec![s("apiVersion"), s("kind"), s("name")],
+                        ),
                         i("minReplicas"),
                         i("maxReplicas"),
                         arr(
@@ -388,10 +462,28 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                                 obj("object", object_metric),
                                 obj("pods", pods_metric),
                                 obj("external", external_metric),
-                                obj("containerResource", vec![s("name"), s("container"), obj("target", vec![s("type"), q("value"), q("averageValue"), i("averageUtilization")])]),
+                                obj(
+                                    "containerResource",
+                                    vec![
+                                        s("name"),
+                                        s("container"),
+                                        obj(
+                                            "target",
+                                            vec![
+                                                s("type"),
+                                                q("value"),
+                                                q("averageValue"),
+                                                i("averageUtilization"),
+                                            ],
+                                        ),
+                                    ],
+                                ),
                             ],
                         ),
-                        obj("behavior", vec![scaling_rules("scaleUp"), scaling_rules("scaleDown")]),
+                        obj(
+                            "behavior",
+                            vec![scaling_rules("scaleUp"), scaling_rules("scaleDown")],
+                        ),
                     ],
                 ),
             ]
@@ -417,13 +509,19 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                     label_selector("selector"),
                     obj(
                         "resources",
-                        vec![obj("requests", vec![q("storage")]), obj("limits", vec![q("storage")])],
+                        vec![
+                            obj("requests", vec![q("storage")]),
+                            obj("limits", vec![q("storage")]),
+                        ],
                     ),
                     s("volumeName"),
                     s("storageClassName"),
                     s("volumeMode"),
                     obj("dataSource", vec![s("apiGroup"), s("kind"), s("name")]),
-                    obj("dataSourceRef", vec![s("apiGroup"), s("kind"), s("name"), s("namespace")]),
+                    obj(
+                        "dataSourceRef",
+                        vec![s("apiGroup"), s("kind"), s("name"), s("namespace")],
+                    ),
                     s("volumeAttributesClassName"),
                 ],
             ),
@@ -438,13 +536,22 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
                         "clientConfig",
                         vec![
                             s("url"),
-                            obj("service", vec![s("namespace"), s("name"), s("path"), port("port")]),
+                            obj(
+                                "service",
+                                vec![s("namespace"), s("name"), s("path"), port("port")],
+                            ),
                             s("caBundle"),
                         ],
                     ),
                     arr(
                         "rules",
-                        vec![sarr("apiGroups"), sarr("apiVersions"), sarr("resources"), sarr("operations"), s("scope")],
+                        vec![
+                            sarr("apiGroups"),
+                            sarr("apiVersions"),
+                            sarr("resources"),
+                            sarr("operations"),
+                            s("scope"),
+                        ],
                     ),
                     s("failurePolicy"),
                     s("matchPolicy"),
@@ -481,14 +588,26 @@ fn build_kind_schema(kind: ResourceKind) -> KindSchema {
             if kind == ResourceKind::ClusterRole {
                 fields.push(obj(
                     "aggregationRule",
-                    vec![arr("clusterRoleSelectors", vec![smap("matchLabels"), arr("matchExpressions", vec![s("key"), s("operator"), sarr("values")])])],
+                    vec![arr(
+                        "clusterRoleSelectors",
+                        vec![
+                            smap("matchLabels"),
+                            arr(
+                                "matchExpressions",
+                                vec![s("key"), s("operator"), sarr("values")],
+                            ),
+                        ],
+                    )],
                 ));
             }
             fields
         }
         ResourceKind::RoleBinding | ResourceKind::ClusterRoleBinding => vec![
             metadata_schema(),
-            arr("subjects", vec![s("kind"), s("apiGroup"), s("name"), s("namespace")]),
+            arr(
+                "subjects",
+                vec![s("kind"), s("apiGroup"), s("name"), s("namespace")],
+            ),
             obj("roleRef", vec![s("apiGroup"), s("kind"), s("name")]).sensitive(),
         ],
     };
@@ -512,21 +631,32 @@ mod tests {
     #[test]
     fn workload_controllers_share_the_pod_template_surface() {
         let cat = catalog();
-        let deployment = cat.fields_for(ResourceKind::Deployment).unwrap().field_count();
-        let statefulset = cat.fields_for(ResourceKind::StatefulSet).unwrap().field_count();
+        let deployment = cat
+            .fields_for(ResourceKind::Deployment)
+            .unwrap()
+            .field_count();
+        let statefulset = cat
+            .fields_for(ResourceKind::StatefulSet)
+            .unwrap()
+            .field_count();
         let job = cat.fields_for(ResourceKind::Job).unwrap().field_count();
         // They all embed the pod template, so their sizes are within ~15% of
         // each other.
         let max = deployment.max(statefulset).max(job) as f64;
         let min = deployment.min(statefulset).min(job) as f64;
-        assert!(min / max > 0.85, "deployment={deployment} statefulset={statefulset} job={job}");
+        assert!(
+            min / max > 0.85,
+            "deployment={deployment} statefulset={statefulset} job={job}"
+        );
     }
 
     #[test]
     fn service_schema_contains_external_ips_as_sensitive() {
         let cat = catalog();
         let svc = cat.fields_for(ResourceKind::Service).unwrap();
-        assert!(svc.sensitive_paths().contains(&"spec.externalIPs".to_string()));
+        assert!(svc
+            .sensitive_paths()
+            .contains(&"spec.externalIPs".to_string()));
     }
 
     #[test]

@@ -144,7 +144,11 @@ impl FieldNode {
 
     /// Number of fields in this subtree (this node plus all descendants).
     pub fn field_count(&self) -> usize {
-        1 + self.children.iter().map(FieldNode::field_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(FieldNode::field_count)
+            .sum::<usize>()
     }
 
     /// Collapsed field-notation paths of this node and all descendants,
@@ -197,10 +201,7 @@ impl KindSchema {
 
     /// Collapsed field-notation paths of every field.
     pub fn field_paths(&self) -> Vec<String> {
-        self.fields
-            .iter()
-            .flat_map(|f| f.paths(""))
-            .collect()
+        self.fields.iter().flat_map(|f| f.paths("")).collect()
     }
 
     /// Whether the schema contains a field with the given collapsed path.
@@ -242,23 +243,21 @@ mod tests {
     fn sample() -> KindSchema {
         KindSchema::new(
             ResourceKind::Service,
-            vec![
-                FieldNode::object(
-                    "spec",
-                    vec![
-                        FieldNode::scalar("type", ScalarType::String),
-                        FieldNode::array(
-                            "ports",
-                            vec![
-                                FieldNode::scalar("port", ScalarType::Port),
-                                FieldNode::scalar("targetPort", ScalarType::Port),
-                            ],
-                        ),
-                        FieldNode::scalar_array("externalIPs", ScalarType::Ip).sensitive(),
-                        FieldNode::string_map("selector"),
-                    ],
-                ),
-            ],
+            vec![FieldNode::object(
+                "spec",
+                vec![
+                    FieldNode::scalar("type", ScalarType::String),
+                    FieldNode::array(
+                        "ports",
+                        vec![
+                            FieldNode::scalar("port", ScalarType::Port),
+                            FieldNode::scalar("targetPort", ScalarType::Port),
+                        ],
+                    ),
+                    FieldNode::scalar_array("externalIPs", ScalarType::Ip).sensitive(),
+                    FieldNode::string_map("selector"),
+                ],
+            )],
         )
     }
 
@@ -286,7 +285,10 @@ mod tests {
     #[test]
     fn sensitive_paths_are_reported() {
         let schema = sample();
-        assert_eq!(schema.sensitive_paths(), vec!["spec.externalIPs".to_string()]);
+        assert_eq!(
+            schema.sensitive_paths(),
+            vec!["spec.externalIPs".to_string()]
+        );
     }
 
     #[test]

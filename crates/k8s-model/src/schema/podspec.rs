@@ -99,10 +99,7 @@ fn container_security_context() -> FieldNode {
     obj(
         "securityContext",
         vec![
-            obj(
-                "capabilities",
-                vec![sarr("add").sensitive(), sarr("drop")],
-            ),
+            obj("capabilities", vec![sarr("add").sensitive(), sarr("drop")]),
             b("privileged").sensitive(),
             obj(
                 "seLinuxOptions",
@@ -163,11 +160,21 @@ fn resources() -> FieldNode {
         vec![
             obj(
                 "limits",
-                vec![q("cpu"), q("memory"), q("ephemeral-storage"), q("hugepages-2Mi")],
+                vec![
+                    q("cpu"),
+                    q("memory"),
+                    q("ephemeral-storage"),
+                    q("hugepages-2Mi"),
+                ],
             ),
             obj(
                 "requests",
-                vec![q("cpu"), q("memory"), q("ephemeral-storage"), q("hugepages-2Mi")],
+                vec![
+                    q("cpu"),
+                    q("memory"),
+                    q("ephemeral-storage"),
+                    q("hugepages-2Mi"),
+                ],
             ),
             arr("claims", vec![s("name")]),
         ],
@@ -241,7 +248,10 @@ fn volumes() -> FieldNode {
         "volumes",
         vec![
             s("name"),
-            obj("hostPath", vec![s("path").sensitive(), s("type").sensitive()]),
+            obj(
+                "hostPath",
+                vec![s("path").sensitive(), s("type").sensitive()],
+            ),
             obj("emptyDir", vec![s("medium"), q("sizeLimit")]),
             obj(
                 "gcePersistentDisk",
@@ -278,10 +288,7 @@ fn volumes() -> FieldNode {
                 ],
             ),
             obj("glusterfs", vec![s("endpoints"), s("path"), b("readOnly")]),
-            obj(
-                "persistentVolumeClaim",
-                vec![s("claimName"), b("readOnly")],
-            ),
+            obj("persistentVolumeClaim", vec![s("claimName"), b("readOnly")]),
             obj(
                 "rbd",
                 vec![
@@ -305,7 +312,15 @@ fn volumes() -> FieldNode {
                     smap("options"),
                 ],
             ),
-            obj("cinder", vec![s("volumeID"), s("fsType"), b("readOnly"), obj("secretRef", vec![s("name")])]),
+            obj(
+                "cinder",
+                vec![
+                    s("volumeID"),
+                    s("fsType"),
+                    b("readOnly"),
+                    obj("secretRef", vec![s("name")]),
+                ],
+            ),
             obj(
                 "cephfs",
                 vec![
@@ -336,7 +351,10 @@ fn volumes() -> FieldNode {
                     i("defaultMode"),
                 ],
             ),
-            obj("fc", vec![sarr("targetWWNs"), i("lun"), s("fsType"), b("readOnly")]),
+            obj(
+                "fc",
+                vec![sarr("targetWWNs"), i("lun"), s("fsType"), b("readOnly")],
+            ),
             obj(
                 "azureFile",
                 vec![s("secretName"), s("shareName"), b("readOnly")],
@@ -347,15 +365,34 @@ fn volumes() -> FieldNode {
             ),
             obj(
                 "vsphereVolume",
-                vec![s("volumePath"), s("fsType"), s("storagePolicyName"), s("storagePolicyID")],
+                vec![
+                    s("volumePath"),
+                    s("fsType"),
+                    s("storagePolicyName"),
+                    s("storagePolicyID"),
+                ],
             ),
             obj(
                 "quobyte",
-                vec![s("registry"), s("volume"), b("readOnly"), s("user"), s("group"), s("tenant")],
+                vec![
+                    s("registry"),
+                    s("volume"),
+                    b("readOnly"),
+                    s("user"),
+                    s("group"),
+                    s("tenant"),
+                ],
             ),
             obj(
                 "azureDisk",
-                vec![s("diskName"), s("diskURI"), s("cachingMode"), s("fsType"), b("readOnly"), s("kind")],
+                vec![
+                    s("diskName"),
+                    s("diskURI"),
+                    s("cachingMode"),
+                    s("fsType"),
+                    b("readOnly"),
+                    s("kind"),
+                ],
             ),
             obj("photonPersistentDisk", vec![s("pdID"), s("fsType")]),
             obj(
@@ -366,27 +403,48 @@ fn volumes() -> FieldNode {
                         vec![
                             obj(
                                 "secret",
-                                vec![s("name"), arr("items", vec![s("key"), s("path"), i("mode")]), b("optional")],
+                                vec![
+                                    s("name"),
+                                    arr("items", vec![s("key"), s("path"), i("mode")]),
+                                    b("optional"),
+                                ],
                             ),
                             obj(
                                 "configMap",
-                                vec![s("name"), arr("items", vec![s("key"), s("path"), i("mode")]), b("optional")],
+                                vec![
+                                    s("name"),
+                                    arr("items", vec![s("key"), s("path"), i("mode")]),
+                                    b("optional"),
+                                ],
                             ),
                             obj(
                                 "downwardAPI",
-                                vec![arr("items", vec![s("path"), obj("fieldRef", vec![s("apiVersion"), s("fieldPath")]), i("mode")])],
+                                vec![arr(
+                                    "items",
+                                    vec![
+                                        s("path"),
+                                        obj("fieldRef", vec![s("apiVersion"), s("fieldPath")]),
+                                        i("mode"),
+                                    ],
+                                )],
                             ),
                             obj(
                                 "serviceAccountToken",
                                 vec![s("audience"), i("expirationSeconds"), s("path")],
                             ),
-                            obj("clusterTrustBundle", vec![s("name"), s("signerName"), s("path"), b("optional")]),
+                            obj(
+                                "clusterTrustBundle",
+                                vec![s("name"), s("signerName"), s("path"), b("optional")],
+                            ),
                         ],
                     ),
                     i("defaultMode"),
                 ],
             ),
-            obj("portworxVolume", vec![s("volumeID"), s("fsType"), b("readOnly")]),
+            obj(
+                "portworxVolume",
+                vec![s("volumeID"), s("fsType"), b("readOnly")],
+            ),
             obj(
                 "scaleIO",
                 vec![
@@ -404,7 +462,13 @@ fn volumes() -> FieldNode {
             ),
             obj(
                 "storageos",
-                vec![s("volumeName"), s("volumeNamespace"), s("fsType"), b("readOnly"), obj("secretRef", vec![s("name")])],
+                vec![
+                    s("volumeName"),
+                    s("volumeNamespace"),
+                    s("fsType"),
+                    b("readOnly"),
+                    obj("secretRef", vec![s("name")]),
+                ],
             ),
             obj(
                 "csi",
@@ -429,7 +493,10 @@ fn volumes() -> FieldNode {
                                 label_selector("selector"),
                                 obj(
                                     "resources",
-                                    vec![obj("requests", vec![q("storage")]), obj("limits", vec![q("storage")])],
+                                    vec![
+                                        obj("requests", vec![q("storage")]),
+                                        obj("limits", vec![q("storage")]),
+                                    ],
                                 ),
                                 s("volumeName"),
                                 s("storageClassName"),
@@ -450,11 +517,21 @@ fn pod_security_context() -> FieldNode {
         vec![
             obj(
                 "seLinuxOptions",
-                vec![s("user").sensitive(), s("role").sensitive(), s("type"), s("level")],
+                vec![
+                    s("user").sensitive(),
+                    s("role").sensitive(),
+                    s("type"),
+                    s("level"),
+                ],
             ),
             obj(
                 "windowsOptions",
-                vec![s("gmsaCredentialSpecName"), s("gmsaCredentialSpec"), s("runAsUserName"), b("hostProcess").sensitive()],
+                vec![
+                    s("gmsaCredentialSpecName"),
+                    s("gmsaCredentialSpec"),
+                    s("runAsUserName"),
+                    b("hostProcess").sensitive(),
+                ],
             ),
             i("runAsUser"),
             i("runAsGroup"),
@@ -463,7 +540,10 @@ fn pod_security_context() -> FieldNode {
             i("fsGroup"),
             arr("sysctls", vec![s("name").sensitive(), s("value")]),
             s("fsGroupChangePolicy"),
-            obj("seccompProfile", vec![s("type"), s("localhostProfile").sensitive()]),
+            obj(
+                "seccompProfile",
+                vec![s("type"), s("localhostProfile").sensitive()],
+            ),
         ],
     )
 }
@@ -471,7 +551,10 @@ fn pod_security_context() -> FieldNode {
 /// Affinity rules.
 fn affinity() -> FieldNode {
     let node_selector_term = vec![
-        arr("matchExpressions", vec![s("key"), s("operator"), sarr("values")]),
+        arr(
+            "matchExpressions",
+            vec![s("key"), s("operator"), sarr("values")],
+        ),
         arr("matchFields", vec![s("key"), s("operator"), sarr("values")]),
     ];
     let pod_affinity_term = vec![
@@ -507,7 +590,10 @@ fn affinity() -> FieldNode {
                     ),
                     arr(
                         "preferredDuringSchedulingIgnoredDuringExecution",
-                        vec![i("weight"), obj("podAffinityTerm", pod_affinity_term.clone())],
+                        vec![
+                            i("weight"),
+                            obj("podAffinityTerm", pod_affinity_term.clone()),
+                        ],
                     ),
                 ],
             ),
@@ -559,7 +645,13 @@ pub fn pod_spec_schema() -> Vec<FieldNode> {
         s("schedulerName"),
         arr(
             "tolerations",
-            vec![s("key"), s("operator"), s("value"), s("effect"), i("tolerationSeconds")],
+            vec![
+                s("key"),
+                s("operator"),
+                s("value"),
+                s("effect"),
+                i("tolerationSeconds"),
+            ],
         ),
         arr("hostAliases", vec![ip("ip"), sarr("hostnames")]),
         s("priorityClassName"),
@@ -596,7 +688,13 @@ pub fn pod_spec_schema() -> Vec<FieldNode> {
         arr("schedulingGates", vec![s("name")]),
         arr(
             "resourceClaims",
-            vec![s("name"), obj("source", vec![s("resourceClaimName"), s("resourceClaimTemplateName")])],
+            vec![
+                s("name"),
+                obj(
+                    "source",
+                    vec![s("resourceClaimName"), s("resourceClaimTemplateName")],
+                ),
+            ],
         ),
     ]
 }
@@ -615,7 +713,14 @@ pub fn metadata_schema() -> FieldNode {
             sarr("finalizers"),
             arr(
                 "ownerReferences",
-                vec![s("apiVersion"), s("kind"), s("name"), s("uid"), b("controller"), b("blockOwnerDeletion")],
+                vec![
+                    s("apiVersion"),
+                    s("kind"),
+                    s("name"),
+                    s("uid"),
+                    b("controller"),
+                    b("blockOwnerDeletion"),
+                ],
             ),
         ],
     )

@@ -9,8 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use kf_yaml::Value;
 use k8s_model::{ResourceKind, Verb};
+use kf_yaml::Value;
 
 /// One audit event recorded by the API server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,7 +46,17 @@ impl AuditLog {
         AuditLog::default()
     }
 
+    /// Assemble a log from already-stamped events (used by the sharded API
+    /// server to merge its per-shard buffers into one chronological log).
+    /// Events keep their original sequence numbers.
+    pub fn from_events(events: Vec<AuditEvent>) -> Self {
+        AuditLog { events }
+    }
+
     /// Record an event, assigning the next sequence number.
+    // The argument list mirrors the audit event's fields one-to-one; a
+    // params struct would just duplicate `AuditEvent`.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         user: &str,
@@ -109,9 +119,25 @@ mod tests {
     #[test]
     fn events_are_sequenced_and_queryable() {
         let mut log = AuditLog::new();
-        log.record("alice", Verb::Create, ResourceKind::Deployment, "prod", "web", true, None);
+        log.record(
+            "alice",
+            Verb::Create,
+            ResourceKind::Deployment,
+            "prod",
+            "web",
+            true,
+            None,
+        );
         log.record("bob", Verb::Get, ResourceKind::Pod, "dev", "", true, None);
-        log.record("mallory", Verb::Create, ResourceKind::Pod, "prod", "x", false, None);
+        log.record(
+            "mallory",
+            Verb::Create,
+            ResourceKind::Pod,
+            "prod",
+            "x",
+            false,
+            None,
+        );
         assert_eq!(log.len(), 3);
         assert_eq!(log.events()[0].sequence, 0);
         assert_eq!(log.events()[2].sequence, 2);

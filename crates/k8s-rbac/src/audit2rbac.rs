@@ -58,7 +58,11 @@ pub fn audit2rbac(events: &[AuditEvent], user: &str, options: &Audit2RbacOptions
             } else {
                 event.namespace.clone()
             };
-            let verbs = namespaced.entry(ns).or_default().entry(event.kind).or_default();
+            let verbs = namespaced
+                .entry(ns)
+                .or_default()
+                .entry(event.kind)
+                .or_default();
             if !verbs.contains(&event.verb) {
                 verbs.push(event.verb);
             }
@@ -116,14 +120,35 @@ mod tests {
             (Verb::Update, ResourceKind::Deployment, "prod", "web"),
             (Verb::Create, ResourceKind::Service, "prod", "web"),
             (Verb::Create, ResourceKind::ConfigMap, "prod", "web-config"),
-            (Verb::Create, ResourceKind::ValidatingWebhookConfiguration, "", "hook"),
+            (
+                Verb::Create,
+                ResourceKind::ValidatingWebhookConfiguration,
+                "",
+                "hook",
+            ),
         ] {
             log.record("operator", verb, kind, ns, name, true, None);
         }
         // Another user's traffic must not leak into the inferred policy.
-        log.record("intruder", Verb::Create, ResourceKind::Pod, "prod", "x", true, None);
+        log.record(
+            "intruder",
+            Verb::Create,
+            ResourceKind::Pod,
+            "prod",
+            "x",
+            true,
+            None,
+        );
         // Denied events are ignored by default.
-        log.record("operator", Verb::Delete, ResourceKind::Secret, "prod", "s", false, None);
+        log.record(
+            "operator",
+            Verb::Delete,
+            ResourceKind::Secret,
+            "prod",
+            "s",
+            false,
+            None,
+        );
     }
 
     #[test]
@@ -139,7 +164,10 @@ mod tests {
             (Verb::Create, ResourceKind::ConfigMap),
         ] {
             let review = AccessReview::new("operator", verb, kind, "prod", "");
-            assert!(policy.authorize(&review).is_allowed(), "{verb} {kind} must be allowed");
+            assert!(
+                policy.authorize(&review).is_allowed(),
+                "{verb} {kind} must be allowed"
+            );
         }
         let webhook = AccessReview::new(
             "operator",
@@ -167,8 +195,13 @@ mod tests {
         let intruder = AccessReview::new("intruder", Verb::Create, ResourceKind::Pod, "prod", "");
         assert!(!policy.authorize(&intruder).is_allowed());
         // Unobserved verbs on observed kinds stay denied.
-        let delete =
-            AccessReview::new("operator", Verb::Delete, ResourceKind::Deployment, "prod", "");
+        let delete = AccessReview::new(
+            "operator",
+            Verb::Delete,
+            ResourceKind::Deployment,
+            "prod",
+            "",
+        );
         assert!(!policy.authorize(&delete).is_allowed());
     }
 
@@ -190,7 +223,10 @@ mod tests {
         let mut log = AuditLog::new();
         record_workload(&mut log);
         let policy = audit2rbac(log.events(), "operator", &Audit2RbacOptions::default());
-        assert!(policy.roles().iter().any(|r| r.name == "audit2rbac-operator-prod"));
+        assert!(policy
+            .roles()
+            .iter()
+            .any(|r| r.name == "audit2rbac-operator-prod"));
         assert!(policy
             .bindings()
             .iter()

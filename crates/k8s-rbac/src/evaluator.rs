@@ -123,11 +123,11 @@ impl RbacPolicySet {
             if binding.scope == RoleScope::Namespaced && binding.namespace != review.namespace {
                 continue;
             }
-            let role = match self.find_role(&binding.role_name, binding.role_scope, &binding.namespace)
-            {
-                Some(role) => role,
-                None => continue,
-            };
+            let role =
+                match self.find_role(&binding.role_name, binding.role_scope, &binding.namespace) {
+                    Some(role) => role,
+                    None => continue,
+                };
             if role.allows(&api_group, resource, verb, &review.name) {
                 return AccessDecision::Allow {
                     granted_by: format!("{}/{}", binding.name, role.name),
@@ -168,7 +168,10 @@ mod tests {
         let mut set = RbacPolicySet::new();
         set.add_role(
             Role::namespaced("deployer", "prod")
-                .with_rule(PolicyRule::for_kind(ResourceKind::Deployment, [Verb::Create, Verb::Get]))
+                .with_rule(PolicyRule::for_kind(
+                    ResourceKind::Deployment,
+                    [Verb::Create, Verb::Get],
+                ))
                 .with_rule(PolicyRule::for_kind(ResourceKind::Service, [Verb::Create])),
         );
         set.add_binding(
@@ -191,26 +194,47 @@ mod tests {
     #[test]
     fn allows_granted_namespaced_access() {
         let set = policy();
-        let review = AccessReview::new("operator", Verb::Create, ResourceKind::Deployment, "prod", "");
+        let review = AccessReview::new(
+            "operator",
+            Verb::Create,
+            ResourceKind::Deployment,
+            "prod",
+            "",
+        );
         assert!(set.authorize(&review).is_allowed());
     }
 
     #[test]
     fn denies_other_namespaces_and_users() {
         let set = policy();
-        let other_ns =
-            AccessReview::new("operator", Verb::Create, ResourceKind::Deployment, "dev", "");
+        let other_ns = AccessReview::new(
+            "operator",
+            Verb::Create,
+            ResourceKind::Deployment,
+            "dev",
+            "",
+        );
         assert!(!set.authorize(&other_ns).is_allowed());
-        let other_user =
-            AccessReview::new("mallory", Verb::Create, ResourceKind::Deployment, "prod", "");
+        let other_user = AccessReview::new(
+            "mallory",
+            Verb::Create,
+            ResourceKind::Deployment,
+            "prod",
+            "",
+        );
         assert!(!set.authorize(&other_user).is_allowed());
     }
 
     #[test]
     fn denies_unlisted_verbs_and_kinds() {
         let set = policy();
-        let delete =
-            AccessReview::new("operator", Verb::Delete, ResourceKind::Deployment, "prod", "");
+        let delete = AccessReview::new(
+            "operator",
+            Verb::Delete,
+            ResourceKind::Deployment,
+            "prod",
+            "",
+        );
         assert!(!set.authorize(&delete).is_allowed());
         let pods = AccessReview::new("operator", Verb::Create, ResourceKind::Pod, "prod", "");
         assert!(!set.authorize(&pods).is_allowed());
@@ -235,7 +259,13 @@ mod tests {
         // carries no specification fields at all, so two requests that differ
         // only in (for example) `hostNetwork: true` are indistinguishable.
         let set = policy();
-        let review = AccessReview::new("operator", Verb::Create, ResourceKind::Deployment, "prod", "");
+        let review = AccessReview::new(
+            "operator",
+            Verb::Create,
+            ResourceKind::Deployment,
+            "prod",
+            "",
+        );
         assert!(set.authorize(&review).is_allowed());
         // There is no API to express "allow Deployments but forbid
         // hostNetwork" — the review type has no field for it.

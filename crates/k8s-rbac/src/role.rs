@@ -2,8 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use kf_yaml::{Mapping, Value};
 use k8s_model::{ResourceKind, Verb};
+use kf_yaml::{Mapping, Value};
 
 /// Whether a role/binding is namespaced (`Role`/`RoleBinding`) or
 /// cluster-scoped (`ClusterRole`/`ClusterRoleBinding`).
@@ -135,11 +135,21 @@ impl Role {
                 let mut m = Mapping::new();
                 m.insert(
                     "apiGroups",
-                    Value::Seq(rule.api_groups.iter().map(|s| Value::from(s.clone())).collect()),
+                    Value::Seq(
+                        rule.api_groups
+                            .iter()
+                            .map(|s| Value::from(s.clone()))
+                            .collect(),
+                    ),
                 );
                 m.insert(
                     "resources",
-                    Value::Seq(rule.resources.iter().map(|s| Value::from(s.clone())).collect()),
+                    Value::Seq(
+                        rule.resources
+                            .iter()
+                            .map(|s| Value::from(s.clone()))
+                            .collect(),
+                    ),
                 );
                 m.insert(
                     "verbs",
@@ -306,8 +316,14 @@ mod tests {
     #[test]
     fn role_allows_when_any_rule_matches() {
         let role = Role::namespaced("app", "prod")
-            .with_rule(PolicyRule::for_kind(ResourceKind::Deployment, [Verb::Create]))
-            .with_rule(PolicyRule::for_kind(ResourceKind::Service, [Verb::Create, Verb::Get]));
+            .with_rule(PolicyRule::for_kind(
+                ResourceKind::Deployment,
+                [Verb::Create],
+            ))
+            .with_rule(PolicyRule::for_kind(
+                ResourceKind::Service,
+                [Verb::Create, Verb::Get],
+            ));
         assert!(role.allows("apps", "deployments", "create", ""));
         assert!(role.allows("", "services", "get", ""));
         assert!(!role.allows("", "pods", "create", ""));
@@ -315,8 +331,10 @@ mod tests {
 
     #[test]
     fn role_manifests_have_rbac_shape() {
-        let role = Role::namespaced("app", "prod")
-            .with_rule(PolicyRule::for_kind(ResourceKind::Deployment, [Verb::Create]));
+        let role = Role::namespaced("app", "prod").with_rule(PolicyRule::for_kind(
+            ResourceKind::Deployment,
+            [Verb::Create],
+        ));
         let manifest = role.to_manifest();
         assert_eq!(manifest.get("kind").unwrap().as_str(), Some("Role"));
         assert_eq!(

@@ -177,15 +177,37 @@ fn string_is_plain(s: &str) -> bool {
     let first = s.chars().next().expect("non-empty");
     if matches!(
         first,
-        '-' | '?' | ':' | ',' | '[' | ']' | '{' | '}' | '#' | '&' | '*' | '!' | '|' | '>' | '%'
-            | '@' | '`'
+        '-' | '?'
+            | ':'
+            | ','
+            | '['
+            | ']'
+            | '{'
+            | '}'
+            | '#'
+            | '&'
+            | '*'
+            | '!'
+            | '|'
+            | '>'
+            | '%'
+            | '@'
+            | '`'
     ) {
         return false;
     }
     // Values that would parse as a different scalar type must be quoted.
     if matches!(
         s,
-        "~" | "null" | "Null" | "NULL" | "true" | "True" | "TRUE" | "false" | "False" | "FALSE"
+        "~" | "null"
+            | "Null"
+            | "NULL"
+            | "true"
+            | "True"
+            | "TRUE"
+            | "false"
+            | "False"
+            | "FALSE"
             | "{}"
             | "[]"
     ) {

@@ -117,12 +117,13 @@ fn strip_comment(line: &str) -> &str {
                     in_double = !in_double;
                 }
             }
-            '#' if !in_single && !in_double => {
-                // A '#' starts a comment when at start of line or preceded by
-                // whitespace.
-                if i == 0 || (bytes[i - 1] as char).is_whitespace() {
-                    return &line[..i];
-                }
+            // A '#' starts a comment when at start of line or preceded by
+            // whitespace.
+            '#' if !in_single
+                && !in_double
+                && (i == 0 || (bytes[i - 1] as char).is_whitespace()) =>
+            {
+                return &line[..i];
             }
             _ => {}
         }
@@ -176,7 +177,10 @@ fn parse_mapping(lines: &mut Vec<Line>, pos: &mut usize, indent: usize) -> Resul
         if line.indent > indent {
             return Err(Error::parse(
                 line.number,
-                format!("unexpected indentation (expected {indent}, found {})", line.indent),
+                format!(
+                    "unexpected indentation (expected {indent}, found {})",
+                    line.indent
+                ),
             ));
         }
         if line.text.starts_with("- ") || line.text == "-" {
@@ -200,8 +204,7 @@ fn parse_mapping(lines: &mut Vec<Line>, pos: &mut usize, indent: usize) -> Resul
                 if next.indent > indent {
                     let next_indent = next.indent;
                     parse_node(lines, pos, next_indent)?
-                } else if next.indent == indent
-                    && (next.text.starts_with("- ") || next.text == "-")
+                } else if next.indent == indent && (next.text.starts_with("- ") || next.text == "-")
                 {
                     // Sequences are conventionally allowed at the same indent
                     // as their key.
@@ -282,10 +285,8 @@ fn find_key_split(text: &str) -> Option<(&str, &str)> {
         let c = bytes[i] as char;
         match c {
             '\'' if !in_double => in_single = !in_single,
-            '"' if !in_single => {
-                if !(in_double && i > 0 && bytes[i - 1] as char == '\\') {
-                    in_double = !in_double;
-                }
+            '"' if !(in_single || in_double && i > 0 && bytes[i - 1] as char == '\\') => {
+                in_double = !in_double;
             }
             '[' | '{' if !in_single && !in_double => depth += 1,
             ']' | '}' if !in_single && !in_double => depth = depth.saturating_sub(1),
@@ -329,7 +330,10 @@ fn parse_scalar_or_flow(text: &str, line: usize) -> Result<Value, Error> {
             i += 1;
         }
         if i != chars.len() {
-            return Err(Error::parse(line, "trailing characters after flow collection"));
+            return Err(Error::parse(
+                line,
+                "trailing characters after flow collection",
+            ));
         }
         return Ok(value);
     }
@@ -566,13 +570,12 @@ mod tests {
         let doc = parse(text).unwrap();
         let containers = doc.get("containers").unwrap().as_seq().unwrap();
         assert_eq!(containers.len(), 2);
-        assert_eq!(containers[0].get("image").unwrap().as_str(), Some("nginx:latest"));
         assert_eq!(
-            containers[0]
-                .get("ports")
-                .unwrap()
-                .as_seq()
-                .unwrap()[0]
+            containers[0].get("image").unwrap().as_str(),
+            Some("nginx:latest")
+        );
+        assert_eq!(
+            containers[0].get("ports").unwrap().as_seq().unwrap()[0]
                 .get("containerPort")
                 .unwrap()
                 .as_i64(),
@@ -583,8 +586,8 @@ mod tests {
 
     #[test]
     fn parses_flow_collections() {
-        let doc = parse("emptyDir: {}\nvals: [1, 2, 3]\nsel: {app: web, tier: \"front end\"}\n")
-            .unwrap();
+        let doc =
+            parse("emptyDir: {}\nvals: [1, 2, 3]\nsel: {app: web, tier: \"front end\"}\n").unwrap();
         assert!(doc.get("emptyDir").unwrap().as_map().unwrap().is_empty());
         assert_eq!(doc.get("vals").unwrap().as_seq().unwrap().len(), 3);
         assert_eq!(
@@ -657,8 +660,8 @@ mod tests {
 
     #[test]
     fn colon_inside_value_does_not_split() {
-        let doc = parse("image: docker.io/bitnami/nginx:1.25\nurl: http://example.com:8080/x\n")
-            .unwrap();
+        let doc =
+            parse("image: docker.io/bitnami/nginx:1.25\nurl: http://example.com:8080/x\n").unwrap();
         assert_eq!(
             doc.get("image").unwrap().as_str(),
             Some("docker.io/bitnami/nginx:1.25")

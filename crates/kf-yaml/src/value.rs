@@ -145,6 +145,7 @@ pub enum Value {
 }
 
 impl Default for Value {
+    #[allow(clippy::derivable_impls)]
     fn default() -> Self {
         Value::Null
     }
@@ -541,7 +542,9 @@ impl Value {
             (Value::Map(a), Value::Map(b)) => {
                 a.len() == b.len()
                     && a.iter().all(|(k, v)| {
-                        b.get(k).map(|other| v.loosely_equals(other)).unwrap_or(false)
+                        b.get(k)
+                            .map(|other| v.loosely_equals(other))
+                            .unwrap_or(false)
                     })
             }
             (Value::Seq(a), Value::Seq(b)) => {
@@ -637,7 +640,9 @@ mod tests {
         let mut doc = Value::Null;
         let p = Path::parse("spec.containers[2].name").unwrap();
         doc.set_path(&p, Value::from("sidecar")).unwrap();
-        let seq = doc.get_path(&Path::parse("spec.containers").unwrap()).unwrap();
+        let seq = doc
+            .get_path(&Path::parse("spec.containers").unwrap())
+            .unwrap();
         assert_eq!(seq.as_seq().unwrap().len(), 3);
         assert!(seq.as_seq().unwrap()[0].is_null());
     }

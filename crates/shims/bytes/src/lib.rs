@@ -1,0 +1,83 @@
+//! Offline shim for the `bytes` crate: a cheaply clonable, immutable byte
+//! buffer behind an `Arc`, covering the small API surface this workspace
+//! uses (`Bytes::new`, `Bytes::from`, `len`, slicing via `Deref`).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply clonable immutable contiguous byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy a static slice into a buffer.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(text: String) -> Self {
+        Bytes {
+            data: text.into_bytes().into(),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(text: &str) -> Self {
+        Bytes {
+            data: text.as_bytes().into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_strings_and_reports_length() {
+        let b = Bytes::from("hello".to_owned());
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[..], b"hello");
+        assert!(Bytes::new().is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the subset of the criterion API the benchmark targets use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box` and the `criterion_group!`/`criterion_main!`
+//! macros — as a small wall-clock runner: each benchmark is warmed up
+//! briefly, then timed over enough iterations to fill a fixed measurement
+//! window, and the mean, min and p99 per-iteration times are printed. No
+//! statistics files are written.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id from a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A benchmark id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-iteration samples, in nanoseconds.
+    samples: Vec<u64>,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            warm_up,
+            measurement,
+        }
+    }
+
+    /// Run the routine repeatedly, recording one sample per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up window elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement {
+            let started = Instant::now();
+            black_box(routine());
+            self.samples.push(started.elapsed().as_nanos() as u64);
+        }
+        if self.samples.is_empty() {
+            // Extremely slow routine: record at least one sample.
+            let started = Instant::now();
+            black_box(routine());
+            self.samples.push(started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn run_one(name: &str, warm_up: Duration, measurement: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(warm_up, measurement);
+    f(&mut bencher);
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_unstable();
+    let mean = sorted.iter().sum::<u64>() as f64 / sorted.len() as f64;
+    let min = sorted[0] as f64;
+    let p99 = sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)] as f64;
+    println!(
+        "bench: {name:<55} mean {:>12}  min {:>12}  p99 {:>12}  ({} iters)",
+        format_ns(mean),
+        format_ns(min),
+        format_ns(p99),
+        sorted.len()
+    );
+}
+
+/// A named group of benchmarks sharing the parent runner's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Time a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, mut f: F) {
+        let name = format!("{}/{id}", self.group);
+        run_one(
+            &name,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &mut f,
+        );
+    }
+
+    /// Time a closure that receives a borrowed input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let name = format!("{}/{id}", self.group);
+        run_one(
+            &name,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            &mut |b| f(b, input),
+        );
+    }
+
+    /// Shorten the measurement window for slow benchmarks.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the measurement window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.measurement = window;
+        self
+    }
+
+    /// End the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark runner.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(150),
+            measurement: Duration::from_millis(750),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Time a closure under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.warm_up, self.measurement, &mut f);
+        self
+    }
+
+    /// Override the measurement window.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.measurement = window;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+}
+
+/// Define a benchmark group function, as `criterion::criterion_group!` does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derive macros from the local `serde_derive` shim, so code written
+//! against real serde compiles unchanged in this network-less build
+//! environment. The traits carry no methods because nothing in the workspace
+//! performs serde-based (de)serialization — YAML handling is the hand-rolled
+//! `kf-yaml` crate.
+
+// Like real serde, the derive macros are re-exported under the same names as
+// the traits; macros and traits live in different namespaces.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}

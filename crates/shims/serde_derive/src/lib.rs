@@ -1,0 +1,23 @@
+//! Offline shim for serde's derive macros.
+//!
+//! The container building this workspace has no network access to a crates
+//! registry, so the real `serde_derive` cannot be fetched. Nothing in this
+//! repository serializes through serde at runtime (the YAML layer is the
+//! hand-written `kf-yaml` crate); the `#[derive(Serialize, Deserialize)]`
+//! attributes on model types only declare intent. The shim therefore accepts
+//! the derive syntax — including `#[serde(...)]` helper attributes — and
+//! expands to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted and discarded.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted and discarded.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -257,15 +257,17 @@ mod tests {
     #[test]
     fn postgres_credentials_flow_into_the_secret_when_enabled() {
         let manifests = render_chart(&chart(), None, "mlflow").unwrap();
-        let secret = manifests.iter().find(|m| m.kind() == Some("Secret")).unwrap();
+        let secret = manifests
+            .iter()
+            .find(|m| m.kind() == Some("Secret"))
+            .unwrap();
         let user = secret
             .document
             .get_path(&Path::parse("data.PGUSER").unwrap())
             .unwrap();
         assert_eq!(user.as_str(), Some("bWxmbG93")); // base64("mlflow")
-        // Disabling the backend removes both the secret and its env wiring.
-        let overrides =
-            kf_yaml::parse("backendStore:\n  postgres:\n    enabled: false\n").unwrap();
+                                                     // Disabling the backend removes both the secret and its env wiring.
+        let overrides = kf_yaml::parse("backendStore:\n  postgres:\n    enabled: false\n").unwrap();
         let manifests = render_chart(&chart(), Some(&overrides), "mlflow").unwrap();
         assert!(manifests.iter().all(|m| m.kind() != Some("Secret")));
         let deployment = manifests
@@ -289,13 +291,14 @@ mod tests {
     #[test]
     fn ingress_routes_to_the_tracking_service() {
         let manifests = render_chart(&chart(), None, "mlflow").unwrap();
-        let ingress = manifests.iter().find(|m| m.kind() == Some("Ingress")).unwrap();
+        let ingress = manifests
+            .iter()
+            .find(|m| m.kind() == Some("Ingress"))
+            .unwrap();
         assert_eq!(
             ingress
                 .document
-                .get_path(
-                    &Path::parse("spec.rules[0].http.paths[0].backend.service.name").unwrap()
-                )
+                .get_path(&Path::parse("spec.rules[0].http.paths[0].backend.service.name").unwrap())
                 .and_then(|v| v.as_str()),
             Some("mlflow-mlflow")
         );

@@ -267,10 +267,8 @@ mod tests {
         let run_as_non_root = deployment
             .document
             .get_path(
-                &Path::parse(
-                    "spec.template.spec.containers[0].securityContext.runAsNonRoot",
-                )
-                .unwrap(),
+                &Path::parse("spec.template.spec.containers[0].securityContext.runAsNonRoot")
+                    .unwrap(),
             )
             .unwrap();
         assert_eq!(run_as_non_root.as_bool(), Some(true));
@@ -287,7 +285,10 @@ mod tests {
     #[test]
     fn load_balancer_condition_follows_the_service_type() {
         let manifests = render_chart(&chart(), None, "web").unwrap();
-        let service = manifests.iter().find(|m| m.kind() == Some("Service")).unwrap();
+        let service = manifests
+            .iter()
+            .find(|m| m.kind() == Some("Service"))
+            .unwrap();
         assert_eq!(
             service
                 .document
@@ -297,7 +298,10 @@ mod tests {
         );
         let cluster_ip = kf_yaml::parse("service:\n  type: ClusterIP\n").unwrap();
         let manifests = helm_lite::render_chart(&chart(), Some(&cluster_ip), "web").unwrap();
-        let service = manifests.iter().find(|m| m.kind() == Some("Service")).unwrap();
+        let service = manifests
+            .iter()
+            .find(|m| m.kind() == Some("Service"))
+            .unwrap();
         assert!(service
             .document
             .get_path(&Path::parse("spec.externalTrafficPolicy").unwrap())

@@ -362,19 +362,23 @@ mod tests {
     #[test]
     fn standalone_mode_pins_a_single_replica() {
         let manifests = render_chart(&chart(), None, "pg").unwrap();
-        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        let sts = manifests
+            .iter()
+            .find(|m| m.kind() == Some("StatefulSet"))
+            .unwrap();
         assert_eq!(
             sts.document
                 .get_path(&Path::parse("spec.replicas").unwrap())
                 .and_then(|v| v.as_i64()),
             Some(1)
         );
-        let replication = kf_yaml::parse(
-            "architecture:\n  mode: replication\n  replicaCount: 3\n",
-        )
-        .unwrap();
+        let replication =
+            kf_yaml::parse("architecture:\n  mode: replication\n  replicaCount: 3\n").unwrap();
         let manifests = render_chart(&chart(), Some(&replication), "pg").unwrap();
-        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        let sts = manifests
+            .iter()
+            .find(|m| m.kind() == Some("StatefulSet"))
+            .unwrap();
         assert_eq!(
             sts.document
                 .get_path(&Path::parse("spec.replicas").unwrap())
@@ -389,7 +393,11 @@ mod tests {
             .as_seq()
             .unwrap()
             .iter()
-            .filter_map(|e| e.get("name").and_then(kf_yaml::Value::as_str).map(String::from))
+            .filter_map(|e| {
+                e.get("name")
+                    .and_then(kf_yaml::Value::as_str)
+                    .map(String::from)
+            })
             .collect();
         assert!(env_names.contains(&"POSTGRES_REPLICATION_MODE".to_string()));
     }
@@ -397,7 +405,10 @@ mod tests {
     #[test]
     fn volume_claim_templates_request_the_configured_storage() {
         let manifests = render_chart(&chart(), None, "pg").unwrap();
-        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        let sts = manifests
+            .iter()
+            .find(|m| m.kind() == Some("StatefulSet"))
+            .unwrap();
         assert_eq!(
             sts.document
                 .get_path(

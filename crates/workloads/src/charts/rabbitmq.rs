@@ -361,7 +361,10 @@ mod tests {
     #[test]
     fn statefulset_runs_three_hardened_replicas() {
         let manifests = render_chart(&chart(), None, "mq").unwrap();
-        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        let sts = manifests
+            .iter()
+            .find(|m| m.kind() == Some("StatefulSet"))
+            .unwrap();
         assert_eq!(
             sts.document
                 .get_path(&Path::parse("spec.replicas").unwrap())
@@ -384,11 +387,17 @@ mod tests {
     #[test]
     fn cluster_address_type_follows_the_annotation_options() {
         let values = chart();
-        let options = values.values().options_for("clustering.addressType").unwrap();
+        let options = values
+            .values()
+            .options_for("clustering.addressType")
+            .unwrap();
         assert_eq!(options.len(), 2);
         let overrides = kf_yaml::parse("clustering:\n  addressType: ip\n").unwrap();
         let manifests = render_chart(&chart(), Some(&overrides), "mq").unwrap();
-        let sts = manifests.iter().find(|m| m.kind() == Some("StatefulSet")).unwrap();
+        let sts = manifests
+            .iter()
+            .find(|m| m.kind() == Some("StatefulSet"))
+            .unwrap();
         let env = sts
             .document
             .get_path(&Path::parse("spec.template.spec.containers[0].env").unwrap())
@@ -397,7 +406,10 @@ mod tests {
             .as_seq()
             .unwrap()
             .iter()
-            .find(|e| e.get("name").and_then(kf_yaml::Value::as_str) == Some("RABBITMQ_CLUSTER_ADDRESS_TYPE"))
+            .find(|e| {
+                e.get("name").and_then(kf_yaml::Value::as_str)
+                    == Some("RABBITMQ_CLUSTER_ADDRESS_TYPE")
+            })
             .unwrap();
         assert_eq!(address.get("value").unwrap().as_str(), Some("ip"));
     }

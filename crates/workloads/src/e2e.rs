@@ -194,7 +194,10 @@ impl E2eCorpus {
 
     /// The tests that reach CVE-affected code.
     pub fn tests_covering_vulnerable_code(&self) -> Vec<&E2eTest> {
-        self.tests.iter().filter(|t| !t.covered_cves.is_empty()).collect()
+        self.tests
+            .iter()
+            .filter(|t| !t.covered_cves.is_empty())
+            .collect()
     }
 
     /// The Figure 5 matrix: per CVE (rows, only CVEs reached by at least one
@@ -236,7 +239,10 @@ impl E2eCorpus {
         for (cve, row) in &matrix {
             out.push_str(&format!("{cve:<20}"));
             for category in E2eCategory::ALL {
-                out.push_str(&format!(" {:>15}", row.get(&category).copied().unwrap_or(0)));
+                out.push_str(&format!(
+                    " {:>15}",
+                    row.get(&category).copied().unwrap_or(0)
+                ));
             }
             out.push('\n');
         }

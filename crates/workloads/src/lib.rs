@@ -23,6 +23,8 @@ pub mod charts;
 mod driver;
 pub mod e2e;
 mod operator;
+mod throughput;
 
 pub use driver::{DeploymentDriver, DeploymentOutcome};
 pub use operator::{Operator, OperatorWorkload};
+pub use throughput::{ThroughputDriver, ThroughputReport};

@@ -200,7 +200,12 @@ mod tests {
         assert!(sonar.len() >= 12, "SonarQube uses {} kinds", sonar.len());
         assert!(sonar.contains(&ResourceKind::ValidatingWebhookConfiguration));
         assert!(sonar.contains(&ResourceKind::ClusterRole));
-        for operator in [Operator::Nginx, Operator::Mlflow, Operator::Postgresql, Operator::Rabbitmq] {
+        for operator in [
+            Operator::Nginx,
+            Operator::Mlflow,
+            Operator::Postgresql,
+            Operator::Rabbitmq,
+        ] {
             assert!(kinds_of(operator).len() < sonar.len());
         }
     }
@@ -228,8 +233,7 @@ mod tests {
                     // Charts leave the namespace to the request path; objects
                     // either carry the operator namespace or none at all.
                     assert!(
-                        object.namespace().is_empty()
-                            || object.namespace() == operator.namespace(),
+                        object.namespace().is_empty() || object.namespace() == operator.namespace(),
                         "{operator}: {} has namespace {}",
                         object.name(),
                         object.namespace()

@@ -1,0 +1,233 @@
+//! Multi-threaded traffic replay against any [`RequestHandler`].
+//!
+//! The paper's overhead experiment (Table IV) measures single-client
+//! deployment round trips. The [`ThroughputDriver`] extends that to the
+//! ROADMAP's heavy-traffic regime: a fixed, reproducible pool of mixed
+//! legitimate and attack requests is replayed concurrently from M threads
+//! against a handler (the bare API server, the KubeFence proxy, or the
+//! mutex-baseline proxy), recording sustained requests/sec and the latency
+//! distribution of `handle` calls. The concurrency benchmark
+//! (`crates/bench/benches/concurrency_throughput.rs`) uses this to quantify
+//! the compiled admission plane against the tree-walking baseline.
+
+use std::time::{Duration, Instant};
+
+use k8s_apiserver::{ApiRequest, RequestHandler};
+use kf_attacks::AttackExecutor;
+
+use crate::operator::Operator;
+use crate::DeploymentDriver;
+
+/// A reproducible pool of mixed legitimate/attack traffic for one or more
+/// operators.
+#[derive(Debug, Clone)]
+pub struct ThroughputDriver {
+    requests: Vec<ApiRequest>,
+    attack_count: usize,
+}
+
+/// Latency/throughput measurements of one replay run.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// Number of replay threads.
+    pub threads: usize,
+    /// Total requests issued across all threads.
+    pub total_requests: u64,
+    /// Requests answered with a 2xx status.
+    pub admitted: u64,
+    /// Requests answered with 403.
+    pub denied: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Median per-request `handle` latency.
+    pub p50: Duration,
+    /// 99th-percentile per-request `handle` latency.
+    pub p99: Duration,
+    /// Worst observed per-request `handle` latency.
+    pub max: Duration,
+}
+
+impl ThroughputReport {
+    /// Sustained requests per second over the run.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.total_requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+impl ThroughputDriver {
+    /// A pool for one operator: the operator's legitimate deployment
+    /// requests interleaved with the attack catalog's malicious requests
+    /// (roughly one attack per three legitimate requests, the interleaving
+    /// fixed so every run replays identical traffic).
+    pub fn for_operator(operator: Operator) -> Self {
+        Self::for_operators(&[operator])
+    }
+
+    /// A pool mixing several operators' traffic.
+    pub fn for_operators(operators: &[Operator]) -> Self {
+        let mut legitimate = Vec::new();
+        let mut attacks = Vec::new();
+        for operator in operators {
+            let driver = DeploymentDriver::new(*operator);
+            legitimate.extend(driver.requests());
+            let executor = AttackExecutor::new(
+                &operator.user(),
+                operator.namespace(),
+                driver.objects().to_vec(),
+            );
+            attacks.extend(
+                executor
+                    .malicious_objects()
+                    .into_iter()
+                    .map(|(_spec, object)| {
+                        let mut request = ApiRequest::create(&operator.user(), &object);
+                        if object.kind().is_namespaced() {
+                            request.namespace = operator.namespace().to_owned();
+                        }
+                        request
+                    }),
+            );
+        }
+        // Deterministic interleave at a fixed 3:1 legitimate:attack ratio —
+        // the legitimate list cycles (replayed traffic re-applies the same
+        // manifests, which the server treats as `kubectl apply`) so the pool
+        // is always 25% attacks regardless of list lengths.
+        let attack_count = attacks.len();
+        let mut requests = Vec::with_capacity(4 * attacks.len().max(1));
+        let mut legit_cycle = 0usize;
+        for attack in attacks {
+            for _ in 0..3 {
+                requests.push(legitimate[legit_cycle % legitimate.len()].clone());
+                legit_cycle += 1;
+            }
+            requests.push(attack);
+        }
+        if requests.is_empty() {
+            requests = legitimate;
+        }
+        ThroughputDriver {
+            requests,
+            attack_count,
+        }
+    }
+
+    /// The replayed request pool, in replay order.
+    pub fn requests(&self) -> &[ApiRequest] {
+        &self.requests
+    }
+
+    /// Number of attack requests in the pool.
+    pub fn attack_count(&self) -> usize {
+        self.attack_count
+    }
+
+    /// Replay the pool from `threads` threads, each cycling through the pool
+    /// until it has issued `requests_per_thread` requests. Threads start at
+    /// rotated offsets so they do not traverse the pool in lockstep.
+    pub fn run<H>(
+        &self,
+        handler: &H,
+        threads: usize,
+        requests_per_thread: usize,
+    ) -> ThroughputReport
+    where
+        H: RequestHandler + Sync,
+    {
+        assert!(threads > 0, "at least one replay thread is required");
+        assert!(!self.requests.is_empty(), "replay pool is empty");
+        let pool = &self.requests;
+        let started = Instant::now();
+        let per_thread: Vec<(u64, u64, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|thread| {
+                    scope.spawn(move || {
+                        let mut admitted = 0u64;
+                        let mut denied = 0u64;
+                        let mut latencies_ns = Vec::with_capacity(requests_per_thread);
+                        // Rotated start so threads hit different requests.
+                        let offset = thread * pool.len() / threads.max(1);
+                        for i in 0..requests_per_thread {
+                            let request = &pool[(offset + i) % pool.len()];
+                            let issued = Instant::now();
+                            let response = handler.handle(request);
+                            latencies_ns.push(issued.elapsed().as_nanos() as u64);
+                            if response.is_success() {
+                                admitted += 1;
+                            } else {
+                                denied += 1;
+                            }
+                        }
+                        (admitted, denied, latencies_ns)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay thread panicked"))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+        let mut admitted = 0;
+        let mut denied = 0;
+        let mut latencies: Vec<u64> = Vec::with_capacity(threads * requests_per_thread);
+        for (a, d, l) in per_thread {
+            admitted += a;
+            denied += d;
+            latencies.extend(l);
+        }
+        latencies.sort_unstable();
+        let percentile = |p: usize| {
+            Duration::from_nanos(latencies[(latencies.len() * p / 100).min(latencies.len() - 1)])
+        };
+        ThroughputReport {
+            threads,
+            total_requests: (threads * requests_per_thread) as u64,
+            admitted,
+            denied,
+            elapsed,
+            p50: percentile(50),
+            p99: percentile(99),
+            max: Duration::from_nanos(*latencies.last().expect("non-empty")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_apiserver::ApiServer;
+
+    #[test]
+    fn the_pool_mixes_legitimate_and_attack_traffic() {
+        let driver = ThroughputDriver::for_operator(Operator::Nginx);
+        assert!(driver.attack_count() > 0);
+        assert!(driver.requests().len() > driver.attack_count());
+    }
+
+    #[test]
+    fn replay_counts_add_up_across_threads() {
+        let driver = ThroughputDriver::for_operator(Operator::Nginx);
+        let server = ApiServer::new().with_admin(&Operator::Nginx.user());
+        let report = driver.run(&server, 4, 40);
+        assert_eq!(report.threads, 4);
+        assert_eq!(report.total_requests, 160);
+        assert_eq!(report.admitted + report.denied, 160);
+        assert!(report.requests_per_sec() > 0.0);
+        assert!(report.p50 <= report.p99);
+        assert!(report.p99 <= report.max);
+        // The permissive server admits everything, attacks included.
+        assert_eq!(report.denied, 0);
+    }
+
+    #[test]
+    fn single_threaded_replay_is_deterministic_traffic() {
+        let driver = ThroughputDriver::for_operator(Operator::Postgresql);
+        let a: Vec<String> = driver.requests().iter().map(|r| r.path()).collect();
+        let b: Vec<String> = ThroughputDriver::for_operator(Operator::Postgresql)
+            .requests()
+            .iter()
+            .map(|r| r.path())
+            .collect();
+        assert_eq!(a, b);
+    }
+}

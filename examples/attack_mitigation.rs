@@ -46,9 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // KubeFence: generate the workload validator and attack through the
         // proxy.
-        let validator =
-            PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
-                .generate(&operator.chart())?;
+        let validator = PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+            .generate(&operator.chart())?;
         let proxy = EnforcementProxy::new(ApiServer::new(), validator);
         let kubefence = AttackExecutor::summarize(&executor.execute(&proxy));
 

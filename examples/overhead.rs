@@ -49,9 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for operator in Operator::ALL {
         let driver = DeploymentDriver::new(operator);
-        let validator =
-            PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
-                .generate(&operator.chart())?;
+        let validator = PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
+            .generate(&operator.chart())?;
 
         let mut baseline_samples = Vec::new();
         let mut kubefence_samples = Vec::new();

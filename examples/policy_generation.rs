@@ -6,12 +6,14 @@
 //! cargo run --example policy_generation -- mlflow
 //! ```
 
+use kf_workloads::Operator;
 use kubefence::schema_gen::ValuesSchemaGenerator;
 use kubefence::{ConfigurationExplorer, GeneratorConfig, PolicyGenerator};
-use kf_workloads::Operator;
 
 fn pick_operator() -> Operator {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mlflow".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mlflow".to_owned());
     Operator::ALL
         .into_iter()
         .find(|o| o.name().eq_ignore_ascii_case(&name))
@@ -27,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let schema = ValuesSchemaGenerator::default().generate(chart.values());
     println!("\n--- values schema (placeholders, enumerations, locked constants) ---");
     println!("{}", schema.to_yaml());
-    println!("enumerative fields: {:?}", schema.enums().keys().collect::<Vec<_>>());
+    println!(
+        "enumerative fields: {:?}",
+        schema.enums().keys().collect::<Vec<_>>()
+    );
 
     // Phase 2: configuration-space exploration.
     let variants = ConfigurationExplorer::new().variants(&schema);

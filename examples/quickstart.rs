@@ -51,13 +51,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = proxy
         .upstream()
         .store()
-        .get(deployment.kind, operator.namespace(), &deployment.object_name)
+        .get(
+            deployment.kind,
+            operator.namespace(),
+            &deployment.object_name,
+        )
         .expect("deployment stored")
         .object;
-    let malicious = exploit.inject(&base).expect("deployment carries a pod spec");
+    let malicious = exploit
+        .inject(&base)
+        .expect("deployment carries a pod spec");
     let response = proxy.handle(&ApiRequest::update(&operator.user(), &malicious));
 
-    println!("\nattack E1 (hostNetwork) response: HTTP {}", response.status.code());
+    println!(
+        "\nattack E1 (hostNetwork) response: HTTP {}",
+        response.status.code()
+    );
     println!("  {}", response.message);
     println!("\nproxy statistics: {:?}", proxy.stats());
     assert!(response.is_denied());

@@ -1,0 +1,3 @@
+//! Root package: hosts the repository-level integration tests (`tests/`) and
+//! runnable examples (`examples/`). All functionality lives in the workspace
+//! crates under `crates/`.

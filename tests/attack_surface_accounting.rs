@@ -3,9 +3,9 @@
 //! RBAC for every workload, with the gap largest for workloads that touch
 //! many endpoints (SonarQube).
 
+use k8s_model::ResourceKind;
 use kf_workloads::Operator;
 use kubefence::{AttackSurfaceAnalyzer, GeneratorConfig, PolicyGenerator, Validator};
-use k8s_model::ResourceKind;
 
 fn validators() -> Vec<(Operator, Validator)> {
     Operator::ALL
@@ -48,7 +48,10 @@ fn sonarqube_has_the_lowest_rbac_reduction() {
     let mut reductions: Vec<(Operator, f64)> = validators()
         .iter()
         .map(|(operator, validator)| {
-            (*operator, analyzer.analyze(validator).rbac_reduction_percent())
+            (
+                *operator,
+                analyzer.analyze(validator).rbac_reduction_percent(),
+            )
         })
         .collect();
     reductions.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
@@ -95,9 +98,17 @@ fn figure9_usage_structure_holds() {
             );
         }
     }
-    for operator in [Operator::Nginx, Operator::Mlflow, Operator::Postgresql, Operator::Rabbitmq] {
+    for operator in [
+        Operator::Nginx,
+        Operator::Mlflow,
+        Operator::Postgresql,
+        Operator::Rabbitmq,
+    ] {
         assert_eq!(
-            surfaces[&operator].usage_for(ResourceKind::Pod).unwrap().used_fields,
+            surfaces[&operator]
+                .usage_for(ResourceKind::Pod)
+                .unwrap()
+                .used_fields,
             0,
             "{operator} should not use the Pod endpoint"
         );

@@ -17,7 +17,11 @@ fn learned_rbac_policy(operator: Operator) -> k8s_rbac::RbacPolicySet {
     let learning_server = ApiServer::new().with_admin(&operator.user());
     DeploymentDriver::new(operator).deploy(&learning_server);
     let log = learning_server.audit_log();
-    audit2rbac(log.events(), &operator.user(), &Audit2RbacOptions::default())
+    audit2rbac(
+        log.events(),
+        &operator.user(),
+        &Audit2RbacOptions::default(),
+    )
 }
 
 fn executor_for(operator: Operator) -> AttackExecutor {
@@ -113,7 +117,11 @@ fn kubefence_still_serves_the_legitimate_workload_while_under_attack() {
     let mut denied = 0;
     for (i, request) in legit_requests.iter().enumerate() {
         let response = proxy.handle(request);
-        assert!(response.is_success(), "legitimate request denied: {}", response.message);
+        assert!(
+            response.is_success(),
+            "legitimate request denied: {}",
+            response.message
+        );
         if let Some((_, malicious)) = attacks.get(i) {
             let attack_request = k8s_apiserver::ApiRequest::create(&operator.user(), malicious);
             if proxy.handle(&attack_request).is_denied() {

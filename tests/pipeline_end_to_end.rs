@@ -1,9 +1,9 @@
 //! End-to-end policy generation for all five operators: chart → values schema
 //! → variants → rendered manifests → validator.
 
-use kubefence::{GeneratorConfig, PolicyGenerator};
-use kf_workloads::Operator;
 use k8s_model::ResourceKind;
+use kf_workloads::Operator;
+use kubefence::{GeneratorConfig, PolicyGenerator};
 use std::collections::BTreeSet;
 
 fn generator_for(operator: Operator) -> PolicyGenerator {
@@ -74,7 +74,9 @@ fn validators_restrict_unused_endpoints_entirely() {
     ] {
         let validator = generator_for(operator).generate(&operator.chart()).unwrap();
         assert!(
-            !validator.kinds().contains(&ResourceKind::ValidatingWebhookConfiguration),
+            !validator
+                .kinds()
+                .contains(&ResourceKind::ValidatingWebhookConfiguration),
             "{operator} should not allow admission webhooks"
         );
         assert!(!validator.kinds().contains(&ResourceKind::Pod));

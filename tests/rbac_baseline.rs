@@ -42,8 +42,17 @@ fn learned_policies_deny_unused_kinds_and_foreign_users() {
     let policy = learned_policy(operator);
     // Nginx never touches Secrets or Pods.
     for kind in [ResourceKind::Secret, ResourceKind::Pod] {
-        let review = AccessReview::new(&operator.user(), Verb::Create, kind, operator.namespace(), "");
-        assert!(!policy.authorize(&review).is_allowed(), "{kind} should be denied");
+        let review = AccessReview::new(
+            &operator.user(),
+            Verb::Create,
+            kind,
+            operator.namespace(),
+            "",
+        );
+        assert!(
+            !policy.authorize(&review).is_allowed(),
+            "{kind} should be denied"
+        );
     }
     // Another identity gains nothing from this policy.
     let review = AccessReview::new(
