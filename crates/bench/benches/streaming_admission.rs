@@ -1,0 +1,242 @@
+//! Validate-while-parse vs tree-parse-then-validate on raw wire bytes.
+//!
+//! The streaming admission plane (`kubefence::stream`) tokenizes a raw
+//! request body once and advances compiled-arena matchers as events arrive,
+//! allocating no document tree on the accept path. This benchmark holds the
+//! *validation* plane constant (both paths check against the same compiled
+//! arenas) and varies only the *parsing* strategy:
+//!
+//! * **streaming** — `ValidatorSet::validate_raw`: validate while
+//!   tokenizing, early-deny at the first fatal violation;
+//! * **tree** — `ValidatorSet::validate_raw_tree`: parse the full document
+//!   into a `Value` tree, then validate it (the reference semantics).
+//!
+//! Three traffic classes are replayed from 1, 4 and 8 threads:
+//!
+//! * **accept** — every operator's legitimate manifests (the common case:
+//!   the acceptance criterion is streaming > tree at 8 threads here);
+//! * **deny-early** — the attack catalog's malicious manifests (the stream
+//!   stops at the deciding event, then re-parses once for the audit report);
+//! * **unparsable** — truncated/corrupted payloads (the stream rejects at
+//!   the defect; the tree path pays a full failed parse).
+//!
+//! A proxy-level run (EnforcementProxy vs BaselineProxy over a raw
+//! `ThroughputDriver` pool) closes the loop end-to-end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use k8s_apiserver::ApiServer;
+use kf_attacks::AttackExecutor;
+use kf_bench::validator_for;
+use kf_workloads::{DeploymentDriver, Operator, ThroughputDriver};
+use kubefence::{BaselineProxy, EnforcementProxy, ValidatorSet};
+
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+const REQUESTS_PER_THREAD: usize = 2_000;
+
+fn validators() -> ValidatorSet {
+    let mut set = ValidatorSet::new();
+    for operator in Operator::ALL {
+        set.push(validator_for(operator));
+    }
+    set
+}
+
+/// Every operator's legitimate manifests, as wire bytes.
+fn accept_pool() -> Vec<String> {
+    Operator::ALL
+        .iter()
+        .flat_map(|operator| {
+            DeploymentDriver::new(*operator)
+                .objects()
+                .iter()
+                .map(|object| object.to_yaml())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// The attack catalog's malicious manifests, as wire bytes.
+fn deny_pool() -> Vec<String> {
+    Operator::ALL
+        .iter()
+        .flat_map(|operator| {
+            let driver = DeploymentDriver::new(*operator);
+            AttackExecutor::new(
+                &operator.user(),
+                operator.namespace(),
+                driver.objects().to_vec(),
+            )
+            .malicious_objects()
+            .into_iter()
+            .map(|(_spec, object)| object.to_yaml())
+            .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Corrupted payloads: legitimate manifests truncated mid-token and with
+/// indentation damage — what malformed or hostile wire traffic looks like.
+fn unparsable_pool() -> Vec<String> {
+    accept_pool()
+        .into_iter()
+        .enumerate()
+        .map(|(i, text)| match i % 3 {
+            0 => text[..text.len() * 2 / 3].to_owned() + "\n  {truncated",
+            1 => text.replace("kind:", "   kind:"),
+            _ => format!("{text}---\n{text}"),
+        })
+        .collect()
+}
+
+/// Replay `pool` from `threads` threads against one of the two raw paths;
+/// returns sustained requests/sec and the admitted count (sanity).
+fn replay(set: &ValidatorSet, pool: &[String], threads: usize, streaming: bool) -> (f64, u64) {
+    let admitted = AtomicU64::new(0);
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let admitted = &admitted;
+            scope.spawn(move || {
+                let offset = thread * pool.len() / threads.max(1);
+                let mut local = 0u64;
+                for i in 0..REQUESTS_PER_THREAD {
+                    let text = &pool[(offset + i) % pool.len()];
+                    let verdict = if streaming {
+                        set.validate_raw(text)
+                    } else {
+                        set.validate_raw_tree(text)
+                    };
+                    if verdict.is_admitted() {
+                        local += 1;
+                    }
+                }
+                admitted.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let total = (threads * REQUESTS_PER_THREAD) as f64;
+    (total / elapsed, admitted.into_inner())
+}
+
+fn print_scaling_table() {
+    let set = validators();
+    let pools: [(&str, Vec<String>); 3] = [
+        ("accept", accept_pool()),
+        ("deny-early", deny_pool()),
+        ("unparsable", unparsable_pool()),
+    ];
+    println!("\n=== Streaming admission: validate-while-parse vs tree-parse-then-validate ===");
+    let mut accept_stream_at_8 = 0.0f64;
+    let mut accept_tree_at_8 = 0.0f64;
+    for (label, pool) in &pools {
+        println!(
+            "\n--- {label} traffic ({} distinct payloads, {} requests/thread) ---",
+            pool.len(),
+            REQUESTS_PER_THREAD
+        );
+        for threads in THREAD_COUNTS {
+            let (stream_rps, stream_admitted) = replay(&set, pool, threads, true);
+            let (tree_rps, tree_admitted) = replay(&set, pool, threads, false);
+            assert_eq!(
+                stream_admitted, tree_admitted,
+                "verdict parity must hold under replay"
+            );
+            println!(
+                "{label:<12} {threads} threads   streaming {stream_rps:>12.0} req/s   tree {tree_rps:>12.0} req/s   ({:.2}x)",
+                stream_rps / tree_rps.max(1e-9)
+            );
+            if *label == "accept" && threads == 8 {
+                accept_stream_at_8 = stream_rps;
+                accept_tree_at_8 = tree_rps;
+            }
+        }
+    }
+    println!(
+        "\n8-thread accept verdict: streaming {accept_stream_at_8:.0} req/s vs tree {accept_tree_at_8:.0} req/s  ({:.2}x)  {}",
+        accept_stream_at_8 / accept_tree_at_8.max(1e-9),
+        if accept_stream_at_8 > accept_tree_at_8 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+}
+
+fn print_proxy_table() {
+    println!("\n=== End-to-end: raw traffic through the proxies (8 threads) ===");
+    let driver = ThroughputDriver::for_operators_raw(&Operator::ALL);
+    let server = || {
+        let mut server = ApiServer::new();
+        for operator in Operator::ALL {
+            server = server.with_admin(&operator.user());
+        }
+        server
+    };
+    let streaming = EnforcementProxy::with_validators(server(), validators());
+    let report = driver.run(&streaming, 8, REQUESTS_PER_THREAD);
+    println!(
+        "enforcement (streaming)      {:>12.0} req/s   p50 {:>9.1} µs   p99 {:>9.1} µs   ({} admitted / {} denied)",
+        report.requests_per_sec(),
+        report.p50.as_nanos() as f64 / 1e3,
+        report.p99.as_nanos() as f64 / 1e3,
+        report.admitted,
+        report.denied,
+    );
+    let baseline = BaselineProxy::with_validators(server(), validators());
+    let report = driver.run(&baseline, 8, REQUESTS_PER_THREAD);
+    println!(
+        "baseline (parse-then-tree)   {:>12.0} req/s   p50 {:>9.1} µs   p99 {:>9.1} µs   ({} admitted / {} denied)",
+        report.requests_per_sec(),
+        report.p50.as_nanos() as f64 / 1e3,
+        report.p99.as_nanos() as f64 / 1e3,
+        report.admitted,
+        report.denied,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_scaling_table();
+    print_proxy_table();
+    // Criterion-tracked single-payload latency of both raw paths, so
+    // regressions show up in per-iteration numbers as well.
+    let set = validators();
+    let accept = accept_pool();
+    let deny = deny_pool();
+    let mut group = c.benchmark_group("streaming_admission");
+    group.bench_function("validate_raw_accept", |b| {
+        b.iter(|| {
+            for text in &accept {
+                criterion::black_box(set.validate_raw(text).is_admitted());
+            }
+        })
+    });
+    group.bench_function("validate_raw_tree_accept", |b| {
+        b.iter(|| {
+            for text in &accept {
+                criterion::black_box(set.validate_raw_tree(text).is_admitted());
+            }
+        })
+    });
+    group.bench_function("validate_raw_deny", |b| {
+        b.iter(|| {
+            for text in &deny {
+                criterion::black_box(set.validate_raw(text).is_admitted());
+            }
+        })
+    });
+    group.bench_function("validate_raw_tree_deny", |b| {
+        b.iter(|| {
+            for text in &deny {
+                criterion::black_box(set.validate_raw_tree(text).is_admitted());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -210,15 +210,42 @@ impl CompiledValidator {
         violations
     }
 
-    fn entries(&self, start: u32, len: u32) -> &[MapEntry] {
+    pub(crate) fn entries(&self, start: u32, len: u32) -> &[MapEntry] {
         &self.map_entries[start as usize..(start + len) as usize]
     }
 
-    fn lookup<'a>(&self, entries: &'a [MapEntry], key: &str) -> Option<&'a MapEntry> {
+    pub(crate) fn lookup<'a>(&self, entries: &'a [MapEntry], key: &str) -> Option<&'a MapEntry> {
         entries
             .binary_search_by(|entry| self.strings[entry.key as usize].as_str().cmp(key))
             .ok()
             .map(|i| &entries[i])
+    }
+
+    /// The arena root for a kind, if the validator covers it. Used by the
+    /// streaming matcher (see [`crate::stream`]).
+    pub(crate) fn kind_root(&self, kind: ResourceKind) -> Option<u32> {
+        let root = self.kind_roots[kind.index()];
+        (root != NO_ROOT).then_some(root)
+    }
+
+    /// The arena node at `index`.
+    pub(crate) fn node(&self, index: u32) -> CompiledNode {
+        self.nodes[index as usize]
+    }
+
+    /// The constant/enumeration value at `index`.
+    pub(crate) fn value(&self, index: u32) -> &Value {
+        &self.values[index as usize]
+    }
+
+    /// The contiguous enumeration options `[start, start + len)`.
+    pub(crate) fn values_slice(&self, start: u32, len: u32) -> &[Value] {
+        &self.values[start as usize..(start + len) as usize]
+    }
+
+    /// The pre-split pattern at `index`.
+    pub(crate) fn pattern(&self, index: u32) -> &CompiledPattern {
+        &self.patterns[index as usize]
     }
 
     fn complies(&self, index: u32, value: &Value) -> bool {

@@ -59,6 +59,7 @@ mod pipeline;
 pub mod proxy;
 pub mod schema_gen;
 pub mod security;
+pub mod stream;
 pub mod surface;
 pub mod validator;
 
@@ -69,6 +70,7 @@ pub use pipeline::{GeneratorConfig, PolicyGenerator};
 pub use proxy::{BaselineProxy, DenialRecord, EnforcementProxy, ProxyStats};
 pub use schema_gen::{ValuesSchema, ValuesSchemaGenerator};
 pub use security::{SecurityLock, SecurityLocks};
+pub use stream::{RawVerdict, SourceLocation};
 pub use surface::{AttackSurfaceAnalyzer, SurfaceReport, WorkloadSurface};
 pub use validator::{PolicyNode, TypeTag, Validator, ValidatorSet, Violation, ViolationReason};
 

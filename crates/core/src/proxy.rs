@@ -23,9 +23,11 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use k8s_apiserver::{ApiRequest, ApiResponse, RequestHandler, ResponseStatus};
+use k8s_apiserver::{ApiRequest, ApiResponse, RequestBody, RequestHandler, ResponseStatus};
 use k8s_model::ResourceKind;
+use kf_yaml::Value;
 
+use crate::stream::{RawVerdict, SourceLocation};
 use crate::validator::{Validator, ValidatorSet, Violation, ViolationReason};
 
 /// One denied request, as logged by the proxy for auditing and forensics.
@@ -39,6 +41,9 @@ pub struct DenialRecord {
     pub object_name: String,
     /// The violations that caused the denial (offending field and reason).
     pub violations: Vec<Violation>,
+    /// For raw (wire-bytes) bodies: the line/byte offset of the violating
+    /// field or parse error in the payload. `None` on the legacy tree path.
+    pub location: Option<SourceLocation>,
 }
 
 /// Aggregate statistics kept by the proxy.
@@ -67,31 +72,54 @@ impl ProxyStats {
     }
 }
 
-/// Per-field atomic counters behind [`ProxyStats`]: concurrent requests
-/// update disjoint cache lines-worth of state without taking any lock.
+/// An atomic counter padded to its own cache line, so RMW traffic on one
+/// counter never steals line ownership from the others (no false sharing).
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedCounter(AtomicU64);
+
+impl PaddedCounter {
+    fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Per-field atomic counters behind [`ProxyStats`]: each counter owns a
+/// full cache line, so concurrent requests update genuinely disjoint lines
+/// without taking any lock.
 #[derive(Debug, Default)]
 struct AtomicStats {
-    forwarded: AtomicU64,
-    denied: AtomicU64,
-    passthrough: AtomicU64,
-    validation_time_us: AtomicU64,
+    forwarded: PaddedCounter,
+    denied: PaddedCounter,
+    passthrough: PaddedCounter,
+    /// Accumulated in **nanoseconds** (per-request µs accumulation would
+    /// truncate sub-µs validations to zero); reported in µs.
+    validation_time_ns: PaddedCounter,
 }
 
 impl AtomicStats {
     fn snapshot(&self) -> ProxyStats {
         ProxyStats {
-            forwarded: self.forwarded.load(Ordering::Relaxed),
-            denied: self.denied.load(Ordering::Relaxed),
-            passthrough: self.passthrough.load(Ordering::Relaxed),
-            validation_time_us: self.validation_time_us.load(Ordering::Relaxed),
+            forwarded: self.forwarded.get(),
+            denied: self.denied.get(),
+            passthrough: self.passthrough.get(),
+            validation_time_us: self.validation_time_ns.get() / 1_000,
         }
     }
 
     fn reset(&self) {
-        self.forwarded.store(0, Ordering::Relaxed);
-        self.denied.store(0, Ordering::Relaxed);
-        self.passthrough.store(0, Ordering::Relaxed);
-        self.validation_time_us.store(0, Ordering::Relaxed);
+        self.forwarded.reset();
+        self.denied.reset();
+        self.passthrough.reset();
+        self.validation_time_ns.reset();
     }
 }
 
@@ -103,40 +131,48 @@ const DENIAL_SHARDS: usize = 8;
 
 /// A bounded, sharded ring buffer of [`DenialRecord`]s.
 ///
-/// Writers are spread over [`DENIAL_SHARDS`] independently locked rings by a
-/// global sequence counter, so concurrent denials contend only 1/N of the
-/// time and the common (admit) path never touches the log at all. When a
-/// shard is full the oldest record in that shard is evicted — enforcement
-/// never blocks or grows without bound because of audit bookkeeping.
-/// Snapshots are reassembled in global admission order via the sequence
-/// stamps.
+/// Writers are spread over up to [`DENIAL_SHARDS`] independently locked
+/// rings by a global sequence counter, so concurrent denials contend only
+/// 1/N of the time and the common (admit) path never touches the log at
+/// all. When a shard is full the oldest record in that shard is evicted —
+/// enforcement never blocks or grows without bound because of audit
+/// bookkeeping. The requested total capacity is distributed exactly across
+/// the shards (small capacities get fewer shards), so the retained count
+/// never exceeds it. Snapshots are reassembled in global admission order
+/// via the sequence stamps.
 #[derive(Debug)]
 struct DenialLog {
     shards: Vec<Mutex<VecDeque<(u64, DenialRecord)>>>,
+    /// Per-shard record bounds; sums to the requested total capacity.
+    shard_capacities: Vec<usize>,
     /// Global order stamp; also selects the shard for each record.
     seq: AtomicU64,
     /// Records evicted because a shard reached capacity.
     dropped: AtomicU64,
-    per_shard_capacity: usize,
 }
 
 impl DenialLog {
     fn new(total_capacity: usize) -> Self {
-        let per_shard_capacity = total_capacity.div_ceil(DENIAL_SHARDS).max(1);
+        let capacity = total_capacity.max(1);
+        let shard_count = DENIAL_SHARDS.min(capacity);
+        let shard_capacities: Vec<usize> = (0..shard_count)
+            .map(|i| capacity / shard_count + usize::from(i < capacity % shard_count))
+            .collect();
         DenialLog {
-            shards: (0..DENIAL_SHARDS)
+            shards: (0..shard_count)
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
+            shard_capacities,
             seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            per_shard_capacity,
         }
     }
 
     fn record(&self, record: DenialRecord) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shards[(seq as usize) % DENIAL_SHARDS].lock();
-        if shard.len() == self.per_shard_capacity {
+        let index = (seq as usize) % self.shards.len();
+        let mut shard = self.shards[index].lock();
+        if shard.len() == self.shard_capacities[index] {
             shard.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
@@ -167,14 +203,29 @@ impl DenialLog {
 }
 
 /// The violation the proxy records for a body that does not parse as a
-/// Kubernetes object of a known kind.
-fn unparsable_body_violation() -> Violation {
+/// Kubernetes object of a known kind. When the tokenizer reported a precise
+/// defect (position + reason), it is threaded into the record.
+fn unparsable_body_violation(detail: Option<&str>) -> Violation {
     Violation {
         path: "<request body>".to_owned(),
         reason: ViolationReason::StructureMismatch {
             expected: "recognizable Kubernetes object".to_owned(),
-            found: "unparsable or unknown-kind body".to_owned(),
+            found: match detail {
+                Some(detail) => format!("unparsable or unknown-kind body ({detail})"),
+                None => "unparsable or unknown-kind body".to_owned(),
+            },
         },
+    }
+}
+
+/// The denial message for an unparsable body, with the parse defect when
+/// known.
+fn unparsable_body_message(detail: Option<&str>) -> String {
+    match detail {
+        Some(detail) => {
+            format!("KubeFence: request body is not a recognizable Kubernetes object ({detail})")
+        }
+        None => "KubeFence: request body is not a recognizable Kubernetes object".to_owned(),
     }
 }
 
@@ -245,29 +296,41 @@ impl<H: RequestHandler> EnforcementProxy<H> {
         request: &ApiRequest,
         violations: Vec<Violation>,
         message: String,
+        location: Option<SourceLocation>,
     ) -> ApiResponse {
-        self.stats.denied.fetch_add(1, Ordering::Relaxed);
+        self.stats.denied.add(1);
         self.denials.record(DenialRecord {
             user: request.user.clone(),
             kind: request.kind,
             object_name: request.name.clone(),
             violations,
+            location,
         });
         ApiResponse::error(ResponseStatus::Forbidden, message)
     }
-}
 
-impl<H: RequestHandler> RequestHandler for EnforcementProxy<H> {
-    fn handle(&self, request: &ApiRequest) -> ApiResponse {
-        // Only mutating requests carry specifications to validate; reads are
-        // forwarded untouched (RBAC still applies upstream).
-        let Some(body) = &request.body else {
-            self.stats.passthrough.fetch_add(1, Ordering::Relaxed);
-            return self.upstream.handle(request);
-        };
+    fn deny_policy(
+        &self,
+        request: &ApiRequest,
+        violations: Vec<Violation>,
+        location: Option<SourceLocation>,
+    ) -> ApiResponse {
+        let message = format!(
+            "KubeFence: request denied by workload policy: {}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        self.deny(request, violations, message, location)
+    }
+
+    /// The legacy path: a pre-parsed tree body. Probes validity without
+    /// materializing (deep-cloning) an object; the compiled plane validates
+    /// the borrowed body in place.
+    fn handle_tree(&self, request: &ApiRequest, body: &Value) -> ApiResponse {
         let started = Instant::now();
-        // Probe validity without materializing (deep-cloning) an object; the
-        // compiled plane validates the borrowed body in place.
         let kind = match k8s_model::K8sObject::peek_kind(body) {
             Ok(kind) => kind,
             Err(_) => {
@@ -276,35 +339,74 @@ impl<H: RequestHandler> RequestHandler for EnforcementProxy<H> {
                 // that is validation work, and the denial belongs in the
                 // audit trail like any other.
                 self.stats
-                    .validation_time_us
-                    .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    .validation_time_ns
+                    .add(started.elapsed().as_nanos() as u64);
                 return self.deny(
                     request,
-                    vec![unparsable_body_violation()],
-                    "KubeFence: request body is not a recognizable Kubernetes object".to_owned(),
+                    vec![unparsable_body_violation(None)],
+                    unparsable_body_message(None),
+                    None,
                 );
             }
         };
         let verdict = self.validators.validate_kind_body(kind, body);
         self.stats
-            .validation_time_us
-            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            .validation_time_ns
+            .add(started.elapsed().as_nanos() as u64);
         match verdict {
             Ok(()) => {
-                self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                self.stats.forwarded.add(1);
                 self.upstream.handle(request)
             }
-            Err(violations) => {
-                let message = format!(
-                    "KubeFence: request denied by workload policy: {}",
-                    violations
-                        .iter()
-                        .map(ToString::to_string)
-                        .collect::<Vec<_>>()
-                        .join("; ")
-                );
-                self.deny(request, violations, message)
+            Err(violations) => self.deny_policy(request, violations, None),
+        }
+    }
+
+    /// The wire-faithful path: raw bytes are validated **while parsing**;
+    /// no document tree is allocated on the accept path and a denial stops
+    /// tokenizing at the deciding event.
+    fn handle_raw(&self, request: &ApiRequest, bytes: &[u8]) -> ApiResponse {
+        let started = Instant::now();
+        let verdict = match std::str::from_utf8(bytes) {
+            Ok(text) => self.validators.validate_raw(text),
+            Err(_) => RawVerdict::Unparsable {
+                reason: "request body is not valid UTF-8".to_owned(),
+                location: None,
+            },
+        };
+        self.stats
+            .validation_time_ns
+            .add(started.elapsed().as_nanos() as u64);
+        match verdict {
+            RawVerdict::Admitted => {
+                self.stats.forwarded.add(1);
+                self.upstream.handle(request)
             }
+            RawVerdict::Denied {
+                violations,
+                location,
+            } => self.deny_policy(request, violations, location),
+            RawVerdict::Unparsable { reason, location } => self.deny(
+                request,
+                vec![unparsable_body_violation(Some(&reason))],
+                unparsable_body_message(Some(&reason)),
+                location,
+            ),
+        }
+    }
+}
+
+impl<H: RequestHandler> RequestHandler for EnforcementProxy<H> {
+    fn handle(&self, request: &ApiRequest) -> ApiResponse {
+        // Only mutating requests carry specifications to validate; reads are
+        // forwarded untouched (RBAC still applies upstream).
+        match &request.body {
+            RequestBody::None => {
+                self.stats.passthrough.add(1);
+                self.upstream.handle(request)
+            }
+            RequestBody::Tree(body) => self.handle_tree(request, body),
+            RequestBody::Raw(bytes) => self.handle_raw(request, bytes),
         }
     }
 }
@@ -312,10 +414,13 @@ impl<H: RequestHandler> RequestHandler for EnforcementProxy<H> {
 /// The pre-refactor proxy, kept verbatim as the measurement baseline: one
 /// mutex around the aggregate statistics, one around an unbounded denial
 /// vector, and tree-walking validation via
-/// [`ValidatorSet::validate_tree_scan`]. The concurrency benchmark
-/// (`benches/concurrency_throughput.rs`) quantifies what the compiled plane
-/// and the atomic bookkeeping buy over this implementation; differential
-/// tests assert both proxies reach identical verdicts.
+/// [`ValidatorSet::validate_tree_scan`]. Raw bodies take the
+/// *parse-then-validate* route — the full document tree is materialized
+/// before the first policy check, which is exactly what the streaming plane
+/// avoids. The concurrency and `streaming_admission` benchmarks quantify
+/// what the compiled plane, the atomic bookkeeping and validate-while-parse
+/// buy over this implementation; differential tests assert both proxies
+/// reach identical verdicts.
 #[derive(Debug)]
 pub struct BaselineProxy<H> {
     upstream: H,
@@ -369,11 +474,12 @@ impl<H: RequestHandler> RequestHandler for BaselineProxy<H> {
                     user: request.user.clone(),
                     kind: request.kind,
                     object_name: request.name.clone(),
-                    violations: vec![unparsable_body_violation()],
+                    violations: vec![unparsable_body_violation(None)],
+                    location: None,
                 });
                 return ApiResponse::error(
                     ResponseStatus::Forbidden,
-                    "KubeFence: request body is not a recognizable Kubernetes object",
+                    unparsable_body_message(None),
                 );
             }
         };
@@ -403,6 +509,7 @@ impl<H: RequestHandler> RequestHandler for BaselineProxy<H> {
                     kind: request.kind,
                     object_name: request.name.clone(),
                     violations,
+                    location: None,
                 });
                 ApiResponse::error(ResponseStatus::Forbidden, message)
             }
@@ -520,7 +627,7 @@ spec:
             kind: ResourceKind::Deployment,
             namespace: "default".to_owned(),
             name: "mystery".to_owned(),
-            body: Some(kf_yaml::parse("replicas: 3\n").unwrap()),
+            body: kf_yaml::parse("replicas: 3\n").unwrap().into(),
         };
         let response = proxy.handle(&request);
         assert!(response.is_denied());
@@ -535,13 +642,17 @@ spec:
             denials[0].violations[0].reason,
             ViolationReason::StructureMismatch { .. }
         ));
-        // …and the time spent rejecting it is accounted as validation work.
-        // (Instant resolution can make a single parse round to 0 µs, so
-        // accumulate a few.)
+        // …and the time spent rejecting it is accounted as validation work
+        // (accumulated in nanoseconds, so even sub-µs rejections register).
         for _ in 0..50 {
             proxy.handle(&request);
         }
-        assert!(proxy.stats().validation_time_us > 0 || proxy.stats().denied == 51);
+        let stats = proxy.stats();
+        assert_eq!(stats.denied, 51);
+        assert!(
+            stats.validation_time_us > 0,
+            "denial-path validation time must be accounted"
+        );
     }
 
     #[test]
@@ -623,5 +734,154 @@ spec:
         }
         assert_eq!(fast.stats().total(), slow.stats().total());
         assert_eq!(fast.denials().len(), slow.denials().len());
+    }
+
+    #[test]
+    fn raw_bodies_stream_through_the_proxy() {
+        let proxy = proxy();
+        let ok = K8sObject::from_yaml(&allowed_manifest().replace("replicas: int", "replicas: 3"))
+            .unwrap();
+        let response = proxy.handle(&ApiRequest::create_raw("operator", &ok));
+        assert!(response.is_success());
+        assert_eq!(proxy.upstream().store().len(), 1);
+        // A hostile raw body is denied with the violating field's location.
+        let evil_yaml = allowed_manifest()
+            .replace("replicas: int", "replicas: 3")
+            .replace(
+                "    spec:\n      containers:",
+                "    spec:\n      hostNetwork: true\n      containers:",
+            );
+        let evil = K8sObject::from_yaml(&evil_yaml).unwrap();
+        let request = ApiRequest::create_raw("operator", &evil);
+        let response = proxy.handle(&request);
+        assert!(response.is_denied());
+        assert!(response.message.contains("hostNetwork"));
+        let denials = proxy.denials();
+        assert_eq!(denials.len(), 1);
+        let location = denials[0]
+            .location
+            .expect("raw denials carry the violating field's location");
+        let text = String::from_utf8(request.payload().to_vec()).unwrap();
+        let offset = location
+            .offset
+            .expect("stream-decided denial has an offset");
+        assert!(text[offset..].starts_with("hostNetwork"));
+    }
+
+    #[test]
+    fn raw_unparsable_bodies_report_position_and_reason() {
+        let proxy = proxy();
+        let request = ApiRequest {
+            user: "mallory".to_owned(),
+            verb: Verb::Create,
+            kind: ResourceKind::Deployment,
+            namespace: "default".to_owned(),
+            name: "mystery".to_owned(),
+            body: k8s_apiserver::RequestBody::Raw(
+                "kind: Deployment\nmetadata:\n  name: x\n   badly: indented\n".into(),
+            ),
+        };
+        let response = proxy.handle(&request);
+        assert!(response.is_denied());
+        assert!(
+            response.message.contains("line 4"),
+            "message must carry the parse position: {}",
+            response.message
+        );
+        let denials = proxy.denials();
+        assert_eq!(denials.len(), 1);
+        // The violation text carries the tokenizer's reason…
+        let ViolationReason::StructureMismatch { found, .. } = &denials[0].violations[0].reason
+        else {
+            panic!("expected a structure mismatch violation");
+        };
+        assert!(found.contains("line 4"), "violation was: {found}");
+        // …and the record carries the parse position.
+        assert_eq!(denials[0].location.unwrap().line, 4);
+    }
+
+    #[test]
+    fn raw_and_tree_bodies_reach_identical_verdicts() {
+        let proxy = proxy();
+        let ok = K8sObject::from_yaml(&allowed_manifest().replace("replicas: int", "replicas: 3"))
+            .unwrap();
+        let bad = K8sObject::minimal(ResourceKind::Secret, "s", "default");
+        for object in [&ok, &bad] {
+            // Repeated creates hit apply semantics (201 then 200), so compare
+            // the admit/deny verdict, not the exact status class.
+            let tree = proxy.handle(&ApiRequest::create("operator", object));
+            let raw = proxy.handle(&ApiRequest::create_raw("operator", object));
+            assert_eq!(
+                tree.is_success(),
+                raw.is_success(),
+                "verdict diverged for {}",
+                object.name()
+            );
+            assert_eq!(tree.is_denied(), raw.is_denied());
+        }
+    }
+
+    #[test]
+    fn denial_ring_honors_capacities_that_are_not_shard_multiples() {
+        let manifests = vec![kf_yaml::parse(&allowed_manifest()).unwrap()];
+        let validator = Validator::from_manifests("demo", &manifests).unwrap();
+        for capacity in [1usize, 3, 12, 17] {
+            let proxy = EnforcementProxy::with_denial_capacity(
+                ApiServer::new(),
+                ValidatorSet::single(validator.clone()),
+                capacity,
+            );
+            for i in 0..50 {
+                let secret = K8sObject::minimal(ResourceKind::Secret, &format!("s{i}"), "default");
+                proxy.handle(&ApiRequest::create("operator", &secret));
+            }
+            let retained = proxy.denials().len();
+            assert!(
+                retained <= capacity,
+                "capacity {capacity}: retained {retained} exceeds the requested bound"
+            );
+            assert_eq!(retained as u64 + proxy.dropped_denials(), 50);
+        }
+    }
+
+    #[test]
+    fn concurrent_overflow_keeps_exact_denial_accounting() {
+        // Satellite: N threads force the sharded denial ring past capacity;
+        // retained + dropped must equal the total denials with no
+        // double-counting.
+        let manifests = vec![kf_yaml::parse(&allowed_manifest()).unwrap()];
+        let validator = Validator::from_manifests("demo", &manifests).unwrap();
+        let proxy = EnforcementProxy::with_denial_capacity(
+            ApiServer::new(),
+            ValidatorSet::single(validator),
+            32,
+        );
+        const THREADS: usize = 8;
+        const DENIALS_PER_THREAD: usize = 200;
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let proxy = &proxy;
+                scope.spawn(move || {
+                    for i in 0..DENIALS_PER_THREAD {
+                        let secret = K8sObject::minimal(
+                            ResourceKind::Secret,
+                            &format!("s-{thread}-{i}"),
+                            "default",
+                        );
+                        let response = proxy.handle(&ApiRequest::create("operator", &secret));
+                        assert!(response.is_denied());
+                    }
+                });
+            }
+        });
+        let total = (THREADS * DENIALS_PER_THREAD) as u64;
+        assert_eq!(proxy.stats().denied, total);
+        let retained = proxy.denials().len() as u64;
+        assert!(retained <= 32, "ring must stay bounded, got {retained}");
+        assert_eq!(
+            retained + proxy.dropped_denials(),
+            total,
+            "every denial is either retained or counted as dropped, exactly once"
+        );
     }
 }

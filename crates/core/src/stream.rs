@@ -1,0 +1,847 @@
+//! Validate-while-parse enforcement: the streaming admission plane.
+//!
+//! The compiled arena ([`crate::compile`]) removed tree walks from
+//! *validation*; this module removes the tree from *parsing*. A raw request
+//! body is tokenized once by the pull-based [`kf_yaml::events::Tokenizer`]
+//! and a small state machine per candidate validator (the
+//! [`StreamMatcher`]) advances arena node ids as events arrive:
+//!
+//! * the object's `kind:` is discovered during tokenization (no separate
+//!   `peek_kind` pre-pass over a parsed tree);
+//! * on the accept path **no document tree is ever allocated** — keys and
+//!   scalars borrow from the wire buffer and are checked directly against
+//!   the compiled nodes;
+//! * the first event at which every candidate matcher has failed decides the
+//!   denial (*early deny*): tokenization stops there, and the event's source
+//!   position is reported in the denial record;
+//! * the rare constructs the stream cannot decide (root-level fields seen
+//!   before `kind:` whose values are containers, and constant/enumeration
+//!   policies over container values) fall back to the tree path —
+//!   [`ValidatorSet::validate_raw_tree`], which is also the reference
+//!   implementation the parity fuzz tests pin the streaming verdicts to.
+//!
+//! Only the *admit* verdict and the policy-denial *decision* are computed
+//! in-stream; every report (denial violations, envelope defects,
+//! multi-document and parse errors) is produced by re-running the
+//! reference path over the payload, so `validate_raw` and
+//! `validate_raw_tree` return byte-identical outcomes — the stream only
+//! *adds* the deciding event's source location to policy denials. The
+//! admit path — the overwhelmingly common one — never leaves the stream.
+//! See `docs/streaming-admission.md`.
+
+use k8s_model::{K8sObject, ResourceKind};
+use kf_yaml::events::{Event, Pos, ScalarToken, Tokenizer};
+use kf_yaml::Value;
+
+use crate::compile::{CompiledNode, CompiledValidator};
+use crate::schema_gen::looks_like_ip;
+use crate::validator::{TypeTag, ValidatorSet, Violation};
+
+/// Source position attached to raw-body denials: the line (and, when the
+/// stream decided, the byte offset) of the violating field or parse error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceLocation {
+    /// 1-based line in the request body.
+    pub line: usize,
+    /// 0-based byte offset in the request body, when known.
+    pub offset: Option<usize>,
+}
+
+impl From<Pos> for SourceLocation {
+    fn from(pos: Pos) -> Self {
+        SourceLocation {
+            line: pos.line,
+            offset: Some(pos.offset),
+        }
+    }
+}
+
+/// The verdict on a raw (wire-bytes) request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RawVerdict {
+    /// Some covering validator admits the object.
+    Admitted,
+    /// Every covering validator rejects the object.
+    Denied {
+        /// The violations of the closest-matching covering validator
+        /// (identical to the tree path's report).
+        violations: Vec<Violation>,
+        /// Position of the event that decided the denial, when the stream
+        /// decided it.
+        location: Option<SourceLocation>,
+    },
+    /// The body is not a single, well-formed, recognizable Kubernetes
+    /// object (YAML error, multi-document payload, missing/unknown `kind`,
+    /// missing `metadata.name`).
+    Unparsable {
+        /// Why the body was rejected before policy evaluation.
+        reason: String,
+        /// Position of the parse error, when known.
+        location: Option<SourceLocation>,
+    },
+}
+
+impl RawVerdict {
+    /// Whether the verdict admits the request.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, RawVerdict::Admitted)
+    }
+}
+
+fn unparsable_error(error: &kf_yaml::Error) -> RawVerdict {
+    let location = match error {
+        kf_yaml::Error::Parse { line, .. } => Some(SourceLocation {
+            line: *line,
+            offset: None,
+        }),
+        _ => None,
+    };
+    RawVerdict::Unparsable {
+        reason: error.to_string(),
+        location,
+    }
+}
+
+impl ValidatorSet {
+    /// Validate a raw request body **while parsing it**: the streaming
+    /// entry point of the enforcement proxy. Admission allocates no
+    /// document tree; denials stop tokenizing at the deciding event and
+    /// report the tree path's exact violation list.
+    pub fn validate_raw(&self, text: &str) -> RawVerdict {
+        match streaming_verdict(self, text) {
+            Some(verdict) => verdict,
+            // Constructs the stream cannot decide: authoritative tree path.
+            None => self.validate_raw_tree(text),
+        }
+    }
+
+    /// The tree-path reference semantics for raw bodies: parse the full
+    /// document, pre-check the object envelope, then validate the tree.
+    /// [`ValidatorSet::validate_raw`] reaches exactly these verdicts
+    /// (adding only the deciding event's location to stream-decided
+    /// denials); the parity fuzz tests and the `streaming_admission`
+    /// benchmark both run this form.
+    pub fn validate_raw_tree(&self, text: &str) -> RawVerdict {
+        let docs = match kf_yaml::parse_documents(text) {
+            Ok(docs) => docs,
+            Err(e) => return unparsable_error(&e),
+        };
+        if docs.len() != 1 {
+            return RawVerdict::Unparsable {
+                reason: format!("expected a single YAML document, found {}", docs.len()),
+                location: None,
+            };
+        }
+        let body = &docs[0];
+        let kind = match K8sObject::peek_kind(body) {
+            Ok(kind) => kind,
+            Err(e) => {
+                return RawVerdict::Unparsable {
+                    reason: e.to_string(),
+                    location: None,
+                }
+            }
+        };
+        match self.validate_kind_body(kind, body) {
+            Ok(()) => RawVerdict::Admitted,
+            Err(violations) => RawVerdict::Denied {
+                violations,
+                location: None,
+            },
+        }
+    }
+}
+
+/// Produce the report for a stream-decided denial by re-running the full
+/// reference semantics ([`ValidatorSet::validate_raw_tree`]) and stamping
+/// the deciding event's position onto policy denials. This keeps
+/// stream-decided outcomes byte-identical to the tree path — including its
+/// precedence of parse errors and envelope defects over policy violations.
+fn deny_report(set: &ValidatorSet, text: &str, pos: Pos) -> RawVerdict {
+    match set.validate_raw_tree(text) {
+        // The tree path is authoritative; a disagreement here would be a
+        // matcher bug, so trust the tree.
+        RawVerdict::Admitted => RawVerdict::Admitted,
+        RawVerdict::Denied { violations, .. } => RawVerdict::Denied {
+            violations,
+            location: Some(pos.into()),
+        },
+        unparsable => unparsable,
+    }
+}
+
+/// Run the streaming matchers over the token stream. `None` means the
+/// stream hit a construct it cannot decide and the caller must fall back to
+/// the tree path.
+fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
+    let mut tokenizer = match Tokenizer::new(text) {
+        Ok(t) => t,
+        Err(e) => return Some(unparsable_error(&e)),
+    };
+
+    let mut depth = 0usize;
+    let mut started = false;
+    let mut doc_done = false;
+    // Root-level key whose value has not started yet.
+    let mut pending_root_key: Option<(std::borrow::Cow<'_, str>, Pos)> = None;
+    // Root-level scalar entries seen before `kind:` was discovered; replayed
+    // into the matchers once the policy root is known.
+    let mut prekind: Vec<(std::borrow::Cow<'_, str>, Pos, ScalarToken<'_>, Pos)> = Vec::new();
+    let mut kind: Option<ResourceKind> = None;
+    let mut matchers: Vec<StreamMatcher<'_>> = Vec::new();
+    // Envelope tracking: `metadata.name` must be a non-empty string.
+    let mut metadata_open: Option<usize> = None;
+    let mut pending_name = false;
+    let mut name_ok = false;
+
+    while !doc_done {
+        let event = match tokenizer.next_event() {
+            Ok(Some(event)) => event,
+            Ok(None) => break,
+            Err(e) => return Some(unparsable_error(&e)),
+        };
+        // The event that resolves `kind:` is fed to the matchers by the
+        // replay below, not by the regular per-event feed.
+        let mut feed_event = kind.is_some();
+        match &event {
+            Event::MappingStart { .. } | Event::SequenceStart { .. } => {
+                if !started {
+                    if matches!(event, Event::SequenceStart { .. }) {
+                        // Not an object envelope: reference semantics.
+                        return Some(set.validate_raw_tree(text));
+                    }
+                    started = true;
+                } else if depth == 1 {
+                    if let Some((key, _)) = pending_root_key.take() {
+                        if kind.is_none() {
+                            if key == "kind" {
+                                // `kind` is not a string: reference semantics.
+                                return Some(set.validate_raw_tree(text));
+                            }
+                            // A container value before `kind:` is known
+                            // cannot be validated in-stream.
+                            return None;
+                        }
+                        if key == "metadata" && matches!(event, Event::MappingStart { .. }) {
+                            metadata_open = Some(depth + 1);
+                        }
+                    }
+                } else if metadata_open == Some(depth) && pending_name {
+                    pending_name = false; // name is not a string
+                }
+                depth += 1;
+            }
+            Event::Key { name, pos } => {
+                if !started {
+                    return Some(set.validate_raw_tree(text));
+                }
+                if depth == 1 {
+                    pending_root_key = Some((name.clone(), *pos));
+                } else if metadata_open == Some(depth) {
+                    pending_name = name == "name";
+                }
+            }
+            Event::Scalar { value, pos } => {
+                if !started {
+                    // A bare-scalar document: reference semantics.
+                    return Some(set.validate_raw_tree(text));
+                }
+                if depth == 1 {
+                    if let Some((key, key_pos)) = pending_root_key.take() {
+                        if key == "kind" && kind.is_none() {
+                            let Some(kind_text) = value.as_str() else {
+                                return Some(set.validate_raw_tree(text));
+                            };
+                            let Some(resolved) = ResourceKind::parse(kind_text) else {
+                                return Some(set.validate_raw_tree(text));
+                            };
+                            let route = set.validators_for(resolved);
+                            if route.is_empty() {
+                                // No validator covers the kind. The denial
+                                // itself is certain, but the reference
+                                // ranks envelope/multi-document defects
+                                // above the UnknownKind violation, so let
+                                // it produce the report.
+                                return Some(deny_report(set, text, *pos));
+                            }
+                            kind = Some(resolved);
+                            for &index in route {
+                                let compiled = set.validators()[index as usize].compiled();
+                                let root = compiled
+                                    .kind_root(resolved)
+                                    .expect("routing table lists only covering validators");
+                                matchers.push(StreamMatcher::new(compiled, root));
+                            }
+                            // Replay the envelope into the fresh matchers:
+                            // the root mapping, every buffered pre-kind
+                            // scalar entry, then `kind` itself. The replay
+                            // checks matcher health after every event so
+                            // an early deny is stamped with the position of
+                            // the replayed field that decided it, not the
+                            // `kind:` value's.
+                            let mut replay: Vec<Event<'_>> =
+                                Vec::with_capacity(2 * prekind.len() + 3);
+                            replay.push(Event::MappingStart {
+                                pos: Pos::default(),
+                            });
+                            for (bkey, bkey_pos, bvalue, bvalue_pos) in &prekind {
+                                replay.push(Event::Key {
+                                    name: bkey.clone(),
+                                    pos: *bkey_pos,
+                                });
+                                replay.push(Event::Scalar {
+                                    value: bvalue.clone(),
+                                    pos: *bvalue_pos,
+                                });
+                            }
+                            replay.push(Event::Key {
+                                name: std::borrow::Cow::Borrowed("kind"),
+                                pos: key_pos,
+                            });
+                            replay.push(Event::Scalar {
+                                value: value.clone(),
+                                pos: *pos,
+                            });
+                            for replay_event in &replay {
+                                for matcher in &mut matchers {
+                                    matcher.feed(replay_event);
+                                }
+                                if matchers.iter().any(StreamMatcher::needs_tree) {
+                                    return None;
+                                }
+                                if matchers.iter().all(|m| !m.alive()) {
+                                    return Some(deny_report(set, text, event_pos(replay_event)));
+                                }
+                            }
+                            feed_event = false;
+                        } else if kind.is_none() {
+                            prekind.push((key, key_pos, value.clone(), *pos));
+                        }
+                    }
+                } else if metadata_open == Some(depth) && pending_name {
+                    pending_name = false;
+                    if let ScalarToken::Str(s) = value {
+                        if !s.is_empty() {
+                            name_ok = true;
+                        }
+                    }
+                }
+            }
+            Event::End => {
+                depth = depth.saturating_sub(1);
+                if let Some(open) = metadata_open {
+                    if depth < open {
+                        metadata_open = None;
+                    }
+                }
+            }
+            Event::DocumentEnd => {
+                doc_done = true;
+                feed_event = false;
+            }
+        }
+        if feed_event && !matchers.is_empty() {
+            for matcher in &mut matchers {
+                matcher.feed(&event);
+            }
+            if matchers.iter().any(StreamMatcher::needs_tree) {
+                return None;
+            }
+            if matchers.iter().all(|m| !m.alive()) {
+                // Early deny: every candidate failed. Stop tokenizing here
+                // and produce the tree path's exact report.
+                return Some(deny_report(set, text, event_pos(&event)));
+            }
+        }
+    }
+
+    if !started {
+        // Empty or comment-only body: reference semantics.
+        return Some(set.validate_raw_tree(text));
+    }
+    // A request body must be exactly one document, and the reference ranks
+    // multi-document (and any later parse) defects above envelope defects —
+    // `parse_documents` sees the whole stream before `peek_kind` runs. Drain
+    // the tokenizer (building no trees) to reproduce its outcome: the
+    // earliest parse error anywhere in the stream, else the document count.
+    match tokenizer.next_event() {
+        Ok(None) => {}
+        Ok(Some(_)) => loop {
+            match tokenizer.next_event() {
+                Ok(Some(_)) => continue,
+                Ok(None) => {
+                    return Some(RawVerdict::Unparsable {
+                        reason: format!(
+                            "expected a single YAML document, found {}",
+                            tokenizer.document_count()
+                        ),
+                        location: None,
+                    })
+                }
+                Err(e) => return Some(unparsable_error(&e)),
+            }
+        },
+        Err(e) => return Some(unparsable_error(&e)),
+    }
+    if kind.is_none() || !name_ok {
+        // Envelope defect (missing `kind` / `metadata.name`): cold path,
+        // defer to the reference for its exact report.
+        return Some(set.validate_raw_tree(text));
+    }
+    debug_assert!(matchers.iter().any(StreamMatcher::alive));
+    Some(RawVerdict::Admitted)
+}
+
+fn event_pos(event: &Event<'_>) -> Pos {
+    match event {
+        Event::MappingStart { pos }
+        | Event::SequenceStart { pos }
+        | Event::Key { pos, .. }
+        | Event::Scalar { pos, .. } => *pos,
+        Event::End | Event::DocumentEnd => Pos::default(),
+    }
+}
+
+/// An open container frame of a [`StreamMatcher`].
+#[derive(Debug, Clone, Copy)]
+enum MFrame {
+    /// Inside a mapping whose compiled entry run is `entries[start..start+len]`.
+    Map { entries_start: u32, len: u32 },
+    /// Inside a sequence whose elements check against `element`.
+    Seq { element: u32 },
+    /// Inside a subtree the policy allows unconditionally (`Any`).
+    Skip,
+}
+
+/// Where the next value event lands.
+enum Target {
+    Skip,
+    Node(u32),
+}
+
+/// A state machine that advances compiled-arena node ids as tokenizer events
+/// arrive, reaching the same admit/deny verdict as
+/// [`CompiledValidator::allows_kind_body`](crate::compile::CompiledValidator::allows_kind_body)
+/// without a document tree.
+#[derive(Debug)]
+pub(crate) struct StreamMatcher<'c> {
+    compiled: &'c CompiledValidator,
+    stack: Vec<MFrame>,
+    /// The node the next value event must satisfy (set by `Key` events and
+    /// by the root).
+    pending: Option<u32>,
+    alive: bool,
+    needs_tree: bool,
+}
+
+impl<'c> StreamMatcher<'c> {
+    fn new(compiled: &'c CompiledValidator, root: u32) -> Self {
+        StreamMatcher {
+            compiled,
+            stack: Vec::with_capacity(16),
+            pending: Some(root),
+            alive: true,
+            needs_tree: false,
+        }
+    }
+
+    fn alive(&self) -> bool {
+        self.alive
+    }
+
+    fn needs_tree(&self) -> bool {
+        self.needs_tree
+    }
+
+    fn value_target(&mut self) -> Target {
+        if matches!(self.stack.last(), Some(MFrame::Skip)) {
+            return Target::Skip;
+        }
+        if let Some(id) = self.pending.take() {
+            return Target::Node(id);
+        }
+        if let Some(MFrame::Seq { element }) = self.stack.last() {
+            return Target::Node(*element);
+        }
+        // A value event with no expectation cannot occur in a well-formed
+        // event stream; defer to the tree rather than guess.
+        self.needs_tree = true;
+        Target::Skip
+    }
+
+    /// A mapping or sequence opens where the current expectation points.
+    fn enter_container(&mut self, is_mapping: bool) {
+        match self.value_target() {
+            Target::Skip => self.stack.push(MFrame::Skip),
+            Target::Node(id) => match self.compiled.node(id) {
+                CompiledNode::Map { entries_start, len } if is_mapping => {
+                    self.stack.push(MFrame::Map { entries_start, len });
+                }
+                CompiledNode::Seq { element } if !is_mapping => {
+                    self.stack.push(MFrame::Seq { element });
+                }
+                CompiledNode::Any => self.stack.push(MFrame::Skip),
+                CompiledNode::Const { value } => {
+                    // A constant policy over a container value needs a
+                    // structural comparison the stream cannot perform —
+                    // unless the constant is a scalar, in which case any
+                    // container trivially mismatches.
+                    if self.compiled.value(value).is_scalar() {
+                        self.alive = false;
+                    } else {
+                        self.needs_tree = true;
+                    }
+                }
+                CompiledNode::Enum { start, len } => {
+                    if self
+                        .compiled
+                        .values_slice(start, len)
+                        .iter()
+                        .all(Value::is_scalar)
+                    {
+                        self.alive = false;
+                    } else {
+                        self.needs_tree = true;
+                    }
+                }
+                // Structure mismatch: a scalar/pattern/type policy (or the
+                // other container shape) cannot accept this container.
+                _ => self.alive = false,
+            },
+        }
+    }
+
+    fn feed(&mut self, event: &Event<'_>) {
+        if !self.alive || self.needs_tree {
+            return;
+        }
+        match event {
+            Event::MappingStart { .. } => self.enter_container(true),
+            Event::SequenceStart { .. } => self.enter_container(false),
+            Event::Key { name, .. } => match self.stack.last() {
+                Some(MFrame::Skip) => {}
+                Some(MFrame::Map { entries_start, len }) => {
+                    let entries = self.compiled.entries(*entries_start, *len);
+                    match self.compiled.lookup(entries, name.as_ref()) {
+                        Some(entry) => self.pending = Some(entry.child),
+                        None => self.alive = false, // unknown field
+                    }
+                }
+                _ => self.needs_tree = true,
+            },
+            Event::Scalar { value, .. } => match self.value_target() {
+                Target::Skip => {}
+                Target::Node(id) => {
+                    if !self.scalar_complies(id, value) {
+                        self.alive = false;
+                    }
+                }
+            },
+            Event::End => {
+                self.stack.pop();
+            }
+            Event::DocumentEnd => {}
+        }
+    }
+
+    fn scalar_complies(&self, id: u32, token: &ScalarToken<'_>) -> bool {
+        match self.compiled.node(id) {
+            CompiledNode::Any => true,
+            CompiledNode::Type(tag) => token_matches_tag(tag, token),
+            CompiledNode::Const { value } => {
+                token_loosely_equals(token, self.compiled.value(value))
+            }
+            CompiledNode::Enum { start, len } => self
+                .compiled
+                .values_slice(start, len)
+                .iter()
+                .any(|option| token_loosely_equals(token, option)),
+            CompiledNode::Pattern { pattern } => token
+                .as_str()
+                .map(|text| self.compiled.pattern(pattern).matches(text))
+                .unwrap_or(false),
+            CompiledNode::Map { .. } | CompiledNode::Seq { .. } => false,
+        }
+    }
+}
+
+/// [`TypeTag::matches`] over a scalar token instead of a tree node.
+fn token_matches_tag(tag: TypeTag, token: &ScalarToken<'_>) -> bool {
+    match tag {
+        TypeTag::String => matches!(token, ScalarToken::Str(_)),
+        TypeTag::Int => {
+            matches!(token, ScalarToken::Int(_))
+                || token
+                    .as_str()
+                    .map(|s| s.parse::<i64>().is_ok())
+                    .unwrap_or(false)
+        }
+        TypeTag::Float => {
+            matches!(token, ScalarToken::Float(_) | ScalarToken::Int(_))
+                || token
+                    .as_str()
+                    .map(|s| s.parse::<f64>().is_ok())
+                    .unwrap_or(false)
+        }
+        TypeTag::Bool => matches!(token, ScalarToken::Bool(_)),
+        TypeTag::Ip => token.as_str().map(looks_like_ip).unwrap_or(false),
+    }
+}
+
+/// [`Value::loosely_equals`] between a scalar token and a (scalar) tree
+/// node: integer/float representations of the same number are equal.
+fn token_loosely_equals(token: &ScalarToken<'_>, value: &Value) -> bool {
+    match (token, value) {
+        (ScalarToken::Int(a), Value::Float(b)) => (*a as f64 - *b).abs() < f64::EPSILON,
+        (ScalarToken::Float(a), Value::Int(b)) => (*b as f64 - *a).abs() < f64::EPSILON,
+        (ScalarToken::Null, Value::Null) => true,
+        (ScalarToken::Bool(a), Value::Bool(b)) => a == b,
+        (ScalarToken::Int(a), Value::Int(b)) => a == b,
+        (ScalarToken::Float(a), Value::Float(b)) => a == b,
+        (ScalarToken::Str(a), Value::Str(b)) => a.as_ref() == b,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::{Validator, ViolationReason};
+
+    fn validator() -> Validator {
+        let manifests = vec![
+            kf_yaml::parse(
+                r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+spec:
+  replicas: int
+  template:
+    spec:
+      containers:
+        - name: nginx
+          image: docker.io/bitnami/nginx:string
+          imagePullPolicy: IfNotPresent
+"#,
+            )
+            .unwrap(),
+            kf_yaml::parse(
+                r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+spec:
+  replicas: int
+  template:
+    spec:
+      containers:
+        - name: nginx
+          image: docker.io/bitnami/nginx:string
+          imagePullPolicy: Always
+"#,
+            )
+            .unwrap(),
+        ];
+        Validator::from_manifests("demo", &manifests).unwrap()
+    }
+
+    fn set() -> ValidatorSet {
+        ValidatorSet::single(validator())
+    }
+
+    fn request(image: &str, policy: &str, replicas: &str) -> String {
+        format!(
+            r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+spec:
+  replicas: {replicas}
+  template:
+    spec:
+      containers:
+        - name: nginx
+          image: {image}
+          imagePullPolicy: {policy}
+"#
+        )
+    }
+
+    #[test]
+    fn streaming_admits_compliant_bodies_and_matches_tree() {
+        let set = set();
+        let text = request("docker.io/bitnami/nginx:1.25", "Always", "3");
+        assert_eq!(set.validate_raw(&text), RawVerdict::Admitted);
+        assert_eq!(set.validate_raw_tree(&text), RawVerdict::Admitted);
+    }
+
+    #[test]
+    fn streaming_denies_with_the_tree_report_and_a_location() {
+        let set = set();
+        let text = request("evil.example/pwn:latest", "Always", "3");
+        let RawVerdict::Denied {
+            violations,
+            location,
+        } = set.validate_raw(&text)
+        else {
+            panic!("expected denial");
+        };
+        let RawVerdict::Denied {
+            violations: tree_violations,
+            ..
+        } = set.validate_raw_tree(&text)
+        else {
+            panic!("expected tree denial");
+        };
+        assert_eq!(violations, tree_violations);
+        let location = location.expect("stream-decided denial carries a location");
+        // The violating field (`image:`) sits on line 11 of the body.
+        assert_eq!(location.line, 11);
+        let offset = location.offset.expect("stream denial has a byte offset");
+        assert!(text[offset..].starts_with("evil.example/pwn:latest"));
+    }
+
+    #[test]
+    fn early_deny_stops_before_later_syntax_errors() {
+        let set = set();
+        // The violation (line 2) precedes a syntax error (line 4): the
+        // stream denies without ever tokenizing the broken tail. The report
+        // falls back to an unparsable-body denial because the reference
+        // parse cannot complete — but the request is still denied.
+        let text = "kind: Deployment\nhostNetwork: true\nmetadata:\n  name: x\n  {broken\n";
+        let verdict = set.validate_raw(text);
+        assert!(
+            !verdict.is_admitted(),
+            "early-deny traffic must stay denied: {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn unparsable_bodies_report_position_and_reason() {
+        let set = set();
+        let RawVerdict::Unparsable { reason, location } = set.validate_raw("a: 1\n   b: 2\n")
+        else {
+            panic!("expected unparsable");
+        };
+        assert!(reason.contains("line 2"), "reason was: {reason}");
+        assert_eq!(location.unwrap().line, 2);
+    }
+
+    #[test]
+    fn multi_document_bodies_are_rejected_by_both_paths() {
+        let set = set();
+        let doc = request("docker.io/bitnami/nginx:1.25", "Always", "3");
+        let text = format!("{doc}---\n{doc}");
+        assert!(!set.validate_raw(&text).is_admitted());
+        assert!(!set.validate_raw_tree(&text).is_admitted());
+    }
+
+    #[test]
+    fn missing_envelope_fields_are_unparsable() {
+        let set = set();
+        for text in [
+            "",
+            "just a scalar\n",
+            "- a\n- b\n",
+            "replicas: 3\n",
+            "kind: Deployment\nmetadata: {}\n",
+            "kind: NotAKind\nmetadata:\n  name: x\n",
+        ] {
+            let stream = set.validate_raw(text);
+            let tree = set.validate_raw_tree(text);
+            assert!(
+                matches!(stream, RawVerdict::Unparsable { .. }),
+                "`{text}` should be unparsable, got {stream:?}"
+            );
+            assert_eq!(
+                stream, tree,
+                "`{text}`: streaming and reference outcomes must be identical"
+            );
+        }
+    }
+
+    #[test]
+    fn kind_discovered_after_other_scalars() {
+        let set = set();
+        // `apiVersion` precedes `kind`; the pre-kind scalar buffer replays
+        // it into the matchers.
+        let text = request("docker.io/bitnami/nginx:1.25", "IfNotPresent", "2");
+        assert!(text.starts_with("apiVersion"));
+        assert_eq!(set.validate_raw(&text), RawVerdict::Admitted);
+    }
+
+    #[test]
+    fn containers_before_kind_fall_back_to_the_tree_path() {
+        let set = set();
+        // `metadata` (a container) precedes `kind`: the stream cannot
+        // decide and must defer — verdicts still match the tree path.
+        let compliant =
+            "apiVersion: apps/v1\nmetadata:\n  name: web\nkind: Deployment\nspec:\n  replicas: 3\n";
+        assert_eq!(
+            set.validate_raw(compliant),
+            set.validate_raw_tree(compliant)
+        );
+        let hostile = "metadata:\n  name: web\nkind: Deployment\nspec:\n  hostNetwork: true\n";
+        assert_eq!(set.validate_raw(hostile), set.validate_raw_tree(hostile));
+        assert!(!set.validate_raw(hostile).is_admitted());
+    }
+
+    #[test]
+    fn replayed_prekind_denials_stamp_the_violating_field() {
+        let set = set();
+        // `hostNetwork` precedes `kind:` — it is buffered and replayed once
+        // the policy root is known; the denial location must point at it,
+        // not at the `kind:` value that triggered the replay.
+        let text = "hostNetwork: true\nkind: Deployment\nmetadata:\n  name: x\n";
+        let RawVerdict::Denied { location, .. } = set.validate_raw(text) else {
+            panic!("expected denial");
+        };
+        let location = location.expect("stream-decided denial carries a location");
+        assert_eq!(location.line, 1);
+        assert!(text[location.offset.unwrap()..].starts_with("hostNetwork"));
+    }
+
+    #[test]
+    fn stream_denials_follow_reference_precedence() {
+        let set = set();
+        // Policy violation present but `metadata.name` missing: the
+        // reference ranks the envelope defect higher; the stream agrees.
+        let text = "kind: Deployment\nhostNetwork: true\n";
+        assert_eq!(set.validate_raw(text), set.validate_raw_tree(text));
+        assert!(matches!(
+            set.validate_raw(text),
+            RawVerdict::Unparsable { .. }
+        ));
+        // A hostile first document followed by a second one: the
+        // multi-document defect outranks the policy violations.
+        let text = "kind: Deployment\nhostNetwork: true\nmetadata:\n  name: x\n---\nkind: Pod\nmetadata:\n  name: y\n";
+        assert_eq!(set.validate_raw(text), set.validate_raw_tree(text));
+        assert!(matches!(
+            set.validate_raw(text),
+            RawVerdict::Unparsable { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_kinds_deny_with_the_unknown_kind_violation() {
+        let set = set();
+        let text = "kind: Secret\nmetadata:\n  name: stolen\n";
+        let RawVerdict::Denied { violations, .. } = set.validate_raw(text) else {
+            panic!("expected denial");
+        };
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(violations[0].reason, ViolationReason::UnknownKind));
+        // The tree path reports the same violations (it never carries a
+        // stream location, so compare the violation lists).
+        let RawVerdict::Denied {
+            violations: tree_violations,
+            location: tree_location,
+        } = set.validate_raw_tree(text)
+        else {
+            panic!("expected tree denial");
+        };
+        assert_eq!(violations, tree_violations);
+        assert_eq!(tree_location, None);
+    }
+}

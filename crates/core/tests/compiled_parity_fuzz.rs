@@ -16,7 +16,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use kf_workloads::Operator;
-use kubefence::{GeneratorConfig, PolicyGenerator, Validator};
+use kubefence::{GeneratorConfig, PolicyGenerator, RawVerdict, Validator, ValidatorSet};
 
 const CASES_PER_OPERATOR: usize = 400;
 const MUTATIONS_PER_CASE: usize = 4;
@@ -150,6 +150,146 @@ fn compiled_and_tree_validators_agree_on_mutated_manifests() {
             "{}: too many cases discarded ({admitted} admitted, {denied} denied)",
             operator.name()
         );
+    }
+}
+
+/// Round-trip every mutated manifest through the emitter and validate the
+/// wire bytes on the streaming path: the streaming verdict, the raw tree
+/// path (parse-then-validate on the compiled plane) and the legacy
+/// tree-walking validator must all agree — including early-deny cases,
+/// where the stream stops at the first fatal violation but must still
+/// report the tree path's exact violation list.
+#[test]
+fn streaming_verdicts_match_tree_verdicts_on_mutated_manifests() {
+    let mut checked = 0usize;
+    let mut stream_denied = 0usize;
+    for operator in Operator::ALL {
+        let validator = validator_for(operator);
+        let set = ValidatorSet::single(validator.clone());
+        let bases = operator.workload().default_objects();
+        let mut rng = SmallRng::seed_from_u64(0x5EED_57E4 ^ operator.name().len() as u64);
+        for case in 0..CASES_PER_OPERATOR {
+            let base = &bases[rng.gen_range(0usize..bases.len())];
+            let mut body = base.body().clone();
+            for _ in 0..rng.gen_range(1usize..MUTATIONS_PER_CASE + 1) {
+                mutate(&mut rng, &mut body);
+            }
+            // The raw path sees wire bytes: emit the mutated document.
+            let text = kf_yaml::to_yaml(&body);
+            let stream = set.validate_raw(&text);
+            let raw_tree = set.validate_raw_tree(&text);
+            checked += 1;
+            match K8sObject::from_value(body.clone()) {
+                Ok(_envelope_intact) => {
+                    // Envelope-intact documents: full verdict + violation
+                    // parity. The emitted text reparses to a loosely-equal
+                    // tree, which is what both tree planes see.
+                    let reparsed = kf_yaml::parse(&text).expect("emitted YAML must reparse");
+                    let legacy_object = K8sObject::from_value(reparsed)
+                        .expect("envelope survives the emitter round-trip");
+                    let legacy = validator.validate_tree(&legacy_object);
+                    match (&stream, &raw_tree) {
+                        (RawVerdict::Admitted, RawVerdict::Admitted) => {
+                            assert!(
+                                legacy.is_empty(),
+                                "{} case {case}: tree-walking plane denies an admitted body\n{text}",
+                                operator.name()
+                            );
+                        }
+                        (
+                            RawVerdict::Denied {
+                                violations: stream_violations,
+                                location,
+                            },
+                            RawVerdict::Denied {
+                                violations: tree_violations,
+                                ..
+                            },
+                        ) => {
+                            stream_denied += 1;
+                            assert_eq!(
+                                stream_violations,
+                                tree_violations,
+                                "{} case {case}: streaming and raw-tree reports diverged\n{text}",
+                                operator.name()
+                            );
+                            assert_eq!(
+                                stream_violations, &legacy,
+                                "{} case {case}: streaming and tree-walking reports diverged\n{text}",
+                                operator.name()
+                            );
+                            // Early-deny position, when the stream decided,
+                            // must point into the payload.
+                            if let Some(location) = location {
+                                assert!(location.line >= 1);
+                                if let Some(offset) = location.offset {
+                                    assert!(offset < text.len());
+                                }
+                            }
+                        }
+                        (s, t) => panic!(
+                            "{} case {case}: verdicts diverged (stream {s:?} vs tree {t:?})\n{text}",
+                            operator.name()
+                        ),
+                    }
+                }
+                Err(_) => {
+                    // Envelope-broken documents never reach a validator on
+                    // either path; both must refuse to admit, with the
+                    // streaming outcome byte-identical to the reference
+                    // (the stream defers every report to it).
+                    assert!(
+                        !stream.is_admitted(),
+                        "{} case {case}: stream admitted an envelope-broken body\n{text}",
+                        operator.name()
+                    );
+                    assert_eq!(
+                        stream,
+                        raw_tree,
+                        "{} case {case}: envelope-broken outcomes diverged\n{text}",
+                        operator.name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 1000,
+        "parity must be pinned over at least 1k mutated manifests, got {checked}"
+    );
+    assert!(
+        stream_denied > 0,
+        "the mutator must exercise the streaming deny path"
+    );
+}
+
+/// Multi-document raw bodies are never admitted: a request carries exactly
+/// one object. The streaming path may deny on the first document's policy
+/// violations before ever tokenizing the second — either way, denied.
+#[test]
+fn multi_document_raw_bodies_never_admit() {
+    for operator in Operator::ALL {
+        let validator = validator_for(operator);
+        let set = ValidatorSet::single(validator);
+        let bases = operator.workload().default_objects();
+        let first = kf_yaml::to_yaml(bases[0].body());
+        let second = kf_yaml::to_yaml(bases[bases.len() - 1].body());
+        let text = format!("{first}---\n{second}");
+        let stream = set.validate_raw(&text);
+        assert!(
+            !stream.is_admitted(),
+            "{}: streaming admitted a multi-document body",
+            operator.name()
+        );
+        assert_eq!(
+            stream,
+            set.validate_raw_tree(&text),
+            "{}: multi-document outcomes diverged",
+            operator.name()
+        );
+        // A single legitimate document, by contrast, is admitted on both.
+        assert!(set.validate_raw(&first).is_admitted());
+        assert!(set.validate_raw_tree(&first).is_admitted());
     }
 }
 

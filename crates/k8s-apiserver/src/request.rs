@@ -1,10 +1,92 @@
 //! The API request/response model.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use k8s_model::{K8sObject, ResourceKind, Verb};
 use kf_yaml::Value;
+
+/// The payload of an API request as it travels through the admission path.
+///
+/// Mutating requests historically carried a pre-parsed [`Value`] tree; the
+/// wire-faithful path carries the raw YAML bytes instead, so the enforcement
+/// proxy can validate **while parsing** and a malicious payload is never
+/// materialized before the first policy check. The tree variant is kept for
+/// the legacy path and is `Arc`-shared, so request construction, cloning and
+/// audit snapshots stop paying per-request deep copies of the document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RequestBody {
+    /// No payload (read-only verbs).
+    #[default]
+    None,
+    /// A pre-parsed, shared document tree (the legacy in-process path).
+    Tree(Arc<Value>),
+    /// The raw wire bytes of the YAML payload.
+    Raw(Bytes),
+}
+
+impl RequestBody {
+    /// Whether the request carries no payload.
+    pub fn is_none(&self) -> bool {
+        matches!(self, RequestBody::None)
+    }
+
+    /// Whether the request carries a payload (tree or raw).
+    pub fn is_some(&self) -> bool {
+        !self.is_none()
+    }
+
+    /// The shared document tree, if the body is the pre-parsed variant.
+    pub fn tree(&self) -> Option<&Arc<Value>> {
+        match self {
+            RequestBody::Tree(value) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The raw wire bytes, if the body is the raw variant.
+    pub fn raw(&self) -> Option<&Bytes> {
+        match self {
+            RequestBody::Raw(bytes) => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// Materialize the payload as a shared document tree: `Tree` bodies are
+    /// a cheap `Arc` clone, `Raw` bodies are parsed (a raw body must be one
+    /// well-formed YAML document).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the defect when a raw body is not valid
+    /// UTF-8, does not parse, or contains more than one document.
+    pub fn materialize(&self) -> Result<Option<Arc<Value>>, String> {
+        match self {
+            RequestBody::None => Ok(None),
+            RequestBody::Tree(value) => Ok(Some(Arc::clone(value))),
+            RequestBody::Raw(bytes) => {
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|_| "request body is not valid UTF-8".to_owned())?;
+                let mut docs = kf_yaml::parse_documents(text).map_err(|e| e.to_string())?;
+                if docs.len() != 1 {
+                    return Err(format!(
+                        "expected a single YAML document, found {}",
+                        docs.len()
+                    ));
+                }
+                Ok(Some(Arc::new(docs.remove(0))))
+            }
+        }
+    }
+}
+
+impl From<Value> for RequestBody {
+    fn from(value: Value) -> Self {
+        RequestBody::Tree(Arc::new(value))
+    }
+}
 
 /// An authenticated request to the (simulated) API server.
 ///
@@ -24,18 +106,39 @@ pub struct ApiRequest {
     /// Target object name (empty for collection operations such as `list`).
     pub name: String,
     /// The object specification carried by mutating requests.
-    pub body: Option<Value>,
+    pub body: RequestBody,
 }
 
 impl ApiRequest {
-    /// A `create` request for an object.
+    /// A `create` request for an object (pre-parsed tree body).
     pub fn create(user: &str, object: &K8sObject) -> Self {
         Self::mutating(user, Verb::Create, object)
     }
 
-    /// An `update` request for an object.
+    /// An `update` request for an object (pre-parsed tree body).
     pub fn update(user: &str, object: &K8sObject) -> Self {
         Self::mutating(user, Verb::Update, object)
+    }
+
+    /// A `create` request carrying the object as raw wire bytes — what a
+    /// real client puts on the network. The manifest is serialized once;
+    /// replaying the request clones only the byte buffer handle.
+    pub fn create_raw(user: &str, object: &K8sObject) -> Self {
+        Self::mutating(user, Verb::Create, object).into_raw()
+    }
+
+    /// An `update` request carrying the object as raw wire bytes.
+    pub fn update_raw(user: &str, object: &K8sObject) -> Self {
+        Self::mutating(user, Verb::Update, object).into_raw()
+    }
+
+    /// Convert a tree-bodied request into a raw-bodied one by serializing
+    /// the payload (a no-op for body-less and already-raw requests).
+    pub fn into_raw(mut self) -> Self {
+        if let RequestBody::Tree(value) = &self.body {
+            self.body = RequestBody::Raw(Bytes::from(kf_yaml::to_yaml(value)));
+        }
+        self
     }
 
     fn mutating(user: &str, verb: Verb, object: &K8sObject) -> Self {
@@ -50,7 +153,7 @@ impl ApiRequest {
             kind: object.kind(),
             namespace,
             name: object.name().to_owned(),
-            body: Some(object.body().clone()),
+            body: RequestBody::Tree(Arc::new(object.body().clone())),
         }
     }
 
@@ -62,7 +165,7 @@ impl ApiRequest {
             kind,
             namespace: namespace.to_owned(),
             name: name.to_owned(),
-            body: None,
+            body: RequestBody::None,
         }
     }
 
@@ -74,7 +177,7 @@ impl ApiRequest {
             kind,
             namespace: namespace.to_owned(),
             name: String::new(),
-            body: None,
+            body: RequestBody::None,
         }
     }
 
@@ -86,7 +189,7 @@ impl ApiRequest {
             kind,
             namespace: namespace.to_owned(),
             name: name.to_owned(),
-            body: None,
+            body: RequestBody::None,
         }
     }
 
@@ -107,10 +210,12 @@ impl ApiRequest {
 
     /// The encoded request payload (empty for body-less requests); used by
     /// the latency model to account for serialization and transfer cost.
+    /// Raw bodies are already encoded — the call is a cheap handle clone.
     pub fn payload(&self) -> Bytes {
         match &self.body {
-            Some(body) => Bytes::from(kf_yaml::to_yaml(body)),
-            None => Bytes::new(),
+            RequestBody::None => Bytes::new(),
+            RequestBody::Tree(body) => Bytes::from(kf_yaml::to_yaml(body)),
+            RequestBody::Raw(bytes) => bytes.clone(),
         }
     }
 
@@ -120,9 +225,11 @@ impl ApiRequest {
     }
 
     /// Interpret the request body as a Kubernetes object, if present.
+    /// Tree bodies deep-clone; raw bodies parse — both materialize a fresh
+    /// object, which is why the enforcement hot path avoids this call.
     pub fn object(&self) -> Option<K8sObject> {
-        let body = self.body.clone()?;
-        K8sObject::from_value(body).ok()
+        let body = self.body.materialize().ok()??;
+        K8sObject::from_value((*body).clone()).ok()
     }
 }
 
@@ -232,6 +339,43 @@ mod tests {
         assert_eq!(req.verb, Verb::Create);
         assert_eq!(req.name, "web");
         assert!(req.body.is_some());
+    }
+
+    #[test]
+    fn raw_requests_carry_bytes_and_replay_cheaply() {
+        let object = pod();
+        let req = ApiRequest::create_raw("alice", &object);
+        let bytes = req.body.raw().expect("raw body");
+        assert_eq!(&bytes[..], object.to_yaml().as_bytes());
+        // Cloning a raw request shares the buffer; no re-serialization.
+        let cloned = req.clone();
+        assert_eq!(cloned.body.raw().unwrap().len(), bytes.len());
+        // The raw body materializes back to the same document.
+        let tree = req.body.materialize().unwrap().unwrap();
+        assert!(tree.loosely_equals(object.body()));
+        assert_eq!(req.object().unwrap().name(), "web");
+    }
+
+    #[test]
+    fn materialize_rejects_malformed_raw_bodies() {
+        let bad = ApiRequest {
+            body: RequestBody::Raw(Bytes::from("a: 1\n   broken\n")),
+            ..ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
+        };
+        assert!(bad.body.materialize().is_err());
+        let multi = ApiRequest {
+            body: RequestBody::Raw(Bytes::from("kind: Pod\n---\nkind: Pod\n")),
+            ..ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
+        };
+        assert!(multi.body.materialize().is_err());
+    }
+
+    #[test]
+    fn into_raw_serializes_tree_bodies_once() {
+        let req = ApiRequest::create("alice", &pod()).into_raw();
+        assert!(req.body.raw().is_some());
+        let get = ApiRequest::get("alice", ResourceKind::Pod, "default", "web").into_raw();
+        assert!(get.body.is_none());
     }
 
     #[test]

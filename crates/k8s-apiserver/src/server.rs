@@ -2,12 +2,14 @@
 //! accounting.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use k8s_model::{K8sObject, ResourceKind, Verb};
 use k8s_rbac::{AccessReview, AuditEvent, AuditLog, RbacPolicySet};
+use kf_yaml::Value;
 
 use crate::request::{ApiRequest, ApiResponse, ResponseStatus};
 use crate::store::ObjectStore;
@@ -161,9 +163,9 @@ impl ApiServer {
         }
     }
 
-    fn record_audit(&self, request: &ApiRequest, allowed: bool) {
-        // Build the event — including the deep body clone — before taking
-        // any lock, then push it into one of the shards.
+    fn record_audit(&self, request: &ApiRequest, allowed: bool, body: Option<Arc<Value>>) {
+        // Build the event — the body is an `Arc` handle, not a deep clone —
+        // before taking any lock, then push it into one of the shards.
         let sequence = self.audit_seq.fetch_add(1, Ordering::Relaxed);
         let event = AuditEvent {
             sequence,
@@ -173,21 +175,34 @@ impl ApiServer {
             namespace: request.namespace.clone(),
             name: request.name.clone(),
             allowed,
-            request_body: request.body.clone(),
+            request_body: body,
         };
         self.audit[(sequence as usize) % AUDIT_SHARDS]
             .lock()
             .push(event);
     }
 
-    fn admit_object(&self, request: &ApiRequest) -> Result<K8sObject, ApiResponse> {
-        let Some(body) = request.body.clone() else {
-            return Err(ApiResponse::error(
-                ResponseStatus::BadRequest,
-                "mutating request without a body",
-            ));
+    fn admit_object(
+        &self,
+        request: &ApiRequest,
+        materialized: &Result<Option<Arc<Value>>, String>,
+    ) -> Result<K8sObject, ApiResponse> {
+        let body = match materialized {
+            Err(message) => {
+                return Err(ApiResponse::error(
+                    ResponseStatus::BadRequest,
+                    format!("invalid request body: {message}"),
+                ))
+            }
+            Ok(None) => {
+                return Err(ApiResponse::error(
+                    ResponseStatus::BadRequest,
+                    "mutating request without a body",
+                ))
+            }
+            Ok(Some(body)) => body,
         };
-        let mut object = K8sObject::from_value(body).map_err(|e| {
+        let mut object = K8sObject::from_value((**body).clone()).map_err(|e| {
             ApiResponse::error(ResponseStatus::BadRequest, format!("invalid object: {e}"))
         })?;
         if object.kind() != request.kind {
@@ -241,44 +256,55 @@ impl ApiServer {
 
 impl RequestHandler for ApiServer {
     fn handle(&self, request: &ApiRequest) -> ApiResponse {
-        // 1. Authorization (RBAC).
+        // 1. Authorization (RBAC) — decided on the resource path alone, so
+        //    unauthorized traffic never pays for body parsing: its audit
+        //    event records the body only when a parsed tree is already in
+        //    hand (the legacy path's cheap `Arc` handle).
         if let Err(reason) = self.authorize(request) {
-            self.record_audit(request, false);
+            self.record_audit(request, false, request.body.tree().cloned());
             return ApiResponse::error(ResponseStatus::Forbidden, reason);
         }
 
+        // 1b. Materialize the payload once per request: tree bodies are a
+        //     cheap `Arc` clone, raw bodies parse exactly here (behind the
+        //     proxy, only already-validated bytes reach this point).
+        let materialized = request.body.materialize();
+        let audit_body = materialized.as_ref().ok().cloned().flatten();
+
         // 2. Admission + persistence per verb.
         let response = match request.verb {
-            Verb::Create | Verb::Update | Verb::Patch => match self.admit_object(request) {
-                Ok(object) => {
-                    // The vulnerable code runs while the API server (and
-                    // downstream components) process the accepted spec.
-                    self.record_exploits(request, &object);
-                    match request.verb {
-                        // `kubectl apply` semantics: create, falling back to
-                        // update on conflict — one upsert, no second
-                        // admission round trip.
-                        Verb::Create => match self.store.upsert(object) {
-                            (version, true) => {
-                                ApiResponse::created(format!("created (resourceVersion {version})"))
-                            }
-                            (version, false) => {
-                                ApiResponse::ok(format!("configured (resourceVersion {version})"))
-                            }
-                        },
-                        _ => match self.store.update(object) {
-                            Some(version) => {
-                                ApiResponse::ok(format!("configured (resourceVersion {version})"))
-                            }
-                            None => ApiResponse::error(
-                                ResponseStatus::NotFound,
-                                format!("{} \"{}\" not found", request.kind, request.name),
-                            ),
-                        },
+            Verb::Create | Verb::Update | Verb::Patch => {
+                match self.admit_object(request, &materialized) {
+                    Ok(object) => {
+                        // The vulnerable code runs while the API server (and
+                        // downstream components) process the accepted spec.
+                        self.record_exploits(request, &object);
+                        match request.verb {
+                            // `kubectl apply` semantics: create, falling back to
+                            // update on conflict — one upsert, no second
+                            // admission round trip.
+                            Verb::Create => match self.store.upsert(object) {
+                                (version, true) => ApiResponse::created(format!(
+                                    "created (resourceVersion {version})"
+                                )),
+                                (version, false) => ApiResponse::ok(format!(
+                                    "configured (resourceVersion {version})"
+                                )),
+                            },
+                            _ => match self.store.update(object) {
+                                Some(version) => ApiResponse::ok(format!(
+                                    "configured (resourceVersion {version})"
+                                )),
+                                None => ApiResponse::error(
+                                    ResponseStatus::NotFound,
+                                    format!("{} \"{}\" not found", request.kind, request.name),
+                                ),
+                            },
+                        }
                     }
+                    Err(response) => response,
                 }
-                Err(response) => response,
-            },
+            }
             Verb::Get => match self
                 .store
                 .get(request.kind, &request.namespace, &request.name)
@@ -319,7 +345,7 @@ impl RequestHandler for ApiServer {
         };
 
         // 3. Audit.
-        self.record_audit(request, response.is_success());
+        self.record_audit(request, response.is_success(), audit_body);
         response
     }
 }
@@ -442,7 +468,7 @@ mod tests {
             kind: ResourceKind::Pod,
             namespace: "default".into(),
             name: "x".into(),
-            body: Some(kf_yaml::parse("replicas: 3\n").unwrap()),
+            body: kf_yaml::parse("replicas: 3\n").unwrap().into(),
         };
         let response = server.handle(&request);
         assert_eq!(response.status, ResponseStatus::BadRequest);
@@ -457,7 +483,7 @@ mod tests {
             kind: ResourceKind::Service,
             namespace: "default".into(),
             name: "x".into(),
-            body: Some(pod("x").into_body()),
+            body: pod("x").into_body().into(),
         };
         let response = server.handle(&request);
         assert_eq!(response.status, ResponseStatus::BadRequest);

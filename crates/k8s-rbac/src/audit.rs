@@ -7,6 +7,8 @@
 //! policies can only be expressed over the former, which is exactly the
 //! granularity gap KubeFence fills.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use k8s_model::{ResourceKind, Verb};
@@ -30,8 +32,9 @@ pub struct AuditEvent {
     /// Whether the request was allowed.
     pub allowed: bool,
     /// The request body ("available" in the audit log, as the paper notes,
-    /// but not expressible in RBAC policies).
-    pub request_body: Option<Value>,
+    /// but not expressible in RBAC policies). Shared with the request that
+    /// produced it — recording an event never deep-clones the document.
+    pub request_body: Option<Arc<Value>>,
 }
 
 /// An in-memory audit log.
@@ -65,7 +68,7 @@ impl AuditLog {
         namespace: &str,
         name: &str,
         allowed: bool,
-        request_body: Option<Value>,
+        request_body: Option<Arc<Value>>,
     ) -> &AuditEvent {
         let event = AuditEvent {
             sequence: self.events.len() as u64,
@@ -157,9 +160,9 @@ mod tests {
             "prod",
             "web",
             true,
-            Some(body.clone()),
+            Some(Arc::new(body.clone())),
         );
-        assert_eq!(log.events()[0].request_body.as_ref(), Some(&body));
+        assert_eq!(log.events()[0].request_body.as_deref(), Some(&body));
     }
 
     #[test]

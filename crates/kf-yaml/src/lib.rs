@@ -32,6 +32,7 @@
 
 mod emitter;
 mod error;
+pub mod events;
 mod parser;
 mod path;
 mod value;

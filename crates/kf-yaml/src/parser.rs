@@ -1,11 +1,18 @@
-//! Parser for the YAML subset used by the KubeFence reproduction.
+//! Tree parser for the YAML subset used by the KubeFence reproduction.
 //!
 //! Supported syntax: block mappings, block sequences, plain / single-quoted /
 //! double-quoted scalars, flow sequences (`[a, b]`) and flow mappings
 //! (`{a: 1}`), comments, and multi-document streams separated by `---`.
 //! Anchors, aliases, tags and block scalars (`|`, `>`) are not supported; the
 //! manifests, values files and validators in this repository do not use them.
+//!
+//! Since the streaming-admission refactor this module is a thin *tree
+//! builder* over the pull-based event tokenizer
+//! ([`crate::events::Tokenizer`]): both the tree front end and the
+//! validate-while-parse front end consume the same scanner, so they can
+//! never disagree on the accepted syntax or on scalar typing.
 
+use crate::events::{Event, Tokenizer};
 use crate::value::{Mapping, Value};
 use crate::Error;
 
@@ -38,487 +45,74 @@ pub fn parse(text: &str) -> Result<Value, Error> {
 /// Returns [`Error::Parse`] when any document does not conform to the
 /// supported subset.
 pub fn parse_documents(text: &str) -> Result<Vec<Value>, Error> {
+    let mut tokenizer = Tokenizer::new(text)?;
     let mut documents = Vec::new();
-    let mut current: Vec<Line> = Vec::new();
-    let mut saw_separator = false;
-
-    for (idx, raw) in text.lines().enumerate() {
-        let number = idx + 1;
-        let trimmed = raw.trim_end();
-        if trimmed.trim_start().starts_with("---") && raw.trim_start() == trimmed.trim_start() {
-            // A document separator only counts when the whole line is `---`
-            // (optionally followed by a comment).
-            let after = trimmed.trim_start().trim_start_matches('-').trim();
-            if trimmed.trim_start().starts_with("---")
-                && (after.is_empty() || after.starts_with('#'))
-                && trimmed.trim_start().chars().take(3).all(|c| c == '-')
-            {
-                if !current.is_empty() {
-                    documents.push(parse_lines(&current)?);
-                    current.clear();
-                }
-                saw_separator = true;
-                continue;
-            }
+    let mut builder = TreeBuilder::default();
+    while let Some(event) = tokenizer.next_event()? {
+        if let Some(document) = builder.feed(event) {
+            documents.push(document);
         }
-        if let Some(line) = preprocess_line(trimmed, number)? {
-            current.push(line);
-        }
-    }
-    if !current.is_empty() {
-        documents.push(parse_lines(&current)?);
-    } else if documents.is_empty() && !saw_separator {
-        return Ok(Vec::new());
     }
     Ok(documents)
 }
 
-/// A significant (non-blank, non-comment) line of input.
-#[derive(Debug, Clone)]
-struct Line {
-    indent: usize,
-    text: String,
-    number: usize,
+/// An under-construction container node.
+#[derive(Debug)]
+enum Node {
+    Map {
+        map: Mapping,
+        /// The key whose value is currently being built.
+        key: Option<String>,
+    },
+    Seq(Vec<Value>),
 }
 
-/// Strip comments and blank lines; returns `None` for lines with no content.
-fn preprocess_line(raw: &str, number: usize) -> Result<Option<Line>, Error> {
-    let without_comment = strip_comment(raw);
-    let content = without_comment.trim_end();
-    if content.trim().is_empty() {
-        return Ok(None);
-    }
-    let indent = content.len() - content.trim_start().len();
-    if content[..indent].contains('\t') {
-        return Err(Error::parse(number, "tabs are not allowed in indentation"));
-    }
-    Ok(Some(Line {
-        indent,
-        text: content.trim_start().to_owned(),
-        number,
-    }))
+/// Builds [`Value`] trees from tokenizer events. Duplicate-key rejection is
+/// the tokenizer's job; the builder only assembles structure.
+#[derive(Debug, Default)]
+struct TreeBuilder {
+    stack: Vec<Node>,
+    root: Option<Value>,
 }
 
-/// Remove a trailing `# comment`, respecting quoted strings.
-fn strip_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_single = false;
-    let mut in_double = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        match c {
-            '\'' if !in_double => in_single = !in_single,
-            '"' if !in_single => {
-                // Handle escaped quotes inside double-quoted strings.
-                if in_double && i > 0 && bytes[i - 1] as char == '\\' {
-                    // escaped, stay inside
-                } else {
-                    in_double = !in_double;
+impl TreeBuilder {
+    /// Feed one event; returns the completed document on
+    /// [`Event::DocumentEnd`].
+    fn feed(&mut self, event: Event<'_>) -> Option<Value> {
+        match event {
+            Event::MappingStart { .. } => self.stack.push(Node::Map {
+                map: Mapping::new(),
+                key: None,
+            }),
+            Event::SequenceStart { .. } => self.stack.push(Node::Seq(Vec::new())),
+            Event::Key { name, .. } => {
+                if let Some(Node::Map { key, .. }) = self.stack.last_mut() {
+                    *key = Some(name.into_owned());
                 }
             }
-            // A '#' starts a comment when at start of line or preceded by
-            // whitespace.
-            '#' if !in_single
-                && !in_double
-                && (i == 0 || (bytes[i - 1] as char).is_whitespace()) =>
-            {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
-}
-
-fn parse_lines(lines: &[Line]) -> Result<Value, Error> {
-    if lines.is_empty() {
-        return Ok(Value::Null);
-    }
-    let mut work: Vec<Line> = lines.to_vec();
-    let mut pos = 0;
-    let indent = work[0].indent;
-    let value = parse_node(&mut work, &mut pos, indent)?;
-    if pos < work.len() {
-        return Err(Error::parse(
-            work[pos].number,
-            format!("unexpected content `{}` after document", work[pos].text),
-        ));
-    }
-    Ok(value)
-}
-
-/// Parse the node starting at `pos`, which must be indented exactly `indent`.
-fn parse_node(lines: &mut Vec<Line>, pos: &mut usize, indent: usize) -> Result<Value, Error> {
-    if *pos >= lines.len() || lines[*pos].indent < indent {
-        return Ok(Value::Null);
-    }
-    let line = &lines[*pos];
-    if line.text.starts_with("- ") || line.text == "-" {
-        parse_sequence(lines, pos, indent)
-    } else if find_key_split(&line.text).is_some() {
-        parse_mapping(lines, pos, indent)
-    } else {
-        // A bare scalar document (single line).
-        let value = parse_scalar_or_flow(&line.text, line.number)?;
-        *pos += 1;
-        Ok(value)
-    }
-}
-
-fn parse_mapping(lines: &mut Vec<Line>, pos: &mut usize, indent: usize) -> Result<Value, Error> {
-    let mut map = Mapping::new();
-    while *pos < lines.len() {
-        let line = lines[*pos].clone();
-        if line.indent < indent {
-            break;
-        }
-        if line.indent > indent {
-            return Err(Error::parse(
-                line.number,
-                format!(
-                    "unexpected indentation (expected {indent}, found {})",
-                    line.indent
-                ),
-            ));
-        }
-        if line.text.starts_with("- ") || line.text == "-" {
-            break;
-        }
-        let (key_raw, rest) = match find_key_split(&line.text) {
-            Some(split) => split,
-            None => {
-                return Err(Error::parse(
-                    line.number,
-                    format!("expected `key: value`, found `{}`", line.text),
-                ))
-            }
-        };
-        let key = unquote_key(key_raw, line.number)?;
-        *pos += 1;
-        let value = if rest.is_empty() {
-            // Value is on the following lines (nested block), or null.
-            if *pos < lines.len() {
-                let next = &lines[*pos];
-                if next.indent > indent {
-                    let next_indent = next.indent;
-                    parse_node(lines, pos, next_indent)?
-                } else if next.indent == indent && (next.text.starts_with("- ") || next.text == "-")
-                {
-                    // Sequences are conventionally allowed at the same indent
-                    // as their key.
-                    parse_sequence(lines, pos, indent)?
-                } else {
-                    Value::Null
-                }
-            } else {
-                Value::Null
-            }
-        } else {
-            parse_scalar_or_flow(rest, line.number)?
-        };
-        if map.contains_key(&key) {
-            return Err(Error::parse(
-                line.number,
-                format!("duplicate mapping key `{key}`"),
-            ));
-        }
-        map.insert(key, value);
-    }
-    Ok(Value::Map(map))
-}
-
-fn parse_sequence(lines: &mut Vec<Line>, pos: &mut usize, indent: usize) -> Result<Value, Error> {
-    let mut seq = Vec::new();
-    while *pos < lines.len() {
-        let line = lines[*pos].clone();
-        if line.indent != indent || !(line.text.starts_with("- ") || line.text == "-") {
-            if line.indent > indent {
-                return Err(Error::parse(
-                    line.number,
-                    "unexpected indentation inside sequence".to_string(),
-                ));
-            }
-            break;
-        }
-        let content = if line.text == "-" {
-            ""
-        } else {
-            line.text[2..].trim_start()
-        };
-        if content.is_empty() {
-            // Nested block on the following lines.
-            *pos += 1;
-            if *pos < lines.len() && lines[*pos].indent > indent {
-                let next_indent = lines[*pos].indent;
-                seq.push(parse_node(lines, pos, next_indent)?);
-            } else {
-                seq.push(Value::Null);
-            }
-        } else {
-            // Rewrite the current line so the item content becomes a regular
-            // line at the column where it starts; this uniformly handles both
-            // scalar items and compact `- key: value` mapping items whose
-            // remaining keys continue on the following lines.
-            let content_col = line.indent + (line.text.len() - content.len());
-            lines[*pos] = Line {
-                indent: content_col,
-                text: content.to_owned(),
-                number: line.number,
-            };
-            seq.push(parse_node(lines, pos, content_col)?);
-        }
-    }
-    Ok(Value::Seq(seq))
-}
-
-/// Split `key: rest` at the first unquoted `:` that is followed by a space or
-/// ends the line. Returns `(key, rest)` with `rest` trimmed.
-fn find_key_split(text: &str) -> Option<(&str, &str)> {
-    let bytes = text.as_bytes();
-    let mut in_single = false;
-    let mut in_double = false;
-    let mut depth = 0usize; // inside flow collections `:` does not split
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        match c {
-            '\'' if !in_double => in_single = !in_single,
-            '"' if !(in_single || in_double && i > 0 && bytes[i - 1] as char == '\\') => {
-                in_double = !in_double;
-            }
-            '[' | '{' if !in_single && !in_double => depth += 1,
-            ']' | '}' if !in_single && !in_double => depth = depth.saturating_sub(1),
-            ':' if !in_single && !in_double && depth == 0 => {
-                let at_end = i + 1 == bytes.len();
-                let followed_by_space = !at_end && (bytes[i + 1] as char).is_whitespace();
-                if at_end || followed_by_space {
-                    let key = text[..i].trim();
-                    let rest = if at_end { "" } else { text[i + 1..].trim() };
-                    if key.is_empty() {
-                        return None;
-                    }
-                    return Some((key, rest));
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    None
-}
-
-fn unquote_key(key: &str, line: usize) -> Result<String, Error> {
-    if (key.starts_with('"') && key.ends_with('"') && key.len() >= 2)
-        || (key.starts_with('\'') && key.ends_with('\'') && key.len() >= 2)
-    {
-        parse_quoted(key, line)
-    } else {
-        Ok(key.to_owned())
-    }
-}
-
-/// Parse a scalar or an inline flow collection.
-fn parse_scalar_or_flow(text: &str, line: usize) -> Result<Value, Error> {
-    let text = text.trim();
-    if text.starts_with('[') || text.starts_with('{') {
-        let mut chars: Vec<char> = text.chars().collect();
-        let mut i = 0;
-        let value = parse_flow(&mut chars, &mut i, line)?;
-        while i < chars.len() && chars[i].is_whitespace() {
-            i += 1;
-        }
-        if i != chars.len() {
-            return Err(Error::parse(
-                line,
-                "trailing characters after flow collection",
-            ));
-        }
-        return Ok(value);
-    }
-    parse_scalar(text, line)
-}
-
-fn parse_flow(chars: &mut Vec<char>, i: &mut usize, line: usize) -> Result<Value, Error> {
-    skip_ws(chars, i);
-    match chars.get(*i) {
-        Some('[') => {
-            *i += 1;
-            let mut seq = Vec::new();
-            loop {
-                skip_ws(chars, i);
-                if chars.get(*i) == Some(&']') {
-                    *i += 1;
-                    break;
-                }
-                seq.push(parse_flow(chars, i, line)?);
-                skip_ws(chars, i);
-                match chars.get(*i) {
-                    Some(',') => {
-                        *i += 1;
-                    }
-                    Some(']') => {
-                        *i += 1;
-                        break;
-                    }
-                    _ => return Err(Error::parse(line, "expected `,` or `]` in flow sequence")),
-                }
-            }
-            Ok(Value::Seq(seq))
-        }
-        Some('{') => {
-            *i += 1;
-            let mut map = Mapping::new();
-            loop {
-                skip_ws(chars, i);
-                if chars.get(*i) == Some(&'}') {
-                    *i += 1;
-                    break;
-                }
-                let key_val = parse_flow_token(chars, i, line, &[':'])?;
-                let key = match key_val {
-                    Value::Str(s) => s,
-                    other => other.scalar_to_string(),
+            Event::Scalar { value, .. } => self.attach(value.into_value()),
+            Event::End => {
+                let node = self.stack.pop().expect("events are balanced");
+                let value = match node {
+                    Node::Map { map, .. } => Value::Map(map),
+                    Node::Seq(items) => Value::Seq(items),
                 };
-                skip_ws(chars, i);
-                if chars.get(*i) != Some(&':') {
-                    return Err(Error::parse(line, "expected `:` in flow mapping"));
-                }
-                *i += 1;
-                let value = parse_flow(chars, i, line)?;
-                map.insert(key, value);
-                skip_ws(chars, i);
-                match chars.get(*i) {
-                    Some(',') => {
-                        *i += 1;
-                    }
-                    Some('}') => {
-                        *i += 1;
-                        break;
-                    }
-                    _ => return Err(Error::parse(line, "expected `,` or `}` in flow mapping")),
-                }
+                self.attach(value);
             }
-            Ok(Value::Map(map))
+            Event::DocumentEnd => return Some(self.root.take().unwrap_or(Value::Null)),
         }
-        Some(_) => parse_flow_token(chars, i, line, &[',', ']', '}']),
-        None => Err(Error::parse(line, "unexpected end of flow collection")),
+        None
     }
-}
 
-/// Parse one scalar token inside a flow collection, stopping at any of the
-/// `stops` characters (outside quotes).
-fn parse_flow_token(
-    chars: &[char],
-    i: &mut usize,
-    line: usize,
-    stops: &[char],
-) -> Result<Value, Error> {
-    skip_ws_slice(chars, i);
-    if matches!(chars.get(*i), Some('"') | Some('\'')) {
-        let quote = chars[*i];
-        let start = *i;
-        *i += 1;
-        while *i < chars.len() {
-            if chars[*i] == quote && !(quote == '"' && chars[*i - 1] == '\\') {
-                *i += 1;
-                let raw: String = chars[start..*i].iter().collect();
-                return parse_quoted(&raw, line).map(Value::Str);
+    fn attach(&mut self, value: Value) {
+        match self.stack.last_mut() {
+            Some(Node::Map { map, key }) => {
+                map.insert(key.take().expect("key precedes value"), value);
             }
-            *i += 1;
-        }
-        return Err(Error::parse(line, "unterminated quoted string"));
-    }
-    let start = *i;
-    while *i < chars.len() && !stops.contains(&chars[*i]) {
-        *i += 1;
-    }
-    let raw: String = chars[start..*i].iter().collect();
-    parse_scalar(raw.trim(), line)
-}
-
-fn skip_ws(chars: &[char], i: &mut usize) {
-    while *i < chars.len() && chars[*i].is_whitespace() {
-        *i += 1;
-    }
-}
-
-fn skip_ws_slice(chars: &[char], i: &mut usize) {
-    skip_ws(chars, i);
-}
-
-/// Parse a plain or quoted scalar into the appropriate [`Value`] variant.
-fn parse_scalar(text: &str, line: usize) -> Result<Value, Error> {
-    let text = text.trim();
-    if text.is_empty() {
-        return Ok(Value::Null);
-    }
-    if (text.starts_with('"') && text.ends_with('"') && text.len() >= 2)
-        || (text.starts_with('\'') && text.ends_with('\'') && text.len() >= 2)
-    {
-        return parse_quoted(text, line).map(Value::Str);
-    }
-    match text {
-        "~" | "null" | "Null" | "NULL" => return Ok(Value::Null),
-        "true" | "True" | "TRUE" => return Ok(Value::Bool(true)),
-        "false" | "False" | "FALSE" => return Ok(Value::Bool(false)),
-        "{}" => return Ok(Value::empty_map()),
-        "[]" => return Ok(Value::empty_seq()),
-        _ => {}
-    }
-    if let Ok(i) = text.parse::<i64>() {
-        // Leading zeros (e.g. "0755") are kept as strings to avoid octal
-        // surprises in manifests.
-        if !(text.len() > 1 && (text.starts_with('0') || text.starts_with("-0"))) {
-            return Ok(Value::Int(i));
+            Some(Node::Seq(items)) => items.push(value),
+            None => self.root = Some(value),
         }
     }
-    if looks_like_float(text) {
-        if let Ok(x) = text.parse::<f64>() {
-            return Ok(Value::Float(x));
-        }
-    }
-    Ok(Value::Str(text.to_owned()))
-}
-
-fn looks_like_float(text: &str) -> bool {
-    let t = text.strip_prefix('-').unwrap_or(text);
-    !t.is_empty()
-        && t.contains('.')
-        && t.chars().all(|c| c.is_ascii_digit() || c == '.')
-        && t.chars().filter(|c| *c == '.').count() == 1
-        && !t.starts_with('.')
-        && !t.ends_with('.')
-}
-
-fn parse_quoted(text: &str, line: usize) -> Result<String, Error> {
-    let quote = text.chars().next().expect("non-empty");
-    let inner = &text[1..text.len() - 1];
-    if quote == '\'' {
-        // Single quotes: the only escape is '' for a literal quote.
-        return Ok(inner.replace("''", "'"));
-    }
-    let mut out = String::with_capacity(inner.len());
-    let mut chars = inner.chars();
-    while let Some(c) = chars.next() {
-        if c == '\\' {
-            match chars.next() {
-                Some('n') => out.push('\n'),
-                Some('t') => out.push('\t'),
-                Some('"') => out.push('"'),
-                Some('\\') => out.push('\\'),
-                Some(other) => {
-                    out.push('\\');
-                    out.push(other);
-                }
-                None => return Err(Error::parse(line, "dangling escape in quoted string")),
-            }
-        } else {
-            out.push(c);
-        }
-    }
-    Ok(out)
 }
 
 #[cfg(test)]
@@ -641,6 +235,11 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_flow_mapping_keys_are_rejected() {
+        assert!(parse("m: {a: 1, a: 2}\n").is_err());
+    }
+
+    #[test]
     fn tabs_in_indentation_are_rejected() {
         assert!(parse("a:\n\tb: 1\n").is_err());
     }
@@ -676,6 +275,25 @@ mod tests {
     fn escaped_characters_in_double_quotes() {
         let doc = parse("cmd: \"echo \\\"hi\\\"\\n\"\n").unwrap();
         assert_eq!(doc.get("cmd").unwrap().as_str(), Some("echo \"hi\"\n"));
+    }
+
+    #[test]
+    fn escaped_backslash_before_closing_quote() {
+        // Block scalars, flow scalars and comment stripping must all agree
+        // that `"a\\"` is a complete string ending in one backslash.
+        let doc = parse("v: \"a\\\\\"\nw: [\"C:\\\\\"]\nx: \"y\\\\\" # note\n").unwrap();
+        assert_eq!(doc.get("v").unwrap().as_str(), Some("a\\"));
+        assert_eq!(
+            doc.get("w").unwrap().as_seq().unwrap()[0].as_str(),
+            Some("C:\\")
+        );
+        assert_eq!(doc.get("x").unwrap().as_str(), Some("y\\"));
+    }
+
+    #[test]
+    fn trailing_content_after_document_is_rejected() {
+        let err = parse("hello\nworld\n").unwrap_err();
+        assert!(err.to_string().contains("unexpected content"));
     }
 
     #[test]

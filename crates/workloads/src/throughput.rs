@@ -111,6 +111,26 @@ impl ThroughputDriver {
         }
     }
 
+    /// A raw-body pool mixing several operators' traffic: every manifest is
+    /// serialized to wire bytes **once** at pool construction, and replay
+    /// hands out cheap byte-buffer clones — the wire-faithful regime the
+    /// streaming admission plane is measured in.
+    pub fn for_operators_raw(operators: &[Operator]) -> Self {
+        Self::for_operators(operators).into_raw()
+    }
+
+    /// Convert the pool to raw (pre-serialized) bodies. Each manifest is
+    /// encoded once here; replaying a request afterwards never re-serializes
+    /// or deep-clones a document tree.
+    pub fn into_raw(mut self) -> Self {
+        self.requests = self
+            .requests
+            .into_iter()
+            .map(ApiRequest::into_raw)
+            .collect();
+        self
+    }
+
     /// The replayed request pool, in replay order.
     pub fn requests(&self) -> &[ApiRequest] {
         &self.requests
@@ -217,6 +237,25 @@ mod tests {
         assert!(report.p99 <= report.max);
         // The permissive server admits everything, attacks included.
         assert_eq!(report.denied, 0);
+    }
+
+    #[test]
+    fn raw_pools_replay_identically_to_tree_pools() {
+        let tree = ThroughputDriver::for_operator(Operator::Nginx);
+        let raw = ThroughputDriver::for_operator(Operator::Nginx).into_raw();
+        assert_eq!(tree.requests().len(), raw.requests().len());
+        assert_eq!(tree.attack_count(), raw.attack_count());
+        for (t, r) in tree.requests().iter().zip(raw.requests()) {
+            assert_eq!(t.path(), r.path());
+            assert!(t.body.is_none() == r.body.is_none());
+            if r.body.is_some() {
+                assert!(r.body.raw().is_some(), "raw pools carry wire bytes");
+            }
+        }
+        // Replay against a permissive server succeeds for both shapes.
+        let server = ApiServer::new().with_admin(&Operator::Nginx.user());
+        let report = raw.run(&server, 2, 40);
+        assert_eq!(report.admitted + report.denied, 80);
     }
 
     #[test]

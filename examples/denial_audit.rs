@@ -47,7 +47,9 @@ fn main() {
         kind: ResourceKind::Deployment,
         namespace: "web".to_owned(),
         name: "mystery".to_owned(),
-        body: Some(kf_yaml::parse("not: a\nkubernetes: object\n").unwrap()),
+        body: kf_yaml::parse("not: a\nkubernetes: object\n")
+            .unwrap()
+            .into(),
     };
     let response = proxy.handle(&garbage);
     println!(
