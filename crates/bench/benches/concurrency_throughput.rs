@@ -16,12 +16,18 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use k8s_apiserver::ApiServer;
-use kf_bench::validator_for;
+use kf_bench::{replay_requests, validator_for};
 use kf_workloads::{Operator, ThroughputDriver, ThroughputReport};
 use kubefence::{BaselineProxy, EnforcementProxy, ValidatorSet};
 
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
-const REQUESTS_PER_THREAD: usize = 2_000;
+const FULL_REQUESTS_PER_THREAD: usize = 2_000;
+
+fn requests_per_thread() -> usize {
+    // `--smoke` / KF_BENCH_SMOKE=1 shrinks the replay so CI can execute the
+    // harness (and print real req/s) on every push.
+    replay_requests(FULL_REQUESTS_PER_THREAD)
+}
 
 fn validators() -> ValidatorSet {
     let mut set = ValidatorSet::new();
@@ -59,21 +65,21 @@ fn print_scaling_table() {
         ThroughputDriver::for_operators(&Operator::ALL)
             .requests()
             .len(),
-        REQUESTS_PER_THREAD
+        requests_per_thread()
     );
     let driver = ThroughputDriver::for_operators(&Operator::ALL);
     let mut compiled_at_8 = 0.0f64;
     let mut tree_at_8 = 0.0f64;
     for threads in THREAD_COUNTS {
         let compiled = EnforcementProxy::with_validators(server(), validators());
-        let report = driver.run(&compiled, threads, REQUESTS_PER_THREAD);
+        let report = driver.run(&compiled, threads, requests_per_thread());
         row("compiled + atomic proxy", &report);
         if threads == 8 {
             compiled_at_8 = report.requests_per_sec();
         }
 
         let baseline = BaselineProxy::with_validators(server(), validators());
-        let report = driver.run(&baseline, threads, REQUESTS_PER_THREAD);
+        let report = driver.run(&baseline, threads, requests_per_thread());
         row("tree + mutex baseline", &report);
         if threads == 8 {
             tree_at_8 = report.requests_per_sec();
@@ -89,6 +95,10 @@ fn print_scaling_table() {
 
 fn bench(c: &mut Criterion) {
     print_scaling_table();
+    if kf_bench::smoke_mode() {
+        // Smoke mode proves the harness runs; skip the criterion loops.
+        return;
+    }
     // Criterion-tracked single-request latency of both validation planes, so
     // regressions show up in the per-iteration numbers as well.
     let driver = ThroughputDriver::for_operator(Operator::Sonarqube);

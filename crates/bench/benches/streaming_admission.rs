@@ -1,27 +1,35 @@
-//! Validate-while-parse vs tree-parse-then-validate on raw wire bytes.
+//! Validate-while-parse vs tree-parse-then-validate on raw wire bytes, for
+//! **both wire formats** (YAML and JSON).
 //!
 //! The streaming admission plane (`kubefence::stream`) tokenizes a raw
 //! request body once and advances compiled-arena matchers as events arrive,
-//! allocating no document tree on the accept path. This benchmark holds the
+//! allocating no document tree on the accept path and synthesizing denial
+//! reports from matcher state (no re-parse). This benchmark holds the
 //! *validation* plane constant (both paths check against the same compiled
 //! arenas) and varies only the *parsing* strategy:
 //!
-//! * **streaming** — `ValidatorSet::validate_raw`: validate while
-//!   tokenizing, early-deny at the first fatal violation;
-//! * **tree** — `ValidatorSet::validate_raw_tree`: parse the full document
-//!   into a `Value` tree, then validate it (the reference semantics).
+//! * **streaming** — `ValidatorSet::validate_raw_format`: validate while
+//!   tokenizing;
+//! * **tree** — `ValidatorSet::validate_raw_tree_format`: parse the full
+//!   document into a `Value` tree, then validate it (the reference
+//!   semantics).
 //!
-//! Three traffic classes are replayed from 1, 4 and 8 threads:
+//! Three traffic classes per format are replayed from 1, 4 and 8 threads:
 //!
 //! * **accept** — every operator's legitimate manifests (the common case:
-//!   the acceptance criterion is streaming > tree at 8 threads here);
-//! * **deny-early** — the attack catalog's malicious manifests (the stream
-//!   stops at the deciding event, then re-parses once for the audit report);
+//!   the acceptance criterion is streaming ≥ tree at 8 threads here, for
+//!   both formats);
+//! * **deny-early** — the attack catalog's malicious manifests (the denial
+//!   is decided at the first fatal violation and the report comes from
+//!   matcher state; the acceptance criterion is streaming > tree here too,
+//!   now that denials no longer re-parse);
 //! * **unparsable** — truncated/corrupted payloads (the stream rejects at
 //!   the defect; the tree path pays a full failed parse).
 //!
 //! A proxy-level run (EnforcementProxy vs BaselineProxy over a raw
-//! `ThroughputDriver` pool) closes the loop end-to-end.
+//! `ThroughputDriver` pool) closes the loop end-to-end. Passing `--smoke`
+//! (or `KF_BENCH_SMOKE=1`) runs a tiny fixed configuration so CI can
+//! execute the harness on every push.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -29,12 +37,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use k8s_apiserver::ApiServer;
 use kf_attacks::AttackExecutor;
-use kf_bench::validator_for;
+use kf_bench::{replay_requests, validator_for};
 use kf_workloads::{DeploymentDriver, Operator, ThroughputDriver};
-use kubefence::{BaselineProxy, EnforcementProxy, ValidatorSet};
+use kubefence::{BaselineProxy, BodyFormat, EnforcementProxy, ValidatorSet};
 
 const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
-const REQUESTS_PER_THREAD: usize = 2_000;
+const FULL_REQUESTS_PER_THREAD: usize = 2_000;
+
+fn requests_per_thread() -> usize {
+    replay_requests(FULL_REQUESTS_PER_THREAD)
+}
 
 fn validators() -> ValidatorSet {
     let mut set = ValidatorSet::new();
@@ -44,22 +56,29 @@ fn validators() -> ValidatorSet {
     set
 }
 
-/// Every operator's legitimate manifests, as wire bytes.
-fn accept_pool() -> Vec<String> {
+fn serialize(body: &kf_yaml::Value, format: BodyFormat) -> String {
+    match format {
+        BodyFormat::Json => kf_yaml::to_json(body),
+        _ => kf_yaml::to_yaml(body),
+    }
+}
+
+/// Every operator's legitimate manifests, as wire bytes of `format`.
+fn accept_pool(format: BodyFormat) -> Vec<String> {
     Operator::ALL
         .iter()
         .flat_map(|operator| {
             DeploymentDriver::new(*operator)
                 .objects()
                 .iter()
-                .map(|object| object.to_yaml())
+                .map(|object| serialize(object.body(), format))
                 .collect::<Vec<_>>()
         })
         .collect()
 }
 
-/// The attack catalog's malicious manifests, as wire bytes.
-fn deny_pool() -> Vec<String> {
+/// The attack catalog's malicious manifests, as wire bytes of `format`.
+fn deny_pool(format: BodyFormat) -> Vec<String> {
     Operator::ALL
         .iter()
         .flat_map(|operator| {
@@ -71,29 +90,39 @@ fn deny_pool() -> Vec<String> {
             )
             .malicious_objects()
             .into_iter()
-            .map(|(_spec, object)| object.to_yaml())
+            .map(|(_spec, object)| serialize(object.body(), format))
             .collect::<Vec<_>>()
         })
         .collect()
 }
 
 /// Corrupted payloads: legitimate manifests truncated mid-token and with
-/// indentation damage — what malformed or hostile wire traffic looks like.
-fn unparsable_pool() -> Vec<String> {
-    accept_pool()
+/// structural damage — what malformed or hostile wire traffic looks like.
+fn unparsable_pool(format: BodyFormat) -> Vec<String> {
+    accept_pool(format)
         .into_iter()
         .enumerate()
-        .map(|(i, text)| match i % 3 {
-            0 => text[..text.len() * 2 / 3].to_owned() + "\n  {truncated",
-            1 => text.replace("kind:", "   kind:"),
-            _ => format!("{text}---\n{text}"),
+        .map(|(i, text)| match (format, i % 3) {
+            (BodyFormat::Json, 0) => text[..text.len() * 2 / 3].to_owned(),
+            (BodyFormat::Json, 1) => text.replace("\":", "\""),
+            (BodyFormat::Json, _) => format!("{text}{text}"),
+            (_, 0) => text[..text.len() * 2 / 3].to_owned() + "\n  {truncated",
+            (_, 1) => text.replace("kind:", "   kind:"),
+            (_, _) => format!("{text}---\n{text}"),
         })
         .collect()
 }
 
 /// Replay `pool` from `threads` threads against one of the two raw paths;
 /// returns sustained requests/sec and the admitted count (sanity).
-fn replay(set: &ValidatorSet, pool: &[String], threads: usize, streaming: bool) -> (f64, u64) {
+fn replay(
+    set: &ValidatorSet,
+    pool: &[String],
+    format: BodyFormat,
+    threads: usize,
+    streaming: bool,
+) -> (f64, u64) {
+    let per_thread = requests_per_thread();
     let admitted = AtomicU64::new(0);
     let started = std::time::Instant::now();
     std::thread::scope(|scope| {
@@ -102,12 +131,12 @@ fn replay(set: &ValidatorSet, pool: &[String], threads: usize, streaming: bool) 
             scope.spawn(move || {
                 let offset = thread * pool.len() / threads.max(1);
                 let mut local = 0u64;
-                for i in 0..REQUESTS_PER_THREAD {
+                for i in 0..per_thread {
                     let text = &pool[(offset + i) % pool.len()];
                     let verdict = if streaming {
-                        set.validate_raw(text)
+                        set.validate_raw_format(text, format)
                     } else {
-                        set.validate_raw_tree(text)
+                        set.validate_raw_tree_format(text, format)
                     };
                     if verdict.is_admitted() {
                         local += 1;
@@ -118,57 +147,61 @@ fn replay(set: &ValidatorSet, pool: &[String], threads: usize, streaming: bool) 
         }
     });
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
-    let total = (threads * REQUESTS_PER_THREAD) as f64;
+    let total = (threads * per_thread) as f64;
     (total / elapsed, admitted.into_inner())
 }
 
 fn print_scaling_table() {
     let set = validators();
-    let pools: [(&str, Vec<String>); 3] = [
-        ("accept", accept_pool()),
-        ("deny-early", deny_pool()),
-        ("unparsable", unparsable_pool()),
-    ];
     println!("\n=== Streaming admission: validate-while-parse vs tree-parse-then-validate ===");
-    let mut accept_stream_at_8 = 0.0f64;
-    let mut accept_tree_at_8 = 0.0f64;
-    for (label, pool) in &pools {
-        println!(
-            "\n--- {label} traffic ({} distinct payloads, {} requests/thread) ---",
-            pool.len(),
-            REQUESTS_PER_THREAD
-        );
-        for threads in THREAD_COUNTS {
-            let (stream_rps, stream_admitted) = replay(&set, pool, threads, true);
-            let (tree_rps, tree_admitted) = replay(&set, pool, threads, false);
-            assert_eq!(
-                stream_admitted, tree_admitted,
-                "verdict parity must hold under replay"
-            );
+    for format in [BodyFormat::Yaml, BodyFormat::Json] {
+        let pools: [(&str, Vec<String>); 3] = [
+            ("accept", accept_pool(format)),
+            ("deny-early", deny_pool(format)),
+            ("unparsable", unparsable_pool(format)),
+        ];
+        let mut accept_stream_at_8 = 0.0f64;
+        let mut accept_tree_at_8 = 0.0f64;
+        for (label, pool) in &pools {
             println!(
-                "{label:<12} {threads} threads   streaming {stream_rps:>12.0} req/s   tree {tree_rps:>12.0} req/s   ({:.2}x)",
-                stream_rps / tree_rps.max(1e-9)
+                "\n--- {} {label} traffic ({} distinct payloads, {} requests/thread) ---",
+                format.name(),
+                pool.len(),
+                requests_per_thread()
             );
-            if *label == "accept" && threads == 8 {
-                accept_stream_at_8 = stream_rps;
-                accept_tree_at_8 = tree_rps;
+            for threads in THREAD_COUNTS {
+                let (stream_rps, stream_admitted) = replay(&set, pool, format, threads, true);
+                let (tree_rps, tree_admitted) = replay(&set, pool, format, threads, false);
+                assert_eq!(
+                    stream_admitted, tree_admitted,
+                    "verdict parity must hold under replay"
+                );
+                println!(
+                    "{}/{label:<12} {threads} threads   streaming {stream_rps:>12.0} req/s   tree {tree_rps:>12.0} req/s   ({:.2}x)",
+                    format.name(),
+                    stream_rps / tree_rps.max(1e-9)
+                );
+                if *label == "accept" && threads == 8 {
+                    accept_stream_at_8 = stream_rps;
+                    accept_tree_at_8 = tree_rps;
+                }
             }
         }
+        println!(
+            "\n8-thread {} accept verdict: streaming {accept_stream_at_8:.0} req/s vs tree {accept_tree_at_8:.0} req/s  ({:.2}x)  {}",
+            format.name(),
+            accept_stream_at_8 / accept_tree_at_8.max(1e-9),
+            if accept_stream_at_8 >= accept_tree_at_8 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
     }
-    println!(
-        "\n8-thread accept verdict: streaming {accept_stream_at_8:.0} req/s vs tree {accept_tree_at_8:.0} req/s  ({:.2}x)  {}",
-        accept_stream_at_8 / accept_tree_at_8.max(1e-9),
-        if accept_stream_at_8 > accept_tree_at_8 {
-            "PASS"
-        } else {
-            "FAIL"
-        }
-    );
 }
 
 fn print_proxy_table() {
     println!("\n=== End-to-end: raw traffic through the proxies (8 threads) ===");
-    let driver = ThroughputDriver::for_operators_raw(&Operator::ALL);
     let server = || {
         let mut server = ApiServer::new();
         for operator in Operator::ALL {
@@ -176,65 +209,80 @@ fn print_proxy_table() {
         }
         server
     };
-    let streaming = EnforcementProxy::with_validators(server(), validators());
-    let report = driver.run(&streaming, 8, REQUESTS_PER_THREAD);
-    println!(
-        "enforcement (streaming)      {:>12.0} req/s   p50 {:>9.1} µs   p99 {:>9.1} µs   ({} admitted / {} denied)",
-        report.requests_per_sec(),
-        report.p50.as_nanos() as f64 / 1e3,
-        report.p99.as_nanos() as f64 / 1e3,
-        report.admitted,
-        report.denied,
-    );
-    let baseline = BaselineProxy::with_validators(server(), validators());
-    let report = driver.run(&baseline, 8, REQUESTS_PER_THREAD);
-    println!(
-        "baseline (parse-then-tree)   {:>12.0} req/s   p50 {:>9.1} µs   p99 {:>9.1} µs   ({} admitted / {} denied)",
-        report.requests_per_sec(),
-        report.p50.as_nanos() as f64 / 1e3,
-        report.p99.as_nanos() as f64 / 1e3,
-        report.admitted,
-        report.denied,
-    );
+    for (label, driver) in [
+        ("yaml", ThroughputDriver::for_operators_raw(&Operator::ALL)),
+        (
+            "json",
+            ThroughputDriver::for_operators_raw_json(&Operator::ALL),
+        ),
+    ] {
+        let streaming = EnforcementProxy::with_validators(server(), validators());
+        let report = driver.run(&streaming, 8, requests_per_thread());
+        println!(
+            "{label} enforcement (streaming)      {:>12.0} req/s   p50 {:>9.1} µs   p99 {:>9.1} µs   ({} admitted / {} denied)",
+            report.requests_per_sec(),
+            report.p50.as_nanos() as f64 / 1e3,
+            report.p99.as_nanos() as f64 / 1e3,
+            report.admitted,
+            report.denied,
+        );
+        let baseline = BaselineProxy::with_validators(server(), validators());
+        let report = driver.run(&baseline, 8, requests_per_thread());
+        println!(
+            "{label} baseline (parse-then-tree)   {:>12.0} req/s   p50 {:>9.1} µs   p99 {:>9.1} µs   ({} admitted / {} denied)",
+            report.requests_per_sec(),
+            report.p50.as_nanos() as f64 / 1e3,
+            report.p99.as_nanos() as f64 / 1e3,
+            report.admitted,
+            report.denied,
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {
     print_scaling_table();
     print_proxy_table();
-    // Criterion-tracked single-payload latency of both raw paths, so
-    // regressions show up in per-iteration numbers as well.
+    if kf_bench::smoke_mode() {
+        // Smoke mode proves the harness runs and prints real req/s; the
+        // criterion micro-loops are skipped to keep the CI step fast.
+        return;
+    }
+    // Criterion-tracked single-payload latency of both raw paths and both
+    // formats, so regressions show up in per-iteration numbers as well.
     let set = validators();
-    let accept = accept_pool();
-    let deny = deny_pool();
     let mut group = c.benchmark_group("streaming_admission");
-    group.bench_function("validate_raw_accept", |b| {
-        b.iter(|| {
-            for text in &accept {
-                criterion::black_box(set.validate_raw(text).is_admitted());
-            }
-        })
-    });
-    group.bench_function("validate_raw_tree_accept", |b| {
-        b.iter(|| {
-            for text in &accept {
-                criterion::black_box(set.validate_raw_tree(text).is_admitted());
-            }
-        })
-    });
-    group.bench_function("validate_raw_deny", |b| {
-        b.iter(|| {
-            for text in &deny {
-                criterion::black_box(set.validate_raw(text).is_admitted());
-            }
-        })
-    });
-    group.bench_function("validate_raw_tree_deny", |b| {
-        b.iter(|| {
-            for text in &deny {
-                criterion::black_box(set.validate_raw_tree(text).is_admitted());
-            }
-        })
-    });
+    for format in [BodyFormat::Yaml, BodyFormat::Json] {
+        let accept = accept_pool(format);
+        let deny = deny_pool(format);
+        group.bench_function(format!("validate_raw_accept_{}", format.name()), |b| {
+            b.iter(|| {
+                for text in &accept {
+                    criterion::black_box(set.validate_raw_format(text, format).is_admitted());
+                }
+            })
+        });
+        group.bench_function(format!("validate_raw_tree_accept_{}", format.name()), |b| {
+            b.iter(|| {
+                for text in &accept {
+                    criterion::black_box(set.validate_raw_tree_format(text, format).is_admitted());
+                }
+            })
+        });
+        group.bench_function(format!("validate_raw_deny_{}", format.name()), |b| {
+            b.iter(|| {
+                for text in &deny {
+                    criterion::black_box(set.validate_raw_format(text, format).is_admitted());
+                }
+            })
+        });
+        group.bench_function(format!("validate_raw_tree_deny_{}", format.name()), |b| {
+            b.iter(|| {
+                for text in &deny {
+                    criterion::black_box(set.validate_raw_tree_format(text, format).is_admitted());
+                }
+            })
+        });
+    }
     group.finish();
 }
 

@@ -34,6 +34,28 @@ pub fn learned_rbac_policy(operator: Operator) -> RbacPolicySet {
     )
 }
 
+/// Whether the benches should run in **smoke mode**: a tiny, fixed-seed
+/// configuration that executes every code path in seconds so CI can prove
+/// the perf harness still runs (and print real req/s numbers) without
+/// paying for a full measurement. Enabled by the `--smoke` argument
+/// (`cargo bench --bench <name> -- --smoke`) or `KF_BENCH_SMOKE=1`.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|arg| arg == "--smoke")
+        || std::env::var("KF_BENCH_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+}
+
+/// The per-thread replay request count for throughput-style benches:
+/// `full` normally, a tiny count in [`smoke_mode`].
+pub fn replay_requests(full: usize) -> usize {
+    if smoke_mode() {
+        (full / 20).max(10)
+    } else {
+        full
+    }
+}
+
 /// Mean and standard deviation of a sample set.
 pub fn mean_and_stddev(samples: &[f64]) -> (f64, f64) {
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;

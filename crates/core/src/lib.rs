@@ -66,6 +66,7 @@ pub mod validator;
 pub use compile::{CompiledNode, CompiledValidator};
 pub use error::Error;
 pub use explore::ConfigurationExplorer;
+pub use kf_yaml::BodyFormat;
 pub use pipeline::{GeneratorConfig, PolicyGenerator};
 pub use proxy::{BaselineProxy, DenialRecord, EnforcementProxy, ProxyStats};
 pub use schema_gen::{ValuesSchema, ValuesSchemaGenerator};

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use k8s_apiserver::{ApiRequest, ApiResponse, RequestBody, RequestHandler, ResponseStatus};
 use k8s_model::ResourceKind;
-use kf_yaml::Value;
+use kf_yaml::{BodyFormat, Value};
 
 use crate::stream::{RawVerdict, SourceLocation};
 use crate::validator::{Validator, ValidatorSet, Violation, ViolationReason};
@@ -362,13 +362,15 @@ impl<H: RequestHandler> EnforcementProxy<H> {
         }
     }
 
-    /// The wire-faithful path: raw bytes are validated **while parsing**;
-    /// no document tree is allocated on the accept path and a denial stops
-    /// tokenizing at the deciding event.
-    fn handle_raw(&self, request: &ApiRequest, bytes: &[u8]) -> ApiResponse {
+    /// The wire-faithful path: raw bytes — YAML or JSON, per the request's
+    /// declared [`BodyFormat`] — are validated **while parsing**; no
+    /// document tree is allocated on the accept path, and denial reports
+    /// are synthesized from matcher state by a second tokenizer pass (no
+    /// tree parse; see `kubefence::stream` for the two-phase design).
+    fn handle_raw(&self, request: &ApiRequest, bytes: &[u8], format: BodyFormat) -> ApiResponse {
         let started = Instant::now();
         let verdict = match std::str::from_utf8(bytes) {
-            Ok(text) => self.validators.validate_raw(text),
+            Ok(text) => self.validators.validate_raw_format(text, format),
             Err(_) => RawVerdict::Unparsable {
                 reason: "request body is not valid UTF-8".to_owned(),
                 location: None,
@@ -406,7 +408,7 @@ impl<H: RequestHandler> RequestHandler for EnforcementProxy<H> {
                 self.upstream.handle(request)
             }
             RequestBody::Tree(body) => self.handle_tree(request, body),
-            RequestBody::Raw(bytes) => self.handle_raw(request, bytes),
+            RequestBody::Raw(bytes, format) => self.handle_raw(request, bytes, *format),
         }
     }
 }
@@ -770,34 +772,85 @@ spec:
 
     #[test]
     fn raw_unparsable_bodies_report_position_and_reason() {
-        let proxy = proxy();
-        let request = ApiRequest {
-            user: "mallory".to_owned(),
-            verb: Verb::Create,
-            kind: ResourceKind::Deployment,
-            namespace: "default".to_owned(),
-            name: "mystery".to_owned(),
-            body: k8s_apiserver::RequestBody::Raw(
-                "kind: Deployment\nmetadata:\n  name: x\n   badly: indented\n".into(),
+        // Both wire formats: the tokenizer's position and reason must reach
+        // the response message and the denial record.
+        for (payload, format, line) in [
+            (
+                "kind: Deployment\nmetadata:\n  name: x\n   badly: indented\n",
+                BodyFormat::Yaml,
+                4,
             ),
-        };
+            (
+                "{\"kind\": \"Deployment\",\n \"metadata\": {\"name\": \"x\"},\n broken}",
+                BodyFormat::Json,
+                3,
+            ),
+        ] {
+            let proxy = proxy();
+            let request = ApiRequest {
+                user: "mallory".to_owned(),
+                verb: Verb::Create,
+                kind: ResourceKind::Deployment,
+                namespace: "default".to_owned(),
+                name: "mystery".to_owned(),
+                body: k8s_apiserver::RequestBody::Raw(payload.into(), format),
+            };
+            let response = proxy.handle(&request);
+            assert!(response.is_denied());
+            assert!(
+                response.message.contains(&format!("line {line}")),
+                "{} message must carry the parse position: {}",
+                format.name(),
+                response.message
+            );
+            let denials = proxy.denials();
+            assert_eq!(denials.len(), 1);
+            // The violation text carries the tokenizer's reason…
+            let ViolationReason::StructureMismatch { found, .. } = &denials[0].violations[0].reason
+            else {
+                panic!("expected a structure mismatch violation");
+            };
+            assert!(
+                found.contains(&format!("line {line}")),
+                "{} violation was: {found}",
+                format.name()
+            );
+            // …and the record carries the parse position.
+            assert_eq!(denials[0].location.unwrap().line, line);
+        }
+    }
+
+    #[test]
+    fn raw_json_bodies_stream_through_the_proxy() {
+        let proxy = proxy();
+        let ok = K8sObject::from_yaml(&allowed_manifest().replace("replicas: int", "replicas: 3"))
+            .unwrap();
+        let response = proxy.handle(&ApiRequest::create_raw_json("operator", &ok));
+        assert!(response.is_success());
+        assert_eq!(proxy.upstream().store().len(), 1);
+        // A hostile raw JSON body is denied with the violating field's
+        // location pointing into the JSON buffer.
+        let evil_yaml = allowed_manifest()
+            .replace("replicas: int", "replicas: 3")
+            .replace(
+                "    spec:\n      containers:",
+                "    spec:\n      hostNetwork: true\n      containers:",
+            );
+        let evil = K8sObject::from_yaml(&evil_yaml).unwrap();
+        let request = ApiRequest::create_raw_json("operator", &evil);
         let response = proxy.handle(&request);
         assert!(response.is_denied());
-        assert!(
-            response.message.contains("line 4"),
-            "message must carry the parse position: {}",
-            response.message
-        );
+        assert!(response.message.contains("hostNetwork"));
         let denials = proxy.denials();
         assert_eq!(denials.len(), 1);
-        // The violation text carries the tokenizer's reason…
-        let ViolationReason::StructureMismatch { found, .. } = &denials[0].violations[0].reason
-        else {
-            panic!("expected a structure mismatch violation");
-        };
-        assert!(found.contains("line 4"), "violation was: {found}");
-        // …and the record carries the parse position.
-        assert_eq!(denials[0].location.unwrap().line, 4);
+        let location = denials[0]
+            .location
+            .expect("raw denials carry the violating field's location");
+        let text = String::from_utf8(request.payload().to_vec()).unwrap();
+        let offset = location
+            .offset
+            .expect("stream-decided denial has an offset");
+        assert!(text[offset..].starts_with("\"hostNetwork\""));
     }
 
     #[test]

@@ -2,40 +2,47 @@
 //!
 //! The compiled arena ([`crate::compile`]) removed tree walks from
 //! *validation*; this module removes the tree from *parsing*. A raw request
-//! body is tokenized once by the pull-based [`kf_yaml::events::Tokenizer`]
-//! and a small state machine per candidate validator (the
-//! [`StreamMatcher`]) advances arena node ids as events arrive:
+//! body — YAML or JSON, per [`BodyFormat`] — is tokenized once by the
+//! pull-based [`kf_yaml::events::Tokenizer`] or
+//! [`kf_yaml::json::JsonTokenizer`] (both emit the same event stream), and a
+//! small state machine per candidate validator (the [`StreamMatcher`])
+//! advances arena node ids as events arrive:
 //!
 //! * the object's `kind:` is discovered during tokenization (no separate
 //!   `peek_kind` pre-pass over a parsed tree);
 //! * on the accept path **no document tree is ever allocated** — keys and
 //!   scalars borrow from the wire buffer and are checked directly against
 //!   the compiled nodes;
-//! * the first event at which every candidate matcher has failed decides the
-//!   denial (*early deny*): tokenization stops there, and the event's source
-//!   position is reported in the denial record;
+//! * denials are reported **from matcher state**: each matcher records the
+//!   exact violations the compiled tree walk would report (paths from a
+//!   shared document-position tracker, reasons from the compiled nodes), so
+//!   deny traffic no longer re-parses the payload — the stream keeps
+//!   tokenizing to the end of the document (still building no tree) to
+//!   collect the complete report and to honor the reference precedence of
+//!   parse/multi-document/envelope defects over policy violations;
 //! * the rare constructs the stream cannot decide (root-level fields seen
 //!   before `kind:` whose values are containers, and constant/enumeration
 //!   policies over container values) fall back to the tree path —
-//!   [`ValidatorSet::validate_raw_tree`], which is also the reference
-//!   implementation the parity fuzz tests pin the streaming verdicts to.
+//!   [`ValidatorSet::validate_raw_tree_format`], which is also the reference
+//!   implementation the parity fuzz tests pin the streaming verdicts to. A
+//!   handful of verdict-certain denials whose violation *message* needs a
+//!   rendered container (e.g. a mapping where a constant scalar is required)
+//!   re-run the reference once for the report only.
 //!
-//! Only the *admit* verdict and the policy-denial *decision* are computed
-//! in-stream; every report (denial violations, envelope defects,
-//! multi-document and parse errors) is produced by re-running the
-//! reference path over the payload, so `validate_raw` and
-//! `validate_raw_tree` return byte-identical outcomes — the stream only
-//! *adds* the deciding event's source location to policy denials. The
-//! admit path — the overwhelmingly common one — never leaves the stream.
-//! See `docs/streaming-admission.md`.
+//! `validate_raw` / `validate_raw_tree` return byte-identical outcomes —
+//! the stream only *adds* the deciding event's source location to
+//! stream-decided denials. See `docs/streaming-admission.md`.
+
+use std::borrow::Cow;
 
 use k8s_model::{K8sObject, ResourceKind};
 use kf_yaml::events::{Event, Pos, ScalarToken, Tokenizer};
-use kf_yaml::Value;
+use kf_yaml::json::JsonTokenizer;
+use kf_yaml::{BodyFormat, Value};
 
 use crate::compile::{CompiledNode, CompiledValidator};
 use crate::schema_gen::looks_like_ip;
-use crate::validator::{TypeTag, ValidatorSet, Violation};
+use crate::validator::{TypeTag, ValidatorSet, Violation, ViolationReason};
 
 /// Source position attached to raw-body denials: the line (and, when the
 /// stream decided, the byte offset) of the violating field or parse error.
@@ -71,8 +78,8 @@ pub enum RawVerdict {
         location: Option<SourceLocation>,
     },
     /// The body is not a single, well-formed, recognizable Kubernetes
-    /// object (YAML error, multi-document payload, missing/unknown `kind`,
-    /// missing `metadata.name`).
+    /// object (YAML/JSON error, multi-document payload, missing/unknown
+    /// `kind`, missing `metadata.name`).
     Unparsable {
         /// Why the body was rejected before policy evaluation.
         reason: String,
@@ -102,29 +109,97 @@ fn unparsable_error(error: &kf_yaml::Error) -> RawVerdict {
     }
 }
 
-impl ValidatorSet {
-    /// Validate a raw request body **while parsing it**: the streaming
-    /// entry point of the enforcement proxy. Admission allocates no
-    /// document tree; denials stop tokenizing at the deciding event and
-    /// report the tree path's exact violation list.
-    pub fn validate_raw(&self, text: &str) -> RawVerdict {
-        match streaming_verdict(self, text) {
-            Some(verdict) => verdict,
-            // Constructs the stream cannot decide: authoritative tree path.
-            None => self.validate_raw_tree(text),
+/// One tokenizer front end behind a common pull interface; which one runs is
+/// the only format-specific decision the streaming plane ever makes.
+enum WireTokenizer<'a> {
+    Yaml(Tokenizer<'a>),
+    Json(JsonTokenizer<'a>),
+}
+
+impl<'a> WireTokenizer<'a> {
+    /// `format` must already be resolved (callers run [`BodyFormat::resolve`]
+    /// once at the entry point; re-detecting here would rescan the leading
+    /// whitespace on every pass).
+    fn new(text: &'a str, format: BodyFormat) -> Result<Self, kf_yaml::Error> {
+        debug_assert!(format != BodyFormat::Auto, "callers resolve Auto");
+        match format {
+            BodyFormat::Json => Ok(WireTokenizer::Json(JsonTokenizer::new(text))),
+            _ => Tokenizer::new(text).map(WireTokenizer::Yaml),
         }
+    }
+
+    fn next_event(&mut self) -> Result<Option<Event<'a>>, kf_yaml::Error> {
+        match self {
+            WireTokenizer::Yaml(t) => t.next_event(),
+            WireTokenizer::Json(t) => t.next_event(),
+        }
+    }
+
+    fn document_count(&self) -> usize {
+        match self {
+            WireTokenizer::Yaml(t) => t.document_count(),
+            WireTokenizer::Json(t) => t.document_count(),
+        }
+    }
+}
+
+impl ValidatorSet {
+    /// Validate a raw YAML request body **while parsing it**: the streaming
+    /// entry point of the enforcement proxy. Admission allocates no
+    /// document tree; denials synthesize the tree path's exact violation
+    /// list from matcher state. Shorthand for
+    /// [`ValidatorSet::validate_raw_format`] with [`BodyFormat::Yaml`].
+    pub fn validate_raw(&self, text: &str) -> RawVerdict {
+        self.validate_raw_format(text, BodyFormat::Yaml)
+    }
+
+    /// [`ValidatorSet::validate_raw`] with an explicit wire format
+    /// ([`BodyFormat::Auto`] detects from the first significant byte). Both
+    /// formats drive the same [`StreamMatcher`]s; only the tokenizer
+    /// differs.
+    ///
+    /// Two-phase: a **die-fast** pass runs first — matchers stop at their
+    /// first violation, exactly the cost profile of the compiled boolean
+    /// fast path, so accepted traffic pays nothing for reporting. Only when
+    /// that pass decides a denial does a **collect** pass re-tokenize the
+    /// payload (still building no tree) with matchers recording the full
+    /// violation lists the reference would report.
+    pub fn validate_raw_format(&self, text: &str, format: BodyFormat) -> RawVerdict {
+        let format = format.resolve(text);
+        match streaming_verdict(self, text, format, Mode::Fast) {
+            StreamFlow::Verdict(verdict) => verdict,
+            // Constructs the stream cannot decide: authoritative tree path.
+            StreamFlow::TreeFallback => self.validate_raw_tree_format(text, format),
+            StreamFlow::Report => match streaming_verdict(self, text, format, Mode::Collect) {
+                StreamFlow::Verdict(verdict) => verdict,
+                StreamFlow::TreeFallback => self.validate_raw_tree_format(text, format),
+                StreamFlow::Report => unreachable!("collect mode produces verdicts"),
+            },
+        }
+    }
+
+    /// The tree-path reference semantics for raw YAML bodies. Shorthand for
+    /// [`ValidatorSet::validate_raw_tree_format`] with [`BodyFormat::Yaml`].
+    pub fn validate_raw_tree(&self, text: &str) -> RawVerdict {
+        self.validate_raw_tree_format(text, BodyFormat::Yaml)
     }
 
     /// The tree-path reference semantics for raw bodies: parse the full
     /// document, pre-check the object envelope, then validate the tree.
-    /// [`ValidatorSet::validate_raw`] reaches exactly these verdicts
+    /// [`ValidatorSet::validate_raw_format`] reaches exactly these verdicts
     /// (adding only the deciding event's location to stream-decided
     /// denials); the parity fuzz tests and the `streaming_admission`
     /// benchmark both run this form.
-    pub fn validate_raw_tree(&self, text: &str) -> RawVerdict {
-        let docs = match kf_yaml::parse_documents(text) {
-            Ok(docs) => docs,
-            Err(e) => return unparsable_error(&e),
+    pub fn validate_raw_tree_format(&self, text: &str, format: BodyFormat) -> RawVerdict {
+        let docs = match format.resolve(text) {
+            BodyFormat::Json => match kf_yaml::parse_json(text) {
+                Ok(doc) => vec![doc],
+                Err(e) => return unparsable_error(&e),
+            },
+            _ => match kf_yaml::parse_documents(text) {
+                Ok(docs) => docs,
+                Err(e) => return unparsable_error(&e),
+            },
         };
         if docs.len() != 1 {
             return RawVerdict::Unparsable {
@@ -152,13 +227,14 @@ impl ValidatorSet {
     }
 }
 
-/// Produce the report for a stream-decided denial by re-running the full
-/// reference semantics ([`ValidatorSet::validate_raw_tree`]) and stamping
-/// the deciding event's position onto policy denials. This keeps
-/// stream-decided outcomes byte-identical to the tree path — including its
-/// precedence of parse errors and envelope defects over policy violations.
-fn deny_report(set: &ValidatorSet, text: &str, pos: Pos) -> RawVerdict {
-    match set.validate_raw_tree(text) {
+/// Produce the report for a stream-decided denial whose violation messages
+/// need rendered container values: re-run the full reference semantics
+/// ([`ValidatorSet::validate_raw_tree_format`]) and stamp the deciding
+/// event's position onto policy denials. Only the few denials flagged
+/// [`StreamMatcher::report_via_tree`] take this path; everything else is
+/// synthesized from matcher state without touching the payload again.
+fn deny_report(set: &ValidatorSet, text: &str, format: BodyFormat, pos: Pos) -> RawVerdict {
+    match set.validate_raw_tree_format(text, format) {
         // The tree path is authoritative; a disagreement here would be a
         // matcher bug, so trust the tree.
         RawVerdict::Admitted => RawVerdict::Admitted,
@@ -170,25 +246,170 @@ fn deny_report(set: &ValidatorSet, text: &str, pos: Pos) -> RawVerdict {
     }
 }
 
-/// Run the streaming matchers over the token stream. `None` means the
-/// stream hit a construct it cannot decide and the caller must fall back to
-/// the tree path.
-fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
-    let mut tokenizer = match Tokenizer::new(text) {
+/// One segment of the document position shared by all matchers: the event
+/// stream is a single walk of the document, so "where are we" is tracked
+/// once, not per matcher.
+#[derive(Debug)]
+enum TrackFrame<'a> {
+    /// A mapping; `key` is the entry whose value is currently being read.
+    Map { key: Option<Cow<'a, str>> },
+    /// A sequence; `index` is the element currently being read.
+    Seq { index: usize },
+}
+
+/// Tracks the dotted path of the value the next event contributes to,
+/// rendered in exactly the tree walker's format (`a.b[2].c`).
+#[derive(Debug, Default)]
+struct PathTracker<'a> {
+    frames: Vec<TrackFrame<'a>>,
+}
+
+impl<'a> PathTracker<'a> {
+    /// Mirror one event into the tracker, *before* matchers consume it (so
+    /// a violation recorded at this event sees the path it belongs to).
+    /// Container pushes happen after the matchers ran — see
+    /// [`PathTracker::after_container_start`].
+    fn before_event(&mut self, event: &Event<'a>) {
+        if let Event::Key { name, .. } = event {
+            if let Some(TrackFrame::Map { key }) = self.frames.last_mut() {
+                *key = Some(name.clone());
+            }
+        }
+    }
+
+    /// Mirror the structural effect of an event after the matchers ran.
+    fn after_event(&mut self, event: &Event<'a>) {
+        match event {
+            Event::MappingStart { .. } => self.frames.push(TrackFrame::Map { key: None }),
+            Event::SequenceStart { .. } => self.frames.push(TrackFrame::Seq { index: 0 }),
+            Event::Scalar { .. } => self.completed_value(),
+            Event::End => {
+                self.frames.pop();
+                self.completed_value();
+            }
+            Event::Key { .. } | Event::DocumentEnd => {}
+        }
+    }
+
+    fn completed_value(&mut self) {
+        if let Some(TrackFrame::Seq { index }) = self.frames.last_mut() {
+            *index += 1;
+        }
+    }
+
+    /// Render the current path in the tree walker's notation.
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for frame in &self.frames {
+            match frame {
+                TrackFrame::Map { key: Some(key) } => {
+                    if !out.is_empty() {
+                        out.push('.');
+                    }
+                    out.push_str(key);
+                }
+                TrackFrame::Map { key: None } => {}
+                TrackFrame::Seq { index } => {
+                    out.push('[');
+                    out.push_str(&index.to_string());
+                    out.push(']');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The per-event path, rendered at most once no matter how many matchers
+/// record a violation at it.
+struct PathAtEvent<'p, 'a> {
+    tracker: &'p PathTracker<'a>,
+    rendered: Option<String>,
+}
+
+impl<'p, 'a> PathAtEvent<'p, 'a> {
+    fn new(tracker: &'p PathTracker<'a>) -> Self {
+        PathAtEvent {
+            tracker,
+            rendered: None,
+        }
+    }
+
+    fn get(&mut self) -> String {
+        self.rendered
+            .get_or_insert_with(|| self.tracker.render())
+            .clone()
+    }
+}
+
+/// Drive one event through the shared path tracker and every matcher, in
+/// the order the path semantics require. Used by both the main tokenizer
+/// loop and the pre-`kind:` replay.
+fn drive<'a>(matchers: &mut [StreamMatcher<'_>], tracker: &mut PathTracker<'a>, event: &Event<'a>) {
+    tracker.before_event(event);
+    let mut path = PathAtEvent::new(tracker);
+    for matcher in matchers.iter_mut() {
+        matcher.feed(event, &mut path);
+    }
+    tracker.after_event(event);
+}
+
+/// How the matchers run over the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Stop each matcher at its first violation and record nothing — the
+    /// cheapest way to reach the admit/deny verdict. Every request starts
+    /// here.
+    Fast,
+    /// Record every violation with full tree-walk fidelity. Runs only after
+    /// the fast pass decided a denial, to synthesize the report without
+    /// building a tree.
+    Collect,
+}
+
+/// The outcome of one streaming pass.
+enum StreamFlow {
+    /// A final verdict.
+    Verdict(RawVerdict),
+    /// The stream hit a construct it cannot decide; the caller must fall
+    /// back to the tree path.
+    TreeFallback,
+    /// The denial was decided, but the report was not collected
+    /// ([`Mode::Fast`] only): run a [`Mode::Collect`] pass, which re-derives
+    /// the deciding position along with the report.
+    Report,
+}
+
+impl StreamFlow {
+    fn verdict(verdict: RawVerdict) -> StreamFlow {
+        StreamFlow::Verdict(verdict)
+    }
+}
+
+/// Run the streaming matchers over the token stream. `format` must already
+/// be resolved (not `Auto`).
+fn streaming_verdict(set: &ValidatorSet, text: &str, format: BodyFormat, mode: Mode) -> StreamFlow {
+    let mut tokenizer = match WireTokenizer::new(text, format) {
         Ok(t) => t,
-        Err(e) => return Some(unparsable_error(&e)),
+        Err(e) => return StreamFlow::verdict(unparsable_error(&e)),
     };
 
     let mut depth = 0usize;
     let mut started = false;
     let mut doc_done = false;
     // Root-level key whose value has not started yet.
-    let mut pending_root_key: Option<(std::borrow::Cow<'_, str>, Pos)> = None;
+    let mut pending_root_key: Option<(Cow<'_, str>, Pos)> = None;
     // Root-level scalar entries seen before `kind:` was discovered; replayed
     // into the matchers once the policy root is known.
-    let mut prekind: Vec<(std::borrow::Cow<'_, str>, Pos, ScalarToken<'_>, Pos)> = Vec::new();
+    let mut prekind: Vec<(Cow<'_, str>, Pos, ScalarToken<'_>, Pos)> = Vec::new();
     let mut kind: Option<ResourceKind> = None;
     let mut matchers: Vec<StreamMatcher<'_>> = Vec::new();
+    let mut tracker = PathTracker::default();
+    // A known kind no validator covers: the denial is certain, pending the
+    // reference's precedence checks at end of stream.
+    let mut uncovered_kind: Option<(ResourceKind, Pos)> = None;
+    // Position of the event at which every candidate matcher had failed.
+    let mut decided_at: Option<Pos> = None;
     // Envelope tracking: `metadata.name` must be a non-empty string.
     let mut metadata_open: Option<usize> = None;
     let mut pending_name = false;
@@ -198,7 +419,7 @@ fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
         let event = match tokenizer.next_event() {
             Ok(Some(event)) => event,
             Ok(None) => break,
-            Err(e) => return Some(unparsable_error(&e)),
+            Err(e) => return StreamFlow::verdict(unparsable_error(&e)),
         };
         // The event that resolves `kind:` is fed to the matchers by the
         // replay below, not by the regular per-event feed.
@@ -208,7 +429,7 @@ fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
                 if !started {
                     if matches!(event, Event::SequenceStart { .. }) {
                         // Not an object envelope: reference semantics.
-                        return Some(set.validate_raw_tree(text));
+                        return StreamFlow::TreeFallback;
                     }
                     started = true;
                 } else if depth == 1 {
@@ -216,11 +437,11 @@ fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
                         if kind.is_none() {
                             if key == "kind" {
                                 // `kind` is not a string: reference semantics.
-                                return Some(set.validate_raw_tree(text));
+                                return StreamFlow::TreeFallback;
                             }
                             // A container value before `kind:` is known
                             // cannot be validated in-stream.
-                            return None;
+                            return StreamFlow::TreeFallback;
                         }
                         if key == "metadata" && matches!(event, Event::MappingStart { .. }) {
                             metadata_open = Some(depth + 1);
@@ -233,7 +454,7 @@ fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
             }
             Event::Key { name, pos } => {
                 if !started {
-                    return Some(set.validate_raw_tree(text));
+                    return StreamFlow::TreeFallback;
                 }
                 if depth == 1 {
                     pending_root_key = Some((name.clone(), *pos));
@@ -244,76 +465,84 @@ fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
             Event::Scalar { value, pos } => {
                 if !started {
                     // A bare-scalar document: reference semantics.
-                    return Some(set.validate_raw_tree(text));
+                    return StreamFlow::TreeFallback;
                 }
                 if depth == 1 {
                     if let Some((key, key_pos)) = pending_root_key.take() {
                         if key == "kind" && kind.is_none() {
                             let Some(kind_text) = value.as_str() else {
-                                return Some(set.validate_raw_tree(text));
+                                return StreamFlow::TreeFallback;
                             };
                             let Some(resolved) = ResourceKind::parse(kind_text) else {
-                                return Some(set.validate_raw_tree(text));
+                                return StreamFlow::TreeFallback;
                             };
+                            kind = Some(resolved);
                             let route = set.validators_for(resolved);
                             if route.is_empty() {
                                 // No validator covers the kind. The denial
-                                // itself is certain, but the reference
-                                // ranks envelope/multi-document defects
-                                // above the UnknownKind violation, so let
-                                // it produce the report.
-                                return Some(deny_report(set, text, *pos));
-                            }
-                            kind = Some(resolved);
-                            for &index in route {
-                                let compiled = set.validators()[index as usize].compiled();
-                                let root = compiled
-                                    .kind_root(resolved)
-                                    .expect("routing table lists only covering validators");
-                                matchers.push(StreamMatcher::new(compiled, root));
-                            }
-                            // Replay the envelope into the fresh matchers:
-                            // the root mapping, every buffered pre-kind
-                            // scalar entry, then `kind` itself. The replay
-                            // checks matcher health after every event so
-                            // an early deny is stamped with the position of
-                            // the replayed field that decided it, not the
-                            // `kind:` value's.
-                            let mut replay: Vec<Event<'_>> =
-                                Vec::with_capacity(2 * prekind.len() + 3);
-                            replay.push(Event::MappingStart {
-                                pos: Pos::default(),
-                            });
-                            for (bkey, bkey_pos, bvalue, bvalue_pos) in &prekind {
+                                // itself is certain, but the reference ranks
+                                // envelope/multi-document defects above the
+                                // UnknownKind violation — keep streaming and
+                                // decide at end of document.
+                                uncovered_kind = Some((resolved, *pos));
+                                feed_event = false;
+                            } else {
+                                for &index in route {
+                                    let compiled = set.validators()[index as usize].compiled();
+                                    let root = compiled
+                                        .kind_root(resolved)
+                                        .expect("routing table lists only covering validators");
+                                    matchers.push(StreamMatcher::new(compiled, root, mode));
+                                }
+                                // Replay the envelope into the fresh
+                                // matchers: the root mapping, every buffered
+                                // pre-kind scalar entry, then `kind` itself.
+                                // The replay checks matcher health after
+                                // every event so an early deny is stamped
+                                // with the position of the replayed field
+                                // that decided it, not the `kind:` value's.
+                                let mut replay: Vec<Event<'_>> =
+                                    Vec::with_capacity(2 * prekind.len() + 3);
+                                replay.push(Event::MappingStart {
+                                    pos: Pos::default(),
+                                });
+                                for (bkey, bkey_pos, bvalue, bvalue_pos) in &prekind {
+                                    replay.push(Event::Key {
+                                        name: bkey.clone(),
+                                        pos: *bkey_pos,
+                                    });
+                                    replay.push(Event::Scalar {
+                                        value: bvalue.clone(),
+                                        pos: *bvalue_pos,
+                                    });
+                                }
                                 replay.push(Event::Key {
-                                    name: bkey.clone(),
-                                    pos: *bkey_pos,
+                                    name: Cow::Borrowed("kind"),
+                                    pos: key_pos,
                                 });
                                 replay.push(Event::Scalar {
-                                    value: bvalue.clone(),
-                                    pos: *bvalue_pos,
+                                    value: value.clone(),
+                                    pos: *pos,
                                 });
+                                for replay_event in &replay {
+                                    drive(&mut matchers, &mut tracker, replay_event);
+                                    if matchers.iter().any(StreamMatcher::needs_tree) {
+                                        return StreamFlow::TreeFallback;
+                                    }
+                                    if decided_at.is_none()
+                                        && matchers.iter().all(StreamMatcher::failed)
+                                    {
+                                        if mode == Mode::Fast {
+                                            // The verdict is decided; stop
+                                            // tokenizing and let the collect
+                                            // pass produce the report.
+                                            return StreamFlow::Report;
+                                        }
+                                        decided_at = Some(event_pos(replay_event));
+                                    }
+                                }
+                                feed_event = false;
                             }
-                            replay.push(Event::Key {
-                                name: std::borrow::Cow::Borrowed("kind"),
-                                pos: key_pos,
-                            });
-                            replay.push(Event::Scalar {
-                                value: value.clone(),
-                                pos: *pos,
-                            });
-                            for replay_event in &replay {
-                                for matcher in &mut matchers {
-                                    matcher.feed(replay_event);
-                                }
-                                if matchers.iter().any(StreamMatcher::needs_tree) {
-                                    return None;
-                                }
-                                if matchers.iter().all(|m| !m.alive()) {
-                                    return Some(deny_report(set, text, event_pos(replay_event)));
-                                }
-                            }
-                            feed_event = false;
                         } else if kind.is_none() {
                             prekind.push((key, key_pos, value.clone(), *pos));
                         }
@@ -341,36 +570,40 @@ fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
             }
         }
         if feed_event && !matchers.is_empty() {
-            for matcher in &mut matchers {
-                matcher.feed(&event);
-            }
+            drive(&mut matchers, &mut tracker, &event);
             if matchers.iter().any(StreamMatcher::needs_tree) {
-                return None;
+                return StreamFlow::TreeFallback;
             }
-            if matchers.iter().all(|m| !m.alive()) {
-                // Early deny: every candidate failed. Stop tokenizing here
-                // and produce the tree path's exact report.
-                return Some(deny_report(set, text, event_pos(&event)));
+            if decided_at.is_none() && matchers.iter().all(StreamMatcher::failed) {
+                if mode == Mode::Fast {
+                    // Every candidate has failed: the denial is decided
+                    // here and tokenization stops. The collect pass
+                    // re-tokenizes (building no tree) for the report and
+                    // for the reference precedence of later parse errors.
+                    return StreamFlow::Report;
+                }
+                decided_at = Some(event_pos(&event));
             }
         }
     }
 
     if !started {
         // Empty or comment-only body: reference semantics.
-        return Some(set.validate_raw_tree(text));
+        return StreamFlow::TreeFallback;
     }
     // A request body must be exactly one document, and the reference ranks
-    // multi-document (and any later parse) defects above envelope defects —
-    // `parse_documents` sees the whole stream before `peek_kind` runs. Drain
-    // the tokenizer (building no trees) to reproduce its outcome: the
-    // earliest parse error anywhere in the stream, else the document count.
+    // multi-document (and any later parse) defects above envelope defects
+    // and policy violations — `parse_documents` sees the whole stream before
+    // `peek_kind` runs. Drain the tokenizer (building no trees) to reproduce
+    // its outcome: the earliest parse error anywhere in the stream, else the
+    // document count.
     match tokenizer.next_event() {
         Ok(None) => {}
         Ok(Some(_)) => loop {
             match tokenizer.next_event() {
                 Ok(Some(_)) => continue,
                 Ok(None) => {
-                    return Some(RawVerdict::Unparsable {
+                    return StreamFlow::verdict(RawVerdict::Unparsable {
                         reason: format!(
                             "expected a single YAML document, found {}",
                             tokenizer.document_count()
@@ -378,18 +611,53 @@ fn streaming_verdict(set: &ValidatorSet, text: &str) -> Option<RawVerdict> {
                         location: None,
                     })
                 }
-                Err(e) => return Some(unparsable_error(&e)),
+                Err(e) => return StreamFlow::verdict(unparsable_error(&e)),
             }
         },
-        Err(e) => return Some(unparsable_error(&e)),
+        Err(e) => return StreamFlow::verdict(unparsable_error(&e)),
     }
     if kind.is_none() || !name_ok {
         // Envelope defect (missing `kind` / `metadata.name`): cold path,
         // defer to the reference for its exact report.
-        return Some(set.validate_raw_tree(text));
+        return StreamFlow::TreeFallback;
     }
-    debug_assert!(matchers.iter().any(StreamMatcher::alive));
-    Some(RawVerdict::Admitted)
+    if let Some((kind, pos)) = uncovered_kind {
+        // Synthesized without re-parsing: exactly the reference's report
+        // for a covered envelope of an uncovered kind.
+        return StreamFlow::verdict(RawVerdict::Denied {
+            violations: vec![Violation {
+                path: kind.as_str().to_owned(),
+                reason: ViolationReason::UnknownKind,
+            }],
+            location: Some(pos.into()),
+        });
+    }
+    let Some(pos) = decided_at else {
+        debug_assert!(matchers.iter().any(|m| !m.failed()));
+        return StreamFlow::verdict(RawVerdict::Admitted);
+    };
+    debug_assert_eq!(mode, Mode::Collect, "fast mode returns before this point");
+    // Denied: report the closest match (fewest violations, first wins),
+    // mirroring `ValidatorSet::validate_kind_body`.
+    let winner = matchers
+        .iter()
+        .reduce(|best, candidate| {
+            if candidate.violations.len() < best.violations.len() {
+                candidate
+            } else {
+                best
+            }
+        })
+        .expect("a decided denial has at least one matcher");
+    if winner.report_via_tree {
+        // The winning report contains a violation whose message renders a
+        // container value; only this cold case re-reads the payload.
+        return StreamFlow::verdict(deny_report(set, text, format, pos));
+    }
+    StreamFlow::verdict(RawVerdict::Denied {
+        violations: winner.violations.clone(),
+        location: Some(pos.into()),
+    })
 }
 
 fn event_pos(event: &Event<'_>) -> Pos {
@@ -409,56 +677,97 @@ enum MFrame {
     Map { entries_start: u32, len: u32 },
     /// Inside a sequence whose elements check against `element`.
     Seq { element: u32 },
-    /// Inside a subtree the policy allows unconditionally (`Any`).
+    /// Inside a subtree the policy does not descend into (`Any` subtrees,
+    /// and the values of fields that already produced their violation).
     Skip,
 }
 
 /// Where the next value event lands.
+#[derive(Debug)]
 enum Target {
     Skip,
     Node(u32),
 }
 
 /// A state machine that advances compiled-arena node ids as tokenizer events
-/// arrive, reaching the same admit/deny verdict as
-/// [`CompiledValidator::allows_kind_body`](crate::compile::CompiledValidator::allows_kind_body)
-/// without a document tree.
+/// arrive, recording exactly the violations (paths, reasons, messages) the
+/// compiled tree walk
+/// ([`CompiledValidator::validate_kind_body`](crate::compile::CompiledValidator::validate_kind_body))
+/// would report — without a document tree. A matcher with an empty violation
+/// list at end of document admits.
 #[derive(Debug)]
 pub(crate) struct StreamMatcher<'c> {
     compiled: &'c CompiledValidator,
+    mode: Mode,
     stack: Vec<MFrame>,
     /// The node the next value event must satisfy (set by `Key` events and
-    /// by the root).
-    pending: Option<u32>,
+    /// by the root); `Target::Skip` when the key already violated.
+    pending: Option<Target>,
+    /// Violations recorded so far ([`Mode::Collect`] only), in document
+    /// order (the tree walk's order).
+    violations: Vec<Violation>,
+    /// [`Mode::Fast`] only: cleared at the first violation, after which the
+    /// matcher does no further work.
     alive: bool,
+    /// The verdict cannot be decided in-stream (container-valued
+    /// constant/enumeration policies): the whole request falls back.
     needs_tree: bool,
+    /// The verdict is decided but some violation message requires a rendered
+    /// container value; if this matcher's report is the one served, it is
+    /// re-derived from the tree.
+    report_via_tree: bool,
 }
 
 impl<'c> StreamMatcher<'c> {
-    fn new(compiled: &'c CompiledValidator, root: u32) -> Self {
+    fn new(compiled: &'c CompiledValidator, root: u32, mode: Mode) -> Self {
         StreamMatcher {
             compiled,
+            mode,
             stack: Vec::with_capacity(16),
-            pending: Some(root),
+            pending: Some(Target::Node(root)),
+            violations: Vec::new(),
             alive: true,
             needs_tree: false,
+            report_via_tree: false,
         }
     }
 
-    fn alive(&self) -> bool {
-        self.alive
+    /// Whether this matcher has rejected the document.
+    fn failed(&self) -> bool {
+        match self.mode {
+            Mode::Fast => !self.alive,
+            Mode::Collect => !self.violations.is_empty(),
+        }
     }
 
     fn needs_tree(&self) -> bool {
         self.needs_tree
     }
 
+    /// A violation occurred: in fast mode the matcher simply dies (the
+    /// reason closure is never evaluated — no strings are built on the
+    /// verdict-only pass); in collect mode the violation is recorded with
+    /// the tree walk's exact path and message.
+    fn violate(
+        &mut self,
+        path: &mut PathAtEvent<'_, '_>,
+        reason: impl FnOnce() -> ViolationReason,
+    ) {
+        match self.mode {
+            Mode::Fast => self.alive = false,
+            Mode::Collect => self.violations.push(Violation {
+                path: path.get(),
+                reason: reason(),
+            }),
+        }
+    }
+
     fn value_target(&mut self) -> Target {
         if matches!(self.stack.last(), Some(MFrame::Skip)) {
             return Target::Skip;
         }
-        if let Some(id) = self.pending.take() {
-            return Target::Node(id);
+        if let Some(target) = self.pending.take() {
+            return target;
         }
         if let Some(MFrame::Seq { element }) = self.stack.last() {
             return Target::Node(*element);
@@ -470,7 +779,10 @@ impl<'c> StreamMatcher<'c> {
     }
 
     /// A mapping or sequence opens where the current expectation points.
-    fn enter_container(&mut self, is_mapping: bool) {
+    /// Always pushes exactly one frame, so the stack stays aligned with the
+    /// document nesting while violations accumulate.
+    fn enter_container(&mut self, is_mapping: bool, path: &mut PathAtEvent<'_, '_>) {
+        let container_type = if is_mapping { "map" } else { "seq" };
         match self.value_target() {
             Target::Skip => self.stack.push(MFrame::Skip),
             Target::Node(id) => match self.compiled.node(id) {
@@ -485,12 +797,18 @@ impl<'c> StreamMatcher<'c> {
                     // A constant policy over a container value needs a
                     // structural comparison the stream cannot perform —
                     // unless the constant is a scalar, in which case any
-                    // container trivially mismatches.
+                    // container trivially mismatches; the violation message
+                    // renders the container, so the report (only) defers.
                     if self.compiled.value(value).is_scalar() {
-                        self.alive = false;
+                        self.violate(path, || ViolationReason::ValueNotAllowed {
+                            allowed: String::new(),
+                            found: String::new(),
+                        });
+                        self.report_via_tree = true;
                     } else {
                         self.needs_tree = true;
                     }
+                    self.stack.push(MFrame::Skip);
                 }
                 CompiledNode::Enum { start, len } => {
                     if self
@@ -499,43 +817,75 @@ impl<'c> StreamMatcher<'c> {
                         .iter()
                         .all(Value::is_scalar)
                     {
-                        self.alive = false;
+                        self.violate(path, || ViolationReason::ValueNotAllowed {
+                            allowed: String::new(),
+                            found: String::new(),
+                        });
+                        self.report_via_tree = true;
                     } else {
                         self.needs_tree = true;
                     }
+                    self.stack.push(MFrame::Skip);
                 }
-                // Structure mismatch: a scalar/pattern/type policy (or the
-                // other container shape) cannot accept this container.
-                _ => self.alive = false,
+                CompiledNode::Pattern { .. } => {
+                    self.violate(path, || ViolationReason::ValueNotAllowed {
+                        allowed: String::new(),
+                        found: String::new(),
+                    });
+                    self.report_via_tree = true;
+                    self.stack.push(MFrame::Skip);
+                }
+                CompiledNode::Type(tag) => {
+                    self.violate(path, || ViolationReason::TypeMismatch {
+                        expected: tag.placeholder().to_owned(),
+                        found: container_type.to_owned(),
+                    });
+                    self.stack.push(MFrame::Skip);
+                }
+                CompiledNode::Map { .. } => {
+                    self.violate(path, || ViolationReason::StructureMismatch {
+                        expected: "mapping".to_owned(),
+                        found: container_type.to_owned(),
+                    });
+                    self.stack.push(MFrame::Skip);
+                }
+                CompiledNode::Seq { .. } => {
+                    self.violate(path, || ViolationReason::StructureMismatch {
+                        expected: "sequence".to_owned(),
+                        found: container_type.to_owned(),
+                    });
+                    self.stack.push(MFrame::Skip);
+                }
             },
         }
     }
 
-    fn feed(&mut self, event: &Event<'_>) {
+    fn feed(&mut self, event: &Event<'_>, path: &mut PathAtEvent<'_, '_>) {
         if !self.alive || self.needs_tree {
             return;
         }
         match event {
-            Event::MappingStart { .. } => self.enter_container(true),
-            Event::SequenceStart { .. } => self.enter_container(false),
+            Event::MappingStart { .. } => self.enter_container(true, path),
+            Event::SequenceStart { .. } => self.enter_container(false, path),
             Event::Key { name, .. } => match self.stack.last() {
                 Some(MFrame::Skip) => {}
                 Some(MFrame::Map { entries_start, len }) => {
                     let entries = self.compiled.entries(*entries_start, *len);
                     match self.compiled.lookup(entries, name.as_ref()) {
-                        Some(entry) => self.pending = Some(entry.child),
-                        None => self.alive = false, // unknown field
+                        Some(entry) => self.pending = Some(Target::Node(entry.child)),
+                        None => {
+                            // Unknown field: the tree walk reports it and
+                            // does not descend into the value.
+                            self.violate(path, || ViolationReason::UnknownField);
+                            self.pending = Some(Target::Skip);
+                        }
                     }
                 }
                 _ => self.needs_tree = true,
             },
             Event::Scalar { value, .. } => match self.value_target() {
                 Target::Skip => {}
-                Target::Node(id) => {
-                    if !self.scalar_complies(id, value) {
-                        self.alive = false;
-                    }
-                }
+                Target::Node(id) => self.check_scalar(id, value, path),
             },
             Event::End => {
                 self.stack.pop();
@@ -544,23 +894,88 @@ impl<'c> StreamMatcher<'c> {
         }
     }
 
-    fn scalar_complies(&self, id: u32, token: &ScalarToken<'_>) -> bool {
+    /// Check a scalar token against a compiled node, recording the tree
+    /// walk's exact violation on mismatch.
+    fn check_scalar(&mut self, id: u32, token: &ScalarToken<'_>, path: &mut PathAtEvent<'_, '_>) {
         match self.compiled.node(id) {
-            CompiledNode::Any => true,
-            CompiledNode::Type(tag) => token_matches_tag(tag, token),
-            CompiledNode::Const { value } => {
-                token_loosely_equals(token, self.compiled.value(value))
+            CompiledNode::Any => {}
+            CompiledNode::Type(tag) => {
+                if !token_matches_tag(tag, token) {
+                    self.violate(path, || ViolationReason::TypeMismatch {
+                        expected: tag.placeholder().to_owned(),
+                        found: token.type_name().to_owned(),
+                    });
+                }
             }
-            CompiledNode::Enum { start, len } => self
-                .compiled
-                .values_slice(start, len)
-                .iter()
-                .any(|option| token_loosely_equals(token, option)),
-            CompiledNode::Pattern { pattern } => token
-                .as_str()
-                .map(|text| self.compiled.pattern(pattern).matches(text))
-                .unwrap_or(false),
-            CompiledNode::Map { .. } | CompiledNode::Seq { .. } => false,
+            CompiledNode::Const { value } => {
+                let expected = self.compiled.value(value);
+                if !token_loosely_equals(token, expected) {
+                    if expected.is_scalar() {
+                        self.violate(path, || ViolationReason::ValueNotAllowed {
+                            allowed: expected.scalar_to_string(),
+                            found: token.render(),
+                        });
+                    } else {
+                        // The `allowed` message renders a container
+                        // constant; the verdict is certain, the report
+                        // defers.
+                        self.violate(path, || ViolationReason::ValueNotAllowed {
+                            allowed: String::new(),
+                            found: token.render(),
+                        });
+                        self.report_via_tree = true;
+                    }
+                }
+            }
+            CompiledNode::Enum { start, len } => {
+                let options = self.compiled.values_slice(start, len);
+                if !options
+                    .iter()
+                    .any(|option| token_loosely_equals(token, option))
+                {
+                    if options.iter().all(Value::is_scalar) {
+                        self.violate(path, || ViolationReason::ValueNotAllowed {
+                            allowed: options
+                                .iter()
+                                .map(Value::scalar_to_string)
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            found: token.render(),
+                        });
+                    } else {
+                        self.violate(path, || ViolationReason::ValueNotAllowed {
+                            allowed: String::new(),
+                            found: token.render(),
+                        });
+                        self.report_via_tree = true;
+                    }
+                }
+            }
+            CompiledNode::Pattern { pattern } => {
+                let compiled_pattern = self.compiled.pattern(pattern);
+                let ok = token
+                    .as_str()
+                    .map(|text| compiled_pattern.matches(text))
+                    .unwrap_or(false);
+                if !ok {
+                    self.violate(path, || ViolationReason::ValueNotAllowed {
+                        allowed: compiled_pattern.source().to_owned(),
+                        found: token.render(),
+                    });
+                }
+            }
+            CompiledNode::Map { .. } => {
+                self.violate(path, || ViolationReason::StructureMismatch {
+                    expected: "mapping".to_owned(),
+                    found: token.type_name().to_owned(),
+                });
+            }
+            CompiledNode::Seq { .. } => {
+                self.violate(path, || ViolationReason::StructureMismatch {
+                    expected: "sequence".to_owned(),
+                    found: token.type_name().to_owned(),
+                });
+            }
         }
     }
 }
@@ -668,6 +1083,11 @@ spec:
         )
     }
 
+    /// The same request as wire JSON.
+    fn request_json(image: &str, policy: &str, replicas: &str) -> String {
+        kf_yaml::to_json(&kf_yaml::parse(&request(image, policy, replicas)).unwrap())
+    }
+
     #[test]
     fn streaming_admits_compliant_bodies_and_matches_tree() {
         let set = set();
@@ -703,12 +1123,106 @@ spec:
     }
 
     #[test]
+    fn json_bodies_stream_to_the_same_verdicts() {
+        let set = set();
+        let ok = request_json("docker.io/bitnami/nginx:1.25", "Always", "3");
+        assert_eq!(
+            set.validate_raw_format(&ok, BodyFormat::Json),
+            RawVerdict::Admitted
+        );
+        assert_eq!(
+            set.validate_raw_format(&ok, BodyFormat::Auto),
+            RawVerdict::Admitted,
+            "auto-detection must route `{{`-rooted bodies to the JSON front end"
+        );
+        let bad = request_json("evil.example/pwn:latest", "Always", "3");
+        let RawVerdict::Denied {
+            violations,
+            location,
+        } = set.validate_raw_format(&bad, BodyFormat::Json)
+        else {
+            panic!("expected denial");
+        };
+        // The violation list is byte-identical to the YAML stream's and to
+        // the compiled tree's; only the source location is format-specific.
+        let yaml_bad = request("evil.example/pwn:latest", "Always", "3");
+        let RawVerdict::Denied {
+            violations: yaml_violations,
+            ..
+        } = set.validate_raw(&yaml_bad)
+        else {
+            panic!("expected YAML denial");
+        };
+        assert_eq!(violations, yaml_violations);
+        let RawVerdict::Denied {
+            violations: tree_violations,
+            ..
+        } = set.validate_raw_tree_format(&bad, BodyFormat::Json)
+        else {
+            panic!("expected JSON tree denial");
+        };
+        assert_eq!(violations, tree_violations);
+        let offset = location.unwrap().offset.unwrap();
+        assert!(bad[offset..].starts_with("\"evil.example/pwn:latest\""));
+    }
+
+    #[test]
+    fn stream_denials_synthesize_single_violation_reports() {
+        // The collect pass must produce the exact single-violation report —
+        // path in the tree walker's notation included — from matcher state.
+        // (That no document tree is parsed on this path is a property of
+        // the code shape, measured by the deny-early rows of the
+        // `streaming_admission` bench rather than asserted here.)
+        let set = set();
+        let text = request("evil.example/pwn:latest", "Always", "3");
+        let RawVerdict::Denied { violations, .. } = set.validate_raw(&text) else {
+            panic!("expected denial");
+        };
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].path, "spec.template.spec.containers[0].image");
+    }
+
+    #[test]
+    fn multi_violation_reports_are_synthesized_in_document_order() {
+        let set = set();
+        // Three violations: bad image, unknown field, bad pull policy.
+        let text = r#"apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: web
+spec:
+  replicas: 3
+  template:
+    spec:
+      hostNetwork: true
+      containers:
+        - name: nginx
+          image: evil.example/pwn:latest
+          imagePullPolicy: Never
+"#;
+        let stream = set.validate_raw(text);
+        let tree = set.validate_raw_tree(text);
+        let RawVerdict::Denied { violations, .. } = &stream else {
+            panic!("expected denial");
+        };
+        assert_eq!(violations.len(), 3);
+        let RawVerdict::Denied {
+            violations: tree_violations,
+            ..
+        } = &tree
+        else {
+            panic!("expected tree denial");
+        };
+        assert_eq!(violations, tree_violations);
+    }
+
+    #[test]
     fn early_deny_stops_before_later_syntax_errors() {
         let set = set();
-        // The violation (line 2) precedes a syntax error (line 4): the
-        // stream denies without ever tokenizing the broken tail. The report
-        // falls back to an unparsable-body denial because the reference
-        // parse cannot complete — but the request is still denied.
+        // The violation (line 2) precedes a syntax error (line 5): the
+        // denial verdict is certain, but the reference ranks the parse
+        // defect higher — the stream keeps draining and reports it, and the
+        // request stays denied either way.
         let text = "kind: Deployment\nhostNetwork: true\nmetadata:\n  name: x\n  {broken\n";
         let verdict = set.validate_raw(text);
         assert!(
@@ -729,12 +1243,38 @@ spec:
     }
 
     #[test]
+    fn unparsable_json_bodies_report_position_and_reason() {
+        let set = set();
+        let RawVerdict::Unparsable { reason, location } =
+            set.validate_raw_format("{\"kind\": \"Deployment\",\n  broken}", BodyFormat::Json)
+        else {
+            panic!("expected unparsable");
+        };
+        assert!(reason.contains("line 2"), "reason was: {reason}");
+        assert_eq!(location.unwrap().line, 2);
+        // Duplicate keys are rejected, same as the YAML front end.
+        let dup = "{\"kind\": \"Deployment\", \"kind\": \"Pod\"}";
+        let stream = set.validate_raw_format(dup, BodyFormat::Json);
+        assert!(matches!(stream, RawVerdict::Unparsable { .. }));
+        assert_eq!(stream, set.validate_raw_tree_format(dup, BodyFormat::Json));
+    }
+
+    #[test]
     fn multi_document_bodies_are_rejected_by_both_paths() {
         let set = set();
         let doc = request("docker.io/bitnami/nginx:1.25", "Always", "3");
         let text = format!("{doc}---\n{doc}");
         assert!(!set.validate_raw(&text).is_admitted());
         assert!(!set.validate_raw_tree(&text).is_admitted());
+        // The JSON analogue of a multi-document body is trailing content.
+        let json = request_json("docker.io/bitnami/nginx:1.25", "Always", "3");
+        let trailing = format!("{json}{json}");
+        let stream = set.validate_raw_format(&trailing, BodyFormat::Json);
+        assert!(matches!(stream, RawVerdict::Unparsable { .. }));
+        assert_eq!(
+            stream,
+            set.validate_raw_tree_format(&trailing, BodyFormat::Json)
+        );
     }
 
     #[test]
@@ -750,6 +1290,26 @@ spec:
         ] {
             let stream = set.validate_raw(text);
             let tree = set.validate_raw_tree(text);
+            assert!(
+                matches!(stream, RawVerdict::Unparsable { .. }),
+                "`{text}` should be unparsable, got {stream:?}"
+            );
+            assert_eq!(
+                stream, tree,
+                "`{text}`: streaming and reference outcomes must be identical"
+            );
+        }
+        // And the JSON equivalents of the envelope defects.
+        for text in [
+            "",
+            "\"just a scalar\"",
+            "[1, 2]",
+            "{\"replicas\": 3}",
+            "{\"kind\": \"Deployment\", \"metadata\": {}}",
+            "{\"kind\": \"NotAKind\", \"metadata\": {\"name\": \"x\"}}",
+        ] {
+            let stream = set.validate_raw_format(text, BodyFormat::Json);
+            let tree = set.validate_raw_tree_format(text, BodyFormat::Json);
             assert!(
                 matches!(stream, RawVerdict::Unparsable { .. }),
                 "`{text}` should be unparsable, got {stream:?}"
@@ -843,5 +1403,15 @@ spec:
         };
         assert_eq!(violations, tree_violations);
         assert_eq!(tree_location, None);
+        // The JSON form reaches the same violations.
+        let json = "{\"kind\": \"Secret\", \"metadata\": {\"name\": \"stolen\"}}";
+        let RawVerdict::Denied {
+            violations: json_violations,
+            ..
+        } = set.validate_raw_format(json, BodyFormat::Json)
+        else {
+            panic!("expected JSON denial");
+        };
+        assert_eq!(violations, json_violations);
     }
 }

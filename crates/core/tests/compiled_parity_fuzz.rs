@@ -11,15 +11,28 @@
 //! and the mutated document.
 
 use k8s_model::K8sObject;
-use kf_yaml::{Path, Value};
+use kf_yaml::{BodyFormat, Path, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use kf_workloads::Operator;
 use kubefence::{GeneratorConfig, PolicyGenerator, RawVerdict, Validator, ValidatorSet};
 
-const CASES_PER_OPERATOR: usize = 400;
 const MUTATIONS_PER_CASE: usize = 4;
+
+/// Mutated cases generated per operator and per suite. The default keeps
+/// local runs fast; CI's `parity` job raises it via `KF_FUZZ_CASES` (see
+/// `docs/ci.md`).
+fn cases_per_operator() -> usize {
+    match std::env::var("KF_FUZZ_CASES") {
+        // A set-but-unparsable value must fail the suite, not silently
+        // fall back while also disabling the volume guards below.
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("KF_FUZZ_CASES must be an integer, got `{v}`")),
+        Err(_) => 400,
+    }
+}
 
 fn validator_for(operator: Operator) -> Validator {
     PolicyGenerator::new(GeneratorConfig::for_release(operator.release_name()))
@@ -105,7 +118,7 @@ fn compiled_and_tree_validators_agree_on_mutated_manifests() {
         let mut rng = SmallRng::seed_from_u64(0xF0CCAC1A ^ operator.name().len() as u64);
         let mut admitted = 0usize;
         let mut denied = 0usize;
-        for case in 0..CASES_PER_OPERATOR {
+        for case in 0..cases_per_operator() {
             let base = &bases[rng.gen_range(0usize..bases.len())];
             let mut body = base.body().clone();
             for _ in 0..rng.gen_range(1usize..MUTATIONS_PER_CASE + 1) {
@@ -146,7 +159,7 @@ fn compiled_and_tree_validators_agree_on_mutated_manifests() {
             operator.name()
         );
         assert!(
-            admitted + denied > CASES_PER_OPERATOR / 2,
+            admitted + denied > cases_per_operator() / 2,
             "{}: too many cases discarded ({admitted} admitted, {denied} denied)",
             operator.name()
         );
@@ -168,7 +181,7 @@ fn streaming_verdicts_match_tree_verdicts_on_mutated_manifests() {
         let set = ValidatorSet::single(validator.clone());
         let bases = operator.workload().default_objects();
         let mut rng = SmallRng::seed_from_u64(0x5EED_57E4 ^ operator.name().len() as u64);
-        for case in 0..CASES_PER_OPERATOR {
+        for case in 0..cases_per_operator() {
             let base = &bases[rng.gen_range(0usize..bases.len())];
             let mut body = base.body().clone();
             for _ in 0..rng.gen_range(1usize..MUTATIONS_PER_CASE + 1) {
@@ -253,8 +266,11 @@ fn streaming_verdicts_match_tree_verdicts_on_mutated_manifests() {
             }
         }
     }
+    // The volume guard protects the default configuration; an explicit
+    // KF_FUZZ_CASES override (however small, e.g. while iterating on a
+    // repro) sets its own volume.
     assert!(
-        checked >= 1000,
+        std::env::var("KF_FUZZ_CASES").is_ok() || checked >= 1000,
         "parity must be pinned over at least 1k mutated manifests, got {checked}"
     );
     assert!(
@@ -291,6 +307,227 @@ fn multi_document_raw_bodies_never_admit() {
         assert!(set.validate_raw(&first).is_admitted());
         assert!(set.validate_raw_tree(&first).is_admitted());
     }
+}
+
+/// Cross-format parity: every mutated manifest is serialized as **both**
+/// YAML and JSON wire bytes, and the streaming-JSON, streaming-YAML and
+/// compiled-tree verdicts must agree — with byte-identical violation lists
+/// on denials. Locations and unparsable reasons are format-specific (line
+/// numbers differ between serializations) and are excluded from the
+/// byte-identity claim.
+#[test]
+fn cross_format_streaming_verdicts_agree() {
+    let mut checked = 0usize;
+    let mut denied_both = 0usize;
+    for operator in Operator::ALL {
+        let validator = validator_for(operator);
+        let set = ValidatorSet::single(validator);
+        let bases = operator.workload().default_objects();
+        let mut rng = SmallRng::seed_from_u64(0xC0_F0_12_34 ^ operator.name().len() as u64);
+        for case in 0..cases_per_operator() {
+            let base = &bases[rng.gen_range(0usize..bases.len())];
+            let mut body = base.body().clone();
+            for _ in 0..rng.gen_range(1usize..MUTATIONS_PER_CASE + 1) {
+                mutate(&mut rng, &mut body);
+            }
+            let yaml = kf_yaml::to_yaml(&body);
+            let json = kf_yaml::to_json(&body);
+            let stream_yaml = set.validate_raw_format(&yaml, BodyFormat::Yaml);
+            let stream_json = set.validate_raw_format(&json, BodyFormat::Json);
+            let tree_yaml = set.validate_raw_tree_format(&yaml, BodyFormat::Yaml);
+            let tree_json = set.validate_raw_tree_format(&json, BodyFormat::Json);
+            checked += 1;
+            // Each format's streaming verdict matches its own reference
+            // exactly, modulo the added source location.
+            assert_same_outcome(
+                &stream_yaml,
+                &tree_yaml,
+                operator.name(),
+                case,
+                "yaml",
+                &yaml,
+            );
+            assert_same_outcome(
+                &stream_json,
+                &tree_json,
+                operator.name(),
+                case,
+                "json",
+                &json,
+            );
+            // And across formats: the verdict class is identical, and
+            // denial violation lists are byte-identical.
+            match (&stream_yaml, &stream_json) {
+                (RawVerdict::Admitted, RawVerdict::Admitted) => {}
+                (
+                    RawVerdict::Denied {
+                        violations: yaml_violations,
+                        ..
+                    },
+                    RawVerdict::Denied {
+                        violations: json_violations,
+                        ..
+                    },
+                ) => {
+                    denied_both += 1;
+                    assert_eq!(
+                        yaml_violations,
+                        json_violations,
+                        "{} case {case}: YAML and JSON violation lists diverged\n--- yaml ---\n{yaml}\n--- json ---\n{json}",
+                        operator.name()
+                    );
+                }
+                (RawVerdict::Unparsable { .. }, RawVerdict::Unparsable { .. }) => {}
+                (y, j) => panic!(
+                    "{} case {case}: verdict class diverged across formats\nyaml: {y:?}\njson: {j:?}\n--- yaml ---\n{yaml}\n--- json ---\n{json}",
+                    operator.name()
+                ),
+            }
+        }
+    }
+    assert_eq!(
+        checked,
+        Operator::ALL.len() * cases_per_operator(),
+        "every generated case must be checked"
+    );
+    // The volume guard protects the default configuration (400 × 5 operators
+    // = 2000); an explicit KF_FUZZ_CASES override sets its own volume.
+    assert!(
+        std::env::var("KF_FUZZ_CASES").is_ok() || checked >= 2000,
+        "cross-format parity must be pinned over at least 2k mutated manifests, got {checked}"
+    );
+    assert!(
+        denied_both > 0,
+        "the mutator must exercise the cross-format deny path"
+    );
+}
+
+/// Assert a streaming verdict equals its reference verdict, ignoring the
+/// source location the stream adds to denials.
+fn assert_same_outcome(
+    stream: &RawVerdict,
+    tree: &RawVerdict,
+    operator: &str,
+    case: usize,
+    format: &str,
+    text: &str,
+) {
+    match (stream, tree) {
+        (RawVerdict::Admitted, RawVerdict::Admitted) => {}
+        (
+            RawVerdict::Denied {
+                violations: aentries,
+                ..
+            },
+            RawVerdict::Denied {
+                violations: bentries,
+                ..
+            },
+        ) => assert_eq!(
+            aentries, bentries,
+            "{operator} case {case} ({format}): streaming and reference reports diverged\n{text}"
+        ),
+        (RawVerdict::Unparsable { reason: a, .. }, RawVerdict::Unparsable { reason: b, .. }) => {
+            assert_eq!(
+                a, b,
+                "{operator} case {case} ({format}): unparsable reasons diverged\n{text}"
+            );
+        }
+        (s, t) => panic!(
+            "{operator} case {case} ({format}): verdicts diverged (stream {s:?} vs tree {t:?})\n{text}"
+        ),
+    }
+}
+
+/// Multi-document YAML has no JSON analogue: a concatenated JSON payload is
+/// a parse error (trailing content), a multi-document YAML payload is a
+/// document-count defect. Both deny; the single-document forms of the same
+/// manifests admit in both formats, and early-deny ordering agrees with the
+/// tree on a document whose violations span the kind discovery point.
+#[test]
+fn multi_document_yaml_vs_single_document_json() {
+    for operator in Operator::ALL {
+        let validator = validator_for(operator);
+        let set = ValidatorSet::single(validator);
+        let bases = operator.workload().default_objects();
+        let first_yaml = kf_yaml::to_yaml(bases[0].body());
+        let first_json = kf_yaml::to_json(bases[0].body());
+        let second_yaml = kf_yaml::to_yaml(bases[bases.len() - 1].body());
+        let second_json = kf_yaml::to_json(bases[bases.len() - 1].body());
+        // Single documents admit in both formats.
+        assert!(set.validate_raw(&first_yaml).is_admitted());
+        assert!(set
+            .validate_raw_format(&first_json, BodyFormat::Json)
+            .is_admitted());
+        // Multi-document YAML and concatenated JSON both refuse admission,
+        // each matching its own reference outcome exactly.
+        let multi_yaml = format!("{first_yaml}---\n{second_yaml}");
+        let multi_json = format!("{first_json}\n{second_json}");
+        let stream = set.validate_raw(&multi_yaml);
+        assert!(!stream.is_admitted());
+        assert_eq!(stream, set.validate_raw_tree(&multi_yaml));
+        let stream = set.validate_raw_format(&multi_json, BodyFormat::Json);
+        assert!(matches!(stream, RawVerdict::Unparsable { .. }));
+        assert_eq!(
+            stream,
+            set.validate_raw_tree_format(&multi_json, BodyFormat::Json)
+        );
+    }
+}
+
+/// Early-deny ordering: when multiple violations exist, the streaming
+/// report must list them in document order for both formats — the order the
+/// tree walk produces.
+#[test]
+fn early_deny_ordering_matches_across_formats() {
+    let operator = Operator::ALL[0];
+    let validator = validator_for(operator);
+    let set = ValidatorSet::single(validator);
+    let bases = operator.workload().default_objects();
+    let pod_spec = Path::parse("spec.template.spec").unwrap();
+    let mut body = bases
+        .iter()
+        .find(|object| object.body().get_path(&pod_spec).is_some())
+        .expect("every operator deploys a pod-template workload")
+        .body()
+        .clone();
+    // Two hostile fields inside the pod template.
+    body.set_path(
+        &Path::parse("spec.template.spec.hostNetwork").unwrap(),
+        Value::Bool(true),
+    )
+    .unwrap();
+    body.set_path(
+        &Path::parse("spec.template.spec.hostPID").unwrap(),
+        Value::Bool(true),
+    )
+    .unwrap();
+    let yaml = kf_yaml::to_yaml(&body);
+    let json = kf_yaml::to_json(&body);
+    let RawVerdict::Denied {
+        violations: yaml_violations,
+        ..
+    } = set.validate_raw(&yaml)
+    else {
+        panic!("expected YAML denial");
+    };
+    let RawVerdict::Denied {
+        violations: json_violations,
+        ..
+    } = set.validate_raw_format(&json, BodyFormat::Json)
+    else {
+        panic!("expected JSON denial");
+    };
+    let RawVerdict::Denied {
+        violations: tree_violations,
+        ..
+    } = set.validate_raw_tree(&yaml)
+    else {
+        panic!("expected tree denial");
+    };
+    assert!(tree_violations.len() >= 2, "expected multiple violations");
+    assert_eq!(yaml_violations, tree_violations);
+    assert_eq!(json_violations, tree_violations);
 }
 
 #[test]

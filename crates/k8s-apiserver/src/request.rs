@@ -6,16 +6,17 @@ use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use k8s_model::{K8sObject, ResourceKind, Verb};
-use kf_yaml::Value;
+use kf_yaml::{BodyFormat, Value};
 
 /// The payload of an API request as it travels through the admission path.
 ///
 /// Mutating requests historically carried a pre-parsed [`Value`] tree; the
-/// wire-faithful path carries the raw YAML bytes instead, so the enforcement
-/// proxy can validate **while parsing** and a malicious payload is never
-/// materialized before the first policy check. The tree variant is kept for
-/// the legacy path and is `Arc`-shared, so request construction, cloning and
-/// audit snapshots stop paying per-request deep copies of the document.
+/// wire-faithful path carries the raw bytes instead — YAML or JSON, tagged
+/// with their [`BodyFormat`] — so the enforcement proxy can validate **while
+/// parsing** and a malicious payload is never materialized before the first
+/// policy check. The tree variant is kept for the legacy path and is
+/// `Arc`-shared, so request construction, cloning and audit snapshots stop
+/// paying per-request deep copies of the document.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub enum RequestBody {
     /// No payload (read-only verbs).
@@ -23,8 +24,9 @@ pub enum RequestBody {
     None,
     /// A pre-parsed, shared document tree (the legacy in-process path).
     Tree(Arc<Value>),
-    /// The raw wire bytes of the YAML payload.
-    Raw(Bytes),
+    /// The raw wire bytes of the payload, with their serialization format
+    /// ([`BodyFormat::Auto`] defers detection to the consumer).
+    Raw(Bytes, BodyFormat),
 }
 
 impl RequestBody {
@@ -49,14 +51,22 @@ impl RequestBody {
     /// The raw wire bytes, if the body is the raw variant.
     pub fn raw(&self) -> Option<&Bytes> {
         match self {
-            RequestBody::Raw(bytes) => Some(bytes),
+            RequestBody::Raw(bytes, _) => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// The declared wire format, if the body is the raw variant.
+    pub fn format(&self) -> Option<BodyFormat> {
+        match self {
+            RequestBody::Raw(_, format) => Some(*format),
             _ => None,
         }
     }
 
     /// Materialize the payload as a shared document tree: `Tree` bodies are
-    /// a cheap `Arc` clone, `Raw` bodies are parsed (a raw body must be one
-    /// well-formed YAML document).
+    /// a cheap `Arc` clone, `Raw` bodies are parsed by their declared format
+    /// (a raw body must be one well-formed YAML or JSON document).
     ///
     /// # Errors
     ///
@@ -66,17 +76,24 @@ impl RequestBody {
         match self {
             RequestBody::None => Ok(None),
             RequestBody::Tree(value) => Ok(Some(Arc::clone(value))),
-            RequestBody::Raw(bytes) => {
+            RequestBody::Raw(bytes, format) => {
                 let text = std::str::from_utf8(bytes)
                     .map_err(|_| "request body is not valid UTF-8".to_owned())?;
-                let mut docs = kf_yaml::parse_documents(text).map_err(|e| e.to_string())?;
-                if docs.len() != 1 {
-                    return Err(format!(
-                        "expected a single YAML document, found {}",
-                        docs.len()
-                    ));
+                match format.resolve(text) {
+                    BodyFormat::Json => kf_yaml::parse_json(text)
+                        .map(|doc| Some(Arc::new(doc)))
+                        .map_err(|e| e.to_string()),
+                    _ => {
+                        let mut docs = kf_yaml::parse_documents(text).map_err(|e| e.to_string())?;
+                        if docs.len() != 1 {
+                            return Err(format!(
+                                "expected a single YAML document, found {}",
+                                docs.len()
+                            ));
+                        }
+                        Ok(Some(Arc::new(docs.remove(0))))
+                    }
                 }
-                Ok(Some(Arc::new(docs.remove(0))))
             }
         }
     }
@@ -120,23 +137,46 @@ impl ApiRequest {
         Self::mutating(user, Verb::Update, object)
     }
 
-    /// A `create` request carrying the object as raw wire bytes — what a
-    /// real client puts on the network. The manifest is serialized once;
-    /// replaying the request clones only the byte buffer handle.
+    /// A `create` request carrying the object as raw YAML wire bytes — what
+    /// a YAML-speaking client puts on the network. The manifest is
+    /// serialized once; replaying the request clones only the byte buffer
+    /// handle.
     pub fn create_raw(user: &str, object: &K8sObject) -> Self {
         Self::mutating(user, Verb::Create, object).into_raw()
     }
 
-    /// An `update` request carrying the object as raw wire bytes.
+    /// An `update` request carrying the object as raw YAML wire bytes.
     pub fn update_raw(user: &str, object: &K8sObject) -> Self {
         Self::mutating(user, Verb::Update, object).into_raw()
     }
 
-    /// Convert a tree-bodied request into a raw-bodied one by serializing
-    /// the payload (a no-op for body-less and already-raw requests).
+    /// A `create` request carrying the object as raw JSON wire bytes — the
+    /// dominant format real API clients submit.
+    pub fn create_raw_json(user: &str, object: &K8sObject) -> Self {
+        Self::mutating(user, Verb::Create, object).into_raw_json()
+    }
+
+    /// An `update` request carrying the object as raw JSON wire bytes.
+    pub fn update_raw_json(user: &str, object: &K8sObject) -> Self {
+        Self::mutating(user, Verb::Update, object).into_raw_json()
+    }
+
+    /// Convert a tree-bodied request into a raw YAML-bodied one by
+    /// serializing the payload (a no-op for body-less and already-raw
+    /// requests).
     pub fn into_raw(mut self) -> Self {
         if let RequestBody::Tree(value) = &self.body {
-            self.body = RequestBody::Raw(Bytes::from(kf_yaml::to_yaml(value)));
+            self.body = RequestBody::Raw(Bytes::from(kf_yaml::to_yaml(value)), BodyFormat::Yaml);
+        }
+        self
+    }
+
+    /// Convert a tree-bodied request into a raw JSON-bodied one by
+    /// serializing the payload (a no-op for body-less and already-raw
+    /// requests).
+    pub fn into_raw_json(mut self) -> Self {
+        if let RequestBody::Tree(value) = &self.body {
+            self.body = RequestBody::Raw(Bytes::from(kf_yaml::to_json(value)), BodyFormat::Json);
         }
         self
     }
@@ -215,7 +255,7 @@ impl ApiRequest {
         match &self.body {
             RequestBody::None => Bytes::new(),
             RequestBody::Tree(body) => Bytes::from(kf_yaml::to_yaml(body)),
-            RequestBody::Raw(bytes) => bytes.clone(),
+            RequestBody::Raw(bytes, _) => bytes.clone(),
         }
     }
 
@@ -359,23 +399,50 @@ mod tests {
     #[test]
     fn materialize_rejects_malformed_raw_bodies() {
         let bad = ApiRequest {
-            body: RequestBody::Raw(Bytes::from("a: 1\n   broken\n")),
+            body: RequestBody::Raw(Bytes::from("a: 1\n   broken\n"), BodyFormat::Yaml),
             ..ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
         };
         assert!(bad.body.materialize().is_err());
         let multi = ApiRequest {
-            body: RequestBody::Raw(Bytes::from("kind: Pod\n---\nkind: Pod\n")),
+            body: RequestBody::Raw(Bytes::from("kind: Pod\n---\nkind: Pod\n"), BodyFormat::Yaml),
             ..ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
         };
         assert!(multi.body.materialize().is_err());
+        let bad_json = ApiRequest {
+            body: RequestBody::Raw(Bytes::from("{\"kind\": }"), BodyFormat::Json),
+            ..ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
+        };
+        assert!(bad_json.body.materialize().is_err());
     }
 
     #[test]
     fn into_raw_serializes_tree_bodies_once() {
         let req = ApiRequest::create("alice", &pod()).into_raw();
         assert!(req.body.raw().is_some());
+        assert_eq!(req.body.format(), Some(BodyFormat::Yaml));
         let get = ApiRequest::get("alice", ResourceKind::Pod, "default", "web").into_raw();
         assert!(get.body.is_none());
+    }
+
+    #[test]
+    fn json_raw_requests_carry_bytes_and_materialize_back() {
+        let object = pod();
+        let req = ApiRequest::create_raw_json("alice", &object);
+        assert_eq!(req.body.format(), Some(BodyFormat::Json));
+        let bytes = req.body.raw().expect("raw body");
+        assert_eq!(bytes.first(), Some(&b'{'), "JSON bodies start at `{{`");
+        // The raw JSON body materializes back to the same document the YAML
+        // form produces.
+        let tree = req.body.materialize().unwrap().unwrap();
+        assert!(tree.loosely_equals(object.body()));
+        assert_eq!(req.object().unwrap().name(), "web");
+        // Auto-format bodies detect JSON from the first significant byte.
+        let auto = ApiRequest {
+            body: RequestBody::Raw(bytes.clone(), BodyFormat::Auto),
+            ..req.clone()
+        };
+        let tree = auto.body.materialize().unwrap().unwrap();
+        assert!(tree.loosely_equals(object.body()));
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Wire-format identification for raw request bodies.
+
+/// The serialization format of a raw (wire-bytes) request body.
+///
+/// Kubernetes clients overwhelmingly submit JSON (`kubectl` converts
+/// manifests before `POST`ing them), while configuration files and Helm
+/// output are YAML. The admission plane accepts both through the same
+/// event model: [`crate::events::Tokenizer`] for YAML,
+/// [`crate::json::JsonTokenizer`] for JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BodyFormat {
+    /// The body is YAML.
+    #[default]
+    Yaml,
+    /// The body is JSON.
+    Json,
+    /// Detect the format from the first non-whitespace byte: `{` or `[`
+    /// opens a JSON document, anything else is treated as YAML. (A YAML
+    /// document rooted in a flow collection is indistinguishable from JSON
+    /// at that point; senders of such bodies should declare the format
+    /// explicitly.)
+    Auto,
+}
+
+impl BodyFormat {
+    /// Detect the format of a body, per the [`BodyFormat::Auto`] rule.
+    /// Always returns [`BodyFormat::Yaml`] or [`BodyFormat::Json`].
+    pub fn detect(text: &str) -> BodyFormat {
+        match text.trim_start().as_bytes().first() {
+            Some(b'{') | Some(b'[') => BodyFormat::Json,
+            _ => BodyFormat::Yaml,
+        }
+    }
+
+    /// Resolve `Auto` against a concrete body; `Yaml` and `Json` are
+    /// returned unchanged.
+    pub fn resolve(self, text: &str) -> BodyFormat {
+        match self {
+            BodyFormat::Auto => BodyFormat::detect(text),
+            fixed => fixed,
+        }
+    }
+
+    /// Short lowercase name of the format (for messages and bench labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BodyFormat::Yaml => "yaml",
+            BodyFormat::Json => "json",
+            BodyFormat::Auto => "auto",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_keys_on_the_first_significant_byte() {
+        assert_eq!(BodyFormat::detect("{\"kind\": \"Pod\"}"), BodyFormat::Json);
+        assert_eq!(BodyFormat::detect("  \n\t[1, 2]"), BodyFormat::Json);
+        assert_eq!(BodyFormat::detect("kind: Pod\n"), BodyFormat::Yaml);
+        assert_eq!(BodyFormat::detect(""), BodyFormat::Yaml);
+        assert_eq!(
+            BodyFormat::detect("# comment\nkind: Pod\n"),
+            BodyFormat::Yaml
+        );
+    }
+
+    #[test]
+    fn resolve_only_rewrites_auto() {
+        assert_eq!(BodyFormat::Yaml.resolve("{}"), BodyFormat::Yaml);
+        assert_eq!(BodyFormat::Json.resolve("a: 1"), BodyFormat::Json);
+        assert_eq!(BodyFormat::Auto.resolve("{}"), BodyFormat::Json);
+        assert_eq!(BodyFormat::Auto.resolve("a: 1"), BodyFormat::Yaml);
+    }
+}

@@ -16,6 +16,12 @@
 //! scalars, flow sequences/mappings, comments and multi-document streams.
 //! Anchors, tags and block scalars are intentionally out of scope.
 //!
+//! Raw request bodies may also arrive as **JSON** — the dominant wire format
+//! in front of a real API server. The [`json`] module provides a JSON
+//! tokenizer emitting the same [`events::Event`] stream, [`parse_json`] /
+//! [`to_json`] for trees, and [`BodyFormat`] for format declaration and
+//! auto-detection.
+//!
 //! ```
 //! use kf_yaml::{parse, Path};
 //!
@@ -33,12 +39,16 @@
 mod emitter;
 mod error;
 pub mod events;
+mod format;
+pub mod json;
 mod parser;
 mod path;
 mod value;
 
 pub use emitter::to_yaml;
 pub use error::Error;
+pub use format::BodyFormat;
+pub use json::{parse_json, to_json};
 pub use parser::{parse, parse_documents};
 pub use path::{Path, PathSegment};
 pub use value::{Mapping, Value};

@@ -68,9 +68,11 @@ enum Node {
 }
 
 /// Builds [`Value`] trees from tokenizer events. Duplicate-key rejection is
-/// the tokenizer's job; the builder only assembles structure.
+/// the tokenizer's job; the builder only assembles structure. Shared with
+/// the JSON front end ([`crate::json::parse_json`]), which drives it from
+/// the JSON tokenizer's identical event stream.
 #[derive(Debug, Default)]
-struct TreeBuilder {
+pub(crate) struct TreeBuilder {
     stack: Vec<Node>,
     root: Option<Value>,
 }
@@ -78,7 +80,7 @@ struct TreeBuilder {
 impl TreeBuilder {
     /// Feed one event; returns the completed document on
     /// [`Event::DocumentEnd`].
-    fn feed(&mut self, event: Event<'_>) -> Option<Value> {
+    pub(crate) fn feed(&mut self, event: Event<'_>) -> Option<Value> {
         match event {
             Event::MappingStart { .. } => self.stack.push(Node::Map {
                 map: Mapping::new(),

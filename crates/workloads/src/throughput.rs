@@ -112,21 +112,37 @@ impl ThroughputDriver {
     }
 
     /// A raw-body pool mixing several operators' traffic: every manifest is
-    /// serialized to wire bytes **once** at pool construction, and replay
-    /// hands out cheap byte-buffer clones — the wire-faithful regime the
-    /// streaming admission plane is measured in.
+    /// serialized to YAML wire bytes **once** at pool construction, and
+    /// replay hands out cheap byte-buffer clones — the wire-faithful regime
+    /// the streaming admission plane is measured in.
     pub fn for_operators_raw(operators: &[Operator]) -> Self {
         Self::for_operators(operators).into_raw()
     }
 
-    /// Convert the pool to raw (pre-serialized) bodies. Each manifest is
-    /// encoded once here; replaying a request afterwards never re-serializes
-    /// or deep-clones a document tree.
+    /// [`ThroughputDriver::for_operators_raw`] with JSON wire bytes — the
+    /// dominant format real API clients submit.
+    pub fn for_operators_raw_json(operators: &[Operator]) -> Self {
+        Self::for_operators(operators).into_raw_json()
+    }
+
+    /// Convert the pool to raw (pre-serialized) YAML bodies. Each manifest
+    /// is encoded once here; replaying a request afterwards never
+    /// re-serializes or deep-clones a document tree.
     pub fn into_raw(mut self) -> Self {
         self.requests = self
             .requests
             .into_iter()
             .map(ApiRequest::into_raw)
+            .collect();
+        self
+    }
+
+    /// Convert the pool to raw (pre-serialized) JSON bodies.
+    pub fn into_raw_json(mut self) -> Self {
+        self.requests = self
+            .requests
+            .into_iter()
+            .map(ApiRequest::into_raw_json)
             .collect();
         self
     }
@@ -255,6 +271,33 @@ mod tests {
         // Replay against a permissive server succeeds for both shapes.
         let server = ApiServer::new().with_admin(&Operator::Nginx.user());
         let report = raw.run(&server, 2, 40);
+        assert_eq!(report.admitted + report.denied, 80);
+    }
+
+    #[test]
+    fn json_pools_replay_identically_to_yaml_pools() {
+        let yaml = ThroughputDriver::for_operators_raw(&[Operator::Nginx]);
+        let json = ThroughputDriver::for_operators_raw_json(&[Operator::Nginx]);
+        assert_eq!(yaml.requests().len(), json.requests().len());
+        for (y, j) in yaml.requests().iter().zip(json.requests()) {
+            assert_eq!(y.path(), j.path());
+            if let Some(bytes) = j.body.raw() {
+                assert_eq!(bytes.first(), Some(&b'{'), "JSON pools carry JSON bytes");
+            }
+        }
+        // Both pools materialize to loosely-equal documents request by
+        // request, so enforcement verdicts cannot depend on the format.
+        for (y, j) in yaml.requests().iter().zip(json.requests()) {
+            let yt = y.body.materialize().unwrap();
+            let jt = j.body.materialize().unwrap();
+            match (yt, jt) {
+                (None, None) => {}
+                (Some(a), Some(b)) => assert!(a.loosely_equals(&b)),
+                other => panic!("body presence diverged: {other:?}"),
+            }
+        }
+        let server = ApiServer::new().with_admin(&Operator::Nginx.user());
+        let report = json.run(&server, 2, 40);
         assert_eq!(report.admitted + report.denied, 80);
     }
 
