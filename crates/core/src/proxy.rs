@@ -401,14 +401,18 @@ impl<H: RequestHandler> EnforcementProxy<H> {
 impl<H: RequestHandler> RequestHandler for EnforcementProxy<H> {
     fn handle(&self, request: &ApiRequest) -> ApiResponse {
         // Only mutating requests carry specifications to validate; reads are
-        // forwarded untouched (RBAC still applies upstream).
+        // forwarded untouched (RBAC still applies upstream). Raw bodies are
+        // validated under the **negotiated** wire format: the request's
+        // `Content-Type` when it names an encoding, the body tag otherwise.
         match &request.body {
             RequestBody::None => {
                 self.stats.passthrough.add(1);
                 self.upstream.handle(request)
             }
             RequestBody::Tree(body) => self.handle_tree(request, body),
-            RequestBody::Raw(bytes, format) => self.handle_raw(request, bytes, *format),
+            RequestBody::Raw(bytes, format) => {
+                self.handle_raw(request, bytes, request.wire_format().unwrap_or(*format))
+            }
         }
     }
 }
@@ -629,6 +633,7 @@ spec:
             kind: ResourceKind::Deployment,
             namespace: "default".to_owned(),
             name: "mystery".to_owned(),
+            content_type: None,
             body: kf_yaml::parse("replicas: 3\n").unwrap().into(),
         };
         let response = proxy.handle(&request);
@@ -793,6 +798,7 @@ spec:
                 kind: ResourceKind::Deployment,
                 namespace: "default".to_owned(),
                 name: "mystery".to_owned(),
+                content_type: None,
                 body: k8s_apiserver::RequestBody::Raw(payload.into(), format),
             };
             let response = proxy.handle(&request);
@@ -851,6 +857,38 @@ spec:
             .offset
             .expect("stream-decided denial has an offset");
         assert!(text[offset..].starts_with("\"hostNetwork\""));
+    }
+
+    #[test]
+    fn content_type_governs_raw_validation() {
+        let proxy = proxy();
+        let ok = K8sObject::from_yaml(&allowed_manifest().replace("replicas: int", "replicas: 3"))
+            .unwrap();
+        // An Auto-tagged JSON body with an explicit JSON content type (the
+        // watch-stream variant) validates on the JSON front end.
+        let json = proxy.handle(
+            &ApiRequest {
+                body: k8s_apiserver::RequestBody::Raw(
+                    kf_yaml::to_json(ok.body()).into(),
+                    BodyFormat::Auto,
+                ),
+                ..ApiRequest::create("operator", &ok)
+            }
+            .with_content_type("application/json;stream=watch"),
+        );
+        assert!(json.is_success());
+        // A YAML body mis-declared as JSON is parsed per the header — and
+        // rejected, exactly as a real negotiating server would.
+        let mislabeled = proxy
+            .handle(&ApiRequest::create_raw("operator", &ok).with_content_type("application/json"));
+        assert!(mislabeled.is_denied());
+        // An unrecognized media type falls back to the body tag; the same
+        // YAML body goes through the YAML front end and is admitted.
+        let unknown = proxy.handle(
+            &ApiRequest::create_raw("operator", &ok)
+                .with_content_type("application/vnd.kubernetes.protobuf"),
+        );
+        assert!(unknown.is_success());
     }
 
     #[test]

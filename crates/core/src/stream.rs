@@ -321,14 +321,15 @@ impl<'a> PathTracker<'a> {
 }
 
 /// The per-event path, rendered at most once no matter how many matchers
-/// record a violation at it.
+/// record a violation at it. The fast (verdict-only) pass runs without a
+/// tracker — no matcher renders a path there, so none is maintained.
 struct PathAtEvent<'p, 'a> {
-    tracker: &'p PathTracker<'a>,
+    tracker: Option<&'p PathTracker<'a>>,
     rendered: Option<String>,
 }
 
 impl<'p, 'a> PathAtEvent<'p, 'a> {
-    fn new(tracker: &'p PathTracker<'a>) -> Self {
+    fn new(tracker: Option<&'p PathTracker<'a>>) -> Self {
         PathAtEvent {
             tracker,
             rendered: None,
@@ -337,21 +338,55 @@ impl<'p, 'a> PathAtEvent<'p, 'a> {
 
     fn get(&mut self) -> String {
         self.rendered
-            .get_or_insert_with(|| self.tracker.render())
+            .get_or_insert_with(|| match self.tracker {
+                Some(tracker) => tracker.render(),
+                // Only Mode::Collect matchers render paths, and the collect
+                // pass always runs with a tracker.
+                None => String::new(),
+            })
             .clone()
     }
 }
 
-/// Drive one event through the shared path tracker and every matcher, in
-/// the order the path semantics require. Used by both the main tokenizer
-/// loop and the pre-`kind:` replay.
-fn drive<'a>(matchers: &mut [StreamMatcher<'_>], tracker: &mut PathTracker<'a>, event: &Event<'a>) {
-    tracker.before_event(event);
-    let mut path = PathAtEvent::new(tracker);
-    for matcher in matchers.iter_mut() {
-        matcher.feed(event, &mut path);
+/// The matcher-set health after one event, folded into the feed loop so the
+/// caller never re-iterates the matchers to learn it.
+struct DriveOutcome {
+    /// Some matcher hit a construct the stream cannot decide.
+    needs_tree: bool,
+    /// Every matcher has rejected the document.
+    all_failed: bool,
+}
+
+/// Drive one event through the shared path tracker (when one is maintained
+/// — the collect pass only) and every matcher, in the order the path
+/// semantics require. Used by both the main tokenizer loop and the
+/// pre-`kind:` replay.
+fn drive<'a>(
+    matchers: &mut [StreamMatcher<'_>],
+    mut tracker: Option<&mut PathTracker<'a>>,
+    event: &Event<'a>,
+) -> DriveOutcome {
+    // Fast pass (`tracker` is `None`): matchers only reach verdicts, so the
+    // document position bookkeeping is skipped entirely.
+    if let Some(tracker) = tracker.as_mut() {
+        tracker.before_event(event);
     }
-    tracker.after_event(event);
+    let mut outcome = DriveOutcome {
+        needs_tree: false,
+        all_failed: true,
+    };
+    {
+        let mut path = PathAtEvent::new(tracker.as_deref());
+        for matcher in matchers.iter_mut() {
+            matcher.feed(event, &mut path);
+            outcome.needs_tree |= matcher.needs_tree;
+            outcome.all_failed &= matcher.failed();
+        }
+    }
+    if let Some(tracker) = tracker {
+        tracker.after_event(event);
+    }
+    outcome
 }
 
 /// How the matchers run over the stream.
@@ -404,7 +439,9 @@ fn streaming_verdict(set: &ValidatorSet, text: &str, format: BodyFormat, mode: M
     let mut prekind: Vec<(Cow<'_, str>, Pos, ScalarToken<'_>, Pos)> = Vec::new();
     let mut kind: Option<ResourceKind> = None;
     let mut matchers: Vec<StreamMatcher<'_>> = Vec::new();
-    let mut tracker = PathTracker::default();
+    // Only the collect pass renders document paths; the fast pass skips the
+    // position bookkeeping altogether (it can only ever answer admit/deny).
+    let mut tracker = (mode == Mode::Collect).then(PathTracker::default);
     // A known kind no validator covers: the denial is certain, pending the
     // reference's precedence checks at end of stream.
     let mut uncovered_kind: Option<(ResourceKind, Pos)> = None;
@@ -525,13 +562,12 @@ fn streaming_verdict(set: &ValidatorSet, text: &str, format: BodyFormat, mode: M
                                     pos: *pos,
                                 });
                                 for replay_event in &replay {
-                                    drive(&mut matchers, &mut tracker, replay_event);
-                                    if matchers.iter().any(StreamMatcher::needs_tree) {
+                                    let outcome =
+                                        drive(&mut matchers, tracker.as_mut(), replay_event);
+                                    if outcome.needs_tree {
                                         return StreamFlow::TreeFallback;
                                     }
-                                    if decided_at.is_none()
-                                        && matchers.iter().all(StreamMatcher::failed)
-                                    {
+                                    if decided_at.is_none() && outcome.all_failed {
                                         if mode == Mode::Fast {
                                             // The verdict is decided; stop
                                             // tokenizing and let the collect
@@ -570,11 +606,11 @@ fn streaming_verdict(set: &ValidatorSet, text: &str, format: BodyFormat, mode: M
             }
         }
         if feed_event && !matchers.is_empty() {
-            drive(&mut matchers, &mut tracker, &event);
-            if matchers.iter().any(StreamMatcher::needs_tree) {
+            let outcome = drive(&mut matchers, tracker.as_mut(), &event);
+            if outcome.needs_tree {
                 return StreamFlow::TreeFallback;
             }
-            if decided_at.is_none() && matchers.iter().all(StreamMatcher::failed) {
+            if decided_at.is_none() && outcome.all_failed {
                 if mode == Mode::Fast {
                     // Every candidate has failed: the denial is decided
                     // here and tokenization stops. The collect pass
@@ -583,6 +619,28 @@ fn streaming_verdict(set: &ValidatorSet, text: &str, format: BodyFormat, mode: M
                     return StreamFlow::Report;
                 }
                 decided_at = Some(event_pos(&event));
+            }
+        }
+        if !doc_done
+            && matchers.is_empty()
+            && uncovered_kind.is_some()
+            && name_ok
+            && metadata_open.is_none()
+        {
+            // The candidate set is empty (uncovered kind) and the envelope
+            // is already satisfied: the rest of the document can only
+            // contribute parse defects or a document count. Bail to a
+            // scan-only tokenize loop — no per-event bookkeeping at all.
+            loop {
+                match tokenizer.next_event() {
+                    Ok(Some(Event::DocumentEnd)) => {
+                        doc_done = true;
+                        break;
+                    }
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(e) => return StreamFlow::verdict(unparsable_error(&e)),
+                }
             }
         }
     }
@@ -738,10 +796,6 @@ impl<'c> StreamMatcher<'c> {
             Mode::Fast => !self.alive,
             Mode::Collect => !self.violations.is_empty(),
         }
-    }
-
-    fn needs_tree(&self) -> bool {
-        self.needs_tree
     }
 
     /// A violation occurred: in fast mode the matcher simply dies (the

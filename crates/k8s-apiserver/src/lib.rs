@@ -44,7 +44,7 @@ mod store;
 mod vuln;
 
 pub use latency::{LatencyModel, LatencyProfile};
-pub use request::{ApiRequest, ApiResponse, RequestBody, ResponseStatus};
+pub use request::{ApiRequest, ApiResponse, RequestBody, ResponseBody, ResponseStatus};
 pub use server::{ApiServer, ExploitEvent, RequestHandler};
-pub use store::{ObjectStore, StoredObject};
+pub use store::{BaselineStore, ObjectStore, StoreBackend, StoredObject};
 pub use vuln::VulnerabilityOracle;

@@ -73,13 +73,23 @@ impl RequestBody {
     /// Returns a description of the defect when a raw body is not valid
     /// UTF-8, does not parse, or contains more than one document.
     pub fn materialize(&self) -> Result<Option<Arc<Value>>, String> {
+        self.materialize_as(None)
+    }
+
+    /// [`RequestBody::materialize`] with an optional negotiated format
+    /// override for raw bodies (the request's `Content-Type`, when it named
+    /// an encoding); `None` keeps the body's own tag.
+    pub fn materialize_as(
+        &self,
+        negotiated: Option<BodyFormat>,
+    ) -> Result<Option<Arc<Value>>, String> {
         match self {
             RequestBody::None => Ok(None),
             RequestBody::Tree(value) => Ok(Some(Arc::clone(value))),
             RequestBody::Raw(bytes, format) => {
                 let text = std::str::from_utf8(bytes)
                     .map_err(|_| "request body is not valid UTF-8".to_owned())?;
-                match format.resolve(text) {
+                match negotiated.unwrap_or(*format).resolve(text) {
                     BodyFormat::Json => kf_yaml::parse_json(text)
                         .map(|doc| Some(Arc::new(doc)))
                         .map_err(|e| e.to_string()),
@@ -105,11 +115,17 @@ impl From<Value> for RequestBody {
     }
 }
 
+impl From<Arc<Value>> for RequestBody {
+    fn from(value: Arc<Value>) -> Self {
+        RequestBody::Tree(value)
+    }
+}
+
 /// An authenticated request to the (simulated) API server.
 ///
 /// This mirrors what the KubeFence proxy sees on the wire: the HTTP verb and
-/// resource path (user, verb, kind, namespace, name) and the YAML payload
-/// carrying the object specification.
+/// resource path (user, verb, kind, namespace, name), the declared
+/// `Content-Type`, and the payload carrying the object specification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApiRequest {
     /// Authenticated user issuing the request.
@@ -122,6 +138,11 @@ pub struct ApiRequest {
     pub namespace: String,
     /// Target object name (empty for collection operations such as `list`).
     pub name: String,
+    /// The `Content-Type` header the client sent, if any. When it names an
+    /// encoding ([`BodyFormat::from_content_type`]), that encoding governs
+    /// how a raw body is parsed and validated; otherwise the body's own
+    /// format tag (ultimately [`BodyFormat::Auto`] detection) decides.
+    pub content_type: Option<String>,
     /// The object specification carried by mutating requests.
     pub body: RequestBody,
 }
@@ -163,22 +184,57 @@ impl ApiRequest {
 
     /// Convert a tree-bodied request into a raw YAML-bodied one by
     /// serializing the payload (a no-op for body-less and already-raw
-    /// requests).
+    /// requests). The request declares `application/yaml`, as a real
+    /// YAML-speaking client would.
     pub fn into_raw(mut self) -> Self {
         if let RequestBody::Tree(value) = &self.body {
             self.body = RequestBody::Raw(Bytes::from(kf_yaml::to_yaml(value)), BodyFormat::Yaml);
+            self.content_type = Some("application/yaml".to_owned());
         }
         self
     }
 
     /// Convert a tree-bodied request into a raw JSON-bodied one by
     /// serializing the payload (a no-op for body-less and already-raw
-    /// requests).
+    /// requests). The request declares `application/json`.
     pub fn into_raw_json(mut self) -> Self {
         if let RequestBody::Tree(value) = &self.body {
             self.body = RequestBody::Raw(Bytes::from(kf_yaml::to_json(value)), BodyFormat::Json);
+            self.content_type = Some("application/json".to_owned());
         }
         self
+    }
+
+    /// Declare a `Content-Type` header, builder style.
+    pub fn with_content_type(mut self, content_type: &str) -> Self {
+        self.content_type = Some(content_type.to_owned());
+        self
+    }
+
+    /// The wire format negotiated for a raw body: the `Content-Type`'s
+    /// encoding when the header names one, else the body's own format tag
+    /// ([`BodyFormat::Auto`] defers to first-byte detection). `None` for
+    /// body-less and pre-parsed (tree) requests, which have no wire
+    /// encoding to negotiate.
+    pub fn wire_format(&self) -> Option<BodyFormat> {
+        let tagged = self.body.format()?;
+        Some(
+            self.content_type
+                .as_deref()
+                .and_then(BodyFormat::from_content_type)
+                .unwrap_or(tagged),
+        )
+    }
+
+    /// Materialize the request body under the negotiated wire format — the
+    /// form the API server and baseline proxy use, so content negotiation
+    /// governs parsing exactly like it governs streaming validation.
+    ///
+    /// # Errors
+    ///
+    /// Those of [`RequestBody::materialize`].
+    pub fn materialize_body(&self) -> Result<Option<Arc<Value>>, String> {
+        self.body.materialize_as(self.wire_format())
     }
 
     fn mutating(user: &str, verb: Verb, object: &K8sObject) -> Self {
@@ -193,7 +249,10 @@ impl ApiRequest {
             kind: object.kind(),
             namespace,
             name: object.name().to_owned(),
-            body: RequestBody::Tree(Arc::new(object.body().clone())),
+            content_type: None,
+            // The request shares the object's tree; nothing is deep-cloned
+            // on construction, replay, or audit capture.
+            body: RequestBody::Tree(Arc::clone(object.shared_body())),
         }
     }
 
@@ -205,6 +264,7 @@ impl ApiRequest {
             kind,
             namespace: namespace.to_owned(),
             name: name.to_owned(),
+            content_type: None,
             body: RequestBody::None,
         }
     }
@@ -217,6 +277,7 @@ impl ApiRequest {
             kind,
             namespace: namespace.to_owned(),
             name: String::new(),
+            content_type: None,
             body: RequestBody::None,
         }
     }
@@ -229,6 +290,7 @@ impl ApiRequest {
             kind,
             namespace: namespace.to_owned(),
             name: name.to_owned(),
+            content_type: None,
             body: RequestBody::None,
         }
     }
@@ -264,12 +326,12 @@ impl ApiRequest {
         self.payload().len()
     }
 
-    /// Interpret the request body as a Kubernetes object, if present.
-    /// Tree bodies deep-clone; raw bodies parse — both materialize a fresh
-    /// object, which is why the enforcement hot path avoids this call.
+    /// Interpret the request body as a Kubernetes object, if present. Tree
+    /// bodies share their tree with the returned object; raw bodies parse a
+    /// fresh one — parsing is why the enforcement hot path avoids this call.
     pub fn object(&self) -> Option<K8sObject> {
-        let body = self.body.materialize().ok()??;
-        K8sObject::from_value((*body).clone()).ok()
+        let body = self.materialize_body().ok()??;
+        K8sObject::from_shared(body).ok()
     }
 }
 
@@ -304,6 +366,73 @@ impl ResponseStatus {
     }
 }
 
+/// The payload of an [`ApiResponse`], held as shared handles: a `get`
+/// returns the stored object's tree, a `list` returns one handle per stored
+/// object — serving a read **never copies a document**, which is the read
+/// half of the zero-copy persistence plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// A single object (get responses).
+    Object(Arc<Value>),
+    /// A collection (list/watch responses): the `<Kind>List` envelope kind
+    /// and the item handles, in key order.
+    List {
+        /// The list kind (`PodList`, `DeploymentList`, …).
+        kind: String,
+        /// The stored objects' shared trees.
+        items: Vec<Arc<Value>>,
+    },
+}
+
+impl ResponseBody {
+    /// The object tree, for single-object responses.
+    pub fn object(&self) -> Option<&Arc<Value>> {
+        match self {
+            ResponseBody::Object(value) => Some(value),
+            ResponseBody::List { .. } => None,
+        }
+    }
+
+    /// The item handles, for collection responses.
+    pub fn items(&self) -> Option<&[Arc<Value>]> {
+        match self {
+            ResponseBody::List { items, .. } => Some(items),
+            ResponseBody::Object(_) => None,
+        }
+    }
+
+    /// Render the body as one owned document — the wire shape (`kind:
+    /// <Kind>List` + `items:` for collections). This **copies** the shared
+    /// trees; it exists for serialization and debugging, not for the serving
+    /// path.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ResponseBody::Object(value) => (**value).clone(),
+            ResponseBody::List { kind, items } => {
+                let mut body = kf_yaml::Mapping::new();
+                body.insert("kind", Value::from(kind.as_str()));
+                body.insert(
+                    "items",
+                    Value::Seq(items.iter().map(|item| (**item).clone()).collect()),
+                );
+                Value::Map(body)
+            }
+        }
+    }
+}
+
+impl From<Value> for ResponseBody {
+    fn from(value: Value) -> Self {
+        ResponseBody::Object(Arc::new(value))
+    }
+}
+
+impl From<Arc<Value>> for ResponseBody {
+    fn from(value: Arc<Value>) -> Self {
+        ResponseBody::Object(value)
+    }
+}
+
 /// The response to an [`ApiRequest`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApiResponse {
@@ -312,8 +441,9 @@ pub struct ApiResponse {
     /// Human-readable message (for errors: the denial reason, logged by the
     /// proxy for auditing and forensics).
     pub message: String,
-    /// Response body, when the request returns objects.
-    pub body: Option<Value>,
+    /// Response body, when the request returns objects — shared handles to
+    /// the stored trees, never copies.
+    pub body: Option<ResponseBody>,
 }
 
 impl ApiResponse {
@@ -345,8 +475,8 @@ impl ApiResponse {
     }
 
     /// Attach a response body, builder style.
-    pub fn with_body(mut self, body: Value) -> Self {
-        self.body = Some(body);
+    pub fn with_body(mut self, body: impl Into<ResponseBody>) -> Self {
+        self.body = Some(body.into());
         self
     }
 
@@ -443,6 +573,80 @@ mod tests {
         };
         let tree = auto.body.materialize().unwrap().unwrap();
         assert!(tree.loosely_equals(object.body()));
+    }
+
+    #[test]
+    fn content_type_negotiates_the_raw_body_format() {
+        let object = pod();
+        // Raw constructors declare their canonical media type…
+        let yaml = ApiRequest::create_raw("alice", &object);
+        assert_eq!(yaml.content_type.as_deref(), Some("application/yaml"));
+        assert_eq!(yaml.wire_format(), Some(BodyFormat::Yaml));
+        let json = ApiRequest::create_raw_json("alice", &object);
+        assert_eq!(json.content_type.as_deref(), Some("application/json"));
+        assert_eq!(json.wire_format(), Some(BodyFormat::Json));
+        // …and an explicit header overrides an Auto-tagged body.
+        let auto = ApiRequest {
+            body: RequestBody::Raw(json.body.raw().unwrap().clone(), BodyFormat::Auto),
+            ..json.clone()
+        }
+        .with_content_type("application/json;stream=watch");
+        assert_eq!(auto.wire_format(), Some(BodyFormat::Json));
+        assert!(auto
+            .materialize_body()
+            .unwrap()
+            .unwrap()
+            .loosely_equals(object.body()));
+        // A media type naming neither encoding falls back to the body tag
+        // (Auto → first-byte detection).
+        let unknown = auto.with_content_type("application/vnd.kubernetes.protobuf");
+        assert_eq!(unknown.wire_format(), Some(BodyFormat::Auto));
+        assert!(unknown
+            .materialize_body()
+            .unwrap()
+            .unwrap()
+            .loosely_equals(object.body()));
+        // Body-less requests have nothing to negotiate.
+        assert_eq!(
+            ApiRequest::get("alice", ResourceKind::Pod, "default", "web")
+                .with_content_type("application/json")
+                .wire_format(),
+            None
+        );
+    }
+
+    #[test]
+    fn tree_requests_share_the_object_tree() {
+        let object = pod();
+        let req = ApiRequest::create("alice", &object);
+        let body = req.body.tree().expect("tree body");
+        assert!(
+            std::sync::Arc::ptr_eq(body, object.shared_body()),
+            "request construction must not deep-clone the manifest"
+        );
+        // The parsed-back object shares it too.
+        let parsed = req.object().unwrap();
+        assert!(std::sync::Arc::ptr_eq(parsed.shared_body(), body));
+    }
+
+    #[test]
+    fn response_bodies_are_shared_handles() {
+        let tree = Arc::new(kf_yaml::parse("kind: Pod\nmetadata:\n  name: x\n").unwrap());
+        let response = ApiResponse::ok("ok").with_body(Arc::clone(&tree));
+        let body = response.body.as_ref().unwrap();
+        assert!(Arc::ptr_eq(body.object().unwrap(), &tree));
+        assert!(body.items().is_none());
+        let list = ApiResponse::ok("ok").with_body(ResponseBody::List {
+            kind: "PodList".to_owned(),
+            items: vec![Arc::clone(&tree), Arc::clone(&tree)],
+        });
+        let body = list.body.as_ref().unwrap();
+        assert_eq!(body.items().unwrap().len(), 2);
+        assert!(Arc::ptr_eq(&body.items().unwrap()[0], &tree));
+        // The owned rendering carries the wire shape.
+        let rendered = body.to_value();
+        assert_eq!(rendered.get("kind").unwrap().as_str(), Some("PodList"));
+        assert_eq!(rendered.get("items").unwrap().as_seq().unwrap().len(), 2);
     }
 
     #[test]

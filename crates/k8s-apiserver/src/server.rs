@@ -11,8 +11,8 @@ use k8s_model::{K8sObject, ResourceKind, Verb};
 use k8s_rbac::{AccessReview, AuditEvent, AuditLog, RbacPolicySet};
 use kf_yaml::Value;
 
-use crate::request::{ApiRequest, ApiResponse, ResponseStatus};
-use crate::store::ObjectStore;
+use crate::request::{ApiRequest, ApiResponse, ResponseBody, ResponseStatus};
+use crate::store::{BaselineStore, ObjectStore, StoreBackend};
 use crate::vuln::VulnerabilityOracle;
 
 /// Anything that can serve API requests. The KubeFence proxy implements this
@@ -26,7 +26,7 @@ pub trait RequestHandler {
 
 /// A successful exploitation: an accepted request exercised the vulnerable
 /// code of a CVE.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExploitEvent {
     /// CVE identifier.
     pub cve_id: String,
@@ -36,6 +36,10 @@ pub struct ExploitEvent {
     pub kind: ResourceKind,
     /// Name of the triggering object.
     pub object_name: String,
+    /// The accepted specification that exercised the vulnerable code —
+    /// shared with the admitted object (and thus the store and audit trail);
+    /// recording an exploit never copies the document.
+    pub spec: Arc<Value>,
 }
 
 /// The simulated Kubernetes API server.
@@ -45,9 +49,15 @@ pub struct ExploitEvent {
 /// configured [`RbacPolicySet`]. When no policy set is configured at all the
 /// server behaves like the paper's baseline cluster before hardening: every
 /// authenticated request is authorized.
+///
+/// The server is generic over its persistence plane: the default
+/// [`ObjectStore`] shares one `Arc<Value>` per object from admission through
+/// storage, audit and reads, while [`ApiServer::baseline`] runs the same
+/// request logic over the pre-refactor deep-cloning [`BaselineStore`] so the
+/// `server_throughput` benchmark can measure the difference.
 #[derive(Debug)]
-pub struct ApiServer {
-    store: ObjectStore,
+pub struct ApiServer<S: StoreBackend = ObjectStore> {
+    store: S,
     /// Read-mostly: every request takes a read lock, policy installation a
     /// write lock.
     rbac: RwLock<Option<RbacPolicySet>>,
@@ -75,8 +85,25 @@ impl ApiServer {
     /// A server with an empty store, no RBAC policy and the default `admin`
     /// superuser.
     pub fn new() -> Self {
+        Self::with_store(ObjectStore::new())
+    }
+}
+
+impl ApiServer<BaselineStore> {
+    /// A server over the pre-refactor deep-cloning [`BaselineStore`]: the
+    /// measurement baseline for the zero-copy persistence plane. Request
+    /// handling is the identical code path — only the store's copy
+    /// discipline differs.
+    pub fn baseline() -> Self {
+        Self::with_store(BaselineStore::new())
+    }
+}
+
+impl<S: StoreBackend> ApiServer<S> {
+    /// A server over an explicit persistence plane.
+    pub fn with_store(store: S) -> Self {
         ApiServer {
-            store: ObjectStore::new(),
+            store,
             rbac: RwLock::new(None),
             audit: (0..AUDIT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
             audit_seq: AtomicU64::new(0),
@@ -98,7 +125,7 @@ impl ApiServer {
     }
 
     /// The object store.
-    pub fn store(&self) -> &ObjectStore {
+    pub fn store(&self) -> &S {
         &self.store
     }
 
@@ -202,7 +229,9 @@ impl ApiServer {
             }
             Ok(Some(body)) => body,
         };
-        let mut object = K8sObject::from_value((**body).clone()).map_err(|e| {
+        // The store decides the materialization discipline: the zero-copy
+        // plane shares the request's tree, the baseline deep-clones it.
+        let mut object = self.store.ingest(body).map_err(|e| {
             ApiResponse::error(ResponseStatus::BadRequest, format!("invalid object: {e}"))
         })?;
         if object.kind() != request.kind {
@@ -249,12 +278,15 @@ impl ApiServer {
                 user: request.user.clone(),
                 kind: object.kind(),
                 object_name: object.name().to_owned(),
+                // A handle to the admitted spec — forensics sees the exact
+                // tree the store persisted, at zero copy cost.
+                spec: Arc::clone(object.shared_body()),
             });
         }
     }
 }
 
-impl RequestHandler for ApiServer {
+impl<S: StoreBackend> RequestHandler for ApiServer<S> {
     fn handle(&self, request: &ApiRequest) -> ApiResponse {
         // 1. Authorization (RBAC) — decided on the resource path alone, so
         //    unauthorized traffic never pays for body parsing: its audit
@@ -265,10 +297,11 @@ impl RequestHandler for ApiServer {
             return ApiResponse::error(ResponseStatus::Forbidden, reason);
         }
 
-        // 1b. Materialize the payload once per request: tree bodies are a
-        //     cheap `Arc` clone, raw bodies parse exactly here (behind the
-        //     proxy, only already-validated bytes reach this point).
-        let materialized = request.body.materialize();
+        // 1b. Materialize the payload once per request, under the
+        //     negotiated wire format: tree bodies are a cheap `Arc` clone,
+        //     raw bodies parse exactly here (behind the proxy, only
+        //     already-validated bytes reach this point).
+        let materialized = request.materialize_body();
         let audit_body = materialized.as_ref().ok().cloned().flatten();
 
         // 2. Admission + persistence per verb.
@@ -309,26 +342,27 @@ impl RequestHandler for ApiServer {
                 .store
                 .get(request.kind, &request.namespace, &request.name)
             {
-                Some(stored) => ApiResponse::ok("ok").with_body(stored.object.body().clone()),
+                // A shared handle to the stored tree — the read path copies
+                // nothing.
+                Some(stored) => {
+                    ApiResponse::ok("ok").with_body(Arc::clone(stored.object.shared_body()))
+                }
                 None => ApiResponse::error(
                     ResponseStatus::NotFound,
                     format!("{} \"{}\" not found", request.kind, request.name),
                 ),
             },
             Verb::List | Verb::Watch => {
-                let items: Vec<kf_yaml::Value> = self
+                let items: Vec<Arc<Value>> = self
                     .store
                     .list(request.kind, &request.namespace)
                     .into_iter()
-                    .map(|stored| stored.object.into_body())
+                    .map(|stored| Arc::clone(stored.object.shared_body()))
                     .collect();
-                let mut body = kf_yaml::Mapping::new();
-                body.insert(
-                    "kind",
-                    kf_yaml::Value::from(format!("{}List", request.kind)),
-                );
-                body.insert("items", kf_yaml::Value::Seq(items));
-                ApiResponse::ok("ok").with_body(kf_yaml::Value::Map(body))
+                ApiResponse::ok("ok").with_body(ResponseBody::List {
+                    kind: format!("{}List", request.kind),
+                    items,
+                })
             }
             Verb::Delete | Verb::DeleteCollection => {
                 match self
@@ -468,6 +502,7 @@ mod tests {
             kind: ResourceKind::Pod,
             namespace: "default".into(),
             name: "x".into(),
+            content_type: None,
             body: kf_yaml::parse("replicas: 3\n").unwrap().into(),
         };
         let response = server.handle(&request);
@@ -483,6 +518,7 @@ mod tests {
             kind: ResourceKind::Service,
             namespace: "default".into(),
             name: "x".into(),
+            content_type: None,
             body: pod("x").into_body().into(),
         };
         let response = server.handle(&request);
@@ -505,8 +541,11 @@ mod tests {
         server.handle(&ApiRequest::create("admin", &pod("a")));
         server.handle(&ApiRequest::create("admin", &pod("b")));
         let response = server.handle(&ApiRequest::list("admin", ResourceKind::Pod, "default"));
-        let items = response.body.unwrap();
-        assert_eq!(items.get("items").unwrap().as_seq().unwrap().len(), 2);
+        let body = response.body.unwrap();
+        assert_eq!(body.items().unwrap().len(), 2);
+        // The owned rendering still carries the wire shape.
+        let rendered = body.to_value();
+        assert_eq!(rendered.get("items").unwrap().as_seq().unwrap().len(), 2);
     }
 
     #[test]
@@ -514,5 +553,75 @@ mod tests {
         let server = ApiServer::new();
         let response = server.handle(&ApiRequest::update("admin", &pod("ghost")));
         assert_eq!(response.status, ResponseStatus::NotFound);
+    }
+
+    #[test]
+    fn accepted_requests_share_one_tree_from_admission_to_reads() {
+        let server = ApiServer::new();
+        // The manifest carries its namespace, so admission has nothing to
+        // default and the stored body is the request's tree itself.
+        let pod = K8sObject::from_yaml(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\n  namespace: default\nspec:\n  containers:\n    - name: c\n      image: nginx\n",
+        )
+        .unwrap();
+        let request = ApiRequest::create("admin", &pod);
+        let tree = Arc::clone(request.body.tree().unwrap());
+        assert!(server.handle(&request).is_success());
+        let stored = server
+            .store()
+            .get(ResourceKind::Pod, "default", "web")
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(stored.object.shared_body(), &tree),
+            "the stored body must be the request's parsed tree"
+        );
+        // Reads hand the same tree back.
+        let get = server.handle(&ApiRequest::get(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            "web",
+        ));
+        assert!(Arc::ptr_eq(get.body.unwrap().object().unwrap(), &tree));
+        // The create's audit event shares it too (the later get carries no
+        // body).
+        let log = server.audit_log();
+        let event = log.events().first().unwrap();
+        assert!(Arc::ptr_eq(event.request_body.as_ref().unwrap(), &tree));
+    }
+
+    #[test]
+    fn baseline_server_reaches_identical_responses_with_detached_trees() {
+        let zero_copy = ApiServer::new();
+        let baseline = ApiServer::baseline();
+        let pod = K8sObject::from_yaml(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\n  namespace: default\nspec:\n  containers:\n    - name: c\n      image: nginx\n",
+        )
+        .unwrap();
+        let create = ApiRequest::create("admin", &pod);
+        let tree = Arc::clone(create.body.tree().unwrap());
+        assert_eq!(
+            zero_copy.handle(&create).status,
+            baseline.handle(&create).status
+        );
+        for request in [
+            ApiRequest::get("admin", ResourceKind::Pod, "default", "web"),
+            ApiRequest::list("admin", ResourceKind::Pod, "default"),
+            ApiRequest::update("admin", &pod),
+            ApiRequest::delete("admin", ResourceKind::Pod, "default", "web"),
+        ] {
+            let a = zero_copy.handle(&request);
+            let b = baseline.handle(&request);
+            assert_eq!(a.status, b.status, "diverged on {}", request.path());
+            assert_eq!(a.body, b.body, "bodies diverged on {}", request.path());
+        }
+        // …but the baseline's stored tree is a detached copy, per the old
+        // materialization discipline.
+        assert!(baseline.handle(&create).is_success());
+        let stored = baseline
+            .store()
+            .get(ResourceKind::Pod, "default", "web")
+            .unwrap();
+        assert!(!Arc::ptr_eq(stored.object.shared_body(), &tree));
     }
 }

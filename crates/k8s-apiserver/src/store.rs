@@ -6,14 +6,27 @@
 //! single atomic — still globally monotonic, never a lock. Reads take one
 //! shard's read lock; whole-store scans (`list`, `count_by_kind`) visit the
 //! shards in order.
+//!
+//! Since the zero-copy refactor the shards hold **`Arc<StoredObject>`
+//! handles**: a write moves the admitted object (whose body is already an
+//! `Arc<Value>` shared with the request that carried it) behind one `Arc`,
+//! and every read — `get`, `list`, `delete` — hands that handle back instead
+//! of cloning the document tree. `list` filters and orders purely by key
+//! (a range scan from the first matching key) and clones only handles, so a
+//! large store pays for the objects it returns, never for the ones it skips.
+//! The pre-refactor copy-everything behaviour is preserved verbatim as
+//! [`BaselineStore`] for the `server_throughput` measurement baseline.
 
 use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use k8s_model::{K8sObject, ResourceKind};
+use kf_yaml::Value;
 
 /// A stored object together with its resource version.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,12 +44,101 @@ type Key = (ResourceKind, String, String);
 /// operator workloads' writes, cheap to scan for list operations.
 const SHARDS: usize = 16;
 
+/// The persistence plane behind [`crate::ApiServer`]: how request bodies
+/// become stored objects and how stored objects come back out. The two
+/// implementations differ **only** in copy discipline:
+///
+/// * [`ObjectStore`] — zero-copy: [`StoreBackend::ingest`] wraps the
+///   request's shared tree, reads return `Arc` handles;
+/// * [`BaselineStore`] — the pre-refactor behaviour: ingest deep-clones the
+///   request tree, every read deep-clones the stored tree.
+///
+/// Keeping the contract in a trait lets the `server_throughput` benchmark
+/// (and differential tests) drive the *identical* server logic over both,
+/// so the measured delta is the copies and nothing else.
+pub trait StoreBackend: Send + Sync {
+    /// Interpret an admitted request body as a [`K8sObject`] ready to
+    /// persist. The zero-copy plane takes a handle to the caller's tree;
+    /// the baseline deep-clones it (the old
+    /// `K8sObject::from_value((**body).clone())` admission cost).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`K8sObject::from_value`].
+    fn ingest(&self, body: &Arc<Value>) -> k8s_model::Result<K8sObject>;
+
+    /// Create an object. Returns the assigned resource version, or `None` if
+    /// an object with the same kind/namespace/name already exists.
+    fn create(&self, object: K8sObject) -> Option<u64>;
+
+    /// Update an existing object. Returns the new resource version, or
+    /// `None` if the object does not exist.
+    fn update(&self, object: K8sObject) -> Option<u64>;
+
+    /// Create the object if absent, update it otherwise, reporting whether
+    /// it was created (`true`) or replaced (`false`).
+    fn upsert(&self, object: K8sObject) -> (u64, bool);
+
+    /// Fetch an object by kind, namespace and name.
+    fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<Arc<StoredObject>>;
+
+    /// Delete an object; returns it if it existed.
+    fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<Arc<StoredObject>>;
+
+    /// List objects of a kind in a namespace (all namespaces when
+    /// `namespace` is empty), in key order.
+    fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<Arc<StoredObject>>;
+
+    /// The current global revision (number of writes so far).
+    fn revision(&self) -> u64;
+
+    /// Number of stored objects.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count the stored objects per kind.
+    fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize>;
+}
+
+fn key_of(object: &K8sObject) -> Key {
+    (
+        object.kind(),
+        object.namespace().to_owned(),
+        object.name().to_owned(),
+    )
+}
+
+fn shard_index(key: &Key) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.0.index().hash(&mut hasher);
+    key.1.hash(&mut hasher);
+    key.2.hash(&mut hasher);
+    (hasher.finish() as usize) % SHARDS
+}
+
+/// The first key a `list(kind, namespace)` scan can match; used as the lower
+/// range bound so the scan never visits earlier keys at all.
+fn list_lower_bound(kind: ResourceKind, namespace: &str) -> Key {
+    (kind, namespace.to_owned(), String::new())
+}
+
+/// Whether a key still belongs to a `list(kind, namespace)` scan (keys are
+/// ordered, so the first mismatch ends the scan).
+fn list_key_matches(key: &Key, kind: ResourceKind, namespace: &str) -> bool {
+    key.0 == kind && (namespace.is_empty() || key.1 == namespace)
+}
+
 /// An in-memory, versioned object store with etcd-like semantics: every write
 /// bumps a global revision, `create` fails on existing keys, `update` and
-/// `delete` fail on missing keys.
+/// `delete` fail on missing keys. Reads return shared handles — see the
+/// module docs for the copy discipline.
 #[derive(Debug)]
 pub struct ObjectStore {
-    shards: Vec<RwLock<BTreeMap<Key, StoredObject>>>,
+    shards: Vec<RwLock<BTreeMap<Key, Arc<StoredObject>>>>,
     /// Global revision counter (number of writes so far). Incremented while
     /// holding the affected shard's write lock, so versions of one object
     /// are strictly increasing and globally unique.
@@ -58,24 +160,8 @@ impl ObjectStore {
         ObjectStore::default()
     }
 
-    fn key(object: &K8sObject) -> Key {
-        (
-            object.kind(),
-            object.namespace().to_owned(),
-            object.name().to_owned(),
-        )
-    }
-
-    fn shard_index(key: &Key) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.0.index().hash(&mut hasher);
-        key.1.hash(&mut hasher);
-        key.2.hash(&mut hasher);
-        (hasher.finish() as usize) % SHARDS
-    }
-
-    fn shard(&self, key: &Key) -> &RwLock<BTreeMap<Key, StoredObject>> {
-        &self.shards[Self::shard_index(key)]
+    fn shard(&self, key: &Key) -> &RwLock<BTreeMap<Key, Arc<StoredObject>>> {
+        &self.shards[shard_index(key)]
     }
 
     fn next_revision(&self) -> u64 {
@@ -98,9 +184,238 @@ impl ObjectStore {
     }
 
     /// Create an object. Returns the assigned resource version, or `None` if
-    /// an object with the same kind/namespace/name already exists.
+    /// an object with the same kind/namespace/name already exists. The
+    /// object is **moved** behind the stored handle — its body keeps sharing
+    /// whatever tree admission handed in.
     pub fn create(&self, object: K8sObject) -> Option<u64> {
-        let key = Self::key(&object);
+        let key = key_of(&object);
+        let mut shard = self.shard(&key).write();
+        if shard.contains_key(&key) {
+            return None;
+        }
+        let version = self.next_revision();
+        shard.insert(
+            key,
+            Arc::new(StoredObject {
+                object,
+                resource_version: version,
+            }),
+        );
+        Some(version)
+    }
+
+    /// Update an existing object. Returns the new resource version, or `None`
+    /// if the object does not exist.
+    pub fn update(&self, object: K8sObject) -> Option<u64> {
+        let key = key_of(&object);
+        let mut shard = self.shard(&key).write();
+        if !shard.contains_key(&key) {
+            return None;
+        }
+        let version = self.next_revision();
+        shard.insert(
+            key,
+            Arc::new(StoredObject {
+                object,
+                resource_version: version,
+            }),
+        );
+        Some(version)
+    }
+
+    /// Create the object if absent, update it otherwise (the `kubectl apply`
+    /// behaviour). Returns the new resource version.
+    pub fn apply(&self, object: K8sObject) -> u64 {
+        self.upsert(object).0
+    }
+
+    /// [`ObjectStore::apply`], additionally reporting whether the object was
+    /// created (`true`) or replaced (`false`) — one shard lock, no
+    /// re-admission round trip for the create-on-conflict path.
+    pub fn upsert(&self, object: K8sObject) -> (u64, bool) {
+        let key = key_of(&object);
+        let mut shard = self.shard(&key).write();
+        let version = self.next_revision();
+        let replaced = shard.insert(
+            key,
+            Arc::new(StoredObject {
+                object,
+                resource_version: version,
+            }),
+        );
+        (version, replaced.is_none())
+    }
+
+    /// Fetch an object by kind, namespace and name. Returns a shared handle
+    /// — no part of the document tree is copied.
+    pub fn get(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        name: &str,
+    ) -> Option<Arc<StoredObject>> {
+        let key = (kind, namespace.to_owned(), name.to_owned());
+        self.shard(&key).read().get(&key).map(Arc::clone)
+    }
+
+    /// Delete an object; returns its handle if it existed.
+    pub fn delete(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        name: &str,
+    ) -> Option<Arc<StoredObject>> {
+        let key = (kind, namespace.to_owned(), name.to_owned());
+        let mut shard = self.shard(&key).write();
+        let removed = shard.remove(&key);
+        if removed.is_some() {
+            self.next_revision();
+        }
+        removed
+    }
+
+    /// List objects of a kind in a namespace (all namespaces when `namespace`
+    /// is empty). Objects come back in key order, as the unsharded store
+    /// returned them. Each shard is **range-scanned from the first matching
+    /// key** and the scan decides membership on keys alone, cloning handles
+    /// for the matches — values of skipped entries are never touched, and no
+    /// tree is copied for the returned ones either.
+    pub fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<Arc<StoredObject>> {
+        let lower = list_lower_bound(kind, namespace);
+        let mut out: Vec<Arc<StoredObject>> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            out.extend(
+                guard
+                    .range((Bound::Included(&lower), Bound::Unbounded))
+                    .take_while(|(key, _)| list_key_matches(key, kind, namespace))
+                    .map(|(_, stored)| Arc::clone(stored)),
+            );
+        }
+        // Key order across shards; the key is derivable from the object, so
+        // nothing beyond the handles collected above is allocated.
+        out.sort_by(|a, b| {
+            (a.object.kind(), a.object.namespace(), a.object.name()).cmp(&(
+                b.object.kind(),
+                b.object.namespace(),
+                b.object.name(),
+            ))
+        });
+        out
+    }
+
+    /// Count the stored objects per kind.
+    pub fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for ((kind, _, _), _) in shard.read().iter() {
+                *out.entry(*kind).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+impl StoreBackend for ObjectStore {
+    fn ingest(&self, body: &Arc<Value>) -> k8s_model::Result<K8sObject> {
+        // Zero-copy: the stored object holds the request's parsed tree.
+        K8sObject::from_shared(Arc::clone(body))
+    }
+
+    fn create(&self, object: K8sObject) -> Option<u64> {
+        ObjectStore::create(self, object)
+    }
+
+    fn update(&self, object: K8sObject) -> Option<u64> {
+        ObjectStore::update(self, object)
+    }
+
+    fn upsert(&self, object: K8sObject) -> (u64, bool) {
+        ObjectStore::upsert(self, object)
+    }
+
+    fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<Arc<StoredObject>> {
+        ObjectStore::get(self, kind, namespace, name)
+    }
+
+    fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<Arc<StoredObject>> {
+        ObjectStore::delete(self, kind, namespace, name)
+    }
+
+    fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<Arc<StoredObject>> {
+        ObjectStore::list(self, kind, namespace)
+    }
+
+    fn revision(&self) -> u64 {
+        ObjectStore::revision(self)
+    }
+
+    fn len(&self) -> usize {
+        ObjectStore::len(self)
+    }
+
+    fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize> {
+        ObjectStore::count_by_kind(self)
+    }
+}
+
+/// The pre-zero-copy persistence plane, kept as the measurement baseline:
+/// identical sharding and locking, but **every boundary copies the tree** —
+/// ingest deep-clones the request body (the old
+/// `K8sObject::from_value((**body).clone())`), and `get`/`list`/`delete`
+/// deep-clone the stored object on the way out (the old
+/// `shard.get(&key).cloned()` / whole-snapshot `list`). The
+/// `server_throughput` benchmark runs the same [`crate::ApiServer`] logic
+/// over this store to measure what the `Arc`-handle plane saves; the handles
+/// it returns wrap freshly copied trees, never the stored ones.
+#[derive(Debug)]
+pub struct BaselineStore {
+    shards: Vec<RwLock<BTreeMap<Key, StoredObject>>>,
+    revision: AtomicU64,
+}
+
+impl Default for BaselineStore {
+    fn default() -> Self {
+        BaselineStore::new()
+    }
+}
+
+impl BaselineStore {
+    /// An empty baseline store.
+    pub fn new() -> Self {
+        BaselineStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            revision: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &RwLock<BTreeMap<Key, StoredObject>> {
+        &self.shards[shard_index(key)]
+    }
+
+    fn next_revision(&self) -> u64 {
+        self.revision.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Deep-clone a stored object out of the store, exactly as the
+    /// pre-refactor read path did.
+    fn copy_out(stored: &StoredObject) -> Arc<StoredObject> {
+        Arc::new(StoredObject {
+            object: stored.object.deep_clone(),
+            resource_version: stored.resource_version,
+        })
+    }
+}
+
+impl StoreBackend for BaselineStore {
+    fn ingest(&self, body: &Arc<Value>) -> k8s_model::Result<K8sObject> {
+        // The old admission cost: one full deep copy of the document tree
+        // per accepted mutating request.
+        K8sObject::from_value((**body).clone())
+    }
+
+    fn create(&self, object: K8sObject) -> Option<u64> {
+        let key = key_of(&object);
         let mut shard = self.shard(&key).write();
         if shard.contains_key(&key) {
             return None;
@@ -116,10 +431,8 @@ impl ObjectStore {
         Some(version)
     }
 
-    /// Update an existing object. Returns the new resource version, or `None`
-    /// if the object does not exist.
-    pub fn update(&self, object: K8sObject) -> Option<u64> {
-        let key = Self::key(&object);
+    fn update(&self, object: K8sObject) -> Option<u64> {
+        let key = key_of(&object);
         let mut shard = self.shard(&key).write();
         if !shard.contains_key(&key) {
             return None;
@@ -135,17 +448,8 @@ impl ObjectStore {
         Some(version)
     }
 
-    /// Create the object if absent, update it otherwise (the `kubectl apply`
-    /// behaviour). Returns the new resource version.
-    pub fn apply(&self, object: K8sObject) -> u64 {
-        self.upsert(object).0
-    }
-
-    /// [`ObjectStore::apply`], additionally reporting whether the object was
-    /// created (`true`) or replaced (`false`) — one shard lock, no
-    /// re-admission round trip for the create-on-conflict path.
-    pub fn upsert(&self, object: K8sObject) -> (u64, bool) {
-        let key = Self::key(&object);
+    fn upsert(&self, object: K8sObject) -> (u64, bool) {
+        let key = key_of(&object);
         let mut shard = self.shard(&key).write();
         let version = self.next_revision();
         let replaced = shard.insert(
@@ -158,45 +462,46 @@ impl ObjectStore {
         (version, replaced.is_none())
     }
 
-    /// Fetch an object by kind, namespace and name.
-    pub fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<StoredObject> {
+    fn get(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<Arc<StoredObject>> {
         let key = (kind, namespace.to_owned(), name.to_owned());
-        self.shard(&key).read().get(&key).cloned()
+        self.shard(&key).read().get(&key).map(Self::copy_out)
     }
 
-    /// Delete an object; returns it if it existed.
-    pub fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<StoredObject> {
+    fn delete(&self, kind: ResourceKind, namespace: &str, name: &str) -> Option<Arc<StoredObject>> {
         let key = (kind, namespace.to_owned(), name.to_owned());
         let mut shard = self.shard(&key).write();
         let removed = shard.remove(&key);
         if removed.is_some() {
             self.next_revision();
         }
-        removed
+        removed.map(|stored| Self::copy_out(&stored))
     }
 
-    /// List objects of a kind in a namespace (all namespaces when `namespace`
-    /// is empty). Objects come back in key order, as the unsharded store
-    /// returned them.
-    pub fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<StoredObject> {
-        let mut out: Vec<(Key, StoredObject)> = Vec::new();
+    fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<Arc<StoredObject>> {
+        // The pre-refactor scan: visit everything, deep-clone every match.
+        let mut out: Vec<(Key, Arc<StoredObject>)> = Vec::new();
         for shard in &self.shards {
             let guard = shard.read();
             out.extend(
                 guard
                     .iter()
-                    .filter(|((k, ns, _), _)| {
-                        *k == kind && (namespace.is_empty() || ns == namespace)
-                    })
-                    .map(|(key, stored)| (key.clone(), stored.clone())),
+                    .filter(|(key, _)| list_key_matches(key, kind, namespace))
+                    .map(|(key, stored)| (key.clone(), Self::copy_out(stored))),
             );
         }
         out.sort_by(|(a, _), (b, _)| a.cmp(b));
         out.into_iter().map(|(_, stored)| stored).collect()
     }
 
-    /// Count the stored objects per kind.
-    pub fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize> {
+    fn revision(&self) -> u64 {
+        self.revision.load(Ordering::Relaxed)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.read().len()).sum()
+    }
+
+    fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize> {
         let mut out = BTreeMap::new();
         for shard in &self.shards {
             for ((kind, _, _), _) in shard.read().iter() {
@@ -225,6 +530,26 @@ mod tests {
         let stored = store.get(ResourceKind::Service, "prod", "svc").unwrap();
         assert_eq!(stored.resource_version, 1);
         assert_eq!(stored.object.name(), "svc");
+    }
+
+    #[test]
+    fn reads_return_shared_handles_not_copies() {
+        let store = ObjectStore::new();
+        let obj = object(ResourceKind::Pod, "a", "ns");
+        let tree = Arc::clone(obj.shared_body());
+        store.create(obj).unwrap();
+        let got = store.get(ResourceKind::Pod, "ns", "a").unwrap();
+        assert!(
+            Arc::ptr_eq(got.object.shared_body(), &tree),
+            "get must hand back the stored tree, not a copy"
+        );
+        let listed = store.list(ResourceKind::Pod, "ns");
+        assert_eq!(listed.len(), 1);
+        assert!(Arc::ptr_eq(listed[0].object.shared_body(), &tree));
+        // Both reads share the same StoredObject allocation too.
+        assert!(Arc::ptr_eq(&got, &listed[0]));
+        let deleted = store.delete(ResourceKind::Pod, "ns", "a").unwrap();
+        assert!(Arc::ptr_eq(deleted.object.shared_body(), &tree));
     }
 
     #[test]
@@ -334,5 +659,67 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 400, "versions must be globally unique");
+    }
+
+    /// Every [`StoreBackend`] must expose identical etcd-like semantics; the
+    /// baseline differs only in what it copies.
+    fn exercise_backend(store: &dyn StoreBackend) {
+        assert!(store.is_empty());
+        assert_eq!(store.create(object(ResourceKind::Pod, "a", "ns")), Some(1));
+        assert_eq!(store.create(object(ResourceKind::Pod, "a", "ns")), None);
+        assert_eq!(store.update(object(ResourceKind::Pod, "a", "ns")), Some(2));
+        assert_eq!(
+            store.upsert(object(ResourceKind::Pod, "b", "ns")),
+            (3, true)
+        );
+        assert_eq!(
+            store.upsert(object(ResourceKind::Pod, "b", "ns")),
+            (4, false)
+        );
+        assert_eq!(store.len(), 2);
+        assert_eq!(
+            store
+                .get(ResourceKind::Pod, "ns", "a")
+                .unwrap()
+                .object
+                .name(),
+            "a"
+        );
+        assert_eq!(store.list(ResourceKind::Pod, "ns").len(), 2);
+        assert_eq!(store.list(ResourceKind::Pod, "").len(), 2);
+        assert_eq!(store.count_by_kind()[&ResourceKind::Pod], 2);
+        assert!(store.delete(ResourceKind::Pod, "ns", "a").is_some());
+        assert_eq!(store.revision(), 5);
+        let body = Arc::new(kf_yaml::parse("kind: Pod\nmetadata:\n  name: x\n").unwrap());
+        let ingested = store.ingest(&body).unwrap();
+        assert_eq!(ingested.name(), "x");
+    }
+
+    #[test]
+    fn both_backends_share_the_store_contract() {
+        exercise_backend(&ObjectStore::new());
+        exercise_backend(&BaselineStore::new());
+    }
+
+    #[test]
+    fn baseline_store_copies_on_every_boundary() {
+        let store = BaselineStore::new();
+        let body =
+            Arc::new(kf_yaml::parse("kind: Pod\nmetadata:\n  name: a\n  namespace: ns\n").unwrap());
+        let ingested = store.ingest(&body).unwrap();
+        assert!(
+            !Arc::ptr_eq(ingested.shared_body(), &body),
+            "baseline ingest must deep-clone the request tree"
+        );
+        let tree = Arc::clone(ingested.shared_body());
+        StoreBackend::create(&store, ingested).unwrap();
+        let got = store.get(ResourceKind::Pod, "ns", "a").unwrap();
+        assert!(
+            !Arc::ptr_eq(got.object.shared_body(), &tree),
+            "baseline get must deep-clone the stored tree"
+        );
+        let listed = store.list(ResourceKind::Pod, "ns");
+        assert!(!Arc::ptr_eq(listed[0].object.shared_body(), &tree));
+        assert_eq!(got.object.body(), listed[0].object.body());
     }
 }

@@ -1,5 +1,7 @@
 //! Typed view over a Kubernetes manifest.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use kf_yaml::{Path, Value};
@@ -10,12 +12,17 @@ use crate::{Error, GroupVersionKind, ObjectMeta, ResourceKind, Result};
 /// …) plus typed accessors for the pieces the rest of the system needs.
 ///
 /// The raw document is kept intact — KubeFence validation operates on the full
-/// request body, so nothing may be lost in translation.
+/// request body, so nothing may be lost in translation. The body is held as a
+/// **shared handle** ([`Arc<Value>`]): admission, the object store, audit
+/// events and read responses all hold the same parsed tree, and cloning an
+/// object never deep-copies the document. Mutation is copy-on-write —
+/// [`K8sObject::body_mut`] splits off a private copy only when the tree is
+/// actually shared.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct K8sObject {
     kind: ResourceKind,
     metadata: ObjectMeta,
-    body: Value,
+    body: Arc<Value>,
 }
 
 impl K8sObject {
@@ -27,6 +34,21 @@ impl K8sObject {
     /// and [`Error::UnknownKind`] if the kind is not one of the twenty
     /// endpoints modelled by this reproduction.
     pub fn from_value(body: Value) -> Result<Self> {
+        Self::from_shared(Arc::new(body))
+    }
+
+    /// [`K8sObject::from_value`] over an already-shared tree: the zero-copy
+    /// admission entry point. The object takes a handle to `body` — callers
+    /// that keep their own handle (audit logs, request replay pools) observe
+    /// the identical allocation, and nothing is deep-cloned.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`K8sObject::from_value`].
+    pub fn from_shared(body: Arc<Value>) -> Result<Self> {
+        // Mirrors `peek_kind`, but keeps the metadata it builds — admission
+        // runs this once per accepted request, so the envelope is walked
+        // exactly once.
         let kind_text = body
             .get("kind")
             .and_then(Value::as_str)
@@ -112,7 +134,7 @@ impl K8sObject {
         K8sObject {
             kind,
             metadata: meta,
-            body,
+            body: Arc::new(body),
         }
     }
 
@@ -152,10 +174,20 @@ impl K8sObject {
         &self.body
     }
 
-    /// Mutable access to the manifest body. Metadata accessors are refreshed
-    /// lazily by [`K8sObject::sync_metadata`].
+    /// The shared handle to the manifest body. Cloning the returned `Arc` is
+    /// how the persistence plane threads one parsed tree from admission to
+    /// the store, the audit log and read responses without copying it.
+    pub fn shared_body(&self) -> &Arc<Value> {
+        &self.body
+    }
+
+    /// Mutable access to the manifest body — **copy-on-write**: if the tree
+    /// is shared (stored object, audit event, replay pool…), a private copy
+    /// is split off first and other holders keep the original unchanged.
+    /// Metadata accessors are refreshed lazily by
+    /// [`K8sObject::sync_metadata`].
     pub fn body_mut(&mut self) -> &mut Value {
-        &mut self.body
+        Arc::make_mut(&mut self.body)
     }
 
     /// Re-read `metadata` from the body after direct mutation.
@@ -163,9 +195,20 @@ impl K8sObject {
         self.metadata = ObjectMeta::from_value(self.body.get("metadata"));
     }
 
-    /// Consume the object and return the manifest body.
-    pub fn into_body(self) -> Value {
+    /// Consume the object and return the (shared) manifest body.
+    pub fn into_body(self) -> Arc<Value> {
         self.body
+    }
+
+    /// A copy of this object whose body is a freshly allocated, unshared
+    /// tree — the pre-zero-copy behaviour, used by the measurement baseline
+    /// (`BaselineStore`) to reproduce the old per-request deep-clone cost.
+    pub fn deep_clone(&self) -> Self {
+        K8sObject {
+            kind: self.kind,
+            metadata: self.metadata.clone(),
+            body: Arc::new((*self.body).clone()),
+        }
     }
 
     /// The `spec` subtree, if present.
@@ -185,7 +228,7 @@ impl K8sObject {
     /// Returns [`Error::InvalidField`] if intermediate nodes have incompatible
     /// types.
     pub fn set_field(&mut self, path: &Path, value: Value) -> Result<()> {
-        self.body
+        self.body_mut()
             .set_path(path, value)
             .map_err(|e| Error::InvalidField {
                 field: path.to_string(),
@@ -288,6 +331,57 @@ spec:
         assert!(obj
             .field_paths()
             .contains(&"spec.template.spec.hostNetwork".to_string()));
+    }
+
+    #[test]
+    fn from_shared_takes_a_handle_without_copying() {
+        let tree = Arc::new(kf_yaml::parse(DEPLOYMENT).unwrap());
+        let obj = K8sObject::from_shared(Arc::clone(&tree)).unwrap();
+        assert!(
+            Arc::ptr_eq(obj.shared_body(), &tree),
+            "from_shared must keep the caller's allocation"
+        );
+        // Cloning the object shares the same tree.
+        let copy = obj.clone();
+        assert!(Arc::ptr_eq(copy.shared_body(), &tree));
+        // into_body returns the very same handle.
+        assert!(Arc::ptr_eq(&copy.into_body(), &tree));
+    }
+
+    #[test]
+    fn body_mut_is_copy_on_write() {
+        let tree = Arc::new(kf_yaml::parse(DEPLOYMENT).unwrap());
+        let mut obj = K8sObject::from_shared(Arc::clone(&tree)).unwrap();
+        obj.set_field(&Path::parse("spec.replicas").unwrap(), Value::Int(9))
+            .unwrap();
+        // The mutation split off a private copy…
+        assert!(!Arc::ptr_eq(obj.shared_body(), &tree));
+        assert_eq!(
+            obj.field(&Path::parse("spec.replicas").unwrap())
+                .unwrap()
+                .as_i64(),
+            Some(9)
+        );
+        // …and the original holders are untouched.
+        assert_eq!(
+            tree.get_path(&Path::parse("spec.replicas").unwrap())
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+        // An unshared object mutates in place (no second allocation).
+        let before = Arc::as_ptr(obj.shared_body());
+        obj.set_field(&Path::parse("spec.replicas").unwrap(), Value::Int(4))
+            .unwrap();
+        assert_eq!(Arc::as_ptr(obj.shared_body()), before);
+    }
+
+    #[test]
+    fn deep_clone_detaches_the_tree() {
+        let obj = K8sObject::from_yaml(DEPLOYMENT).unwrap();
+        let detached = obj.deep_clone();
+        assert!(!Arc::ptr_eq(obj.shared_body(), detached.shared_body()));
+        assert_eq!(obj.body(), detached.body());
     }
 
     #[test]

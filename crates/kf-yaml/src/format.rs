@@ -41,6 +41,35 @@ impl BodyFormat {
         }
     }
 
+    /// Derive the wire format from an HTTP `Content-Type` header value, the
+    /// way the real API server negotiates request encodings. Media-type
+    /// parameters (`; charset=utf-8`, the watch-stream variants
+    /// `application/json;stream=watch` / `application/yaml;stream=watch`)
+    /// are ignored for format selection, as are case and surrounding
+    /// whitespace. Returns `None` for media types that name neither
+    /// encoding — callers fall back to [`BodyFormat::Auto`] detection.
+    pub fn from_content_type(content_type: &str) -> Option<BodyFormat> {
+        let media_type = content_type
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_ascii_lowercase();
+        match media_type.as_str() {
+            "application/json" | "text/json" => Some(BodyFormat::Json),
+            "application/yaml" | "application/x-yaml" | "text/yaml" | "text/x-yaml" => {
+                Some(BodyFormat::Yaml)
+            }
+            // Structured-syntax suffixes (`application/apply-patch+yaml`,
+            // `application/merge-patch+json`, …) name the encoding too.
+            _ => match media_type.rsplit('+').next() {
+                Some("json") => Some(BodyFormat::Json),
+                Some("yaml") => Some(BodyFormat::Yaml),
+                _ => None,
+            },
+        }
+    }
+
     /// Short lowercase name of the format (for messages and bench labels).
     pub fn name(&self) -> &'static str {
         match self {
@@ -65,6 +94,51 @@ mod tests {
             BodyFormat::detect("# comment\nkind: Pod\n"),
             BodyFormat::Yaml
         );
+    }
+
+    #[test]
+    fn content_types_negotiate_the_wire_format() {
+        assert_eq!(
+            BodyFormat::from_content_type("application/json"),
+            Some(BodyFormat::Json)
+        );
+        assert_eq!(
+            BodyFormat::from_content_type("application/yaml"),
+            Some(BodyFormat::Yaml)
+        );
+        // Parameters — including the watch-stream variants — do not change
+        // the encoding.
+        assert_eq!(
+            BodyFormat::from_content_type("application/json;stream=watch"),
+            Some(BodyFormat::Json)
+        );
+        assert_eq!(
+            BodyFormat::from_content_type("application/yaml; stream=watch"),
+            Some(BodyFormat::Yaml)
+        );
+        assert_eq!(
+            BodyFormat::from_content_type("Application/JSON; charset=utf-8"),
+            Some(BodyFormat::Json)
+        );
+        assert_eq!(
+            BodyFormat::from_content_type("  text/x-yaml "),
+            Some(BodyFormat::Yaml)
+        );
+        // Suffix-named encodings.
+        assert_eq!(
+            BodyFormat::from_content_type("application/apply-patch+yaml"),
+            Some(BodyFormat::Yaml)
+        );
+        assert_eq!(
+            BodyFormat::from_content_type("application/merge-patch+json"),
+            Some(BodyFormat::Json)
+        );
+        // Unknown media types defer to Auto detection.
+        assert_eq!(
+            BodyFormat::from_content_type("application/vnd.kubernetes.protobuf"),
+            None
+        );
+        assert_eq!(BodyFormat::from_content_type(""), None);
     }
 
     #[test]

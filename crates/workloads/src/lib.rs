@@ -27,4 +27,4 @@ mod throughput;
 
 pub use driver::{DeploymentDriver, DeploymentOutcome};
 pub use operator::{Operator, OperatorWorkload};
-pub use throughput::{ThroughputDriver, ThroughputReport};
+pub use throughput::{MixRatio, ThroughputDriver, ThroughputReport};

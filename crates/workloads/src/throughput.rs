@@ -26,6 +26,49 @@ pub struct ThroughputDriver {
     attack_count: usize,
 }
 
+/// The create : get : list shape of a mixed read/write pool
+/// ([`ThroughputDriver::for_operators_mixed`]). The ratios are request
+/// counts per mix cycle, so `{1, 8, 1}` replays one create and one list for
+/// every eight gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixRatio {
+    /// Create (apply) requests per cycle.
+    pub create: usize,
+    /// Get requests per cycle.
+    pub get: usize,
+    /// List requests per cycle.
+    pub list: usize,
+}
+
+impl MixRatio {
+    /// The steady-state traffic of a reconciling operator: mostly reads of
+    /// the objects it manages, an occasional re-apply, a periodic list —
+    /// 1 create : 8 gets : 1 list.
+    pub const OPERATOR_RECONCILE: MixRatio = MixRatio {
+        create: 1,
+        get: 8,
+        list: 1,
+    };
+
+    /// Deployment-churn traffic: mostly writes with a sanity read and list —
+    /// 8 creates : 1 get : 1 list.
+    pub const WRITE_HEAVY: MixRatio = MixRatio {
+        create: 8,
+        get: 1,
+        list: 1,
+    };
+
+    /// Requests per cycle.
+    pub fn cycle_len(&self) -> usize {
+        self.create + self.get + self.list
+    }
+
+    /// A short label for bench tables (`c1:g8:l1`).
+    pub fn label(&self) -> String {
+        format!("c{}:g{}:l{}", self.create, self.get, self.list)
+    }
+}
+
 /// Latency/throughput measurements of one replay run.
 #[derive(Debug, Clone)]
 pub struct ThroughputReport {
@@ -108,6 +151,92 @@ impl ThroughputDriver {
         ThroughputDriver {
             requests,
             attack_count,
+        }
+    }
+
+    /// A mixed read/write pool over the operators' **legitimate** objects:
+    /// per cycle, `mix.create` applies of the next manifests, `mix.get`
+    /// reads of the next objects and `mix.list` collection reads of the
+    /// next kinds, all interleaved deterministically (separate cursors
+    /// cycle each request class over its targets, so every run replays
+    /// identical traffic). This is the persistence-plane scenario behind
+    /// the `server_throughput` benchmark: creates exercise
+    /// admission-to-store sharing, gets and lists exercise the zero-copy
+    /// read path. Replay against a store seeded by
+    /// [`ThroughputDriver::seed`] so reads hit from the first request.
+    pub fn for_operators_mixed(operators: &[Operator], mix: MixRatio) -> Self {
+        assert!(mix.cycle_len() > 0, "the mix must request something");
+        // Gather every operator's objects with their request coordinates.
+        let mut creates = Vec::new();
+        let mut gets = Vec::new();
+        let mut list_targets = Vec::new();
+        for operator in operators {
+            let driver = DeploymentDriver::new(*operator);
+            creates.extend(driver.requests());
+            for object in driver.objects() {
+                let namespace = if object.kind().is_namespaced() {
+                    operator.namespace()
+                } else {
+                    ""
+                };
+                gets.push(ApiRequest::get(
+                    &operator.user(),
+                    object.kind(),
+                    namespace,
+                    object.name(),
+                ));
+                let target = (operator.user(), object.kind(), namespace.to_owned());
+                if !list_targets.contains(&target) {
+                    list_targets.push(target);
+                }
+            }
+        }
+        assert!(
+            !gets.is_empty(),
+            "mixed pools need at least one operator object"
+        );
+        // One cycle per distinct object keeps the pool proportional to the
+        // workload size while visiting every target from every class.
+        let cycles = gets.len();
+        let mut requests = Vec::with_capacity(cycles * mix.cycle_len());
+        let (mut c, mut g, mut l) = (0usize, 0usize, 0usize);
+        for _ in 0..cycles {
+            for _ in 0..mix.create {
+                requests.push(creates[c % creates.len()].clone());
+                c += 1;
+            }
+            for _ in 0..mix.get {
+                requests.push(gets[g % gets.len()].clone());
+                g += 1;
+            }
+            for _ in 0..mix.list {
+                let (user, kind, namespace) = &list_targets[l % list_targets.len()];
+                requests.push(ApiRequest::list(user, *kind, namespace));
+                l += 1;
+            }
+        }
+        ThroughputDriver {
+            requests,
+            attack_count: 0,
+        }
+    }
+
+    /// Apply every distinct object of the pool once, so a subsequent replay
+    /// of a read-heavy mix hits existing objects instead of 404s. Uses the
+    /// pool's own create requests (admission, audit and exploit accounting
+    /// all run — this is a warm server, not a backdoor into the store).
+    pub fn seed<H: RequestHandler>(&self, handler: &H) {
+        let mut seen: Vec<&ApiRequest> = Vec::new();
+        for request in &self.requests {
+            if request.body.is_some()
+                && !seen.iter().any(|r| {
+                    (&r.kind, &r.namespace, &r.name)
+                        == (&request.kind, &request.namespace, &request.name)
+                })
+            {
+                handler.handle(request);
+                seen.push(request);
+            }
         }
     }
 
@@ -299,6 +428,62 @@ mod tests {
         let server = ApiServer::new().with_admin(&Operator::Nginx.user());
         let report = json.run(&server, 2, 40);
         assert_eq!(report.admitted + report.denied, 80);
+    }
+
+    #[test]
+    fn mixed_pools_follow_the_requested_ratio() {
+        let mix = MixRatio::OPERATOR_RECONCILE;
+        let driver = ThroughputDriver::for_operators_mixed(&[Operator::Nginx], mix);
+        assert_eq!(driver.attack_count(), 0);
+        assert_eq!(driver.requests().len() % mix.cycle_len(), 0);
+        let (mut creates, mut gets, mut lists) = (0usize, 0usize, 0usize);
+        for request in driver.requests() {
+            match request.verb {
+                k8s_model::Verb::Create => creates += 1,
+                k8s_model::Verb::Get => gets += 1,
+                k8s_model::Verb::List => lists += 1,
+                other => panic!("unexpected verb in mixed pool: {other:?}"),
+            }
+        }
+        let cycles = driver.requests().len() / mix.cycle_len();
+        assert_eq!(creates, cycles * mix.create);
+        assert_eq!(gets, cycles * mix.get);
+        assert_eq!(lists, cycles * mix.list);
+        // Deterministic: two constructions replay identical traffic.
+        let again = ThroughputDriver::for_operators_mixed(&[Operator::Nginx], mix);
+        let paths: Vec<String> = driver.requests().iter().map(|r| r.path()).collect();
+        let paths_again: Vec<String> = again.requests().iter().map(|r| r.path()).collect();
+        assert_eq!(paths, paths_again);
+    }
+
+    #[test]
+    fn seeded_read_heavy_replay_serves_reads_from_the_store() {
+        let driver =
+            ThroughputDriver::for_operators_mixed(&[Operator::Nginx], MixRatio::OPERATOR_RECONCILE);
+        let server = ApiServer::new().with_admin(&Operator::Nginx.user());
+        driver.seed(&server);
+        assert!(
+            !server.store().is_empty(),
+            "seeding must populate the store"
+        );
+        let report = driver.run(&server, 2, 60);
+        // Every request in a seeded mixed replay succeeds: creates apply,
+        // gets and lists hit stored objects.
+        assert_eq!(report.denied, 0);
+        assert_eq!(report.admitted, 120);
+    }
+
+    #[test]
+    fn write_heavy_mix_is_mostly_creates() {
+        let driver =
+            ThroughputDriver::for_operators_mixed(&[Operator::Postgresql], MixRatio::WRITE_HEAVY);
+        let creates = driver
+            .requests()
+            .iter()
+            .filter(|r| r.verb == k8s_model::Verb::Create)
+            .count();
+        assert!(creates * 10 >= driver.requests().len() * 7);
+        assert_eq!(MixRatio::WRITE_HEAVY.label(), "c8:g1:l1");
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn main() {
         kind: ResourceKind::Deployment,
         namespace: "web".to_owned(),
         name: "mystery".to_owned(),
+        content_type: None,
         body: kf_yaml::parse("not: a\nkubernetes: object\n")
             .unwrap()
             .into(),

@@ -57,7 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &deployment.object_name,
         )
         .expect("deployment stored")
-        .object;
+        .object
+        .clone();
     let malicious = exploit
         .inject(&base)
         .expect("deployment carries a pod spec");

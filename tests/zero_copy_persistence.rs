@@ -1,0 +1,280 @@
+//! The zero-copy persistence plane, pinned by pointer identity: one
+//! `Arc<Value>` travels from the request body through admission, the object
+//! store, the audit trail, exploit forensics and every read — and the
+//! preserved deep-clone baseline demonstrably does not share it. Plus a
+//! concurrent create/update/get/list stress test pinning revision
+//! monotonicity under the `Arc`-handle store.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use k8s_apiserver::{ApiRequest, ApiServer, RequestHandler, ResponseBody, StoreBackend};
+use k8s_model::{K8sObject, ResourceKind};
+use kubefence::{EnforcementProxy, Validator};
+
+/// A pod manifest with an explicit namespace, so admission has nothing to
+/// default and the stored body can be the request's tree itself.
+fn pod_yaml(name: &str, image: &str) -> String {
+    format!(
+        "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\n  namespace: default\nspec:\n  containers:\n    - name: c\n      image: {image}\n"
+    )
+}
+
+#[test]
+fn one_tree_from_request_to_store_audit_and_reads() {
+    let server = ApiServer::new();
+    let pod = K8sObject::from_yaml(&pod_yaml("web", "nginx:1.25")).unwrap();
+    let request = ApiRequest::create("admin", &pod);
+    // Request construction itself shares the object's tree.
+    let tree = Arc::clone(request.body.tree().expect("tree body"));
+    assert!(Arc::ptr_eq(&tree, pod.shared_body()));
+
+    assert!(server.handle(&request).is_success());
+
+    // Stored body: the request's parsed tree, by pointer.
+    let stored = server
+        .store()
+        .get(ResourceKind::Pod, "default", "web")
+        .expect("stored");
+    assert!(
+        Arc::ptr_eq(stored.object.shared_body(), &tree),
+        "store must hold the request's tree, not a copy"
+    );
+
+    // Audit event body: the same tree.
+    let log = server.audit_log();
+    let create_event = log
+        .events()
+        .iter()
+        .find(|e| e.request_body.is_some())
+        .expect("create was audited with a body");
+    assert!(Arc::ptr_eq(
+        create_event.request_body.as_ref().unwrap(),
+        &tree
+    ));
+
+    // Get response: the same tree.
+    let get = server.handle(&ApiRequest::get(
+        "admin",
+        ResourceKind::Pod,
+        "default",
+        "web",
+    ));
+    let Some(ResponseBody::Object(body)) = get.body else {
+        panic!("get returns an object body");
+    };
+    assert!(Arc::ptr_eq(&body, &tree));
+
+    // List response: every item is a stored tree handle.
+    let list = server.handle(&ApiRequest::list("admin", ResourceKind::Pod, "default"));
+    let Some(ResponseBody::List { items, .. }) = list.body else {
+        panic!("list returns a collection body");
+    };
+    assert_eq!(items.len(), 1);
+    assert!(Arc::ptr_eq(&items[0], &tree));
+}
+
+#[test]
+fn exploit_records_share_the_admitted_spec() {
+    let server = ApiServer::new();
+    let evil = K8sObject::from_yaml(
+        "apiVersion: v1\nkind: Pod\nmetadata:\n  name: evil\n  namespace: default\nspec:\n  hostNetwork: true\n  containers:\n    - name: c\n      image: nginx\n",
+    )
+    .unwrap();
+    let request = ApiRequest::create("admin", &evil);
+    let tree = Arc::clone(request.body.tree().unwrap());
+    assert!(server.handle(&request).is_success());
+    let exploits = server.exploits();
+    assert!(!exploits.is_empty(), "hostNetwork must trigger the oracle");
+    for exploit in &exploits {
+        assert!(
+            Arc::ptr_eq(&exploit.spec, &tree),
+            "exploit forensics must share the admitted spec"
+        );
+    }
+}
+
+#[test]
+fn the_proxy_preserves_sharing_end_to_end() {
+    // Through the full enforcement stack: proxy (tree validation, zero
+    // materialization) -> server -> store -> read.
+    let manifest = pod_yaml("web", "nginx:string");
+    let validator =
+        Validator::from_manifests("demo", &[kf_yaml::parse(&manifest).unwrap()]).unwrap();
+    let proxy = EnforcementProxy::new(ApiServer::new(), validator);
+    let pod = K8sObject::from_yaml(&pod_yaml("web", "nginx:1.25")).unwrap();
+    let request = ApiRequest::create("admin", &pod);
+    let tree = Arc::clone(request.body.tree().unwrap());
+    assert!(proxy.handle(&request).is_success());
+    let stored = proxy
+        .upstream()
+        .store()
+        .get(ResourceKind::Pod, "default", "web")
+        .unwrap();
+    assert!(Arc::ptr_eq(stored.object.shared_body(), &tree));
+}
+
+#[test]
+fn raw_bodies_parse_once_and_share_from_there() {
+    // A wire-bytes request parses exactly once; the store and the audit
+    // trail share that single materialization.
+    let server = ApiServer::new();
+    let pod = K8sObject::from_yaml(&pod_yaml("raw", "nginx:1.25")).unwrap();
+    assert!(server
+        .handle(&ApiRequest::create_raw("admin", &pod))
+        .is_success());
+    let stored = server
+        .store()
+        .get(ResourceKind::Pod, "default", "raw")
+        .unwrap();
+    let log = server.audit_log();
+    let event = log
+        .events()
+        .iter()
+        .find(|e| e.request_body.is_some())
+        .unwrap();
+    assert!(
+        Arc::ptr_eq(
+            stored.object.shared_body(),
+            event.request_body.as_ref().unwrap()
+        ),
+        "store and audit must share one materialization of the raw body"
+    );
+}
+
+#[test]
+fn baseline_store_does_not_share() {
+    // The measurement baseline preserves the old discipline: same
+    // responses, detached trees at every boundary.
+    let server = ApiServer::baseline();
+    let pod = K8sObject::from_yaml(&pod_yaml("web", "nginx:1.25")).unwrap();
+    let request = ApiRequest::create("admin", &pod);
+    let tree = Arc::clone(request.body.tree().unwrap());
+    assert!(server.handle(&request).is_success());
+    let stored = server
+        .store()
+        .get(ResourceKind::Pod, "default", "web")
+        .unwrap();
+    assert!(!Arc::ptr_eq(stored.object.shared_body(), &tree));
+    assert!(stored.object.body().loosely_equals(&tree));
+    let get = server.handle(&ApiRequest::get(
+        "admin",
+        ResourceKind::Pod,
+        "default",
+        "web",
+    ));
+    let Some(ResponseBody::Object(body)) = get.body else {
+        panic!("get returns an object body");
+    };
+    assert!(!Arc::ptr_eq(&body, stored.object.shared_body()));
+}
+
+#[test]
+fn concurrent_mutations_keep_revisions_monotonic_under_readers() {
+    // Writers hammer create/update on a shared set of objects while readers
+    // get and list concurrently; every observation of one object's
+    // resource_version must be non-decreasing, versions must be globally
+    // unique, and the final revision must equal the number of writes.
+    const WRITERS: usize = 4;
+    const READERS: usize = 4;
+    const ROUNDS: usize = 120;
+    const OBJECTS: usize = 8;
+
+    let server = ApiServer::new();
+    let names: Vec<String> = (0..OBJECTS).map(|i| format!("obj-{i}")).collect();
+    // Seed every object once so updates always find a target.
+    for name in &names {
+        let pod = K8sObject::from_yaml(&pod_yaml(name, "nginx:1.25")).unwrap();
+        assert!(server
+            .handle(&ApiRequest::create("admin", &pod))
+            .is_success());
+    }
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let server = &server;
+            let names = &names;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    let name = &names[(writer + round) % names.len()];
+                    let pod =
+                        K8sObject::from_yaml(&pod_yaml(name, &format!("nginx:1.{round}"))).unwrap();
+                    // Alternate create (apply semantics) and update.
+                    let request = if round % 2 == 0 {
+                        ApiRequest::create("admin", &pod)
+                    } else {
+                        ApiRequest::update("admin", &pod)
+                    };
+                    assert!(server.handle(&request).is_success());
+                }
+            });
+        }
+        let reader_handles: Vec<_> = (0..READERS)
+            .map(|reader| {
+                let server = &server;
+                let names = &names;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut last_seen = vec![0u64; names.len()];
+                    let mut observations = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let index = (observations + reader) % names.len();
+                        if let Some(stored) =
+                            server
+                                .store()
+                                .get(ResourceKind::Pod, "default", &names[index])
+                        {
+                            assert!(
+                                stored.resource_version >= last_seen[index],
+                                "resource_version went backwards: {} < {}",
+                                stored.resource_version,
+                                last_seen[index]
+                            );
+                            last_seen[index] = stored.resource_version;
+                        }
+                        // Lists observe a consistent per-shard snapshot of
+                        // handles; every object stays present throughout.
+                        let listed = server.store().list(ResourceKind::Pod, "default");
+                        assert_eq!(listed.len(), names.len());
+                        observations += 1;
+                    }
+                    observations
+                })
+            })
+            .collect();
+        // Writers finish first; then release the readers.
+        // (Scope joins writers implicitly when their closures return, but
+        // readers poll `stop`, so flip it once the writer handles are done.)
+        // The scope API joins everything at block end; to sequence, spawn a
+        // watchdog that flips `stop` after the writers' work is observable.
+        let server_ref = &server;
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let expected = (OBJECTS + WRITERS * ROUNDS) as u64;
+            // Bounded wait: if a writer dies, release the readers anyway so
+            // the writer's panic (not a hang) fails the test.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+            while server_ref.store().revision() < expected && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            stop_ref.store(true, Ordering::Relaxed);
+        });
+        for handle in reader_handles {
+            let observations = handle.join().expect("reader panicked");
+            assert!(observations > 0, "readers must observe at least once");
+        }
+    });
+
+    // Every write bumped the revision exactly once.
+    assert_eq!(
+        server.store().revision(),
+        (OBJECTS + WRITERS * ROUNDS) as u64
+    );
+    // The store still holds exactly the seeded objects, each at a version
+    // no writer exceeded.
+    assert_eq!(server.store().len(), OBJECTS);
+    for stored in server.store().list(ResourceKind::Pod, "default") {
+        assert!(stored.resource_version <= (OBJECTS + WRITERS * ROUNDS) as u64);
+    }
+}
