@@ -634,6 +634,7 @@ spec:
             namespace: "default".to_owned(),
             name: "mystery".to_owned(),
             content_type: None,
+            resource_version: None,
             body: kf_yaml::parse("replicas: 3\n").unwrap().into(),
         };
         let response = proxy.handle(&request);
@@ -799,6 +800,7 @@ spec:
                 namespace: "default".to_owned(),
                 name: "mystery".to_owned(),
                 content_type: None,
+                resource_version: None,
                 body: k8s_apiserver::RequestBody::Raw(payload.into(), format),
             };
             let response = proxy.handle(&request);

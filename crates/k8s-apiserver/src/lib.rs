@@ -9,6 +9,10 @@
 //! * [`ApiRequest`] / [`ApiResponse`] — the request/response model (verb,
 //!   resource path, body, payload size);
 //! * [`ObjectStore`] — an etcd-like versioned in-memory store;
+//! * [`WatchEvent`] / [`WatchSubscription`] — the revision-indexed watch
+//!   plane: every write is published into a bounded per-kind journal, so
+//!   `Verb::Watch` streams incremental events (with `Gone`-on-compaction
+//!   semantics) instead of answering with a full list;
 //! * [`ApiServer`] — request handling: authorization through an optional
 //!   [`k8s_rbac::RbacPolicySet`], object validation, persistence, audit
 //!   logging, and **CVE-trigger simulation** (a request whose specification
@@ -42,9 +46,13 @@ mod request;
 mod server;
 mod store;
 mod vuln;
+mod watch;
 
 pub use latency::{LatencyModel, LatencyProfile};
 pub use request::{ApiRequest, ApiResponse, RequestBody, ResponseBody, ResponseStatus};
 pub use server::{ApiServer, ExploitEvent, RequestHandler};
 pub use store::{BaselineStore, ObjectStore, StoreBackend, StoredObject};
 pub use vuln::VulnerabilityOracle;
+pub use watch::{
+    WatchDelta, WatchError, WatchEvent, WatchEventKind, WatchSubscription, DEFAULT_JOURNAL_CAPACITY,
+};

@@ -143,6 +143,11 @@ pub struct ApiRequest {
     /// how a raw body is parsed and validated; otherwise the body's own
     /// format tag (ultimately [`BodyFormat::Auto`] detection) decides.
     pub content_type: Option<String>,
+    /// For `watch` requests: the `resourceVersion` query parameter. `None`
+    /// asks for an initial list plus a resume cursor; `Some(revision)`
+    /// resumes the event stream after that revision (answered with `410
+    /// Gone` when the journal has compacted past it).
+    pub resource_version: Option<u64>,
     /// The object specification carried by mutating requests.
     pub body: RequestBody,
 }
@@ -250,6 +255,7 @@ impl ApiRequest {
             namespace,
             name: object.name().to_owned(),
             content_type: None,
+            resource_version: None,
             // The request shares the object's tree; nothing is deep-cloned
             // on construction, replay, or audit capture.
             body: RequestBody::Tree(Arc::clone(object.shared_body())),
@@ -265,6 +271,7 @@ impl ApiRequest {
             namespace: namespace.to_owned(),
             name: name.to_owned(),
             content_type: None,
+            resource_version: None,
             body: RequestBody::None,
         }
     }
@@ -278,6 +285,43 @@ impl ApiRequest {
             namespace: namespace.to_owned(),
             name: String::new(),
             content_type: None,
+            resource_version: None,
+            body: RequestBody::None,
+        }
+    }
+
+    /// A `watch` request for a collection: `resource_version: None` asks
+    /// for the initial list plus a resume cursor, `Some(revision)` streams
+    /// the events published after that revision.
+    pub fn watch(
+        user: &str,
+        kind: ResourceKind,
+        namespace: &str,
+        resource_version: Option<u64>,
+    ) -> Self {
+        ApiRequest {
+            user: user.to_owned(),
+            verb: Verb::Watch,
+            kind,
+            namespace: namespace.to_owned(),
+            name: String::new(),
+            content_type: None,
+            resource_version,
+            body: RequestBody::None,
+        }
+    }
+
+    /// A `delete-collection` request: deletes every object of the kind in
+    /// the namespace (all namespaces when empty).
+    pub fn delete_collection(user: &str, kind: ResourceKind, namespace: &str) -> Self {
+        ApiRequest {
+            user: user.to_owned(),
+            verb: Verb::DeleteCollection,
+            kind,
+            namespace: namespace.to_owned(),
+            name: String::new(),
+            content_type: None,
+            resource_version: None,
             body: RequestBody::None,
         }
     }
@@ -291,6 +335,7 @@ impl ApiRequest {
             namespace: namespace.to_owned(),
             name: name.to_owned(),
             content_type: None,
+            resource_version: None,
             body: RequestBody::None,
         }
     }
@@ -350,6 +395,9 @@ pub enum ResponseStatus {
     NotFound,
     /// 409 — conflict (e.g. create over an existing object).
     Conflict,
+    /// 410 — a watch cursor older than the journal's compaction horizon;
+    /// the client must re-list and resume from a fresh cursor.
+    Gone,
 }
 
 impl ResponseStatus {
@@ -362,6 +410,7 @@ impl ResponseStatus {
             ResponseStatus::Forbidden => 403,
             ResponseStatus::NotFound => 404,
             ResponseStatus::Conflict => 409,
+            ResponseStatus::Gone => 410,
         }
     }
 }
@@ -374,13 +423,25 @@ impl ResponseStatus {
 pub enum ResponseBody {
     /// A single object (get responses).
     Object(Arc<Value>),
-    /// A collection (list/watch responses): the `<Kind>List` envelope kind
-    /// and the item handles, in key order.
+    /// A collection (list responses): the `<Kind>List` envelope kind and
+    /// the item handles, in key order.
     List {
         /// The list kind (`PodList`, `DeploymentList`, …).
         kind: String,
         /// The stored objects' shared trees.
         items: Vec<Arc<Value>>,
+    },
+    /// One batch of a watch stream: the events published since the client's
+    /// cursor (ending with a bookmark), plus the cursor to resume from. The
+    /// events' object payloads are the stored trees — shared handles, like
+    /// every other read.
+    WatchBatch {
+        /// The batch kind (`PodWatchBatch`, `DeploymentWatchBatch`, …).
+        kind: String,
+        /// The delivered events, in revision order.
+        events: Vec<crate::WatchEvent>,
+        /// Resume cursor: pass as `resourceVersion` on the next watch.
+        cursor: u64,
     },
 }
 
@@ -389,7 +450,7 @@ impl ResponseBody {
     pub fn object(&self) -> Option<&Arc<Value>> {
         match self {
             ResponseBody::Object(value) => Some(value),
-            ResponseBody::List { .. } => None,
+            _ => None,
         }
     }
 
@@ -397,14 +458,24 @@ impl ResponseBody {
     pub fn items(&self) -> Option<&[Arc<Value>]> {
         match self {
             ResponseBody::List { items, .. } => Some(items),
-            ResponseBody::Object(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The delivered events and resume cursor, for watch responses.
+    pub fn watch_events(&self) -> Option<(&[crate::WatchEvent], u64)> {
+        match self {
+            ResponseBody::WatchBatch { events, cursor, .. } => Some((events, *cursor)),
+            _ => None,
         }
     }
 
     /// Render the body as one owned document — the wire shape (`kind:
-    /// <Kind>List` + `items:` for collections). This **copies** the shared
-    /// trees; it exists for serialization and debugging, not for the serving
-    /// path.
+    /// <Kind>List` + `items:` for collections, `events:` + `resourceVersion`
+    /// for watch batches). This **copies** the shared trees; it is the
+    /// reference implementation the streaming serializer
+    /// ([`ResponseBody::to_wire`]) is pinned byte-identical against, not the
+    /// serving path.
     pub fn to_value(&self) -> Value {
         match self {
             ResponseBody::Object(value) => (**value).clone(),
@@ -417,8 +488,148 @@ impl ResponseBody {
                 );
                 Value::Map(body)
             }
+            ResponseBody::WatchBatch {
+                kind,
+                events,
+                cursor,
+            } => {
+                let mut body = kf_yaml::Mapping::new();
+                body.insert("kind", Value::from(kind.as_str()));
+                body.insert("resourceVersion", Value::from(*cursor as i64));
+                body.insert(
+                    "events",
+                    Value::Seq(events.iter().map(watch_event_value).collect()),
+                );
+                Value::Map(body)
+            }
         }
     }
+
+    /// Serialize the body to its wire text **straight from the shared item
+    /// handles** — no envelope tree, no deep copies. Byte-identical to
+    /// rendering [`ResponseBody::to_value`] with [`kf_yaml::to_yaml`] /
+    /// [`kf_yaml::to_json`] (pinned by test), which is what it replaces:
+    /// the last place the read path copied whole documents.
+    pub fn to_wire(&self, format: BodyFormat) -> String {
+        match format {
+            BodyFormat::Json => self.to_wire_json(),
+            // Responses have no bytes to sniff: `Auto` falls back to the
+            // canonical YAML rendering.
+            _ => self.to_wire_yaml(),
+        }
+    }
+
+    fn to_wire_yaml(&self) -> String {
+        let mut out = String::new();
+        match self {
+            ResponseBody::Object(value) => return kf_yaml::to_yaml(value),
+            ResponseBody::List { kind, items } => {
+                kf_yaml::emit_entry("kind", &Value::from(kind.as_str()), 0, &mut out);
+                if items.is_empty() {
+                    kf_yaml::emit_entry("items", &Value::empty_seq(), 0, &mut out);
+                } else {
+                    out.push_str("items:\n");
+                    for item in items {
+                        kf_yaml::emit_seq_item(item, 2, &mut out);
+                    }
+                }
+            }
+            ResponseBody::WatchBatch {
+                kind,
+                events,
+                cursor,
+            } => {
+                kf_yaml::emit_entry("kind", &Value::from(kind.as_str()), 0, &mut out);
+                kf_yaml::emit_entry("resourceVersion", &Value::from(*cursor as i64), 0, &mut out);
+                if events.is_empty() {
+                    kf_yaml::emit_entry("events", &Value::empty_seq(), 0, &mut out);
+                } else {
+                    out.push_str("events:\n");
+                    for event in events {
+                        // The event envelope in the emitter's compact
+                        // sequence form: first entry on the dash line, the
+                        // rest at the same column, the object's stored tree
+                        // emitted in place.
+                        out.push_str("  - ");
+                        kf_yaml::emit_entry_inline(
+                            "type",
+                            &Value::from(event.kind.as_str()),
+                            4,
+                            &mut out,
+                        );
+                        kf_yaml::emit_entry(
+                            "revision",
+                            &Value::from(event.revision as i64),
+                            4,
+                            &mut out,
+                        );
+                        if let Some(object) = &event.object {
+                            kf_yaml::emit_entry("object", object, 4, &mut out);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn to_wire_json(&self) -> String {
+        let mut out = String::new();
+        match self {
+            ResponseBody::Object(value) => kf_yaml::write_json(value, &mut out),
+            ResponseBody::List { kind, items } => {
+                out.push_str("{\"kind\":");
+                kf_yaml::write_json(&Value::from(kind.as_str()), &mut out);
+                out.push_str(",\"items\":[");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    kf_yaml::write_json(item, &mut out);
+                }
+                out.push_str("]}");
+            }
+            ResponseBody::WatchBatch {
+                kind,
+                events,
+                cursor,
+            } => {
+                out.push_str("{\"kind\":");
+                kf_yaml::write_json(&Value::from(kind.as_str()), &mut out);
+                out.push_str(",\"resourceVersion\":");
+                out.push_str(&cursor.to_string());
+                out.push_str(",\"events\":[");
+                for (i, event) in events.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"type\":\"");
+                    out.push_str(event.kind.as_str());
+                    out.push_str("\",\"revision\":");
+                    out.push_str(&event.revision.to_string());
+                    if let Some(object) = &event.object {
+                        out.push_str(",\"object\":");
+                        kf_yaml::write_json(object, &mut out);
+                    }
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+        }
+        out
+    }
+}
+
+/// The owned wire envelope of one watch event (the [`ResponseBody::to_value`]
+/// reference shape): `type`, `revision`, and the object tree when present.
+fn watch_event_value(event: &crate::WatchEvent) -> Value {
+    let mut map = kf_yaml::Mapping::new();
+    map.insert("type", Value::from(event.kind.as_str()));
+    map.insert("revision", Value::from(event.revision as i64));
+    if let Some(object) = &event.object {
+        map.insert("object", (**object).clone());
+    }
+    Value::Map(map)
 }
 
 impl From<Value> for ResponseBody {
@@ -643,10 +854,92 @@ mod tests {
         let body = list.body.as_ref().unwrap();
         assert_eq!(body.items().unwrap().len(), 2);
         assert!(Arc::ptr_eq(&body.items().unwrap()[0], &tree));
-        // The owned rendering carries the wire shape.
-        let rendered = body.to_value();
+        // The streaming serializer carries the wire shape without touching
+        // the reference (deep-copying) renderer.
+        let rendered = kf_yaml::parse(&body.to_wire(BodyFormat::Yaml)).unwrap();
         assert_eq!(rendered.get("kind").unwrap().as_str(), Some("PodList"));
         assert_eq!(rendered.get("items").unwrap().as_seq().unwrap().len(), 2);
+    }
+
+    /// Every [`ResponseBody`] shape a server can produce, for the wire
+    /// serializer pin below.
+    fn response_body_corpus() -> Vec<ResponseBody> {
+        let pod = Arc::new(
+            kf_yaml::parse(
+                "apiVersion: v1\nkind: Pod\nmetadata:\n  name: web\n  labels:\n    app: \"1\"\nspec:\n  containers:\n    - name: c\n      image: nginx\n      ports:\n        - containerPort: 80\n",
+            )
+            .unwrap(),
+        );
+        let svc = Arc::new(kf_yaml::parse("kind: Service\nmetadata:\n  name: s\n").unwrap());
+        let added = crate::WatchEvent {
+            kind: crate::WatchEventKind::Added,
+            revision: 1,
+            namespace: "default".into(),
+            name: "web".into(),
+            object: Some(Arc::clone(&pod)),
+        };
+        let deleted = crate::WatchEvent {
+            kind: crate::WatchEventKind::Deleted,
+            revision: 5,
+            namespace: "default".into(),
+            name: "s".into(),
+            object: Some(Arc::clone(&svc)),
+        };
+        vec![
+            ResponseBody::Object(Arc::clone(&pod)),
+            ResponseBody::List {
+                kind: "PodList".into(),
+                items: vec![Arc::clone(&pod), Arc::clone(&svc)],
+            },
+            ResponseBody::List {
+                kind: "PodList".into(),
+                items: Vec::new(),
+            },
+            ResponseBody::WatchBatch {
+                kind: "PodWatchBatch".into(),
+                events: vec![added, deleted, crate::WatchEvent::bookmark(7)],
+                cursor: 7,
+            },
+            ResponseBody::WatchBatch {
+                kind: "PodWatchBatch".into(),
+                events: Vec::new(),
+                cursor: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn streaming_wire_serializer_matches_the_owned_reference_byte_for_byte() {
+        for body in response_body_corpus() {
+            let reference = body.to_value();
+            assert_eq!(
+                body.to_wire(BodyFormat::Yaml),
+                kf_yaml::to_yaml(&reference),
+                "YAML wire bytes diverged for {body:?}"
+            );
+            assert_eq!(
+                body.to_wire(BodyFormat::Json),
+                kf_yaml::to_json(&reference),
+                "JSON wire bytes diverged for {body:?}"
+            );
+            // Auto has no bytes to sniff on the response side: canonical YAML.
+            assert_eq!(
+                body.to_wire(BodyFormat::Auto),
+                body.to_wire(BodyFormat::Yaml)
+            );
+        }
+    }
+
+    #[test]
+    fn watch_batch_accessors_expose_events_and_cursor() {
+        let batch = response_body_corpus().remove(3);
+        let (events, cursor) = batch.watch_events().unwrap();
+        assert_eq!(cursor, 7);
+        assert_eq!(events.len(), 3);
+        assert!(batch.object().is_none());
+        assert!(batch.items().is_none());
+        let object = ResponseBody::Object(Arc::new(kf_yaml::parse("a: 1\n").unwrap()));
+        assert!(object.watch_events().is_none());
     }
 
     #[test]

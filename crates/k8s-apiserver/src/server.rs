@@ -266,6 +266,70 @@ impl<S: StoreBackend> ApiServer<S> {
         Ok(object)
     }
 
+    /// Serve a `watch` request from the store's revision-indexed journal.
+    ///
+    /// * `resourceVersion` **absent** — initial-list-then-stream: the
+    ///   response synthesizes one `Added` event per stored object (each at
+    ///   the object's own resource version, sharing its stored tree) and a
+    ///   cursor to resume from. The cursor is the kind's journal revision
+    ///   read *before* the scan, so no concurrent write can fall between
+    ///   the listing and the stream; writes racing the scan may appear both
+    ///   in the listing and in the first delta batch, which cache upserts
+    ///   absorb.
+    /// * `resourceVersion` **present** — resume-from-revision: exactly the
+    ///   events published after that revision, in order, or `410 Gone` when
+    ///   the journal has compacted past the cursor (the client re-lists).
+    ///
+    /// Every batch ends with a bookmark event carrying the batch cursor, so
+    /// idle watchers advance without object payloads.
+    fn handle_watch(&self, request: &ApiRequest) -> ApiResponse {
+        let batch_kind = format!("{}WatchBatch", request.kind);
+        match request.resource_version {
+            Some(revision) => {
+                match self
+                    .store
+                    .events_since(request.kind, &request.namespace, revision)
+                {
+                    Ok(delta) => {
+                        // The bookmark carries the journal head, not the last
+                        // matching event: a quiet-namespace watcher on a busy
+                        // kind advances past foreign churn instead of falling
+                        // behind the compaction horizon.
+                        let crate::WatchDelta { mut events, resume } = delta;
+                        events.push(crate::WatchEvent::bookmark(resume));
+                        ApiResponse::ok("ok").with_body(ResponseBody::WatchBatch {
+                            kind: batch_kind,
+                            events,
+                            cursor: resume,
+                        })
+                    }
+                    Err(error) => ApiResponse::error(ResponseStatus::Gone, error.to_string()),
+                }
+            }
+            None => {
+                let cursor = self.store.watch_revision(request.kind);
+                let mut events: Vec<crate::WatchEvent> = self
+                    .store
+                    .list(request.kind, &request.namespace)
+                    .into_iter()
+                    .map(|stored| crate::WatchEvent {
+                        kind: crate::WatchEventKind::Added,
+                        revision: stored.resource_version,
+                        namespace: stored.object.namespace().to_owned(),
+                        name: stored.object.name().to_owned(),
+                        object: Some(Arc::clone(stored.object.shared_body())),
+                    })
+                    .collect();
+                events.push(crate::WatchEvent::bookmark(cursor));
+                ApiResponse::ok("ok").with_body(ResponseBody::WatchBatch {
+                    kind: batch_kind,
+                    events,
+                    cursor,
+                })
+            }
+        }
+    }
+
     fn record_exploits(&self, request: &ApiRequest, object: &K8sObject) {
         let triggered = self.oracle.triggered_by(object);
         if triggered.is_empty() {
@@ -352,7 +416,7 @@ impl<S: StoreBackend> RequestHandler for ApiServer<S> {
                     format!("{} \"{}\" not found", request.kind, request.name),
                 ),
             },
-            Verb::List | Verb::Watch => {
+            Verb::List => {
                 let items: Vec<Arc<Value>> = self
                     .store
                     .list(request.kind, &request.namespace)
@@ -364,7 +428,8 @@ impl<S: StoreBackend> RequestHandler for ApiServer<S> {
                     items,
                 })
             }
-            Verb::Delete | Verb::DeleteCollection => {
+            Verb::Watch => self.handle_watch(request),
+            Verb::Delete => {
                 match self
                     .store
                     .delete(request.kind, &request.namespace, &request.name)
@@ -375,6 +440,15 @@ impl<S: StoreBackend> RequestHandler for ApiServer<S> {
                         format!("{} \"{}\" not found", request.kind, request.name),
                     ),
                 }
+            }
+            Verb::DeleteCollection => {
+                // Collection semantics, not single-object: remove every
+                // object of the kind in the namespace, one revision bump and
+                // one `Deleted` watch event per object.
+                let deleted = self
+                    .store
+                    .delete_collection(request.kind, &request.namespace);
+                ApiResponse::ok(format!("deleted {deleted} objects"))
             }
         };
 
@@ -503,6 +577,7 @@ mod tests {
             namespace: "default".into(),
             name: "x".into(),
             content_type: None,
+            resource_version: None,
             body: kf_yaml::parse("replicas: 3\n").unwrap().into(),
         };
         let response = server.handle(&request);
@@ -519,6 +594,7 @@ mod tests {
             namespace: "default".into(),
             name: "x".into(),
             content_type: None,
+            resource_version: None,
             body: pod("x").into_body().into(),
         };
         let response = server.handle(&request);
@@ -543,9 +619,142 @@ mod tests {
         let response = server.handle(&ApiRequest::list("admin", ResourceKind::Pod, "default"));
         let body = response.body.unwrap();
         assert_eq!(body.items().unwrap().len(), 2);
-        // The owned rendering still carries the wire shape.
-        let rendered = body.to_value();
+        // The streaming serializer renders the wire shape straight from the
+        // item handles.
+        let rendered = kf_yaml::parse(&body.to_wire(kf_yaml::BodyFormat::Yaml)).unwrap();
         assert_eq!(rendered.get("items").unwrap().as_seq().unwrap().len(), 2);
+        assert_eq!(rendered.get("kind").unwrap().as_str(), Some("PodList"));
+    }
+
+    #[test]
+    fn watch_without_cursor_lists_then_streams() {
+        let server = ApiServer::new();
+        server.handle(&ApiRequest::create("admin", &pod("a")));
+        server.handle(&ApiRequest::create("admin", &pod("b")));
+        // Initial watch: one Added per stored object plus a bookmark cursor.
+        let initial = server.handle(&ApiRequest::watch(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            None,
+        ));
+        assert!(initial.is_success());
+        let (events, cursor) = initial.body.as_ref().unwrap().watch_events().unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, crate::WatchEventKind::Added);
+        assert_eq!(events[2].kind, crate::WatchEventKind::Bookmark);
+        assert_eq!(cursor, 2);
+        // The synthesized events share the stored trees.
+        let stored = server
+            .store()
+            .get(ResourceKind::Pod, "default", "a")
+            .unwrap();
+        assert!(events
+            .iter()
+            .filter_map(|e| e.object.as_ref())
+            .any(|tree| Arc::ptr_eq(tree, stored.object.shared_body())));
+
+        // Nothing happened: resuming from the cursor delivers only a
+        // bookmark, holding the cursor steady.
+        let idle = server.handle(&ApiRequest::watch(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            Some(cursor),
+        ));
+        let (events, idle_cursor) = idle.body.as_ref().unwrap().watch_events().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, crate::WatchEventKind::Bookmark);
+        assert_eq!(idle_cursor, cursor);
+
+        // A write after the cursor streams as exactly one delta.
+        server.handle(&ApiRequest::create("admin", &pod("c")));
+        server.handle(&ApiRequest::delete(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            "a",
+        ));
+        let delta = server.handle(&ApiRequest::watch(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            Some(cursor),
+        ));
+        let (events, next) = delta.body.as_ref().unwrap().watch_events().unwrap();
+        assert_eq!(events.len(), 3, "added + deleted + bookmark");
+        assert_eq!(events[0].kind, crate::WatchEventKind::Added);
+        assert_eq!(events[0].name, "c");
+        assert_eq!(events[1].kind, crate::WatchEventKind::Deleted);
+        assert_eq!(events[1].name, "a");
+        assert!(next > cursor);
+    }
+
+    #[test]
+    fn watch_on_a_compacted_journal_is_gone() {
+        let server = ApiServer::with_store(crate::ObjectStore::with_journal_capacity(2));
+        for name in ["a", "b", "c", "d"] {
+            server.handle(&ApiRequest::create("admin", &pod(name)));
+        }
+        let stale = server.handle(&ApiRequest::watch(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            Some(0),
+        ));
+        assert_eq!(stale.status, ResponseStatus::Gone);
+        assert_eq!(ResponseStatus::Gone.code(), 410);
+        // Recovery: an initial watch re-lists and hands out a live cursor.
+        let relist = server.handle(&ApiRequest::watch(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            None,
+        ));
+        let (events, cursor) = relist.body.as_ref().unwrap().watch_events().unwrap();
+        assert_eq!(events.len(), 5, "four objects + bookmark");
+        let resumed = server.handle(&ApiRequest::watch(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            Some(cursor),
+        ));
+        assert!(resumed.is_success());
+    }
+
+    #[test]
+    fn delete_collection_deletes_the_whole_namespace_of_the_kind() {
+        let server = ApiServer::new();
+        for name in ["a", "b", "c"] {
+            server.handle(&ApiRequest::create("admin", &pod(name)));
+        }
+        let watch_cursor = server.store().watch_revision(ResourceKind::Pod);
+        let response = server.handle(&ApiRequest::delete_collection(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+        ));
+        assert!(response.is_success());
+        assert_eq!(response.message, "deleted 3 objects");
+        assert_eq!(server.store().len(), 0);
+        // One Deleted event per removed object.
+        let events = server
+            .store()
+            .events_since(ResourceKind::Pod, "default", watch_cursor)
+            .unwrap()
+            .events;
+        assert_eq!(events.len(), 3);
+        assert!(events
+            .iter()
+            .all(|e| e.kind == crate::WatchEventKind::Deleted));
+        // An empty collection deletes zero objects, successfully.
+        let again = server.handle(&ApiRequest::delete_collection(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+        ));
+        assert!(again.is_success());
+        assert_eq!(again.message, "deleted 0 objects");
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! large store pays for the objects it returns, never for the ones it skips.
 //! The pre-refactor copy-everything behaviour is preserved verbatim as
 //! [`BaselineStore`] for the `server_throughput` measurement baseline.
+//!
+//! Since the watch-plane refactor every write also **publishes a
+//! [`WatchEvent`]** into a bounded per-kind journal (`crate::watch`), keyed
+//! by the same global revision counter; [`StoreBackend::events_since`] turns
+//! the store into an incremental event source so watchers replay exactly the
+//! writes they missed instead of re-listing. Published events share the
+//! stored object's `Arc<Value>` — the journal costs handles, not trees. The
+//! baseline keeps the journal mechanics but deep-clones every delivered
+//! event, the per-subscriber copy the zero-copy plane eliminates.
 
 use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
@@ -27,6 +36,10 @@ use parking_lot::RwLock;
 
 use k8s_model::{K8sObject, ResourceKind};
 use kf_yaml::Value;
+
+use crate::watch::{
+    KindJournals, WatchDelta, WatchError, WatchEventKind, DEFAULT_JOURNAL_CAPACITY,
+};
 
 /// A stored object together with its resource version.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,6 +102,49 @@ pub trait StoreBackend: Send + Sync {
     /// `namespace` is empty), in key order.
     fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<Arc<StoredObject>>;
 
+    /// Delete every object of a kind in a namespace (all namespaces when
+    /// `namespace` is empty), returning how many were removed. Each removal
+    /// goes through [`StoreBackend::delete`], so every object gets its own
+    /// revision bump and `Deleted` watch event.
+    fn delete_collection(&self, kind: ResourceKind, namespace: &str) -> usize {
+        let mut deleted = 0;
+        for stored in self.list(kind, namespace) {
+            if self
+                .delete(kind, stored.object.namespace(), stored.object.name())
+                .is_some()
+            {
+                deleted += 1;
+            }
+        }
+        deleted
+    }
+
+    /// Every watch event of `kind` with revision strictly greater than
+    /// `revision`, restricted to `namespace` when non-empty, in revision
+    /// order — plus the journal-head resume cursor ([`WatchDelta`]), so
+    /// quiet-namespace watchers advance past foreign churn. The zero-copy
+    /// plane hands out the journal's own object handles; the baseline
+    /// deep-clones each tree per call (the old per-subscriber copy
+    /// discipline).
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] when the cursor predates the journal's
+    /// compaction horizon — the caller must re-list and resume from a fresh
+    /// cursor.
+    fn events_since(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        revision: u64,
+    ) -> Result<WatchDelta, WatchError>;
+
+    /// The highest revision published to `kind`'s watch journal (0 when the
+    /// kind has never been written). Safe as an initial-list watch cursor:
+    /// the effects of every revision `<=` this value are visible to a list
+    /// that starts after reading it.
+    fn watch_revision(&self, kind: ResourceKind) -> u64;
+
     /// The current global revision (number of writes so far).
     fn revision(&self) -> u64;
 
@@ -139,18 +195,19 @@ fn list_key_matches(key: &Key, kind: ResourceKind, namespace: &str) -> bool {
 #[derive(Debug)]
 pub struct ObjectStore {
     shards: Vec<RwLock<BTreeMap<Key, Arc<StoredObject>>>>,
-    /// Global revision counter (number of writes so far). Incremented while
-    /// holding the affected shard's write lock, so versions of one object
-    /// are strictly increasing and globally unique.
+    /// Global revision counter (number of writes so far). A revision is
+    /// allocated inside [`KindJournals::publish`] — under the written kind's
+    /// journal lock, while the affected shard's write lock is held — so
+    /// versions of one object are strictly increasing, globally unique, and
+    /// published to the watch journal in allocation order.
     revision: AtomicU64,
+    /// Per-kind bounded watch journals; every write publishes one event.
+    journals: KindJournals,
 }
 
 impl Default for ObjectStore {
     fn default() -> Self {
-        ObjectStore {
-            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
-            revision: AtomicU64::new(0),
-        }
+        ObjectStore::with_journal_capacity(DEFAULT_JOURNAL_CAPACITY)
     }
 }
 
@@ -160,12 +217,19 @@ impl ObjectStore {
         ObjectStore::default()
     }
 
-    fn shard(&self, key: &Key) -> &RwLock<BTreeMap<Key, Arc<StoredObject>>> {
-        &self.shards[shard_index(key)]
+    /// An empty store whose watch journals retain at most `capacity` events
+    /// per kind (tests use tiny capacities to exercise compaction; the
+    /// default is [`DEFAULT_JOURNAL_CAPACITY`]).
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        ObjectStore {
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            revision: AtomicU64::new(0),
+            journals: KindJournals::new(capacity),
+        }
     }
 
-    fn next_revision(&self) -> u64 {
-        self.revision.fetch_add(1, Ordering::Relaxed) + 1
+    fn shard(&self, key: &Key) -> &RwLock<BTreeMap<Key, Arc<StoredObject>>> {
+        &self.shards[shard_index(key)]
     }
 
     /// The current global revision (number of writes so far).
@@ -193,7 +257,7 @@ impl ObjectStore {
         if shard.contains_key(&key) {
             return None;
         }
-        let version = self.next_revision();
+        let version = self.publish(&key, WatchEventKind::Added, object.shared_body());
         shard.insert(
             key,
             Arc::new(StoredObject {
@@ -212,7 +276,7 @@ impl ObjectStore {
         if !shard.contains_key(&key) {
             return None;
         }
-        let version = self.next_revision();
+        let version = self.publish(&key, WatchEventKind::Modified, object.shared_body());
         shard.insert(
             key,
             Arc::new(StoredObject {
@@ -221,6 +285,16 @@ impl ObjectStore {
             }),
         );
         Some(version)
+    }
+
+    /// Publish a watch event for a write to `key`, allocating its revision.
+    /// Must be called while holding `key`'s shard write lock, and the map
+    /// mutation must complete before that lock is released — this is what
+    /// lets an initial-list scan pair a journal cursor with a consistent
+    /// view of the store (see `docs/watch-plane.md`).
+    fn publish(&self, key: &Key, event: WatchEventKind, body: &Arc<Value>) -> u64 {
+        self.journals
+            .publish(&self.revision, key.0, event, &key.1, &key.2, body)
     }
 
     /// Create the object if absent, update it otherwise (the `kubectl apply`
@@ -235,7 +309,12 @@ impl ObjectStore {
     pub fn upsert(&self, object: K8sObject) -> (u64, bool) {
         let key = key_of(&object);
         let mut shard = self.shard(&key).write();
-        let version = self.next_revision();
+        let event = if shard.contains_key(&key) {
+            WatchEventKind::Modified
+        } else {
+            WatchEventKind::Added
+        };
+        let version = self.publish(&key, event, object.shared_body());
         let replaced = shard.insert(
             key,
             Arc::new(StoredObject {
@@ -258,7 +337,8 @@ impl ObjectStore {
         self.shard(&key).read().get(&key).map(Arc::clone)
     }
 
-    /// Delete an object; returns its handle if it existed.
+    /// Delete an object; returns its handle if it existed. The published
+    /// `Deleted` event carries the object's last stored tree.
     pub fn delete(
         &self,
         kind: ResourceKind,
@@ -268,10 +348,32 @@ impl ObjectStore {
         let key = (kind, namespace.to_owned(), name.to_owned());
         let mut shard = self.shard(&key).write();
         let removed = shard.remove(&key);
-        if removed.is_some() {
-            self.next_revision();
+        if let Some(stored) = &removed {
+            self.publish(&key, WatchEventKind::Deleted, stored.object.shared_body());
         }
         removed
+    }
+
+    /// Every watch event after `revision` — see
+    /// [`StoreBackend::events_since`]. Zero-copy: events hand out the
+    /// journal's own `Arc` handles, which are the stored trees themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] for cursors older than the compaction horizon.
+    pub fn events_since(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        revision: u64,
+    ) -> Result<WatchDelta, WatchError> {
+        self.journals.events_since(kind, namespace, revision, false)
+    }
+
+    /// The highest revision published to `kind`'s watch journal — see
+    /// [`StoreBackend::watch_revision`].
+    pub fn watch_revision(&self, kind: ResourceKind) -> u64 {
+        self.journals.watch_revision(kind)
     }
 
     /// List objects of a kind in a namespace (all namespaces when `namespace`
@@ -346,6 +448,19 @@ impl StoreBackend for ObjectStore {
         ObjectStore::list(self, kind, namespace)
     }
 
+    fn events_since(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        revision: u64,
+    ) -> Result<WatchDelta, WatchError> {
+        ObjectStore::events_since(self, kind, namespace, revision)
+    }
+
+    fn watch_revision(&self, kind: ResourceKind) -> u64 {
+        ObjectStore::watch_revision(self, kind)
+    }
+
     fn revision(&self) -> u64 {
         ObjectStore::revision(self)
     }
@@ -372,6 +487,10 @@ impl StoreBackend for ObjectStore {
 pub struct BaselineStore {
     shards: Vec<RwLock<BTreeMap<Key, StoredObject>>>,
     revision: AtomicU64,
+    /// Same journal mechanics as the zero-copy store — the baseline differs
+    /// only in delivery: [`BaselineStore::events_since`] deep-clones every
+    /// event's tree per call (per-subscriber copies).
+    journals: KindJournals,
 }
 
 impl Default for BaselineStore {
@@ -386,6 +505,7 @@ impl BaselineStore {
         BaselineStore {
             shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
             revision: AtomicU64::new(0),
+            journals: KindJournals::new(DEFAULT_JOURNAL_CAPACITY),
         }
     }
 
@@ -393,8 +513,9 @@ impl BaselineStore {
         &self.shards[shard_index(key)]
     }
 
-    fn next_revision(&self) -> u64 {
-        self.revision.fetch_add(1, Ordering::Relaxed) + 1
+    fn publish(&self, key: &Key, event: WatchEventKind, body: &Arc<Value>) -> u64 {
+        self.journals
+            .publish(&self.revision, key.0, event, &key.1, &key.2, body)
     }
 
     /// Deep-clone a stored object out of the store, exactly as the
@@ -420,7 +541,7 @@ impl StoreBackend for BaselineStore {
         if shard.contains_key(&key) {
             return None;
         }
-        let version = self.next_revision();
+        let version = self.publish(&key, WatchEventKind::Added, object.shared_body());
         shard.insert(
             key,
             StoredObject {
@@ -437,7 +558,7 @@ impl StoreBackend for BaselineStore {
         if !shard.contains_key(&key) {
             return None;
         }
-        let version = self.next_revision();
+        let version = self.publish(&key, WatchEventKind::Modified, object.shared_body());
         shard.insert(
             key,
             StoredObject {
@@ -451,7 +572,12 @@ impl StoreBackend for BaselineStore {
     fn upsert(&self, object: K8sObject) -> (u64, bool) {
         let key = key_of(&object);
         let mut shard = self.shard(&key).write();
-        let version = self.next_revision();
+        let event = if shard.contains_key(&key) {
+            WatchEventKind::Modified
+        } else {
+            WatchEventKind::Added
+        };
+        let version = self.publish(&key, event, object.shared_body());
         let replaced = shard.insert(
             key,
             StoredObject {
@@ -471,10 +597,25 @@ impl StoreBackend for BaselineStore {
         let key = (kind, namespace.to_owned(), name.to_owned());
         let mut shard = self.shard(&key).write();
         let removed = shard.remove(&key);
-        if removed.is_some() {
-            self.next_revision();
+        if let Some(stored) = &removed {
+            self.publish(&key, WatchEventKind::Deleted, stored.object.shared_body());
         }
         removed.map(|stored| Self::copy_out(&stored))
+    }
+
+    fn events_since(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        revision: u64,
+    ) -> Result<WatchDelta, WatchError> {
+        // The pre-refactor delivery discipline: every subscriber gets its
+        // own deep copy of every event's tree, every time.
+        self.journals.events_since(kind, namespace, revision, true)
+    }
+
+    fn watch_revision(&self, kind: ResourceKind) -> u64 {
+        self.journals.watch_revision(kind)
     }
 
     fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<Arc<StoredObject>> {
@@ -690,6 +831,14 @@ mod tests {
         assert_eq!(store.count_by_kind()[&ResourceKind::Pod], 2);
         assert!(store.delete(ResourceKind::Pod, "ns", "a").is_some());
         assert_eq!(store.revision(), 5);
+        // Both backends publish one event per write, replayable in order.
+        let events = store
+            .events_since(ResourceKind::Pod, "ns", 0)
+            .unwrap()
+            .events;
+        assert_eq!(events.len(), 5);
+        assert!(events.windows(2).all(|w| w[0].revision < w[1].revision));
+        assert_eq!(store.watch_revision(ResourceKind::Pod), 5);
         let body = Arc::new(kf_yaml::parse("kind: Pod\nmetadata:\n  name: x\n").unwrap());
         let ingested = store.ingest(&body).unwrap();
         assert_eq!(ingested.name(), "x");
@@ -699,6 +848,172 @@ mod tests {
     fn both_backends_share_the_store_contract() {
         exercise_backend(&ObjectStore::new());
         exercise_backend(&BaselineStore::new());
+    }
+
+    #[test]
+    fn writes_publish_watch_events_sharing_the_stored_tree() {
+        let store = ObjectStore::new();
+        let obj = object(ResourceKind::Pod, "a", "ns");
+        let tree = Arc::clone(obj.shared_body());
+        store.create(obj).unwrap();
+        store.update(object(ResourceKind::Pod, "a", "ns")).unwrap();
+        store.delete(ResourceKind::Pod, "ns", "a").unwrap();
+        let events = store
+            .events_since(ResourceKind::Pod, "ns", 0)
+            .unwrap()
+            .events;
+        let kinds: Vec<WatchEventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                WatchEventKind::Added,
+                WatchEventKind::Modified,
+                WatchEventKind::Deleted
+            ]
+        );
+        // The Added event's object is the created tree, by pointer.
+        assert!(Arc::ptr_eq(events[0].object.as_ref().unwrap(), &tree));
+        // Revisions are the write revisions, strictly increasing.
+        assert_eq!(
+            events.iter().map(|e| e.revision).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(store.watch_revision(ResourceKind::Pod), 3);
+        // A cursor at the last event sees nothing new.
+        assert!(store
+            .events_since(ResourceKind::Pod, "ns", 3)
+            .unwrap()
+            .events
+            .is_empty());
+    }
+
+    #[test]
+    fn upsert_publishes_added_then_modified() {
+        let store = ObjectStore::new();
+        store.upsert(object(ResourceKind::Secret, "s", "ns"));
+        store.upsert(object(ResourceKind::Secret, "s", "ns"));
+        let events = store
+            .events_since(ResourceKind::Secret, "ns", 0)
+            .unwrap()
+            .events;
+        assert_eq!(events[0].kind, WatchEventKind::Added);
+        assert_eq!(events[1].kind, WatchEventKind::Modified);
+    }
+
+    #[test]
+    fn delete_collection_removes_everything_and_publishes_per_object() {
+        let store = ObjectStore::new();
+        store.create(object(ResourceKind::Pod, "a", "ns1")).unwrap();
+        store.create(object(ResourceKind::Pod, "b", "ns1")).unwrap();
+        store.create(object(ResourceKind::Pod, "c", "ns2")).unwrap();
+        let cursor = store.watch_revision(ResourceKind::Pod);
+        assert_eq!(store.delete_collection(ResourceKind::Pod, "ns1"), 2);
+        assert_eq!(store.len(), 1);
+        let deletions = store
+            .events_since(ResourceKind::Pod, "ns1", cursor)
+            .unwrap()
+            .events;
+        assert_eq!(deletions.len(), 2);
+        assert!(deletions
+            .iter()
+            .all(|e| e.kind == WatchEventKind::Deleted && e.has_object()));
+        // Deleting an empty collection is a no-op, not an error.
+        assert_eq!(store.delete_collection(ResourceKind::Pod, "ns1"), 0);
+        // All namespaces at once.
+        assert_eq!(store.delete_collection(ResourceKind::Pod, ""), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn subscriptions_advance_their_cursor_per_poll() {
+        let store = ObjectStore::new();
+        let mut sub = crate::WatchSubscription::at(ResourceKind::Pod, "ns", 0);
+        assert!(sub.poll(&store).unwrap().is_empty());
+        store.create(object(ResourceKind::Pod, "a", "ns")).unwrap();
+        store.create(object(ResourceKind::Pod, "b", "ns")).unwrap();
+        assert_eq!(sub.poll(&store).unwrap().len(), 2);
+        assert_eq!(sub.revision(), 2);
+        // Nothing new: the cursor holds.
+        assert!(sub.poll(&store).unwrap().is_empty());
+        store.delete(ResourceKind::Pod, "ns", "a").unwrap();
+        let events = sub.poll(&store).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, WatchEventKind::Deleted);
+    }
+
+    #[test]
+    fn compacted_journals_answer_stale_cursors_with_gone() {
+        let store = ObjectStore::with_journal_capacity(2);
+        for name in ["a", "b", "c", "d"] {
+            store.create(object(ResourceKind::Pod, name, "ns")).unwrap();
+        }
+        assert_eq!(
+            store.events_since(ResourceKind::Pod, "ns", 0),
+            Err(WatchError::Gone {
+                compacted_through: 2
+            })
+        );
+        // Recovery: re-list and resume from the list's cursor.
+        let cursor = store.watch_revision(ResourceKind::Pod);
+        assert_eq!(store.list(ResourceKind::Pod, "ns").len(), 4);
+        assert!(store
+            .events_since(ResourceKind::Pod, "ns", cursor)
+            .unwrap()
+            .events
+            .is_empty());
+    }
+
+    #[test]
+    fn quiet_namespace_subscribers_ride_the_head_past_foreign_churn() {
+        // A watcher of a quiet namespace polls while another namespace of
+        // the same kind churns far past the journal capacity: because every
+        // poll resumes from the journal head, the cursor never falls behind
+        // compaction and no spurious Gone (or re-list) is forced.
+        let store = ObjectStore::with_journal_capacity(2);
+        store
+            .create(object(ResourceKind::Pod, "q", "quiet"))
+            .unwrap();
+        let mut sub = crate::WatchSubscription::at(ResourceKind::Pod, "quiet", 0);
+        assert_eq!(sub.poll(&store).unwrap().len(), 1);
+        for round in 0..10 {
+            store
+                .create(object(ResourceKind::Pod, &format!("busy-{round}"), "busy"))
+                .unwrap();
+            assert_eq!(
+                sub.poll(&store)
+                    .expect("the head cursor outruns compaction"),
+                vec![],
+                "foreign-namespace churn must not leak events"
+            );
+        }
+        assert_eq!(sub.revision(), store.revision());
+        // Quiet-namespace events still arrive afterwards.
+        store
+            .create(object(ResourceKind::Pod, "q2", "quiet"))
+            .unwrap();
+        assert_eq!(sub.poll(&store).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn baseline_events_are_deep_copies_with_identical_content() {
+        let store = BaselineStore::new();
+        let body =
+            Arc::new(kf_yaml::parse("kind: Pod\nmetadata:\n  name: a\n  namespace: ns\n").unwrap());
+        let ingested = store.ingest(&body).unwrap();
+        StoreBackend::create(&store, ingested).unwrap();
+        let first = StoreBackend::events_since(&store, ResourceKind::Pod, "ns", 0)
+            .unwrap()
+            .events;
+        let second = StoreBackend::events_since(&store, ResourceKind::Pod, "ns", 0)
+            .unwrap()
+            .events;
+        let a = first[0].object.as_ref().unwrap();
+        let b = second[0].object.as_ref().unwrap();
+        assert!(
+            !Arc::ptr_eq(a, b),
+            "baseline must deep-clone per subscriber delivery"
+        );
+        assert!(a.loosely_equals(b));
     }
 
     #[test]

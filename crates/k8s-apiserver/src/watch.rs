@@ -1,0 +1,504 @@
+//! The revision-indexed watch plane: bounded per-kind event journals.
+//!
+//! Every store write publishes a [`WatchEvent`] into the journal of the
+//! written kind, keyed by the store's global revision counter. The journal is
+//! the source of truth for incremental reads: a client that knows revision
+//! `R` asks for "everything after `R`" and receives exactly the writes it
+//! missed, in revision order — no list, no snapshot, no polling the whole
+//! collection.
+//!
+//! Two disciplines matter here, both inherited from the zero-copy
+//! persistence plane:
+//!
+//! * **Zero copy** — a published event holds the *same* `Arc<Value>` the
+//!   store holds for the object; delivering an event to any number of
+//!   subscribers never copies a document tree. (The deep-clone
+//!   [`crate::BaselineStore`] copies the tree out per event per call, which
+//!   is exactly the per-subscriber cost the journal design avoids.)
+//! * **Bounded memory** — each kind's journal retains at most `capacity`
+//!   events. Older events are compacted away; a cursor that predates the
+//!   compaction horizon gets [`WatchError::Gone`] and must re-list, exactly
+//!   like a Kubernetes client receiving HTTP 410 from a compacted etcd.
+//!
+//! Ordering correctness: a revision is **allocated and published under the
+//! journal's lock**, so the journal of one kind is always a strictly
+//! increasing revision sequence with no gap that could be filled later — a
+//! reader that has seen revision `R` can never miss an event `≤ R` by
+//! advancing its cursor. See `docs/watch-plane.md` for the full argument.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use k8s_model::ResourceKind;
+use kf_yaml::Value;
+
+/// What happened to the watched object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchEventKind {
+    /// The object was created (or appeared in an initial listing).
+    Added,
+    /// The object was replaced by an update/upsert.
+    Modified,
+    /// The object was deleted; the event carries its last stored state.
+    Deleted,
+    /// A progress marker carrying only a revision, so idle watchers can
+    /// advance their cursor without receiving object payloads.
+    Bookmark,
+}
+
+impl WatchEventKind {
+    /// The wire name of the event type (`ADDED`, `MODIFIED`, `DELETED`,
+    /// `BOOKMARK`), matching the Kubernetes watch stream convention.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WatchEventKind::Added => "ADDED",
+            WatchEventKind::Modified => "MODIFIED",
+            WatchEventKind::Deleted => "DELETED",
+            WatchEventKind::Bookmark => "BOOKMARK",
+        }
+    }
+}
+
+impl fmt::Display for WatchEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One incremental change to a watched collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchEvent {
+    /// What happened.
+    pub kind: WatchEventKind,
+    /// The global store revision assigned to the write (for bookmarks: the
+    /// cursor the client should resume from).
+    pub revision: u64,
+    /// Namespace of the affected object (empty for cluster-scoped kinds and
+    /// bookmarks).
+    pub namespace: String,
+    /// Name of the affected object (empty for bookmarks).
+    pub name: String,
+    /// The object as stored at this revision (for `Deleted`: its last stored
+    /// state). On the zero-copy plane this is **the** stored tree — the same
+    /// `Arc<Value>` the store and every read share. `None` for bookmarks.
+    pub object: Option<Arc<Value>>,
+}
+
+impl WatchEvent {
+    /// A bookmark event: no object, just a safe resume revision.
+    pub fn bookmark(revision: u64) -> Self {
+        WatchEvent {
+            kind: WatchEventKind::Bookmark,
+            revision,
+            namespace: String::new(),
+            name: String::new(),
+            object: None,
+        }
+    }
+
+    /// Whether this event carries an object payload (everything but
+    /// bookmarks).
+    pub fn has_object(&self) -> bool {
+        self.object.is_some()
+    }
+}
+
+/// One delivered batch of journal events plus the safe resume cursor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchDelta {
+    /// The matching events after the requested cursor, in revision order.
+    pub events: Vec<WatchEvent>,
+    /// The journal's head revision at delivery time (never below the
+    /// requested cursor). Resuming from here is lossless: every revision
+    /// between the last delivered event and this value failed the
+    /// namespace filter — which is what lets a quiet-namespace watcher on
+    /// a busy kind ride bookmarks past foreign churn instead of falling
+    /// behind the compaction horizon.
+    pub resume: u64,
+}
+
+/// Why an incremental read could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchError {
+    /// The requested cursor predates the journal's compaction horizon: some
+    /// events after it have been dropped, so the only consistent recovery is
+    /// a fresh list (initial watch) and a new cursor. `compacted_through` is
+    /// the highest revision that is no longer replayable.
+    Gone {
+        /// Highest revision dropped by compaction; cursors `>=` this value
+        /// are still servable.
+        compacted_through: u64,
+    },
+}
+
+impl fmt::Display for WatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchError::Gone { compacted_through } => write!(
+                f,
+                "watch cursor predates the compacted journal (compacted through revision \
+                 {compacted_through}); re-list and resume"
+            ),
+        }
+    }
+}
+
+/// Default per-kind journal capacity: enough to absorb the bursts the
+/// throughput drivers generate between reconcile ticks, small enough that a
+/// store never holds more than a few thousand event envelopes per kind (the
+/// envelopes are handles — the trees they point at live in the store anyway).
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// One kind's bounded event journal.
+#[derive(Debug, Default)]
+struct JournalInner {
+    events: VecDeque<WatchEvent>,
+    /// Highest revision dropped by compaction (0: nothing dropped yet).
+    compacted_through: u64,
+    /// Highest revision ever published to this journal (0: none yet).
+    last_revision: u64,
+}
+
+/// The per-kind journals behind a store: one bounded buffer per
+/// [`ResourceKind`], each guarded by its own lock so watch traffic on one
+/// kind never contends with writes to another.
+#[derive(Debug)]
+pub(crate) struct KindJournals {
+    /// Read-write locks: only [`KindJournals::publish`] mutates a journal,
+    /// so concurrent subscribers drain deltas in parallel and contend with
+    /// writers only for the lock itself.
+    journals: Vec<RwLock<JournalInner>>,
+    capacity: usize,
+}
+
+impl KindJournals {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "journals need room for at least one event");
+        KindJournals {
+            journals: (0..ResourceKind::COUNT)
+                .map(|_| RwLock::new(JournalInner::default()))
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Allocate the next global revision **and** publish the event for it,
+    /// atomically with respect to readers of this kind's journal. This is
+    /// the linchpin of watch correctness: because allocation happens under
+    /// the journal lock, the journal is a gapless-by-construction revision
+    /// sequence — no event with a smaller revision can appear after a larger
+    /// one has been observed.
+    ///
+    /// Must be called while holding the written object's shard lock (see the
+    /// store write paths), so an initial-list scan that starts after a
+    /// published revision is guaranteed to observe the map effect too.
+    pub(crate) fn publish(
+        &self,
+        revision: &AtomicU64,
+        kind: ResourceKind,
+        event_kind: WatchEventKind,
+        namespace: &str,
+        name: &str,
+        object: &Arc<Value>,
+    ) -> u64 {
+        let mut inner = self.journals[kind.index()].write();
+        let assigned = revision.fetch_add(1, Ordering::Relaxed) + 1;
+        if inner.events.len() == self.capacity {
+            let dropped = inner.events.pop_front().expect("capacity > 0");
+            inner.compacted_through = dropped.revision;
+        }
+        inner.events.push_back(WatchEvent {
+            kind: event_kind,
+            revision: assigned,
+            namespace: namespace.to_owned(),
+            name: name.to_owned(),
+            object: Some(Arc::clone(object)),
+        });
+        inner.last_revision = assigned;
+        assigned
+    }
+
+    /// Every event of `kind` with revision strictly greater than `cursor`,
+    /// restricted to `namespace` when non-empty, in revision order —
+    /// together with the journal-head resume cursor ([`WatchDelta`]).
+    /// `copy` selects the delivery discipline: `false` hands out the
+    /// journal's own handles (zero-copy), `true` deep-clones each tree
+    /// (the baseline's per-subscriber copy).
+    pub(crate) fn events_since(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        cursor: u64,
+        copy: bool,
+    ) -> Result<WatchDelta, WatchError> {
+        let inner = self.journals[kind.index()].read();
+        if cursor < inner.compacted_through {
+            return Err(WatchError::Gone {
+                compacted_through: inner.compacted_through,
+            });
+        }
+        // The journal is sorted by revision: binary-search the resume point
+        // so an up-to-date subscriber pays for its deltas, not for the whole
+        // retained ring.
+        let (mut lo, mut hi) = (0usize, inner.events.len());
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if inner.events[mid].revision <= cursor {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let events = inner
+            .events
+            .range(lo..)
+            .filter(|event| namespace.is_empty() || event.namespace == namespace)
+            .map(|event| {
+                if copy {
+                    WatchEvent {
+                        object: event.object.as_ref().map(|tree| Arc::new((**tree).clone())),
+                        ..event.clone()
+                    }
+                } else {
+                    event.clone()
+                }
+            })
+            .collect();
+        Ok(WatchDelta {
+            events,
+            // Read under the same lock as the scan, so no matching event
+            // with a smaller revision can be published afterwards.
+            resume: cursor.max(inner.last_revision),
+        })
+    }
+
+    /// The highest revision published to `kind`'s journal so far (0 when the
+    /// kind has never been written). Reading it under the journal lock makes
+    /// it a safe initial-list cursor: every event `≤` this value was fully
+    /// published (and, per the [`KindJournals::publish`] contract, its store
+    /// effect is visible to any scan that starts afterwards).
+    pub(crate) fn watch_revision(&self, kind: ResourceKind) -> u64 {
+        self.journals[kind.index()].read().last_revision
+    }
+}
+
+/// A pull-style subscription over a store's watch journal: remembers the
+/// kind, namespace and resume cursor, and advances the cursor past every
+/// batch it delivers — the store-level API the informer pattern builds on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchSubscription {
+    kind: ResourceKind,
+    namespace: String,
+    revision: u64,
+}
+
+impl WatchSubscription {
+    /// Subscribe to `kind` (in `namespace`; every namespace when empty)
+    /// starting after `revision`. Use `revision = 0` to replay the whole
+    /// retained journal, or a revision obtained from a list to stream only
+    /// what follows it.
+    pub fn at(kind: ResourceKind, namespace: &str, revision: u64) -> Self {
+        WatchSubscription {
+            kind,
+            namespace: namespace.to_owned(),
+            revision,
+        }
+    }
+
+    /// The current resume cursor.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Pull every event published since the last poll, advancing the cursor
+    /// to the journal head (lossless: skipped revisions failed the
+    /// namespace filter), so even an event-free poll keeps the cursor
+    /// ahead of compaction. On [`WatchError::Gone`] the cursor is left
+    /// untouched — the caller re-lists and builds a fresh subscription
+    /// from the list's cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] when the cursor predates the journal's
+    /// compaction horizon.
+    pub fn poll<S: crate::StoreBackend + ?Sized>(
+        &mut self,
+        store: &S,
+    ) -> Result<Vec<WatchEvent>, WatchError> {
+        let delta = store.events_since(self.kind, &self.namespace, self.revision)?;
+        self.revision = delta.resume;
+        Ok(delta.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(name: &str) -> Arc<Value> {
+        Arc::new(kf_yaml::parse(&format!("kind: Pod\nmetadata:\n  name: {name}\n")).unwrap())
+    }
+
+    #[test]
+    fn publish_assigns_strictly_increasing_revisions() {
+        let journals = KindJournals::new(16);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let r1 = journals.publish(
+            &counter,
+            ResourceKind::Pod,
+            WatchEventKind::Added,
+            "ns",
+            "a",
+            &object,
+        );
+        let r2 = journals.publish(
+            &counter,
+            ResourceKind::Pod,
+            WatchEventKind::Modified,
+            "ns",
+            "a",
+            &object,
+        );
+        assert!(r2 > r1);
+        let delta = journals
+            .events_since(ResourceKind::Pod, "ns", 0, false)
+            .unwrap();
+        assert_eq!(delta.events.len(), 2);
+        assert_eq!(delta.events[0].revision, r1);
+        assert_eq!(delta.events[1].revision, r2);
+        assert_eq!(delta.resume, r2);
+        assert_eq!(journals.watch_revision(ResourceKind::Pod), r2);
+        assert_eq!(journals.watch_revision(ResourceKind::Service), 0);
+    }
+
+    #[test]
+    fn events_share_the_published_tree_unless_copying() {
+        let journals = KindJournals::new(16);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        journals.publish(
+            &counter,
+            ResourceKind::Pod,
+            WatchEventKind::Added,
+            "ns",
+            "a",
+            &object,
+        );
+        let zero_copy = journals
+            .events_since(ResourceKind::Pod, "ns", 0, false)
+            .unwrap()
+            .events;
+        assert!(Arc::ptr_eq(zero_copy[0].object.as_ref().unwrap(), &object));
+        let copied = journals
+            .events_since(ResourceKind::Pod, "ns", 0, true)
+            .unwrap()
+            .events;
+        assert!(!Arc::ptr_eq(copied[0].object.as_ref().unwrap(), &object));
+        assert!(copied[0].object.as_ref().unwrap().loosely_equals(&object));
+    }
+
+    #[test]
+    fn namespace_filter_and_cursor_respect_the_contract() {
+        let journals = KindJournals::new(16);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let r1 = journals.publish(
+            &counter,
+            ResourceKind::Pod,
+            WatchEventKind::Added,
+            "ns1",
+            "a",
+            &object,
+        );
+        journals.publish(
+            &counter,
+            ResourceKind::Pod,
+            WatchEventKind::Added,
+            "ns2",
+            "b",
+            &object,
+        );
+        assert_eq!(
+            journals
+                .events_since(ResourceKind::Pod, "ns1", 0, false)
+                .unwrap()
+                .events
+                .len(),
+            1
+        );
+        assert_eq!(
+            journals
+                .events_since(ResourceKind::Pod, "", 0, false)
+                .unwrap()
+                .events
+                .len(),
+            2
+        );
+        assert_eq!(
+            journals
+                .events_since(ResourceKind::Pod, "", r1, false)
+                .unwrap()
+                .events
+                .len(),
+            1
+        );
+        // A namespace-filtered delta still resumes from the journal head.
+        let ns1 = journals
+            .events_since(ResourceKind::Pod, "ns1", r1, false)
+            .unwrap();
+        assert!(ns1.events.is_empty());
+        assert_eq!(ns1.resume, journals.watch_revision(ResourceKind::Pod));
+    }
+
+    #[test]
+    fn compaction_reports_gone_for_stale_cursors() {
+        let journals = KindJournals::new(2);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        for i in 0..4 {
+            journals.publish(
+                &counter,
+                ResourceKind::Pod,
+                WatchEventKind::Modified,
+                "ns",
+                &format!("obj-{i}"),
+                &object,
+            );
+        }
+        // Revisions 1 and 2 were compacted away.
+        assert_eq!(
+            journals.events_since(ResourceKind::Pod, "ns", 0, false),
+            Err(WatchError::Gone {
+                compacted_through: 2
+            })
+        );
+        assert_eq!(
+            journals.events_since(ResourceKind::Pod, "ns", 1, false),
+            Err(WatchError::Gone {
+                compacted_through: 2
+            })
+        );
+        // A cursor at the horizon is still servable.
+        let delta = journals
+            .events_since(ResourceKind::Pod, "ns", 2, false)
+            .unwrap();
+        assert_eq!(delta.events.len(), 2);
+        assert_eq!(delta.events[0].revision, 3);
+        assert_eq!(delta.resume, 4);
+    }
+
+    #[test]
+    fn bookmarks_carry_only_a_revision() {
+        let bookmark = WatchEvent::bookmark(7);
+        assert_eq!(bookmark.kind, WatchEventKind::Bookmark);
+        assert_eq!(bookmark.revision, 7);
+        assert!(!bookmark.has_object());
+        assert_eq!(WatchEventKind::Bookmark.as_str(), "BOOKMARK");
+        assert_eq!(WatchEventKind::Added.to_string(), "ADDED");
+    }
+}

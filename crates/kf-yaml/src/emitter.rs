@@ -52,37 +52,7 @@ fn emit_block(value: &Value, indent: usize, out: &mut String) {
                 return;
             }
             for item in seq {
-                out.push_str(&indent_str(indent));
-                out.push('-');
-                match item {
-                    Value::Map(m) if !m.is_empty() => {
-                        // Compact form: first key on the dash line, remaining
-                        // keys at the same column.
-                        let mut iter = m.iter();
-                        let (k0, v0) = iter.next().expect("non-empty");
-                        out.push(' ');
-                        out.push_str(&emit_key(k0));
-                        out.push(':');
-                        emit_entry_value_at(v0, indent + 2, out);
-                        for (k, v) in iter {
-                            out.push_str(&indent_str(indent + 2));
-                            out.push_str(&emit_key(k));
-                            out.push(':');
-                            emit_entry_value_at(v, indent + 2, out);
-                        }
-                    }
-                    Value::Seq(s) if !s.is_empty() => {
-                        out.push('\n');
-                        emit_block(item, indent + 2, out);
-                    }
-                    Value::Map(_) => out.push_str(" {}\n"),
-                    Value::Seq(_) => out.push_str(" []\n"),
-                    scalar => {
-                        out.push(' ');
-                        out.push_str(&emit_scalar(scalar));
-                        out.push('\n');
-                    }
-                }
+                emit_seq_item(item, indent, out);
             }
         }
         scalar => {
@@ -96,6 +66,58 @@ fn emit_block(value: &Value, indent: usize, out: &mut String) {
 /// Emit the value of a `key:` entry whose key was written at `indent`.
 fn emit_entry_value(value: &Value, indent: usize, out: &mut String) {
     emit_entry_value_at(value, indent, out);
+}
+
+/// Emit one `- item` element of a block sequence whose dashes sit at column
+/// `indent` — exactly the bytes [`to_yaml`] produces for that element inside
+/// an enclosing sequence. Together with [`emit_entry`] this is the streaming
+/// serializer surface: callers render collection envelopes around borrowed
+/// subtrees one element at a time, without ever materializing an owned
+/// document tree.
+pub fn emit_seq_item(item: &Value, indent: usize, out: &mut String) {
+    out.push_str(&indent_str(indent));
+    out.push('-');
+    match item {
+        Value::Map(m) if !m.is_empty() => {
+            // Compact form: first key on the dash line, remaining
+            // keys at the same column.
+            let mut iter = m.iter();
+            let (k0, v0) = iter.next().expect("non-empty");
+            out.push(' ');
+            emit_entry_inline(k0, v0, indent + 2, out);
+            for (k, v) in iter {
+                emit_entry(k, v, indent + 2, out);
+            }
+        }
+        Value::Seq(s) if !s.is_empty() => {
+            out.push('\n');
+            emit_block(item, indent + 2, out);
+        }
+        Value::Map(_) => out.push_str(" {}\n"),
+        Value::Seq(_) => out.push_str(" []\n"),
+        scalar => {
+            out.push(' ');
+            out.push_str(&emit_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+/// Emit one `key: value` mapping entry with the key at column `indent` —
+/// exactly the bytes [`to_yaml`] produces for that entry inside an enclosing
+/// mapping (nested containers in block style two columns deeper).
+pub fn emit_entry(key: &str, value: &Value, indent: usize, out: &mut String) {
+    out.push_str(&indent_str(indent));
+    emit_entry_inline(key, value, indent, out);
+}
+
+/// [`emit_entry`] for callers that already wrote the current line's prefix
+/// (e.g. a sequence dash): appends `key:` plus the value, with nested
+/// blocks indented relative to `key_indent` (the column the key sits at).
+pub fn emit_entry_inline(key: &str, value: &Value, key_indent: usize, out: &mut String) {
+    out.push_str(&emit_key(key));
+    out.push(':');
+    emit_entry_value_at(value, key_indent, out);
 }
 
 /// Emit the value of a mapping entry whose key sits at column `key_indent`.

@@ -501,6 +501,13 @@ pub fn to_json(value: &Value) -> String {
     out
 }
 
+/// Append `value`'s JSON rendering to `out` — the streaming twin of
+/// [`to_json`], so serializers can build collection envelopes around
+/// borrowed subtrees without concatenating intermediate strings.
+pub fn write_json(value: &Value, out: &mut String) {
+    emit_json(value, out);
+}
+
 fn emit_json(value: &Value, out: &mut String) {
     match value {
         Value::Null => out.push_str("null"),

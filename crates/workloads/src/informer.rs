@@ -1,0 +1,531 @@
+//! Informer-style operators: local caches reconciled from the watch plane.
+//!
+//! Real operators and controllers do not poll lists — they keep a local
+//! cache seeded by one initial list and then apply incremental watch
+//! deltas, exactly the traffic shape the paper's workload characterization
+//! attributes to the dominant share of API-server load. This module models
+//! both reconcile disciplines against any [`RequestHandler`]:
+//!
+//! * [`Informer::sync`] — **watch-driven**: the first tick issues an
+//!   initial watch (`resourceVersion` absent — list + cursor), every
+//!   subsequent tick resumes from the cursor and applies only the deltas;
+//!   a `410 Gone` (journal compacted past the cursor) falls back to one
+//!   re-list and resumes cleanly.
+//! * [`Informer::sync_by_list`] — **poll-list**: the pre-watch-plane
+//!   discipline; every tick lists the whole collection and rebuilds the
+//!   cache from scratch.
+//!
+//! [`InformerDriver`] replays a [`MixRatio`] whose `watch` slots are
+//! reconcile ticks (one informer per watched collection, per thread) and
+//! whose create/get/list slots are background churn, from M threads — the
+//! harness behind the `watch_throughput` benchmark comparing the two
+//! disciplines over both store backends.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use k8s_apiserver::{ApiRequest, RequestHandler, ResponseStatus, WatchEvent, WatchEventKind};
+use k8s_model::ResourceKind;
+use kf_yaml::Value;
+
+use crate::throughput::{MixRatio, OperatorPools};
+use crate::Operator;
+
+/// How an informer keeps its cache fresh — the measured axis of the
+/// `watch_throughput` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconcileStrategy {
+    /// Re-list the whole collection every tick and rebuild the cache (the
+    /// pre-watch-plane discipline).
+    PollList,
+    /// Seed once from an initial watch, then apply incremental deltas from
+    /// the revision cursor.
+    WatchDelta,
+}
+
+impl ReconcileStrategy {
+    /// A short label for bench tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReconcileStrategy::PollList => "poll-list",
+            ReconcileStrategy::WatchDelta => "watch-delta",
+        }
+    }
+}
+
+/// A local object cache over one watched collection (kind + namespace),
+/// reconciled through a [`RequestHandler`] as one authenticated user — the
+/// client half of the watch plane.
+#[derive(Debug, Clone)]
+pub struct Informer {
+    user: String,
+    kind: ResourceKind,
+    namespace: String,
+    /// Resume cursor; `None` before the first successful watch (and after a
+    /// `Gone`, which forces a fresh initial watch).
+    cursor: Option<u64>,
+    /// The reconciled collection, keyed by (namespace, name). Values are
+    /// the delivered trees — shared handles on the zero-copy plane.
+    cache: BTreeMap<(String, String), Arc<Value>>,
+    /// Cache mutations applied by watch deltas and initial seeds.
+    events_applied: u64,
+    /// Full re-lists performed (initial syncs and `Gone` recoveries).
+    relists: u64,
+}
+
+impl Informer {
+    /// An informer over `kind` in `namespace` (all namespaces when empty),
+    /// authenticated as `user`.
+    pub fn new(user: &str, kind: ResourceKind, namespace: &str) -> Self {
+        Informer {
+            user: user.to_owned(),
+            kind,
+            namespace: namespace.to_owned(),
+            cursor: None,
+            cache: BTreeMap::new(),
+            events_applied: 0,
+            relists: 0,
+        }
+    }
+
+    /// The reconciled objects, in key order.
+    pub fn cache(&self) -> &BTreeMap<(String, String), Arc<Value>> {
+        &self.cache
+    }
+
+    /// Number of objects currently reconciled.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cache mutations applied so far (seeds + deltas, or list rebuild
+    /// inserts under [`Informer::sync_by_list`]).
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Full re-lists performed so far.
+    pub fn relists(&self) -> u64 {
+        self.relists
+    }
+
+    /// The current resume cursor, once a watch succeeded.
+    pub fn cursor(&self) -> Option<u64> {
+        self.cursor
+    }
+
+    /// One watch-driven reconcile tick. Returns the number of requests
+    /// issued (1 normally; 2 when a compacted journal forced a `Gone` →
+    /// re-list recovery).
+    pub fn sync<H: RequestHandler>(&mut self, handler: &H) -> u64 {
+        let request = ApiRequest::watch(&self.user, self.kind, &self.namespace, self.cursor);
+        let response = handler.handle(&request);
+        if response.status == ResponseStatus::Gone {
+            // The journal compacted past our cursor: the one consistent
+            // recovery is a fresh initial watch (list + new cursor).
+            self.cursor = None;
+            self.cache.clear();
+            return 1 + self.sync(handler);
+        }
+        if self.cursor.is_none() {
+            self.relists += 1;
+        }
+        let Some(body) = &response.body else {
+            return 1;
+        };
+        let Some((events, cursor)) = body.watch_events() else {
+            return 1;
+        };
+        for event in events {
+            self.apply(event);
+        }
+        self.cursor = Some(cursor);
+        1
+    }
+
+    /// One poll-list reconcile tick: list the collection and rebuild the
+    /// cache from the returned items (keys parsed out of each tree —
+    /// exactly the per-tick work the watch plane avoids). Returns the
+    /// number of requests issued (always 1).
+    pub fn sync_by_list<H: RequestHandler>(&mut self, handler: &H) -> u64 {
+        let request = ApiRequest::list(&self.user, self.kind, &self.namespace);
+        let response = handler.handle(&request);
+        self.relists += 1;
+        let Some(body) = &response.body else {
+            return 1;
+        };
+        let Some(items) = body.items() else {
+            return 1;
+        };
+        self.cache.clear();
+        for item in items {
+            let metadata = item.get("metadata");
+            let name = metadata
+                .and_then(|m| m.get("name"))
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned();
+            let namespace = metadata
+                .and_then(|m| m.get("namespace"))
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned();
+            self.cache.insert((namespace, name), Arc::clone(item));
+            self.events_applied += 1;
+        }
+        1
+    }
+
+    /// Apply one delivered event to the cache. Added/Modified upsert (so
+    /// the overlap between an initial listing and the first delta batch is
+    /// absorbed), Deleted removes, bookmarks only carry the cursor.
+    fn apply(&mut self, event: &WatchEvent) {
+        match event.kind {
+            WatchEventKind::Added | WatchEventKind::Modified => {
+                if let Some(object) = &event.object {
+                    self.cache.insert(
+                        (event.namespace.clone(), event.name.clone()),
+                        Arc::clone(object),
+                    );
+                    self.events_applied += 1;
+                }
+            }
+            WatchEventKind::Deleted => {
+                self.cache
+                    .remove(&(event.namespace.clone(), event.name.clone()));
+                self.events_applied += 1;
+            }
+            WatchEventKind::Bookmark => {}
+        }
+    }
+}
+
+/// Measurements of one [`InformerDriver::run`].
+#[derive(Debug, Clone)]
+pub struct ReconcileReport {
+    /// Reconcile strategy that produced the numbers.
+    pub strategy: ReconcileStrategy,
+    /// Number of replay threads.
+    pub threads: usize,
+    /// Requests issued across all threads (background churn + reconcile
+    /// ticks, including `Gone` recoveries).
+    pub total_requests: u64,
+    /// Reconcile ticks performed across all threads.
+    pub reconcile_ticks: u64,
+    /// Cache mutations applied across all threads.
+    pub events_applied: u64,
+    /// Full re-lists performed across all threads.
+    pub relists: u64,
+    /// Objects reconciled per informer at the end of the run, summed.
+    pub cached_objects: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ReconcileReport {
+    /// Sustained requests per second over the run.
+    pub fn requests_per_sec(&self) -> f64 {
+        self.total_requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Sustained cache mutations per second over the run.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_applied as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Replays a [`MixRatio`] where the `watch` slots are informer reconcile
+/// ticks: each thread owns one informer per watched collection and
+/// interleaves background churn (create/get/list, from a deterministic
+/// pool) with reconciles, so the two strategies face identical write
+/// traffic and differ only in how caches stay fresh.
+///
+/// The driver can **scale** the collections: with a scale of `n`, every
+/// chart object is replicated `n` times under suffixed names (`web`,
+/// `web-1`, `web-2`, …), modeling a populated cluster where a watched
+/// collection holds tens of objects — the regime where re-listing per
+/// reconcile tick actually hurts and the watch plane pays off.
+#[derive(Debug, Clone)]
+pub struct InformerDriver {
+    /// The create/get/list stream replayed between reconciles, in cycle
+    /// order.
+    background: Vec<ApiRequest>,
+    /// One create per distinct (scaled) object, for seeding.
+    seeds: Vec<ApiRequest>,
+    targets: Vec<(String, ResourceKind, String)>,
+    mix: MixRatio,
+}
+
+impl InformerDriver {
+    /// A driver over the operators' objects under `mix` (which must include
+    /// at least one `watch` slot — otherwise there is nothing to
+    /// reconcile), at scale 1: collections hold exactly the chart objects.
+    pub fn new(operators: &[Operator], mix: MixRatio) -> Self {
+        Self::with_scale(operators, mix, 1)
+    }
+
+    /// [`InformerDriver::new`] with every chart object replicated `scale`
+    /// times under suffixed names.
+    pub fn with_scale(operators: &[Operator], mix: MixRatio, scale: usize) -> Self {
+        assert!(mix.watch > 0, "the informer driver reconciles watch slots");
+        // The same pool builder the mixed throughput pools use, so both
+        // strategies face the identical deterministic background churn —
+        // just without the watch slots, which become reconcile ticks here.
+        let pools = OperatorPools::gather(operators, scale);
+        let background = pools.interleave(MixRatio { watch: 0, ..mix });
+        assert!(
+            !background.is_empty(),
+            "the mix must include background traffic"
+        );
+        InformerDriver {
+            background,
+            seeds: pools.creates,
+            targets: pools.targets,
+            mix,
+        }
+    }
+
+    /// The background (create/get/list) stream replayed between reconciles.
+    pub fn background_pool(&self) -> &[ApiRequest] {
+        &self.background
+    }
+
+    /// The watched collections: (user, kind, namespace).
+    pub fn targets(&self) -> &[(String, ResourceKind, String)] {
+        &self.targets
+    }
+
+    /// Apply every distinct (scaled) object once so reconciles and reads
+    /// hit populated collections — admission, audit and the watch journal
+    /// all run; this is a warm server, not a backdoor into the store.
+    pub fn seed<H: RequestHandler>(&self, handler: &H) {
+        for request in &self.seeds {
+            handler.handle(request);
+        }
+    }
+
+    /// Replay `cycles_per_thread` mix cycles from each of `threads`
+    /// threads: per cycle, the background slots issue the next pool
+    /// requests and every `watch` slot runs one reconcile tick on the
+    /// thread's informers (round-robin across targets), under `strategy`.
+    pub fn run<H>(
+        &self,
+        handler: &H,
+        threads: usize,
+        cycles_per_thread: usize,
+        strategy: ReconcileStrategy,
+    ) -> ReconcileReport
+    where
+        H: RequestHandler + Sync,
+    {
+        assert!(threads > 0, "at least one replay thread is required");
+        let pool = &self.background;
+        let background_per_cycle = self.mix.create + self.mix.get + self.mix.list;
+        let started = Instant::now();
+        let per_thread: Vec<(u64, u64, u64, u64, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|thread| {
+                    scope.spawn(move || {
+                        let mut informers: Vec<Informer> = self
+                            .targets
+                            .iter()
+                            .map(|(user, kind, namespace)| Informer::new(user, *kind, namespace))
+                            .collect();
+                        let mut requests = 0u64;
+                        let mut ticks = 0u64;
+                        // Rotated offsets so threads spread over the pool
+                        // and the watched collections.
+                        let mut cursor = thread * pool.len() / threads.max(1);
+                        let mut target = thread % informers.len().max(1);
+                        for _ in 0..cycles_per_thread {
+                            for _ in 0..background_per_cycle {
+                                handler.handle(&pool[cursor % pool.len()]);
+                                cursor += 1;
+                                requests += 1;
+                            }
+                            for _ in 0..self.mix.watch {
+                                let index = target % informers.len();
+                                let informer = &mut informers[index];
+                                requests += match strategy {
+                                    ReconcileStrategy::PollList => informer.sync_by_list(handler),
+                                    ReconcileStrategy::WatchDelta => informer.sync(handler),
+                                };
+                                ticks += 1;
+                                target += 1;
+                            }
+                        }
+                        let events: u64 = informers.iter().map(Informer::events_applied).sum();
+                        let relists: u64 = informers.iter().map(Informer::relists).sum();
+                        let cached: u64 = informers.iter().map(|i| i.cache_len() as u64).sum();
+                        (requests, ticks, events, relists, cached)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reconcile thread panicked"))
+                .collect()
+        });
+        let elapsed = started.elapsed();
+        let mut report = ReconcileReport {
+            strategy,
+            threads,
+            total_requests: 0,
+            reconcile_ticks: 0,
+            events_applied: 0,
+            relists: 0,
+            cached_objects: 0,
+            elapsed,
+        };
+        for (requests, ticks, events, relists, cached) in per_thread {
+            report.total_requests += requests;
+            report.reconcile_ticks += ticks;
+            report.events_applied += events;
+            report.relists += relists;
+            report.cached_objects += cached;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use k8s_apiserver::{ApiServer, ObjectStore};
+    use k8s_model::K8sObject;
+
+    fn pod(name: &str) -> K8sObject {
+        K8sObject::from_yaml(&format!(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\n  namespace: default\nspec:\n  containers:\n    - name: c\n      image: nginx\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn informers_seed_then_apply_deltas() {
+        let server = ApiServer::new();
+        server.handle(&ApiRequest::create("admin", &pod("a")));
+        let mut informer = Informer::new("admin", ResourceKind::Pod, "default");
+        assert_eq!(informer.sync(&server), 1);
+        assert_eq!(informer.cache_len(), 1);
+        assert_eq!(informer.relists(), 1);
+        // Deltas: one create, one delete — applied incrementally, no relist.
+        server.handle(&ApiRequest::create("admin", &pod("b")));
+        server.handle(&ApiRequest::delete(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            "a",
+        ));
+        assert_eq!(informer.sync(&server), 1);
+        assert_eq!(informer.cache_len(), 1);
+        assert!(informer
+            .cache()
+            .contains_key(&("default".to_owned(), "b".to_owned())));
+        assert_eq!(informer.relists(), 1, "delta syncs must not re-list");
+        // The cached tree is the stored tree — zero-copy to the client.
+        let stored = server
+            .store()
+            .get(ResourceKind::Pod, "default", "b")
+            .unwrap();
+        let cached = &informer.cache()[&("default".to_owned(), "b".to_owned())];
+        assert!(Arc::ptr_eq(cached, stored.object.shared_body()));
+    }
+
+    #[test]
+    fn informers_recover_from_compacted_journals() {
+        let server = ApiServer::with_store(ObjectStore::with_journal_capacity(2));
+        server.handle(&ApiRequest::create("admin", &pod("a")));
+        let mut informer = Informer::new("admin", ResourceKind::Pod, "default");
+        informer.sync(&server);
+        assert_eq!(informer.cache_len(), 1);
+        // Enough churn to compact the informer's cursor away.
+        for name in ["b", "c", "d", "e"] {
+            server.handle(&ApiRequest::create("admin", &pod(name)));
+        }
+        // Gone → one extra request for the recovery re-list, cache complete.
+        assert_eq!(informer.sync(&server), 2);
+        assert_eq!(informer.cache_len(), 5);
+        assert_eq!(informer.relists(), 2);
+        // And the informer streams deltas again afterwards.
+        server.handle(&ApiRequest::delete(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            "a",
+        ));
+        assert_eq!(informer.sync(&server), 1);
+        assert_eq!(informer.cache_len(), 4);
+    }
+
+    #[test]
+    fn poll_list_reconciles_to_the_same_cache() {
+        let server = ApiServer::new();
+        for name in ["a", "b"] {
+            server.handle(&ApiRequest::create("admin", &pod(name)));
+        }
+        let mut watcher = Informer::new("admin", ResourceKind::Pod, "default");
+        let mut poller = Informer::new("admin", ResourceKind::Pod, "default");
+        watcher.sync(&server);
+        poller.sync_by_list(&server);
+        assert_eq!(
+            watcher.cache().keys().collect::<Vec<_>>(),
+            poller.cache().keys().collect::<Vec<_>>()
+        );
+        server.handle(&ApiRequest::delete(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            "a",
+        ));
+        watcher.sync(&server);
+        poller.sync_by_list(&server);
+        assert_eq!(
+            watcher.cache().keys().collect::<Vec<_>>(),
+            poller.cache().keys().collect::<Vec<_>>()
+        );
+        assert!(poller.relists() > watcher.relists());
+    }
+
+    #[test]
+    fn scaled_drivers_populate_scaled_collections() {
+        let driver = InformerDriver::with_scale(&[Operator::Nginx], MixRatio::WATCH_HEAVY, 3);
+        let server = ApiServer::new().with_admin(&Operator::Nginx.user());
+        driver.seed(&server);
+        let base = InformerDriver::new(&[Operator::Nginx], MixRatio::WATCH_HEAVY);
+        let base_server = ApiServer::new().with_admin(&Operator::Nginx.user());
+        base.seed(&base_server);
+        assert_eq!(server.store().len(), 3 * base_server.store().len());
+        // Same watched collections, three times the objects each.
+        assert_eq!(driver.targets(), base.targets());
+        let mut informer = Informer::new(
+            &Operator::Nginx.user(),
+            driver.targets()[0].1,
+            &driver.targets()[0].2,
+        );
+        informer.sync(&server);
+        assert_eq!(informer.cache_len() % 3, 0);
+        assert!(informer.cache_len() >= 3);
+    }
+
+    #[test]
+    fn the_driver_reconciles_both_strategies_to_live_caches() {
+        let driver = InformerDriver::new(&[Operator::Nginx], MixRatio::WATCH_HEAVY);
+        assert!(!driver.targets().is_empty());
+        for strategy in [ReconcileStrategy::PollList, ReconcileStrategy::WatchDelta] {
+            let server = ApiServer::new().with_admin(&Operator::Nginx.user());
+            driver.seed(&server);
+            let report = driver.run(&server, 2, 6, strategy);
+            assert_eq!(report.threads, 2);
+            assert_eq!(
+                report.reconcile_ticks,
+                2 * 6 * MixRatio::WATCH_HEAVY.watch as u64
+            );
+            assert!(report.events_applied > 0, "{strategy:?} applied no events");
+            assert!(report.cached_objects > 0);
+            assert!(report.requests_per_sec() > 0.0);
+            assert!(report.events_per_sec() > 0.0);
+        }
+    }
+}

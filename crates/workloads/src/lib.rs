@@ -22,9 +22,11 @@
 pub mod charts;
 mod driver;
 pub mod e2e;
+mod informer;
 mod operator;
 mod throughput;
 
 pub use driver::{DeploymentDriver, DeploymentOutcome};
+pub use informer::{Informer, InformerDriver, ReconcileReport, ReconcileStrategy};
 pub use operator::{Operator, OperatorWorkload};
 pub use throughput::{MixRatio, ThroughputDriver, ThroughputReport};

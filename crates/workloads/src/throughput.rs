@@ -26,10 +26,10 @@ pub struct ThroughputDriver {
     attack_count: usize,
 }
 
-/// The create : get : list shape of a mixed read/write pool
+/// The create : get : list : watch shape of a mixed read/write pool
 /// ([`ThroughputDriver::for_operators_mixed`]). The ratios are request
-/// counts per mix cycle, so `{1, 8, 1}` replays one create and one list for
-/// every eight gets.
+/// counts per mix cycle, so `{1, 8, 1, 0}` replays one create and one list
+/// for every eight gets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MixRatio {
     /// Create (apply) requests per cycle.
@@ -38,6 +38,9 @@ pub struct MixRatio {
     pub get: usize,
     /// List requests per cycle.
     pub list: usize,
+    /// Watch requests per cycle (in pools: initial watches; in the informer
+    /// driver: reconcile ticks).
+    pub watch: usize,
 }
 
 impl MixRatio {
@@ -48,6 +51,7 @@ impl MixRatio {
         create: 1,
         get: 8,
         list: 1,
+        watch: 0,
     };
 
     /// Deployment-churn traffic: mostly writes with a sanity read and list —
@@ -56,16 +60,148 @@ impl MixRatio {
         create: 8,
         get: 1,
         list: 1,
+        watch: 0,
+    };
+
+    /// Watch-dominated traffic, the shape of a real cluster where operators
+    /// and controllers are event-driven: a little write churn to generate
+    /// deltas, a sanity get and list, and twelve watch polls — 2 creates :
+    /// 1 get : 1 list : 12 watches. This is the mix the `watch_throughput`
+    /// benchmark reconciles under.
+    pub const WATCH_HEAVY: MixRatio = MixRatio {
+        create: 2,
+        get: 1,
+        list: 1,
+        watch: 12,
     };
 
     /// Requests per cycle.
     pub fn cycle_len(&self) -> usize {
-        self.create + self.get + self.list
+        self.create + self.get + self.list + self.watch
     }
 
-    /// A short label for bench tables (`c1:g8:l1`).
+    /// A short label for bench tables (`c1:g8:l1`, `c2:g1:l1:w12`); the
+    /// watch component appears only when present.
     pub fn label(&self) -> String {
-        format!("c{}:g{}:l{}", self.create, self.get, self.list)
+        if self.watch == 0 {
+            format!("c{}:g{}:l{}", self.create, self.get, self.list)
+        } else {
+            format!(
+                "c{}:g{}:l{}:w{}",
+                self.create, self.get, self.list, self.watch
+            )
+        }
+    }
+}
+
+/// The per-class request pools over the operators' objects — the one
+/// builder behind every mixed replay, shared by
+/// [`ThroughputDriver::for_operators_mixed`] and the informer driver so
+/// both replay the *identical* traffic shape. Each chart object can be
+/// replicated `scale` times under suffixed names (`web`, `web-1`, …),
+/// modeling populated collections.
+#[derive(Debug, Clone)]
+pub(crate) struct OperatorPools {
+    /// One create (apply) request per distinct (scaled) object.
+    pub(crate) creates: Vec<ApiRequest>,
+    /// One get request per distinct (scaled) object.
+    pub(crate) gets: Vec<ApiRequest>,
+    /// The distinct watched/listed collections: (user, kind, namespace).
+    pub(crate) targets: Vec<(String, k8s_model::ResourceKind, String)>,
+}
+
+impl OperatorPools {
+    /// Gather every operator's objects (replicated `scale` times) with
+    /// their request coordinates.
+    pub(crate) fn gather(operators: &[Operator], scale: usize) -> Self {
+        assert!(scale > 0, "collections need at least one replica");
+        let name_path = kf_yaml::Path::parse("metadata.name").expect("static path");
+        let mut creates = Vec::new();
+        let mut gets = Vec::new();
+        let mut targets = Vec::new();
+        for operator in operators {
+            let driver = DeploymentDriver::new(*operator);
+            let user = operator.user();
+            for object in driver.objects() {
+                let namespace = if object.kind().is_namespaced() {
+                    operator.namespace()
+                } else {
+                    ""
+                };
+                for replica in 0..scale {
+                    let variant = if replica == 0 {
+                        object.clone()
+                    } else {
+                        // Copy-on-write rename: the clone splits off its own
+                        // tree, the original keeps its name.
+                        let mut copy = object.clone();
+                        copy.set_field(
+                            &name_path,
+                            kf_yaml::Value::from(format!("{}-{replica}", object.name()).as_str()),
+                        )
+                        .expect("chart objects carry a metadata mapping");
+                        copy
+                    };
+                    let mut request = ApiRequest::create(&user, &variant);
+                    if variant.kind().is_namespaced() {
+                        request.namespace = namespace.to_owned();
+                    }
+                    gets.push(ApiRequest::get(
+                        &user,
+                        variant.kind(),
+                        namespace,
+                        variant.name(),
+                    ));
+                    creates.push(request);
+                }
+                let target = (user.clone(), object.kind(), namespace.to_owned());
+                if !targets.contains(&target) {
+                    targets.push(target);
+                }
+            }
+        }
+        assert!(
+            !gets.is_empty(),
+            "mixed pools need at least one operator object"
+        );
+        OperatorPools {
+            creates,
+            gets,
+            targets,
+        }
+    }
+
+    /// Interleave the pools into one deterministic request stream: one mix
+    /// cycle per distinct object, separate cursors cycling each request
+    /// class over its targets, so every run replays identical traffic.
+    pub(crate) fn interleave(&self, mix: MixRatio) -> Vec<ApiRequest> {
+        let cycles = self.gets.len();
+        let mut requests = Vec::with_capacity(cycles * mix.cycle_len());
+        let (mut c, mut g, mut l, mut w) = (0usize, 0usize, 0usize, 0usize);
+        for _ in 0..cycles {
+            for _ in 0..mix.create {
+                requests.push(self.creates[c % self.creates.len()].clone());
+                c += 1;
+            }
+            for _ in 0..mix.get {
+                requests.push(self.gets[g % self.gets.len()].clone());
+                g += 1;
+            }
+            for _ in 0..mix.list {
+                let (user, kind, namespace) = &self.targets[l % self.targets.len()];
+                requests.push(ApiRequest::list(user, *kind, namespace));
+                l += 1;
+            }
+            for _ in 0..mix.watch {
+                // Initial watches (no cursor): the pool is static, so cursor
+                // management lives in the informer driver; pool replay still
+                // pushes every watch through RBAC, audit and the journal.
+                let (user, kind, namespace) = &self.targets[w % self.targets.len()];
+                requests.push(ApiRequest::watch(user, *kind, namespace, None));
+                w += 1;
+            }
+        }
+        requests
     }
 }
 
@@ -166,57 +302,9 @@ impl ThroughputDriver {
     /// [`ThroughputDriver::seed`] so reads hit from the first request.
     pub fn for_operators_mixed(operators: &[Operator], mix: MixRatio) -> Self {
         assert!(mix.cycle_len() > 0, "the mix must request something");
-        // Gather every operator's objects with their request coordinates.
-        let mut creates = Vec::new();
-        let mut gets = Vec::new();
-        let mut list_targets = Vec::new();
-        for operator in operators {
-            let driver = DeploymentDriver::new(*operator);
-            creates.extend(driver.requests());
-            for object in driver.objects() {
-                let namespace = if object.kind().is_namespaced() {
-                    operator.namespace()
-                } else {
-                    ""
-                };
-                gets.push(ApiRequest::get(
-                    &operator.user(),
-                    object.kind(),
-                    namespace,
-                    object.name(),
-                ));
-                let target = (operator.user(), object.kind(), namespace.to_owned());
-                if !list_targets.contains(&target) {
-                    list_targets.push(target);
-                }
-            }
-        }
-        assert!(
-            !gets.is_empty(),
-            "mixed pools need at least one operator object"
-        );
-        // One cycle per distinct object keeps the pool proportional to the
-        // workload size while visiting every target from every class.
-        let cycles = gets.len();
-        let mut requests = Vec::with_capacity(cycles * mix.cycle_len());
-        let (mut c, mut g, mut l) = (0usize, 0usize, 0usize);
-        for _ in 0..cycles {
-            for _ in 0..mix.create {
-                requests.push(creates[c % creates.len()].clone());
-                c += 1;
-            }
-            for _ in 0..mix.get {
-                requests.push(gets[g % gets.len()].clone());
-                g += 1;
-            }
-            for _ in 0..mix.list {
-                let (user, kind, namespace) = &list_targets[l % list_targets.len()];
-                requests.push(ApiRequest::list(user, *kind, namespace));
-                l += 1;
-            }
-        }
+        let pools = OperatorPools::gather(operators, 1);
         ThroughputDriver {
-            requests,
+            requests: pools.interleave(mix),
             attack_count: 0,
         }
     }
@@ -471,6 +559,26 @@ mod tests {
         // gets and lists hit stored objects.
         assert_eq!(report.denied, 0);
         assert_eq!(report.admitted, 120);
+    }
+
+    #[test]
+    fn watch_heavy_pools_include_watch_requests() {
+        let mix = MixRatio::WATCH_HEAVY;
+        assert_eq!(mix.label(), "c2:g1:l1:w12");
+        let driver = ThroughputDriver::for_operators_mixed(&[Operator::Nginx], mix);
+        let watches = driver
+            .requests()
+            .iter()
+            .filter(|r| r.verb == k8s_model::Verb::Watch)
+            .count();
+        let cycles = driver.requests().len() / mix.cycle_len();
+        assert_eq!(watches, cycles * mix.watch);
+        // Replay against a seeded permissive server: watches succeed and
+        // return watch batches.
+        let server = ApiServer::new().with_admin(&Operator::Nginx.user());
+        driver.seed(&server);
+        let report = driver.run(&server, 2, 40);
+        assert_eq!(report.denied, 0);
     }
 
     #[test]

@@ -48,6 +48,7 @@ fn main() {
         namespace: "web".to_owned(),
         name: "mystery".to_owned(),
         content_type: None,
+        resource_version: None,
         body: kf_yaml::parse("not: a\nkubernetes: object\n")
             .unwrap()
             .into(),
