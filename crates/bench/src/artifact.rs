@@ -1,0 +1,398 @@
+//! Tracked perf-trajectory artifacts: machine-readable scaling curves the
+//! benches emit, commit at the repo root (`BENCH_writepath.json`), and
+//! compare against across PRs.
+//!
+//! README tables show a snapshot; the JSON artifact is the **trajectory**:
+//! per-thread curves (req/s, events/s, p50/p99) per store backend and
+//! traffic mix, stamped with a schema version so CI can detect a committed
+//! artifact that predates the current schema. Everything is serialized
+//! through `kf_yaml`'s JSON support — no external serializer.
+//!
+//! Layout (schema version [`BENCH_SCHEMA_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "writepath_scaling",
+//!   "mode": "full",
+//!   "curves": [
+//!     { "backend": "zero-copy", "mix": "c8:g1:l1",
+//!       "points": [ { "threads": 1, "req_per_sec": ..., "events_per_sec": ...,
+//!                     "p50_us": ..., "p99_us": ... }, ... ] }
+//!   ]
+//! }
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use kf_yaml::{Mapping, Value};
+
+/// Version of the artifact layout. Bump when fields change shape; the
+/// staleness check (`kf-bench` unit tests + the CI parity job) fails any
+/// committed `BENCH_*.json` whose stamp disagrees, forcing a regeneration
+/// with the documented bench invocation.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
+
+/// One measured point of a scaling curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePoint {
+    /// Replay thread count.
+    pub threads: usize,
+    /// Sustained requests per second across all threads.
+    pub req_per_sec: f64,
+    /// Watch-journal events published per second (write revisions over the
+    /// run's wall clock) — the write plane's delivery-side throughput.
+    pub events_per_sec: f64,
+    /// Median per-request `handle` latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-request `handle` latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// A per-thread scaling curve for one (backend, mix) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingCurve {
+    /// Store backend label (`zero-copy` / `baseline`).
+    pub backend: String,
+    /// Mix label (`kf_workloads::MixRatio::label`, e.g. `c8:g1:l1`).
+    pub mix: String,
+    /// Points in ascending thread order.
+    pub points: Vec<CurvePoint>,
+}
+
+/// A complete bench artifact: schema stamp, provenance, curves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArtifact {
+    /// Layout version, must equal [`BENCH_SCHEMA_VERSION`] to be current.
+    pub schema_version: i64,
+    /// Which bench produced it (`writepath_scaling`).
+    pub bench: String,
+    /// `full` for committed artifacts, `smoke` for CI smoke output.
+    pub mode: String,
+    /// The measured curves.
+    pub curves: Vec<ScalingCurve>,
+}
+
+impl BenchArtifact {
+    /// A fresh artifact stamped with the current schema version.
+    pub fn new(bench: &str, mode: &str) -> Self {
+        BenchArtifact {
+            schema_version: BENCH_SCHEMA_VERSION,
+            bench: bench.to_owned(),
+            mode: mode.to_owned(),
+            curves: Vec::new(),
+        }
+    }
+
+    /// The repo-root path of a committed artifact (`BENCH_writepath.json`
+    /// lives next to `README.md`, two levels above this crate).
+    pub fn repo_root_path(file_name: &str) -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(file_name)
+    }
+
+    /// Serialize to pretty-stable JSON (insertion-ordered mappings).
+    pub fn to_json(&self) -> String {
+        let mut root = Mapping::new();
+        root.insert("schema_version", Value::Int(self.schema_version));
+        root.insert("bench", Value::from(self.bench.as_str()));
+        root.insert("mode", Value::from(self.mode.as_str()));
+        let curves: Vec<Value> = self
+            .curves
+            .iter()
+            .map(|curve| {
+                let mut c = Mapping::new();
+                c.insert("backend", Value::from(curve.backend.as_str()));
+                c.insert("mix", Value::from(curve.mix.as_str()));
+                let points: Vec<Value> = curve
+                    .points
+                    .iter()
+                    .map(|point| {
+                        let mut p = Mapping::new();
+                        p.insert("threads", Value::from(point.threads));
+                        p.insert("req_per_sec", Value::Float(point.req_per_sec));
+                        p.insert("events_per_sec", Value::Float(point.events_per_sec));
+                        p.insert("p50_us", Value::Float(point.p50_us));
+                        p.insert("p99_us", Value::Float(point.p99_us));
+                        Value::Map(p)
+                    })
+                    .collect();
+                c.insert("points", Value::Seq(points));
+                Value::Map(c)
+            })
+            .collect();
+        root.insert("curves", Value::Seq(curves));
+        kf_yaml::to_json(&Value::Map(root))
+    }
+
+    /// Parse an artifact back out of its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed or missing field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = kf_yaml::parse_json(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let root = root.as_map().ok_or("artifact root must be an object")?;
+        let field = |name: &str| root.get(name).ok_or(format!("missing field `{name}`"));
+        let schema_version = field("schema_version")?
+            .as_i64()
+            .ok_or("schema_version must be an integer")?;
+        let bench = field("bench")?
+            .as_str()
+            .ok_or("bench must be a string")?
+            .to_owned();
+        let mode = field("mode")?
+            .as_str()
+            .ok_or("mode must be a string")?
+            .to_owned();
+        let mut curves = Vec::new();
+        for curve in field("curves")?.as_seq().ok_or("curves must be an array")? {
+            let curve = curve.as_map().ok_or("curve must be an object")?;
+            let mut points = Vec::new();
+            for point in curve
+                .get("points")
+                .and_then(Value::as_seq)
+                .ok_or("curve.points must be an array")?
+            {
+                let point = point.as_map().ok_or("point must be an object")?;
+                let num = |name: &str| {
+                    point
+                        .get(name)
+                        .and_then(Value::as_f64)
+                        .ok_or(format!("point.{name} must be a number"))
+                };
+                points.push(CurvePoint {
+                    threads: num("threads")? as usize,
+                    req_per_sec: num("req_per_sec")?,
+                    events_per_sec: num("events_per_sec")?,
+                    p50_us: num("p50_us")?,
+                    p99_us: num("p99_us")?,
+                });
+            }
+            curves.push(ScalingCurve {
+                backend: curve
+                    .get("backend")
+                    .and_then(Value::as_str)
+                    .ok_or("curve.backend must be a string")?
+                    .to_owned(),
+                mix: curve
+                    .get("mix")
+                    .and_then(Value::as_str)
+                    .ok_or("curve.mix must be a string")?
+                    .to_owned(),
+                points,
+            });
+        }
+        Ok(BenchArtifact {
+            schema_version,
+            bench,
+            mode,
+            curves,
+        })
+    }
+
+    /// Load and parse an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// The I/O or parse failure, as text.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+
+    /// Write the artifact as JSON (with a trailing newline, as committed
+    /// files want).
+    ///
+    /// # Errors
+    ///
+    /// The underlying filesystem error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json()))
+    }
+
+    /// Whether a **committed** artifact is current: schema stamp matches
+    /// and it was produced by a full (non-smoke) run.
+    ///
+    /// # Errors
+    ///
+    /// A description of what is stale, for the CI check's output.
+    pub fn validate_committed(&self) -> Result<(), String> {
+        if self.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != current {} — regenerate with the documented bench \
+                 invocation",
+                self.schema_version, BENCH_SCHEMA_VERSION
+            ));
+        }
+        if self.mode != "full" {
+            return Err(format!(
+                "mode `{}` — committed artifacts must come from a full run, not smoke",
+                self.mode
+            ));
+        }
+        if self.curves.is_empty() || self.curves.iter().any(|c| c.points.is_empty()) {
+            return Err("artifact has empty curves".to_owned());
+        }
+        Ok(())
+    }
+
+    /// The curve for a (backend, mix) pair, if present.
+    pub fn curve(&self, backend: &str, mix: &str) -> Option<&ScalingCurve> {
+        self.curves
+            .iter()
+            .find(|c| c.backend == backend && c.mix == mix)
+    }
+
+    /// A per-thread delta table of `self` (current run) against `baseline`
+    /// (the committed artifact), matched by (backend, mix, threads) —
+    /// printed into the CI job summary by `--compare`. Positive deltas mean
+    /// the current run is faster.
+    pub fn compare(&self, baseline: &BenchArtifact) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== {} vs committed baseline (schema v{} vs v{}) ===\n",
+            self.bench, self.schema_version, baseline.schema_version
+        ));
+        for curve in &self.curves {
+            let Some(reference) = baseline.curve(&curve.backend, &curve.mix) else {
+                out.push_str(&format!(
+                    "{}/{}: no baseline curve\n",
+                    curve.backend, curve.mix
+                ));
+                continue;
+            };
+            for point in &curve.points {
+                let Some(base) = reference.points.iter().find(|p| p.threads == point.threads)
+                else {
+                    out.push_str(&format!(
+                        "{}/{} {:>2} threads: no baseline point\n",
+                        curve.backend, curve.mix, point.threads
+                    ));
+                    continue;
+                };
+                let delta = |now: f64, then: f64| 100.0 * (now - then) / then.max(1e-9);
+                out.push_str(&format!(
+                    "{:<10} {:<10} {:>2} threads  req/s {:>12.0} ({:>+7.1}%)  events/s \
+                     {:>12.0} ({:>+7.1}%)  p99 {:>9.1} µs ({:>+7.1}%)\n",
+                    curve.backend,
+                    curve.mix,
+                    point.threads,
+                    point.req_per_sec,
+                    delta(point.req_per_sec, base.req_per_sec),
+                    point.events_per_sec,
+                    delta(point.events_per_sec, base.events_per_sec),
+                    point.p99_us,
+                    delta(point.p99_us, base.p99_us),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchArtifact {
+        let mut artifact = BenchArtifact::new("writepath_scaling", "full");
+        artifact.curves.push(ScalingCurve {
+            backend: "zero-copy".into(),
+            mix: "c8:g1:l1".into(),
+            points: vec![
+                CurvePoint {
+                    threads: 1,
+                    req_per_sec: 100_000.0,
+                    events_per_sec: 80_000.0,
+                    p50_us: 8.0,
+                    p99_us: 31.5,
+                },
+                CurvePoint {
+                    threads: 8,
+                    req_per_sec: 120_000.0,
+                    events_per_sec: 96_000.0,
+                    p50_us: 9.0,
+                    p99_us: 60.0,
+                },
+            ],
+        });
+        artifact
+    }
+
+    #[test]
+    fn artifacts_roundtrip_through_json() {
+        let artifact = sample();
+        let parsed = BenchArtifact::from_json(&artifact.to_json()).unwrap();
+        assert_eq!(parsed, artifact);
+        assert!(parsed.validate_committed().is_ok());
+        assert!(parsed.curve("zero-copy", "c8:g1:l1").is_some());
+        assert!(parsed.curve("baseline", "c8:g1:l1").is_none());
+    }
+
+    #[test]
+    fn staleness_is_detected() {
+        let mut stale = sample();
+        stale.schema_version = BENCH_SCHEMA_VERSION - 1;
+        assert!(stale.validate_committed().unwrap_err().contains("schema"));
+        let mut smoke = sample();
+        smoke.mode = "smoke".into();
+        assert!(smoke.validate_committed().unwrap_err().contains("smoke"));
+        let mut empty = sample();
+        empty.curves.clear();
+        assert!(empty.validate_committed().is_err());
+    }
+
+    #[test]
+    fn malformed_json_reports_the_field() {
+        assert!(BenchArtifact::from_json("{").is_err());
+        assert!(BenchArtifact::from_json("{\"schema_version\": 1}")
+            .unwrap_err()
+            .contains("bench"));
+        assert!(BenchArtifact::from_json("[1]")
+            .unwrap_err()
+            .contains("object"));
+    }
+
+    #[test]
+    fn compare_prints_per_thread_deltas() {
+        let baseline = sample();
+        let mut current = sample();
+        current.curves[0].points[1].req_per_sec = 150_000.0;
+        let table = current.compare(&baseline);
+        assert!(table.contains("+25.0%"));
+        assert!(table.contains("8 threads"));
+        // Missing baseline curves are reported, not panicked on.
+        let mut renamed = sample();
+        renamed.curves[0].backend = "other".into();
+        assert!(renamed.compare(&baseline).contains("no baseline curve"));
+    }
+
+    /// The tracked-artifact gate: the committed `BENCH_writepath.json` at
+    /// the repo root must exist, parse, carry the current schema version,
+    /// come from a full run, and cover both store backends at the standard
+    /// thread counts. Runs in tier-1 *and* as the CI parity job's
+    /// staleness-check step.
+    #[test]
+    fn committed_writepath_artifact_is_current() {
+        let path = BenchArtifact::repo_root_path("BENCH_writepath.json");
+        let artifact = BenchArtifact::load(&path)
+            .expect("BENCH_writepath.json must be committed at the repo root");
+        artifact
+            .validate_committed()
+            .expect("committed artifact must be current — regenerate: cargo bench -p kf-bench --bench writepath_scaling");
+        assert_eq!(artifact.bench, "writepath_scaling");
+        for backend in ["zero-copy", "baseline"] {
+            let curve = artifact
+                .curve(backend, "c8:g1:l1")
+                .unwrap_or_else(|| panic!("missing {backend} write-heavy curve"));
+            let threads: Vec<usize> = curve.points.iter().map(|p| p.threads).collect();
+            assert_eq!(threads, vec![1, 4, 8], "standard thread counts");
+            assert!(curve.points.iter().all(|p| p.req_per_sec > 0.0
+                && p.events_per_sec > 0.0
+                && p.p50_us > 0.0
+                && p.p99_us >= p.p50_us));
+        }
+    }
+}

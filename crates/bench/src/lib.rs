@@ -9,9 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use k8s_apiserver::ApiServer;
+mod artifact;
+
+pub use artifact::{BenchArtifact, CurvePoint, ScalingCurve, BENCH_SCHEMA_VERSION};
+
+use k8s_apiserver::{ApiServer, RequestHandler};
 use k8s_rbac::{audit2rbac, Audit2RbacOptions, RbacPolicySet};
-use kf_workloads::{DeploymentDriver, Operator};
+use kf_workloads::{DeploymentDriver, Operator, ThroughputDriver};
 use kubefence::{GeneratorConfig, PolicyGenerator, Validator};
 
 /// Generate the KubeFence validator for an operator, exactly as the
@@ -32,6 +36,38 @@ pub fn learned_rbac_policy(operator: Operator) -> RbacPolicySet {
         &operator.user(),
         &Audit2RbacOptions::default(),
     )
+}
+
+/// Learn one RBAC policy covering every operator's traffic in `driver`'s
+/// pool: replay it once against a permissive learning server, then run
+/// audit2rbac per operator user and merge the role objects — the paper's
+/// baseline-hardening recipe, extended to whatever verbs the pool contains.
+/// Shared by the throughput-style benches so they authorize identically.
+pub fn learned_mixed_policy(driver: &ThroughputDriver) -> RbacPolicySet {
+    let mut learning = ApiServer::new();
+    for operator in Operator::ALL {
+        learning = learning.with_admin(&operator.user());
+    }
+    driver.seed(&learning);
+    for request in driver.requests() {
+        learning.handle(request);
+    }
+    let log = learning.audit_log();
+    let mut merged = RbacPolicySet::new();
+    for operator in Operator::ALL {
+        let policy = audit2rbac(
+            log.events(),
+            &operator.user(),
+            &Audit2RbacOptions::default(),
+        );
+        for role in policy.roles() {
+            merged.add_role(role.clone());
+        }
+        for binding in policy.bindings() {
+            merged.add_binding(binding.clone());
+        }
+    }
+    merged
 }
 
 /// Whether the benches should run in **smoke mode**: a tiny, fixed-seed

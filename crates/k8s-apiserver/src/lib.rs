@@ -10,9 +10,10 @@
 //!   resource path, body, payload size);
 //! * [`ObjectStore`] — an etcd-like versioned in-memory store;
 //! * [`WatchEvent`] / [`WatchSubscription`] — the revision-indexed watch
-//!   plane: every write is published into a bounded per-kind journal, so
-//!   `Verb::Watch` streams incremental events (with `Gone`-on-compaction
-//!   semantics) instead of answering with a full list;
+//!   plane: every write is published into a bounded per-kind journal
+//!   (sub-sharded by namespace hash, batched publication on multi-write
+//!   paths), so `Verb::Watch` streams incremental events (with
+//!   `Gone`-on-compaction semantics) instead of answering with a full list;
 //! * [`ApiServer`] — request handling: authorization through an optional
 //!   [`k8s_rbac::RbacPolicySet`], object validation, persistence, audit
 //!   logging, and **CVE-trigger simulation** (a request whose specification
@@ -54,5 +55,6 @@ pub use server::{ApiServer, ExploitEvent, RequestHandler};
 pub use store::{BaselineStore, ObjectStore, StoreBackend, StoredObject};
 pub use vuln::VulnerabilityOracle;
 pub use watch::{
-    WatchDelta, WatchError, WatchEvent, WatchEventKind, WatchSubscription, DEFAULT_JOURNAL_CAPACITY,
+    namespace_shard, WatchDelta, WatchError, WatchEvent, WatchEventKind, WatchSubscription,
+    DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_SHARDS,
 };

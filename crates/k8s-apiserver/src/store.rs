@@ -25,6 +25,14 @@
 //! stored object's `Arc<Value>` — the journal costs handles, not trees. The
 //! baseline keeps the journal mechanics but deep-clones every delivered
 //! event, the per-subscriber copy the zero-copy plane eliminates.
+//!
+//! Since the write-path scale-out the journals are **namespace-sharded**
+//! (`DEFAULT_JOURNAL_SHARDS` sub-shards per kind, see `crate::watch`), so
+//! same-kind writers in different namespaces no longer serialize on one
+//! journal lock — and multi-write operations ([`ObjectStore::apply_batch`],
+//! [`ObjectStore::delete_collection`]) **stage** their events up front and
+//! publish each store shard's batch through one journal critical-section
+//! entry per touched sub-shard, amortizing the remaining lock traffic.
 
 use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
@@ -38,7 +46,8 @@ use k8s_model::{K8sObject, ResourceKind};
 use kf_yaml::Value;
 
 use crate::watch::{
-    KindJournals, WatchDelta, WatchError, WatchEventKind, DEFAULT_JOURNAL_CAPACITY,
+    KindJournals, StagedEvent, WatchDelta, WatchError, WatchEventKind, DEFAULT_JOURNAL_CAPACITY,
+    DEFAULT_JOURNAL_SHARDS,
 };
 
 /// A stored object together with its resource version.
@@ -103,9 +112,11 @@ pub trait StoreBackend: Send + Sync {
     fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<Arc<StoredObject>>;
 
     /// Delete every object of a kind in a namespace (all namespaces when
-    /// `namespace` is empty), returning how many were removed. Each removal
-    /// goes through [`StoreBackend::delete`], so every object gets its own
-    /// revision bump and `Deleted` watch event.
+    /// `namespace` is empty), returning how many were removed. Every object
+    /// gets its own revision bump and `Deleted` watch event; the default
+    /// implementation routes each removal through [`StoreBackend::delete`],
+    /// while [`ObjectStore`] overrides it with a batched-publication path
+    /// (one journal critical-section entry per touched sub-shard).
     fn delete_collection(&self, kind: ResourceKind, namespace: &str) -> usize {
         let mut deleted = 0;
         for stored in self.list(kind, namespace) {
@@ -117,6 +128,18 @@ pub trait StoreBackend: Send + Sync {
             }
         }
         deleted
+    }
+
+    /// Upsert a batch of objects, returning `(resource_version, created)`
+    /// per object aligned to the input order — the bulk-load path workload
+    /// seeding and replay use. Semantically identical to calling
+    /// [`StoreBackend::upsert`] per object (which is the default
+    /// implementation, and what [`BaselineStore`] does); [`ObjectStore`]
+    /// overrides it to stage every event up front and publish per store
+    /// shard through one journal critical-section entry per touched
+    /// sub-shard.
+    fn apply_batch(&self, objects: Vec<K8sObject>) -> Vec<(u64, bool)> {
+        objects.into_iter().map(|o| self.upsert(o)).collect()
     }
 
     /// Every watch event of `kind` with revision strictly greater than
@@ -218,13 +241,21 @@ impl ObjectStore {
     }
 
     /// An empty store whose watch journals retain at most `capacity` events
-    /// per kind (tests use tiny capacities to exercise compaction; the
-    /// default is [`DEFAULT_JOURNAL_CAPACITY`]).
+    /// per namespace sub-shard (tests use tiny capacities to exercise
+    /// compaction; the default is [`DEFAULT_JOURNAL_CAPACITY`]), with the
+    /// default sub-shard count.
     pub fn with_journal_capacity(capacity: usize) -> Self {
+        ObjectStore::with_journal_config(capacity, DEFAULT_JOURNAL_SHARDS)
+    }
+
+    /// An empty store with full journal control: `capacity` events retained
+    /// per sub-shard, `shard_count` namespace sub-shards per kind (tests
+    /// use small counts to force or avoid sub-shard collisions).
+    pub fn with_journal_config(capacity: usize, shard_count: usize) -> Self {
         ObjectStore {
             shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
             revision: AtomicU64::new(0),
-            journals: KindJournals::new(capacity),
+            journals: KindJournals::new(capacity, shard_count),
         }
     }
 
@@ -293,8 +324,10 @@ impl ObjectStore {
     /// lets an initial-list scan pair a journal cursor with a consistent
     /// view of the store (see `docs/watch-plane.md`).
     fn publish(&self, key: &Key, event: WatchEventKind, body: &Arc<Value>) -> u64 {
-        self.journals
-            .publish(&self.revision, key.0, event, &key.1, &key.2, body)
+        self.journals.publish(
+            &self.revision,
+            StagedEvent::new(key.0, event, &key.1, &key.2, body),
+        )
     }
 
     /// Create the object if absent, update it otherwise (the `kubectl apply`
@@ -323,6 +356,102 @@ impl ObjectStore {
             }),
         );
         (version, replaced.is_none())
+    }
+
+    /// Upsert a batch of objects with **batched journal publication**: the
+    /// batch is grouped by store shard; per shard, every event envelope is
+    /// staged while classifying Added vs Modified (in-batch earlier writes
+    /// to the same key count as existing), then published through one
+    /// journal critical-section entry per touched sub-shard — all while the
+    /// store shard's write lock is held, so the [`ObjectStore::publish`]
+    /// ordering contract carries over unchanged. Returns
+    /// `(resource_version, created)` aligned to the input order.
+    pub fn apply_batch(&self, objects: Vec<K8sObject>) -> Vec<(u64, bool)> {
+        let mut results = vec![(0u64, false); objects.len()];
+        let mut groups: Vec<Vec<(usize, K8sObject)>> = Vec::new();
+        groups.resize_with(SHARDS, Vec::new);
+        for (index, object) in objects.into_iter().enumerate() {
+            groups[shard_index(&key_of(&object))].push((index, object));
+        }
+        for (shard_no, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[shard_no].write();
+            let mut staged = Vec::with_capacity(group.len());
+            let mut pending: Vec<(usize, K8sObject, Key, bool)> = Vec::with_capacity(group.len());
+            for (index, object) in group {
+                let key = key_of(&object);
+                let exists =
+                    shard.contains_key(&key) || pending.iter().any(|(_, _, seen, _)| *seen == key);
+                let event = if exists {
+                    WatchEventKind::Modified
+                } else {
+                    WatchEventKind::Added
+                };
+                staged.push(StagedEvent::new(
+                    key.0,
+                    event,
+                    &key.1,
+                    &key.2,
+                    object.shared_body(),
+                ));
+                pending.push((index, object, key, !exists));
+            }
+            // Same-key events share a sub-shard, so their revisions are
+            // assigned in batch order: the last write wins in the map AND
+            // carries the highest version.
+            let revisions = self.journals.publish_batch(&self.revision, staged);
+            for ((index, object, key, created), version) in pending.into_iter().zip(revisions) {
+                results[index] = (version, created);
+                shard.insert(
+                    key,
+                    Arc::new(StoredObject {
+                        object,
+                        resource_version: version,
+                    }),
+                );
+            }
+        }
+        results
+    }
+
+    /// Delete every object of a kind in a namespace (all namespaces when
+    /// `namespace` is empty) with batched journal publication: per store
+    /// shard, the matching keys are range-scanned and removed, their
+    /// `Deleted` events staged (each carrying the object's last stored
+    /// tree), and the whole shard's batch published through one journal
+    /// critical-section entry per touched sub-shard — before the store
+    /// shard's write lock is released, so a racing re-create of the same
+    /// name is guaranteed a later revision than the deletion it follows.
+    pub fn delete_collection(&self, kind: ResourceKind, namespace: &str) -> usize {
+        let lower = list_lower_bound(kind, namespace);
+        let mut deleted = 0;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            let keys: Vec<Key> = guard
+                .range((Bound::Included(&lower), Bound::Unbounded))
+                .take_while(|(key, _)| list_key_matches(key, kind, namespace))
+                .map(|(key, _)| key.clone())
+                .collect();
+            if keys.is_empty() {
+                continue;
+            }
+            let mut staged = Vec::with_capacity(keys.len());
+            for key in keys {
+                let stored = guard.remove(&key).expect("scanned under this write lock");
+                staged.push(StagedEvent::new(
+                    key.0,
+                    WatchEventKind::Deleted,
+                    &key.1,
+                    &key.2,
+                    stored.object.shared_body(),
+                ));
+            }
+            deleted += staged.len();
+            self.journals.publish_batch(&self.revision, staged);
+        }
+        deleted
     }
 
     /// Fetch an object by kind, namespace and name. Returns a shared handle
@@ -367,7 +496,8 @@ impl ObjectStore {
         namespace: &str,
         revision: u64,
     ) -> Result<WatchDelta, WatchError> {
-        self.journals.events_since(kind, namespace, revision, false)
+        self.journals
+            .events_since(&self.revision, kind, namespace, revision, false)
     }
 
     /// The highest revision published to `kind`'s watch journal — see
@@ -448,6 +578,14 @@ impl StoreBackend for ObjectStore {
         ObjectStore::list(self, kind, namespace)
     }
 
+    fn delete_collection(&self, kind: ResourceKind, namespace: &str) -> usize {
+        ObjectStore::delete_collection(self, kind, namespace)
+    }
+
+    fn apply_batch(&self, objects: Vec<K8sObject>) -> Vec<(u64, bool)> {
+        ObjectStore::apply_batch(self, objects)
+    }
+
     fn events_since(
         &self,
         kind: ResourceKind,
@@ -505,7 +643,7 @@ impl BaselineStore {
         BaselineStore {
             shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
             revision: AtomicU64::new(0),
-            journals: KindJournals::new(DEFAULT_JOURNAL_CAPACITY),
+            journals: KindJournals::new(DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_SHARDS),
         }
     }
 
@@ -514,8 +652,10 @@ impl BaselineStore {
     }
 
     fn publish(&self, key: &Key, event: WatchEventKind, body: &Arc<Value>) -> u64 {
-        self.journals
-            .publish(&self.revision, key.0, event, &key.1, &key.2, body)
+        self.journals.publish(
+            &self.revision,
+            StagedEvent::new(key.0, event, &key.1, &key.2, body),
+        )
     }
 
     /// Deep-clone a stored object out of the store, exactly as the
@@ -611,7 +751,8 @@ impl StoreBackend for BaselineStore {
     ) -> Result<WatchDelta, WatchError> {
         // The pre-refactor delivery discipline: every subscriber gets its
         // own deep copy of every event's tree, every time.
-        self.journals.events_since(kind, namespace, revision, true)
+        self.journals
+            .events_since(&self.revision, kind, namespace, revision, true)
     }
 
     fn watch_revision(&self, kind: ResourceKind) -> u64 {
@@ -922,6 +1063,89 @@ mod tests {
         // All namespaces at once.
         assert_eq!(store.delete_collection(ResourceKind::Pod, ""), 1);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn apply_batch_matches_per_object_upserts() {
+        let store = ObjectStore::new();
+        store
+            .create(object(ResourceKind::Pod, "pre", "ns1"))
+            .unwrap();
+        let results = store.apply_batch(vec![
+            object(ResourceKind::Pod, "a", "ns1"),
+            object(ResourceKind::Pod, "pre", "ns1"),
+            object(ResourceKind::Pod, "b", "ns2"),
+            object(ResourceKind::Service, "s", "ns1"),
+        ]);
+        assert_eq!(results.len(), 4);
+        // Every revision unique, continuing after the pre-existing write.
+        let mut versions: Vec<u64> = results.iter().map(|(v, _)| *v).collect();
+        versions.sort_unstable();
+        assert_eq!(versions, vec![2, 3, 4, 5]);
+        // created flags: only "pre" already existed.
+        assert_eq!(
+            results
+                .iter()
+                .map(|(_, created)| *created)
+                .collect::<Vec<_>>(),
+            vec![true, false, true, true]
+        );
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.revision(), 5);
+        // Stored versions match the returned ones.
+        for (result, (kind, ns, name)) in results.iter().zip([
+            (ResourceKind::Pod, "ns1", "a"),
+            (ResourceKind::Pod, "ns1", "pre"),
+            (ResourceKind::Pod, "ns2", "b"),
+            (ResourceKind::Service, "ns1", "s"),
+        ]) {
+            assert_eq!(
+                store.get(kind, ns, name).unwrap().resource_version,
+                result.0
+            );
+        }
+        // The journal replays one event per batch entry, in revision order.
+        let events = store.events_since(ResourceKind::Pod, "", 1).unwrap().events;
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].revision < w[1].revision));
+    }
+
+    #[test]
+    fn apply_batch_orders_in_batch_duplicates_last_write_wins() {
+        let store = ObjectStore::new();
+        let first = object(ResourceKind::Pod, "dup", "ns");
+        let second = object(ResourceKind::Pod, "dup", "ns");
+        let winning_tree = Arc::clone(second.shared_body());
+        let results = store.apply_batch(vec![first, second]);
+        assert!(results[0].1, "first write creates");
+        assert!(!results[1].1, "second write modifies");
+        assert!(results[0].0 < results[1].0, "batch order assigns versions");
+        let stored = store.get(ResourceKind::Pod, "ns", "dup").unwrap();
+        assert_eq!(stored.resource_version, results[1].0);
+        assert!(Arc::ptr_eq(stored.object.shared_body(), &winning_tree));
+        // The journal saw Added then Modified.
+        let events = store
+            .events_since(ResourceKind::Pod, "ns", 0)
+            .unwrap()
+            .events;
+        assert_eq!(
+            events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            vec![WatchEventKind::Added, WatchEventKind::Modified]
+        );
+    }
+
+    #[test]
+    fn baseline_apply_batch_uses_the_per_object_default() {
+        let store = BaselineStore::new();
+        let results = StoreBackend::apply_batch(
+            &store,
+            vec![
+                object(ResourceKind::Pod, "a", "ns"),
+                object(ResourceKind::Pod, "a", "ns"),
+            ],
+        );
+        assert_eq!(results, vec![(1, true), (2, false)]);
+        assert_eq!(StoreBackend::len(&store), 1);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! The revision-indexed watch plane: bounded per-kind event journals.
+//! The revision-indexed watch plane: bounded, namespace-sharded per-kind
+//! event journals.
 //!
 //! Every store write publishes a [`WatchEvent`] into the journal of the
 //! written kind, keyed by the store's global revision counter. The journal is
@@ -6,6 +7,18 @@
 //! `R` asks for "everything after `R`" and receives exactly the writes it
 //! missed, in revision order — no list, no snapshot, no polling the whole
 //! collection.
+//!
+//! Since the write-path scale-out each per-kind journal is **sub-sharded by
+//! namespace hash** ([`DEFAULT_JOURNAL_SHARDS`] sub-shards per kind, each
+//! behind its own lock): same-kind writers in different namespaces no longer
+//! serialize on one journal mutex, and a namespace-scoped subscriber reads
+//! exactly its own sub-shard instead of filtering the whole kind's delta
+//! suffix linearly. Publication is **batched**: events are fully staged
+//! (strings, `Arc` clone) before any journal lock is taken, and multi-write
+//! operations enter each touched sub-shard's critical section **once** for
+//! the whole batch ([`KindJournals::publish_batch`]), amortizing the lock.
+//! Revision allocation stays inside the journal critical section, so each
+//! sub-shard remains a gapless-by-construction revision sequence.
 //!
 //! Two disciplines matter here, both inherited from the zero-copy
 //! persistence plane:
@@ -15,19 +28,25 @@
 //!   subscribers never copies a document tree. (The deep-clone
 //!   [`crate::BaselineStore`] copies the tree out per event per call, which
 //!   is exactly the per-subscriber cost the journal design avoids.)
-//! * **Bounded memory** — each kind's journal retains at most `capacity`
-//!   events. Older events are compacted away; a cursor that predates the
-//!   compaction horizon gets [`WatchError::Gone`] and must re-list, exactly
-//!   like a Kubernetes client receiving HTTP 410 from a compacted etcd.
+//! * **Bounded memory** — each sub-shard retains at most `capacity` events.
+//!   Older events are compacted away; a cursor that predates the compaction
+//!   horizon of **any sub-shard it needs** gets [`WatchError::Gone`] and
+//!   must re-list, exactly like a Kubernetes client receiving HTTP 410 from
+//!   a compacted etcd. A namespace-scoped cursor needs only its own
+//!   sub-shard, so foreign-namespace churn can no longer force a spurious
+//!   re-list.
 //!
-//! Ordering correctness: a revision is **allocated and published under the
-//! journal's lock**, so the journal of one kind is always a strictly
-//! increasing revision sequence with no gap that could be filled later — a
-//! reader that has seen revision `R` can never miss an event `≤ R` by
-//! advancing its cursor. See `docs/watch-plane.md` for the full argument.
+//! Ordering correctness: a revision is **allocated and published under its
+//! sub-shard's lock**, so every sub-shard is a strictly increasing revision
+//! sequence with no gap that could be filled later; revisions are globally
+//! totally ordered (one atomic counter), so a k-way **merge-on-read by
+//! revision** over the sub-shards reconstructs the per-kind order exactly —
+//! the merge is correct by construction. See `docs/watch-plane.md` for the
+//! full argument.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -112,25 +131,28 @@ impl WatchEvent {
 pub struct WatchDelta {
     /// The matching events after the requested cursor, in revision order.
     pub events: Vec<WatchEvent>,
-    /// The journal's head revision at delivery time (never below the
-    /// requested cursor). Resuming from here is lossless: every revision
-    /// between the last delivered event and this value failed the
-    /// namespace filter — which is what lets a quiet-namespace watcher on
-    /// a busy kind ride bookmarks past foreign churn instead of falling
-    /// behind the compaction horizon.
+    /// The global revision counter at delivery time (never below the
+    /// requested cursor), read while the scanned sub-shards are locked so
+    /// no matching event `<=` it can be published afterwards. Resuming from
+    /// here is lossless: every revision between the last delivered event
+    /// and this value either failed the namespace filter or belongs to
+    /// another kind or sub-shard — which is what lets a quiet-namespace
+    /// watcher on a busy kind ride bookmarks past foreign churn instead of
+    /// falling behind the compaction horizon.
     pub resume: u64,
 }
 
 /// Why an incremental read could not be served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WatchError {
-    /// The requested cursor predates the journal's compaction horizon: some
-    /// events after it have been dropped, so the only consistent recovery is
-    /// a fresh list (initial watch) and a new cursor. `compacted_through` is
-    /// the highest revision that is no longer replayable.
+    /// The requested cursor predates the compaction horizon of a journal
+    /// sub-shard the read needs: some events after it have been dropped, so
+    /// the only consistent recovery is a fresh list (initial watch) and a
+    /// new cursor. `compacted_through` is the highest revision that is no
+    /// longer replayable.
     Gone {
-        /// Highest revision dropped by compaction; cursors `>=` this value
-        /// are still servable.
+        /// Highest revision dropped by compaction among the needed
+        /// sub-shards; cursors `>=` this value are still servable.
         compacted_through: u64,
     },
 }
@@ -147,142 +169,335 @@ impl fmt::Display for WatchError {
     }
 }
 
-/// Default per-kind journal capacity: enough to absorb the bursts the
+/// Default per-sub-shard journal capacity: enough to absorb the bursts the
 /// throughput drivers generate between reconcile ticks, small enough that a
-/// store never holds more than a few thousand event envelopes per kind (the
-/// envelopes are handles — the trees they point at live in the store anyway).
+/// store never holds more than a few thousand event envelopes per sub-shard
+/// (the envelopes are handles — the trees they point at live in the store
+/// anyway).
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
 
-/// One kind's bounded event journal.
+/// Default number of namespace sub-shards per kind journal. A small power of
+/// two: enough to spread the operator workloads' namespaces so same-kind
+/// writers in different namespaces do not serialize on one lock, cheap to
+/// merge on an all-namespaces read.
+pub const DEFAULT_JOURNAL_SHARDS: usize = 8;
+
+/// The journal sub-shard a namespace's events land in (and the only
+/// sub-shard a namespace-scoped subscriber ever reads). Exposed so tests can
+/// construct namespaces that collide or diverge deliberately.
+pub fn namespace_shard(namespace: &str, shard_count: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    namespace.hash(&mut hasher);
+    (hasher.finish() as usize) % shard_count.max(1)
+}
+
+/// A fully-built event envelope waiting for its revision. Everything
+/// allocation-heavy — the namespace/name strings and the `Arc` clone —
+/// happens **before** any journal lock is taken, so the journal critical
+/// section is down to revision allocation and two deque operations.
+#[derive(Debug)]
+pub(crate) struct StagedEvent {
+    kind: ResourceKind,
+    event: WatchEventKind,
+    namespace: String,
+    name: String,
+    object: Arc<Value>,
+}
+
+impl StagedEvent {
+    pub(crate) fn new(
+        kind: ResourceKind,
+        event: WatchEventKind,
+        namespace: &str,
+        name: &str,
+        object: &Arc<Value>,
+    ) -> Self {
+        StagedEvent {
+            kind,
+            event,
+            namespace: namespace.to_owned(),
+            name: name.to_owned(),
+            object: Arc::clone(object),
+        }
+    }
+
+    fn into_event(self, revision: u64) -> WatchEvent {
+        WatchEvent {
+            kind: self.event,
+            revision,
+            namespace: self.namespace,
+            name: self.name,
+            object: Some(self.object),
+        }
+    }
+}
+
+/// One sub-shard's bounded event journal.
 #[derive(Debug, Default)]
 struct JournalInner {
     events: VecDeque<WatchEvent>,
     /// Highest revision dropped by compaction (0: nothing dropped yet).
     compacted_through: u64,
-    /// Highest revision ever published to this journal (0: none yet).
+    /// Highest revision ever published to this sub-shard (0: none yet).
     last_revision: u64,
 }
 
-/// The per-kind journals behind a store: one bounded buffer per
-/// [`ResourceKind`], each guarded by its own lock so watch traffic on one
-/// kind never contends with writes to another.
-#[derive(Debug)]
-pub(crate) struct KindJournals {
-    /// Read-write locks: only [`KindJournals::publish`] mutates a journal,
-    /// so concurrent subscribers drain deltas in parallel and contend with
-    /// writers only for the lock itself.
-    journals: Vec<RwLock<JournalInner>>,
-    capacity: usize,
-}
-
-impl KindJournals {
-    pub(crate) fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "journals need room for at least one event");
-        KindJournals {
-            journals: (0..ResourceKind::COUNT)
-                .map(|_| RwLock::new(JournalInner::default()))
-                .collect(),
-            capacity,
-        }
-    }
-
-    /// Allocate the next global revision **and** publish the event for it,
-    /// atomically with respect to readers of this kind's journal. This is
-    /// the linchpin of watch correctness: because allocation happens under
-    /// the journal lock, the journal is a gapless-by-construction revision
-    /// sequence — no event with a smaller revision can appear after a larger
-    /// one has been observed.
-    ///
-    /// Must be called while holding the written object's shard lock (see the
-    /// store write paths), so an initial-list scan that starts after a
-    /// published revision is guaranteed to observe the map effect too.
-    pub(crate) fn publish(
-        &self,
-        revision: &AtomicU64,
-        kind: ResourceKind,
-        event_kind: WatchEventKind,
-        namespace: &str,
-        name: &str,
-        object: &Arc<Value>,
-    ) -> u64 {
-        let mut inner = self.journals[kind.index()].write();
-        let assigned = revision.fetch_add(1, Ordering::Relaxed) + 1;
-        if inner.events.len() == self.capacity {
-            let dropped = inner.events.pop_front().expect("capacity > 0");
-            inner.compacted_through = dropped.revision;
-        }
-        inner.events.push_back(WatchEvent {
-            kind: event_kind,
-            revision: assigned,
-            namespace: namespace.to_owned(),
-            name: name.to_owned(),
-            object: Some(Arc::clone(object)),
-        });
-        inner.last_revision = assigned;
-        assigned
-    }
-
-    /// Every event of `kind` with revision strictly greater than `cursor`,
-    /// restricted to `namespace` when non-empty, in revision order —
-    /// together with the journal-head resume cursor ([`WatchDelta`]).
-    /// `copy` selects the delivery discipline: `false` hands out the
-    /// journal's own handles (zero-copy), `true` deep-clones each tree
-    /// (the baseline's per-subscriber copy).
-    pub(crate) fn events_since(
-        &self,
-        kind: ResourceKind,
-        namespace: &str,
-        cursor: u64,
-        copy: bool,
-    ) -> Result<WatchDelta, WatchError> {
-        let inner = self.journals[kind.index()].read();
-        if cursor < inner.compacted_through {
-            return Err(WatchError::Gone {
-                compacted_through: inner.compacted_through,
-            });
-        }
-        // The journal is sorted by revision: binary-search the resume point
-        // so an up-to-date subscriber pays for its deltas, not for the whole
-        // retained ring.
-        let (mut lo, mut hi) = (0usize, inner.events.len());
+impl JournalInner {
+    /// Index of the first retained event with revision strictly greater
+    /// than `cursor`. The sub-shard is sorted by revision, so the resume
+    /// point is binary-searched: an up-to-date subscriber pays for its
+    /// deltas, not for the whole retained ring.
+    fn suffix_start(&self, cursor: u64) -> usize {
+        let (mut lo, mut hi) = (0usize, self.events.len());
         while lo < hi {
             let mid = (lo + hi) / 2;
-            if inner.events[mid].revision <= cursor {
+            if self.events[mid].revision <= cursor {
                 lo = mid + 1;
             } else {
                 hi = mid;
             }
         }
-        let events = inner
-            .events
-            .range(lo..)
-            .filter(|event| namespace.is_empty() || event.namespace == namespace)
-            .map(|event| {
-                if copy {
-                    WatchEvent {
-                        object: event.object.as_ref().map(|tree| Arc::new((**tree).clone())),
-                        ..event.clone()
-                    }
-                } else {
-                    event.clone()
+        lo
+    }
+}
+
+/// The per-kind, namespace-sub-sharded journals behind a store:
+/// `ResourceKind::COUNT * shard_count` bounded buffers, each guarded by its
+/// own lock, so watch traffic on one kind never contends with writes to
+/// another — and same-kind writes to different namespaces do not contend
+/// either.
+#[derive(Debug)]
+pub(crate) struct KindJournals {
+    /// Read-write locks, flat-indexed `kind.index() * shard_count +
+    /// namespace_shard(ns)`: only publication mutates a sub-shard, so
+    /// concurrent subscribers drain deltas in parallel and contend with
+    /// writers only for the lock itself.
+    shards: Vec<RwLock<JournalInner>>,
+    shard_count: usize,
+    capacity: usize,
+}
+
+impl KindJournals {
+    pub(crate) fn new(capacity: usize, shard_count: usize) -> Self {
+        assert!(capacity > 0, "journals need room for at least one event");
+        assert!(shard_count > 0, "journals need at least one sub-shard");
+        KindJournals {
+            shards: (0..ResourceKind::COUNT * shard_count)
+                .map(|_| RwLock::new(JournalInner::default()))
+                .collect(),
+            shard_count,
+            capacity,
+        }
+    }
+
+    fn shard_of(&self, kind: ResourceKind, namespace: &str) -> &RwLock<JournalInner> {
+        &self.shards[kind.index() * self.shard_count + namespace_shard(namespace, self.shard_count)]
+    }
+
+    /// All sub-shards of one kind, in sub-shard order.
+    fn kind_shards(&self, kind: ResourceKind) -> &[RwLock<JournalInner>] {
+        let start = kind.index() * self.shard_count;
+        &self.shards[start..start + self.shard_count]
+    }
+
+    /// Allocate the next global revision and append the staged event, all
+    /// under the sub-shard's (already held) write lock. This is the linchpin
+    /// of watch correctness: because allocation happens inside the critical
+    /// section, each sub-shard is a gapless-by-construction revision
+    /// sequence — no event with a smaller revision can appear after a larger
+    /// one has been observed there.
+    fn push_locked(
+        inner: &mut JournalInner,
+        capacity: usize,
+        revision: &AtomicU64,
+        staged: StagedEvent,
+    ) -> u64 {
+        let assigned = revision.fetch_add(1, Ordering::Relaxed) + 1;
+        if inner.events.len() == capacity {
+            let dropped = inner.events.pop_front().expect("capacity > 0");
+            inner.compacted_through = dropped.revision;
+        }
+        inner.events.push_back(staged.into_event(assigned));
+        inner.last_revision = assigned;
+        assigned
+    }
+
+    /// Publish one staged event, allocating its revision inside its
+    /// sub-shard's critical section.
+    ///
+    /// Must be called while holding the written object's store-shard lock
+    /// (see the store write paths), so an initial-list scan that starts
+    /// after a published revision is guaranteed to observe the map effect
+    /// too.
+    pub(crate) fn publish(&self, revision: &AtomicU64, staged: StagedEvent) -> u64 {
+        let mut inner = self.shard_of(staged.kind, &staged.namespace).write();
+        Self::push_locked(&mut inner, self.capacity, revision, staged)
+    }
+
+    /// Publish a batch of staged events, entering each touched sub-shard's
+    /// critical section **once** for its whole group — the lock is paid per
+    /// sub-shard, not per event. Returns the assigned revisions aligned to
+    /// the input order. Events for the same object stay in input order (one
+    /// object maps to one sub-shard); across sub-shards the revisions of a
+    /// batch may interleave, which the total revision order absorbs.
+    ///
+    /// The same store-shard-lock contract as [`KindJournals::publish`]
+    /// applies.
+    pub(crate) fn publish_batch(&self, revision: &AtomicU64, staged: Vec<StagedEvent>) -> Vec<u64> {
+        let mut assigned = vec![0u64; staged.len()];
+        // Group input indices by sub-shard, preserving relative order.
+        let mut groups: Vec<Vec<(usize, StagedEvent)>> = Vec::new();
+        groups.resize_with(self.shard_count, Vec::new);
+        let mut kind: Option<ResourceKind> = None;
+        for (index, event) in staged.into_iter().enumerate() {
+            // Batches may span kinds; re-bucket lazily per kind run. The
+            // common callers (delete_collection, apply_batch groups) stay
+            // single-kind, so this loop almost never flushes early.
+            if kind.is_some_and(|k| k != event.kind) {
+                self.flush_groups(revision, kind.expect("checked"), &mut groups, &mut assigned);
+            }
+            kind = Some(event.kind);
+            groups[namespace_shard(&event.namespace, self.shard_count)].push((index, event));
+        }
+        if let Some(kind) = kind {
+            self.flush_groups(revision, kind, &mut groups, &mut assigned);
+        }
+        assigned
+    }
+
+    fn flush_groups(
+        &self,
+        revision: &AtomicU64,
+        kind: ResourceKind,
+        groups: &mut [Vec<(usize, StagedEvent)>],
+        assigned: &mut [u64],
+    ) {
+        let start = kind.index() * self.shard_count;
+        for (shard, group) in groups.iter_mut().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // One critical-section entry for the whole group.
+            let mut inner = self.shards[start + shard].write();
+            for (index, event) in group.drain(..) {
+                assigned[index] = Self::push_locked(&mut inner, self.capacity, revision, event);
+            }
+        }
+    }
+
+    /// Every event of `kind` with revision strictly greater than `cursor`,
+    /// restricted to `namespace` when non-empty, in revision order —
+    /// together with the resume cursor ([`WatchDelta`]).
+    ///
+    /// A namespace-scoped read locks and scans **only its own sub-shard**
+    /// (the fix for the old linear namespace filter over the whole delta
+    /// suffix); an all-namespaces read locks every sub-shard of the kind at
+    /// once and k-way-merges their suffixes by revision — correct by
+    /// construction because revisions are globally totally ordered. The
+    /// resume cursor is the global revision counter read while the scanned
+    /// sub-shards are locked: any event published later (to any scanned
+    /// sub-shard) must allocate a strictly larger revision.
+    ///
+    /// `copy` selects the delivery discipline: `false` hands out the
+    /// journal's own handles (zero-copy), `true` deep-clones each tree
+    /// (the baseline's per-subscriber copy).
+    pub(crate) fn events_since(
+        &self,
+        revision: &AtomicU64,
+        kind: ResourceKind,
+        namespace: &str,
+        cursor: u64,
+        copy: bool,
+    ) -> Result<WatchDelta, WatchError> {
+        let deliver = |event: &WatchEvent| {
+            if copy {
+                WatchEvent {
+                    object: event.object.as_ref().map(|tree| Arc::new((**tree).clone())),
+                    ..event.clone()
                 }
-            })
+            } else {
+                event.clone()
+            }
+        };
+        if !namespace.is_empty() {
+            // Namespace-scoped: exactly one sub-shard holds every event of
+            // this namespace, so only it is locked, searched and filtered
+            // (the filter now runs over same-sub-shard neighbours only).
+            let inner = self.shard_of(kind, namespace).read();
+            if cursor < inner.compacted_through {
+                return Err(WatchError::Gone {
+                    compacted_through: inner.compacted_through,
+                });
+            }
+            let events = inner
+                .events
+                .range(inner.suffix_start(cursor)..)
+                .filter(|event| event.namespace == namespace)
+                .map(deliver)
+                .collect();
+            return Ok(WatchDelta {
+                events,
+                resume: cursor.max(revision.load(Ordering::Relaxed)),
+            });
+        }
+        // All namespaces: hold every sub-shard's read lock at once (writers
+        // only ever hold one sub-shard lock, so this cannot deadlock), then
+        // merge the suffixes by revision.
+        let guards: Vec<_> = self
+            .kind_shards(kind)
+            .iter()
+            .map(|shard| shard.read())
             .collect();
+        let mut compacted_through = 0;
+        for guard in &guards {
+            if cursor < guard.compacted_through {
+                compacted_through = compacted_through.max(guard.compacted_through);
+            }
+        }
+        if compacted_through > 0 {
+            return Err(WatchError::Gone { compacted_through });
+        }
+        let mut heads: Vec<usize> = guards.iter().map(|g| g.suffix_start(cursor)).collect();
+        let total: usize = guards
+            .iter()
+            .zip(&heads)
+            .map(|(g, head)| g.events.len() - head)
+            .sum();
+        let mut events = Vec::with_capacity(total);
+        // k-way merge by revision: k is the sub-shard count (small), each
+        // suffix already sorted, so repeatedly taking the minimum head
+        // reconstructs the total order exactly.
+        while events.len() < total {
+            let next = guards
+                .iter()
+                .zip(&heads)
+                .enumerate()
+                .filter_map(|(i, (g, &head))| g.events.get(head).map(|event| (i, event.revision)))
+                .min_by_key(|&(_, revision)| revision)
+                .map(|(i, _)| i)
+                .expect("events remain below total");
+            events.push(deliver(&guards[next].events[heads[next]]));
+            heads[next] += 1;
+        }
         Ok(WatchDelta {
             events,
-            // Read under the same lock as the scan, so no matching event
-            // with a smaller revision can be published afterwards.
-            resume: cursor.max(inner.last_revision),
+            // Read while every sub-shard is locked, so no event of this
+            // kind with a smaller revision can be published afterwards.
+            resume: cursor.max(revision.load(Ordering::Relaxed)),
         })
     }
 
     /// The highest revision published to `kind`'s journal so far (0 when the
-    /// kind has never been written). Reading it under the journal lock makes
-    /// it a safe initial-list cursor: every event `≤` this value was fully
+    /// kind has never been written) — the max over its sub-shards. Safe as
+    /// an initial-list cursor: every event `≤` this value was fully
     /// published (and, per the [`KindJournals::publish`] contract, its store
     /// effect is visible to any scan that starts afterwards).
     pub(crate) fn watch_revision(&self, kind: ResourceKind) -> u64 {
-        self.journals[kind.index()].read().last_revision
+        self.kind_shards(kind)
+            .iter()
+            .map(|shard| shard.read().last_revision)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -315,16 +530,17 @@ impl WatchSubscription {
     }
 
     /// Pull every event published since the last poll, advancing the cursor
-    /// to the journal head (lossless: skipped revisions failed the
-    /// namespace filter), so even an event-free poll keeps the cursor
-    /// ahead of compaction. On [`WatchError::Gone`] the cursor is left
-    /// untouched — the caller re-lists and builds a fresh subscription
-    /// from the list's cursor.
+    /// to the delta's resume point (lossless: skipped revisions failed the
+    /// namespace filter or live in sub-shards this subscription does not
+    /// need), so even an event-free poll keeps the cursor ahead of
+    /// compaction. On [`WatchError::Gone`] the cursor is left untouched —
+    /// the caller re-lists and builds a fresh subscription from the list's
+    /// cursor.
     ///
     /// # Errors
     ///
-    /// [`WatchError::Gone`] when the cursor predates the journal's
-    /// compaction horizon.
+    /// [`WatchError::Gone`] when the cursor predates the compaction horizon
+    /// of a needed journal sub-shard.
     pub fn poll<S: crate::StoreBackend + ?Sized>(
         &mut self,
         store: &S,
@@ -343,30 +559,23 @@ mod tests {
         Arc::new(kf_yaml::parse(&format!("kind: Pod\nmetadata:\n  name: {name}\n")).unwrap())
     }
 
+    fn staged(event: WatchEventKind, ns: &str, name: &str, object: &Arc<Value>) -> StagedEvent {
+        StagedEvent::new(ResourceKind::Pod, event, ns, name, object)
+    }
+
     #[test]
     fn publish_assigns_strictly_increasing_revisions() {
-        let journals = KindJournals::new(16);
+        let journals = KindJournals::new(16, DEFAULT_JOURNAL_SHARDS);
         let counter = AtomicU64::new(0);
         let object = tree("a");
-        let r1 = journals.publish(
-            &counter,
-            ResourceKind::Pod,
-            WatchEventKind::Added,
-            "ns",
-            "a",
-            &object,
-        );
+        let r1 = journals.publish(&counter, staged(WatchEventKind::Added, "ns", "a", &object));
         let r2 = journals.publish(
             &counter,
-            ResourceKind::Pod,
-            WatchEventKind::Modified,
-            "ns",
-            "a",
-            &object,
+            staged(WatchEventKind::Modified, "ns", "a", &object),
         );
         assert!(r2 > r1);
         let delta = journals
-            .events_since(ResourceKind::Pod, "ns", 0, false)
+            .events_since(&counter, ResourceKind::Pod, "ns", 0, false)
             .unwrap();
         assert_eq!(delta.events.len(), 2);
         assert_eq!(delta.events[0].revision, r1);
@@ -378,24 +587,17 @@ mod tests {
 
     #[test]
     fn events_share_the_published_tree_unless_copying() {
-        let journals = KindJournals::new(16);
+        let journals = KindJournals::new(16, DEFAULT_JOURNAL_SHARDS);
         let counter = AtomicU64::new(0);
         let object = tree("a");
-        journals.publish(
-            &counter,
-            ResourceKind::Pod,
-            WatchEventKind::Added,
-            "ns",
-            "a",
-            &object,
-        );
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns", "a", &object));
         let zero_copy = journals
-            .events_since(ResourceKind::Pod, "ns", 0, false)
+            .events_since(&counter, ResourceKind::Pod, "ns", 0, false)
             .unwrap()
             .events;
         assert!(Arc::ptr_eq(zero_copy[0].object.as_ref().unwrap(), &object));
         let copied = journals
-            .events_since(ResourceKind::Pod, "ns", 0, true)
+            .events_since(&counter, ResourceKind::Pod, "ns", 0, true)
             .unwrap()
             .events;
         assert!(!Arc::ptr_eq(copied[0].object.as_ref().unwrap(), &object));
@@ -404,28 +606,14 @@ mod tests {
 
     #[test]
     fn namespace_filter_and_cursor_respect_the_contract() {
-        let journals = KindJournals::new(16);
+        let journals = KindJournals::new(16, DEFAULT_JOURNAL_SHARDS);
         let counter = AtomicU64::new(0);
         let object = tree("a");
-        let r1 = journals.publish(
-            &counter,
-            ResourceKind::Pod,
-            WatchEventKind::Added,
-            "ns1",
-            "a",
-            &object,
-        );
-        journals.publish(
-            &counter,
-            ResourceKind::Pod,
-            WatchEventKind::Added,
-            "ns2",
-            "b",
-            &object,
-        );
+        let r1 = journals.publish(&counter, staged(WatchEventKind::Added, "ns1", "a", &object));
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns2", "b", &object));
         assert_eq!(
             journals
-                .events_since(ResourceKind::Pod, "ns1", 0, false)
+                .events_since(&counter, ResourceKind::Pod, "ns1", 0, false)
                 .unwrap()
                 .events
                 .len(),
@@ -433,7 +621,7 @@ mod tests {
         );
         assert_eq!(
             journals
-                .events_since(ResourceKind::Pod, "", 0, false)
+                .events_since(&counter, ResourceKind::Pod, "", 0, false)
                 .unwrap()
                 .events
                 .len(),
@@ -441,55 +629,183 @@ mod tests {
         );
         assert_eq!(
             journals
-                .events_since(ResourceKind::Pod, "", r1, false)
+                .events_since(&counter, ResourceKind::Pod, "", r1, false)
                 .unwrap()
                 .events
                 .len(),
             1
         );
-        // A namespace-filtered delta still resumes from the journal head.
+        // A namespace-filtered delta still resumes from the global counter.
         let ns1 = journals
-            .events_since(ResourceKind::Pod, "ns1", r1, false)
+            .events_since(&counter, ResourceKind::Pod, "ns1", r1, false)
             .unwrap();
         assert!(ns1.events.is_empty());
         assert_eq!(ns1.resume, journals.watch_revision(ResourceKind::Pod));
     }
 
     #[test]
+    fn merged_reads_reconstruct_the_total_revision_order() {
+        // Interleave writes across enough namespaces to populate several
+        // sub-shards, then check the all-namespaces merge yields exactly
+        // the allocation order.
+        let journals = KindJournals::new(64, 4);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let mut expected = Vec::new();
+        for round in 0..12 {
+            let ns = format!("ns-{}", round % 5);
+            expected.push((
+                journals.publish(
+                    &counter,
+                    staged(WatchEventKind::Added, &ns, &format!("obj-{round}"), &object),
+                ),
+                ns,
+            ));
+        }
+        let delta = journals
+            .events_since(&counter, ResourceKind::Pod, "", 0, false)
+            .unwrap();
+        assert_eq!(
+            delta
+                .events
+                .iter()
+                .map(|e| (e.revision, e.namespace.clone()))
+                .collect::<Vec<_>>(),
+            expected
+        );
+        assert_eq!(delta.resume, 12);
+        // Mid-stream cursors binary-search into every sub-shard.
+        let suffix = journals
+            .events_since(&counter, ResourceKind::Pod, "", 7, false)
+            .unwrap();
+        assert_eq!(
+            suffix.events.iter().map(|e| e.revision).collect::<Vec<_>>(),
+            (8..=12).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn publish_batch_enters_each_sub_shard_once_and_keeps_input_alignment() {
+        let journals = KindJournals::new(16, 2);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let batch: Vec<StagedEvent> = (0..6)
+            .map(|i| {
+                staged(
+                    WatchEventKind::Deleted,
+                    &format!("ns-{}", i % 3),
+                    &format!("obj-{i}"),
+                    &object,
+                )
+            })
+            .collect();
+        let revisions = journals.publish_batch(&counter, batch);
+        assert_eq!(revisions.len(), 6);
+        // Every revision allocated exactly once.
+        let mut sorted = revisions.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=6).collect::<Vec<u64>>());
+        // Same-namespace events keep their input order (they share a
+        // sub-shard, so their revisions are assigned in batch order).
+        assert!(revisions[0] < revisions[3], "ns-0 order preserved");
+        assert!(revisions[1] < revisions[4], "ns-1 order preserved");
+        // The merged read replays the whole batch in revision order.
+        let delta = journals
+            .events_since(&counter, ResourceKind::Pod, "", 0, false)
+            .unwrap();
+        assert_eq!(delta.events.len(), 6);
+        assert!(delta
+            .events
+            .windows(2)
+            .all(|w| w[0].revision < w[1].revision));
+    }
+
+    #[test]
     fn compaction_reports_gone_for_stale_cursors() {
-        let journals = KindJournals::new(2);
+        let journals = KindJournals::new(2, DEFAULT_JOURNAL_SHARDS);
         let counter = AtomicU64::new(0);
         let object = tree("a");
         for i in 0..4 {
             journals.publish(
                 &counter,
-                ResourceKind::Pod,
-                WatchEventKind::Modified,
-                "ns",
-                &format!("obj-{i}"),
-                &object,
+                staged(WatchEventKind::Modified, "ns", &format!("obj-{i}"), &object),
             );
         }
-        // Revisions 1 and 2 were compacted away.
+        // Revisions 1 and 2 were compacted away (one namespace, so one
+        // sub-shard holds all four events).
         assert_eq!(
-            journals.events_since(ResourceKind::Pod, "ns", 0, false),
+            journals.events_since(&counter, ResourceKind::Pod, "ns", 0, false),
             Err(WatchError::Gone {
                 compacted_through: 2
             })
         );
         assert_eq!(
-            journals.events_since(ResourceKind::Pod, "ns", 1, false),
+            journals.events_since(&counter, ResourceKind::Pod, "ns", 1, false),
+            Err(WatchError::Gone {
+                compacted_through: 2
+            })
+        );
+        // The all-namespaces read needs that sub-shard too.
+        assert_eq!(
+            journals.events_since(&counter, ResourceKind::Pod, "", 1, false),
             Err(WatchError::Gone {
                 compacted_through: 2
             })
         );
         // A cursor at the horizon is still servable.
         let delta = journals
-            .events_since(ResourceKind::Pod, "ns", 2, false)
+            .events_since(&counter, ResourceKind::Pod, "ns", 2, false)
             .unwrap();
         assert_eq!(delta.events.len(), 2);
         assert_eq!(delta.events[0].revision, 3);
         assert_eq!(delta.resume, 4);
+    }
+
+    #[test]
+    fn foreign_sub_shard_compaction_does_not_gone_a_namespace_cursor() {
+        // Two namespaces in different sub-shards: churn one far past the
+        // capacity; a cursor scoped to the quiet namespace stays servable,
+        // while the all-namespaces cursor (which needs the churned
+        // sub-shard) gets Gone.
+        let shard_count = 4;
+        let journals = KindJournals::new(2, shard_count);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let quiet = "quiet".to_owned();
+        let busy = (0..64)
+            .map(|i| format!("busy-{i}"))
+            .find(|ns| namespace_shard(ns, shard_count) != namespace_shard(&quiet, shard_count))
+            .expect("some namespace hashes elsewhere");
+        journals.publish(
+            &counter,
+            staged(WatchEventKind::Added, &quiet, "q", &object),
+        );
+        for i in 0..6 {
+            journals.publish(
+                &counter,
+                staged(WatchEventKind::Added, &busy, &format!("b-{i}"), &object),
+            );
+        }
+        let quiet_delta = journals
+            .events_since(&counter, ResourceKind::Pod, &quiet, 0, false)
+            .unwrap();
+        assert_eq!(quiet_delta.events.len(), 1);
+        assert_eq!(quiet_delta.resume, 7);
+        assert!(matches!(
+            journals.events_since(&counter, ResourceKind::Pod, "", 0, false),
+            Err(WatchError::Gone { .. })
+        ));
+    }
+
+    #[test]
+    fn namespace_shard_is_stable_and_bounded() {
+        for shard_count in [1, 2, 8] {
+            for ns in ["", "default", "prod", "a-rather-long-namespace-name"] {
+                let shard = namespace_shard(ns, shard_count);
+                assert!(shard < shard_count);
+                assert_eq!(shard, namespace_shard(ns, shard_count));
+            }
+        }
     }
 
     #[test]

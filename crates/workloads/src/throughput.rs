@@ -328,6 +328,51 @@ impl ThroughputDriver {
         }
     }
 
+    /// Bulk-load every distinct object of the pool straight into a store
+    /// backend through [`k8s_apiserver::StoreBackend::apply_batch`] — the
+    /// batched-publication fast path benchmarks use to populate large
+    /// stores without paying the full request pipeline per object. The
+    /// stored state is identical to [`ThroughputDriver::seed`] against a
+    /// permissive server: bodies go through the backend's own `ingest`
+    /// (so the copy discipline is the store's) and namespace defaulting
+    /// replicates admission (the endpoint namespace, else `default`, for
+    /// namespaced objects without one). Unlike `seed`, nothing is
+    /// authorized or audited. Returns the number of objects loaded.
+    pub fn seed_store<S: k8s_apiserver::StoreBackend + ?Sized>(&self, store: &S) -> usize {
+        let namespace_path = kf_yaml::Path::parse("metadata.namespace").expect("static path");
+        let mut seen: Vec<&ApiRequest> = Vec::new();
+        let mut batch = Vec::new();
+        for request in &self.requests {
+            if request.body.is_none()
+                || seen.iter().any(|r| {
+                    (&r.kind, &r.namespace, &r.name)
+                        == (&request.kind, &request.namespace, &request.name)
+                })
+            {
+                continue;
+            }
+            seen.push(request);
+            let body = request
+                .body
+                .materialize()
+                .expect("pool bodies parse")
+                .expect("checked is_some above");
+            let mut object = store.ingest(&body).expect("pool bodies are valid objects");
+            if object.kind().is_namespaced() && object.namespace().is_empty() {
+                let namespace = if request.namespace.is_empty() {
+                    "default"
+                } else {
+                    &request.namespace
+                };
+                object
+                    .set_field(&namespace_path, kf_yaml::Value::from(namespace))
+                    .expect("chart objects carry a metadata mapping");
+            }
+            batch.push(object);
+        }
+        store.apply_batch(batch).len()
+    }
+
     /// A raw-body pool mixing several operators' traffic: every manifest is
     /// serialized to YAML wire bytes **once** at pool construction, and
     /// replay hands out cheap byte-buffer clones — the wire-faithful regime
@@ -559,6 +604,36 @@ mod tests {
         // gets and lists hit stored objects.
         assert_eq!(report.denied, 0);
         assert_eq!(report.admitted, 120);
+    }
+
+    #[test]
+    fn seed_store_bulk_load_matches_seeding_through_the_server() {
+        use k8s_apiserver::{ObjectStore, StoreBackend};
+
+        let driver =
+            ThroughputDriver::for_operators_mixed(&[Operator::Nginx], MixRatio::WRITE_HEAVY);
+        // Reference: the full request pipeline on a permissive server.
+        let server = ApiServer::new().with_admin(&Operator::Nginx.user());
+        driver.seed(&server);
+        // Fast path: bulk-load the same pool through apply_batch.
+        let store = ObjectStore::new();
+        let loaded = driver.seed_store(&store);
+        assert!(loaded > 0);
+        assert_eq!(store.len(), server.store().len());
+        assert_eq!(store.count_by_kind(), server.store().count_by_kind());
+        // Object for object, same coordinates — namespace defaulting
+        // replicated admission exactly.
+        for reference in server.store().list(k8s_model::ResourceKind::Pod, "") {
+            assert!(store
+                .get(
+                    reference.object.kind(),
+                    reference.object.namespace(),
+                    reference.object.name()
+                )
+                .is_some());
+        }
+        // The bulk load published one watch event per object.
+        assert_eq!(StoreBackend::revision(&store), loaded as u64);
     }
 
     #[test]

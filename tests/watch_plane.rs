@@ -8,14 +8,19 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use k8s_apiserver::{
-    ApiRequest, ApiServer, ObjectStore, RequestHandler, WatchEventKind, WatchSubscription,
+    namespace_shard, ApiRequest, ApiServer, ObjectStore, RequestHandler, WatchError,
+    WatchEventKind, WatchSubscription, DEFAULT_JOURNAL_SHARDS,
 };
 use k8s_model::{K8sObject, ResourceKind};
 use kf_workloads::Informer;
 
 fn pod(name: &str) -> K8sObject {
+    pod_in(name, "default")
+}
+
+fn pod_in(name: &str, namespace: &str) -> K8sObject {
     K8sObject::from_yaml(&format!(
-        "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\n  namespace: default\nspec:\n  containers:\n    - name: c\n      image: nginx\n"
+        "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\n  namespace: {namespace}\nspec:\n  containers:\n    - name: c\n      image: nginx\n"
     ))
     .unwrap()
 }
@@ -114,6 +119,214 @@ fn concurrent_writers_deliver_every_revision_exactly_once_in_order() {
         live_checked += 1;
     }
     assert!(live_checked > 0, "some objects must survive the churn");
+}
+
+/// The sharded-journal stress: concurrent writers churn across several
+/// namespaces (spread over multiple journal sub-shards) while one global
+/// subscriber reads through the k-way merge cursor and one subscriber per
+/// namespace reads its own sub-shard. Every revision must be delivered
+/// exactly once in strictly increasing order on the global stream, each
+/// namespace stream must be exactly its namespace's slice of it, and live
+/// objects must share the stored tree by pointer through **both** cursor
+/// kinds.
+#[test]
+fn sharded_journals_deliver_exactly_once_globally_and_per_namespace() {
+    const WRITERS: usize = 4;
+    const ROUNDS: usize = 40;
+    const NAMESPACES: usize = 6;
+
+    let namespaces: Vec<String> = (0..NAMESPACES).map(|i| format!("ns-{i}")).collect();
+    // The namespaces must actually span sub-shards, or the merge cursor
+    // would be exercised on one shard only.
+    let distinct: std::collections::BTreeSet<usize> = namespaces
+        .iter()
+        .map(|ns| namespace_shard(ns, DEFAULT_JOURNAL_SHARDS))
+        .collect();
+    assert!(distinct.len() > 1, "test namespaces must span sub-shards");
+
+    let store = ObjectStore::new();
+    // Per (writer, round, namespace): one create, an update every 3rd
+    // round, a delete every 4th.
+    let per_pair = ROUNDS + ROUNDS.div_ceil(3) + ROUNDS.div_ceil(4);
+    let expected_total = WRITERS * NAMESPACES * per_pair;
+    let expected_per_ns = WRITERS * per_pair;
+
+    let (global, per_ns) = std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let store = &store;
+            let namespaces = &namespaces;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for ns in namespaces {
+                        let name = format!("obj-{writer}-{round}");
+                        store.create(pod_in(&name, ns)).expect("unique names");
+                        if round % 3 == 0 {
+                            store.update(pod_in(&name, ns)).expect("just created");
+                        }
+                        if round % 4 == 0 {
+                            store.delete(ResourceKind::Pod, ns, &name).unwrap();
+                        }
+                    }
+                }
+            });
+        }
+        let global = {
+            let store = &store;
+            scope.spawn(move || {
+                let mut subscription = WatchSubscription::at(ResourceKind::Pod, "", 0);
+                let mut events = Vec::new();
+                while events.len() < expected_total {
+                    events.extend(subscription.poll(store).expect("journals must not compact"));
+                }
+                events
+            })
+        };
+        let ns_watchers: Vec<_> = namespaces
+            .iter()
+            .map(|ns| {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut subscription = WatchSubscription::at(ResourceKind::Pod, ns, 0);
+                    let mut events = Vec::new();
+                    while events.len() < expected_per_ns {
+                        events.extend(subscription.poll(store).expect("journals must not compact"));
+                    }
+                    events
+                })
+            })
+            .collect();
+        (
+            global.join().expect("global watcher panicked"),
+            ns_watchers
+                .into_iter()
+                .map(|h| h.join().expect("namespace watcher panicked"))
+                .collect::<Vec<_>>(),
+        )
+    });
+
+    // Global: exactly once, in order, one event per revision.
+    assert_eq!(global.len() as u64, store.revision());
+    assert!(
+        global.windows(2).all(|w| w[0].revision < w[1].revision),
+        "the merge cursor must deliver the total revision order"
+    );
+    assert_eq!(global[0].revision, 1);
+    assert_eq!(global.last().unwrap().revision, store.revision());
+
+    // Each namespace stream is exactly its slice of the global stream.
+    for (ns, events) in namespaces.iter().zip(&per_ns) {
+        assert_eq!(events.len(), expected_per_ns);
+        assert!(events.windows(2).all(|w| w[0].revision < w[1].revision));
+        assert!(events.iter().all(|e| &e.namespace == ns));
+        let global_slice: Vec<u64> = global
+            .iter()
+            .filter(|e| &e.namespace == ns)
+            .map(|e| e.revision)
+            .collect();
+        let ns_revisions: Vec<u64> = events.iter().map(|e| e.revision).collect();
+        assert_eq!(ns_revisions, global_slice);
+    }
+    // Nothing was lost or duplicated across the namespace streams either.
+    assert_eq!(
+        per_ns.iter().map(Vec::len).sum::<usize>(),
+        expected_total,
+        "namespace streams must partition the global stream"
+    );
+
+    // Zero-copy through both cursor kinds: every live object's
+    // current-version event shares the stored tree.
+    let global_by_revision: BTreeMap<u64, &k8s_apiserver::WatchEvent> =
+        global.iter().map(|e| (e.revision, e)).collect();
+    let mut live_checked = 0;
+    for stored in store.list(ResourceKind::Pod, "") {
+        let event = global_by_revision[&stored.resource_version];
+        assert!(Arc::ptr_eq(
+            event.object.as_ref().expect("write events carry objects"),
+            stored.object.shared_body()
+        ));
+        let ns_index = namespaces
+            .iter()
+            .position(|ns| ns == stored.object.namespace())
+            .expect("live objects live in test namespaces");
+        let ns_event = per_ns[ns_index]
+            .iter()
+            .find(|e| e.revision == stored.resource_version)
+            .expect("the namespace stream delivered the live revision");
+        assert!(Arc::ptr_eq(
+            ns_event.object.as_ref().unwrap(),
+            stored.object.shared_body()
+        ));
+        live_checked += 1;
+    }
+    assert!(live_checked > 0, "some objects must survive the churn");
+}
+
+/// Compaction semantics under sharding: a cursor gets `Gone` **iff a
+/// sub-shard it needs** compacted past it — so a namespace-scoped watcher
+/// survives foreign-namespace churn that compacts other sub-shards (no
+/// spurious re-list), a global cursor reports the worst needed horizon, and
+/// re-list recovery resumes gaplessly afterwards.
+#[test]
+fn sharded_compaction_gones_exactly_the_cursors_that_need_compacted_shards() {
+    const SHARD_COUNT: usize = 4;
+    let store = ObjectStore::with_journal_config(2, SHARD_COUNT);
+
+    // A quiet namespace and a busy one, guaranteed to land in different
+    // journal sub-shards.
+    let quiet = "quiet".to_owned();
+    let busy = (0..64)
+        .map(|i| format!("busy-{i}"))
+        .find(|ns| namespace_shard(ns, SHARD_COUNT) != namespace_shard(&quiet, SHARD_COUNT))
+        .expect("some namespace hashes to another sub-shard");
+
+    store.create(pod_in("q", &quiet)).unwrap();
+    let mut quiet_watcher = WatchSubscription::at(ResourceKind::Pod, &quiet, 0);
+    assert_eq!(quiet_watcher.poll(&store).unwrap().len(), 1);
+
+    // Churn the busy namespace far past the per-sub-shard capacity while
+    // the quiet watcher keeps polling: its sub-shard never compacted, so it
+    // must never see Gone — the old single-journal plane forced a re-list
+    // here.
+    for round in 0..8 {
+        store.create(pod_in(&format!("b-{round}"), &busy)).unwrap();
+        assert_eq!(
+            quiet_watcher.poll(&store).expect("no spurious Gone"),
+            vec![],
+            "foreign churn must not leak into the quiet namespace"
+        );
+    }
+    assert_eq!(quiet_watcher.revision(), store.revision());
+
+    // A stale cursor scoped to the busy namespace needs the compacted
+    // sub-shard: Gone, with the horizon to recover from.
+    let gone = store.events_since(ResourceKind::Pod, &busy, 0).unwrap_err();
+    let WatchError::Gone { compacted_through } = gone;
+    assert!(compacted_through > 0);
+    // The global cursor needs *every* sub-shard, the compacted one
+    // included: Gone as well.
+    assert!(matches!(
+        store.events_since(ResourceKind::Pod, "", 0),
+        Err(WatchError::Gone { .. })
+    ));
+    // But a global cursor at the horizon is servable again.
+    assert!(store
+        .events_since(ResourceKind::Pod, "", compacted_through)
+        .is_ok());
+
+    // Re-list recovery is gapless: take the standard recovery cursor, then
+    // confirm the listing holds everything and new writes in both
+    // namespaces stream exactly once from that cursor.
+    let cursor = store.watch_revision(ResourceKind::Pod);
+    assert_eq!(store.list(ResourceKind::Pod, "").len(), store.len());
+    store.create(pod_in("q2", &quiet)).unwrap();
+    store.create(pod_in("b-after", &busy)).unwrap();
+    let delta = store.events_since(ResourceKind::Pod, "", cursor).unwrap();
+    assert_eq!(delta.events.len(), 2, "exactly the post-recovery writes");
+    assert!(delta
+        .events
+        .windows(2)
+        .all(|w| w[0].revision < w[1].revision));
+    assert_eq!(delta.resume, store.revision());
 }
 
 /// The compaction contract through the full server: a watcher whose cursor
