@@ -23,7 +23,9 @@
 //!   artifact is never dirtied by a smoke run.
 //! * `-- --compare <path>` — additionally prints per-thread deltas of this
 //!   run against a committed baseline artifact (the CI job summary runs
-//!   `--smoke --compare BENCH_writepath.json`).
+//!   `--smoke --compare BENCH_writepath.json`). Slowdowns within
+//!   `KF_BENCH_TOLERANCE` percent (default 10) are reported but not
+//!   flagged, so single-core run-to-run drift doesn't read as regression.
 //! * `KF_BENCH_JSON_OUT=<path>` — override the output path in any mode.
 //! * `KF_JOURNAL_SHARDS=<n>` — build the zero-copy store with `n` journal
 //!   sub-shards instead of the default; `KF_JOURNAL_SHARDS=1` reproduces
@@ -178,7 +180,10 @@ fn main() {
         match BenchArtifact::load(&path) {
             Ok(committed) => {
                 println!();
-                print!("{}", artifact.compare(&committed));
+                print!(
+                    "{}",
+                    artifact.compare_with_tolerance(&committed, kf_bench::bench_tolerance())
+                );
             }
             Err(error) => println!("\ncannot compare against {}: {error}", path.display()),
         }

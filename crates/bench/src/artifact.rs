@@ -248,12 +248,25 @@ impl BenchArtifact {
     /// A per-thread delta table of `self` (current run) against `baseline`
     /// (the committed artifact), matched by (backend, mix, threads) —
     /// printed into the CI job summary by `--compare`. Positive deltas mean
-    /// the current run is faster.
+    /// the current run is faster. Every negative delta is flagged; use
+    /// [`BenchArtifact::compare_with_tolerance`] (fed by
+    /// `kf_bench::bench_tolerance`) to suppress run-to-run drift.
     pub fn compare(&self, baseline: &BenchArtifact) -> String {
+        self.compare_with_tolerance(baseline, 0.0)
+    }
+
+    /// [`BenchArtifact::compare`] with a drift allowance: throughput drops
+    /// and p99 rises within `tolerance_pct` percent are reported but not
+    /// flagged, so single-core run-to-run noise doesn't read as a
+    /// regression. Rows with a metric beyond the allowance carry a
+    /// trailing `<< beyond tolerance` marker, and the table ends with a
+    /// one-line verdict CI can grep.
+    pub fn compare_with_tolerance(&self, baseline: &BenchArtifact, tolerance_pct: f64) -> String {
         let mut out = String::new();
+        let mut flagged = 0usize;
         out.push_str(&format!(
-            "=== {} vs committed baseline (schema v{} vs v{}) ===\n",
-            self.bench, self.schema_version, baseline.schema_version
+            "=== {} vs committed baseline (schema v{} vs v{}, tolerance ±{:.1}%) ===\n",
+            self.bench, self.schema_version, baseline.schema_version, tolerance_pct
         ));
         for curve in &self.curves {
             let Some(reference) = baseline.curve(&curve.backend, &curve.mix) else {
@@ -273,20 +286,36 @@ impl BenchArtifact {
                     continue;
                 };
                 let delta = |now: f64, then: f64| 100.0 * (now - then) / then.max(1e-9);
+                let req = delta(point.req_per_sec, base.req_per_sec);
+                let events = delta(point.events_per_sec, base.events_per_sec);
+                let p99 = delta(point.p99_us, base.p99_us);
+                // Lower req/s and events/s are slowdowns; higher p99 is.
+                let beyond = req < -tolerance_pct || events < -tolerance_pct || p99 > tolerance_pct;
                 out.push_str(&format!(
                     "{:<10} {:<10} {:>2} threads  req/s {:>12.0} ({:>+7.1}%)  events/s \
-                     {:>12.0} ({:>+7.1}%)  p99 {:>9.1} µs ({:>+7.1}%)\n",
+                     {:>12.0} ({:>+7.1}%)  p99 {:>9.1} µs ({:>+7.1}%){}\n",
                     curve.backend,
                     curve.mix,
                     point.threads,
                     point.req_per_sec,
-                    delta(point.req_per_sec, base.req_per_sec),
+                    req,
                     point.events_per_sec,
-                    delta(point.events_per_sec, base.events_per_sec),
+                    events,
                     point.p99_us,
-                    delta(point.p99_us, base.p99_us),
+                    p99,
+                    if beyond { "  << beyond tolerance" } else { "" },
                 ));
+                flagged += usize::from(beyond);
             }
+        }
+        if flagged > 0 {
+            out.push_str(&format!(
+                "{flagged} point(s) beyond the ±{tolerance_pct:.1}% tolerance\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "all deltas within the ±{tolerance_pct:.1}% tolerance\n"
+            ));
         }
         out
     }
@@ -367,6 +396,74 @@ mod tests {
         let mut renamed = sample();
         renamed.curves[0].backend = "other".into();
         assert!(renamed.compare(&baseline).contains("no baseline curve"));
+    }
+
+    #[test]
+    fn tolerance_suppresses_drift_but_flags_regressions() {
+        let baseline = sample();
+        let mut drifted = sample();
+        // 5% slower everywhere: noise on a shared core, not a regression.
+        for point in &mut drifted.curves[0].points {
+            point.req_per_sec *= 0.95;
+            point.events_per_sec *= 0.95;
+            point.p99_us *= 1.05;
+        }
+        let table = drifted.compare_with_tolerance(&baseline, 10.0);
+        assert!(table.contains("all deltas within"));
+        assert!(!table.contains("beyond tolerance"));
+        // The same drift IS flagged at zero tolerance (compare's default).
+        assert!(drifted.compare(&baseline).contains("beyond tolerance"));
+        // A real collapse punches through the allowance.
+        let mut regressed = sample();
+        regressed.curves[0].points[0].req_per_sec *= 0.5;
+        let table = regressed.compare_with_tolerance(&baseline, 10.0);
+        assert!(table.contains("<< beyond tolerance"));
+        assert!(table.contains("1 point(s) beyond"));
+    }
+
+    /// The tracked-artifact gate for the push-notify watch fabric: the
+    /// committed `BENCH_watchfanout.json` must exist, be current, cover
+    /// push and poll delivery on both store backends at the standard
+    /// subscriber counts, and show the fabric earning its keep — at 1k
+    /// subscribers on the zero-copy backend, push delivery must sustain
+    /// ≥ 2x poll events/s or ≥ 5x better p99 delivery latency.
+    #[test]
+    fn committed_watchfanout_artifact_is_current() {
+        let path = BenchArtifact::repo_root_path("BENCH_watchfanout.json");
+        let artifact = BenchArtifact::load(&path)
+            .expect("BENCH_watchfanout.json must be committed at the repo root");
+        artifact
+            .validate_committed()
+            .expect("committed artifact must be current — regenerate: cargo bench -p kf-bench --bench watch_fanout");
+        assert_eq!(artifact.bench, "watch_fanout");
+        for backend in ["zero-copy", "baseline"] {
+            for mix in ["push", "poll"] {
+                let curve = artifact
+                    .curve(backend, mix)
+                    .unwrap_or_else(|| panic!("missing {backend}/{mix} fan-out curve"));
+                let subs: Vec<usize> = curve.points.iter().map(|p| p.threads).collect();
+                assert_eq!(subs, vec![100, 1000, 10000], "standard subscriber counts");
+                assert!(curve.points.iter().all(|p| p.req_per_sec > 0.0
+                    && p.events_per_sec > 0.0
+                    && p.p50_us > 0.0
+                    && p.p99_us >= p.p50_us));
+            }
+        }
+        let at = |mix: &str| {
+            artifact
+                .curve("zero-copy", mix)
+                .and_then(|c| c.points.iter().find(|p| p.threads == 1000))
+                .expect("zero-copy curves carry the 1k-subscriber point")
+        };
+        let (push, poll) = (at("push"), at("poll"));
+        assert!(
+            push.events_per_sec >= 2.0 * poll.events_per_sec || push.p99_us * 5.0 <= poll.p99_us,
+            "push must beat poll at 1k subscribers: {:.0} vs {:.0} events/s, p99 {:.1} vs {:.1} µs",
+            push.events_per_sec,
+            poll.events_per_sec,
+            push.p99_us,
+            poll.p99_us
+        );
     }
 
     /// The tracked-artifact gate: the committed `BENCH_writepath.json` at

@@ -14,6 +14,12 @@
 //!   (sub-sharded by namespace hash, batched publication on multi-write
 //!   paths), so `Verb::Watch` streams incremental events (with
 //!   `Gone`-on-compaction semantics) instead of answering with a full list;
+//! * [`WatchSubscriber`] / [`WatchDispatcher`] / [`WatchHub`] — the
+//!   push-notify fabric: per-subscriber bounded delivery queues fanned out
+//!   to inside the publication critical section (same-object coalescing,
+//!   slow-consumer eviction → `Gone` → re-list), wake signals that let pull
+//!   subscriptions block instead of poll, and an epoll-style readiness
+//!   dispatcher for informer fleets;
 //! * [`ApiServer`] — request handling: authorization through an optional
 //!   [`k8s_rbac::RbacPolicySet`], object validation, persistence, audit
 //!   logging, and **CVE-trigger simulation** (a request whose specification
@@ -51,10 +57,11 @@ mod watch;
 
 pub use latency::{LatencyModel, LatencyProfile};
 pub use request::{ApiRequest, ApiResponse, RequestBody, ResponseBody, ResponseStatus};
-pub use server::{ApiServer, ExploitEvent, RequestHandler};
+pub use server::{ApiServer, ExploitEvent, PushWatch, RequestHandler, WatchHub};
 pub use store::{BaselineStore, ObjectStore, StoreBackend, StoredObject};
 pub use vuln::VulnerabilityOracle;
 pub use watch::{
-    namespace_shard, WatchDelta, WatchError, WatchEvent, WatchEventKind, WatchSubscription,
-    DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_SHARDS,
+    namespace_shard, WatchDelta, WatchDispatcher, WatchError, WatchEvent, WatchEventKind,
+    WatchSubscriber, WatchSubscription, DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_SHARDS,
+    DEFAULT_SUBSCRIBER_QUEUE_CAPACITY,
 };

@@ -70,6 +70,9 @@ pub struct ApiServer<S: StoreBackend = ObjectStore> {
     oracle: VulnerabilityOracle,
     exploits: Mutex<Vec<ExploitEvent>>,
     admins: Vec<String>,
+    /// Queue bound handed to [`StoreBackend::subscribe`] for push watches
+    /// attached through [`WatchHub::subscribe_push`].
+    watch_queue_capacity: usize,
 }
 
 /// Number of audit shards (matches the store's write-parallelism scale).
@@ -110,12 +113,22 @@ impl<S: StoreBackend> ApiServer<S> {
             oracle: VulnerabilityOracle::new(),
             exploits: Mutex::new(Vec::new()),
             admins: vec!["admin".to_owned()],
+            watch_queue_capacity: crate::DEFAULT_SUBSCRIBER_QUEUE_CAPACITY,
         }
     }
 
     /// Add an additional superuser that bypasses RBAC.
     pub fn with_admin(mut self, user: &str) -> Self {
         self.admins.push(user.to_owned());
+        self
+    }
+
+    /// Bound the delivery queues of push watches attached through
+    /// [`WatchHub::subscribe_push`] (default:
+    /// [`crate::DEFAULT_SUBSCRIBER_QUEUE_CAPACITY`]; tests use tiny bounds
+    /// to force slow-consumer eviction).
+    pub fn with_watch_queue_capacity(mut self, capacity: usize) -> Self {
+        self.watch_queue_capacity = capacity.max(1);
         self
     }
 
@@ -455,6 +468,95 @@ impl<S: StoreBackend> RequestHandler for ApiServer<S> {
         // 3. Audit.
         self.record_audit(request, response.is_success(), audit_body);
         response
+    }
+}
+
+/// A push-mode watch attachment: the initial listing (empty when resuming
+/// from a cursor) plus the live subscription the store will fan events into.
+#[derive(Debug)]
+pub struct PushWatch {
+    /// Synthesized `Added` events for the objects stored at attach time
+    /// (initial-list mode only), each sharing its stored tree.
+    pub initial: Vec<crate::WatchEvent>,
+    /// The bounded-queue subscription, attached at the cursor the initial
+    /// listing (or the request's `resourceVersion`) establishes.
+    pub subscriber: crate::WatchSubscriber,
+}
+
+/// A request handler that can also attach **push-mode** watches: instead of
+/// answering a watch request with a delta batch (pull), it returns a
+/// [`PushWatch`] whose subscriber receives every later event without the
+/// client ever polling. The same authorization and audit pipeline as
+/// [`RequestHandler::handle`] applies — a push watch is a watch request in
+/// every respect except delivery.
+pub trait WatchHub: RequestHandler {
+    /// Attach a push watch for `request` (a `Verb::Watch` request).
+    ///
+    /// * `resourceVersion` **absent** — initial-list-then-push: the result
+    ///   carries one `Added` event per stored object and a subscription
+    ///   attached at the pre-scan journal revision, so no write can fall
+    ///   between the listing and the stream (writes racing the scan may
+    ///   appear in both, which cache upserts absorb — the same contract as
+    ///   the pull path).
+    /// * `resourceVersion` **present** — resume-from-revision: the
+    ///   subscription backfills everything after the cursor.
+    ///
+    /// # Errors
+    ///
+    /// The same [`ApiResponse`] failures the pull path produces: `Forbidden`
+    /// on RBAC denial (audited), `BadRequest` for non-watch verbs, and
+    /// `410 Gone` when the cursor predates the compaction horizon (the
+    /// caller re-lists).
+    fn subscribe_push(&self, request: &ApiRequest) -> Result<PushWatch, ApiResponse>;
+}
+
+impl<S: StoreBackend> WatchHub for ApiServer<S> {
+    fn subscribe_push(&self, request: &ApiRequest) -> Result<PushWatch, ApiResponse> {
+        if request.verb != Verb::Watch {
+            return Err(ApiResponse::error(
+                ResponseStatus::BadRequest,
+                format!("subscribe_push serves watch requests, not {}", request.verb),
+            ));
+        }
+        if let Err(reason) = self.authorize(request) {
+            self.record_audit(request, false, None);
+            return Err(ApiResponse::error(ResponseStatus::Forbidden, reason));
+        }
+        let (cursor, initial) = match request.resource_version {
+            Some(revision) => (revision, Vec::new()),
+            None => {
+                // Journal revision read before the scan: the subscription's
+                // backfill covers everything the listing could have missed.
+                let cursor = self.store.watch_revision(request.kind);
+                let initial = self
+                    .store
+                    .list(request.kind, &request.namespace)
+                    .into_iter()
+                    .map(|stored| crate::WatchEvent {
+                        kind: crate::WatchEventKind::Added,
+                        revision: stored.resource_version,
+                        namespace: stored.object.namespace().to_owned(),
+                        name: stored.object.name().to_owned(),
+                        object: Some(Arc::clone(stored.object.shared_body())),
+                    })
+                    .collect();
+                (cursor, initial)
+            }
+        };
+        let subscriber = self
+            .store
+            .subscribe(
+                request.kind,
+                &request.namespace,
+                cursor,
+                self.watch_queue_capacity,
+            )
+            .map_err(|error| ApiResponse::error(ResponseStatus::Gone, error.to_string()))?;
+        self.record_audit(request, true, None);
+        Ok(PushWatch {
+            initial,
+            subscriber,
+        })
     }
 }
 

@@ -46,8 +46,8 @@ use k8s_model::{K8sObject, ResourceKind};
 use kf_yaml::Value;
 
 use crate::watch::{
-    KindJournals, StagedEvent, WatchDelta, WatchError, WatchEventKind, DEFAULT_JOURNAL_CAPACITY,
-    DEFAULT_JOURNAL_SHARDS,
+    KindJournals, StagedEvent, WatchDelta, WatchError, WatchEventKind, WatchSubscriber,
+    DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_SHARDS,
 };
 
 /// A stored object together with its resource version.
@@ -168,6 +168,45 @@ pub trait StoreBackend: Send + Sync {
     /// that starts after reading it.
     fn watch_revision(&self, kind: ResourceKind) -> u64;
 
+    /// Attach a push subscription for `kind` (scoped to `namespace` when
+    /// non-empty) resuming after `revision`, with a delivery queue bounded
+    /// to `capacity` live events (see
+    /// [`crate::DEFAULT_SUBSCRIBER_QUEUE_CAPACITY`]). Events published after
+    /// the cursor are fanned into the returned [`WatchSubscriber`]'s queue
+    /// inside the publication critical section; the zero-copy plane shares
+    /// the stored trees, the baseline deep-clones per subscriber per event.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] when the cursor predates the compaction horizon
+    /// of a needed journal sub-shard — re-list and subscribe from the fresh
+    /// cursor.
+    fn subscribe(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        revision: u64,
+        capacity: usize,
+    ) -> Result<WatchSubscriber, WatchError>;
+
+    /// The wake-signal generation for `(kind, namespace)` watchers. Read it
+    /// **before** polling [`StoreBackend::events_since`]; passing the value
+    /// to [`StoreBackend::wait_for_watch`] then cannot miss a publication
+    /// that raced the poll.
+    fn watch_generation(&self, kind: ResourceKind, namespace: &str) -> u64;
+
+    /// Block until the `(kind, namespace)` wake-signal generation moves past
+    /// `seen` (some event may be visible) or `timeout` elapses, returning
+    /// the generation observed on exit. Spurious wakeups are allowed; lost
+    /// wakeups are not.
+    fn wait_for_watch(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        seen: u64,
+        timeout: std::time::Duration,
+    ) -> u64;
+
     /// The current global revision (number of writes so far).
     fn revision(&self) -> u64;
 
@@ -251,7 +290,24 @@ impl ObjectStore {
     /// An empty store with full journal control: `capacity` events retained
     /// per sub-shard, `shard_count` namespace sub-shards per kind (tests
     /// use small counts to force or avoid sub-shard collisions).
+    ///
+    /// Degenerate configs are clamped rather than honored: `capacity == 0`
+    /// (a journal that can hold nothing) falls back to
+    /// [`DEFAULT_JOURNAL_CAPACITY`] and `shard_count == 0` (no sub-shard to
+    /// hash into) to [`DEFAULT_JOURNAL_SHARDS`], so a bad knob — e.g.
+    /// `KF_JOURNAL_SHARDS=0` in a bench environment — degrades to the
+    /// defaults instead of panicking deep inside journal construction.
     pub fn with_journal_config(capacity: usize, shard_count: usize) -> Self {
+        let capacity = if capacity == 0 {
+            DEFAULT_JOURNAL_CAPACITY
+        } else {
+            capacity
+        };
+        let shard_count = if shard_count == 0 {
+            DEFAULT_JOURNAL_SHARDS
+        } else {
+            shard_count
+        };
         ObjectStore {
             shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
             revision: AtomicU64::new(0),
@@ -506,6 +562,23 @@ impl ObjectStore {
         self.journals.watch_revision(kind)
     }
 
+    /// Attach a push subscription — see [`StoreBackend::subscribe`].
+    /// Zero-copy: fanned-out events share the stored trees.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] for cursors older than the compaction horizon.
+    pub fn subscribe(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        revision: u64,
+        capacity: usize,
+    ) -> Result<WatchSubscriber, WatchError> {
+        self.journals
+            .subscribe(kind, namespace, revision, capacity, false)
+    }
+
     /// List objects of a kind in a namespace (all namespaces when `namespace`
     /// is empty). Objects come back in key order, as the unsharded store
     /// returned them. Each shard is **range-scanned from the first matching
@@ -597,6 +670,32 @@ impl StoreBackend for ObjectStore {
 
     fn watch_revision(&self, kind: ResourceKind) -> u64 {
         ObjectStore::watch_revision(self, kind)
+    }
+
+    fn subscribe(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        revision: u64,
+        capacity: usize,
+    ) -> Result<WatchSubscriber, WatchError> {
+        ObjectStore::subscribe(self, kind, namespace, revision, capacity)
+    }
+
+    fn watch_generation(&self, kind: ResourceKind, namespace: &str) -> u64 {
+        self.journals.signal_of(kind, namespace).generation()
+    }
+
+    fn wait_for_watch(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        seen: u64,
+        timeout: std::time::Duration,
+    ) -> u64 {
+        self.journals
+            .signal_of(kind, namespace)
+            .wait_past(seen, timeout)
     }
 
     fn revision(&self) -> u64 {
@@ -757,6 +856,35 @@ impl StoreBackend for BaselineStore {
 
     fn watch_revision(&self, kind: ResourceKind) -> u64 {
         self.journals.watch_revision(kind)
+    }
+
+    fn subscribe(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        revision: u64,
+        capacity: usize,
+    ) -> Result<WatchSubscriber, WatchError> {
+        // Per-subscriber copy discipline: every event fanned into this
+        // queue deep-clones its tree at offer time.
+        self.journals
+            .subscribe(kind, namespace, revision, capacity, true)
+    }
+
+    fn watch_generation(&self, kind: ResourceKind, namespace: &str) -> u64 {
+        self.journals.signal_of(kind, namespace).generation()
+    }
+
+    fn wait_for_watch(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        seen: u64,
+        timeout: std::time::Duration,
+    ) -> u64 {
+        self.journals
+            .signal_of(kind, namespace)
+            .wait_past(seen, timeout)
     }
 
     fn list(&self, kind: ResourceKind, namespace: &str) -> Vec<Arc<StoredObject>> {

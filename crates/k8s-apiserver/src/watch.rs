@@ -43,12 +43,35 @@
 //! revision** over the sub-shards reconstructs the per-kind order exactly —
 //! the merge is correct by construction. See `docs/watch-plane.md` for the
 //! full argument.
+//!
+//! On top of the pull journals sits the **push-notify fabric**:
+//!
+//! * Every sub-shard (and every kind, for all-namespaces waiters) carries a
+//!   [`WakeSignal`] — a generation counter plus condvar bumped inside the
+//!   publication critical section — so a pull subscriber can *block* in
+//!   [`WatchSubscription::recv_timeout`] instead of burning poll round-trips
+//!   while idle. The wait protocol (read generation, poll, wait past the
+//!   read generation) cannot lose a wakeup: any publication after the
+//!   generation read bumps it and ends the wait.
+//! * [`KindJournals::subscribe`] attaches a [`WatchSubscriber`] — a
+//!   per-subscriber **bounded delivery queue** fanned out to inside the same
+//!   critical section. Bursty same-object writes **coalesce** (last write
+//!   wins, delivery order preserved); a consumer that falls more than its
+//!   queue bound behind is **evicted** and observes [`WatchError::Gone`],
+//!   funneling into the exact re-list recovery path compaction already
+//!   exercises. A [`WatchDispatcher`] ready-list lets a handful of collector
+//!   threads service tens of thousands of subscriptions without a blocked
+//!   thread per watcher.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+// The push fabric uses `std::sync` primitives directly: the repo's
+// parking_lot shim has no Condvar, and a Condvar must pair with the mutex
+// type it waits on.
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
@@ -191,6 +214,445 @@ pub fn namespace_shard(namespace: &str, shard_count: usize) -> usize {
     (hasher.finish() as usize) % shard_count.max(1)
 }
 
+/// Default bound on a push subscriber's delivery queue. Coalescing keeps the
+/// live entry count at or below the working set of distinct objects churning
+/// in the subscription's scope, so this bound is hit only by a consumer that
+/// is genuinely not draining — which is exactly when eviction (→ re-list)
+/// beats unbounded buffering.
+pub const DEFAULT_SUBSCRIBER_QUEUE_CAPACITY: usize = 256;
+
+/// Recover a poisoned std mutex guard: the shim crates already run
+/// poison-recovering locks everywhere else, and a panicking publisher leaves
+/// the queue/signal state consistent (every transition completes under one
+/// lock hold).
+fn recover<'a, T>(
+    result: Result<MutexGuard<'a, T>, std::sync::PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[derive(Debug, Default)]
+struct SignalState {
+    /// Bumped once per publication (or per batch flush) to the signalled
+    /// scope. Waiters compare against a generation they read *before*
+    /// polling, so a bump between their read and their wait ends the wait
+    /// immediately — the no-lost-wakeup argument in one sentence.
+    generation: u64,
+    /// How many threads are blocked in [`WakeSignal::wait_past`] right now.
+    /// Publication skips the condvar broadcast entirely when nobody waits,
+    /// keeping the idle-subscriber cost off the write path.
+    waiters: usize,
+}
+
+/// A per-scope wakeup primitive: generation counter + condvar. One lives on
+/// every journal sub-shard (namespace-scoped waiters) and one on every kind
+/// (all-namespaces waiters, which cannot block on several sub-shard condvars
+/// at once).
+#[derive(Debug, Default)]
+pub(crate) struct WakeSignal {
+    state: StdMutex<SignalState>,
+    cond: Condvar,
+}
+
+impl WakeSignal {
+    /// Announce that new events may be visible: bump the generation and wake
+    /// every blocked waiter. Called inside the publication critical section;
+    /// with zero waiters this is one uncontended lock round-trip.
+    fn notify(&self) {
+        let mut state = recover(self.state.lock());
+        state.generation = state.generation.wrapping_add(1);
+        if state.waiters > 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    /// The current generation. Read this **before** polling the journal:
+    /// waiting past the returned value then cannot miss a publication that
+    /// raced the poll.
+    pub(crate) fn generation(&self) -> u64 {
+        recover(self.state.lock()).generation
+    }
+
+    /// Block until the generation moves past `seen` or `timeout` elapses,
+    /// returning the generation observed on exit.
+    pub(crate) fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut state = recover(self.state.lock());
+        while state.generation == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            state.waiters += 1;
+            let (guard, _) = self
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = guard;
+            state.waiters -= 1;
+        }
+        state.generation
+    }
+}
+
+/// The ready-list shared by a [`WatchDispatcher`] and the subscribers
+/// registered with it: tokens of subscriptions that transitioned from empty
+/// to non-empty (or got evicted) and have not been drained since.
+#[derive(Debug, Default)]
+struct ReadyList {
+    queue: StdMutex<VecDeque<usize>>,
+    cond: Condvar,
+}
+
+impl ReadyList {
+    fn push(&self, token: usize) {
+        recover(self.queue.lock()).push_back(token);
+        self.cond.notify_one();
+    }
+
+    fn pop(&self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = recover(self.queue.lock());
+        loop {
+            if let Some(token) = queue.pop_front() {
+                return Some(token);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            queue = guard;
+        }
+    }
+}
+
+/// An epoll-style readiness multiplexer over push subscriptions: register
+/// each [`WatchSubscriber`] under a caller-chosen token, then have a small
+/// pool of collector threads loop on [`WatchDispatcher::next_ready`] and
+/// drain whichever subscription became ready. This is what lets 10k idle
+/// informers cost zero threads and zero polls — a subscription only ever
+/// surfaces here when its queue went non-empty or it was evicted.
+#[derive(Debug, Default)]
+pub struct WatchDispatcher {
+    ready: Arc<ReadyList>,
+}
+
+impl WatchDispatcher {
+    /// An empty dispatcher: register subscriptions, then collect readiness.
+    pub fn new() -> Self {
+        WatchDispatcher::default()
+    }
+
+    /// Arm readiness notification for `subscriber` under `token`. If the
+    /// queue already holds events (or the subscriber is already evicted) the
+    /// token is surfaced immediately, so registration after a burst cannot
+    /// strand the backlog.
+    pub fn register(&self, subscriber: &WatchSubscriber, token: usize) {
+        let mut state = recover(subscriber.core.state.lock());
+        state.waker = Some((Arc::clone(&self.ready), token));
+        if (state.live > 0 || state.evicted.is_some()) && !state.ready_armed {
+            state.ready_armed = true;
+            self.ready.push(token);
+        }
+    }
+
+    /// Block up to `timeout` for the next ready token. `None` on timeout.
+    /// After draining the returned subscription (`try_recv`), its next
+    /// empty→non-empty transition re-surfaces it.
+    pub fn next_ready(&self, timeout: Duration) -> Option<usize> {
+        self.ready.pop(timeout)
+    }
+}
+
+#[derive(Debug, Default)]
+struct SubscriberState {
+    /// The delivery queue, in per-sub-shard revision order. `None` slots are
+    /// tombstones left by coalescing: when a newer event for the same object
+    /// arrives, the stale slot is tombstoned and the newest appended at the
+    /// tail — last write wins *and* the queue stays revision-sorted.
+    slots: VecDeque<Option<WatchEvent>>,
+    /// Sequence number of `slots[0]`; `index` maps object keys to absolute
+    /// sequences so a coalesce hit finds its stale slot in O(1).
+    base_seq: u64,
+    /// Live (non-tombstone) entries — the value the queue bound applies to.
+    live: usize,
+    index: HashMap<(String, String), u64>,
+    /// Set when the subscriber fell behind its bound and was evicted; holds
+    /// the last revision fanned out before eviction. Drains return
+    /// [`WatchError::Gone`] from then on.
+    evicted: Option<u64>,
+    /// Highest revision offered to this subscriber (starts at the subscribe
+    /// cursor) — the resume point a drained-and-idle consumer has reached.
+    resume: u64,
+    /// The receiving handle was dropped; publication prunes us on sight.
+    closed: bool,
+    waker: Option<(Arc<ReadyList>, usize)>,
+    /// A ready token is outstanding: set on surface, cleared on drain, so a
+    /// burst of offers costs one token, not one per event.
+    ready_armed: bool,
+    /// Delivery counters (drained events / coalesced replacements), for
+    /// benches and tests.
+    delivered: u64,
+    coalesced: u64,
+}
+
+/// The shared half of one push subscription: the hub fans events in under
+/// the publication critical section, the [`WatchSubscriber`] handle drains
+/// them out.
+#[derive(Debug)]
+struct SubscriberCore {
+    /// Namespace filter (empty: all namespaces of the kind).
+    namespace: String,
+    /// Bound on live queue entries before the slow consumer is evicted.
+    capacity: usize,
+    /// Deep-clone each offered tree (the baseline store's per-subscriber
+    /// copy discipline) instead of sharing the journal's `Arc`.
+    copy: bool,
+    state: StdMutex<SubscriberState>,
+    cond: Condvar,
+}
+
+impl SubscriberCore {
+    fn new(namespace: &str, cursor: u64, capacity: usize, copy: bool) -> Self {
+        SubscriberCore {
+            namespace: namespace.to_owned(),
+            capacity: capacity.max(1),
+            copy,
+            state: StdMutex::new(SubscriberState {
+                resume: cursor,
+                ..SubscriberState::default()
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Surface readiness: wake a blocked `recv` and (once per drain cycle)
+    /// push our token onto the dispatcher's ready-list.
+    fn wake(&self, state: &mut SubscriberState) {
+        self.cond.notify_all();
+        if let Some((ready, token)) = &state.waker {
+            if !state.ready_armed {
+                state.ready_armed = true;
+                ready.push(*token);
+            }
+        }
+    }
+
+    /// Fan one published event into the queue. Returns `false` when the
+    /// receiving handle is gone and the hub should prune this subscriber.
+    /// Runs inside the publication critical section, so delivery order per
+    /// sub-shard is exactly publication order.
+    fn offer(&self, event: &WatchEvent) -> bool {
+        if !self.namespace.is_empty() && event.namespace != self.namespace {
+            return true;
+        }
+        let mut state = recover(self.state.lock());
+        if state.closed {
+            return false;
+        }
+        if state.evicted.is_some() {
+            // Already evicted; stay registered (the handle still needs to
+            // observe Gone) but drop the event — the re-list will cover it.
+            return true;
+        }
+        state.resume = state.resume.max(event.revision);
+        let key = (event.namespace.clone(), event.name.clone());
+        let was_idle = state.live == 0;
+        if let Some(&seq) = state.index.get(&key) {
+            // Coalesce: tombstone the stale slot, append the newest at the
+            // tail. The consumer sees one event — the latest — for this
+            // object, still in revision order relative to everything else.
+            let slot = (seq - state.base_seq) as usize;
+            state.slots[slot] = None;
+            state.live -= 1;
+            state.coalesced += 1;
+        } else if state.live == self.capacity {
+            // Slow consumer: the queue bound is the contract. Drop the
+            // backlog, record the horizon, and let the drain surface Gone —
+            // the same re-list recovery compaction already exercises.
+            let horizon = state.resume;
+            state.evicted = Some(horizon);
+            state.slots.clear();
+            state.index.clear();
+            state.live = 0;
+            self.wake(&mut state);
+            return true;
+        }
+        let delivered = if self.copy {
+            WatchEvent {
+                object: event.object.as_ref().map(|tree| Arc::new((**tree).clone())),
+                ..event.clone()
+            }
+        } else {
+            event.clone()
+        };
+        let seq = state.base_seq + state.slots.len() as u64;
+        state.index.insert(key, seq);
+        state.slots.push_back(Some(delivered));
+        state.live += 1;
+        // Bound the tombstone overhead: when dead slots dominate, rebuild
+        // the queue densely so memory tracks `live`, not burst history.
+        if state.slots.len() > state.live.max(self.capacity).saturating_mul(2) {
+            Self::compact(&mut state);
+        }
+        if was_idle {
+            self.wake(&mut state);
+        }
+        true
+    }
+
+    /// Drop tombstones and renumber. O(live) and amortized free: it runs at
+    /// most once per `capacity` tombstoned offers.
+    fn compact(state: &mut SubscriberState) {
+        let dense: VecDeque<Option<WatchEvent>> = state
+            .slots
+            .drain(..)
+            .filter(|slot| slot.is_some())
+            .collect();
+        state.slots = dense;
+        state.base_seq = 0;
+        state.index.clear();
+        for (slot, event) in state.slots.iter().enumerate() {
+            let event = event.as_ref().expect("dense after compaction");
+            state
+                .index
+                .insert((event.namespace.clone(), event.name.clone()), slot as u64);
+        }
+    }
+
+    /// Take everything queued (possibly empty), or `Gone` after eviction.
+    fn drain(&self) -> Result<Vec<WatchEvent>, WatchError> {
+        let mut state = recover(self.state.lock());
+        Self::drain_locked(&mut state)
+    }
+
+    fn drain_locked(state: &mut SubscriberState) -> Result<Vec<WatchEvent>, WatchError> {
+        state.ready_armed = false;
+        if let Some(compacted_through) = state.evicted {
+            return Err(WatchError::Gone { compacted_through });
+        }
+        let drained = state.slots.len() as u64;
+        let events: Vec<WatchEvent> = state.slots.drain(..).flatten().collect();
+        state.base_seq += drained;
+        state.index.clear();
+        state.live = 0;
+        state.delivered += events.len() as u64;
+        Ok(events)
+    }
+
+    fn close(&self) {
+        recover(self.state.lock()).closed = true;
+    }
+}
+
+/// The receiving handle of one push subscription, returned by
+/// `StoreBackend::subscribe`. Events published after the subscribe cursor
+/// are fanned into its bounded queue inside the publication critical
+/// section; the consumer blocks in [`WatchSubscriber::recv_timeout`] (or
+/// multiplexes through a [`WatchDispatcher`]) instead of polling.
+///
+/// Dropping the handle detaches the subscription: the hub prunes it on the
+/// next fan-out that touches it.
+#[derive(Debug)]
+pub struct WatchSubscriber {
+    core: Arc<SubscriberCore>,
+    kind: ResourceKind,
+}
+
+impl WatchSubscriber {
+    /// The subscribed kind.
+    pub fn kind(&self) -> ResourceKind {
+        self.kind
+    }
+
+    /// The namespace filter (empty: all namespaces).
+    pub fn namespace(&self) -> &str {
+        &self.core.namespace
+    }
+
+    /// Highest revision offered so far (starts at the subscribe cursor).
+    /// Diagnostic: after `Gone` the only consistent recovery is a re-list,
+    /// not a resume from here.
+    pub fn resume(&self) -> u64 {
+        recover(self.core.state.lock()).resume
+    }
+
+    /// Whether the subscription was evicted as a slow consumer.
+    pub fn is_evicted(&self) -> bool {
+        recover(self.core.state.lock()).evicted.is_some()
+    }
+
+    /// How many events offers replaced via same-object coalescing.
+    pub fn coalesced(&self) -> u64 {
+        recover(self.core.state.lock()).coalesced
+    }
+
+    /// How many events drains have handed out.
+    pub fn delivered(&self) -> u64 {
+        recover(self.core.state.lock()).delivered
+    }
+
+    /// Everything queued right now, without blocking (possibly empty).
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] once the subscription has been evicted as a slow
+    /// consumer; re-list and subscribe afresh.
+    pub fn try_recv(&self) -> Result<Vec<WatchEvent>, WatchError> {
+        self.core.drain()
+    }
+
+    /// Block until events arrive (or eviction), up to `timeout`; an empty
+    /// batch means the timeout elapsed with nothing published.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] once the subscription has been evicted.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<WatchEvent>, WatchError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = recover(self.core.state.lock());
+        loop {
+            if state.evicted.is_some() || state.live > 0 {
+                return SubscriberCore::drain_locked(&mut state);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            let (guard, _) = self
+                .core
+                .cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = guard;
+        }
+    }
+
+    /// Block until events arrive or the subscription is evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] once the subscription has been evicted.
+    pub fn recv(&self) -> Result<Vec<WatchEvent>, WatchError> {
+        loop {
+            let batch = self.recv_timeout(Duration::from_secs(60))?;
+            if !batch.is_empty() {
+                return Ok(batch);
+            }
+        }
+    }
+}
+
+impl Drop for WatchSubscriber {
+    fn drop(&mut self) {
+        self.core.close();
+    }
+}
+
 /// A fully-built event envelope waiting for its revision. Everything
 /// allocation-heavy — the namespace/name strings and the `Arc` clone —
 /// happens **before** any journal lock is taken, so the journal critical
@@ -273,6 +735,18 @@ pub(crate) struct KindJournals {
     /// concurrent subscribers drain deltas in parallel and contend with
     /// writers only for the lock itself.
     shards: Vec<RwLock<JournalInner>>,
+    /// Push subscribers attached per sub-shard (same flat indexing).
+    /// Publication fans each event into these queues inside the sub-shard's
+    /// critical section; registration happens under the sub-shard's *read*
+    /// lock, which excludes publication, so no event can slip between a
+    /// subscriber's backfill and its attachment.
+    subscribers: Vec<StdMutex<Vec<Arc<SubscriberCore>>>>,
+    /// One wake signal per sub-shard (same flat indexing) for
+    /// namespace-scoped blocking waiters…
+    signals: Vec<WakeSignal>,
+    /// …and one per kind for all-namespaces waiters, which cannot block on
+    /// several sub-shard condvars at once.
+    kind_signals: Vec<WakeSignal>,
     shard_count: usize,
     capacity: usize,
 }
@@ -285,13 +759,49 @@ impl KindJournals {
             shards: (0..ResourceKind::COUNT * shard_count)
                 .map(|_| RwLock::new(JournalInner::default()))
                 .collect(),
+            subscribers: (0..ResourceKind::COUNT * shard_count)
+                .map(|_| StdMutex::new(Vec::new()))
+                .collect(),
+            signals: (0..ResourceKind::COUNT * shard_count)
+                .map(|_| WakeSignal::default())
+                .collect(),
+            kind_signals: (0..ResourceKind::COUNT)
+                .map(|_| WakeSignal::default())
+                .collect(),
             shard_count,
             capacity,
         }
     }
 
+    fn shard_index(&self, kind: ResourceKind, namespace: &str) -> usize {
+        kind.index() * self.shard_count + namespace_shard(namespace, self.shard_count)
+    }
+
     fn shard_of(&self, kind: ResourceKind, namespace: &str) -> &RwLock<JournalInner> {
-        &self.shards[kind.index() * self.shard_count + namespace_shard(namespace, self.shard_count)]
+        &self.shards[self.shard_index(kind, namespace)]
+    }
+
+    /// The wake signal a blocking waiter on `(kind, namespace)` parks on:
+    /// the sub-shard's own signal when namespace-scoped, the kind-wide
+    /// aggregate otherwise.
+    pub(crate) fn signal_of(&self, kind: ResourceKind, namespace: &str) -> &WakeSignal {
+        if namespace.is_empty() {
+            &self.kind_signals[kind.index()]
+        } else {
+            &self.signals[self.shard_index(kind, namespace)]
+        }
+    }
+
+    /// Fan one freshly published event into every push subscriber attached
+    /// to its sub-shard, pruning subscribers whose handles were dropped.
+    /// Runs inside the sub-shard's publication critical section, so each
+    /// queue receives its sub-shard's events in exact publication order.
+    fn fan_out(&self, shard_index: usize, event: &WatchEvent) {
+        let mut list = recover(self.subscribers[shard_index].lock());
+        if list.is_empty() {
+            return;
+        }
+        list.retain(|subscriber| subscriber.offer(event));
     }
 
     /// All sub-shards of one kind, in sub-shard order.
@@ -300,38 +810,51 @@ impl KindJournals {
         &self.shards[start..start + self.shard_count]
     }
 
-    /// Allocate the next global revision and append the staged event, all
-    /// under the sub-shard's (already held) write lock. This is the linchpin
-    /// of watch correctness: because allocation happens inside the critical
-    /// section, each sub-shard is a gapless-by-construction revision
-    /// sequence — no event with a smaller revision can appear after a larger
-    /// one has been observed there.
+    /// Allocate the next global revision, fan the event into the sub-shard's
+    /// push subscribers, and append it to the journal — all under the
+    /// sub-shard's (already held) write lock. This is the linchpin of watch
+    /// correctness: because allocation happens inside the critical section,
+    /// each sub-shard is a gapless-by-construction revision sequence — no
+    /// event with a smaller revision can appear after a larger one has been
+    /// observed there — and every push queue receives its sub-shard's events
+    /// in that same order.
     fn push_locked(
+        &self,
         inner: &mut JournalInner,
-        capacity: usize,
+        shard_index: usize,
         revision: &AtomicU64,
         staged: StagedEvent,
     ) -> u64 {
         let assigned = revision.fetch_add(1, Ordering::Relaxed) + 1;
-        if inner.events.len() == capacity {
+        let event = staged.into_event(assigned);
+        self.fan_out(shard_index, &event);
+        if inner.events.len() == self.capacity {
             let dropped = inner.events.pop_front().expect("capacity > 0");
             inner.compacted_through = dropped.revision;
         }
-        inner.events.push_back(staged.into_event(assigned));
+        inner.events.push_back(event);
         inner.last_revision = assigned;
         assigned
     }
 
     /// Publish one staged event, allocating its revision inside its
-    /// sub-shard's critical section.
+    /// sub-shard's critical section, then signal blocked waiters (sub-shard
+    /// and kind scope) before the lock drops — so a waiter woken by the bump
+    /// either sees the event in a queue already or finds it in the journal
+    /// on its re-poll.
     ///
     /// Must be called while holding the written object's store-shard lock
     /// (see the store write paths), so an initial-list scan that starts
     /// after a published revision is guaranteed to observe the map effect
     /// too.
     pub(crate) fn publish(&self, revision: &AtomicU64, staged: StagedEvent) -> u64 {
-        let mut inner = self.shard_of(staged.kind, &staged.namespace).write();
-        Self::push_locked(&mut inner, self.capacity, revision, staged)
+        let kind = staged.kind;
+        let shard_index = self.shard_index(kind, &staged.namespace);
+        let mut inner = self.shards[shard_index].write();
+        let assigned = self.push_locked(&mut inner, shard_index, revision, staged);
+        self.signals[shard_index].notify();
+        self.kind_signals[kind.index()].notify();
+        assigned
     }
 
     /// Publish a batch of staged events, entering each touched sub-shard's
@@ -377,11 +900,15 @@ impl KindJournals {
             if group.is_empty() {
                 continue;
             }
-            // One critical-section entry for the whole group.
+            // One critical-section entry for the whole group — and one wake
+            // signal bump per touched sub-shard, not per event: waiters
+            // re-poll once and collect the whole batch.
             let mut inner = self.shards[start + shard].write();
             for (index, event) in group.drain(..) {
-                assigned[index] = Self::push_locked(&mut inner, self.capacity, revision, event);
+                assigned[index] = self.push_locked(&mut inner, start + shard, revision, event);
             }
+            self.signals[start + shard].notify();
+            self.kind_signals[kind.index()].notify();
         }
     }
 
@@ -499,6 +1026,55 @@ impl KindJournals {
             .max()
             .unwrap_or(0)
     }
+
+    /// Attach a push subscriber for `kind` (scoped to `namespace` when
+    /// non-empty) resuming after `cursor`. Per needed sub-shard, the journal
+    /// suffix since the cursor is **backfilled into the queue while the
+    /// sub-shard's read lock is held** and the subscriber is appended to the
+    /// fan-out list before that lock drops; publication needs the write
+    /// lock, so no event can land between backfill and attachment — the
+    /// queue sees every post-cursor event of the sub-shard exactly once.
+    ///
+    /// `copy` selects the per-subscriber delivery discipline (deep clone for
+    /// the baseline store, shared handles for the zero-copy store).
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] when `cursor` predates the compaction horizon of
+    /// a needed sub-shard (same contract as [`KindJournals::events_since`]).
+    /// A backfill larger than `capacity` evicts the nascent subscription the
+    /// same way live slowness would, so the first drain reports `Gone`.
+    pub(crate) fn subscribe(
+        &self,
+        kind: ResourceKind,
+        namespace: &str,
+        cursor: u64,
+        capacity: usize,
+        copy: bool,
+    ) -> Result<WatchSubscriber, WatchError> {
+        let core = Arc::new(SubscriberCore::new(namespace, cursor, capacity, copy));
+        let start = kind.index() * self.shard_count;
+        let indices: Vec<usize> = if namespace.is_empty() {
+            (start..start + self.shard_count).collect()
+        } else {
+            vec![self.shard_index(kind, namespace)]
+        };
+        for index in indices {
+            let inner = self.shards[index].read();
+            if cursor < inner.compacted_through {
+                // Partially attached sub-shards prune on the next fan-out.
+                core.close();
+                return Err(WatchError::Gone {
+                    compacted_through: inner.compacted_through,
+                });
+            }
+            for event in inner.events.range(inner.suffix_start(cursor)..) {
+                core.offer(event);
+            }
+            recover(self.subscribers[index].lock()).push(Arc::clone(&core));
+        }
+        Ok(WatchSubscriber { core, kind })
+    }
 }
 
 /// A pull-style subscription over a store's watch journal: remembers the
@@ -548,6 +1124,58 @@ impl WatchSubscription {
         let delta = store.events_since(self.kind, &self.namespace, self.revision)?;
         self.revision = delta.resume;
         Ok(delta.events)
+    }
+
+    /// Like [`WatchSubscription::poll`], but **blocks on the journal's wake
+    /// signal** instead of returning an empty batch: the cursor advances and
+    /// events are returned as soon as something is published, or an empty
+    /// batch is returned once `timeout` elapses.
+    ///
+    /// No wakeup can be lost: the signal generation is read *before* each
+    /// poll, and publication bumps it inside the critical section — so a
+    /// publish racing the poll either lands in the polled delta or moves the
+    /// generation past the value this waiter sleeps on.
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] when the cursor predates the compaction horizon
+    /// of a needed journal sub-shard.
+    pub fn recv_timeout<S: crate::StoreBackend + ?Sized>(
+        &mut self,
+        store: &S,
+        timeout: Duration,
+    ) -> Result<Vec<WatchEvent>, WatchError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let seen = store.watch_generation(self.kind, &self.namespace);
+            let events = self.poll(store)?;
+            if !events.is_empty() {
+                return Ok(events);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            store.wait_for_watch(self.kind, &self.namespace, seen, deadline - now);
+        }
+    }
+
+    /// Block until events are published (or the cursor goes stale).
+    ///
+    /// # Errors
+    ///
+    /// [`WatchError::Gone`] when the cursor predates the compaction horizon
+    /// of a needed journal sub-shard.
+    pub fn recv<S: crate::StoreBackend + ?Sized>(
+        &mut self,
+        store: &S,
+    ) -> Result<Vec<WatchEvent>, WatchError> {
+        loop {
+            let events = self.recv_timeout(store, Duration::from_secs(60))?;
+            if !events.is_empty() {
+                return Ok(events);
+            }
+        }
     }
 }
 
@@ -806,6 +1434,273 @@ mod tests {
                 assert_eq!(shard, namespace_shard(ns, shard_count));
             }
         }
+    }
+
+    #[test]
+    fn push_subscribers_receive_backfill_then_live_events_in_order() {
+        let journals = KindJournals::new(64, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns", "a", &object));
+        let sub = journals
+            .subscribe(ResourceKind::Pod, "ns", 0, 16, false)
+            .unwrap();
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns", "b", &object));
+        let events = sub.try_recv().unwrap();
+        assert_eq!(
+            events.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert!(events.windows(2).all(|w| w[0].revision < w[1].revision));
+        assert_eq!(sub.resume(), 2);
+        assert_eq!(sub.delivered(), 2);
+        // Zero-copy discipline: the queued event shares the published tree.
+        assert!(Arc::ptr_eq(events[0].object.as_ref().unwrap(), &object));
+        // Nothing further queued.
+        assert!(sub.try_recv().unwrap().is_empty());
+    }
+
+    #[test]
+    fn push_subscribers_respect_the_namespace_filter_and_copy_discipline() {
+        let journals = KindJournals::new(64, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let scoped = journals
+            .subscribe(ResourceKind::Pod, "ns1", 0, 16, false)
+            .unwrap();
+        let copying = journals
+            .subscribe(ResourceKind::Pod, "", 0, 16, true)
+            .unwrap();
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns1", "a", &object));
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns2", "b", &object));
+        let scoped_events = scoped.try_recv().unwrap();
+        assert_eq!(scoped_events.len(), 1);
+        assert_eq!(scoped_events[0].name, "a");
+        let copied = copying.try_recv().unwrap();
+        assert_eq!(copied.len(), 2);
+        assert!(!Arc::ptr_eq(copied[0].object.as_ref().unwrap(), &object));
+        assert!(copied[0].object.as_ref().unwrap().loosely_equals(&object));
+    }
+
+    #[test]
+    fn coalescing_keeps_the_last_write_and_the_delivery_order() {
+        let journals = KindJournals::new(64, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let sub = journals
+            .subscribe(ResourceKind::Pod, "ns", 0, 16, false)
+            .unwrap();
+        let stale = tree("hot-old");
+        let other = tree("other");
+        let newest = tree("hot-new");
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns", "hot", &stale));
+        journals.publish(
+            &counter,
+            staged(WatchEventKind::Added, "ns", "other", &other),
+        );
+        let r3 = journals.publish(
+            &counter,
+            staged(WatchEventKind::Modified, "ns", "hot", &newest),
+        );
+        let events = sub.try_recv().unwrap();
+        // The stale "hot" event was coalesced away: one event per object,
+        // the hot object's being the newest write, still revision-sorted.
+        assert_eq!(
+            events
+                .iter()
+                .map(|e| (e.name.as_str(), e.revision))
+                .collect::<Vec<_>>(),
+            [("other", 2), ("hot", r3)]
+        );
+        assert!(Arc::ptr_eq(events[1].object.as_ref().unwrap(), &newest));
+        assert_eq!(sub.coalesced(), 1);
+    }
+
+    #[test]
+    fn slow_consumers_are_evicted_and_observe_gone() {
+        let journals = KindJournals::new(64, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let sub = journals
+            .subscribe(ResourceKind::Pod, "ns", 0, 2, false)
+            .unwrap();
+        // Three distinct objects against a queue bound of two: the third
+        // offer cannot coalesce, so the subscriber is evicted.
+        for name in ["a", "b", "c"] {
+            journals.publish(&counter, staged(WatchEventKind::Added, "ns", name, &object));
+        }
+        assert!(sub.is_evicted());
+        assert!(matches!(sub.try_recv(), Err(WatchError::Gone { .. })));
+        // Still Gone on the next drain; later publishes stay ignored.
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns", "d", &object));
+        assert!(matches!(
+            sub.recv_timeout(Duration::from_millis(5)),
+            Err(WatchError::Gone { .. })
+        ));
+    }
+
+    #[test]
+    fn a_backfill_wider_than_the_queue_bound_evicts_like_live_slowness() {
+        let journals = KindJournals::new(64, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        for i in 0..5 {
+            journals.publish(
+                &counter,
+                staged(WatchEventKind::Added, "ns", &format!("obj-{i}"), &object),
+            );
+        }
+        let sub = journals
+            .subscribe(ResourceKind::Pod, "ns", 0, 2, false)
+            .unwrap();
+        assert!(matches!(sub.try_recv(), Err(WatchError::Gone { .. })));
+    }
+
+    #[test]
+    fn subscribe_reports_gone_for_compacted_cursors() {
+        let journals = KindJournals::new(2, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        for i in 0..4 {
+            journals.publish(
+                &counter,
+                staged(WatchEventKind::Added, "ns", &format!("obj-{i}"), &object),
+            );
+        }
+        assert_eq!(
+            journals
+                .subscribe(ResourceKind::Pod, "ns", 0, 16, false)
+                .err(),
+            Some(WatchError::Gone {
+                compacted_through: 2
+            })
+        );
+        // A cursor at the horizon attaches fine.
+        assert!(journals
+            .subscribe(ResourceKind::Pod, "ns", 2, 16, false)
+            .is_ok());
+    }
+
+    #[test]
+    fn recv_timeout_blocks_until_publication_wakes_it() {
+        let journals = Arc::new(KindJournals::new(64, DEFAULT_JOURNAL_SHARDS));
+        let counter = Arc::new(AtomicU64::new(0));
+        let sub = journals
+            .subscribe(ResourceKind::Pod, "ns", 0, 16, false)
+            .unwrap();
+        let publisher = {
+            let journals = Arc::clone(&journals);
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                journals.publish(
+                    &counter,
+                    staged(WatchEventKind::Added, "ns", "late", &tree("late")),
+                );
+            })
+        };
+        let started = Instant::now();
+        let events = sub.recv_timeout(Duration::from_secs(5)).unwrap();
+        publisher.join().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "late");
+        // Woken by the publication, not the five-second deadline.
+        assert!(started.elapsed() < Duration::from_secs(4));
+    }
+
+    #[test]
+    fn dispatcher_surfaces_readiness_once_per_drain_cycle() {
+        let journals = KindJournals::new(64, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let dispatcher = WatchDispatcher::new();
+        let quiet = journals
+            .subscribe(ResourceKind::Pod, "quiet-ns", 0, 16, false)
+            .unwrap();
+        let busy = journals
+            .subscribe(ResourceKind::Pod, "busy-ns", 0, 16, false)
+            .unwrap();
+        dispatcher.register(&quiet, 0);
+        dispatcher.register(&busy, 1);
+        // Nothing published: no readiness.
+        assert_eq!(dispatcher.next_ready(Duration::from_millis(5)), None);
+        // A burst surfaces the busy subscription exactly once.
+        for name in ["a", "b", "c"] {
+            journals.publish(
+                &counter,
+                staged(WatchEventKind::Added, "busy-ns", name, &object),
+            );
+        }
+        assert_eq!(dispatcher.next_ready(Duration::from_millis(100)), Some(1));
+        assert_eq!(dispatcher.next_ready(Duration::from_millis(5)), None);
+        assert_eq!(busy.try_recv().unwrap().len(), 3);
+        // Drained: the next event re-arms readiness.
+        journals.publish(
+            &counter,
+            staged(WatchEventKind::Added, "busy-ns", "d", &object),
+        );
+        assert_eq!(dispatcher.next_ready(Duration::from_millis(100)), Some(1));
+        assert!(!quiet.is_evicted());
+    }
+
+    #[test]
+    fn registering_with_a_backlog_surfaces_immediately() {
+        let journals = KindJournals::new(64, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let sub = journals
+            .subscribe(ResourceKind::Pod, "ns", 0, 16, false)
+            .unwrap();
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns", "a", &object));
+        let dispatcher = WatchDispatcher::new();
+        dispatcher.register(&sub, 7);
+        assert_eq!(dispatcher.next_ready(Duration::from_millis(5)), Some(7));
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_from_the_fan_out() {
+        let journals = KindJournals::new(64, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let object = tree("a");
+        let shard_index = journals.shard_index(ResourceKind::Pod, "ns");
+        let sub = journals
+            .subscribe(ResourceKind::Pod, "ns", 0, 16, false)
+            .unwrap();
+        assert_eq!(recover(journals.subscribers[shard_index].lock()).len(), 1);
+        drop(sub);
+        journals.publish(&counter, staged(WatchEventKind::Added, "ns", "a", &object));
+        assert!(recover(journals.subscribers[shard_index].lock()).is_empty());
+    }
+
+    #[test]
+    fn tombstone_compaction_keeps_queue_memory_bounded_by_live_entries() {
+        let journals = KindJournals::new(4096, DEFAULT_JOURNAL_SHARDS);
+        let counter = AtomicU64::new(0);
+        let sub = journals
+            .subscribe(ResourceKind::Pod, "ns", 0, 4, false)
+            .unwrap();
+        // Hammer two objects far past the bound: coalescing tombstones every
+        // stale slot, and periodic compaction keeps the deque near `live`.
+        let object = tree("hot");
+        for i in 0..200 {
+            let name = if i % 2 == 0 { "x" } else { "y" };
+            journals.publish(
+                &counter,
+                staged(WatchEventKind::Modified, "ns", name, &object),
+            );
+        }
+        {
+            let state = recover(sub.core.state.lock());
+            assert_eq!(state.live, 2);
+            assert!(
+                state.slots.len() <= 8,
+                "tombstones bounded, got {}",
+                state.slots.len()
+            );
+        }
+        let events = sub.try_recv().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(sub.coalesced(), 198);
+        assert!(!sub.is_evicted());
     }
 
     #[test]

@@ -22,10 +22,17 @@
 //! disciplines over both store backends.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+// Gate waiting uses `std::sync` directly: the parking_lot shim carries no
+// Condvar, and a Condvar must pair with the mutex type it waits on.
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use k8s_apiserver::{ApiRequest, RequestHandler, ResponseStatus, WatchEvent, WatchEventKind};
+use k8s_apiserver::{
+    ApiRequest, RequestHandler, ResponseStatus, WatchEvent, WatchEventKind, WatchHub,
+    WatchSubscriber,
+};
 use k8s_model::ResourceKind;
 use kf_yaml::Value;
 
@@ -180,6 +187,297 @@ impl Informer {
     /// Apply one delivered event to the cache. Added/Modified upsert (so
     /// the overlap between an initial listing and the first delta batch is
     /// absorbed), Deleted removes, bookmarks only carry the cursor.
+    fn apply(&mut self, event: &WatchEvent) {
+        match event.kind {
+            WatchEventKind::Added | WatchEventKind::Modified => {
+                if let Some(object) = &event.object {
+                    self.cache.insert(
+                        (event.namespace.clone(), event.name.clone()),
+                        Arc::clone(object),
+                    );
+                    self.events_applied += 1;
+                }
+            }
+            WatchEventKind::Deleted => {
+                self.cache
+                    .remove(&(event.namespace.clone(), event.name.clone()));
+                self.events_applied += 1;
+            }
+            WatchEventKind::Bookmark => {}
+        }
+    }
+}
+
+/// Bounded, jittered admission for full re-lists — the herd hardening for
+/// the watch plane's recovery path.
+///
+/// A compaction storm (or a burst of slow-consumer evictions) can hand a
+/// whole fleet of informers a `410 Gone` in the same instant; if each one
+/// immediately issues a full re-list, the server absorbs `herd × list` in
+/// one spike — the thundering herd the jitter-and-serialize discipline
+/// exists to prevent. Every re-list first sleeps a **deterministic
+/// per-informer jitter** (hash of its token, so runs are reproducible) to
+/// spread the herd in time, then acquires one of `max_concurrent` permits;
+/// excess re-listers block until a permit frees. The permit is held across
+/// the whole list+resubscribe, so at no point do more than `max_concurrent`
+/// full re-lists run concurrently.
+#[derive(Debug)]
+pub struct RelistGate {
+    max_concurrent: usize,
+    active: Mutex<usize>,
+    freed: Condvar,
+    jitter_unit: Duration,
+    jitter_slots: u64,
+    /// Highest number of simultaneously admitted re-lists observed.
+    peak: AtomicUsize,
+    /// Total re-lists admitted through the gate.
+    admitted: AtomicU64,
+}
+
+impl RelistGate {
+    /// A gate admitting at most `max_concurrent` simultaneous re-lists,
+    /// with jitter disabled (pure serialization).
+    pub fn new(max_concurrent: usize) -> Self {
+        RelistGate {
+            max_concurrent: max_concurrent.max(1),
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+            jitter_unit: Duration::ZERO,
+            jitter_slots: 1,
+            peak: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+        }
+    }
+
+    /// Spread admissions over `slots` jitter buckets of `unit` each: an
+    /// informer with token `t` sleeps `(hash(t) % slots) × unit` before
+    /// competing for a permit. Deterministic per token, so a replayed run
+    /// jitters identically.
+    pub fn with_jitter(mut self, unit: Duration, slots: u64) -> Self {
+        self.jitter_unit = unit;
+        self.jitter_slots = slots.max(1);
+        self
+    }
+
+    /// The configured concurrency bound.
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
+    }
+
+    /// The jitter delay `token` would incur.
+    pub fn jitter_for(&self, token: u64) -> Duration {
+        if self.jitter_unit.is_zero() {
+            return Duration::ZERO;
+        }
+        let mut hasher = DefaultHasher::new();
+        token.hash(&mut hasher);
+        self.jitter_unit * ((hasher.finish() % self.jitter_slots) as u32)
+    }
+
+    /// Highest number of simultaneously admitted re-lists observed so far
+    /// (never exceeds [`RelistGate::max_concurrent`] by construction).
+    pub fn peak_admitted(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Total re-lists admitted so far.
+    pub fn admissions(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Jitter, then block until a permit is free. The permit is released
+    /// when the returned guard drops — hold it across the whole re-list.
+    pub fn admit(&self, token: u64) -> RelistPermit<'_> {
+        let jitter = self.jitter_for(token);
+        if !jitter.is_zero() {
+            std::thread::sleep(jitter);
+        }
+        let mut active = self
+            .active
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        while *active >= self.max_concurrent {
+            active = self
+                .freed
+                .wait(active)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        *active += 1;
+        self.peak.fetch_max(*active, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        RelistPermit { gate: self }
+    }
+}
+
+/// An admitted re-list slot; dropping it frees the permit.
+#[derive(Debug)]
+pub struct RelistPermit<'a> {
+    gate: &'a RelistGate,
+}
+
+impl Drop for RelistPermit<'_> {
+    fn drop(&mut self) {
+        let mut active = self
+            .gate
+            .active
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *active = active.saturating_sub(1);
+        self.gate.freed.notify_one();
+    }
+}
+
+/// A push-mode informer: the same local-cache contract as [`Informer`], but
+/// instead of polling watch deltas it holds a [`WatchSubscriber`] whose
+/// bounded queue the store fills on publication — an idle informer costs the
+/// server **nothing** between writes. Recovery is symmetric with the pull
+/// informer: a slow-consumer eviction or compaction `Gone` clears the cache
+/// and re-attaches through an optional [`RelistGate`], so a storm that
+/// `Gone`s a fleet cannot stampede the server with simultaneous re-lists.
+#[derive(Debug)]
+pub struct PushInformer {
+    user: String,
+    kind: ResourceKind,
+    namespace: String,
+    cache: BTreeMap<(String, String), Arc<Value>>,
+    subscription: Option<WatchSubscriber>,
+    gate: Option<Arc<RelistGate>>,
+    /// Stable identity for gate jitter (defaults to 0; fleets assign
+    /// distinct tokens).
+    token: u64,
+    events_applied: u64,
+    relists: u64,
+    evictions: u64,
+}
+
+impl PushInformer {
+    /// A push informer over `kind` in `namespace` (all namespaces when
+    /// empty), authenticated as `user`.
+    pub fn new(user: &str, kind: ResourceKind, namespace: &str) -> Self {
+        PushInformer {
+            user: user.to_owned(),
+            kind,
+            namespace: namespace.to_owned(),
+            cache: BTreeMap::new(),
+            subscription: None,
+            gate: None,
+            token: 0,
+            events_applied: 0,
+            relists: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Route this informer's re-lists (initial attach and every recovery)
+    /// through `gate`, jittered by `token`.
+    pub fn with_gate(mut self, gate: Arc<RelistGate>, token: u64) -> Self {
+        self.gate = Some(gate);
+        self.token = token;
+        self
+    }
+
+    /// The reconciled objects, in key order.
+    pub fn cache(&self) -> &BTreeMap<(String, String), Arc<Value>> {
+        &self.cache
+    }
+
+    /// Number of objects currently reconciled.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cache mutations applied so far (initial seeds + pushed deltas).
+    pub fn events_applied(&self) -> u64 {
+        self.events_applied
+    }
+
+    /// Full re-lists performed so far (initial attach + recoveries).
+    pub fn relists(&self) -> u64 {
+        self.relists
+    }
+
+    /// Slow-consumer evictions survived so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether a live subscription is attached.
+    pub fn is_attached(&self) -> bool {
+        self.subscription.is_some()
+    }
+
+    /// The live subscription, for dispatcher registration.
+    pub fn subscription(&self) -> Option<&WatchSubscriber> {
+        self.subscription.as_ref()
+    }
+
+    /// Attach (or re-attach) the subscription: one initial-list push watch,
+    /// admitted through the gate when one is configured — the permit covers
+    /// the whole list+subscribe, so gated fleets cannot stampede. Returns
+    /// the number of requests issued (1 per attempt; a compaction racing
+    /// the attach forces a retry).
+    pub fn attach<H: WatchHub>(&mut self, hub: &H) -> u64 {
+        // Clone the gate handle so the permit does not pin a borrow of
+        // `self` across the cache mutations below.
+        let gate = self.gate.clone();
+        let _permit = gate.as_ref().map(|gate| gate.admit(self.token));
+        let mut requests = 0;
+        loop {
+            requests += 1;
+            let request = ApiRequest::watch(&self.user, self.kind, &self.namespace, None);
+            match hub.subscribe_push(&request) {
+                Ok(push) => {
+                    self.cache.clear();
+                    self.relists += 1;
+                    for event in &push.initial {
+                        self.apply(event);
+                    }
+                    self.subscription = Some(push.subscriber);
+                    return requests;
+                }
+                Err(response) if response.status == ResponseStatus::Gone => {
+                    // The journal compacted between the cursor read and the
+                    // attach; the initial watch is self-healing — try again.
+                    continue;
+                }
+                Err(_) => return requests,
+            }
+        }
+    }
+
+    /// One push reconcile tick: block up to `timeout` for delivered events
+    /// and fold them into the cache. An eviction (`Gone`) clears the cache
+    /// and re-attaches through the gate — the push plane's equivalent of
+    /// the pull informer's compaction recovery. Returns the number of
+    /// requests issued (0 when events arrived over the live subscription —
+    /// push delivery is not a request).
+    pub fn pump<H: WatchHub>(&mut self, hub: &H, timeout: Duration) -> u64 {
+        let Some(subscription) = &self.subscription else {
+            return self.attach(hub);
+        };
+        match subscription.recv_timeout(timeout) {
+            Ok(events) => {
+                for event in &events {
+                    self.apply(event);
+                }
+                0
+            }
+            Err(_gone) => {
+                self.evictions += 1;
+                self.subscription = None;
+                self.cache.clear();
+                self.attach(hub)
+            }
+        }
+    }
+
+    /// Drain whatever is queued right now without blocking, applying it to
+    /// the cache; `Gone` recovery as in [`PushInformer::pump`]. Returns the
+    /// number of requests issued.
+    pub fn pump_now<H: WatchHub>(&mut self, hub: &H) -> u64 {
+        self.pump(hub, Duration::ZERO)
+    }
+
     fn apply(&mut self, event: &WatchEvent) {
         match event.kind {
             WatchEventKind::Added | WatchEventKind::Modified => {
@@ -507,6 +805,81 @@ mod tests {
         informer.sync(&server);
         assert_eq!(informer.cache_len() % 3, 0);
         assert!(informer.cache_len() >= 3);
+    }
+
+    #[test]
+    fn push_informers_attach_then_receive_pushed_deltas() {
+        let server = ApiServer::new();
+        server.handle(&ApiRequest::create("admin", &pod("a")));
+        let mut informer = PushInformer::new("admin", ResourceKind::Pod, "default");
+        assert_eq!(informer.attach(&server), 1);
+        assert_eq!(informer.cache_len(), 1);
+        assert_eq!(informer.relists(), 1);
+        // Writes land in the subscriber queue without the informer asking.
+        server.handle(&ApiRequest::create("admin", &pod("b")));
+        server.handle(&ApiRequest::delete(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            "a",
+        ));
+        assert_eq!(informer.pump_now(&server), 0, "push delivery is free");
+        assert_eq!(informer.cache_len(), 1);
+        assert!(informer
+            .cache()
+            .contains_key(&("default".to_owned(), "b".to_owned())));
+        assert_eq!(informer.relists(), 1, "deltas must not re-list");
+        // Zero-copy end to end: the cached tree is the stored tree.
+        let stored = server
+            .store()
+            .get(ResourceKind::Pod, "default", "b")
+            .unwrap();
+        let cached = &informer.cache()[&("default".to_owned(), "b".to_owned())];
+        assert!(Arc::ptr_eq(cached, stored.object.shared_body()));
+    }
+
+    #[test]
+    fn evicted_push_informers_recover_by_relisting_gaplessly() {
+        // A queue bound of two and three-object bursts: the informer is
+        // evicted while idle, then recovers to the exact store state.
+        let server = ApiServer::new().with_watch_queue_capacity(2);
+        let mut informer = PushInformer::new("admin", ResourceKind::Pod, "default");
+        informer.attach(&server);
+        for name in ["a", "b", "c"] {
+            server.handle(&ApiRequest::create("admin", &pod(name)));
+        }
+        assert!(informer.subscription().unwrap().is_evicted());
+        let requests = informer.pump_now(&server);
+        assert!(requests >= 1, "recovery re-lists");
+        assert_eq!(informer.evictions(), 1);
+        assert_eq!(informer.relists(), 2);
+        assert_eq!(informer.cache_len(), 3);
+        // And the new subscription streams again.
+        server.handle(&ApiRequest::delete(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            "b",
+        ));
+        informer.pump_now(&server);
+        assert_eq!(informer.cache_len(), 2);
+        assert_eq!(informer.evictions(), 1);
+    }
+
+    #[test]
+    fn the_relist_gate_bounds_concurrency_and_jitters_deterministically() {
+        let gate = RelistGate::new(2).with_jitter(Duration::from_millis(1), 4);
+        assert_eq!(gate.max_concurrent(), 2);
+        assert_eq!(gate.jitter_for(7), gate.jitter_for(7), "deterministic");
+        assert!(gate.jitter_for(7) < Duration::from_millis(4));
+        let p1 = gate.admit(1);
+        let p2 = gate.admit(2);
+        assert_eq!(gate.peak_admitted(), 2);
+        drop(p1);
+        let _p3 = gate.admit(3);
+        drop(p2);
+        assert_eq!(gate.admissions(), 3);
+        assert_eq!(gate.peak_admitted(), 2, "never above the bound");
     }
 
     #[test]

@@ -27,6 +27,9 @@ mod operator;
 mod throughput;
 
 pub use driver::{DeploymentDriver, DeploymentOutcome};
-pub use informer::{Informer, InformerDriver, ReconcileReport, ReconcileStrategy};
+pub use informer::{
+    Informer, InformerDriver, PushInformer, ReconcileReport, ReconcileStrategy, RelistGate,
+    RelistPermit,
+};
 pub use operator::{Operator, OperatorWorkload};
 pub use throughput::{MixRatio, ThroughputDriver, ThroughputReport};

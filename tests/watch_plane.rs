@@ -8,11 +8,11 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use k8s_apiserver::{
-    namespace_shard, ApiRequest, ApiServer, ObjectStore, RequestHandler, WatchError,
-    WatchEventKind, WatchSubscription, DEFAULT_JOURNAL_SHARDS,
+    namespace_shard, ApiRequest, ApiServer, ObjectStore, PushWatch, RequestHandler, WatchError,
+    WatchEventKind, WatchHub, WatchSubscription, DEFAULT_JOURNAL_SHARDS,
 };
 use k8s_model::{K8sObject, ResourceKind};
-use kf_workloads::Informer;
+use kf_workloads::{Informer, PushInformer, RelistGate};
 
 fn pod(name: &str) -> K8sObject {
     pod_in(name, "default")
@@ -507,4 +507,280 @@ fn watch_requests_traverse_rbac_and_audit() {
     assert_eq!(watches.len(), 2);
     assert!(watches.iter().any(|e| e.allowed));
     assert!(watches.iter().any(|e| !e.allowed));
+}
+
+/// A request handler wrapper that counts how many list-shaped requests are
+/// in flight at once — the observable a re-list stampede would spike.
+struct ConcurrencyProbe<'a, H> {
+    inner: &'a H,
+    in_flight: std::sync::atomic::AtomicUsize,
+    peak: std::sync::atomic::AtomicUsize,
+}
+
+impl<'a, H> ConcurrencyProbe<'a, H> {
+    fn new(inner: &'a H) -> Self {
+        ConcurrencyProbe {
+            inner,
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
+            peak: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<H: RequestHandler> RequestHandler for ConcurrencyProbe<'_, H> {
+    fn handle(&self, request: &ApiRequest) -> k8s_apiserver::ApiResponse {
+        let now = self
+            .in_flight
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            + 1;
+        self.peak
+            .fetch_max(now, std::sync::atomic::Ordering::SeqCst);
+        let response = self.inner.handle(request);
+        self.in_flight
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        response
+    }
+}
+
+impl<H: WatchHub> WatchHub for ConcurrencyProbe<'_, H> {
+    fn subscribe_push(
+        &self,
+        request: &ApiRequest,
+    ) -> Result<PushWatch, k8s_apiserver::ApiResponse> {
+        let now = self
+            .in_flight
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+            + 1;
+        self.peak
+            .fetch_max(now, std::sync::atomic::Ordering::SeqCst);
+        let result = self.inner.subscribe_push(request);
+        self.in_flight
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        result
+    }
+}
+
+/// The compaction-storm acceptance test: a herd of push informers is evicted
+/// in one burst, and every recovery re-list must pass through a shared
+/// [`RelistGate`] — so the number of concurrent full re-lists observed at
+/// the server stays at the gate's bound, far below the herd size.
+#[test]
+fn a_gated_herd_recovers_without_a_relist_stampede() {
+    const HERD: usize = 48;
+    const GATE: usize = 4;
+
+    // Tiny per-subscriber queues: a three-object burst evicts everyone.
+    let server = ApiServer::new().with_watch_queue_capacity(2);
+    for i in 0..4 {
+        server.handle(&ApiRequest::create("admin", &pod(&format!("seed-{i}"))));
+    }
+    let probe = ConcurrencyProbe::new(&server);
+    let gate = std::sync::Arc::new(RelistGate::new(GATE));
+    let mut herd: Vec<PushInformer> = (0..HERD)
+        .map(|i| {
+            PushInformer::new("admin", ResourceKind::Pod, "default")
+                .with_gate(std::sync::Arc::clone(&gate), i as u64)
+        })
+        .collect();
+    // Attach serially (the storm under test is the recovery, not the
+    // bootstrap), then verify every informer is live and in sync.
+    for informer in &mut herd {
+        informer.attach(&probe);
+        assert_eq!(informer.cache_len(), 4);
+    }
+
+    // The storm: distinct-object churn wider than every queue bound evicts
+    // the whole herd at once.
+    for i in 0..3 {
+        server.handle(&ApiRequest::create("admin", &pod(&format!("storm-{i}"))));
+    }
+    assert!(herd
+        .iter()
+        .all(|informer| informer.subscription().unwrap().is_evicted()));
+
+    // Every informer pumps concurrently; recovery re-lists must serialize
+    // through the gate.
+    std::thread::scope(|scope| {
+        for informer in &mut herd {
+            let probe = &probe;
+            scope.spawn(move || {
+                informer.pump_now(probe);
+            });
+        }
+    });
+    for informer in &herd {
+        assert_eq!(informer.evictions(), 1);
+        assert_eq!(informer.cache_len(), 7, "recovered to the full store");
+        assert!(informer.is_attached());
+    }
+    assert_eq!(gate.admissions(), HERD as u64 + HERD as u64);
+    assert!(
+        gate.peak_admitted() <= GATE,
+        "gate admitted {} concurrent re-lists, bound is {GATE}",
+        gate.peak_admitted()
+    );
+    assert!(
+        probe.peak() <= GATE,
+        "server saw {} concurrent re-lists from a herd of {HERD}; the gate must bound this below the herd size",
+        probe.peak()
+    );
+
+    // And the recovered subscriptions stream again.
+    server.handle(&ApiRequest::delete(
+        "admin",
+        ResourceKind::Pod,
+        "default",
+        "storm-0",
+    ));
+    for informer in &mut herd {
+        informer.pump_now(&probe);
+        assert_eq!(informer.cache_len(), 6);
+    }
+}
+
+/// Server-level eviction recovery is gapless: after `Gone`, one re-list
+/// brings the cache to the exact store state even when the missed events
+/// included deletes (which a naive "replay what I missed" could not).
+#[test]
+fn evicted_push_watchers_relist_to_the_exact_store_state() {
+    let server = ApiServer::new().with_watch_queue_capacity(2);
+    server.handle(&ApiRequest::create("admin", &pod("keep")));
+    let mut informer = PushInformer::new("admin", ResourceKind::Pod, "default");
+    informer.attach(&server);
+
+    // The burst both creates and deletes while the informer is not
+    // draining; the queue bound trips mid-burst.
+    for i in 0..3 {
+        server.handle(&ApiRequest::create("admin", &pod(&format!("burst-{i}"))));
+    }
+    server.handle(&ApiRequest::delete(
+        "admin",
+        ResourceKind::Pod,
+        "default",
+        "burst-1",
+    ));
+    assert!(informer.subscription().unwrap().is_evicted());
+    informer.pump_now(&server);
+    assert_eq!(informer.evictions(), 1);
+
+    // The recovered cache equals the store exactly — no ghost of the
+    // deleted object, nothing missed.
+    let stored: Vec<String> = server
+        .store()
+        .list(ResourceKind::Pod, "default")
+        .iter()
+        .map(|s| s.object.name().to_owned())
+        .collect();
+    let cached: Vec<String> = informer
+        .cache()
+        .keys()
+        .map(|(_, name)| name.clone())
+        .collect();
+    assert_eq!(cached, stored);
+    assert_eq!(stored, ["burst-0", "burst-2", "keep"]);
+}
+
+/// Coalesced bursts at the server level: a hot object rewritten many times
+/// between drains delivers once, with the newest body, sharing the stored
+/// tree by pointer.
+#[test]
+fn coalesced_bursts_preserve_last_write_wins_and_zero_copy_sharing() {
+    let server = ApiServer::new();
+    let push = server
+        .subscribe_push(&ApiRequest::watch(
+            "admin",
+            ResourceKind::Pod,
+            "default",
+            None,
+        ))
+        .expect("fresh watch attaches");
+    // Forty rewrites of one hot object plus one write of another, all
+    // before the consumer drains.
+    for _ in 0..40 {
+        server.handle(&ApiRequest::create("admin", &pod("hot")));
+    }
+    server.handle(&ApiRequest::create("admin", &pod("cold")));
+    let events = push
+        .subscriber
+        .try_recv()
+        .expect("not evicted: coalescing bounds the queue");
+    // Last write wins: one event per object, the hot one at its final
+    // revision, delivery order still by revision.
+    assert_eq!(events.len(), 2);
+    assert_eq!(events[0].name, "hot");
+    assert_eq!(events[1].name, "cold");
+    assert!(events[0].revision < events[1].revision);
+    assert_eq!(push.subscriber.coalesced(), 39);
+    let stored = server
+        .store()
+        .get(ResourceKind::Pod, "default", "hot")
+        .unwrap();
+    assert_eq!(events[0].revision, stored.resource_version);
+    assert!(
+        Arc::ptr_eq(
+            events[0].object.as_ref().unwrap(),
+            stored.object.shared_body()
+        ),
+        "the coalesced survivor shares the stored tree"
+    );
+    // The queue never held more than the two live entries, so the default
+    // bound was never at risk from the burst.
+    assert!(!push.subscriber.is_evicted());
+}
+
+/// Push subscriptions traverse the same RBAC and audit pipeline as pull
+/// watches: denials never attach, and both outcomes are audited.
+#[test]
+fn push_subscriptions_traverse_rbac_and_audit() {
+    let server = ApiServer::new();
+    server.set_rbac_policy(Some(k8s_rbac::RbacPolicySet::new()));
+    let denied = server.subscribe_push(&ApiRequest::watch(
+        "mallory",
+        ResourceKind::Pod,
+        "default",
+        None,
+    ));
+    assert!(denied.is_err());
+    let allowed = server.subscribe_push(&ApiRequest::watch(
+        "admin",
+        ResourceKind::Pod,
+        "default",
+        None,
+    ));
+    assert!(allowed.is_ok());
+    let log = server.audit_log();
+    let watches: Vec<_> = log
+        .events()
+        .iter()
+        .filter(|e| e.verb == k8s_model::Verb::Watch)
+        .collect();
+    assert_eq!(watches.len(), 2);
+    assert!(watches.iter().any(|e| !e.allowed));
+    assert!(watches.iter().any(|e| e.allowed));
+}
+
+/// The blocking pull path: `recv_timeout` parks on the journal's wake
+/// signal and is woken by a concurrent server-side write — no poll loop.
+#[test]
+fn blocking_subscriptions_wake_on_server_writes() {
+    let server = ApiServer::new();
+    let store = server.store();
+    let mut subscription = WatchSubscription::at(ResourceKind::Pod, "default", 0);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            server.handle(&ApiRequest::create("admin", &pod("late")));
+        });
+        let started = std::time::Instant::now();
+        let events = subscription
+            .recv_timeout(store, std::time::Duration::from_secs(5))
+            .expect("no compaction");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "late");
+        assert!(started.elapsed() < std::time::Duration::from_secs(4));
+    });
 }
