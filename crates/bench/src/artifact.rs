@@ -466,6 +466,54 @@ mod tests {
         );
     }
 
+    /// The tracked-artifact gate for the durable persistence plane: the
+    /// committed `BENCH_coldstart.json` must exist, be current, cover all
+    /// three fsync policies plus the in-memory rebuild baseline at the
+    /// standard object tiers, carry both policy-plane points, and show the
+    /// AOT cache earning its keep — loading compiled arenas must be faster
+    /// than re-running chart-to-validator generation.
+    #[test]
+    fn committed_coldstart_artifact_is_current() {
+        let path = BenchArtifact::repo_root_path("BENCH_coldstart.json");
+        let artifact = BenchArtifact::load(&path)
+            .expect("BENCH_coldstart.json must be committed at the repo root");
+        artifact
+            .validate_committed()
+            .expect("committed artifact must be current — regenerate: cargo bench -p kf-bench --bench cold_start");
+        assert_eq!(artifact.bench, "cold_start");
+        for (backend, mix) in [
+            ("durable", "always"),
+            ("durable", "batch:64"),
+            ("durable", "os"),
+            ("in-memory", "rebuild"),
+        ] {
+            let curve = artifact
+                .curve(backend, mix)
+                .unwrap_or_else(|| panic!("missing {backend}/{mix} cold-start curve"));
+            let tiers: Vec<usize> = curve.points.iter().map(|p| p.threads).collect();
+            assert_eq!(tiers, vec![1_000, 5_000, 20_000], "standard object tiers");
+            assert!(curve.points.iter().all(|p| p.req_per_sec > 0.0
+                && p.events_per_sec > 0.0
+                && p.p50_us > 0.0
+                && p.p99_us >= p.p50_us));
+        }
+        let policy_point = |mix: &str| {
+            let curve = artifact
+                .curve("policy", mix)
+                .unwrap_or_else(|| panic!("missing policy/{mix} curve"));
+            assert_eq!(curve.points.len(), 1, "policy curves are one-shot");
+            assert!(curve.points[0].p50_us > 0.0);
+            curve.points[0].clone()
+        };
+        let (aot, recompile) = (policy_point("aot-load"), policy_point("recompile"));
+        assert!(
+            aot.p50_us < recompile.p50_us,
+            "AOT load ({:.1} µs) must beat policy regeneration ({:.1} µs)",
+            aot.p50_us,
+            recompile.p50_us
+        );
+    }
+
     /// The tracked-artifact gate: the committed `BENCH_writepath.json` at
     /// the repo root must exist, parse, carry the current schema version,
     /// come from a full run, and cover both store backends at the standard

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aot;
 pub mod compile;
 mod error;
 pub mod explore;
@@ -63,7 +64,8 @@ pub mod stream;
 pub mod surface;
 pub mod validator;
 
-pub use compile::{CompiledNode, CompiledValidator};
+pub use aot::{aot_path, load_validator_set, save_validator_set};
+pub use compile::{ArenaDecodeError, CompiledNode, CompiledValidator};
 pub use error::Error;
 pub use explore::ConfigurationExplorer;
 pub use kf_yaml::BodyFormat;

@@ -5,7 +5,7 @@
 //! body — YAML or JSON, per [`BodyFormat`] — is tokenized once by the
 //! pull-based [`kf_yaml::events::Tokenizer`] or
 //! [`kf_yaml::json::JsonTokenizer`] (both emit the same event stream), and a
-//! small state machine per candidate validator (the [`StreamMatcher`])
+//! small state machine per candidate validator (the `StreamMatcher`)
 //! advances arena node ids as events arrive:
 //!
 //! * the object's `kind:` is discovered during tokenization (no separate
@@ -155,7 +155,7 @@ impl ValidatorSet {
 
     /// [`ValidatorSet::validate_raw`] with an explicit wire format
     /// ([`BodyFormat::Auto`] detects from the first significant byte). Both
-    /// formats drive the same [`StreamMatcher`]s; only the tokenizer
+    /// formats drive the same `StreamMatcher`s; only the tokenizer
     /// differs.
     ///
     /// Two-phase: a **die-fast** pass runs first — matchers stop at their

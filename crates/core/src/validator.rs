@@ -421,8 +421,32 @@ impl Validator {
         &self.workload
     }
 
-    /// The resource kinds the validator allows.
+    /// A validator restored from a pre-compiled arena (the ahead-of-time
+    /// policy cache; see [`crate::aot`]). The compiled form is primed
+    /// directly, so enforcement starts without ever touching the authoring
+    /// tree — which is empty for such a validator. Tree-side operations
+    /// ([`Validator::validate_tree`], [`Validator::apply_security_locks`],
+    /// [`Validator::to_yaml`]) see that empty tree; arena-restored
+    /// validators are an enforcement-only form.
+    pub fn from_arena(workload: &str, compiled: CompiledValidator) -> Self {
+        let cell = OnceLock::new();
+        let _ = cell.set(compiled);
+        Validator {
+            workload: workload.to_owned(),
+            kinds: BTreeMap::new(),
+            compiled: cell,
+        }
+    }
+
+    /// The resource kinds the validator allows. For an arena-restored
+    /// validator (empty authoring tree) this falls back to the compiled
+    /// coverage table, so kind routing works identically for both forms.
     pub fn kinds(&self) -> Vec<ResourceKind> {
+        if self.kinds.is_empty() {
+            if let Some(compiled) = self.compiled.get() {
+                return compiled.kinds();
+            }
+        }
         self.kinds.keys().copied().collect()
     }
 

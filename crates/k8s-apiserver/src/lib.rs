@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod latency;
+pub mod persist;
 mod request;
 mod server;
 mod store;
@@ -56,6 +57,10 @@ mod vuln;
 mod watch;
 
 pub use latency::{LatencyModel, LatencyProfile};
+pub use persist::{
+    CheckpointReport, FsyncPolicy, PersistConfig, Persistence, RecoveryReport, TornTail, Wal,
+    WalRecord,
+};
 pub use request::{ApiRequest, ApiResponse, RequestBody, ResponseBody, ResponseStatus};
 pub use server::{ApiServer, ExploitEvent, PushWatch, RequestHandler, WatchHub};
 pub use store::{BaselineStore, ObjectStore, StoreBackend, StoredObject};

@@ -1,0 +1,941 @@
+//! The durable persistence plane: snapshots + the journal-as-WAL.
+//!
+//! Everything the store holds lives in memory; this module makes a restart
+//! survivable. Two artifacts, both hand-framed over `kf_yaml::binary` (the
+//! workspace `serde` is a no-op shim, so there is no derived format to lean
+//! on):
+//!
+//! * **Snapshot** (`store.kfsnap`) — a one-shot dump of every
+//!   `Arc<StoredObject>` handle: magic, CRC-32 seal, then
+//!   `(resource_version, body)` per object. Written to a temp file and
+//!   atomically renamed, so a crash mid-checkpoint never leaves a partial
+//!   snapshot visible.
+//! * **Write-ahead log** (`store.kfwal`) — the promotion of the watch
+//!   journal's publication stream to disk: every store write appends one
+//!   framed [`WalRecord`] (length + CRC-32 + payload) **while the written
+//!   object's store-shard lock is held**, so the log preserves per-object
+//!   write order exactly as the journal does. The fsync cadence is a
+//!   [`FsyncPolicy`].
+//!
+//! **Recovery** ([`Persistence::open`]) loads the snapshot, replays the WAL
+//! suffix, seeds the store at the recovered revision and seals every watch
+//! journal's compaction horizon there — a watcher resuming with a pre-crash
+//! cursor below the horizon gets the same `410 Gone` → re-list contract that
+//! in-memory compaction already enforces, while a cursor at the recovered
+//! revision streams on seamlessly. Replay is guarded by revision
+//! (`record.revision > stored.resource_version`), so overlapping
+//! snapshot/WAL windows are idempotent and replay order only matters per
+//! key — which per-key order the shard-lock append discipline guarantees.
+//!
+//! **The recovery invariant:** after `open`, the store state equals the
+//! pre-crash state at the last fsync'd revision ([`Wal::durable_revision`]).
+//! With [`FsyncPolicy::Always`] that is the last acknowledged write; with
+//! `Batch(n)` up to `n - 1` trailing acknowledged writes may be lost; with
+//! `Os` the loss window is whatever the page cache held. A torn or
+//! bit-flipped WAL tail (the crash landed mid-`write`) fails its frame CRC
+//! and is **cleanly truncated**, never replayed and never a panic.
+//!
+//! **Compaction** ([`Persistence::checkpoint`]) snapshots at the current
+//! revision horizon and rewrites the WAL keeping only records above it —
+//! the same horizon discipline the in-memory journals apply per sub-shard,
+//! extended to disk. See `docs/persistence.md` for the byte layouts.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use k8s_model::{K8sObject, ResourceKind};
+use kf_yaml::binary::{self, Cursor};
+use kf_yaml::Value;
+
+use crate::store::{ObjectStore, StoreBackend, StoredObject};
+use crate::watch::WatchEventKind;
+
+/// Snapshot file name inside a persistence directory.
+pub const SNAPSHOT_FILE: &str = "store.kfsnap";
+/// Write-ahead-log file name inside a persistence directory.
+pub const WAL_FILE: &str = "store.kfwal";
+/// AOT-compiled validator arena file name (written by the policy plane —
+/// see `kubefence::aot` — but named here so the persistence directory
+/// layout is defined in one place).
+pub const AOT_ARENA_FILE: &str = "validators.kfaot";
+
+/// Magic sealing a snapshot file (8 bytes, versioned).
+const SNAPSHOT_MAGIC: &[u8; 8] = b"KFSNAP1\0";
+
+/// When the WAL forces data to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append — the acknowledged-write-is-durable
+    /// contract etcd ships with. Slowest, loses nothing.
+    Always,
+    /// `fsync` once every `n` appended records (`n == 0` is clamped to 1).
+    /// Bounds the loss window to `n - 1` acknowledged writes.
+    Batch(u32),
+    /// Never `fsync`; the OS flushes the page cache on its own schedule.
+    /// Fastest, loses whatever the cache held on a hard crash.
+    Os,
+}
+
+impl FsyncPolicy {
+    /// Parse a policy from its knob spelling: `always`, `os`, or `batch:N`
+    /// (used by the `cold_start` bench's `KF_WAL_FSYNC` environment
+    /// variable).
+    pub fn parse(text: &str) -> Option<FsyncPolicy> {
+        match text {
+            "always" => Some(FsyncPolicy::Always),
+            "os" => Some(FsyncPolicy::Os),
+            _ => {
+                let n = text.strip_prefix("batch:")?.parse().ok()?;
+                Some(FsyncPolicy::Batch(n))
+            }
+        }
+    }
+}
+
+/// Where and how a store persists.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Directory holding the snapshot and WAL files (created on open).
+    pub dir: PathBuf,
+    /// Fsync cadence of the WAL.
+    pub fsync: FsyncPolicy,
+    /// Watch-journal capacity per sub-shard of the recovered store (see
+    /// [`ObjectStore::with_journal_config`]; 0 means the default).
+    pub journal_capacity: usize,
+    /// Watch-journal sub-shard count of the recovered store (0: default).
+    pub journal_shards: usize,
+}
+
+impl PersistConfig {
+    /// A config persisting under `dir` with [`FsyncPolicy::Always`] and
+    /// default journal geometry.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            journal_capacity: 0,
+            journal_shards: 0,
+        }
+    }
+
+    /// The same config with a different fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+}
+
+/// One write, as the WAL records it — the durable twin of the journal's
+/// publication envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The revision the journal assigned to this write.
+    pub revision: u64,
+    /// The written object's kind.
+    pub kind: ResourceKind,
+    /// `Added`, `Modified` or `Deleted` (bookmarks are watch-wire sugar and
+    /// never logged).
+    pub op: WatchEventKind,
+    /// The object's namespace.
+    pub namespace: String,
+    /// The object's name.
+    pub name: String,
+    /// The written tree — shared with the store, not copied. `None` for
+    /// deletions: replay only needs the key to remove.
+    pub body: Option<Arc<Value>>,
+}
+
+const OP_ADDED: u8 = 0;
+const OP_MODIFIED: u8 = 1;
+const OP_DELETED: u8 = 2;
+
+impl WalRecord {
+    fn op_tag(&self) -> u8 {
+        match self.op {
+            WatchEventKind::Added => OP_ADDED,
+            WatchEventKind::Modified => OP_MODIFIED,
+            WatchEventKind::Deleted => OP_DELETED,
+            // Bookmarks are synthesized on the watch wire, never written to
+            // the store, so a bookmark here is a logic error upstream; the
+            // log treats it as a no-op modification of nothing.
+            WatchEventKind::Bookmark => OP_MODIFIED,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        binary::put_u64(out, self.revision);
+        binary::put_u8(out, self.kind.index() as u8);
+        binary::put_u8(out, self.op_tag());
+        binary::put_str(out, &self.namespace);
+        binary::put_str(out, &self.name);
+        match &self.body {
+            Some(body) => {
+                binary::put_u8(out, 1);
+                binary::put_value(out, body);
+            }
+            None => binary::put_u8(out, 0),
+        }
+    }
+
+    /// Append this record as one framed entry: `len | crc32 | payload`.
+    fn encode_frame(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::with_capacity(64);
+        self.encode_payload(&mut payload);
+        binary::put_u32(out, payload.len() as u32);
+        binary::put_u32(out, binary::crc32(&payload));
+        out.extend_from_slice(&payload);
+    }
+
+    fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        let mut cursor = Cursor::new(payload);
+        let revision = cursor.get_u64().ok()?;
+        let kind_index = cursor.get_u8().ok()? as usize;
+        let kind = *ResourceKind::ALL.get(kind_index)?;
+        let op = match cursor.get_u8().ok()? {
+            OP_ADDED => WatchEventKind::Added,
+            OP_MODIFIED => WatchEventKind::Modified,
+            OP_DELETED => WatchEventKind::Deleted,
+            _ => return None,
+        };
+        let namespace = cursor.get_str().ok()?;
+        let name = cursor.get_str().ok()?;
+        let body = match cursor.get_u8().ok()? {
+            0 => None,
+            1 => Some(Arc::new(cursor.get_value().ok()?)),
+            _ => return None,
+        };
+        if !cursor.is_empty() {
+            return None;
+        }
+        Some(WalRecord {
+            revision,
+            kind,
+            op,
+            namespace,
+            name,
+            body,
+        })
+    }
+}
+
+/// What the WAL reader found past the last intact frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte length of the intact prefix (the truncation point).
+    pub valid_len: u64,
+    /// How many trailing bytes failed framing or checksum.
+    pub dropped_bytes: u64,
+}
+
+/// A decoded WAL: every intact record plus what was cut from the tail.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// The intact records, in append (file) order.
+    pub records: Vec<WalRecord>,
+    /// `Some` when the file ended in a torn or corrupt frame.
+    pub torn: Option<TornTail>,
+}
+
+fn decode_wal_bytes(bytes: &[u8]) -> WalReplay {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining == 0 {
+            return WalReplay {
+                records,
+                torn: None,
+            };
+        }
+        // A frame needs its 8-byte header, the announced payload, a CRC
+        // match and a clean payload decode; the first failure marks the torn
+        // tail and ends the replay — later bytes are unframeable noise.
+        let torn = WalReplay {
+            records: Vec::new(),
+            torn: Some(TornTail {
+                valid_len: offset as u64,
+                dropped_bytes: remaining as u64,
+            }),
+        };
+        if remaining < 8 {
+            return WalReplay { records, ..torn };
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len > remaining - 8 {
+            return WalReplay { records, ..torn };
+        }
+        let payload = &bytes[offset + 8..offset + 8 + len];
+        if binary::crc32(payload) != crc {
+            return WalReplay { records, ..torn };
+        }
+        let Some(record) = WalRecord::decode_payload(payload) else {
+            return WalReplay { records, ..torn };
+        };
+        records.push(record);
+        offset += 8 + len;
+    }
+}
+
+/// Decode a WAL file without touching it. Missing file: empty replay.
+///
+/// # Errors
+///
+/// Only filesystem errors; corruption is reported via [`WalReplay::torn`],
+/// never as an error.
+pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(decode_wal_bytes(&bytes)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(WalReplay::default()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Decode a WAL file and, when the tail is torn, **truncate the file** to
+/// the intact prefix so the next append starts on a frame boundary.
+///
+/// # Errors
+///
+/// Only filesystem errors (reading, or truncating a torn file).
+pub fn recover_wal(path: &Path) -> io::Result<WalReplay> {
+    let replay = read_wal(path)?;
+    if let Some(torn) = replay.torn {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(torn.valid_len)?;
+        file.sync_data()?;
+    }
+    Ok(replay)
+}
+
+#[derive(Debug)]
+struct WalInner {
+    file: File,
+    /// Records appended since the last fsync (drives [`FsyncPolicy::Batch`]).
+    since_sync: u32,
+    /// Highest revision written to the file (not necessarily durable yet).
+    appended: u64,
+}
+
+/// The open write-ahead log a store appends to.
+///
+/// Appends are serialized by one mutex — the log is one file — but frames
+/// are encoded **before** the lock is taken, so the critical section is a
+/// `write` (plus the policy's fsync). Store write paths call
+/// [`Wal::append`] while holding the written object's shard lock, which is
+/// what makes the on-disk per-key order match the in-memory one.
+///
+/// I/O failures do not poison the store: the write stays applied in memory,
+/// the error is latched ([`Wal::last_error`]) and `durable_revision` stops
+/// advancing — the operator-visible signal that durability degraded.
+#[derive(Debug)]
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    policy: FsyncPolicy,
+    /// Highest revision known forced to stable storage.
+    durable: AtomicU64,
+    /// First append/sync error observed, if any.
+    error: Mutex<Option<String>>,
+}
+
+impl Wal {
+    /// Open (creating if needed) the WAL at `path` for appending.
+    /// `recovered` is the highest revision already in the file — it seeds
+    /// both the appended and durable cursors (the open fsyncs once so the
+    /// recovered prefix is genuinely stable).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors opening or syncing the file.
+    pub fn open(path: &Path, policy: FsyncPolicy, recovered: u64) -> io::Result<Wal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        file.sync_data()?;
+        Ok(Wal {
+            inner: Mutex::new(WalInner {
+                file,
+                since_sync: 0,
+                appended: recovered,
+            }),
+            policy,
+            durable: AtomicU64::new(recovered),
+            error: Mutex::new(None),
+        })
+    }
+
+    /// Append records (one frame each, one `write` for the batch), honoring
+    /// the fsync policy. Errors are latched, not returned — see the type
+    /// docs for why the store cannot unwind here.
+    pub fn append(&self, records: &[WalRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(records.len() * 96);
+        let mut max_revision = 0;
+        for record in records {
+            record.encode_frame(&mut buf);
+            max_revision = max_revision.max(record.revision);
+        }
+        let mut inner = self.inner.lock();
+        if let Err(e) = self.append_locked(&mut inner, &buf, max_revision, records.len() as u32) {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(e.to_string());
+            }
+        }
+    }
+
+    fn append_locked(
+        &self,
+        inner: &mut WalInner,
+        buf: &[u8],
+        max_revision: u64,
+        count: u32,
+    ) -> io::Result<()> {
+        inner.file.write_all(buf)?;
+        inner.appended = inner.appended.max(max_revision);
+        match self.policy {
+            FsyncPolicy::Always => self.sync_locked(inner)?,
+            FsyncPolicy::Batch(n) => {
+                inner.since_sync += count;
+                if inner.since_sync >= n.max(1) {
+                    self.sync_locked(inner)?;
+                }
+            }
+            FsyncPolicy::Os => {}
+        }
+        Ok(())
+    }
+
+    fn sync_locked(&self, inner: &mut WalInner) -> io::Result<()> {
+        inner.file.sync_data()?;
+        inner.since_sync = 0;
+        self.durable.store(inner.appended, Ordering::Release);
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage, returning the
+    /// now-durable revision.
+    ///
+    /// # Errors
+    ///
+    /// The underlying fsync error.
+    pub fn sync(&self) -> io::Result<u64> {
+        let mut inner = self.inner.lock();
+        self.sync_locked(&mut inner)?;
+        Ok(self.durable.load(Ordering::Acquire))
+    }
+
+    /// Highest revision known forced to stable storage — the revision the
+    /// recovery invariant is stated against.
+    pub fn durable_revision(&self) -> u64 {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    /// Highest revision appended (durable or not).
+    pub fn appended_revision(&self) -> u64 {
+        self.inner.lock().appended
+    }
+
+    /// The first latched I/O error, if appends have started failing.
+    pub fn last_error(&self) -> Option<String> {
+        self.error.lock().clone()
+    }
+
+    /// Rewrite the log keeping only records with revision strictly above
+    /// `horizon` (they are the ones not covered by the snapshot at that
+    /// horizon), then swap the rewritten file in atomically and continue
+    /// appending to it. Returns how many records were retained.
+    fn compact(&self, path: &Path, horizon: u64) -> io::Result<usize> {
+        let mut inner = self.inner.lock();
+        // Make the current contents readable-back and durable before the
+        // rewrite; everything we are about to drop is covered by the
+        // already-renamed snapshot.
+        self.sync_locked(&mut inner)?;
+        let replay = read_wal(path)?;
+        let mut buf = Vec::new();
+        let mut retained = 0usize;
+        for record in &replay.records {
+            if record.revision > horizon {
+                record.encode_frame(&mut buf);
+                retained += 1;
+            }
+        }
+        let tmp = path.with_extension("kfwal.tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&buf)?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, path)?;
+        sync_parent_dir(path);
+        let file = OpenOptions::new().append(true).open(path)?;
+        inner.file = file;
+        inner.since_sync = 0;
+        Ok(retained)
+    }
+}
+
+/// Best-effort fsync of a path's parent directory (makes a rename durable
+/// on filesystems that need it; ignored where directories cannot be
+/// opened).
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// A decoded snapshot: the revision horizon it was cut at, plus every
+/// object as `(resource_version, body)`.
+#[derive(Debug, Default)]
+pub struct SnapshotData {
+    /// The store revision at the start of the snapshot scan. Every write at
+    /// or below this revision is fully reflected; the WAL suffix above it
+    /// replays the rest.
+    pub revision: u64,
+    /// The stored objects (kind/namespace/name are re-derived from the body
+    /// on load, exactly as admission derives them).
+    pub objects: Vec<(u64, Value)>,
+}
+
+/// Write a snapshot of `objects` at `revision` to `path`: temp file, fsync,
+/// atomic rename. The payload is CRC-sealed, so a bit-flipped snapshot is
+/// rejected at load instead of resurrecting corrupt objects.
+///
+/// # Errors
+///
+/// Filesystem errors only.
+pub fn write_snapshot(path: &Path, revision: u64, objects: &[Arc<StoredObject>]) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(objects.len() * 256 + 16);
+    binary::put_u64(&mut payload, revision);
+    binary::put_u64(&mut payload, objects.len() as u64);
+    for stored in objects {
+        binary::put_u64(&mut payload, stored.resource_version);
+        binary::put_value(&mut payload, stored.object.body());
+    }
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    binary::put_u32(&mut out, binary::crc32(&payload));
+    out.extend_from_slice(&payload);
+    let tmp = path.with_extension("kfsnap.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&out)?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Load a snapshot; `Ok(None)` when the file does not exist.
+///
+/// # Errors
+///
+/// Filesystem errors, or [`io::ErrorKind::InvalidData`] when the magic,
+/// checksum or payload decode fails — a snapshot is the recovery floor, so
+/// unlike a torn WAL tail its corruption is surfaced loudly, not skipped.
+pub fn read_snapshot(path: &Path) -> io::Result<Option<SnapshotData>> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+    if bytes.len() < 12 || &bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(invalid("snapshot magic mismatch"));
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[12..];
+    if binary::crc32(payload) != crc {
+        return Err(invalid("snapshot checksum mismatch"));
+    }
+    let mut cursor = Cursor::new(payload);
+    let mut parse = || -> Result<SnapshotData, kf_yaml::binary::BinaryError> {
+        let revision = cursor.get_u64()?;
+        let count = cursor.get_u64()? as usize;
+        let mut objects = Vec::with_capacity(count.min(payload.len()));
+        for _ in 0..count {
+            let resource_version = cursor.get_u64()?;
+            let body = cursor.get_value()?;
+            objects.push((resource_version, body));
+        }
+        Ok(SnapshotData { revision, objects })
+    };
+    parse().map(Some).map_err(|e| invalid(&e.to_string()))
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Revision horizon of the loaded snapshot (0: none).
+    pub snapshot_revision: u64,
+    /// Objects loaded from the snapshot.
+    pub snapshot_objects: usize,
+    /// Intact WAL records read.
+    pub wal_records: usize,
+    /// WAL records whose effect was applied (revision above the stored
+    /// object's — the rest were already covered by the snapshot).
+    pub replayed: usize,
+    /// The revision the store resumed at (and the watch journals' sealed
+    /// compaction horizon).
+    pub recovered_revision: u64,
+    /// Objects in the recovered store.
+    pub live_objects: usize,
+    /// `Some` when a torn/corrupt WAL tail was detected and truncated.
+    pub torn_tail: Option<TornTail>,
+}
+
+/// What a checkpoint wrote.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport {
+    /// The revision horizon the snapshot covers (and the WAL was compacted
+    /// to).
+    pub revision: u64,
+    /// Objects in the snapshot.
+    pub objects: usize,
+    /// WAL records retained (revision above the horizon).
+    pub wal_retained: usize,
+}
+
+/// An open persistence directory: the handle that checkpoints a store and
+/// owns its WAL.
+#[derive(Debug)]
+pub struct Persistence {
+    dir: PathBuf,
+    wal: Arc<Wal>,
+}
+
+impl Persistence {
+    /// Open (or create) the persistence directory and recover a store from
+    /// it: load the snapshot, replay the WAL suffix (truncating a torn
+    /// tail), seed the store, seal the watch horizon at the recovered
+    /// revision, and attach the WAL so every subsequent write is logged.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors; [`io::ErrorKind::InvalidData`] for a corrupt
+    /// snapshot or a WAL/snapshot body that no longer parses as an object.
+    pub fn open(config: PersistConfig) -> io::Result<(ObjectStore, Persistence, RecoveryReport)> {
+        fs::create_dir_all(&config.dir)?;
+        let snapshot_path = config.dir.join(SNAPSHOT_FILE);
+        let wal_path = config.dir.join(WAL_FILE);
+        let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+
+        let snapshot = read_snapshot(&snapshot_path)?.unwrap_or_default();
+        let replay = recover_wal(&wal_path)?;
+        let mut report = RecoveryReport {
+            snapshot_revision: snapshot.revision,
+            snapshot_objects: snapshot.objects.len(),
+            wal_records: replay.records.len(),
+            torn_tail: replay.torn,
+            ..RecoveryReport::default()
+        };
+
+        // Rebuild the keyed state: snapshot first, then the WAL suffix with
+        // the revision guard (apply only what the snapshot has not already
+        // absorbed). `None` marks a key deleted by a replayed record.
+        type ReplayKey = (usize, String, String);
+        let mut state: std::collections::HashMap<ReplayKey, (u64, Option<K8sObject>)> =
+            std::collections::HashMap::new();
+        let mut recovered_revision = snapshot.revision;
+        for (resource_version, body) in snapshot.objects {
+            let object = K8sObject::from_shared(Arc::new(body))
+                .map_err(|e| invalid(format!("snapshot object: {e}")))?;
+            recovered_revision = recovered_revision.max(resource_version);
+            let key = (
+                object.kind().index(),
+                object.namespace().to_owned(),
+                object.name().to_owned(),
+            );
+            state.insert(key, (resource_version, Some(object)));
+        }
+        for record in replay.records {
+            recovered_revision = recovered_revision.max(record.revision);
+            let key = (
+                record.kind.index(),
+                record.namespace.clone(),
+                record.name.clone(),
+            );
+            let seen = state.get(&key).map(|(rv, _)| *rv).unwrap_or(0);
+            if record.revision <= seen {
+                continue;
+            }
+            report.replayed += 1;
+            match record.op {
+                WatchEventKind::Deleted => {
+                    state.insert(key, (record.revision, None));
+                }
+                _ => {
+                    let body = record
+                        .body
+                        .ok_or_else(|| invalid("WAL write record without body".to_owned()))?;
+                    let object = K8sObject::from_shared(body)
+                        .map_err(|e| invalid(format!("WAL object: {e}")))?;
+                    state.insert(key, (record.revision, Some(object)));
+                }
+            }
+        }
+
+        let objects: Vec<StoredObject> = state
+            .into_values()
+            .filter_map(|(resource_version, object)| {
+                object.map(|object| StoredObject {
+                    object,
+                    resource_version,
+                })
+            })
+            .collect();
+        report.live_objects = objects.len();
+        report.recovered_revision = recovered_revision;
+
+        let mut store =
+            ObjectStore::with_journal_config(config.journal_capacity, config.journal_shards);
+        store.restore(objects, recovered_revision);
+        let wal = Arc::new(Wal::open(&wal_path, config.fsync, recovered_revision)?);
+        store.attach_wal(Arc::clone(&wal));
+        Ok((
+            store,
+            Persistence {
+                dir: config.dir,
+                wal,
+            },
+            report,
+        ))
+    }
+
+    /// The WAL this directory's store appends to.
+    pub fn wal(&self) -> &Arc<Wal> {
+        &self.wal
+    }
+
+    /// The persistence directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Checkpoint: snapshot the store at the current revision horizon, then
+    /// compact the WAL to the records above it. Safe to run concurrently
+    /// with writes — the horizon is read *before* the scan, every record at
+    /// or below it is fully reflected by the scan (revision allocation and
+    /// the map effect share the shard lock), and replay's revision guard
+    /// absorbs the overlap above it.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors writing the snapshot or rewriting the WAL.
+    pub fn checkpoint(&self, store: &ObjectStore) -> io::Result<CheckpointReport> {
+        let horizon = StoreBackend::revision(store);
+        let objects = store.snapshot_objects();
+        write_snapshot(&self.dir.join(SNAPSHOT_FILE), horizon, &objects)?;
+        let wal_retained = self.wal.compact(&self.dir.join(WAL_FILE), horizon)?;
+        Ok(CheckpointReport {
+            revision: horizon,
+            objects: objects.len(),
+            wal_retained,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_dir(label: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "kf-persist-{label}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn pod(namespace: &str, name: &str, image: &str) -> K8sObject {
+        K8sObject::from_yaml(&format!(
+            "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\n  namespace: {namespace}\nspec:\n  containers:\n    - name: app\n      image: {image}\n"
+        ))
+        .expect("pod parses")
+    }
+
+    fn record(revision: u64, op: WatchEventKind, namespace: &str, name: &str) -> WalRecord {
+        let body = (op != WatchEventKind::Deleted)
+            .then(|| Arc::clone(pod(namespace, name, "nginx").shared_body()));
+        WalRecord {
+            revision,
+            kind: ResourceKind::Pod,
+            op,
+            namespace: namespace.to_owned(),
+            name: name.to_owned(),
+            body,
+        }
+    }
+
+    #[test]
+    fn wal_records_round_trip_through_the_file() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join(WAL_FILE);
+        let wal = Wal::open(&path, FsyncPolicy::Always, 0).expect("open");
+        let records = vec![
+            record(1, WatchEventKind::Added, "default", "a"),
+            record(2, WatchEventKind::Modified, "default", "a"),
+            record(3, WatchEventKind::Deleted, "default", "a"),
+        ];
+        wal.append(&records);
+        assert_eq!(wal.durable_revision(), 3);
+        assert!(wal.last_error().is_none());
+        let replay = read_wal(&path).expect("read");
+        assert!(replay.torn.is_none());
+        assert_eq!(replay.records.len(), 3);
+        for (got, want) in replay.records.iter().zip(&records) {
+            assert_eq!(got.revision, want.revision);
+            assert_eq!(got.op, want.op);
+            assert_eq!(got.namespace, want.namespace);
+            assert_eq!(got.name, want.name);
+            assert_eq!(
+                got.body.as_deref(),
+                want.body.as_deref(),
+                "bodies decode identically"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_the_intact_prefix_without_panicking() {
+        let dir = temp_dir("torn");
+        let path = dir.join(WAL_FILE);
+        let wal = Wal::open(&path, FsyncPolicy::Always, 0).expect("open");
+        let records: Vec<WalRecord> = (1..=4)
+            .map(|r| record(r, WatchEventKind::Added, "default", &format!("pod-{r}")))
+            .collect();
+        wal.append(&records);
+        drop(wal);
+        let full = fs::read(&path).expect("read full WAL");
+        // Frame boundaries: prefix sums of the four frames.
+        let mut boundaries = vec![0usize];
+        {
+            let mut offset = 0;
+            while offset < full.len() {
+                let len = u32::from_le_bytes(full[offset..offset + 4].try_into().unwrap());
+                offset += 8 + len as usize;
+                boundaries.push(offset);
+            }
+        }
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).expect("write truncated WAL");
+            let replay = recover_wal(&path).expect("recover");
+            let intact = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(replay.records.len(), intact, "cut at {cut}");
+            if boundaries.contains(&cut) {
+                assert!(replay.torn.is_none(), "cut at {cut} is a frame boundary");
+            } else {
+                let torn = replay.torn.expect("mid-frame cut is torn");
+                assert_eq!(torn.valid_len, boundaries[intact] as u64);
+                // The file was physically truncated to the intact prefix.
+                assert_eq!(fs::metadata(&path).expect("metadata").len(), torn.valid_len);
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_mid_frame_bytes_cut_the_tail_cleanly() {
+        let dir = temp_dir("corrupt");
+        let path = dir.join(WAL_FILE);
+        let wal = Wal::open(&path, FsyncPolicy::Always, 0).expect("open");
+        let records: Vec<WalRecord> = (1..=3)
+            .map(|r| record(r, WatchEventKind::Added, "default", &format!("pod-{r}")))
+            .collect();
+        wal.append(&records);
+        drop(wal);
+        let mut bytes = fs::read(&path).expect("read");
+        // Flip one byte inside the *second* frame's payload.
+        let first_len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let second_payload_start = first_len + 8 + 8;
+        bytes[second_payload_start + 10] ^= 0xFF;
+        fs::write(&path, &bytes).expect("write corrupted");
+        let replay = recover_wal(&path).expect("recover");
+        assert_eq!(replay.records.len(), 1, "only the first frame survives");
+        assert_eq!(
+            replay.torn.expect("corruption detected").valid_len,
+            (first_len + 8) as u64
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_policy_defers_durability_until_the_batch_fills() {
+        let dir = temp_dir("batch");
+        let path = dir.join(WAL_FILE);
+        let wal = Wal::open(&path, FsyncPolicy::Batch(3), 0).expect("open");
+        wal.append(&[record(1, WatchEventKind::Added, "default", "a")]);
+        wal.append(&[record(2, WatchEventKind::Added, "default", "b")]);
+        assert_eq!(wal.durable_revision(), 0, "below the batch threshold");
+        wal.append(&[record(3, WatchEventKind::Added, "default", "c")]);
+        assert_eq!(wal.durable_revision(), 3, "threshold reached");
+        wal.append(&[record(4, WatchEventKind::Added, "default", "d")]);
+        assert_eq!(wal.sync().expect("manual sync"), 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_corruption() {
+        let dir = temp_dir("snap");
+        let path = dir.join(SNAPSHOT_FILE);
+        let objects: Vec<Arc<StoredObject>> = (1..=5)
+            .map(|v| {
+                Arc::new(StoredObject {
+                    object: pod("ns", &format!("pod-{v}"), "nginx"),
+                    resource_version: v,
+                })
+            })
+            .collect();
+        write_snapshot(&path, 5, &objects).expect("write");
+        let data = read_snapshot(&path).expect("read").expect("present");
+        assert_eq!(data.revision, 5);
+        assert_eq!(data.objects.len(), 5);
+        for ((rv, body), original) in data.objects.iter().zip(&objects) {
+            assert_eq!(*rv, original.resource_version);
+            assert_eq!(body, original.object.body(), "byte-identical tree");
+        }
+        // No tmp file left behind; corruption is rejected, not loaded.
+        assert!(!path.with_extension("kfsnap.tmp").exists());
+        let mut bytes = fs::read(&path).expect("read bytes");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&path, &bytes).expect("write corrupted");
+        let err = read_snapshot(&path).expect_err("corrupt snapshot rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_recover_to_an_empty_store() {
+        let dir = temp_dir("empty");
+        let (store, _persistence, report) =
+            Persistence::open(PersistConfig::new(&dir)).expect("open");
+        assert_eq!(StoreBackend::len(&store), 0);
+        assert_eq!(report.recovered_revision, 0);
+        assert_eq!(report.wal_records, 0);
+        assert!(report.torn_tail.is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_policy_parses_its_knob_spellings() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("os"), Some(FsyncPolicy::Os));
+        assert_eq!(FsyncPolicy::parse("batch:64"), Some(FsyncPolicy::Batch(64)));
+        assert_eq!(FsyncPolicy::parse("batch:"), None);
+        assert_eq!(FsyncPolicy::parse("nope"), None);
+    }
+}

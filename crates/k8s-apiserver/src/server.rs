@@ -11,6 +11,7 @@ use k8s_model::{K8sObject, ResourceKind, Verb};
 use k8s_rbac::{AccessReview, AuditEvent, AuditLog, RbacPolicySet};
 use kf_yaml::Value;
 
+use crate::persist::Persistence;
 use crate::request::{ApiRequest, ApiResponse, ResponseBody, ResponseStatus};
 use crate::store::{BaselineStore, ObjectStore, StoreBackend};
 use crate::vuln::VulnerabilityOracle;
@@ -89,6 +90,25 @@ impl ApiServer {
     /// superuser.
     pub fn new() -> Self {
         Self::with_store(ObjectStore::new())
+    }
+
+    /// The recovery path: open (or create) a persistence directory, rebuild
+    /// the store from its snapshot + WAL suffix (truncating a torn tail),
+    /// and serve from the recovered state — objects byte-identical to the
+    /// pre-crash trees at the last durable revision, watch journals sealed
+    /// at the recovered horizon, and every subsequent write appended to the
+    /// WAL. Returns the server, the [`Persistence`] handle that checkpoints
+    /// it, and what recovery found.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or [`std::io::ErrorKind::InvalidData`] for a
+    /// corrupt snapshot (see [`Persistence::open`]).
+    pub fn durable(
+        config: crate::persist::PersistConfig,
+    ) -> std::io::Result<(Self, Persistence, crate::persist::RecoveryReport)> {
+        let (store, persistence, report) = Persistence::open(config)?;
+        Ok((Self::with_store(store), persistence, report))
     }
 }
 

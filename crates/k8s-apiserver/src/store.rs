@@ -45,6 +45,7 @@ use parking_lot::RwLock;
 use k8s_model::{K8sObject, ResourceKind};
 use kf_yaml::Value;
 
+use crate::persist::{Wal, WalRecord};
 use crate::watch::{
     KindJournals, StagedEvent, WatchDelta, WatchError, WatchEventKind, WatchSubscriber,
     DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_SHARDS,
@@ -220,6 +221,28 @@ pub trait StoreBackend: Send + Sync {
 
     /// Count the stored objects per kind.
     fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize>;
+
+    /// Every stored object, in key order — the scan the persistence plane
+    /// snapshots (`crate::persist::Persistence::checkpoint`). The default
+    /// walks [`StoreBackend::list`] per kind, which already pays only for
+    /// handles on the zero-copy store.
+    fn snapshot_objects(&self) -> Vec<Arc<StoredObject>> {
+        let mut out = Vec::new();
+        for kind in ResourceKind::ALL {
+            out.extend(self.list(kind, ""));
+        }
+        out
+    }
+
+    /// Bulk-load recovered state: insert every object at its **recorded**
+    /// resource version (no re-admission, no new revisions, no watch
+    /// events), advance the revision counter to at least `revision`, and
+    /// seal the watch journals' compaction horizon there — a watcher
+    /// resuming with a pre-crash cursor below the horizon gets the standard
+    /// `410 Gone` → re-list recovery, while a cursor at the horizon streams
+    /// the writes that follow. This is the boot half of the WAL contract;
+    /// see `crate::persist`.
+    fn restore(&self, objects: Vec<StoredObject>, revision: u64);
 }
 
 fn key_of(object: &K8sObject) -> Key {
@@ -265,6 +288,11 @@ pub struct ObjectStore {
     revision: AtomicU64,
     /// Per-kind bounded watch journals; every write publishes one event.
     journals: KindJournals,
+    /// The write-ahead log, when the store is durable: every write path
+    /// appends its record(s) **while holding the written object's shard
+    /// write lock**, so the on-disk per-key order matches the in-memory
+    /// one. `None` (the default) keeps the store purely in-memory.
+    wal: Option<Arc<Wal>>,
 }
 
 impl Default for ObjectStore {
@@ -312,6 +340,37 @@ impl ObjectStore {
             shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
             revision: AtomicU64::new(0),
             journals: KindJournals::new(capacity, shard_count),
+            wal: None,
+        }
+    }
+
+    /// Attach a write-ahead log: every subsequent write appends its record
+    /// before the shard lock drops. Called once at construction time by the
+    /// recovery path (`crate::persist::Persistence::open`) — the store is
+    /// not yet shared, hence `&mut`.
+    pub fn attach_wal(&mut self, wal: Arc<Wal>) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached write-ahead log, if the store is durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Append one write's WAL record (no-op for in-memory stores). Must be
+    /// called while the written object's shard write lock is held — the
+    /// same contract as [`ObjectStore::publish`] — so per-key log order
+    /// matches map order.
+    fn log_write(&self, key: &Key, op: WatchEventKind, revision: u64, body: Option<&Arc<Value>>) {
+        if let Some(wal) = &self.wal {
+            wal.append(&[WalRecord {
+                revision,
+                kind: key.0,
+                op,
+                namespace: key.1.clone(),
+                name: key.2.clone(),
+                body: body.map(Arc::clone),
+            }]);
         }
     }
 
@@ -345,6 +404,12 @@ impl ObjectStore {
             return None;
         }
         let version = self.publish(&key, WatchEventKind::Added, object.shared_body());
+        self.log_write(
+            &key,
+            WatchEventKind::Added,
+            version,
+            Some(object.shared_body()),
+        );
         shard.insert(
             key,
             Arc::new(StoredObject {
@@ -364,6 +429,12 @@ impl ObjectStore {
             return None;
         }
         let version = self.publish(&key, WatchEventKind::Modified, object.shared_body());
+        self.log_write(
+            &key,
+            WatchEventKind::Modified,
+            version,
+            Some(object.shared_body()),
+        );
         shard.insert(
             key,
             Arc::new(StoredObject {
@@ -404,6 +475,7 @@ impl ObjectStore {
             WatchEventKind::Added
         };
         let version = self.publish(&key, event, object.shared_body());
+        self.log_write(&key, event, version, Some(object.shared_body()));
         let replaced = shard.insert(
             key,
             Arc::new(StoredObject {
@@ -419,7 +491,7 @@ impl ObjectStore {
     /// staged while classifying Added vs Modified (in-batch earlier writes
     /// to the same key count as existing), then published through one
     /// journal critical-section entry per touched sub-shard — all while the
-    /// store shard's write lock is held, so the [`ObjectStore::publish`]
+    /// store shard's write lock is held, so the `ObjectStore::publish`
     /// ordering contract carries over unchanged. Returns
     /// `(resource_version, created)` aligned to the input order.
     pub fn apply_batch(&self, objects: Vec<K8sObject>) -> Vec<(u64, bool)> {
@@ -458,8 +530,26 @@ impl ObjectStore {
             // assigned in batch order: the last write wins in the map AND
             // carries the highest version.
             let revisions = self.journals.publish_batch(&self.revision, staged);
+            let mut logged = self
+                .wal
+                .as_ref()
+                .map(|_| Vec::with_capacity(revisions.len()));
             for ((index, object, key, created), version) in pending.into_iter().zip(revisions) {
                 results[index] = (version, created);
+                if let Some(records) = &mut logged {
+                    records.push(WalRecord {
+                        revision: version,
+                        kind: key.0,
+                        op: if created {
+                            WatchEventKind::Added
+                        } else {
+                            WatchEventKind::Modified
+                        },
+                        namespace: key.1.clone(),
+                        name: key.2.clone(),
+                        body: Some(Arc::clone(object.shared_body())),
+                    });
+                }
                 shard.insert(
                     key,
                     Arc::new(StoredObject {
@@ -467,6 +557,11 @@ impl ObjectStore {
                         resource_version: version,
                     }),
                 );
+            }
+            // One framed append for the whole shard group, still under the
+            // shard write lock — the batch twin of `log_write`.
+            if let (Some(wal), Some(records)) = (&self.wal, logged) {
+                wal.append(&records);
             }
         }
         results
@@ -494,8 +589,8 @@ impl ObjectStore {
                 continue;
             }
             let mut staged = Vec::with_capacity(keys.len());
-            for key in keys {
-                let stored = guard.remove(&key).expect("scanned under this write lock");
+            for key in &keys {
+                let stored = guard.remove(key).expect("scanned under this write lock");
                 staged.push(StagedEvent::new(
                     key.0,
                     WatchEventKind::Deleted,
@@ -505,7 +600,23 @@ impl ObjectStore {
                 ));
             }
             deleted += staged.len();
-            self.journals.publish_batch(&self.revision, staged);
+            let revisions = self.journals.publish_batch(&self.revision, staged);
+            if let Some(wal) = &self.wal {
+                // Deletions log key + revision only; replay removes by key.
+                let records: Vec<WalRecord> = keys
+                    .into_iter()
+                    .zip(revisions)
+                    .map(|(key, revision)| WalRecord {
+                        revision,
+                        kind: key.0,
+                        op: WatchEventKind::Deleted,
+                        namespace: key.1,
+                        name: key.2,
+                        body: None,
+                    })
+                    .collect();
+                wal.append(&records);
+            }
         }
         deleted
     }
@@ -534,7 +645,8 @@ impl ObjectStore {
         let mut shard = self.shard(&key).write();
         let removed = shard.remove(&key);
         if let Some(stored) = &removed {
-            self.publish(&key, WatchEventKind::Deleted, stored.object.shared_body());
+            let version = self.publish(&key, WatchEventKind::Deleted, stored.object.shared_body());
+            self.log_write(&key, WatchEventKind::Deleted, version, None);
         }
         removed
     }
@@ -618,6 +730,23 @@ impl ObjectStore {
             }
         }
         out
+    }
+
+    /// Bulk-load recovered state — see [`StoreBackend::restore`]. Inserts
+    /// bypass the journal and the WAL (replay must not re-log itself); the
+    /// revision counter and the journals' compaction horizon are advanced
+    /// to the recovered revision.
+    pub fn restore(&self, objects: Vec<StoredObject>, revision: u64) {
+        let mut floor = revision;
+        for stored in objects {
+            floor = floor.max(stored.resource_version);
+            let key = key_of(&stored.object);
+            self.shards[shard_index(&key)]
+                .write()
+                .insert(key, Arc::new(stored));
+        }
+        self.revision.fetch_max(floor, Ordering::Relaxed);
+        self.journals.restore_horizon(floor);
     }
 }
 
@@ -708,6 +837,10 @@ impl StoreBackend for ObjectStore {
 
     fn count_by_kind(&self) -> BTreeMap<ResourceKind, usize> {
         ObjectStore::count_by_kind(self)
+    }
+
+    fn restore(&self, objects: Vec<StoredObject>, revision: u64) {
+        ObjectStore::restore(self, objects, revision)
     }
 }
 
@@ -919,6 +1052,20 @@ impl StoreBackend for BaselineStore {
             }
         }
         out
+    }
+
+    fn restore(&self, objects: Vec<StoredObject>, revision: u64) {
+        // Same contract as the zero-copy store; the baseline's copy
+        // discipline only differs on the read side, so restoration is a
+        // plain keyed insert here too.
+        let mut floor = revision;
+        for stored in objects {
+            floor = floor.max(stored.resource_version);
+            let key = key_of(&stored.object);
+            self.shards[shard_index(&key)].write().insert(key, stored);
+        }
+        self.revision.fetch_max(floor, Ordering::Relaxed);
+        self.journals.restore_horizon(floor);
     }
 }
 

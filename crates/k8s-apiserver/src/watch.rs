@@ -1014,6 +1014,25 @@ impl KindJournals {
         })
     }
 
+    /// Seal every sub-shard's compaction horizon at `revision` — the boot
+    /// half of the persistence plane's recovery contract. The journals hold
+    /// no pre-crash events (they are in-memory), so a cursor **below** the
+    /// recovered revision must take the standard `410 Gone` → re-list
+    /// recovery instead of silently skipping the history it missed, while a
+    /// cursor **at** the horizon resumes streaming seamlessly; raising
+    /// `last_revision` keeps [`KindJournals::watch_revision`] a safe
+    /// initial-list cursor on kinds that have not been written since boot.
+    pub(crate) fn restore_horizon(&self, revision: u64) {
+        if revision == 0 {
+            return;
+        }
+        for shard in &self.shards {
+            let mut inner = shard.write();
+            inner.compacted_through = inner.compacted_through.max(revision);
+            inner.last_revision = inner.last_revision.max(revision);
+        }
+    }
+
     /// The highest revision published to `kind`'s journal so far (0 when the
     /// kind has never been written) — the max over its sub-shards. Safe as
     /// an initial-list cursor: every event `≤` this value was fully

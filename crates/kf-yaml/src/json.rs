@@ -14,7 +14,8 @@
 //! * duplicate object keys are rejected (a JSON parser that keeps "the last
 //!   one wins" is a smuggling vector for an admission filter);
 //! * no document tree is ever built — [`parse_json`] is a thin
-//!   [`TreeBuilder`](crate::parser) over this tokenizer, mirroring how
+//!   `TreeBuilder` (the shared tree-construction layer) over this
+//!   tokenizer, mirroring how
 //!   [`crate::parse`] sits on the YAML tokenizer.
 //!
 //! A JSON stream is always exactly one document: [`Event::DocumentEnd`] is

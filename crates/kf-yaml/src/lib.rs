@@ -9,7 +9,9 @@
 //!   ([`parse`] / [`parse_documents`]),
 //! * an emitter producing canonical YAML text ([`to_yaml`]),
 //! * dotted-path addressing into documents ([`Path`]),
-//! * structural helpers: deep merge, leaf enumeration, diffing.
+//! * structural helpers: deep merge, leaf enumeration, diffing,
+//! * a compact binary codec and CRC-32 framing used by the durable
+//!   persistence plane ([`binary`]).
 //!
 //! The subset covers what Kubernetes manifests and Helm values files actually
 //! use in this repository: block mappings and sequences, quoted and plain
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 mod emitter;
 mod error;
 pub mod events;

@@ -13,6 +13,10 @@
 //!   operator's API requests against any [`k8s_apiserver::RequestHandler`]
 //!   (used by the RBAC learning phase, the effectiveness experiment and the
 //!   overhead benchmark);
+//! * [`RecoveryDriver`] — the crash/replay driver over the durable
+//!   persistence plane: populate a WAL-backed store, crash it without a
+//!   checkpoint, reopen, and verify byte-identical recovery (used by the
+//!   `cold_start` bench and the persistence integration tests);
 //! * [`e2e`] — the end-to-end test corpus model behind Figure 5 (6,580 tests
 //!   over 12 categories, of which only 29 reach CVE-affected code).
 
@@ -24,6 +28,7 @@ mod driver;
 pub mod e2e;
 mod informer;
 mod operator;
+mod recovery;
 mod throughput;
 
 pub use driver::{DeploymentDriver, DeploymentOutcome};
@@ -32,4 +37,5 @@ pub use informer::{
     RelistPermit,
 };
 pub use operator::{Operator, OperatorWorkload};
+pub use recovery::{RecoveryDriver, ReplayVerdict};
 pub use throughput::{MixRatio, ThroughputDriver, ThroughputReport};
