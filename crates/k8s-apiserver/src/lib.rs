@@ -48,21 +48,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod health;
 mod latency;
 pub mod persist;
 mod request;
 mod server;
+pub mod storage_io;
 mod store;
 mod vuln;
 mod watch;
 
+pub use health::{AdmissionGate, AdmissionPermit, DegradePolicy, HealthReport, ShedError};
 pub use latency::{LatencyModel, LatencyProfile};
 pub use persist::{
-    CheckpointReport, FsyncPolicy, PersistConfig, Persistence, RecoveryReport, TornTail, Wal,
-    WalRecord,
+    CheckpointReport, DurabilityState, DurabilityStatus, DurabilityTransition, FsyncPolicy,
+    LatchedError, PersistConfig, Persistence, RecoveryReport, RetryPolicy, StorageErrorKind,
+    TornTail, Wal, WalRecord,
 };
 pub use request::{ApiRequest, ApiResponse, RequestBody, ResponseBody, ResponseStatus};
 pub use server::{ApiServer, ExploitEvent, PushWatch, RequestHandler, WatchHub};
+pub use storage_io::{
+    FaultKind, FaultOp, FaultSchedule, FaultyIo, PlannedFault, RealIo, StorageIo,
+};
 pub use store::{BaselineStore, ObjectStore, StoreBackend, StoredObject};
 pub use vuln::VulnerabilityOracle;
 pub use watch::{

@@ -17,6 +17,10 @@
 //!   write order exactly as the journal does. The fsync cadence is a
 //!   [`FsyncPolicy`].
 //!
+//! All file traffic goes through a [`StorageIo`] seam, so tests and the
+//! chaos workload can run the identical code over a
+//! [`crate::storage_io::FaultyIo`] with deterministic fault schedules.
+//!
 //! **Recovery** ([`Persistence::open`]) loads the snapshot, replays the WAL
 //! suffix, seeds the store at the recovered revision and seals every watch
 //! journal's compaction horizon there — a watcher resuming with a pre-crash
@@ -26,6 +30,8 @@
 //! (`record.revision > stored.resource_version`), so overlapping
 //! snapshot/WAL windows are idempotent and replay order only matters per
 //! key — which per-key order the shard-lock append discipline guarantees.
+//! A corrupt snapshot is **quarantined** (renamed to `.corrupt`) and boot
+//! falls back to a full-WAL replay instead of refusing to start.
 //!
 //! **The recovery invariant:** after `open`, the store state equals the
 //! pre-crash state at the last fsync'd revision ([`Wal::durable_revision`]).
@@ -35,16 +41,31 @@
 //! bit-flipped WAL tail (the crash landed mid-`write`) fails its frame CRC
 //! and is **cleanly truncated**, never replayed and never a panic.
 //!
+//! **Degradation** is a state machine, not a latch: an append or fsync
+//! failure moves the WAL `Healthy → Degraded`, where later appends buffer
+//! their frames and a capped-exponential-backoff retry first repairs the
+//! file tail (truncate to the last fully-written frame — re-appending
+//! without the truncate would park duplicate frames behind a torn one and
+//! silently drop them at replay), then rewrites the pending frames and
+//! proves health with one fsync. Too many consecutive failures move it
+//! `Degraded → FailStop`, where appends are dropped and counted. In every
+//! state `durable_revision` advances only on a successful fsync of
+//! successfully written frames, so it **never overstates** stable storage;
+//! the durability gap ([`Wal::durability_gap`]) is the operator-visible
+//! size of the at-risk window. How the serving path reacts is the server's
+//! [`crate::DegradePolicy`]. See `docs/robustness.md`.
+//!
 //! **Compaction** ([`Persistence::checkpoint`]) snapshots at the current
 //! revision horizon and rewrites the WAL keeping only records above it —
 //! the same horizon discipline the in-memory journals apply per sub-shard,
-//! extended to disk. See `docs/persistence.md` for the byte layouts.
+//! extended to disk, with bounded retry around the whole attempt.
+//! See `docs/persistence.md` for the byte layouts.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -52,6 +73,7 @@ use k8s_model::{K8sObject, ResourceKind};
 use kf_yaml::binary::{self, Cursor};
 use kf_yaml::Value;
 
+use crate::storage_io::{RealIo, StorageFile, StorageIo};
 use crate::store::{ObjectStore, StoreBackend, StoredObject};
 use crate::watch::WatchEventKind;
 
@@ -97,6 +119,47 @@ impl FsyncPolicy {
     }
 }
 
+/// How the WAL retries after an I/O failure, and when it gives up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First backoff delay; doubles per consecutive failure.
+    pub base: Duration,
+    /// Ceiling on the backoff delay.
+    pub cap: Duration,
+    /// Consecutive failures after which the WAL moves
+    /// `Degraded → FailStop` (clamped to at least 1).
+    pub fail_stop_after: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(100),
+            fail_stop_after: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with no backoff delay — every append retries immediately.
+    /// Deterministic for tests and the chaos sweep (recovery attempts are
+    /// driven purely by operation order, never by wall-clock timing).
+    pub fn immediate(fail_stop_after: u32) -> Self {
+        RetryPolicy {
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+            fail_stop_after,
+        }
+    }
+
+    /// The capped exponential backoff after `failures` consecutive failures.
+    fn backoff(&self, failures: u32) -> Duration {
+        let shift = failures.saturating_sub(1).min(16);
+        self.base.saturating_mul(1u32 << shift).min(self.cap)
+    }
+}
+
 /// Where and how a store persists.
 #[derive(Debug, Clone)]
 pub struct PersistConfig {
@@ -109,6 +172,8 @@ pub struct PersistConfig {
     pub journal_capacity: usize,
     /// Watch-journal sub-shard count of the recovered store (0: default).
     pub journal_shards: usize,
+    /// Retry/backoff/fail-stop policy of the durability state machine.
+    pub retry: RetryPolicy,
 }
 
 impl PersistConfig {
@@ -120,12 +185,19 @@ impl PersistConfig {
             fsync: FsyncPolicy::Always,
             journal_capacity: 0,
             journal_shards: 0,
+            retry: RetryPolicy::default(),
         }
     }
 
     /// The same config with a different fsync policy.
     pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
         self.fsync = fsync;
+        self
+    }
+
+    /// The same config with a different retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -283,43 +355,267 @@ fn decode_wal_bytes(bytes: &[u8]) -> WalReplay {
     }
 }
 
-/// Decode a WAL file without touching it. Missing file: empty replay.
+/// Decode a WAL through an explicit I/O without touching it. Missing file:
+/// empty replay.
 ///
 /// # Errors
 ///
 /// Only filesystem errors; corruption is reported via [`WalReplay::torn`],
 /// never as an error.
-pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
-    match fs::read(path) {
+pub fn read_wal_with(io: &dyn StorageIo, path: &Path) -> io::Result<WalReplay> {
+    match io.read(path) {
         Ok(bytes) => Ok(decode_wal_bytes(&bytes)),
         Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(WalReplay::default()),
         Err(e) => Err(e),
     }
 }
 
-/// Decode a WAL file and, when the tail is torn, **truncate the file** to
-/// the intact prefix so the next append starts on a frame boundary.
+/// Decode a WAL file without touching it ([`read_wal_with`] over the real
+/// filesystem).
+///
+/// # Errors
+///
+/// Only filesystem errors; corruption is reported via [`WalReplay::torn`],
+/// never as an error.
+pub fn read_wal(path: &Path) -> io::Result<WalReplay> {
+    read_wal_with(&RealIo, path)
+}
+
+/// Decode a WAL and, when the tail is torn, **truncate the file** to the
+/// intact prefix so the next append starts on a frame boundary.
+///
+/// # Errors
+///
+/// Only filesystem errors (reading, or truncating a torn file).
+pub fn recover_wal_with(io: &dyn StorageIo, path: &Path) -> io::Result<WalReplay> {
+    let replay = read_wal_with(io, path)?;
+    if let Some(torn) = replay.torn {
+        io.truncate(path, torn.valid_len)?;
+    }
+    Ok(replay)
+}
+
+/// [`recover_wal_with`] over the real filesystem.
 ///
 /// # Errors
 ///
 /// Only filesystem errors (reading, or truncating a torn file).
 pub fn recover_wal(path: &Path) -> io::Result<WalReplay> {
-    let replay = read_wal(path)?;
-    if let Some(torn) = replay.torn {
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(torn.valid_len)?;
-        file.sync_data()?;
+    recover_wal_with(&RealIo, path)
+}
+
+/// The durability state machine's states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurabilityState {
+    /// Appends land and fsync on schedule; `durable_revision` tracks the
+    /// policy's cadence.
+    Healthy,
+    /// I/O is failing: appends buffer their frames and a capped-backoff
+    /// retry repairs the file tail, rewrites the buffer and re-proves
+    /// durability with an fsync. `durable_revision` is frozen at the last
+    /// proven value; the gap measures the at-risk window.
+    Degraded,
+    /// Too many consecutive failures: the device is considered gone.
+    /// Appends are dropped (and counted as lost); only a restart leaves
+    /// this state.
+    FailStop,
+}
+
+impl DurabilityState {
+    fn tag(self) -> u8 {
+        match self {
+            DurabilityState::Healthy => 0,
+            DurabilityState::Degraded => 1,
+            DurabilityState::FailStop => 2,
+        }
     }
-    Ok(replay)
+
+    fn from_tag(tag: u8) -> DurabilityState {
+        match tag {
+            0 => DurabilityState::Healthy,
+            1 => DurabilityState::Degraded,
+            _ => DurabilityState::FailStop,
+        }
+    }
+}
+
+impl std::fmt::Display for DurabilityState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DurabilityState::Healthy => "healthy",
+            DurabilityState::Degraded => "degraded",
+            DurabilityState::FailStop => "fail-stop",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The class of storage failure a [`LatchedError`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageErrorKind {
+    /// An append-path `write` failed (the file tail became unknown and was
+    /// truncated back to the last intact frame before any retry).
+    Write,
+    /// An `fsync` failed — written frames exist but are not proven stable.
+    Fsync,
+    /// The device reported no space (classified from the error text /
+    /// errno, whatever operation it surfaced on).
+    NoSpace,
+    /// A recovery step failed (truncating the torn tail or reopening the
+    /// append handle).
+    Recovery,
+}
+
+impl std::fmt::Display for StorageErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            StorageErrorKind::Write => "write",
+            StorageErrorKind::Fsync => "fsync",
+            StorageErrorKind::NoSpace => "no-space",
+            StorageErrorKind::Recovery => "recovery",
+        };
+        f.write_str(name)
+    }
+}
+
+impl StorageErrorKind {
+    /// Classify an I/O error, preferring the no-space signal over the
+    /// operation's default kind (ENOSPC can surface on writes *and*
+    /// fsyncs).
+    fn classify(error: &io::Error, default: StorageErrorKind) -> StorageErrorKind {
+        if error.raw_os_error() == Some(28) {
+            return StorageErrorKind::NoSpace;
+        }
+        let text = error.to_string();
+        if text.to_ascii_lowercase().contains("no space") {
+            StorageErrorKind::NoSpace
+        } else {
+            default
+        }
+    }
+}
+
+/// The structured latched error: what failed first, and how persistently.
+///
+/// `failures` distinguishes transient from permanent in the only way an
+/// I/O layer can: a count still growing means the fault has not healed; a
+/// WAL back in `Healthy` clears the latch entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatchedError {
+    /// The failure class of the **first** error in the current episode.
+    pub kind: StorageErrorKind,
+    /// The first error's text.
+    pub message: String,
+    /// The highest revision the failing operation covered.
+    pub revision: u64,
+    /// Consecutive failures observed in the episode so far.
+    pub failures: u32,
+}
+
+impl std::fmt::Display for LatchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} failure at revision {} ({} consecutive): {}",
+            self.kind, self.revision, self.failures, self.message
+        )
+    }
+}
+
+/// One recorded state-machine transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityTransition {
+    /// The state left.
+    pub from: DurabilityState,
+    /// The state entered.
+    pub to: DurabilityState,
+    /// Consecutive failures at the moment of transition.
+    pub failures: u32,
+    /// `durable_revision` at the moment of transition.
+    pub durable_revision: u64,
+}
+
+/// A point-in-time durability summary — what [`StoreBackend::durability`]
+/// and the server's health surface report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// Whether a WAL is attached at all (`false`: pure in-memory store,
+    /// every other field is vacuous).
+    pub durable: bool,
+    /// The state machine's current state.
+    pub state: DurabilityState,
+    /// Highest revision proven on stable storage.
+    pub durable_revision: u64,
+    /// Highest revision handed to the WAL (acknowledged to clients).
+    pub submitted_revision: u64,
+    /// `submitted_revision - durable_revision`: the at-risk window.
+    pub gap: u64,
+    /// The current episode's latched error (`None` when healthy).
+    pub latched: Option<LatchedError>,
+    /// State-machine transitions since open.
+    pub transitions: usize,
+    /// Records dropped in `FailStop` (never written to the file).
+    pub lost_records: u64,
+}
+
+impl DurabilityStatus {
+    /// The status of a store with no persistence attached.
+    pub fn in_memory() -> DurabilityStatus {
+        DurabilityStatus {
+            durable: false,
+            state: DurabilityState::Healthy,
+            durable_revision: 0,
+            submitted_revision: 0,
+            gap: 0,
+            latched: None,
+            transitions: 0,
+            lost_records: 0,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DurabilityMachine {
+    state_tag: u8,
+    consecutive_failures: u32,
+    next_retry_at: Option<Instant>,
+    latched: Option<LatchedError>,
+    transitions: Vec<DurabilityTransition>,
+}
+
+impl DurabilityMachine {
+    fn state(&self) -> DurabilityState {
+        DurabilityState::from_tag(self.state_tag)
+    }
+
+    fn record(&mut self, to: DurabilityState, durable_revision: u64) {
+        self.transitions.push(DurabilityTransition {
+            from: self.state(),
+            to,
+            failures: self.consecutive_failures,
+            durable_revision,
+        });
+        self.state_tag = to.tag();
+    }
 }
 
 #[derive(Debug)]
 struct WalInner {
-    file: File,
+    file: Box<dyn StorageFile>,
     /// Records appended since the last fsync (drives [`FsyncPolicy::Batch`]).
     since_sync: u32,
     /// Highest revision written to the file (not necessarily durable yet).
     appended: u64,
+    /// Byte length of the file's fully-written prefix — the truncation
+    /// point tail repair restores before any retry re-appends frames.
+    good_len: u64,
+    /// Encoded frames awaiting (re)write while degraded.
+    pending: Vec<u8>,
+    /// Highest revision among the pending frames.
+    pending_high: u64,
+    /// Record count among the pending frames.
+    pending_count: u32,
+    machine: DurabilityMachine,
 }
 
 /// The open write-ahead log a store appends to.
@@ -330,46 +626,90 @@ struct WalInner {
 /// [`Wal::append`] while holding the written object's shard lock, which is
 /// what makes the on-disk per-key order match the in-memory one.
 ///
-/// I/O failures do not poison the store: the write stays applied in memory,
-/// the error is latched ([`Wal::last_error`]) and `durable_revision` stops
-/// advancing — the operator-visible signal that durability degraded.
+/// I/O failures do not poison the store: the write stays applied in memory
+/// and the durability state machine takes over — frames buffer while
+/// `Degraded`, tail repair + rewrite + fsync runs under capped backoff
+/// (never sleeping in the append path: a not-yet-due retry just buffers),
+/// and `durable_revision` advances only on proof. See the module docs.
 #[derive(Debug)]
 pub struct Wal {
+    io: Arc<dyn StorageIo>,
+    path: PathBuf,
     inner: Mutex<WalInner>,
     policy: FsyncPolicy,
+    retry: RetryPolicy,
     /// Highest revision known forced to stable storage.
     durable: AtomicU64,
-    /// First append/sync error observed, if any.
-    error: Mutex<Option<String>>,
+    /// Highest revision ever handed to [`Wal::append`] (acknowledged).
+    submitted: AtomicU64,
+    /// Records dropped in `FailStop`.
+    lost: AtomicU64,
+    /// Lock-free mirror of the machine state (for hot-path policy checks).
+    state_tag: AtomicU8,
 }
 
 impl Wal {
-    /// Open (creating if needed) the WAL at `path` for appending.
-    /// `recovered` is the highest revision already in the file — it seeds
-    /// both the appended and durable cursors (the open fsyncs once so the
-    /// recovered prefix is genuinely stable).
+    /// Open (creating if needed) the WAL at `path` for appending, over the
+    /// real filesystem with the default [`RetryPolicy`]. `recovered` is the
+    /// highest revision already in the file — it seeds both the appended
+    /// and durable cursors (the open fsyncs once so the recovered prefix is
+    /// genuinely stable).
     ///
     /// # Errors
     ///
     /// Filesystem errors opening or syncing the file.
     pub fn open(path: &Path, policy: FsyncPolicy, recovered: u64) -> io::Result<Wal> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Wal::open_with(
+            Arc::new(RealIo),
+            path,
+            policy,
+            recovered,
+            RetryPolicy::default(),
+        )
+    }
+
+    /// [`Wal::open`] over an explicit [`StorageIo`] and [`RetryPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or syncing the file (a boot-time failure is an
+    /// open error, not a degraded state — there is nothing to serve yet).
+    pub fn open_with(
+        io: Arc<dyn StorageIo>,
+        path: &Path,
+        policy: FsyncPolicy,
+        recovered: u64,
+        retry: RetryPolicy,
+    ) -> io::Result<Wal> {
+        let mut file = io.open_append(path)?;
         file.sync_data()?;
+        let good_len = io.file_len(path)?;
         Ok(Wal {
+            io,
+            path: path.to_path_buf(),
             inner: Mutex::new(WalInner {
                 file,
                 since_sync: 0,
                 appended: recovered,
+                good_len,
+                pending: Vec::new(),
+                pending_high: 0,
+                pending_count: 0,
+                machine: DurabilityMachine::default(),
             }),
             policy,
+            retry,
             durable: AtomicU64::new(recovered),
-            error: Mutex::new(None),
+            submitted: AtomicU64::new(recovered),
+            lost: AtomicU64::new(0),
+            state_tag: AtomicU8::new(DurabilityState::Healthy.tag()),
         })
     }
 
     /// Append records (one frame each, one `write` for the batch), honoring
-    /// the fsync policy. Errors are latched, not returned — see the type
-    /// docs for why the store cannot unwind here.
+    /// the fsync policy. Errors are absorbed by the durability state
+    /// machine, not returned — the store cannot unwind a write it already
+    /// applied under its shard lock.
     pub fn append(&self, records: &[WalRecord]) {
         if records.is_empty() {
             return;
@@ -380,83 +720,292 @@ impl Wal {
             record.encode_frame(&mut buf);
             max_revision = max_revision.max(record.revision);
         }
+        self.submitted.fetch_max(max_revision, Ordering::AcqRel);
+        let count = records.len() as u32;
         let mut inner = self.inner.lock();
-        if let Err(e) = self.append_locked(&mut inner, &buf, max_revision, records.len() as u32) {
-            let mut slot = self.error.lock();
-            if slot.is_none() {
-                *slot = Some(e.to_string());
+        match inner.machine.state() {
+            DurabilityState::FailStop => {
+                self.lost.fetch_add(u64::from(count), Ordering::Relaxed);
+            }
+            DurabilityState::Healthy => {
+                self.append_healthy(&mut inner, buf, max_revision, count);
+            }
+            DurabilityState::Degraded => {
+                Self::stash(&mut inner, buf, max_revision, count);
+                self.try_recover_locked(&mut inner, false);
             }
         }
+        self.publish_state(&inner);
     }
 
-    fn append_locked(
-        &self,
-        inner: &mut WalInner,
-        buf: &[u8],
-        max_revision: u64,
-        count: u32,
-    ) -> io::Result<()> {
-        inner.file.write_all(buf)?;
+    fn publish_state(&self, inner: &WalInner) {
+        self.state_tag
+            .store(inner.machine.state_tag, Ordering::Release);
+    }
+
+    fn stash(inner: &mut WalInner, buf: Vec<u8>, max_revision: u64, count: u32) {
+        inner.pending.extend_from_slice(&buf);
+        inner.pending_high = inner.pending_high.max(max_revision);
+        inner.pending_count += count;
+    }
+
+    fn append_healthy(&self, inner: &mut WalInner, buf: Vec<u8>, max_revision: u64, count: u32) {
+        if let Err(e) = inner.file.write_all(&buf) {
+            // The file tail is unknown past `good_len` now; the frames go to
+            // the pending buffer and recovery truncates before rewriting.
+            let kind = StorageErrorKind::classify(&e, StorageErrorKind::Write);
+            Self::stash(inner, buf, max_revision, count);
+            self.note_failure(inner, kind, &e, max_revision);
+            return;
+        }
+        inner.good_len += buf.len() as u64;
         inner.appended = inner.appended.max(max_revision);
-        match self.policy {
-            FsyncPolicy::Always => self.sync_locked(inner)?,
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
             FsyncPolicy::Batch(n) => {
                 inner.since_sync += count;
-                if inner.since_sync >= n.max(1) {
-                    self.sync_locked(inner)?;
-                }
+                inner.since_sync >= n.max(1)
             }
-            FsyncPolicy::Os => {}
+            FsyncPolicy::Os => false,
+        };
+        if due {
+            if let Err(e) = inner.file.sync_data() {
+                let kind = StorageErrorKind::classify(&e, StorageErrorKind::Fsync);
+                self.note_failure(inner, kind, &e, max_revision);
+            } else {
+                inner.since_sync = 0;
+                self.durable.store(inner.appended, Ordering::Release);
+            }
         }
-        Ok(())
     }
 
-    fn sync_locked(&self, inner: &mut WalInner) -> io::Result<()> {
-        inner.file.sync_data()?;
+    fn note_failure(
+        &self,
+        inner: &mut WalInner,
+        kind: StorageErrorKind,
+        error: &io::Error,
+        revision: u64,
+    ) {
+        let durable = self.durable.load(Ordering::Acquire);
+        let machine = &mut inner.machine;
+        machine.consecutive_failures += 1;
+        match &mut machine.latched {
+            Some(latched) => latched.failures = machine.consecutive_failures,
+            None => {
+                machine.latched = Some(LatchedError {
+                    kind,
+                    message: error.to_string(),
+                    revision,
+                    failures: 1,
+                })
+            }
+        }
+        machine.next_retry_at =
+            Some(Instant::now() + self.retry.backoff(machine.consecutive_failures));
+        if machine.state() == DurabilityState::Healthy {
+            machine.record(DurabilityState::Degraded, durable);
+        }
+        if machine.state() == DurabilityState::Degraded
+            && machine.consecutive_failures >= self.retry.fail_stop_after.max(1)
+        {
+            machine.record(DurabilityState::FailStop, durable);
+            machine.next_retry_at = None;
+            // The pending frames will never land; count and drop them.
+            self.lost
+                .fetch_add(u64::from(inner.pending_count), Ordering::Relaxed);
+            inner.pending = Vec::new();
+            inner.pending_high = 0;
+            inner.pending_count = 0;
+        }
+    }
+
+    /// One recovery attempt, only while `Degraded` and (unless `force`) only
+    /// once the backoff is due. Repairs the file tail (truncate to the last
+    /// fully-written frame and reopen the handle — without the truncate a
+    /// retried append would park duplicate frames behind the torn one, and
+    /// replay would silently drop them), rewrites the pending frames, then
+    /// proves durability with one fsync.
+    fn try_recover_locked(&self, inner: &mut WalInner, force: bool) {
+        if inner.machine.state() != DurabilityState::Degraded {
+            return;
+        }
+        if !force {
+            if let Some(at) = inner.machine.next_retry_at {
+                if Instant::now() < at {
+                    return;
+                }
+            }
+        }
+        let at_risk = inner.pending_high.max(inner.appended);
+        if let Err(e) = self.io.truncate(&self.path, inner.good_len) {
+            let kind = StorageErrorKind::classify(&e, StorageErrorKind::Recovery);
+            self.note_failure(inner, kind, &e, at_risk);
+            return;
+        }
+        match self.io.open_append(&self.path) {
+            Ok(file) => inner.file = file,
+            Err(e) => {
+                let kind = StorageErrorKind::classify(&e, StorageErrorKind::Recovery);
+                self.note_failure(inner, kind, &e, at_risk);
+                return;
+            }
+        }
+        if !inner.pending.is_empty() {
+            let pending = std::mem::take(&mut inner.pending);
+            if let Err(e) = inner.file.write_all(&pending) {
+                let kind = StorageErrorKind::classify(&e, StorageErrorKind::Write);
+                // The tail is unknown again; keep the frames, the next
+                // attempt re-truncates to the same `good_len`.
+                inner.pending = pending;
+                self.note_failure(inner, kind, &e, at_risk);
+                return;
+            }
+            inner.good_len += pending.len() as u64;
+            inner.appended = inner.appended.max(inner.pending_high);
+            inner.pending_high = 0;
+            inner.pending_count = 0;
+        }
+        if let Err(e) = inner.file.sync_data() {
+            let kind = StorageErrorKind::classify(&e, StorageErrorKind::Fsync);
+            self.note_failure(inner, kind, &e, at_risk);
+            return;
+        }
         inner.since_sync = 0;
         self.durable.store(inner.appended, Ordering::Release);
-        Ok(())
+        let durable = inner.appended;
+        let machine = &mut inner.machine;
+        machine.consecutive_failures = 0;
+        machine.next_retry_at = None;
+        machine.latched = None;
+        machine.record(DurabilityState::Healthy, durable);
+    }
+
+    fn latched_io_error(inner: &WalInner) -> io::Error {
+        match &inner.machine.latched {
+            Some(latched) => io::Error::other(latched.to_string()),
+            None => io::Error::other("WAL not healthy"),
+        }
     }
 
     /// Force everything appended so far to stable storage, returning the
-    /// now-durable revision.
+    /// now-durable revision. While `Degraded` this is a forced recovery
+    /// attempt (backoff ignored — the caller explicitly asked).
     ///
     /// # Errors
     ///
-    /// The underlying fsync error.
+    /// The underlying fsync error, or the latched error when the WAL is
+    /// (still) not healthy.
     pub fn sync(&self) -> io::Result<u64> {
         let mut inner = self.inner.lock();
-        self.sync_locked(&mut inner)?;
-        Ok(self.durable.load(Ordering::Acquire))
+        match inner.machine.state() {
+            DurabilityState::Healthy => {
+                if let Err(e) = inner.file.sync_data() {
+                    let kind = StorageErrorKind::classify(&e, StorageErrorKind::Fsync);
+                    let revision = inner.appended;
+                    self.note_failure(&mut inner, kind, &e, revision);
+                    self.publish_state(&inner);
+                    return Err(e);
+                }
+                inner.since_sync = 0;
+                self.durable.store(inner.appended, Ordering::Release);
+                Ok(self.durable.load(Ordering::Acquire))
+            }
+            DurabilityState::Degraded => {
+                self.try_recover_locked(&mut inner, true);
+                self.publish_state(&inner);
+                if inner.machine.state() == DurabilityState::Healthy {
+                    Ok(self.durable.load(Ordering::Acquire))
+                } else {
+                    Err(Self::latched_io_error(&inner))
+                }
+            }
+            DurabilityState::FailStop => Err(Self::latched_io_error(&inner)),
+        }
     }
 
     /// Highest revision known forced to stable storage — the revision the
-    /// recovery invariant is stated against.
+    /// recovery invariant is stated against. Advances **only** on a
+    /// successful fsync of successfully written frames, in every machine
+    /// state.
     pub fn durable_revision(&self) -> u64 {
         self.durable.load(Ordering::Acquire)
     }
 
-    /// Highest revision appended (durable or not).
+    /// Highest revision appended to the file (durable or not).
     pub fn appended_revision(&self) -> u64 {
         self.inner.lock().appended
     }
 
-    /// The first latched I/O error, if appends have started failing.
-    pub fn last_error(&self) -> Option<String> {
-        self.error.lock().clone()
+    /// The current durability state (lock-free; serving paths poll this).
+    pub fn state(&self) -> DurabilityState {
+        DurabilityState::from_tag(self.state_tag.load(Ordering::Acquire))
+    }
+
+    /// `submitted - durable`: how many revisions of acknowledged writes are
+    /// not yet proven on stable storage (lock-free).
+    pub fn durability_gap(&self) -> u64 {
+        self.submitted
+            .load(Ordering::Acquire)
+            .saturating_sub(self.durable.load(Ordering::Acquire))
+    }
+
+    /// The current episode's structured latched error, if the WAL is not
+    /// healthy. Cleared when recovery returns the machine to `Healthy`;
+    /// the transition history ([`Wal::transitions`]) keeps the forensics.
+    pub fn last_error(&self) -> Option<LatchedError> {
+        self.inner.lock().machine.latched.clone()
+    }
+
+    /// Every state-machine transition since open, in order.
+    pub fn transitions(&self) -> Vec<DurabilityTransition> {
+        self.inner.lock().machine.transitions.clone()
+    }
+
+    /// A point-in-time durability summary.
+    pub fn status(&self) -> DurabilityStatus {
+        let inner = self.inner.lock();
+        let durable_revision = self.durable.load(Ordering::Acquire);
+        let submitted_revision = self.submitted.load(Ordering::Acquire);
+        DurabilityStatus {
+            durable: true,
+            state: inner.machine.state(),
+            durable_revision,
+            submitted_revision,
+            gap: submitted_revision.saturating_sub(durable_revision),
+            latched: inner.machine.latched.clone(),
+            transitions: inner.machine.transitions.len(),
+            lost_records: self.lost.load(Ordering::Relaxed),
+        }
     }
 
     /// Rewrite the log keeping only records with revision strictly above
     /// `horizon` (they are the ones not covered by the snapshot at that
     /// horizon), then swap the rewritten file in atomically and continue
-    /// appending to it. Returns how many records were retained.
+    /// appending to it. Returns how many records were retained. Refuses to
+    /// run unless the machine is (or recovers to) `Healthy` — compaction
+    /// rewrites the log and must not race a sick device.
     fn compact(&self, path: &Path, horizon: u64) -> io::Result<usize> {
         let mut inner = self.inner.lock();
+        if inner.machine.state() == DurabilityState::Degraded {
+            self.try_recover_locked(&mut inner, true);
+            self.publish_state(&inner);
+        }
+        if inner.machine.state() != DurabilityState::Healthy {
+            return Err(Self::latched_io_error(&inner));
+        }
         // Make the current contents readable-back and durable before the
         // rewrite; everything we are about to drop is covered by the
         // already-renamed snapshot.
-        self.sync_locked(&mut inner)?;
-        let replay = read_wal(path)?;
+        if let Err(e) = inner.file.sync_data() {
+            let kind = StorageErrorKind::classify(&e, StorageErrorKind::Fsync);
+            let revision = inner.appended;
+            self.note_failure(&mut inner, kind, &e, revision);
+            self.publish_state(&inner);
+            return Err(e);
+        }
+        inner.since_sync = 0;
+        self.durable.store(inner.appended, Ordering::Release);
+        let replay = read_wal_with(&*self.io, path)?;
         let mut buf = Vec::new();
         let mut retained = 0usize;
         for record in &replay.records {
@@ -466,27 +1015,25 @@ impl Wal {
             }
         }
         let tmp = path.with_extension("kfwal.tmp");
-        {
-            let mut file = File::create(&tmp)?;
-            file.write_all(&buf)?;
-            file.sync_data()?;
-        }
-        fs::rename(&tmp, path)?;
-        sync_parent_dir(path);
-        let file = OpenOptions::new().append(true).open(path)?;
-        inner.file = file;
-        inner.since_sync = 0;
-        Ok(retained)
-    }
-}
-
-/// Best-effort fsync of a path's parent directory (makes a rename durable
-/// on filesystems that need it; ignored where directories cannot be
-/// opened).
-fn sync_parent_dir(path: &Path) {
-    if let Some(parent) = path.parent() {
-        if let Ok(dir) = File::open(parent) {
-            let _ = dir.sync_all();
+        self.io.write_file(&tmp, &buf)?;
+        self.io.rename(&tmp, path)?;
+        self.io.sync_parent_dir(path);
+        inner.good_len = buf.len() as u64;
+        match self.io.open_append(path) {
+            Ok(file) => {
+                inner.file = file;
+                inner.since_sync = 0;
+                Ok(retained)
+            }
+            Err(e) => {
+                // The held handle points at the renamed-away inode; degrade
+                // so recovery reopens it before anything advances `durable`.
+                let kind = StorageErrorKind::classify(&e, StorageErrorKind::Recovery);
+                let revision = inner.appended;
+                self.note_failure(&mut inner, kind, &e, revision);
+                self.publish_state(&inner);
+                Err(e)
+            }
         }
     }
 }
@@ -504,14 +1051,20 @@ pub struct SnapshotData {
     pub objects: Vec<(u64, Value)>,
 }
 
-/// Write a snapshot of `objects` at `revision` to `path`: temp file, fsync,
-/// atomic rename. The payload is CRC-sealed, so a bit-flipped snapshot is
-/// rejected at load instead of resurrecting corrupt objects.
+/// Write a snapshot of `objects` at `revision` through an explicit I/O:
+/// temp file, fsync, atomic rename. The payload is CRC-sealed, so a
+/// bit-flipped snapshot is rejected at load instead of resurrecting corrupt
+/// objects.
 ///
 /// # Errors
 ///
 /// Filesystem errors only.
-pub fn write_snapshot(path: &Path, revision: u64, objects: &[Arc<StoredObject>]) -> io::Result<()> {
+pub fn write_snapshot_with(
+    io: &dyn StorageIo,
+    path: &Path,
+    revision: u64,
+    objects: &[Arc<StoredObject>],
+) -> io::Result<()> {
     let mut payload = Vec::with_capacity(objects.len() * 256 + 16);
     binary::put_u64(&mut payload, revision);
     binary::put_u64(&mut payload, objects.len() as u64);
@@ -524,25 +1077,31 @@ pub fn write_snapshot(path: &Path, revision: u64, objects: &[Arc<StoredObject>])
     binary::put_u32(&mut out, binary::crc32(&payload));
     out.extend_from_slice(&payload);
     let tmp = path.with_extension("kfsnap.tmp");
-    {
-        let mut file = File::create(&tmp)?;
-        file.write_all(&out)?;
-        file.sync_data()?;
-    }
-    fs::rename(&tmp, path)?;
-    sync_parent_dir(path);
+    io.write_file(&tmp, &out)?;
+    io.rename(&tmp, path)?;
+    io.sync_parent_dir(path);
     Ok(())
 }
 
-/// Load a snapshot; `Ok(None)` when the file does not exist.
+/// [`write_snapshot_with`] over the real filesystem.
+///
+/// # Errors
+///
+/// Filesystem errors only.
+pub fn write_snapshot(path: &Path, revision: u64, objects: &[Arc<StoredObject>]) -> io::Result<()> {
+    write_snapshot_with(&RealIo, path, revision, objects)
+}
+
+/// Load a snapshot through an explicit I/O; `Ok(None)` when the file does
+/// not exist.
 ///
 /// # Errors
 ///
 /// Filesystem errors, or [`io::ErrorKind::InvalidData`] when the magic,
-/// checksum or payload decode fails — a snapshot is the recovery floor, so
-/// unlike a torn WAL tail its corruption is surfaced loudly, not skipped.
-pub fn read_snapshot(path: &Path) -> io::Result<Option<SnapshotData>> {
-    let bytes = match fs::read(path) {
+/// checksum or payload decode fails. The recovery path quarantines on
+/// `InvalidData` instead of refusing to boot — see [`Persistence::open`].
+pub fn read_snapshot_with(io: &dyn StorageIo, path: &Path) -> io::Result<Option<SnapshotData>> {
+    let bytes = match io.read(path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
@@ -571,6 +1130,15 @@ pub fn read_snapshot(path: &Path) -> io::Result<Option<SnapshotData>> {
     parse().map(Some).map_err(|e| invalid(&e.to_string()))
 }
 
+/// [`read_snapshot_with`] over the real filesystem.
+///
+/// # Errors
+///
+/// Filesystem errors, or [`io::ErrorKind::InvalidData`] on corruption.
+pub fn read_snapshot(path: &Path) -> io::Result<Option<SnapshotData>> {
+    read_snapshot_with(&RealIo, path)
+}
+
 /// What recovery found and did.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
@@ -590,6 +1158,9 @@ pub struct RecoveryReport {
     pub live_objects: usize,
     /// `Some` when a torn/corrupt WAL tail was detected and truncated.
     pub torn_tail: Option<TornTail>,
+    /// `Some` when a corrupt snapshot was quarantined (renamed to this
+    /// path) and boot fell back to a full-WAL replay.
+    pub snapshot_quarantined: Option<PathBuf>,
 }
 
 /// What a checkpoint wrote.
@@ -602,6 +1173,8 @@ pub struct CheckpointReport {
     pub objects: usize,
     /// WAL records retained (revision above the horizon).
     pub wal_retained: usize,
+    /// Attempts the checkpoint took (1 when the first try succeeded).
+    pub attempts: u32,
 }
 
 /// An open persistence directory: the handle that checkpoints a store and
@@ -610,31 +1183,69 @@ pub struct CheckpointReport {
 pub struct Persistence {
     dir: PathBuf,
     wal: Arc<Wal>,
+    io: Arc<dyn StorageIo>,
 }
+
+/// Whole-checkpoint attempts before [`Persistence::checkpoint`] gives up.
+const CHECKPOINT_ATTEMPTS: u32 = 3;
 
 impl Persistence {
     /// Open (or create) the persistence directory and recover a store from
-    /// it: load the snapshot, replay the WAL suffix (truncating a torn
-    /// tail), seed the store, seal the watch horizon at the recovered
-    /// revision, and attach the WAL so every subsequent write is logged.
+    /// it over the real filesystem — see [`Persistence::open_with_io`].
     ///
     /// # Errors
     ///
-    /// Filesystem errors; [`io::ErrorKind::InvalidData`] for a corrupt
-    /// snapshot or a WAL/snapshot body that no longer parses as an object.
+    /// Those of [`Persistence::open_with_io`].
     pub fn open(config: PersistConfig) -> io::Result<(ObjectStore, Persistence, RecoveryReport)> {
-        fs::create_dir_all(&config.dir)?;
+        Persistence::open_with_io(config, Arc::new(RealIo))
+    }
+
+    /// Open (or create) the persistence directory through an explicit
+    /// [`StorageIo`] and recover a store from it: load the snapshot
+    /// (quarantining a corrupt one and falling back to full-WAL replay),
+    /// replay the WAL suffix (truncating a torn tail), seed the store, seal
+    /// the watch horizon at the recovered revision, and attach the WAL so
+    /// every subsequent write is logged.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors; [`io::ErrorKind::InvalidData`] only when a WAL or
+    /// snapshot object body no longer parses as an object (a corrupt
+    /// snapshot *file* is quarantined instead — see
+    /// [`RecoveryReport::snapshot_quarantined`]).
+    pub fn open_with_io(
+        config: PersistConfig,
+        io: Arc<dyn StorageIo>,
+    ) -> io::Result<(ObjectStore, Persistence, RecoveryReport)> {
+        io.create_dir_all(&config.dir)?;
         let snapshot_path = config.dir.join(SNAPSHOT_FILE);
         let wal_path = config.dir.join(WAL_FILE);
         let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
 
-        let snapshot = read_snapshot(&snapshot_path)?.unwrap_or_default();
-        let replay = recover_wal(&wal_path)?;
+        let mut quarantined = None;
+        let snapshot = match read_snapshot_with(&*io, &snapshot_path) {
+            Ok(snapshot) => snapshot.unwrap_or_default(),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // The snapshot is the recovery floor, but a corrupt floor
+                // must not brick the boot: quarantine the file for forensics
+                // and rebuild from the full WAL (compaction only ever drops
+                // records a *successfully written* snapshot covers, so the
+                // WAL still holds everything after the last good horizon).
+                let target = snapshot_path.with_extension("kfsnap.corrupt");
+                io.rename(&snapshot_path, &target)?;
+                io.sync_parent_dir(&snapshot_path);
+                quarantined = Some(target);
+                SnapshotData::default()
+            }
+            Err(e) => return Err(e),
+        };
+        let replay = recover_wal_with(&*io, &wal_path)?;
         let mut report = RecoveryReport {
             snapshot_revision: snapshot.revision,
             snapshot_objects: snapshot.objects.len(),
             wal_records: replay.records.len(),
             torn_tail: replay.torn,
+            snapshot_quarantined: quarantined,
             ..RecoveryReport::default()
         };
 
@@ -698,13 +1309,20 @@ impl Persistence {
         let mut store =
             ObjectStore::with_journal_config(config.journal_capacity, config.journal_shards);
         store.restore(objects, recovered_revision);
-        let wal = Arc::new(Wal::open(&wal_path, config.fsync, recovered_revision)?);
+        let wal = Arc::new(Wal::open_with(
+            Arc::clone(&io),
+            &wal_path,
+            config.fsync,
+            recovered_revision,
+            config.retry,
+        )?);
         store.attach_wal(Arc::clone(&wal));
         Ok((
             store,
             Persistence {
                 dir: config.dir,
                 wal,
+                io,
             },
             report,
         ))
@@ -725,20 +1343,41 @@ impl Persistence {
     /// with writes — the horizon is read *before* the scan, every record at
     /// or below it is fully reflected by the scan (revision allocation and
     /// the map effect share the shard lock), and replay's revision guard
-    /// absorbs the overlap above it.
+    /// absorbs the overlap above it. The whole attempt retries (with the
+    /// WAL's backoff) a bounded number of times, because a transient fault
+    /// mid-checkpoint is invisible to clients — only the snapshot horizon
+    /// lags.
     ///
     /// # Errors
     ///
-    /// Filesystem errors writing the snapshot or rewriting the WAL.
+    /// Filesystem errors writing the snapshot or rewriting the WAL, after
+    /// retries are exhausted.
     pub fn checkpoint(&self, store: &ObjectStore) -> io::Result<CheckpointReport> {
+        let mut last = None;
+        for attempt in 1..=CHECKPOINT_ATTEMPTS {
+            match self.try_checkpoint(store, attempt) {
+                Ok(report) => return Ok(report),
+                Err(e) => {
+                    if attempt < CHECKPOINT_ATTEMPTS {
+                        std::thread::sleep(self.wal.retry.backoff(attempt));
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    fn try_checkpoint(&self, store: &ObjectStore, attempt: u32) -> io::Result<CheckpointReport> {
         let horizon = StoreBackend::revision(store);
         let objects = store.snapshot_objects();
-        write_snapshot(&self.dir.join(SNAPSHOT_FILE), horizon, &objects)?;
+        write_snapshot_with(&*self.io, &self.dir.join(SNAPSHOT_FILE), horizon, &objects)?;
         let wal_retained = self.wal.compact(&self.dir.join(WAL_FILE), horizon)?;
         Ok(CheckpointReport {
             revision: horizon,
             objects: objects.len(),
             wal_retained,
+            attempts: attempt,
         })
     }
 }
@@ -746,6 +1385,8 @@ impl Persistence {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage_io::{FaultSchedule, FaultyIo};
+    use std::fs;
     use std::sync::atomic::AtomicUsize;
 
     fn temp_dir(label: &str) -> PathBuf {
@@ -779,6 +1420,20 @@ mod tests {
         }
     }
 
+    fn faulty_wal(dir: &Path, spec: &str, policy: FsyncPolicy, fail_stop_after: u32) -> Wal {
+        let io = Arc::new(FaultyIo::over_real(
+            FaultSchedule::parse(spec).expect("spec parses"),
+        ));
+        Wal::open_with(
+            io,
+            &dir.join(WAL_FILE),
+            policy,
+            0,
+            RetryPolicy::immediate(fail_stop_after),
+        )
+        .expect("open")
+    }
+
     #[test]
     fn wal_records_round_trip_through_the_file() {
         let dir = temp_dir("roundtrip");
@@ -792,6 +1447,8 @@ mod tests {
         wal.append(&records);
         assert_eq!(wal.durable_revision(), 3);
         assert!(wal.last_error().is_none());
+        assert_eq!(wal.state(), DurabilityState::Healthy);
+        assert_eq!(wal.durability_gap(), 0);
         let replay = read_wal(&path).expect("read");
         assert!(replay.torn.is_none());
         assert_eq!(replay.records.len(), 3);
@@ -888,6 +1545,98 @@ mod tests {
     }
 
     #[test]
+    fn transient_fsync_failure_degrades_then_recovers_without_losing_frames() {
+        let dir = temp_dir("transient");
+        // Boot fsync is op 0; the op-1 append's fsync fails twice.
+        let wal = faulty_wal(&dir, "fsync@1:transient*2", FsyncPolicy::Always, 8);
+        wal.append(&[record(1, WatchEventKind::Added, "default", "a")]);
+        assert_eq!(wal.state(), DurabilityState::Degraded);
+        assert_eq!(wal.durable_revision(), 0, "failed fsync proves nothing");
+        let latched = wal.last_error().expect("latched");
+        assert_eq!(latched.kind, StorageErrorKind::Fsync);
+        assert_eq!(wal.durability_gap(), 1);
+        // Next append stashes, retries immediately: fsync op 2 still in the
+        // fault window (fails), fsync op 3 heals.
+        wal.append(&[record(2, WatchEventKind::Added, "default", "b")]);
+        wal.append(&[record(3, WatchEventKind::Added, "default", "c")]);
+        assert_eq!(wal.state(), DurabilityState::Healthy);
+        assert_eq!(wal.durable_revision(), 3);
+        assert_eq!(wal.durability_gap(), 0);
+        assert!(wal.last_error().is_none(), "latch clears on recovery");
+        let transitions = wal.transitions();
+        assert_eq!(transitions.len(), 2, "one degrade, one recover");
+        assert_eq!(transitions[0].to, DurabilityState::Degraded);
+        assert_eq!(transitions[1].to, DurabilityState::Healthy);
+        // No frame was lost or duplicated on disk.
+        let replay = read_wal(&dir.join(WAL_FILE)).expect("read");
+        let revisions: Vec<u64> = replay.records.iter().map(|r| r.revision).collect();
+        assert_eq!(revisions, vec![1, 2, 3]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_truncates_the_torn_tail_before_retrying() {
+        let dir = temp_dir("short");
+        // Write op 0 is the op-1 record's... op 0 is the first append: a
+        // short write leaves half a frame on disk; the retry must truncate
+        // it before rewriting, or replay would stop at the torn frame.
+        let wal = faulty_wal(&dir, "write@0:short", FsyncPolicy::Always, 8);
+        wal.append(&[record(1, WatchEventKind::Added, "default", "a")]);
+        assert_eq!(wal.state(), DurabilityState::Degraded);
+        assert_eq!(wal.durable_revision(), 0);
+        wal.append(&[record(2, WatchEventKind::Added, "default", "b")]);
+        assert_eq!(wal.state(), DurabilityState::Healthy);
+        assert_eq!(wal.durable_revision(), 2);
+        let replay = read_wal(&dir.join(WAL_FILE)).expect("read");
+        assert!(replay.torn.is_none(), "tail was repaired, not left torn");
+        let revisions: Vec<u64> = replay.records.iter().map(|r| r.revision).collect();
+        assert_eq!(revisions, vec![1, 2], "no duplicates, no losses");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn permanent_failure_fail_stops_and_never_overstates_durability() {
+        let dir = temp_dir("failstop");
+        let wal = faulty_wal(&dir, "fsync@1:permanent", FsyncPolicy::Always, 3);
+        for r in 1..=10u64 {
+            wal.append(&[record(
+                r,
+                WatchEventKind::Added,
+                "default",
+                &format!("pod-{r}"),
+            )]);
+        }
+        assert_eq!(wal.state(), DurabilityState::FailStop);
+        assert_eq!(wal.durable_revision(), 0, "nothing was ever proven");
+        assert_eq!(wal.durability_gap(), 10);
+        let status = wal.status();
+        assert!(status.lost_records > 0, "fail-stop drops appends");
+        let latched = wal.last_error().expect("latched in fail-stop");
+        assert!(latched.failures >= 3);
+        assert!(wal.sync().is_err(), "sync reports the latched error");
+        let transitions = wal.transitions();
+        assert_eq!(
+            transitions.last().expect("transitions recorded").to,
+            DurabilityState::FailStop
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_is_classified_from_the_error_text() {
+        let dir = temp_dir("enospc");
+        let wal = faulty_wal(&dir, "write@0:enospc*1", FsyncPolicy::Always, 8);
+        wal.append(&[record(1, WatchEventKind::Added, "default", "a")]);
+        let latched = wal.last_error().expect("latched");
+        assert_eq!(latched.kind, StorageErrorKind::NoSpace);
+        // Space frees; the next append recovers everything.
+        wal.append(&[record(2, WatchEventKind::Added, "default", "b")]);
+        assert_eq!(wal.state(), DurabilityState::Healthy);
+        assert_eq!(wal.durable_revision(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn snapshot_round_trips_and_rejects_corruption() {
         let dir = temp_dir("snap");
         let path = dir.join(SNAPSHOT_FILE);
@@ -919,6 +1668,46 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_snapshot_is_quarantined_and_boot_replays_the_full_wal() {
+        let dir = temp_dir("quarantine");
+        {
+            let (store, persistence, _) =
+                Persistence::open(PersistConfig::new(&dir)).expect("open");
+            for r in 1..=6u64 {
+                store.upsert(pod("ns", &format!("pod-{r}"), "nginx"));
+            }
+            persistence.checkpoint(&store).expect("checkpoint");
+            // More writes after the checkpoint so the WAL holds a suffix.
+            store.upsert(pod("ns", "pod-late", "nginx"));
+            persistence.wal().sync().expect("sync");
+        }
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&snapshot_path).expect("read snapshot");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&snapshot_path, &bytes).expect("write corrupted");
+        let (store, _persistence, report) =
+            Persistence::open(PersistConfig::new(&dir)).expect("boot survives corruption");
+        let quarantined = report
+            .snapshot_quarantined
+            .as_ref()
+            .expect("snapshot quarantined");
+        assert!(quarantined.exists(), "corrupt file kept for forensics");
+        assert!(
+            quarantined.to_string_lossy().ends_with(".corrupt"),
+            "renamed to .corrupt: {}",
+            quarantined.display()
+        );
+        assert!(!snapshot_path.exists(), "corrupt snapshot out of the way");
+        // Only the WAL suffix (post-checkpoint) survives — the quarantine
+        // trades the snapshotted prefix for a boot that serves. The sealed
+        // horizon and `Gone` semantics cover the clients.
+        assert_eq!(StoreBackend::len(&store), 1, "WAL suffix replayed");
+        assert!(store.get(ResourceKind::Pod, "ns", "pod-late").is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn missing_files_recover_to_an_empty_store() {
         let dir = temp_dir("empty");
         let (store, _persistence, report) =
@@ -927,6 +1716,27 @@ mod tests {
         assert_eq!(report.recovered_revision, 0);
         assert_eq!(report.wal_records, 0);
         assert!(report.torn_tail.is_none());
+        assert!(report.snapshot_quarantined.is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_retries_through_a_transient_fault() {
+        let dir = temp_dir("ckpt-retry");
+        let io = Arc::new(FaultyIo::over_real(
+            // The boot fsync is fsync op 0 and the store writes pay
+            // write+fsync pairs; plant a transient write failure far enough
+            // in to land on the snapshot tmp write of the checkpoint.
+            FaultSchedule::parse("write@3:transient*1").expect("spec"),
+        ));
+        let config = PersistConfig::new(&dir).with_retry(RetryPolicy::immediate(8));
+        let (store, persistence, _) = Persistence::open_with_io(config, io).expect("open");
+        for r in 1..=3u64 {
+            store.upsert(pod("ns", &format!("pod-{r}"), "nginx"));
+        }
+        let report = persistence.checkpoint(&store).expect("checkpoint retries");
+        assert!(report.attempts >= 1);
+        assert_eq!(report.objects, 3);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -398,6 +398,12 @@ pub enum ResponseStatus {
     /// 410 — a watch cursor older than the journal's compaction horizon;
     /// the client must re-list and resume from a fresh cursor.
     Gone,
+    /// 429 — load shed: the admission gate could not seat the request
+    /// within its deadline budget; the client should back off and retry.
+    TooManyRequests,
+    /// 503 — the server's durability is degraded and the fail-closed
+    /// policy rejects mutating requests until the WAL is healthy again.
+    ServiceUnavailable,
 }
 
 impl ResponseStatus {
@@ -411,6 +417,8 @@ impl ResponseStatus {
             ResponseStatus::NotFound => 404,
             ResponseStatus::Conflict => 409,
             ResponseStatus::Gone => 410,
+            ResponseStatus::TooManyRequests => 429,
+            ResponseStatus::ServiceUnavailable => 503,
         }
     }
 }

@@ -11,7 +11,8 @@ use k8s_model::{K8sObject, ResourceKind, Verb};
 use k8s_rbac::{AccessReview, AuditEvent, AuditLog, RbacPolicySet};
 use kf_yaml::Value;
 
-use crate::persist::Persistence;
+use crate::health::{AdmissionGate, DegradePolicy, HealthReport};
+use crate::persist::{DurabilityState, Persistence};
 use crate::request::{ApiRequest, ApiResponse, ResponseBody, ResponseStatus};
 use crate::store::{BaselineStore, ObjectStore, StoreBackend};
 use crate::vuln::VulnerabilityOracle;
@@ -74,6 +75,14 @@ pub struct ApiServer<S: StoreBackend = ObjectStore> {
     /// Queue bound handed to [`StoreBackend::subscribe`] for push watches
     /// attached through [`WatchHub::subscribe_push`].
     watch_queue_capacity: usize,
+    /// What the serving path does with mutating requests while the store's
+    /// durability is degraded (see `docs/robustness.md`).
+    degrade: DegradePolicy,
+    /// Optional bounded-admission gate; `None` admits everything.
+    gate: Option<AdmissionGate>,
+    /// Mutating requests rejected with `503` under
+    /// [`DegradePolicy::FailClosed`].
+    rejected_writes: AtomicU64,
 }
 
 /// Number of audit shards (matches the store's write-parallelism scale).
@@ -134,6 +143,65 @@ impl<S: StoreBackend> ApiServer<S> {
             exploits: Mutex::new(Vec::new()),
             admins: vec!["admin".to_owned()],
             watch_queue_capacity: crate::DEFAULT_SUBSCRIBER_QUEUE_CAPACITY,
+            degrade: DegradePolicy::default(),
+            gate: None,
+            rejected_writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Choose what happens to mutating requests while the store's
+    /// durability is degraded: [`DegradePolicy::FailOpen`] (the default)
+    /// keeps serving from memory, [`DegradePolicy::FailClosed`] rejects
+    /// them with `503` while reads and watches keep serving.
+    pub fn with_degrade_policy(mut self, policy: DegradePolicy) -> Self {
+        self.degrade = policy;
+        self
+    }
+
+    /// Bound request admission: at most `max_in_flight` requests execute
+    /// concurrently, each willing to wait up to `deadline` for a slot
+    /// before being shed with `429`.
+    pub fn with_admission_limit(
+        mut self,
+        max_in_flight: usize,
+        deadline: std::time::Duration,
+    ) -> Self {
+        self.gate = Some(AdmissionGate::new(max_in_flight, deadline));
+        self
+    }
+
+    /// The configured degradation policy.
+    pub fn degrade_policy(&self) -> DegradePolicy {
+        self.degrade
+    }
+
+    /// A point-in-time health summary: the store's durability status, the
+    /// degradation policy reacting to it, and the admission gate's load
+    /// counters — the surface operators (and the chaos workload) observe
+    /// every transition through.
+    pub fn health_report(&self) -> HealthReport {
+        let durability = self.store.durability();
+        let (admitted_total, shed_total, in_flight, waiting, peak, max) = match &self.gate {
+            Some(gate) => (
+                gate.admitted_total(),
+                gate.shed_total(),
+                gate.in_flight(),
+                gate.waiting(),
+                gate.peak_in_flight(),
+                Some(gate.max_in_flight()),
+            ),
+            None => (0, 0, 0, 0, 0, None),
+        };
+        HealthReport {
+            durability,
+            policy: self.degrade,
+            rejected_writes: self.rejected_writes.load(Ordering::Relaxed),
+            admitted_total,
+            shed_total,
+            in_flight,
+            waiting,
+            peak_in_flight: peak,
+            max_in_flight: max,
         }
     }
 
@@ -385,6 +453,33 @@ impl<S: StoreBackend> ApiServer<S> {
 
 impl<S: StoreBackend> RequestHandler for ApiServer<S> {
     fn handle(&self, request: &ApiRequest) -> ApiResponse {
+        // 0. Overload protection: seat the request inside the bounded
+        //    in-flight window or shed it with `429` — before any per-request
+        //    work is spent on a request the server cannot serve in time.
+        let _permit = match &self.gate {
+            Some(gate) => match gate.admit() {
+                Ok(permit) => Some(permit),
+                Err(shed) => {
+                    return ApiResponse::error(ResponseStatus::TooManyRequests, shed.to_string());
+                }
+            },
+            None => None,
+        };
+        self.handle_admitted(request)
+    }
+}
+
+impl<S: StoreBackend> ApiServer<S> {
+    /// Whether `verb` mutates the store (the verbs the fail-closed policy
+    /// rejects while durability is degraded).
+    fn is_mutating(verb: Verb) -> bool {
+        matches!(
+            verb,
+            Verb::Create | Verb::Update | Verb::Patch | Verb::Delete | Verb::DeleteCollection
+        )
+    }
+
+    fn handle_admitted(&self, request: &ApiRequest) -> ApiResponse {
         // 1. Authorization (RBAC) — decided on the resource path alone, so
         //    unauthorized traffic never pays for body parsing: its audit
         //    event records the body only when a parsed tree is already in
@@ -392,6 +487,31 @@ impl<S: StoreBackend> RequestHandler for ApiServer<S> {
         if let Err(reason) = self.authorize(request) {
             self.record_audit(request, false, request.body.tree().cloned());
             return ApiResponse::error(ResponseStatus::Forbidden, reason);
+        }
+
+        // 1a. Fail-closed degradation: while durability is not proven, the
+        //     policy may refuse to accept writes the disk cannot hold yet.
+        //     Reads, lists and watches come from memory and keep serving in
+        //     every durability state. The state probe is lock-free, so the
+        //     hot path never queues behind the WAL mutex.
+        if Self::is_mutating(request.verb)
+            && self.degrade == DegradePolicy::FailClosed
+            && self.store.durability_state() != DurabilityState::Healthy
+        {
+            self.rejected_writes.fetch_add(1, Ordering::Relaxed);
+            self.record_audit(request, false, request.body.tree().cloned());
+            let status = self.store.durability();
+            let detail = match &status.latched {
+                Some(latched) => format!(" ({latched})"),
+                None => String::new(),
+            };
+            return ApiResponse::error(
+                ResponseStatus::ServiceUnavailable,
+                format!(
+                    "durability {} with gap {}: writes rejected by fail-closed policy{detail}",
+                    status.state, status.gap
+                ),
+            );
         }
 
         // 1b. Materialize the payload once per request, under the

@@ -45,7 +45,7 @@ use parking_lot::RwLock;
 use k8s_model::{K8sObject, ResourceKind};
 use kf_yaml::Value;
 
-use crate::persist::{Wal, WalRecord};
+use crate::persist::{DurabilityState, DurabilityStatus, Wal, WalRecord};
 use crate::watch::{
     KindJournals, StagedEvent, WatchDelta, WatchError, WatchEventKind, WatchSubscriber,
     DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_SHARDS,
@@ -243,6 +243,21 @@ pub trait StoreBackend: Send + Sync {
     /// the writes that follow. This is the boot half of the WAL contract;
     /// see `crate::persist`.
     fn restore(&self, objects: Vec<StoredObject>, revision: u64);
+
+    /// A point-in-time durability summary of the attached persistence
+    /// plane. The default — what [`BaselineStore`] and any WAL-less store
+    /// report — is a pure in-memory store: trivially `Healthy`, nothing
+    /// durable, nothing at risk.
+    fn durability(&self) -> DurabilityStatus {
+        DurabilityStatus::in_memory()
+    }
+
+    /// The durability state machine's current state, cheap enough for a
+    /// per-request policy check ([`ObjectStore`] answers from a lock-free
+    /// atomic mirror). `Healthy` when no WAL is attached.
+    fn durability_state(&self) -> DurabilityState {
+        DurabilityState::Healthy
+    }
 }
 
 fn key_of(object: &K8sObject) -> Key {
@@ -841,6 +856,20 @@ impl StoreBackend for ObjectStore {
 
     fn restore(&self, objects: Vec<StoredObject>, revision: u64) {
         ObjectStore::restore(self, objects, revision)
+    }
+
+    fn durability(&self) -> DurabilityStatus {
+        match &self.wal {
+            Some(wal) => wal.status(),
+            None => DurabilityStatus::in_memory(),
+        }
+    }
+
+    fn durability_state(&self) -> DurabilityState {
+        match &self.wal {
+            Some(wal) => wal.state(),
+            None => DurabilityState::Healthy,
+        }
     }
 }
 

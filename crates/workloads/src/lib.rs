@@ -13,6 +13,10 @@
 //!   operator's API requests against any [`k8s_apiserver::RequestHandler`]
 //!   (used by the RBAC learning phase, the effectiveness experiment and the
 //!   overhead benchmark);
+//! * [`ChaosDriver`] — the fault-injection workload: seeded fault schedules
+//!   driven through a durable server's front door, crash, clean reopen, and
+//!   the robustness plane's recovery invariants asserted per run (see
+//!   `docs/robustness.md`);
 //! * [`RecoveryDriver`] — the crash/replay driver over the durable
 //!   persistence plane: populate a WAL-backed store, crash it without a
 //!   checkpoint, reopen, and verify byte-identical recovery (used by the
@@ -23,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 pub mod charts;
 mod driver;
 pub mod e2e;
@@ -31,6 +36,7 @@ mod operator;
 mod recovery;
 mod throughput;
 
+pub use chaos::{ChaosDriver, ChaosOutcome, ChaosReport};
 pub use driver::{DeploymentDriver, DeploymentOutcome};
 pub use informer::{
     Informer, InformerDriver, PushInformer, ReconcileReport, ReconcileStrategy, RelistGate,
