@@ -271,6 +271,7 @@ fn main() {
         artifact.curves.push(ScalingCurve {
             backend: "durable".to_owned(),
             mix: label,
+            axis: "objects".to_owned(),
             points,
         });
     }
@@ -285,6 +286,7 @@ fn main() {
     artifact.curves.push(ScalingCurve {
         backend: "in-memory".to_owned(),
         mix: "rebuild".to_owned(),
+        axis: "objects".to_owned(),
         points,
     });
 
@@ -303,11 +305,13 @@ fn main() {
     artifact.curves.push(ScalingCurve {
         backend: "policy".to_owned(),
         mix: "aot-load".to_owned(),
+        axis: "validators".to_owned(),
         points: vec![aot],
     });
     artifact.curves.push(ScalingCurve {
         backend: "policy".to_owned(),
         mix: "recompile".to_owned(),
+        axis: "validators".to_owned(),
         points: vec![recompile],
     });
 

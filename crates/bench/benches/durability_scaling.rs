@@ -1,0 +1,326 @@
+//! Durable-write scaling as a tracked artifact: concurrent-writer
+//! throughput per fsync policy (the group-commit amortization curve) and
+//! incremental-checkpoint cost per dirty-shard count — emitted as
+//! `BENCH_durability.json`.
+//!
+//! This is the measurement behind group commit. Two curve families share
+//! the artifact schema:
+//!
+//! * **durable/`<fsync>`** (`always`, `batch:64`, `os`, `group`), axis
+//!   `threads` — a WAL-backed [`k8s_apiserver::ObjectStore`] written by N
+//!   concurrent threads through the single-write path. `req_per_sec` is
+//!   aggregate write throughput, `events_per_sec` the durable-proven
+//!   record rate over the same window, `p50_us`/`p99_us` per-write
+//!   latency. Under `group`, every acknowledged write is fsync-proven
+//!   (`Always`-grade semantics) but parked writers share one leader's
+//!   fsync — the curve is the amortization earning its keep.
+//! * **checkpoint/dirty-shards**, axis `dirty-shards` — a populated store
+//!   checkpointed with exactly K of its shards dirty. `p50_us`/`p99_us`
+//!   are the checkpoint wall-clock, `req_per_sec`/`events_per_sec` the
+//!   segment-object rewrite rate. The curve is the O(dirty) claim: cost
+//!   tracks K, not store size.
+//!
+//! The acceptance target for this plane is `group` ≥ 10x `always` req/s
+//! at 8 writers. That multiple needs real writer concurrency: on a
+//! single-core runner the window fills at the rate one unparked writer
+//! can append, so the measured multiple lands lower (the full fsync
+//! amortization shows up as `avg_group_size`). The run prints both the
+//! measured multiple and the target; the committed-artifact gate
+//! (`committed_durability_artifact_is_current`) enforces the floor
+//! `KF_DURABILITY_MIN_SPEEDUP` (default 1.5x) so the curve can never
+//! regress to un-batched territory unnoticed.
+//!
+//! Invocations:
+//!
+//! * `cargo bench -p kf-bench --bench durability_scaling` — full run;
+//!   **regenerates `BENCH_durability.json` at the repo root**.
+//! * `-- --smoke` (or `KF_BENCH_SMOKE=1`) — small op counts for CI;
+//!   writes `target/BENCH_durability.smoke.json` instead.
+//! * `-- --compare <path>` — per-point deltas against a committed
+//!   baseline, tolerance `KF_BENCH_TOLERANCE` percent (default 10).
+//! * `KF_BENCH_JSON_OUT=<path>` — override the output path in any mode.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use k8s_apiserver::persist::{FsyncPolicy, PersistConfig, Persistence};
+use k8s_apiserver::StoreBackend;
+use k8s_model::K8sObject;
+use kf_bench::{bench_tolerance, smoke_mode, BenchArtifact, CurvePoint, ScalingCurve};
+
+const NAMESPACE: &str = "bench";
+
+/// Concurrent writer counts (axis `threads`).
+const WRITERS: [usize; 4] = [1, 2, 4, 8];
+/// Total writes per point, split across the writers.
+const FULL_OPS: usize = 2_000;
+const SMOKE_OPS: usize = 160;
+
+/// Store population behind the checkpoint curve.
+const FULL_STORE: usize = 20_000;
+const SMOKE_STORE: usize = 800;
+/// Dirty-shard counts the checkpoint curve measures (16 = every shard,
+/// i.e. the full-snapshot cost the incremental path replaces).
+const DIRTY_TIERS: [usize; 3] = [1, 4, 16];
+
+fn total_ops() -> usize {
+    if smoke_mode() {
+        SMOKE_OPS
+    } else {
+        FULL_OPS
+    }
+}
+
+fn store_population() -> usize {
+    if smoke_mode() {
+        SMOKE_STORE
+    } else {
+        FULL_STORE
+    }
+}
+
+/// The fsync policies the writer curves sweep, label + parsed form.
+fn fsync_policies() -> Vec<(String, FsyncPolicy)> {
+    ["always", "batch:64", "os", "group"]
+        .into_iter()
+        .map(|label| {
+            (
+                label.to_owned(),
+                FsyncPolicy::parse(label).expect("labels parse"),
+            )
+        })
+        .collect()
+}
+
+fn pod(name: &str) -> K8sObject {
+    K8sObject::from_yaml(&format!(
+        "apiVersion: v1\nkind: Pod\nmetadata:\n  name: {name}\n  namespace: {NAMESPACE}\n  \
+         labels:\n    app: durability\nspec:\n  containers:\n    - name: app\n      image: \
+         nginx:1.25\n      ports:\n        - containerPort: 80\n",
+    ))
+    .expect("template pod parses")
+}
+
+fn temp_dir(label: &str, tier: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "kf-durability-{label}-{tier}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One (policy, writers) point: N threads upsert a disjoint key space
+/// through the WAL'd write path; every return is an acknowledged write
+/// under that policy's durability contract.
+fn measure_writers(label: &str, policy: FsyncPolicy, writers: usize) -> (CurvePoint, f64) {
+    let dir = temp_dir(label, writers);
+    let ops_per_writer = total_ops() / writers;
+    let (store, persistence, _) = Persistence::open(PersistConfig::new(&dir).with_fsync(policy))
+        .expect("persistence directory opens");
+
+    let start = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..writers)
+            .map(|writer| {
+                let store = &store;
+                scope.spawn(move || {
+                    let mut samples = Vec::with_capacity(ops_per_writer);
+                    for i in 0..ops_per_writer {
+                        let object = pod(&format!("w{writer}-{i}"));
+                        let op_start = Instant::now();
+                        store.upsert(object);
+                        samples.push(op_start.elapsed().as_secs_f64() * 1e6);
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("writer thread"))
+            .collect()
+    });
+    // `os` defers durability to the kernel; pin the tail so every policy's
+    // elapsed window ends with the store actually durable.
+    persistence.wal().sync().expect("WAL tail syncs");
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+    let count = ops_per_writer * writers;
+    assert_eq!(StoreBackend::len(&store), count, "every write acknowledged");
+    let avg_group = persistence.wal().status().avg_group_size();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    std::fs::remove_dir_all(&dir).ok();
+    (
+        CurvePoint {
+            threads: writers,
+            req_per_sec: count as f64 / elapsed,
+            events_per_sec: count as f64 / elapsed,
+            p50_us: percentile(&latencies, 50.0),
+            p99_us: percentile(&latencies, 99.0),
+        },
+        avg_group,
+    )
+}
+
+/// One dirty-tier point: a populated, fully-checkpointed store gets
+/// exactly `dirty` shards touched, then one checkpoint is timed.
+fn measure_checkpoint(dirty: usize) -> CurvePoint {
+    let dir = temp_dir("ckpt", dirty);
+    let (store, persistence, _) =
+        Persistence::open(PersistConfig::new(&dir).with_fsync(FsyncPolicy::Os))
+            .expect("persistence directory opens");
+    let population = store_population();
+    let objects: Vec<K8sObject> = (0..population).map(|i| pod(&format!("pool-{i}"))).collect();
+    store.apply_batch(objects.clone());
+    // Baseline checkpoint: claims every shard, leaves the store clean.
+    persistence.checkpoint(&store).expect("baseline checkpoint");
+    assert_eq!(store.dirty_shard_count(), 0);
+
+    // Touch objects until exactly `dirty` shards are flagged (one upsert
+    // dirties at most one new shard, so the count is hit exactly).
+    let mut pool = objects.iter();
+    while store.dirty_shard_count() < dirty {
+        let object = pool.next().expect("population exceeds shard count");
+        store.upsert(object.clone());
+    }
+
+    let start = Instant::now();
+    let report = persistence.checkpoint(&store).expect("timed checkpoint");
+    let elapsed = start.elapsed();
+    assert_eq!(
+        report.dirty_shards, dirty,
+        "claimed exactly the touched shards"
+    );
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let us = elapsed.as_micros() as f64;
+    std::fs::remove_dir_all(&dir).ok();
+    CurvePoint {
+        threads: dirty,
+        req_per_sec: report.objects.max(1) as f64 / secs,
+        events_per_sec: report.objects.max(1) as f64 / secs,
+        p50_us: us,
+        p99_us: us,
+    }
+}
+
+fn output_path(smoke: bool) -> PathBuf {
+    if let Ok(path) = std::env::var("KF_BENCH_JSON_OUT") {
+        return PathBuf::from(path);
+    }
+    if smoke {
+        BenchArtifact::repo_root_path("target/BENCH_durability.smoke.json")
+    } else {
+        BenchArtifact::repo_root_path("BENCH_durability.json")
+    }
+}
+
+fn compare_path() -> Option<PathBuf> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--compare" {
+            let name = args.next().expect("--compare takes a path");
+            let direct = PathBuf::from(&name);
+            return Some(if direct.exists() {
+                direct
+            } else {
+                BenchArtifact::repo_root_path(&name)
+            });
+        }
+    }
+    None
+}
+
+fn main() {
+    let smoke = smoke_mode();
+    println!("\n=== Durability scaling: group-commit WAL, incremental checkpoints ===");
+    println!(
+        "({} writes per point across writers {WRITERS:?}, checkpoint store {} objs, dirty tiers \
+         {DIRTY_TIERS:?})",
+        total_ops(),
+        store_population()
+    );
+
+    let mut artifact =
+        BenchArtifact::new("durability_scaling", if smoke { "smoke" } else { "full" });
+
+    let mut at_8 = std::collections::BTreeMap::new();
+    for (label, policy) in fsync_policies() {
+        println!("\n--- durable writes, fsync {label} ---");
+        let mut points = Vec::new();
+        for writers in WRITERS {
+            let (point, avg_group) = measure_writers(&label, policy, writers);
+            println!(
+                "durable    {label:<9} {writers:>2} writers  {:>9.0} req/s  p50 {:>7.1} µs  p99 \
+                 {:>7.1} µs  avg group {avg_group:>5.1}",
+                point.req_per_sec, point.p50_us, point.p99_us
+            );
+            if writers == *WRITERS.last().expect("non-empty") {
+                at_8.insert(label.clone(), point.req_per_sec);
+            }
+            points.push(point);
+        }
+        artifact.curves.push(ScalingCurve {
+            backend: "durable".to_owned(),
+            mix: label,
+            axis: ScalingCurve::DEFAULT_AXIS.to_owned(),
+            points,
+        });
+    }
+
+    println!("\n--- incremental checkpoint, cost per dirty-shard count ---");
+    let mut points = Vec::new();
+    for dirty in DIRTY_TIERS {
+        let point = measure_checkpoint(dirty);
+        println!(
+            "checkpoint dirty-shards {dirty:>2}/16  {:>9.0} objs/s rewritten  {:>11.1} µs",
+            point.req_per_sec, point.p50_us
+        );
+        points.push(point);
+    }
+    artifact.curves.push(ScalingCurve {
+        backend: "checkpoint".to_owned(),
+        mix: "dirty-shards".to_owned(),
+        axis: "dirty-shards".to_owned(),
+        points,
+    });
+
+    // The acceptance line CI greps: measured multiple vs the 10x target,
+    // with the honest single-core caveat (see the module docs).
+    let writers = WRITERS.last().expect("non-empty");
+    let (group, always) = (at_8["group"], at_8["always"]);
+    let multiple = group / always.max(1e-9);
+    println!(
+        "\ngroup vs always at {writers} writers: {group:.0} vs {always:.0} req/s = {multiple:.1}x \
+         (target 10x; single-core runners cap the realized multiple — amortization itself is \
+         tracked as avg group size)"
+    );
+
+    let out = output_path(smoke);
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("output directory is creatable");
+    }
+    artifact.save(&out).expect("artifact is writable");
+    println!("\nwrote {}", out.display());
+
+    if let Some(path) = compare_path() {
+        match BenchArtifact::load(&path) {
+            Ok(committed) => {
+                println!();
+                print!(
+                    "{}",
+                    artifact.compare_with_tolerance(&committed, bench_tolerance())
+                );
+            }
+            Err(error) => println!("\ncannot compare against {}: {error}", path.display()),
+        }
+    }
+}

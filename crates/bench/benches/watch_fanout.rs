@@ -431,6 +431,7 @@ fn main() {
             artifact.curves.push(ScalingCurve {
                 backend: backend.to_owned(),
                 mix: mix.to_owned(),
+                axis: "subscribers".to_owned(),
                 points,
             });
         }

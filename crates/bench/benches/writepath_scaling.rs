@@ -152,6 +152,7 @@ fn main() {
         artifact.curves.push(ScalingCurve {
             backend: backend.to_owned(),
             mix: mix.label(),
+            axis: ScalingCurve::DEFAULT_AXIS.to_owned(),
             points,
         });
     }

@@ -222,6 +222,16 @@ pub struct HealthReport {
     pub peak_in_flight: usize,
     /// The gate's concurrency bound, `None` when admission is unbounded.
     pub max_in_flight: Option<usize>,
+    /// Shared fsyncs issued by group-commit leaders (0 unless the WAL runs
+    /// `FsyncPolicy::Group`).
+    pub fsync_batches: u64,
+    /// Mean records proven per shared fsync — the group-commit
+    /// amortization factor (0.0 before the first batch).
+    pub avg_group_size: f64,
+    /// Store shards the most recent checkpoint claimed and rewrote (0
+    /// before the first checkpoint, and for backends without incremental
+    /// checkpoints).
+    pub checkpoint_dirty_shards: usize,
 }
 
 impl HealthReport {

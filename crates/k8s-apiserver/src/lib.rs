@@ -61,9 +61,10 @@ mod watch;
 pub use health::{AdmissionGate, AdmissionPermit, DegradePolicy, HealthReport, ShedError};
 pub use latency::{LatencyModel, LatencyProfile};
 pub use persist::{
-    CheckpointReport, DurabilityState, DurabilityStatus, DurabilityTransition, FsyncPolicy,
-    LatchedError, PersistConfig, Persistence, RecoveryReport, RetryPolicy, StorageErrorKind,
-    TornTail, Wal, WalRecord,
+    segment_file, CheckpointReport, DurabilityState, DurabilityStatus, DurabilityTransition,
+    FsyncPolicy, GroupTicket, LatchedError, ManifestData, ManifestEntry, PersistConfig,
+    Persistence, RecoveryReport, RetryPolicy, SegmentData, StorageErrorKind, TornTail, Wal,
+    WalRecord, MANIFEST_FILE, MANIFEST_PREV_FILE,
 };
 pub use request::{ApiRequest, ApiResponse, RequestBody, ResponseBody, ResponseStatus};
 pub use server::{ApiServer, ExploitEvent, PushWatch, RequestHandler, WatchHub};

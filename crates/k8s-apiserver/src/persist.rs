@@ -64,7 +64,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -88,6 +88,32 @@ pub const AOT_ARENA_FILE: &str = "validators.kfaot";
 
 /// Magic sealing a snapshot file (8 bytes, versioned).
 const SNAPSHOT_MAGIC: &[u8; 8] = b"KFSNAP1\0";
+/// Magic sealing a per-shard snapshot segment file.
+const SEGMENT_MAGIC: &[u8; 8] = b"KFSEG1\0\0";
+/// Magic sealing a snapshot manifest file.
+const MANIFEST_MAGIC: &[u8; 8] = b"KFMAN1\0\0";
+
+/// Manifest file naming the live snapshot segments and their horizon.
+pub const MANIFEST_FILE: &str = "store.kfmanifest";
+/// Previous manifest, kept through rotation so a torn current manifest
+/// falls back to the last complete one instead of refusing boot.
+pub const MANIFEST_PREV_FILE: &str = "store.kfmanifest.prev";
+
+/// File name of one store shard's snapshot segment.
+pub fn segment_file(shard: usize) -> String {
+    format!("store.seg-{shard:02}.kfsnap")
+}
+
+/// Default group-commit fill window for `FsyncPolicy::parse("group")`.
+const GROUP_DEFAULT_WAIT_US: u32 = 400;
+/// Default group-commit batch cap for `FsyncPolicy::parse("group")`.
+const GROUP_DEFAULT_BATCH: u32 = 64;
+/// Safety re-check interval for parked group-commit followers: wakeups
+/// normally arrive from the leader's generation bump, but `sync()` and
+/// tail recovery can advance `durable` without holding the group lock, so
+/// followers re-check on a coarse timer rather than trusting every path to
+/// notify.
+const GROUP_FOLLOWER_SLICE: Duration = Duration::from_millis(5);
 
 /// When the WAL forces data to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,17 +127,49 @@ pub enum FsyncPolicy {
     /// Never `fsync`; the OS flushes the page cache on its own schedule.
     /// Fastest, loses whatever the cache held on a hard crash.
     Os,
+    /// Group commit: every writer appends its frame under the WAL lock,
+    /// then parks on the commit generation; one elected leader issues a
+    /// single fsync covering every waiter in the window. `Always`-grade
+    /// semantics (an acknowledged write is on stable storage;
+    /// `durable_revision` never overstates; a failed shared fsync degrades
+    /// *all* waiters) at a fraction of the fsync count under concurrency.
+    Group {
+        /// Longest the leader holds the fill window open waiting for more
+        /// writers, in microseconds. `0` closes the window immediately —
+        /// pure pipelined leader/follower handoff with no added latency
+        /// (and `Always`-identical fsync cadence for a single writer,
+        /// which is what the deterministic chaos schedules use).
+        max_wait_us: u32,
+        /// Close the window as soon as this many records are pending
+        /// (clamped to at least 1).
+        max_batch: u32,
+    },
 }
 
 impl FsyncPolicy {
-    /// Parse a policy from its knob spelling: `always`, `os`, or `batch:N`
-    /// (used by the `cold_start` bench's `KF_WAL_FSYNC` environment
-    /// variable).
+    /// Parse a policy from its knob spelling: `always`, `os`, `batch:N`,
+    /// or `group` | `group:WAIT_US` | `group:WAIT_US:BATCH` (used by the
+    /// bench `KF_WAL_FSYNC` environment variable and the workload
+    /// drivers).
     pub fn parse(text: &str) -> Option<FsyncPolicy> {
         match text {
             "always" => Some(FsyncPolicy::Always),
             "os" => Some(FsyncPolicy::Os),
+            "group" => Some(FsyncPolicy::Group {
+                max_wait_us: GROUP_DEFAULT_WAIT_US,
+                max_batch: GROUP_DEFAULT_BATCH,
+            }),
             _ => {
+                if let Some(spec) = text.strip_prefix("group:") {
+                    let (wait, batch) = match spec.split_once(':') {
+                        Some((wait, batch)) => (wait.parse().ok()?, batch.parse().ok()?),
+                        None => (spec.parse().ok()?, GROUP_DEFAULT_BATCH),
+                    };
+                    return Some(FsyncPolicy::Group {
+                        max_wait_us: wait,
+                        max_batch: batch,
+                    });
+                }
                 let n = text.strip_prefix("batch:")?.parse().ok()?;
                 Some(FsyncPolicy::Batch(n))
             }
@@ -556,6 +614,11 @@ pub struct DurabilityStatus {
     pub transitions: usize,
     /// Records dropped in `FailStop` (never written to the file).
     pub lost_records: u64,
+    /// Group-commit fsyncs issued since open (0 unless the policy is
+    /// [`FsyncPolicy::Group`]).
+    pub fsync_batches: u64,
+    /// Records those group fsyncs covered.
+    pub group_records: u64,
 }
 
 impl DurabilityStatus {
@@ -570,6 +633,18 @@ impl DurabilityStatus {
             latched: None,
             transitions: 0,
             lost_records: 0,
+            fsync_batches: 0,
+            group_records: 0,
+        }
+    }
+
+    /// Mean records per group-commit fsync (0.0 before the first batch) —
+    /// the amortization factor the group policy buys.
+    pub fn avg_group_size(&self) -> f64 {
+        if self.fsync_batches == 0 {
+            0.0
+        } else {
+            self.group_records as f64 / self.fsync_batches as f64
         }
     }
 }
@@ -615,7 +690,70 @@ struct WalInner {
     pending_high: u64,
     /// Record count among the pending frames.
     pending_count: u32,
+    /// Records written to the file but not yet covered by a group-commit
+    /// fsync ([`FsyncPolicy::Group`] only; zeroed by any full fsync).
+    group_pending: u32,
     machine: DurabilityMachine,
+}
+
+/// Shared state of the group-commit rendezvous. Guarded by a `std` mutex
+/// with a real `Condvar` (the workspace `parking_lot` shim has none) — the
+/// same generation-counter + condvar idiom as `watch::WakeSignal`.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Records appended and not yet claimed by a leader's window — the
+    /// fill level the window-close conditions read.
+    fill: u64,
+    /// Bumps on every arriving append; a wait slice that passes with no
+    /// growth tells the leader the burst is over.
+    arrivals: u64,
+    /// Whether a leader currently owns the window / in-flight fsync.
+    leader_active: bool,
+    /// Commit generation: bumps after every leader handoff, success or
+    /// failure — what parked followers watch.
+    generation: u64,
+}
+
+/// The group-commit side table on a [`Wal`]: rendezvous state plus the
+/// amortization counters the health surface reports.
+#[derive(Debug, Default)]
+struct GroupCommit {
+    state: StdMutex<GroupState>,
+    cond: Condvar,
+    /// Successful group fsyncs issued.
+    batches: AtomicU64,
+    /// Records those fsyncs covered.
+    records: AtomicU64,
+}
+
+/// Recover a `std` lock/wait result from poisoning — a panicking writer
+/// must not wedge every other writer's durability acknowledgement.
+fn recover_poison<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A deferred group-commit rendezvous: the revision an append must see
+/// durable before its caller acknowledges, plus how many records it wrote.
+/// Produced by [`Wal::append_deferred`], redeemed by [`Wal::group_commit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupTicket {
+    target: u64,
+    records: u64,
+}
+
+impl GroupTicket {
+    /// Fold two optional tickets into the one covering both (the bulk
+    /// write paths append per shard group and wait once for the maximum
+    /// revision).
+    pub fn merge(a: Option<GroupTicket>, b: Option<GroupTicket>) -> Option<GroupTicket> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(GroupTicket {
+                target: a.target.max(b.target),
+                records: a.records + b.records,
+            }),
+            (one, None) | (None, one) => one,
+        }
+    }
 }
 
 /// The open write-ahead log a store appends to.
@@ -646,6 +784,8 @@ pub struct Wal {
     lost: AtomicU64,
     /// Lock-free mirror of the machine state (for hot-path policy checks).
     state_tag: AtomicU8,
+    /// Group-commit rendezvous ([`FsyncPolicy::Group`] only).
+    group: GroupCommit,
 }
 
 impl Wal {
@@ -695,6 +835,7 @@ impl Wal {
                 pending: Vec::new(),
                 pending_high: 0,
                 pending_count: 0,
+                group_pending: 0,
                 machine: DurabilityMachine::default(),
             }),
             policy,
@@ -703,6 +844,7 @@ impl Wal {
             submitted: AtomicU64::new(recovered),
             lost: AtomicU64::new(0),
             state_tag: AtomicU8::new(DurabilityState::Healthy.tag()),
+            group: GroupCommit::default(),
         })
     }
 
@@ -710,9 +852,32 @@ impl Wal {
     /// the fsync policy. Errors are absorbed by the durability state
     /// machine, not returned — the store cannot unwind a write it already
     /// applied under its shard lock.
+    ///
+    /// Under [`FsyncPolicy::Group`] this is where the caller parks: the
+    /// frames land in the file under the WAL lock, then the writer joins
+    /// the group-commit rendezvous and returns once its revision is proven
+    /// durable (or the machine has left `Healthy`, in which case the
+    /// durability gap tells the truth — exactly as a failed `Always` fsync
+    /// would).
     pub fn append(&self, records: &[WalRecord]) {
+        if let Some(ticket) = self.append_deferred(records) {
+            self.group_commit(ticket);
+        }
+    }
+
+    /// [`Wal::append`] with the group-commit wait split off: the frames are
+    /// written (and for non-`Group` policies fsynced) exactly as `append`
+    /// does, but instead of parking, a `Group` write returns its rendezvous
+    /// ticket for the caller to pass to [`Wal::group_commit`] later.
+    ///
+    /// The store's bulk paths use this to append per shard group **inside**
+    /// each shard lock but wait once, after every lock is released — the
+    /// acknowledgement a caller of `apply_batch` gets is still
+    /// durable-on-return, but the batch pays one rendezvous instead of one
+    /// per shard group. Merge tickets with [`GroupTicket::merge`].
+    pub fn append_deferred(&self, records: &[WalRecord]) -> Option<GroupTicket> {
         if records.is_empty() {
-            return;
+            return None;
         }
         let mut buf = Vec::with_capacity(records.len() * 96);
         let mut max_revision = 0;
@@ -722,13 +887,21 @@ impl Wal {
         }
         self.submitted.fetch_max(max_revision, Ordering::AcqRel);
         let count = records.len() as u32;
+        let mut ticket = None;
         let mut inner = self.inner.lock();
         match inner.machine.state() {
             DurabilityState::FailStop => {
                 self.lost.fetch_add(u64::from(count), Ordering::Relaxed);
             }
             DurabilityState::Healthy => {
-                self.append_healthy(&mut inner, buf, max_revision, count);
+                if self.append_healthy(&mut inner, buf, max_revision, count)
+                    && matches!(self.policy, FsyncPolicy::Group { .. })
+                {
+                    ticket = Some(GroupTicket {
+                        target: max_revision,
+                        records: u64::from(count),
+                    });
+                }
             }
             DurabilityState::Degraded => {
                 Self::stash(&mut inner, buf, max_revision, count);
@@ -736,11 +909,149 @@ impl Wal {
             }
         }
         self.publish_state(&inner);
+        ticket
     }
 
     fn publish_state(&self, inner: &WalInner) {
         self.state_tag
             .store(inner.machine.state_tag, Ordering::Release);
+    }
+
+    /// The group-commit rendezvous: account this append into the open
+    /// window, then either **lead** — hold the window until it fills, a
+    /// quiescent slice passes, or the deadline expires; issue one fsync
+    /// for every waiter; hand off — or **follow** — park on the commit
+    /// generation until a leader's fsync covers `target`.
+    ///
+    /// Returns when `target` is durable or the machine has left `Healthy`.
+    /// A failed shared fsync degrades every waiter coherently: nobody's
+    /// write is acknowledged as durable (`durable_revision` stays put, the
+    /// durability gap covers them all) and every parked waiter wakes on
+    /// the generation bump and observes the degraded state.
+    pub fn group_commit(&self, ticket: GroupTicket) {
+        let GroupTicket { target, records } = ticket;
+        let (max_wait, max_batch) = match self.policy {
+            FsyncPolicy::Group {
+                max_wait_us,
+                max_batch,
+            } => (
+                Duration::from_micros(u64::from(max_wait_us)),
+                u64::from(max_batch.max(1)),
+            ),
+            _ => return,
+        };
+        let mut state = recover_poison(self.group.state.lock());
+        state.fill += records;
+        state.arrivals = state.arrivals.wrapping_add(1);
+        loop {
+            if self.durable.load(Ordering::Acquire) >= target
+                || self.state() != DurabilityState::Healthy
+            {
+                return;
+            }
+            if state.leader_active {
+                // Follow: park until this generation resolves. The slice
+                // timeout re-checks durable/state on paths that advance
+                // them without notifying (sync(), tail recovery), so a
+                // missed wakeup costs latency, never a hang.
+                let generation = state.generation;
+                while state.generation == generation
+                    && state.leader_active
+                    && self.durable.load(Ordering::Acquire) < target
+                    && self.state() == DurabilityState::Healthy
+                {
+                    let (next, _) =
+                        recover_poison(self.group.cond.wait_timeout(state, GROUP_FOLLOWER_SLICE));
+                    state = next;
+                }
+            } else {
+                // Lead. Window-close conditions: filled to `max_batch`, a
+                // yield with no new arrival (the burst is over), or
+                // `max_wait` elapsed. Collection *yields* rather than
+                // sleeping on the condvar: timed waits this short get
+                // quantized to whole timer ticks on low-HZ kernels, which
+                // would make a lone writer pay milliseconds per commit —
+                // and on a loaded single core, a yield is exactly what
+                // lets the next writer reach its own append.
+                state.leader_active = true;
+                let opened = Instant::now();
+                while state.fill < max_batch && self.state() == DurabilityState::Healthy {
+                    if opened.elapsed() >= max_wait {
+                        break;
+                    }
+                    let before = state.arrivals;
+                    drop(state);
+                    std::thread::yield_now();
+                    state = recover_poison(self.group.state.lock());
+                    if state.arrivals == before {
+                        break;
+                    }
+                }
+                state.fill = 0;
+                // Drop the rendezvous lock across the fsync so the next
+                // window fills while this one commits.
+                drop(state);
+                self.group_fsync();
+                state = recover_poison(self.group.state.lock());
+                state.leader_active = false;
+                state.generation = state.generation.wrapping_add(1);
+                self.group.cond.notify_all();
+            }
+        }
+    }
+
+    /// One shared fsync covering everything appended so far. The cover
+    /// point is captured under the WAL lock, but the fsync itself runs on
+    /// a **fresh handle opened on the same path**: fsync flushes the
+    /// inode, not the descriptor, so the frames the write handle appended
+    /// are exactly what gets proven — and not holding the WAL lock across
+    /// the fsync is what lets concurrent writers keep appending into the
+    /// next window.
+    fn group_fsync(&self) {
+        let (sync_target, covered) = {
+            let mut inner = self.inner.lock();
+            if inner.machine.state() != DurabilityState::Healthy {
+                return;
+            }
+            let covered = inner.group_pending;
+            inner.group_pending = 0;
+            (inner.appended, covered)
+        };
+        let result = self
+            .io
+            .open_append(&self.path)
+            .and_then(|mut file| file.sync_data());
+        match result {
+            Ok(()) => {
+                self.durable.fetch_max(sync_target, Ordering::AcqRel);
+                self.group.batches.fetch_add(1, Ordering::Relaxed);
+                self.group
+                    .records
+                    .fetch_add(u64::from(covered), Ordering::Relaxed);
+            }
+            Err(e) => {
+                let mut inner = self.inner.lock();
+                // The frames are physically in the file (their writes
+                // succeeded) — recovery's proving fsync covers them, they
+                // are not re-buffered. Only the coverage counter rolls
+                // back.
+                inner.group_pending += covered;
+                let kind = StorageErrorKind::classify(&e, StorageErrorKind::Fsync);
+                self.note_failure(&mut inner, kind, &e, sync_target);
+                self.publish_state(&inner);
+            }
+        }
+    }
+
+    /// Group-commit fsyncs issued since open (0 unless the policy is
+    /// [`FsyncPolicy::Group`]).
+    pub fn fsync_batches(&self) -> u64 {
+        self.group.batches.load(Ordering::Relaxed)
+    }
+
+    /// Records covered by group-commit fsyncs since open.
+    pub fn group_records(&self) -> u64 {
+        self.group.records.load(Ordering::Relaxed)
     }
 
     fn stash(inner: &mut WalInner, buf: Vec<u8>, max_revision: u64, count: u32) {
@@ -749,14 +1060,23 @@ impl Wal {
         inner.pending_count += count;
     }
 
-    fn append_healthy(&self, inner: &mut WalInner, buf: Vec<u8>, max_revision: u64, count: u32) {
+    /// Returns whether the frames landed in the file (a `Group` writer
+    /// only joins the rendezvous for frames that are physically present —
+    /// a failed write takes the stash-and-degrade path instead).
+    fn append_healthy(
+        &self,
+        inner: &mut WalInner,
+        buf: Vec<u8>,
+        max_revision: u64,
+        count: u32,
+    ) -> bool {
         if let Err(e) = inner.file.write_all(&buf) {
             // The file tail is unknown past `good_len` now; the frames go to
             // the pending buffer and recovery truncates before rewriting.
             let kind = StorageErrorKind::classify(&e, StorageErrorKind::Write);
             Self::stash(inner, buf, max_revision, count);
             self.note_failure(inner, kind, &e, max_revision);
-            return;
+            return false;
         }
         inner.good_len += buf.len() as u64;
         inner.appended = inner.appended.max(max_revision);
@@ -767,6 +1087,10 @@ impl Wal {
                 inner.since_sync >= n.max(1)
             }
             FsyncPolicy::Os => false,
+            FsyncPolicy::Group { .. } => {
+                inner.group_pending += count;
+                false
+            }
         };
         if due {
             if let Err(e) = inner.file.sync_data() {
@@ -777,6 +1101,7 @@ impl Wal {
                 self.durable.store(inner.appended, Ordering::Release);
             }
         }
+        true
     }
 
     fn note_failure(
@@ -871,6 +1196,7 @@ impl Wal {
             return;
         }
         inner.since_sync = 0;
+        inner.group_pending = 0;
         self.durable.store(inner.appended, Ordering::Release);
         let durable = inner.appended;
         let machine = &mut inner.machine;
@@ -907,6 +1233,7 @@ impl Wal {
                     return Err(e);
                 }
                 inner.since_sync = 0;
+                inner.group_pending = 0;
                 self.durable.store(inner.appended, Ordering::Release);
                 Ok(self.durable.load(Ordering::Acquire))
             }
@@ -975,6 +1302,8 @@ impl Wal {
             latched: inner.machine.latched.clone(),
             transitions: inner.machine.transitions.len(),
             lost_records: self.lost.load(Ordering::Relaxed),
+            fsync_batches: self.group.batches.load(Ordering::Relaxed),
+            group_records: self.group.records.load(Ordering::Relaxed),
         }
     }
 
@@ -1004,6 +1333,7 @@ impl Wal {
             return Err(e);
         }
         inner.since_sync = 0;
+        inner.group_pending = 0;
         self.durable.store(inner.appended, Ordering::Release);
         let replay = read_wal_with(&*self.io, path)?;
         let mut buf = Vec::new();
@@ -1139,6 +1469,204 @@ pub fn read_snapshot(path: &Path) -> io::Result<Option<SnapshotData>> {
     read_snapshot_with(&RealIo, path)
 }
 
+/// A decoded per-shard snapshot segment: which store shard it covers, the
+/// horizon it was cut at, and the shard's objects.
+#[derive(Debug, Default)]
+pub struct SegmentData {
+    /// The store shard this segment snapshots.
+    pub shard: usize,
+    /// The checkpoint horizon the segment was cut at. Every write to this
+    /// shard at or below the horizon is reflected; the WAL suffix above it
+    /// replays the rest.
+    pub horizon: u64,
+    /// The shard's objects as `(resource_version, body)`.
+    pub objects: Vec<(u64, Value)>,
+}
+
+/// What one manifest line vouches for: shard `shard`'s segment file is
+/// live, holding `objects` objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The store shard index.
+    pub shard: usize,
+    /// Objects in the segment when its manifest was written (telemetry —
+    /// the segment's own header is the integrity truth).
+    pub objects: u64,
+}
+
+/// A decoded snapshot manifest: the commit point of an incremental
+/// checkpoint. Lists the live segments and the horizon the checkpoint
+/// covered; rotated `current → prev` on every checkpoint so a torn current
+/// manifest falls back to the last complete one.
+#[derive(Debug, Clone, Default)]
+pub struct ManifestData {
+    /// The checkpoint horizon (the WAL was compacted to this revision).
+    pub horizon: u64,
+    /// Store shard count at write time (a geometry check for readers).
+    pub shard_count: usize,
+    /// The live segments.
+    pub entries: Vec<ManifestEntry>,
+}
+
+/// Write one shard's snapshot segment: temp file, fsync, atomic rename —
+/// the same crash discipline as the monolithic snapshot, per shard.
+///
+/// # Errors
+///
+/// Filesystem errors only.
+pub fn write_segment_with(
+    io: &dyn StorageIo,
+    dir: &Path,
+    shard: usize,
+    horizon: u64,
+    objects: &[Arc<StoredObject>],
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(objects.len() * 256 + 24);
+    binary::put_u64(&mut payload, shard as u64);
+    binary::put_u64(&mut payload, horizon);
+    binary::put_u64(&mut payload, objects.len() as u64);
+    for stored in objects {
+        binary::put_u64(&mut payload, stored.resource_version);
+        binary::put_value(&mut payload, stored.object.body());
+    }
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(SEGMENT_MAGIC);
+    binary::put_u32(&mut out, binary::crc32(&payload));
+    out.extend_from_slice(&payload);
+    let name = segment_file(shard);
+    let tmp = dir.join(format!("{name}.tmp"));
+    io.write_file(&tmp, &out)?;
+    io.rename(&tmp, &dir.join(name))?;
+    io.sync_parent_dir(dir);
+    Ok(())
+}
+
+/// Load one snapshot segment; `Ok(None)` when the file does not exist.
+///
+/// # Errors
+///
+/// Filesystem errors, or [`io::ErrorKind::InvalidData`] when the magic,
+/// checksum or payload decode fails — recovery quarantines that segment
+/// and serves the rest (its records are still in the un-compacted WAL or
+/// were already lost with the device, never silently resurrected).
+pub fn read_segment_with(io: &dyn StorageIo, path: &Path) -> io::Result<Option<SegmentData>> {
+    let bytes = match io.read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+    if bytes.len() < 12 || &bytes[..8] != SEGMENT_MAGIC {
+        return Err(invalid("segment magic mismatch"));
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[12..];
+    if binary::crc32(payload) != crc {
+        return Err(invalid("segment checksum mismatch"));
+    }
+    let mut cursor = Cursor::new(payload);
+    let mut parse = || -> Result<SegmentData, kf_yaml::binary::BinaryError> {
+        let shard = cursor.get_u64()? as usize;
+        let horizon = cursor.get_u64()?;
+        let count = cursor.get_u64()? as usize;
+        let mut objects = Vec::with_capacity(count.min(payload.len()));
+        for _ in 0..count {
+            let resource_version = cursor.get_u64()?;
+            let body = cursor.get_value()?;
+            objects.push((resource_version, body));
+        }
+        Ok(SegmentData {
+            shard,
+            horizon,
+            objects,
+        })
+    };
+    parse().map(Some).map_err(|e| invalid(&e.to_string()))
+}
+
+/// Write the snapshot manifest with rotation: the payload goes to a temp
+/// file (fsync'd), the current manifest (if any) is renamed to
+/// [`MANIFEST_PREV_FILE`], then the temp renames into place and the
+/// directory is fsync'd. A crash between the two renames leaves `prev` +
+/// the fsync'd temp — recovery falls back to `prev` and replays a longer
+/// WAL suffix, losing nothing (segments on disk are always at least as new
+/// as any manifest that lists them).
+///
+/// # Errors
+///
+/// Filesystem errors only.
+pub fn write_manifest_with(
+    io: &dyn StorageIo,
+    dir: &Path,
+    manifest: &ManifestData,
+) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(manifest.entries.len() * 16 + 24);
+    binary::put_u64(&mut payload, manifest.horizon);
+    binary::put_u64(&mut payload, manifest.shard_count as u64);
+    binary::put_u64(&mut payload, manifest.entries.len() as u64);
+    for entry in &manifest.entries {
+        binary::put_u64(&mut payload, entry.shard as u64);
+        binary::put_u64(&mut payload, entry.objects);
+    }
+    let mut out = Vec::with_capacity(payload.len() + 12);
+    out.extend_from_slice(MANIFEST_MAGIC);
+    binary::put_u32(&mut out, binary::crc32(&payload));
+    out.extend_from_slice(&payload);
+    let current = dir.join(MANIFEST_FILE);
+    let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    io.write_file(&tmp, &out)?;
+    match io.rename(&current, &dir.join(MANIFEST_PREV_FILE)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    io.rename(&tmp, &current)?;
+    io.sync_parent_dir(dir);
+    Ok(())
+}
+
+/// Load a snapshot manifest; `Ok(None)` when the file does not exist.
+///
+/// # Errors
+///
+/// Filesystem errors, or [`io::ErrorKind::InvalidData`] on a torn/corrupt
+/// manifest — recovery then falls back to [`MANIFEST_PREV_FILE`], and past
+/// that to probing the (self-validating) segment files directly.
+pub fn read_manifest_with(io: &dyn StorageIo, path: &Path) -> io::Result<Option<ManifestData>> {
+    let bytes = match io.read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let invalid = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_owned());
+    if bytes.len() < 12 || &bytes[..8] != MANIFEST_MAGIC {
+        return Err(invalid("manifest magic mismatch"));
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let payload = &bytes[12..];
+    if binary::crc32(payload) != crc {
+        return Err(invalid("manifest checksum mismatch"));
+    }
+    let mut cursor = Cursor::new(payload);
+    let mut parse = || -> Result<ManifestData, kf_yaml::binary::BinaryError> {
+        let horizon = cursor.get_u64()?;
+        let shard_count = cursor.get_u64()? as usize;
+        let count = cursor.get_u64()? as usize;
+        let mut entries = Vec::with_capacity(count.min(payload.len()));
+        for _ in 0..count {
+            let shard = cursor.get_u64()? as usize;
+            let objects = cursor.get_u64()?;
+            entries.push(ManifestEntry { shard, objects });
+        }
+        Ok(ManifestData {
+            horizon,
+            shard_count,
+            entries,
+        })
+    };
+    parse().map(Some).map_err(|e| invalid(&e.to_string()))
+}
+
 /// What recovery found and did.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
@@ -1158,9 +1686,19 @@ pub struct RecoveryReport {
     pub live_objects: usize,
     /// `Some` when a torn/corrupt WAL tail was detected and truncated.
     pub torn_tail: Option<TornTail>,
-    /// `Some` when a corrupt snapshot was quarantined (renamed to this
-    /// path) and boot fell back to a full-WAL replay.
+    /// `Some` when a corrupt snapshot artifact (legacy monolithic
+    /// snapshot, manifest, or segment) was quarantined — renamed to this
+    /// path, the first one when several — and boot recovered without it.
     pub snapshot_quarantined: Option<PathBuf>,
+    /// Per-shard snapshot segments loaded (0 when boot used a legacy
+    /// monolithic snapshot or started empty).
+    pub segments_loaded: usize,
+    /// `true` when the current manifest was unreadable and recovery fell
+    /// back to the previous manifest or to probing the segment files
+    /// directly (a longer WAL suffix replays the difference).
+    pub manifest_fallback: bool,
+    /// Worker threads the shard-partitioned replay ran on (1: sequential).
+    pub replay_workers: usize,
 }
 
 /// What a checkpoint wrote.
@@ -1169,12 +1707,19 @@ pub struct CheckpointReport {
     /// The revision horizon the snapshot covers (and the WAL was compacted
     /// to).
     pub revision: u64,
-    /// Objects in the snapshot.
+    /// Objects written into rewritten segments this checkpoint (the first
+    /// checkpoint of a store rewrites everything; steady-state rewrites
+    /// only the dirty shards' objects).
     pub objects: usize,
     /// WAL records retained (revision above the horizon).
     pub wal_retained: usize,
     /// Attempts the checkpoint took (1 when the first try succeeded).
     pub attempts: u32,
+    /// Store shards claimed as dirty and rewritten — the incremental
+    /// cost; `total_shards` is the O(store) cost this saved.
+    pub dirty_shards: usize,
+    /// Total store shards.
+    pub total_shards: usize,
 }
 
 /// An open persistence directory: the handle that checkpoints a store and
@@ -1189,6 +1734,132 @@ pub struct Persistence {
 /// Whole-checkpoint attempts before [`Persistence::checkpoint`] gives up.
 const CHECKPOINT_ATTEMPTS: u32 = 3;
 
+/// Below this many seed objects + WAL records, replay stays sequential —
+/// spawning workers would cost more than the partitioned decode saves.
+const PARALLEL_REPLAY_MIN_WORK: usize = 1024;
+
+/// Worker threads for shard-partitioned replay: `KF_RECOVERY_WORKERS` when
+/// set (> 0), else the machine's available parallelism, capped at the
+/// store shard count.
+fn replay_worker_count(total_work: usize) -> usize {
+    if total_work < PARALLEL_REPLAY_MIN_WORK {
+        return 1;
+    }
+    std::env::var("KF_RECOVERY_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(store_shards())
+}
+
+/// The store's shard count — recovery partitions by the same geometry the
+/// store hashes into (`crate::store::SHARDS`).
+fn store_shards() -> usize {
+    crate::store::SHARDS
+}
+
+/// One shard's replay inputs: raw segment seeds, pre-parsed legacy-snapshot
+/// seeds, and the shard's WAL records in file order.
+type ShardReplayJob = (Vec<(u64, Value)>, Vec<(u64, K8sObject)>, Vec<WalRecord>);
+
+/// One replay partition's result.
+struct ShardReplayOutcome {
+    objects: Vec<StoredObject>,
+    max_revision: u64,
+    replayed: usize,
+}
+
+/// Rebuild one store shard's keyed state: segment seeds (un-parsed bodies)
+/// and pre-parsed legacy-snapshot seeds first — highest resource version
+/// wins where sources overlap — then the shard's WAL records in file order
+/// under the revision guard. Runs on a replay worker thread; the
+/// partitioning by [`crate::store::shard_index_raw`] guarantees every
+/// write to one key lands in exactly one partition, so the guard sees the
+/// key's full history.
+fn replay_shard(
+    raw_seeds: Vec<(u64, Value)>,
+    parsed_seeds: Vec<(u64, K8sObject)>,
+    records: Vec<WalRecord>,
+) -> io::Result<ShardReplayOutcome> {
+    let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    type ReplayKey = (usize, String, String);
+    let mut state: std::collections::HashMap<ReplayKey, (u64, Option<K8sObject>)> =
+        std::collections::HashMap::with_capacity(raw_seeds.len() + parsed_seeds.len());
+    let mut max_revision = 0u64;
+    let mut replayed = 0usize;
+    for (resource_version, body) in raw_seeds {
+        let object = K8sObject::from_shared(Arc::new(body))
+            .map_err(|e| invalid(format!("snapshot object: {e}")))?;
+        max_revision = max_revision.max(resource_version);
+        let key = (
+            object.kind().index(),
+            object.namespace().to_owned(),
+            object.name().to_owned(),
+        );
+        let entry = state.entry(key).or_insert((0, None));
+        if resource_version > entry.0 {
+            *entry = (resource_version, Some(object));
+        }
+    }
+    for (resource_version, object) in parsed_seeds {
+        max_revision = max_revision.max(resource_version);
+        let key = (
+            object.kind().index(),
+            object.namespace().to_owned(),
+            object.name().to_owned(),
+        );
+        let entry = state.entry(key).or_insert((0, None));
+        if resource_version > entry.0 {
+            *entry = (resource_version, Some(object));
+        }
+    }
+    for record in records {
+        max_revision = max_revision.max(record.revision);
+        let key = (
+            record.kind.index(),
+            record.namespace.clone(),
+            record.name.clone(),
+        );
+        let seen = state.get(&key).map(|(rv, _)| *rv).unwrap_or(0);
+        if record.revision <= seen {
+            continue;
+        }
+        replayed += 1;
+        match record.op {
+            WatchEventKind::Deleted => {
+                state.insert(key, (record.revision, None));
+            }
+            _ => {
+                let body = record
+                    .body
+                    .ok_or_else(|| invalid("WAL write record without body".to_owned()))?;
+                let object = K8sObject::from_shared(body)
+                    .map_err(|e| invalid(format!("WAL object: {e}")))?;
+                state.insert(key, (record.revision, Some(object)));
+            }
+        }
+    }
+    let objects: Vec<StoredObject> = state
+        .into_values()
+        .filter_map(|(resource_version, object)| {
+            object.map(|object| StoredObject {
+                object,
+                resource_version,
+            })
+        })
+        .collect();
+    Ok(ShardReplayOutcome {
+        objects,
+        max_revision,
+        replayed,
+    })
+}
+
 impl Persistence {
     /// Open (or create) the persistence directory and recover a store from
     /// it over the real filesystem — see [`Persistence::open_with_io`].
@@ -1201,108 +1872,197 @@ impl Persistence {
     }
 
     /// Open (or create) the persistence directory through an explicit
-    /// [`StorageIo`] and recover a store from it: load the snapshot
-    /// (quarantining a corrupt one and falling back to full-WAL replay),
-    /// replay the WAL suffix (truncating a torn tail), seed the store, seal
-    /// the watch horizon at the recovered revision, and attach the WAL so
-    /// every subsequent write is logged.
+    /// [`StorageIo`] and recover a store from it: load the checkpoint
+    /// manifest (falling back to the previous complete manifest when the
+    /// current one is torn, and to probing the segment files directly when
+    /// neither survives), load every valid per-shard segment plus a legacy
+    /// monolithic snapshot if present (quarantining corrupt artifacts),
+    /// replay the WAL suffix (truncating a torn tail) partitioned by store
+    /// shard across worker threads, seed the store, seal the watch horizon
+    /// at the recovered revision, and attach the WAL so every subsequent
+    /// write is logged.
     ///
     /// # Errors
     ///
     /// Filesystem errors; [`io::ErrorKind::InvalidData`] only when a WAL or
     /// snapshot object body no longer parses as an object (a corrupt
-    /// snapshot *file* is quarantined instead — see
+    /// snapshot/segment/manifest *file* is quarantined instead — see
     /// [`RecoveryReport::snapshot_quarantined`]).
     pub fn open_with_io(
         config: PersistConfig,
         io: Arc<dyn StorageIo>,
     ) -> io::Result<(ObjectStore, Persistence, RecoveryReport)> {
         io.create_dir_all(&config.dir)?;
-        let snapshot_path = config.dir.join(SNAPSHOT_FILE);
         let wal_path = config.dir.join(WAL_FILE);
-        let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+        let mut report = RecoveryReport::default();
 
-        let mut quarantined = None;
-        let snapshot = match read_snapshot_with(&*io, &snapshot_path) {
+        // A corrupt artifact must not brick the boot: quarantine the file
+        // for forensics and recover from what remains (compaction only ever
+        // drops records a *successfully written* checkpoint covers, so the
+        // WAL still holds everything after the last good horizon).
+        let mut quarantine = |io: &dyn StorageIo, path: &Path| -> io::Result<()> {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("artifact");
+            let target = path.with_file_name(format!("{name}.corrupt"));
+            io.rename(path, &target)?;
+            io.sync_parent_dir(path);
+            report.snapshot_quarantined.get_or_insert(target);
+            Ok(())
+        };
+
+        // Manifest chain: current → previous complete → none. The rotation
+        // in `write_manifest_with` renames current → prev before publishing
+        // the new current, so a crash mid-checkpoint leaves prev intact.
+        let manifest_path = config.dir.join(MANIFEST_FILE);
+        let mut manifest = match read_manifest_with(&*io, &manifest_path) {
+            Ok(manifest) => manifest,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                quarantine(&*io, &manifest_path)?;
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        if manifest.is_none() {
+            let prev_path = config.dir.join(MANIFEST_PREV_FILE);
+            match read_manifest_with(&*io, &prev_path) {
+                Ok(Some(prev)) => {
+                    report.manifest_fallback = true;
+                    manifest = Some(prev);
+                }
+                Ok(None) => {}
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    quarantine(&*io, &prev_path)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Segments are self-validating (magic + CRC + embedded shard and
+        // horizon), so probe every shard slot directly rather than trusting
+        // the manifest's entry list — this also recovers the case where
+        // both manifests are torn but the segments survived.
+        let shards = store_shards();
+        let mut raw_seeds: Vec<Vec<(u64, Value)>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut segment_horizon = 0u64;
+        for shard_no in 0..shards {
+            let path = config.dir.join(segment_file(shard_no));
+            match read_segment_with(&*io, &path) {
+                Ok(Some(segment)) => {
+                    report.segments_loaded += 1;
+                    segment_horizon = segment_horizon.max(segment.horizon);
+                    // Route by the segment's own header: the objects inside
+                    // hash to `segment.shard`, and replay's revision guard
+                    // needs every record for a key in one partition.
+                    let slot = segment.shard.min(shards - 1);
+                    raw_seeds[slot].extend(segment.objects);
+                }
+                Ok(None) => {}
+                Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                    quarantine(&*io, &path)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Legacy monolithic snapshot (pre-incremental checkpoints). A
+        // directory last checkpointed by an older build seeds from it; the
+        // first incremental checkpoint retires it.
+        let snapshot_path = config.dir.join(SNAPSHOT_FILE);
+        let legacy = match read_snapshot_with(&*io, &snapshot_path) {
             Ok(snapshot) => snapshot.unwrap_or_default(),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // The snapshot is the recovery floor, but a corrupt floor
-                // must not brick the boot: quarantine the file for forensics
-                // and rebuild from the full WAL (compaction only ever drops
-                // records a *successfully written* snapshot covers, so the
-                // WAL still holds everything after the last good horizon).
-                let target = snapshot_path.with_extension("kfsnap.corrupt");
-                io.rename(&snapshot_path, &target)?;
-                io.sync_parent_dir(&snapshot_path);
-                quarantined = Some(target);
+                quarantine(&*io, &snapshot_path)?;
                 SnapshotData::default()
             }
             Err(e) => return Err(e),
         };
-        let replay = recover_wal_with(&*io, &wal_path)?;
-        let mut report = RecoveryReport {
-            snapshot_revision: snapshot.revision,
-            snapshot_objects: snapshot.objects.len(),
-            wal_records: replay.records.len(),
-            torn_tail: replay.torn,
-            snapshot_quarantined: quarantined,
-            ..RecoveryReport::default()
-        };
 
-        // Rebuild the keyed state: snapshot first, then the WAL suffix with
-        // the revision guard (apply only what the snapshot has not already
-        // absorbed). `None` marks a key deleted by a replayed record.
-        type ReplayKey = (usize, String, String);
-        let mut state: std::collections::HashMap<ReplayKey, (u64, Option<K8sObject>)> =
-            std::collections::HashMap::new();
-        let mut recovered_revision = snapshot.revision;
-        for (resource_version, body) in snapshot.objects {
+        let snapshot_revision = manifest
+            .as_ref()
+            .map(|m| m.horizon)
+            .unwrap_or(0)
+            .max(segment_horizon)
+            .max(legacy.revision);
+        report.snapshot_revision = snapshot_revision;
+        report.snapshot_objects =
+            raw_seeds.iter().map(Vec::len).sum::<usize>() + legacy.objects.len();
+
+        let replay = recover_wal_with(&*io, &wal_path)?;
+        report.wal_records = replay.records.len();
+        report.torn_tail = replay.torn;
+
+        // Partition the remaining serial work by store shard. Legacy
+        // snapshot bodies are parsed here (the monolithic format does not
+        // record shard geometry); segment seeds and WAL records route by
+        // the same hash the store uses, so each worker owns every source
+        // of truth for its keys.
+        let invalid = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+        let mut parsed_seeds: Vec<Vec<(u64, K8sObject)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for (resource_version, body) in legacy.objects {
             let object = K8sObject::from_shared(Arc::new(body))
                 .map_err(|e| invalid(format!("snapshot object: {e}")))?;
-            recovered_revision = recovered_revision.max(resource_version);
-            let key = (
+            let slot = crate::store::shard_index_raw(
                 object.kind().index(),
-                object.namespace().to_owned(),
-                object.name().to_owned(),
+                object.namespace(),
+                object.name(),
             );
-            state.insert(key, (resource_version, Some(object)));
+            parsed_seeds[slot].push((resource_version, object));
         }
+        let mut shard_records: Vec<Vec<WalRecord>> = (0..shards).map(|_| Vec::new()).collect();
         for record in replay.records {
-            recovered_revision = recovered_revision.max(record.revision);
-            let key = (
-                record.kind.index(),
-                record.namespace.clone(),
-                record.name.clone(),
-            );
-            let seen = state.get(&key).map(|(rv, _)| *rv).unwrap_or(0);
-            if record.revision <= seen {
-                continue;
-            }
-            report.replayed += 1;
-            match record.op {
-                WatchEventKind::Deleted => {
-                    state.insert(key, (record.revision, None));
-                }
-                _ => {
-                    let body = record
-                        .body
-                        .ok_or_else(|| invalid("WAL write record without body".to_owned()))?;
-                    let object = K8sObject::from_shared(body)
-                        .map_err(|e| invalid(format!("WAL object: {e}")))?;
-                    state.insert(key, (record.revision, Some(object)));
-                }
-            }
+            let slot =
+                crate::store::shard_index_raw(record.kind.index(), &record.namespace, &record.name);
+            shard_records[slot].push(record);
         }
 
-        let objects: Vec<StoredObject> = state
-            .into_values()
-            .filter_map(|(resource_version, object)| {
-                object.map(|object| StoredObject {
-                    object,
-                    resource_version,
-                })
-            })
+        let total_work = report.snapshot_objects + report.wal_records;
+        let workers = replay_worker_count(total_work);
+        report.replay_workers = workers;
+        let jobs: Vec<ShardReplayJob> = raw_seeds
+            .into_iter()
+            .zip(parsed_seeds)
+            .zip(shard_records)
+            .map(|((raw, parsed), records)| (raw, parsed, records))
             .collect();
+        let outcomes: Vec<ShardReplayOutcome> = if workers <= 1 {
+            jobs.into_iter()
+                .map(|(raw, parsed, records)| replay_shard(raw, parsed, records))
+                .collect::<io::Result<Vec<_>>>()?
+        } else {
+            let mut buckets: Vec<Vec<_>> = (0..workers).map(|_| Vec::new()).collect();
+            for (shard_no, job) in jobs.into_iter().enumerate() {
+                buckets[shard_no % workers].push(job);
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(raw, parsed, records)| replay_shard(raw, parsed, records))
+                                .collect::<io::Result<Vec<_>>>()
+                        })
+                    })
+                    .collect();
+                let mut all = Vec::new();
+                for handle in handles {
+                    all.extend(handle.join().expect("replay worker panicked")?);
+                }
+                Ok::<_, io::Error>(all)
+            })?
+        };
+
+        let mut recovered_revision = snapshot_revision;
+        let mut objects = Vec::new();
+        for outcome in outcomes {
+            recovered_revision = recovered_revision.max(outcome.max_revision);
+            report.replayed += outcome.replayed;
+            objects.extend(outcome.objects);
+        }
         report.live_objects = objects.len();
         report.recovered_revision = recovered_revision;
 
@@ -1338,20 +2098,27 @@ impl Persistence {
         &self.dir
     }
 
-    /// Checkpoint: snapshot the store at the current revision horizon, then
-    /// compact the WAL to the records above it. Safe to run concurrently
-    /// with writes — the horizon is read *before* the scan, every record at
-    /// or below it is fully reflected by the scan (revision allocation and
-    /// the map effect share the shard lock), and replay's revision guard
-    /// absorbs the overlap above it. The whole attempt retries (with the
-    /// WAL's backoff) a bounded number of times, because a transient fault
-    /// mid-checkpoint is invisible to clients — only the snapshot horizon
-    /// lags.
+    /// Checkpoint: rewrite only the store shards dirtied since the last
+    /// checkpoint into per-shard segment files, publish a manifest over
+    /// them at the current revision horizon, then compact the WAL to the
+    /// records above it — O(dirty) instead of O(store). Safe to run
+    /// concurrently with writes — the horizon is read *before* the dirty
+    /// set is claimed, every record at or below it is fully reflected by
+    /// the shard scans (the dirty flag is raised under the shard lock
+    /// before revision allocation), and replay's revision guard absorbs
+    /// the overlap above it. A shard left unclaimed has seen no writes
+    /// since the checkpoint that last claimed it, so its existing segment
+    /// already covers every compacted record that touches it. The whole
+    /// attempt retries (with the WAL's backoff) a bounded number of times,
+    /// because a transient fault mid-checkpoint is invisible to clients —
+    /// only the checkpoint horizon lags; a failed attempt re-marks the
+    /// claimed shards dirty so no write is ever dropped from the next
+    /// checkpoint.
     ///
     /// # Errors
     ///
-    /// Filesystem errors writing the snapshot or rewriting the WAL, after
-    /// retries are exhausted.
+    /// Filesystem errors writing the segments or manifest or rewriting the
+    /// WAL, after retries are exhausted.
     pub fn checkpoint(&self, store: &ObjectStore) -> io::Result<CheckpointReport> {
         let mut last = None;
         for attempt in 1..=CHECKPOINT_ATTEMPTS {
@@ -1369,15 +2136,101 @@ impl Persistence {
     }
 
     fn try_checkpoint(&self, store: &ObjectStore, attempt: u32) -> io::Result<CheckpointReport> {
+        // Horizon first, claim second: any write that allocates a revision
+        // at or below the horizon raised its dirty flag before allocating,
+        // so the claim below sees it and its shard is rewritten.
         let horizon = StoreBackend::revision(store);
-        let objects = store.snapshot_objects();
-        write_snapshot_with(&*self.io, &self.dir.join(SNAPSHOT_FILE), horizon, &objects)?;
+        let claimed = store.take_dirty_shards();
+        match self.write_increment(store, horizon, &claimed, attempt) {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                // The claimed shards were not (all) published at this
+                // horizon; put them back so the retry rewrites them.
+                store.remark_dirty(&claimed);
+                Err(e)
+            }
+        }
+    }
+
+    fn write_increment(
+        &self,
+        store: &ObjectStore,
+        horizon: u64,
+        claimed: &[usize],
+        attempt: u32,
+    ) -> io::Result<CheckpointReport> {
+        // Rewrite each claimed shard's segment (empty shards included — an
+        // emptied shard must publish its emptiness, or deletions would
+        // resurrect on replay from a stale segment).
+        let mut objects = 0usize;
+        let mut written = Vec::with_capacity(claimed.len());
+        for &shard_no in claimed {
+            let snapshot = store.snapshot_shard(shard_no);
+            objects += snapshot.len();
+            written.push((shard_no, snapshot.len() as u64));
+            write_segment_with(&*self.io, &self.dir, shard_no, horizon, &snapshot)?;
+        }
+
+        // The manifest enumerates whichever segments exist on disk now:
+        // the ones just rewritten plus clean shards' earlier segments.
+        let shards = store_shards();
+        let previous =
+            read_manifest_with(&*self.io, &self.dir.join(MANIFEST_FILE)).unwrap_or_default();
+        let mut entries = Vec::new();
+        for shard_no in 0..shards {
+            if let Some(&(_, count)) = written.iter().find(|(no, _)| *no == shard_no) {
+                entries.push(ManifestEntry {
+                    shard: shard_no,
+                    objects: count,
+                });
+                continue;
+            }
+            let path = self.dir.join(segment_file(shard_no));
+            match self.io.file_len(&path) {
+                Ok(_) => {
+                    let carried = previous
+                        .as_ref()
+                        .and_then(|m| m.entries.iter().find(|e| e.shard == shard_no))
+                        .map(|e| e.objects)
+                        .unwrap_or(0);
+                    entries.push(ManifestEntry {
+                        shard: shard_no,
+                        objects: carried,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let manifest = ManifestData {
+            horizon,
+            shard_count: shards,
+            entries,
+        };
+        write_manifest_with(&*self.io, &self.dir, &manifest)?;
+
+        // First incremental checkpoint over a legacy directory: the
+        // manifest + segments now cover everything the monolithic snapshot
+        // held, so retire it (rename, not delete — forensics-friendly and
+        // crash-atomic like every other publish here).
+        let legacy = self.dir.join(SNAPSHOT_FILE);
+        match self
+            .io
+            .rename(&legacy, &legacy.with_extension("kfsnap.superseded"))
+        {
+            Ok(()) => self.io.sync_parent_dir(&legacy),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
         let wal_retained = self.wal.compact(&self.dir.join(WAL_FILE), horizon)?;
         Ok(CheckpointReport {
             revision: horizon,
-            objects: objects.len(),
+            objects,
             wal_retained,
             attempts: attempt,
+            dirty_shards: claimed.len(),
+            total_shards: shards,
         })
     }
 }
@@ -1668,7 +2521,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_snapshot_is_quarantined_and_boot_replays_the_full_wal() {
+    fn corrupt_segment_is_quarantined_and_the_other_shards_still_boot() {
         let dir = temp_dir("quarantine");
         {
             let (store, persistence, _) =
@@ -1681,29 +2534,84 @@ mod tests {
             store.upsert(pod("ns", "pod-late", "nginx"));
             persistence.wal().sync().expect("sync");
         }
-        let snapshot_path = dir.join(SNAPSHOT_FILE);
-        let mut bytes = fs::read(&snapshot_path).expect("read snapshot");
+        // Corrupt the segment that holds pod-1: its shard's checkpointed
+        // prefix is lost, but the blast radius stops at the shard.
+        let corrupt_shard = crate::store::shard_index_raw(ResourceKind::Pod.index(), "ns", "pod-1");
+        let segment_path = dir.join(segment_file(corrupt_shard));
+        let mut bytes = fs::read(&segment_path).expect("read segment");
         let last = bytes.len() - 1;
         bytes[last] ^= 1;
-        fs::write(&snapshot_path, &bytes).expect("write corrupted");
+        fs::write(&segment_path, &bytes).expect("write corrupted");
         let (store, _persistence, report) =
             Persistence::open(PersistConfig::new(&dir)).expect("boot survives corruption");
         let quarantined = report
             .snapshot_quarantined
             .as_ref()
-            .expect("snapshot quarantined");
+            .expect("segment quarantined");
         assert!(quarantined.exists(), "corrupt file kept for forensics");
         assert!(
             quarantined.to_string_lossy().ends_with(".corrupt"),
             "renamed to .corrupt: {}",
             quarantined.display()
         );
-        assert!(!snapshot_path.exists(), "corrupt snapshot out of the way");
-        // Only the WAL suffix (post-checkpoint) survives — the quarantine
-        // trades the snapshotted prefix for a boot that serves. The sealed
-        // horizon and `Gone` semantics cover the clients.
-        assert_eq!(StoreBackend::len(&store), 1, "WAL suffix replayed");
+        assert!(!segment_path.exists(), "corrupt segment out of the way");
+        // The quarantined shard's checkpointed objects are gone (compaction
+        // dropped their WAL records); every other shard serves from its own
+        // intact segment, and the post-checkpoint WAL suffix replays.
+        assert!(
+            store.get(ResourceKind::Pod, "ns", "pod-1").is_none(),
+            "quarantined shard's snapshotted prefix is lost"
+        );
+        for r in 2..=6u64 {
+            let name = format!("pod-{r}");
+            let shard = crate::store::shard_index_raw(ResourceKind::Pod.index(), "ns", &name);
+            if shard != corrupt_shard {
+                assert!(
+                    store.get(ResourceKind::Pod, "ns", &name).is_some(),
+                    "{name} survives in its own segment"
+                );
+            }
+        }
         assert!(store.get(ResourceKind::Pod, "ns", "pod-late").is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_monolithic_snapshot_still_boots_and_is_retired() {
+        let dir = temp_dir("legacy");
+        // A directory last checkpointed by a pre-incremental build: one
+        // monolithic snapshot, no manifest, no segments.
+        let objects: Vec<Arc<StoredObject>> = (1..=4u64)
+            .map(|v| {
+                Arc::new(StoredObject {
+                    object: pod("ns", &format!("pod-{v}"), "nginx"),
+                    resource_version: v,
+                })
+            })
+            .collect();
+        write_snapshot(&dir.join(SNAPSHOT_FILE), 4, &objects).expect("write legacy snapshot");
+        let (store, persistence, report) =
+            Persistence::open(PersistConfig::new(&dir)).expect("open");
+        assert_eq!(report.snapshot_objects, 4);
+        assert_eq!(report.snapshot_revision, 4);
+        assert_eq!(
+            StoreBackend::len(&store),
+            4,
+            "legacy snapshot seeds the store"
+        );
+        assert_eq!(StoreBackend::revision(&store), 4, "revision floor holds");
+        // The first incremental checkpoint supersedes the legacy file.
+        store.upsert(pod("ns", "pod-5", "nginx"));
+        persistence.checkpoint(&store).expect("checkpoint");
+        assert!(
+            !dir.join(SNAPSHOT_FILE).exists(),
+            "legacy snapshot retired after the first incremental checkpoint"
+        );
+        assert!(dir.join(MANIFEST_FILE).exists());
+        let (store, _persistence, report) =
+            Persistence::open(PersistConfig::new(&dir)).expect("reopen");
+        assert!(report.segments_loaded > 0, "segments now seed the boot");
+        assert_eq!(StoreBackend::len(&store), 5);
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -1746,6 +2654,331 @@ mod tests {
         assert_eq!(FsyncPolicy::parse("os"), Some(FsyncPolicy::Os));
         assert_eq!(FsyncPolicy::parse("batch:64"), Some(FsyncPolicy::Batch(64)));
         assert_eq!(FsyncPolicy::parse("batch:"), None);
+        assert_eq!(
+            FsyncPolicy::parse("group"),
+            Some(FsyncPolicy::Group {
+                max_wait_us: GROUP_DEFAULT_WAIT_US,
+                max_batch: GROUP_DEFAULT_BATCH,
+            })
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group:250"),
+            Some(FsyncPolicy::Group {
+                max_wait_us: 250,
+                max_batch: GROUP_DEFAULT_BATCH,
+            })
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group:0:8"),
+            Some(FsyncPolicy::Group {
+                max_wait_us: 0,
+                max_batch: 8,
+            })
+        );
+        assert_eq!(FsyncPolicy::parse("group:"), None);
+        assert_eq!(FsyncPolicy::parse("group:1:"), None);
         assert_eq!(FsyncPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn group_commit_amortizes_fsyncs_across_a_deferred_batch() {
+        let dir = temp_dir("group-amortize");
+        let wal = Wal::open(
+            &dir.join(WAL_FILE),
+            FsyncPolicy::Group {
+                max_wait_us: 0,
+                max_batch: 64,
+            },
+            0,
+        )
+        .expect("open");
+        // Ten appends deferred under (simulated) shard locks, then one
+        // rendezvous: a single fsync proves all ten.
+        let mut ticket = None;
+        for r in 1..=10u64 {
+            let deferred = wal.append_deferred(&[record(
+                r,
+                WatchEventKind::Added,
+                "default",
+                &format!("pod-{r}"),
+            )]);
+            ticket = GroupTicket::merge(ticket, deferred);
+        }
+        assert_eq!(
+            wal.durable_revision(),
+            0,
+            "nothing proven before the rendezvous"
+        );
+        wal.group_commit(ticket.expect("healthy appends produce a ticket"));
+        assert_eq!(wal.durable_revision(), 10);
+        assert_eq!(wal.state(), DurabilityState::Healthy);
+        assert_eq!(wal.fsync_batches(), 1, "one shared fsync for ten writers");
+        assert_eq!(wal.group_records(), 10);
+        let status = wal.status();
+        assert_eq!(status.fsync_batches, 1);
+        assert!((status.avg_group_size() - 10.0).abs() < f64::EPSILON);
+        // A plain append still rendezvouses internally.
+        wal.append(&[record(11, WatchEventKind::Added, "default", "pod-11")]);
+        assert_eq!(wal.durable_revision(), 11);
+        assert_eq!(wal.fsync_batches(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_parks_concurrent_writers_and_proves_each_ack() {
+        let dir = temp_dir("group-threads");
+        let wal = Wal::open(
+            &dir.join(WAL_FILE),
+            FsyncPolicy::Group {
+                max_wait_us: 400,
+                max_batch: 8,
+            },
+            0,
+        )
+        .expect("open");
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 10;
+        std::thread::scope(|scope| {
+            for writer in 0..WRITERS {
+                let wal = &wal;
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let revision = writer * PER_WRITER + i + 1;
+                        wal.append(&[record(
+                            revision,
+                            WatchEventKind::Added,
+                            "default",
+                            &format!("pod-{revision}"),
+                        )]);
+                        // `append` returning under `Group` means this
+                        // writer's revision is fsync-proven.
+                        assert!(wal.durable_revision() >= revision);
+                    }
+                });
+            }
+        });
+        assert_eq!(wal.state(), DurabilityState::Healthy);
+        assert_eq!(wal.durable_revision(), WRITERS * PER_WRITER);
+        assert_eq!(wal.durability_gap(), 0);
+        let total = WRITERS * PER_WRITER;
+        assert_eq!(wal.group_records(), total);
+        assert!(wal.fsync_batches() >= 1 && wal.fsync_batches() <= total);
+        // Every frame landed exactly once, whatever the interleaving.
+        let replay = read_wal(&dir.join(WAL_FILE)).expect("read");
+        assert!(replay.torn.is_none());
+        let mut revisions: Vec<u64> = replay.records.iter().map(|r| r.revision).collect();
+        revisions.sort_unstable();
+        assert_eq!(revisions, (1..=total).collect::<Vec<_>>());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_group_fsync_degrades_and_never_overstates_durability() {
+        let dir = temp_dir("group-degrade");
+        // Boot fsync is op 0; every group fsync after it fails.
+        let wal = faulty_wal(
+            &dir,
+            "fsync@1:permanent",
+            FsyncPolicy::Group {
+                max_wait_us: 0,
+                max_batch: 64,
+            },
+            3,
+        );
+        wal.append(&[record(1, WatchEventKind::Added, "default", "a")]);
+        assert_eq!(
+            wal.state(),
+            DurabilityState::Degraded,
+            "leader observed the failure"
+        );
+        assert_eq!(
+            wal.durable_revision(),
+            0,
+            "failed shared fsync proves nothing"
+        );
+        let latched = wal.last_error().expect("latched");
+        assert_eq!(latched.kind, StorageErrorKind::Fsync);
+        assert_eq!(wal.durability_gap(), 1);
+        // Concurrent writers against the dead device: every append returns
+        // (no waiter parks forever) and durability is never overstated.
+        std::thread::scope(|scope| {
+            for writer in 0..4u64 {
+                let wal = &wal;
+                scope.spawn(move || {
+                    for i in 0..5u64 {
+                        let revision = 2 + writer * 5 + i;
+                        wal.append(&[record(
+                            revision,
+                            WatchEventKind::Added,
+                            "default",
+                            &format!("pod-{revision}"),
+                        )]);
+                    }
+                });
+            }
+        });
+        assert_eq!(wal.durable_revision(), 0, "nothing was ever proven");
+        assert_eq!(wal.state(), DurabilityState::FailStop);
+        assert_eq!(wal.fsync_batches(), 0, "no group fsync ever succeeded");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_and_manifest_round_trip_with_prev_rotation() {
+        let dir = temp_dir("segman");
+        let io = RealIo;
+        let objects: Vec<Arc<StoredObject>> = (1..=3u64)
+            .map(|v| {
+                Arc::new(StoredObject {
+                    object: pod("ns", &format!("pod-{v}"), "nginx"),
+                    resource_version: v,
+                })
+            })
+            .collect();
+        write_segment_with(&io, &dir, 7, 3, &objects).expect("write segment");
+        let segment = read_segment_with(&io, &dir.join(segment_file(7)))
+            .expect("read segment")
+            .expect("present");
+        assert_eq!(segment.shard, 7);
+        assert_eq!(segment.horizon, 3);
+        assert_eq!(segment.objects.len(), 3);
+        for ((rv, body), original) in segment.objects.iter().zip(&objects) {
+            assert_eq!(*rv, original.resource_version);
+            assert_eq!(body, original.object.body(), "byte-identical tree");
+        }
+        assert!(read_segment_with(&io, &dir.join(segment_file(8)))
+            .expect("absent segment")
+            .is_none());
+
+        let first = ManifestData {
+            horizon: 3,
+            shard_count: 16,
+            entries: vec![ManifestEntry {
+                shard: 7,
+                objects: 3,
+            }],
+        };
+        write_manifest_with(&io, &dir, &first).expect("write manifest");
+        assert!(
+            read_manifest_with(&io, &dir.join(MANIFEST_PREV_FILE))
+                .expect("no prev yet")
+                .is_none(),
+            "first manifest has nothing to rotate"
+        );
+        let second = ManifestData {
+            horizon: 9,
+            shard_count: 16,
+            entries: vec![
+                ManifestEntry {
+                    shard: 2,
+                    objects: 1,
+                },
+                ManifestEntry {
+                    shard: 7,
+                    objects: 3,
+                },
+            ],
+        };
+        write_manifest_with(&io, &dir, &second).expect("write second manifest");
+        let current = read_manifest_with(&io, &dir.join(MANIFEST_FILE))
+            .expect("read current")
+            .expect("present");
+        assert_eq!(current.horizon, 9);
+        assert_eq!(current.entries.len(), 2);
+        let prev = read_manifest_with(&io, &dir.join(MANIFEST_PREV_FILE))
+            .expect("read prev")
+            .expect("rotated");
+        assert_eq!(
+            prev.horizon, 3,
+            "previous complete manifest survives rotation"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rewrites_only_dirty_shards() {
+        let dir = temp_dir("ckpt-dirty");
+        let (store, persistence, _) = Persistence::open(PersistConfig::new(&dir)).expect("open");
+        for r in 1..=8u64 {
+            store.upsert(pod("ns", &format!("pod-{r}"), "nginx"));
+        }
+        // First checkpoint of a store is full: every shard boots dirty.
+        let first = persistence.checkpoint(&store).expect("first checkpoint");
+        assert_eq!(
+            first.dirty_shards, first.total_shards,
+            "boot checkpoint is full"
+        );
+        assert_eq!(first.objects, 8);
+        // One write → exactly one shard rewritten.
+        store.upsert(pod("ns", "pod-1", "nginx:2"));
+        let second = persistence.checkpoint(&store).expect("second checkpoint");
+        assert_eq!(second.dirty_shards, 1, "only the touched shard rewrites");
+        assert!(second.objects < 8, "O(dirty), not O(store)");
+        // Quiescent checkpoint writes no segments at all.
+        let third = persistence.checkpoint(&store).expect("third checkpoint");
+        assert_eq!(third.dirty_shards, 0);
+        assert_eq!(third.objects, 0);
+        assert_eq!(
+            store.checkpoint_dirty_shards(),
+            0,
+            "counter tracks the last claim"
+        );
+        // The union of segments still reconstructs the full store.
+        drop(persistence);
+        let (store, _persistence, report) =
+            Persistence::open(PersistConfig::new(&dir)).expect("reopen");
+        assert_eq!(StoreBackend::len(&store), 8);
+        assert_eq!(report.segments_loaded, 16, "every shard has a segment");
+        let updated = store
+            .get(ResourceKind::Pod, "ns", "pod-1")
+            .expect("pod-1 present");
+        let image = updated
+            .object
+            .body()
+            .get_path(&kf_yaml::Path::parse("spec.containers[0].image").expect("static path"))
+            .expect("image present");
+        assert_eq!(
+            image.as_str(),
+            Some("nginx:2"),
+            "dirty-shard rewrite captured the update"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_current_manifest_falls_back_to_the_previous_one() {
+        let dir = temp_dir("manifest-fallback");
+        {
+            let (store, persistence, _) =
+                Persistence::open(PersistConfig::new(&dir)).expect("open");
+            for r in 1..=4u64 {
+                store.upsert(pod("ns", &format!("pod-{r}"), "nginx"));
+            }
+            persistence.checkpoint(&store).expect("first checkpoint");
+            store.upsert(pod("ns", "pod-5", "nginx"));
+            persistence.checkpoint(&store).expect("second checkpoint");
+        }
+        // Tear the current manifest; the rotation left the first
+        // checkpoint's manifest as `.prev`.
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&manifest_path).expect("read manifest");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(&manifest_path, &bytes).expect("write corrupted");
+        let (store, _persistence, report) =
+            Persistence::open(PersistConfig::new(&dir)).expect("boot survives torn manifest");
+        assert!(report.manifest_fallback, "previous manifest used");
+        assert!(
+            report
+                .snapshot_quarantined
+                .as_ref()
+                .is_some_and(|p| p.to_string_lossy().ends_with(".corrupt")),
+            "torn manifest quarantined"
+        );
+        // Segments are self-validating, so even state past the prev
+        // manifest's horizon recovers from them (plus the WAL suffix).
+        assert_eq!(StoreBackend::len(&store), 5, "full state recovered");
+        assert!(store.get(ResourceKind::Pod, "ns", "pod-5").is_some());
+        fs::remove_dir_all(&dir).ok();
     }
 }

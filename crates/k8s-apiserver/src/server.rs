@@ -192,6 +192,8 @@ impl<S: StoreBackend> ApiServer<S> {
             ),
             None => (0, 0, 0, 0, 0, None),
         };
+        let fsync_batches = durability.fsync_batches;
+        let avg_group_size = durability.avg_group_size();
         HealthReport {
             durability,
             policy: self.degrade,
@@ -202,6 +204,9 @@ impl<S: StoreBackend> ApiServer<S> {
             waiting,
             peak_in_flight: peak,
             max_in_flight: max,
+            fsync_batches,
+            avg_group_size,
+            checkpoint_dirty_shards: self.store.checkpoint_dirty_shards(),
         }
     }
 

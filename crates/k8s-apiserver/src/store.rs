@@ -37,7 +37,7 @@
 use std::collections::BTreeMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::ops::Bound;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -45,7 +45,7 @@ use parking_lot::RwLock;
 use k8s_model::{K8sObject, ResourceKind};
 use kf_yaml::Value;
 
-use crate::persist::{DurabilityState, DurabilityStatus, Wal, WalRecord};
+use crate::persist::{DurabilityState, DurabilityStatus, GroupTicket, Wal, WalRecord};
 use crate::watch::{
     KindJournals, StagedEvent, WatchDelta, WatchError, WatchEventKind, WatchSubscriber,
     DEFAULT_JOURNAL_CAPACITY, DEFAULT_JOURNAL_SHARDS,
@@ -64,8 +64,11 @@ pub struct StoredObject {
 type Key = (ResourceKind, String, String);
 
 /// Number of hash shards. A small power of two: enough to spread the five
-/// operator workloads' writes, cheap to scan for list operations.
-const SHARDS: usize = 16;
+/// operator workloads' writes, cheap to scan for list operations. Also the
+/// granularity of incremental checkpoints (one snapshot segment per shard)
+/// and of parallel recovery replay — `pub(crate)` so the persistence plane
+/// partitions by the same geometry.
+pub(crate) const SHARDS: usize = 16;
 
 /// The persistence plane behind [`crate::ApiServer`]: how request bodies
 /// become stored objects and how stored objects come back out. The two
@@ -258,6 +261,13 @@ pub trait StoreBackend: Send + Sync {
     fn durability_state(&self) -> DurabilityState {
         DurabilityState::Healthy
     }
+
+    /// How many store shards the most recent checkpoint claimed as dirty
+    /// (0 for backends without incremental-checkpoint tracking) — the
+    /// health surface's view of how incremental checkpoints actually are.
+    fn checkpoint_dirty_shards(&self) -> usize {
+        0
+    }
 }
 
 fn key_of(object: &K8sObject) -> Key {
@@ -268,12 +278,20 @@ fn key_of(object: &K8sObject) -> Key {
     )
 }
 
-fn shard_index(key: &Key) -> usize {
+/// The shard an object lives in, from its key parts. `pub(crate)` because
+/// recovery replay partitions snapshot objects and WAL records by the same
+/// function — a `String` and a `&str` hash identically, so the two callers
+/// cannot disagree.
+pub(crate) fn shard_index_raw(kind_index: usize, namespace: &str, name: &str) -> usize {
     let mut hasher = DefaultHasher::new();
-    key.0.index().hash(&mut hasher);
-    key.1.hash(&mut hasher);
-    key.2.hash(&mut hasher);
+    kind_index.hash(&mut hasher);
+    namespace.hash(&mut hasher);
+    name.hash(&mut hasher);
     (hasher.finish() as usize) % SHARDS
+}
+
+fn shard_index(key: &Key) -> usize {
+    shard_index_raw(key.0.index(), &key.1, &key.2)
 }
 
 /// The first key a `list(kind, namespace)` scan can match; used as the lower
@@ -308,6 +326,20 @@ pub struct ObjectStore {
     /// write lock**, so the on-disk per-key order matches the in-memory
     /// one. `None` (the default) keeps the store purely in-memory.
     wal: Option<Arc<Wal>>,
+    /// Per-shard dirty flags for incremental checkpoints: a write path sets
+    /// its shard's flag **after taking the shard write lock and before
+    /// allocating the revision**, and the checkpoint reads its horizon
+    /// before swapping the flags — so any write at or below the horizon is
+    /// guaranteed to have its flag observed by the swap (the alloc
+    /// continues the counter's release sequence; see
+    /// `KindJournals::push_locked`), and any write above it stays in the
+    /// WAL past compaction. All flags start `true`: the first checkpoint of
+    /// any store (fresh or restored) is a full one, whatever the on-disk
+    /// manifest state.
+    dirty: Vec<AtomicBool>,
+    /// How many shards the most recent checkpoint claimed (the
+    /// `checkpoint_dirty_shards` health counter).
+    last_checkpoint_dirty: AtomicUsize,
 }
 
 impl Default for ObjectStore {
@@ -356,6 +388,8 @@ impl ObjectStore {
             revision: AtomicU64::new(0),
             journals: KindJournals::new(capacity, shard_count),
             wal: None,
+            dirty: (0..SHARDS).map(|_| AtomicBool::new(true)).collect(),
+            last_checkpoint_dirty: AtomicUsize::new(0),
         }
     }
 
@@ -393,6 +427,15 @@ impl ObjectStore {
         &self.shards[shard_index(key)]
     }
 
+    /// Flag a shard as touched since the last checkpoint. Must be called
+    /// while holding the shard's write lock and **before** allocating the
+    /// write's revision — that ordering (plus the horizon-before-swap read
+    /// on the checkpoint side) is what makes an incremental checkpoint
+    /// never miss a write at or below its horizon. See the `dirty` field.
+    fn mark_dirty(&self, shard_no: usize) {
+        self.dirty[shard_no].store(true, Ordering::Release);
+    }
+
     /// The current global revision (number of writes so far).
     pub fn revision(&self) -> u64 {
         self.revision.load(Ordering::Relaxed)
@@ -414,10 +457,12 @@ impl ObjectStore {
     /// whatever tree admission handed in.
     pub fn create(&self, object: K8sObject) -> Option<u64> {
         let key = key_of(&object);
-        let mut shard = self.shard(&key).write();
+        let shard_no = shard_index(&key);
+        let mut shard = self.shards[shard_no].write();
         if shard.contains_key(&key) {
             return None;
         }
+        self.mark_dirty(shard_no);
         let version = self.publish(&key, WatchEventKind::Added, object.shared_body());
         self.log_write(
             &key,
@@ -439,10 +484,12 @@ impl ObjectStore {
     /// if the object does not exist.
     pub fn update(&self, object: K8sObject) -> Option<u64> {
         let key = key_of(&object);
-        let mut shard = self.shard(&key).write();
+        let shard_no = shard_index(&key);
+        let mut shard = self.shards[shard_no].write();
         if !shard.contains_key(&key) {
             return None;
         }
+        self.mark_dirty(shard_no);
         let version = self.publish(&key, WatchEventKind::Modified, object.shared_body());
         self.log_write(
             &key,
@@ -483,12 +530,14 @@ impl ObjectStore {
     /// re-admission round trip for the create-on-conflict path.
     pub fn upsert(&self, object: K8sObject) -> (u64, bool) {
         let key = key_of(&object);
-        let mut shard = self.shard(&key).write();
+        let shard_no = shard_index(&key);
+        let mut shard = self.shards[shard_no].write();
         let event = if shard.contains_key(&key) {
             WatchEventKind::Modified
         } else {
             WatchEventKind::Added
         };
+        self.mark_dirty(shard_no);
         let version = self.publish(&key, event, object.shared_body());
         self.log_write(&key, event, version, Some(object.shared_body()));
         let replaced = shard.insert(
@@ -516,6 +565,7 @@ impl ObjectStore {
         for (index, object) in objects.into_iter().enumerate() {
             groups[shard_index(&key_of(&object))].push((index, object));
         }
+        let mut ticket = None;
         for (shard_no, group) in groups.into_iter().enumerate() {
             if group.is_empty() {
                 continue;
@@ -544,6 +594,7 @@ impl ObjectStore {
             // Same-key events share a sub-shard, so their revisions are
             // assigned in batch order: the last write wins in the map AND
             // carries the highest version.
+            self.mark_dirty(shard_no);
             let revisions = self.journals.publish_batch(&self.revision, staged);
             let mut logged = self
                 .wal
@@ -574,10 +625,15 @@ impl ObjectStore {
                 );
             }
             // One framed append for the whole shard group, still under the
-            // shard write lock — the batch twin of `log_write`.
+            // shard write lock — the batch twin of `log_write`. Under
+            // group commit the durability wait is deferred: frames land
+            // here, the rendezvous runs once after every lock is released.
             if let (Some(wal), Some(records)) = (&self.wal, logged) {
-                wal.append(&records);
+                ticket = GroupTicket::merge(ticket, wal.append_deferred(&records));
             }
+        }
+        if let (Some(wal), Some(ticket)) = (&self.wal, ticket) {
+            wal.group_commit(ticket);
         }
         results
     }
@@ -593,7 +649,8 @@ impl ObjectStore {
     pub fn delete_collection(&self, kind: ResourceKind, namespace: &str) -> usize {
         let lower = list_lower_bound(kind, namespace);
         let mut deleted = 0;
-        for shard in &self.shards {
+        let mut ticket = None;
+        for (shard_no, shard) in self.shards.iter().enumerate() {
             let mut guard = shard.write();
             let keys: Vec<Key> = guard
                 .range((Bound::Included(&lower), Bound::Unbounded))
@@ -615,6 +672,7 @@ impl ObjectStore {
                 ));
             }
             deleted += staged.len();
+            self.mark_dirty(shard_no);
             let revisions = self.journals.publish_batch(&self.revision, staged);
             if let Some(wal) = &self.wal {
                 // Deletions log key + revision only; replay removes by key.
@@ -630,8 +688,11 @@ impl ObjectStore {
                         body: None,
                     })
                     .collect();
-                wal.append(&records);
+                ticket = GroupTicket::merge(ticket, wal.append_deferred(&records));
             }
+        }
+        if let (Some(wal), Some(ticket)) = (&self.wal, ticket) {
+            wal.group_commit(ticket);
         }
         deleted
     }
@@ -657,9 +718,11 @@ impl ObjectStore {
         name: &str,
     ) -> Option<Arc<StoredObject>> {
         let key = (kind, namespace.to_owned(), name.to_owned());
-        let mut shard = self.shard(&key).write();
+        let shard_no = shard_index(&key);
+        let mut shard = self.shards[shard_no].write();
         let removed = shard.remove(&key);
         if let Some(stored) = &removed {
+            self.mark_dirty(shard_no);
             let version = self.publish(&key, WatchEventKind::Deleted, stored.object.shared_body());
             self.log_write(&key, WatchEventKind::Deleted, version, None);
         }
@@ -762,6 +825,57 @@ impl ObjectStore {
         }
         self.revision.fetch_max(floor, Ordering::Relaxed);
         self.journals.restore_horizon(floor);
+        // Boot-conservative: the first checkpoint after a restore rewrites
+        // every shard, so its correctness never depends on what segments
+        // the on-disk manifest happened to list.
+        for shard_no in 0..SHARDS {
+            self.mark_dirty(shard_no);
+        }
+    }
+
+    /// Claim the dirty shards for a checkpoint: atomically swap every flag
+    /// to clean and return the indexes that were dirty (also recorded as
+    /// the `checkpoint_dirty_shards` health counter). The caller **must**
+    /// have read its checkpoint horizon *before* calling this — that
+    /// read-then-swap order is half of the no-lost-writes argument (the
+    /// flag is set under the shard lock *before* the revision allocates,
+    /// so a revision covered by the horizon is always either clean or
+    /// claimed); the other half is
+    /// [`ObjectStore::remark_dirty`] on any failure, so an aborted
+    /// checkpoint never launders a shard clean.
+    pub fn take_dirty_shards(&self) -> Vec<usize> {
+        let claimed: Vec<usize> = (0..SHARDS)
+            .filter(|&shard_no| self.dirty[shard_no].swap(false, Ordering::AcqRel))
+            .collect();
+        self.last_checkpoint_dirty
+            .store(claimed.len(), Ordering::Relaxed);
+        claimed
+    }
+
+    /// Return claimed shards to the dirty set after a failed checkpoint
+    /// attempt (their segments were not durably rewritten).
+    pub fn remark_dirty(&self, shards: &[usize]) {
+        for &shard_no in shards {
+            self.mark_dirty(shard_no);
+        }
+    }
+
+    /// Every stored object of one shard, in key order — what an
+    /// incremental checkpoint writes into that shard's segment file.
+    pub fn snapshot_shard(&self, shard_no: usize) -> Vec<Arc<StoredObject>> {
+        self.shards[shard_no]
+            .read()
+            .values()
+            .map(Arc::clone)
+            .collect()
+    }
+
+    /// How many shards are currently flagged dirty (monitoring only; the
+    /// checkpoint path uses [`ObjectStore::take_dirty_shards`]).
+    pub fn dirty_shard_count(&self) -> usize {
+        (0..SHARDS)
+            .filter(|&shard_no| self.dirty[shard_no].load(Ordering::Relaxed))
+            .count()
     }
 }
 
@@ -870,6 +984,10 @@ impl StoreBackend for ObjectStore {
             Some(wal) => wal.state(),
             None => DurabilityState::Healthy,
         }
+    }
+
+    fn checkpoint_dirty_shards(&self) -> usize {
+        self.last_checkpoint_dirty.load(Ordering::Relaxed)
     }
 }
 

@@ -825,7 +825,13 @@ impl KindJournals {
         revision: &AtomicU64,
         staged: StagedEvent,
     ) -> u64 {
-        let assigned = revision.fetch_add(1, Ordering::Relaxed) + 1;
+        // `AcqRel` (not `Relaxed`) so every allocation continues the
+        // counter's release sequence: a thread that acquire-loads the
+        // counter afterwards (the checkpoint horizon read) observes
+        // everything sequenced before *any* allocation at or below the
+        // loaded value — which is what makes the store's dirty-shard flags
+        // (set before allocating) reliable under an incremental checkpoint.
+        let assigned = revision.fetch_add(1, Ordering::AcqRel) + 1;
         let event = staged.into_event(assigned);
         self.fan_out(shard_index, &event);
         if inner.events.len() == self.capacity {

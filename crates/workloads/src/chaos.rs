@@ -106,6 +106,13 @@ pub struct ChaosOutcome {
     pub recovered_revision: u64,
     /// Objects in the recovered store.
     pub recovered_objects: usize,
+    /// Shared group-commit fsyncs the run issued (0 off `group`).
+    pub fsync_batches: u64,
+    /// Mean records per shared fsync (0.0 off `group`).
+    pub avg_group_size: f64,
+    /// Store shards the mid-run checkpoint claimed (0 when it never ran
+    /// or failed).
+    pub checkpoint_dirty_shards: usize,
     /// Invariant violations (empty: the run is green).
     pub violations: Vec<String>,
 }
@@ -136,7 +143,7 @@ impl ChaosReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:>6} {:<11} {:<9} {:>5} {:>5} {:>4} {:>4} {:<9} {:>7} {:>7} {:>9}  schedule",
+            "{:>6} {:<11} {:<9} {:>5} {:>5} {:>4} {:>4} {:<9} {:>7} {:>7} {:>6} {:>6} {:>5} {:>9}  schedule",
             "seed",
             "policy",
             "fsync",
@@ -147,6 +154,9 @@ impl ChaosReport {
             "state",
             "durable",
             "recov",
+            "fsyncB",
+            "avgGrp",
+            "dirty",
             "verdict"
         );
         for o in &self.outcomes {
@@ -154,10 +164,14 @@ impl ChaosReport {
                 FsyncPolicy::Always => "always".to_owned(),
                 FsyncPolicy::Batch(n) => format!("batch:{n}"),
                 FsyncPolicy::Os => "os".to_owned(),
+                FsyncPolicy::Group {
+                    max_wait_us,
+                    max_batch,
+                } => format!("group:{max_wait_us}:{max_batch}"),
             };
             let _ = writeln!(
                 out,
-                "{:>6} {:<11} {:<9} {:>5} {:>5} {:>4} {:>4} {:<9} {:>7} {:>7} {:>9}  {}",
+                "{:>6} {:<11} {:<9} {:>5} {:>5} {:>4} {:>4} {:<9} {:>7} {:>7} {:>6} {:>6.1} {:>5} {:>9}  {}",
                 o.seed,
                 o.policy.to_string(),
                 fsync,
@@ -168,6 +182,9 @@ impl ChaosReport {
                 o.final_state.to_string(),
                 o.durable_claimed,
                 o.recovered_revision,
+                o.fsync_batches,
+                o.avg_group_size,
+                o.checkpoint_dirty_shards,
                 if o.green() { "green" } else { "VIOLATED" },
                 if o.schedule.is_empty() {
                     "-"
@@ -220,10 +237,17 @@ impl ChaosDriver {
             fs::remove_dir_all(&dir)?;
         }
         let schedule = FaultSchedule::from_seed(seed);
-        let fsync = if seed.is_multiple_of(2) {
-            FsyncPolicy::Always
-        } else {
-            FsyncPolicy::Batch(4)
+        // Three-way policy rotation by seed. Group runs with a zero window
+        // (`group:0:4`): single-threaded drivers close every window
+        // immediately, so transitions stay a pure function of the schedule
+        // while the shared-fsync failure path is still the one exercised.
+        let fsync = match seed % 3 {
+            0 => FsyncPolicy::Always,
+            1 => FsyncPolicy::Batch(4),
+            _ => FsyncPolicy::Group {
+                max_wait_us: 0,
+                max_batch: 4,
+            },
         };
         let faulty = Arc::new(FaultyIo::over_real(schedule.clone()));
         let config = PersistConfig::new(&dir)
@@ -428,6 +452,9 @@ impl ChaosDriver {
             acked_revision,
             recovered_revision: report.recovered_revision,
             recovered_objects: report.live_objects,
+            fsync_batches: health.fsync_batches,
+            avg_group_size: health.avg_group_size,
+            checkpoint_dirty_shards: health.checkpoint_dirty_shards,
             violations,
         })
     }

@@ -16,8 +16,8 @@ use std::time::Duration;
 use k8s_apiserver::persist::{PersistConfig, Persistence, RetryPolicy};
 use k8s_apiserver::storage_io::{FaultSchedule, FaultyIo};
 use k8s_apiserver::{
-    ApiRequest, ApiServer, DegradePolicy, DurabilityState, RequestHandler, ResponseStatus,
-    StorageErrorKind, StoreBackend,
+    ApiRequest, ApiServer, DegradePolicy, DurabilityState, FsyncPolicy, RequestHandler,
+    ResponseStatus, StorageErrorKind, StoreBackend,
 };
 use k8s_model::{K8sObject, ResourceKind};
 use kf_workloads::ChaosDriver;
@@ -222,8 +222,8 @@ fn concurrent_writers_racing_a_latched_error_observe_one_transition() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// Satellite: a corrupt snapshot is quarantined at boot (renamed to
-/// `.corrupt`) and the server comes up serving the WAL replay instead of
+/// Satellite: corrupt checkpoint segments are quarantined at boot (renamed
+/// to `.corrupt`) and the server comes up serving the WAL replay instead of
 /// refusing to start.
 #[test]
 fn corrupt_snapshot_quarantines_and_the_server_boots_serving() {
@@ -240,24 +240,37 @@ fn corrupt_snapshot_quarantines_and_the_server_boots_serving() {
         }
         persistence.wal().sync().expect("writes durable");
         // Checkpoint, then write a suffix: the quarantine trades the
-        // snapshotted prefix for a boot that serves, so what must survive
+        // checkpointed prefix for a boot that serves, so what must survive
         // is exactly the WAL records past the checkpoint horizon.
         persistence.checkpoint(server.store()).expect("checkpoint");
         let response = server.handle(&ApiRequest::create("admin", &pod("q-late", "nginx")));
         assert!(response.is_success());
         persistence.wal().sync().expect("suffix durable");
     }
-    let snapshot = dir.join("store.kfsnap");
-    let mut bytes = std::fs::read(&snapshot).expect("snapshot exists");
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0xFF;
-    std::fs::write(&snapshot, &bytes).expect("corrupt it");
+    // Flip a byte in every checkpoint segment: the per-shard CRC catches
+    // each one and recovery falls back to whatever the WAL still holds.
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("dir lists") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("store.seg-") && name.ends_with(".kfsnap") {
+            let mut bytes = std::fs::read(&path).expect("segment reads");
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            std::fs::write(&path, &bytes).expect("corrupt it");
+            segments.push(path);
+        }
+    }
+    assert!(!segments.is_empty(), "the checkpoint wrote segments");
 
     let (server, _persistence, report) =
         ApiServer::durable(PersistConfig::new(&dir)).expect("boot survives corruption");
     let quarantined = report.snapshot_quarantined.expect("quarantine reported");
     assert!(quarantined.exists(), "corrupt file kept for forensics");
-    assert!(!snapshot.exists(), "corrupt snapshot moved aside");
+    assert!(
+        segments.iter().all(|s| !s.exists()),
+        "corrupt segments moved aside"
+    );
     // The WAL suffix past the checkpoint horizon still serves.
     let get = server.handle(&ApiRequest::get(
         "admin",
@@ -271,6 +284,98 @@ fn corrupt_snapshot_quarantines_and_the_server_boots_serving() {
     );
     let write = server.handle(&ApiRequest::create("admin", &pod("q-new", "nginx")));
     assert!(write.is_success(), "the quarantined server accepts writes");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: the shared group-commit fsync fails mid-window while writers
+/// are parked on it. Every waiter must observe the degradation and return
+/// (no waiter is left parked forever), no waiter's write may be reported
+/// durable, and a clean reopen replays only what the WAL actually holds —
+/// never more than what was acknowledged.
+#[test]
+fn failed_group_window_fsync_degrades_every_parked_waiter() {
+    let dir = temp_dir("group-window");
+    const THREADS: usize = 4;
+    const WRITES: usize = 5;
+    {
+        let io = Arc::new(FaultyIo::over_real(
+            FaultSchedule::parse("fsync@1:permanent").expect("spec parses"),
+        ));
+        // A wide-open window (100ms, 64-record batch) so concurrent writers
+        // genuinely park behind one leader whose shared fsync then fails.
+        let config = PersistConfig::new(&dir)
+            .with_fsync(FsyncPolicy::Group {
+                max_wait_us: 100_000,
+                max_batch: 64,
+            })
+            .with_retry(RetryPolicy::immediate(u32::MAX));
+        let (store, persistence, _) = Persistence::open_with_io(config, io).expect("boot is clean");
+        let server = ApiServer::with_store(store).with_degrade_policy(DegradePolicy::FailOpen);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let server = &server;
+                scope.spawn(move || {
+                    for w in 0..WRITES {
+                        let response = server.handle(&ApiRequest::create(
+                            "admin",
+                            &pod(&format!("g{t}-w{w}"), "nginx"),
+                        ));
+                        // Every waiter returns: degradation wakes the
+                        // parked followers instead of stranding them.
+                        assert!(response.is_success(), "fail-open write g{t}-w{w}");
+                    }
+                });
+            }
+        });
+        assert_eq!(StoreBackend::len(server.store()), THREADS * WRITES);
+        let wal = persistence.wal();
+        assert_eq!(
+            wal.durable_revision(),
+            0,
+            "a failed shared fsync proves no waiter's write durable"
+        );
+        assert_eq!(wal.state(), DurabilityState::Degraded);
+        assert_eq!(wal.durability_gap(), (THREADS * WRITES) as u64);
+        assert_eq!(
+            wal.transitions()
+                .iter()
+                .filter(|t| t.to == DurabilityState::Degraded)
+                .count(),
+            1,
+            "one shared failure, one transition — not one per parked waiter"
+        );
+        assert_eq!(
+            wal.last_error().expect("error latched").kind,
+            StorageErrorKind::Fsync
+        );
+        let health = server.health_report();
+        assert_eq!(
+            health.fsync_batches, 0,
+            "no group window ever closed successfully"
+        );
+        assert_eq!(health.avg_group_size, 0.0);
+    }
+    // Clean reopen: recovery replays the WAL prefix that reached the file.
+    // Nothing beyond the acknowledged writes may appear, and the revision
+    // floor must cover everything replayed so new writes never collide.
+    let (server, persistence, report) =
+        ApiServer::durable(PersistConfig::new(&dir)).expect("clean reopen");
+    let recovered = StoreBackend::len(server.store());
+    assert!(
+        recovered <= THREADS * WRITES,
+        "recovery must never invent writes: {recovered}"
+    );
+    assert_eq!(report.replayed, recovered);
+    let write = server.handle(&ApiRequest::create("admin", &pod("g-after", "nginx")));
+    assert!(write.is_success(), "the reopened server accepts writes");
+    persistence
+        .wal()
+        .sync()
+        .expect("healthy fsync after reopen");
+    assert!(
+        persistence.wal().durable_revision() > 0,
+        "durability is restored on clean storage"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
